@@ -1,0 +1,30 @@
+# StreamPIM reproduction — common tasks.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures docs examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) examples/paper_figures.py
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

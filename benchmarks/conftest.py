@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section: it simulates the full experiment (timed by pytest-benchmark),
+prints the same rows/series the paper reports, and asserts the result
+shape.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+
+"""
+
+from repro.workloads import POLYBENCH
+
+WORKLOAD_NAMES = list(POLYBENCH)
+
+#: Paper reference values used in assertions/printouts.
+PAPER_SPEEDUPS = {
+    "CPU-DRAM": 1.5,
+    "ELP2IM": 3.6,
+    "FELIX": 8.7,
+    "CORUSCANT": 15.6,
+    "StPIM-e": 12.7,
+    "StPIM": 39.1,
+}
+PAPER_ENERGY_VS_STPIM = {
+    "CPU-DRAM": 58.4,
+    "ELP2IM": 11.7,
+    "FELIX": 3.5,
+    "CORUSCANT": 2.8,
+    "StPIM-e": 1.6,
+}
+
+
+def average_speedup(results, platform, baseline="CPU-RM"):
+    ratios = [
+        results[baseline][w].time_ns / results[platform][w].time_ns
+        for w in WORKLOAD_NAMES
+    ]
+    return sum(ratios) / len(ratios)
+
+
+def run_once(benchmark, func):
+    """Time one full experiment run (simulations are deterministic)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

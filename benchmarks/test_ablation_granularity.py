@@ -1,0 +1,70 @@
+"""Ablation: host-interface command granularity (section IV-A).
+
+The design-choice analysis behind the VPC: scalar commands explode to
+O(n^3) per matrix multiplication (the paper's worst case), matrix
+commands collapse to O(1) but force the device to manage Omega(n^2)
+operand units per command, and vector granularity sits in between with
+O(n^2) commands and a simple decoder — the trade-off StreamPIM adopts.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.isa.granularity import (
+    CommandGranularity,
+    compare_granularities,
+)
+from repro.workloads import POLYBENCH
+
+
+def _sweep():
+    return {
+        name: compare_granularities(POLYBENCH[name])
+        for name in ("gemm", "atax")
+    }
+
+
+def test_ablation_interface_granularity(benchmark):
+    profiles = run_once(benchmark, _sweep)
+
+    print()
+    print("Section IV-A — command-granularity trade-off")
+    for name, by_granularity in profiles.items():
+        rows = [
+            [
+                g.value,
+                f"{p.commands:.3g}",
+                f"{p.traffic_bytes / 1e6:.2f}",
+                f"{p.link_time_ns / 1e6:.2f}",
+                f"{p.max_units_per_command:,}",
+            ]
+            for g, p in by_granularity.items()
+        ]
+        print(f"-- {name}")
+        print(
+            format_table(
+                [
+                    "granularity",
+                    "commands",
+                    "traffic (MB)",
+                    "link time (ms)",
+                    "units/cmd",
+                ],
+                rows,
+            )
+        )
+
+    gemm = profiles["gemm"]
+    scalar = gemm[CommandGranularity.SCALAR]
+    vector = gemm[CommandGranularity.VECTOR]
+    matrix = gemm[CommandGranularity.MATRIX]
+    benchmark.extra_info["gemm_vector_commands"] = vector.commands
+
+    # The paper's O(n^3) vs O(n^2) argument: scalar is ~n times vector.
+    assert scalar.commands > 1000 * vector.commands
+    # Vector keeps the device-side unit count per command modest while
+    # matrix granularity forces Omega(n^2) management.
+    assert matrix.max_units_per_command > 100 * vector.max_units_per_command
+    # And the link traffic at vector granularity stays manageable
+    # relative to scalar granularity.
+    assert vector.traffic_bytes < scalar.traffic_bytes / 1000

@@ -1,0 +1,83 @@
+"""Ablation: datapath word width (performance vs numerical fidelity).
+
+The paper fixes the datapath at 8 bits.  Width is a first-order design
+choice: the dot-product initiation interval is ceil(bits / duplicators)
+cycles, so narrower words run faster — but quantising real-valued data
+onto fewer bits costs accuracy.  This ablation sweeps 4/8/16-bit
+datapaths, measuring PolyBench performance on one axis and the
+quantised-matmul error (from ``repro.workloads.quantize``) on the other,
+showing why 8 bits is the sweet spot the paper picked.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.processor import RMProcessorConfig
+from repro.core.rmbus import RMBusConfig
+from repro.workloads import POLYBENCH
+from repro.workloads.quantize import quantization_error
+
+WIDTHS = (4, 8, 16)
+KERNELS = ("gemm", "atax", "mvt")
+
+
+def _config(bits: int) -> StreamPIMConfig:
+    return StreamPIMConfig(
+        processor=RMProcessorConfig(
+            word_bits=bits, accumulator_bits=max(32, 4 * bits)
+        ),
+        bus=RMBusConfig(width_wires=bits, word_bits=bits),
+    )
+
+
+def _sweep():
+    rng = np.random.default_rng(23)
+    a = rng.normal(size=(64, 64))
+    b = rng.normal(size=(64, 64))
+    out = {}
+    for bits in WIDTHS:
+        platform = StreamPIMPlatform(_config(bits))
+        times = {
+            name: platform.run(POLYBENCH[name]).time_ns for name in KERNELS
+        }
+        error, _ = quantization_error(a, b, bits=bits)
+        interval = RMProcessorConfig(
+            word_bits=bits, accumulator_bits=max(32, 4 * bits)
+        ).duplication_interval
+        out[bits] = (times, error, interval)
+    return out
+
+
+def test_ablation_word_width(benchmark):
+    sweep = run_once(benchmark, _sweep)
+
+    reference, _, _ = sweep[8]
+    rows = []
+    for bits, (times, error, interval) in sweep.items():
+        speedup = sum(
+            reference[name] / times[name] for name in KERNELS
+        ) / len(KERNELS)
+        rows.append([bits, interval, speedup, f"{error:.4f}"])
+    print()
+    print("Ablation — datapath word width (vs the paper's 8 bits)")
+    print(
+        format_table(
+            ["bits", "dot II (cycles)", "speedup vs 8-bit", "matmul error"],
+            rows,
+        )
+    )
+    benchmark.extra_info["speedup_4bit"] = rows[0][2]
+
+    times4, err4, _ = sweep[4]
+    times8, err8, _ = sweep[8]
+    times16, err16, _ = sweep[16]
+    # Narrower words run faster...
+    for name in KERNELS:
+        assert times4[name] < times8[name] < times16[name]
+    # ...but cost accuracy, and 16 bits buys little fidelity for 2x time.
+    assert err4 > 3 * err8
+    assert err16 < err8
+    assert err8 < 0.05  # 8-bit quantisation already adequate

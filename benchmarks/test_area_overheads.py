@@ -1,0 +1,40 @@
+"""Section V-G: area overhead breakdown by domain counting.
+
+Paper figures: RM bus 1.8% and RM processor 0.1% of the total device
+area; transfer tracks 3.1% of the (PIM) bank area; control logic ~1.0%.
+"""
+
+from conftest import run_once
+
+from repro.analysis.area import AreaModel
+from repro.analysis.report import format_table
+
+
+def _breakdown():
+    model = AreaModel()
+    return model, model.breakdown()
+
+
+def test_area_overheads(benchmark):
+    model, breakdown = run_once(benchmark, _breakdown)
+
+    rows = [
+        ["RM bus", f"{breakdown.fraction('bus'):.2%}", "1.8%"],
+        ["RM processor", f"{breakdown.fraction('processor'):.2%}", "0.1%"],
+        [
+            "transfer tracks (of PIM bank)",
+            f"{model.transfer_fraction_of_pim_bank_area():.2%}",
+            "3.1%",
+        ],
+        ["control logic", f"{breakdown.fraction('control'):.2%}", "~1.0%"],
+        ["memory mats", f"{breakdown.fraction('mat'):.2%}", "-"],
+    ]
+    print()
+    print("Section V-G — area overheads")
+    print(format_table(["component", "measured", "paper"], rows))
+    benchmark.extra_info["bus_fraction"] = round(breakdown.fraction("bus"), 4)
+
+    assert abs(breakdown.fraction("bus") - 0.018) < 0.01
+    assert abs(breakdown.fraction("processor") - 0.001) < 0.001
+    assert abs(model.transfer_fraction_of_pim_bank_area() - 0.031) < 0.01
+    assert abs(breakdown.fraction("control") - 0.01) < 0.005

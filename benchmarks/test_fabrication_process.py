@@ -1,0 +1,40 @@
+"""Section V-F: per-gate energy vs fabrication process.
+
+Paper: "the energy cost per gate will drop from 20 pJ to 0.0008 pJ when
+the domain scale shrinks from 1.0 um to 32 nm" — a cubic scaling law —
+and at 32 nm the ADD and MUL operation energies are 0.03 pJ and 0.18 pJ.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.rm.timing import DEFAULT_TIMING, energy_per_gate_pj
+
+PROCESSES_NM = (1000, 500, 250, 130, 65, 32)
+
+
+def _sweep():
+    return {nm: energy_per_gate_pj(nm) for nm in PROCESSES_NM}
+
+
+def test_fabrication_process(benchmark):
+    energies = run_once(benchmark, _sweep)
+
+    rows = [[nm, f"{e:.6f}"] for nm, e in energies.items()]
+    print()
+    print("Section V-F — energy per gate vs fabrication process")
+    print(format_table(["process (nm)", "pJ/gate"], rows))
+    print(
+        f"\nTable III op energies at 32 nm: ADD "
+        f"{DEFAULT_TIMING.pim_add_pj} pJ, MUL {DEFAULT_TIMING.pim_mul_pj} pJ"
+    )
+    benchmark.extra_info["gate_pj_32nm"] = energies[32]
+
+    # The paper's two anchor points.
+    assert abs(energies[1000] - 20.0) < 1e-9
+    assert abs(energies[32] - 0.0008) / 0.0008 < 0.25
+    # Monotone decrease with shrinking process.
+    values = [energies[nm] for nm in PROCESSES_NM]
+    assert values == sorted(values, reverse=True)
+    # Cubic law: halving the feature size cuts energy 8x.
+    assert energies[500] * 8 == energies[1000]

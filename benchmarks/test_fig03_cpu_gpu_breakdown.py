@@ -1,0 +1,60 @@
+"""Fig. 3: execution-time breakdown on CPU and GPU platforms.
+
+The motivating observation of section II-A: on the small (matrix-vector)
+kernels, memory access takes 47.6% of CPU-RM execution time, and
+host-device data transfer takes up to ~90% on a discrete GPU.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.baselines import CpuRM, GpuPlatform
+from repro.workloads import POLYBENCH, SMALL_KERNELS
+
+
+def _sweep():
+    cpu = CpuRM()
+    gpu = GpuPlatform()
+    out = {}
+    for name in SMALL_KERNELS:
+        spec = POLYBENCH[name]
+        stats = cpu.run(spec)
+        fractions = stats.time_breakdown.fractions()
+        out[name] = {
+            "cpu_mem": fractions["read"] + fractions["write"],
+            "cpu_compute": fractions["process"],
+            "gpu_transfer": gpu.transfer_fraction(spec),
+        }
+    return out
+
+
+def test_fig03_cpu_gpu_breakdown(benchmark):
+    shares = run_once(benchmark, _sweep)
+
+    rows = [
+        [
+            name,
+            f"{s['cpu_mem']:.1%}",
+            f"{s['cpu_compute']:.1%}",
+            f"{s['gpu_transfer']:.1%}",
+        ]
+        for name, s in shares.items()
+    ]
+    print()
+    print("Fig. 3 — time breakdown on CPU-RM / GPU (small kernels)")
+    print(
+        format_table(
+            ["workload", "CPU mem", "CPU compute", "GPU transfer"], rows
+        )
+    )
+    cpu_avg = sum(s["cpu_mem"] for s in shares.values()) / len(shares)
+    gpu_avg = sum(s["gpu_transfer"] for s in shares.values()) / len(shares)
+    print(
+        f"\naverages: CPU mem {cpu_avg:.1%} (paper 47.6%), "
+        f"GPU transfer {gpu_avg:.1%} (paper ~90%)"
+    )
+    benchmark.extra_info["cpu_mem_share"] = round(cpu_avg, 3)
+    benchmark.extra_info["gpu_transfer_share"] = round(gpu_avg, 3)
+
+    assert abs(cpu_avg - 0.476) < 0.05
+    assert gpu_avg > 0.75

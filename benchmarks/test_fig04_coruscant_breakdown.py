@@ -1,0 +1,72 @@
+"""Fig. 4: execution-time and energy breakdown of CORUSCANT operations.
+
+The analysis that motivates StreamPIM: in CORUSCANT, RM writes take 51%
+of a scalar operation's time (computation only 30.1%), and the
+arithmetic units consume only 29.1% of the energy — the rest is
+electromagnetic conversion.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.baselines import CoruscantPlatform
+
+
+def _profiles():
+    platform = CoruscantPlatform()
+    return {
+        kind: (
+            platform.op_time_ns(kind),
+            platform.op_energy_pj(kind),
+        )
+        for kind in ("mul", "add")
+    }
+
+
+def test_fig04_coruscant_breakdown(benchmark):
+    profiles = run_once(benchmark, _profiles)
+
+    print()
+    print("Fig. 4 — CORUSCANT per-operation breakdowns")
+    time_rows, energy_rows = [], []
+    for kind, (time, energy) in profiles.items():
+        tf = time.fractions()
+        ef = energy.fractions()
+        time_rows.append(
+            [
+                kind,
+                f"{tf['read']:.1%}",
+                f"{tf['write']:.1%}",
+                f"{tf['shift']:.1%}",
+                f"{tf['process']:.1%}",
+            ]
+        )
+        energy_rows.append(
+            [
+                kind,
+                f"{ef['read']:.1%}",
+                f"{ef['write']:.1%}",
+                f"{ef['shift']:.1%}",
+                f"{ef['compute']:.1%}",
+            ]
+        )
+    print("(a) execution time   [paper: write 51.0%, compute 30.1%]")
+    print(
+        format_table(["op", "read", "write", "shift", "compute"], time_rows)
+    )
+    print("(b) energy           [paper: arithmetic only 29.1%]")
+    print(
+        format_table(["op", "read", "write", "shift", "compute"], energy_rows)
+    )
+
+    mul_time = profiles["mul"][0].fractions()
+    mul_energy = profiles["mul"][1].fractions()
+    benchmark.extra_info["mul_write_time_share"] = round(
+        mul_time["write"], 3
+    )
+    # Shape: writes dominate time (paper 51%), compute near 30%.
+    assert abs(mul_time["write"] - 0.51) < 0.06
+    assert abs(mul_time["process"] - 0.301) < 0.06
+    # Energy: arithmetic is a minority share (paper 29.1%).
+    assert mul_energy["compute"] < 0.35
+    assert mul_energy["write"] > mul_energy["compute"]

@@ -1,0 +1,47 @@
+"""Fig. 17: speed-up of every platform over CPU-RM, per workload.
+
+Regenerates the full platform x workload matrix of the paper's headline
+figure and prints the speed-up rows.  Shape contract: the platform
+ordering holds and the averages land near the paper's (CPU-DRAM 1.5x,
+ELP2IM 3.6x, FELIX 8.7x, CORUSCANT 15.6x, StPIM-e 12.7x, StPIM 39.1x).
+"""
+
+from conftest import PAPER_SPEEDUPS, WORKLOAD_NAMES, average_speedup, run_once
+
+from repro.analysis.report import format_speedup_table
+from repro.baselines import default_platforms
+from repro.workloads import POLYBENCH
+
+
+def _sweep():
+    platforms = default_platforms()
+    return {
+        name: {w: platform.run(POLYBENCH[w]) for w in WORKLOAD_NAMES}
+        for name, platform in platforms.items()
+    }
+
+
+def test_fig17_overall_performance(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Fig. 17 — speed-up over CPU-RM (paper averages in parentheses)")
+    print(format_speedup_table(results, "CPU-RM", WORKLOAD_NAMES))
+    for platform, paper in PAPER_SPEEDUPS.items():
+        measured = average_speedup(results, platform)
+        print(f"  {platform:10s} avg {measured:6.2f}  (paper {paper})")
+        benchmark.extra_info[f"avg_speedup_{platform}"] = round(measured, 2)
+
+    # Shape: ordering and rough magnitudes.
+    averages = {
+        p: average_speedup(results, p) for p in PAPER_SPEEDUPS
+    }
+    assert (
+        averages["CPU-DRAM"]
+        < averages["ELP2IM"]
+        < averages["FELIX"]
+        < averages["CORUSCANT"]
+        < averages["StPIM"]
+    )
+    assert abs(averages["StPIM"] - 39.1) / 39.1 < 0.25
+    assert abs(averages["StPIM-e"] - 12.7) / 12.7 < 0.25

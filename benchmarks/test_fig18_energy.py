@@ -1,0 +1,63 @@
+"""Fig. 18: energy consumption of every platform, normalised to StPIM.
+
+Shape contract: StPIM uses the least energy everywhere; the averages
+land near the paper's (CPU-DRAM 58.4x, ELP2IM 11.7x, FELIX 3.5x,
+CORUSCANT 2.8x, StPIM-e 1.6x); and the two CPU platforms consume similar
+energy ("the energy consumption of DRAM-based architectures is close to
+RM-based architectures").
+"""
+
+from conftest import PAPER_ENERGY_VS_STPIM, WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_table
+from repro.baselines import default_platforms
+from repro.workloads import POLYBENCH
+
+
+def _sweep():
+    platforms = default_platforms()
+    return {
+        name: {w: platform.run(POLYBENCH[w]) for w in WORKLOAD_NAMES}
+        for name, platform in platforms.items()
+    }
+
+
+def _energy_ratio(results, platform):
+    ratios = [
+        results[platform][w].energy.total_pj
+        / results["StPIM"][w].energy.total_pj
+        for w in WORKLOAD_NAMES
+    ]
+    return sum(ratios) / len(ratios)
+
+
+def test_fig18_energy(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Fig. 18 — energy normalised to StPIM (paper in parentheses)")
+    rows = []
+    for platform in results:
+        measured = _energy_ratio(results, platform)
+        paper = PAPER_ENERGY_VS_STPIM.get(platform, "-")
+        rows.append([platform, measured, str(paper)])
+        benchmark.extra_info[f"energy_vs_stpim_{platform}"] = round(
+            measured, 2
+        )
+    print(format_table(["platform", "energy / StPIM", "paper"], rows))
+
+    ratios = {p: _energy_ratio(results, p) for p in results}
+    # StPIM is the most energy-efficient platform on every workload.
+    for platform in results:
+        if platform == "StPIM":
+            continue
+        for w in WORKLOAD_NAMES:
+            assert (
+                results[platform][w].energy.total_pj
+                > results["StPIM"][w].energy.total_pj
+            )
+    # CPU-RM and CPU-DRAM are close (Fig. 18's observation).
+    assert abs(ratios["CPU-RM"] - ratios["CPU-DRAM"]) / ratios["CPU-DRAM"] < 0.15
+    # Rough magnitudes.
+    assert abs(ratios["CPU-DRAM"] - 58.4) / 58.4 < 0.25
+    assert ratios["ELP2IM"] > ratios["FELIX"] > ratios["CORUSCANT"] > 1.0

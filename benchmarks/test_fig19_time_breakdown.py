@@ -1,0 +1,65 @@
+"""Fig. 19: execution-time breakdown of CORUSCANT vs StPIM.
+
+The paper splits time into exclusive Read/Write/Shift, exclusive
+Process, and Overlapped, normalised to StPIM.  Shape contract: CORUSCANT
+is transfer-dominated (paper: 81.8% average) while StPIM's exclusive
+transfer time falls below ~1% — the pipelined RM bus hides it.
+"""
+
+from conftest import WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_breakdown_table
+from repro.baselines import CoruscantPlatform, StreamPIMPlatform
+from repro.workloads import POLYBENCH
+
+
+def _sweep():
+    coruscant = CoruscantPlatform()
+    stpim = StreamPIMPlatform()
+    return {
+        w: {
+            "StPIM": stpim.run(POLYBENCH[w]),
+            "CORUSCANT": coruscant.run(POLYBENCH[w]),
+        }
+        for w in WORKLOAD_NAMES
+    }
+
+
+def test_fig19_time_breakdown(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Fig. 19 — execution-time breakdown, normalised to StPIM")
+    coruscant_shares = []
+    stpim_shares = []
+    for w in WORKLOAD_NAMES:
+        print(f"-- {w}")
+        print(
+            format_breakdown_table(
+                {
+                    "StPIM": results[w]["StPIM"].time_breakdown,
+                    "CORUSCANT": results[w]["CORUSCANT"].time_breakdown,
+                },
+                normalise_to="StPIM",
+            )
+        )
+        c = results[w]["CORUSCANT"].time_breakdown
+        s = results[w]["StPIM"].time_breakdown
+        coruscant_shares.append(c.transfer_ns / c.total_ns)
+        stpim_shares.append(s.transfer_ns / s.total_ns)
+
+    coruscant_avg = sum(coruscant_shares) / len(coruscant_shares)
+    stpim_avg = sum(stpim_shares) / len(stpim_shares)
+    print(
+        f"\nexclusive transfer share: CORUSCANT {coruscant_avg:.1%} "
+        f"(paper 81.8%), StPIM {stpim_avg:.2%} (paper <1%)"
+    )
+    benchmark.extra_info["coruscant_transfer_share"] = round(coruscant_avg, 3)
+    benchmark.extra_info["stpim_transfer_share"] = round(stpim_avg, 4)
+
+    assert coruscant_avg > 0.6
+    assert stpim_avg < 0.02
+    for w in WORKLOAD_NAMES:
+        assert (
+            results[w]["CORUSCANT"].time_ns > results[w]["StPIM"].time_ns
+        )

@@ -1,0 +1,70 @@
+"""Fig. 20: energy-cost breakdown of CORUSCANT vs StPIM.
+
+Shape contract: CORUSCANT's energy is dominated by electromagnetic
+conversion (paper: 86% transfer on average), while StPIM — moving data
+purely by shift operations — reduces the transfer fraction to roughly
+30%, with the RM processor dominating instead.
+"""
+
+from conftest import WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_table
+from repro.baselines import CoruscantPlatform, StreamPIMPlatform
+from repro.workloads import POLYBENCH
+
+
+def _sweep():
+    coruscant = CoruscantPlatform()
+    stpim = StreamPIMPlatform()
+    return {
+        w: {
+            "StPIM": stpim.run(POLYBENCH[w]),
+            "CORUSCANT": coruscant.run(POLYBENCH[w]),
+        }
+        for w in WORKLOAD_NAMES
+    }
+
+
+def test_fig20_energy_breakdown(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Fig. 20 — energy breakdown (transfer vs compute), vs StPIM")
+    rows = []
+    coruscant_shares, stpim_shares = [], []
+    for w in WORKLOAD_NAMES:
+        s = results[w]["StPIM"].energy
+        c = results[w]["CORUSCANT"].energy
+        rows.append(
+            [
+                w,
+                c.total_pj / s.total_pj,
+                c.transfer_pj / c.total_pj,
+                s.transfer_pj / s.total_pj,
+            ]
+        )
+        coruscant_shares.append(c.transfer_pj / c.total_pj)
+        stpim_shares.append(s.transfer_pj / s.total_pj)
+    print(
+        format_table(
+            [
+                "workload",
+                "CORUSCANT/StPIM",
+                "CORUSCANT transfer",
+                "StPIM transfer",
+            ],
+            rows,
+        )
+    )
+    coruscant_avg = sum(coruscant_shares) / len(coruscant_shares)
+    stpim_avg = sum(stpim_shares) / len(stpim_shares)
+    print(
+        f"\naverages: CORUSCANT transfer {coruscant_avg:.1%} (paper 86%), "
+        f"StPIM transfer {stpim_avg:.1%} (paper ~30%)"
+    )
+    benchmark.extra_info["coruscant_transfer_energy"] = round(coruscant_avg, 3)
+    benchmark.extra_info["stpim_transfer_energy"] = round(stpim_avg, 3)
+
+    assert abs(coruscant_avg - 0.86) < 0.08
+    assert stpim_avg < 0.55
+    assert stpim_avg < coruscant_avg

@@ -1,0 +1,54 @@
+"""Fig. 21: StPIM performance vs PIM subarray count.
+
+Paper series (normalised to 128 subarrays): 1x / 1.74x / 3.0x / 3.2x for
+128 / 256 / 512 / 1024 subarrays, saturating as data-preparation traffic
+grows with the broadcast fan-out while per-subarray compute shrinks.
+"""
+
+from conftest import WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_table
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.rm.address import DeviceGeometry
+from repro.workloads import POLYBENCH
+
+COUNTS = (128, 256, 512, 1024)
+PAPER = {128: 1.0, 256: 1.74, 512: 3.0, 1024: 3.2}
+
+
+def _sweep():
+    out = {}
+    for count in COUNTS:
+        geometry = DeviceGeometry().with_pim_subarrays(count)
+        platform = StreamPIMPlatform(StreamPIMConfig(geometry=geometry))
+        out[count] = {w: platform.run(POLYBENCH[w]).time_ns for w in WORKLOAD_NAMES}
+    return out
+
+
+def test_fig21_subarray_scaling(benchmark):
+    times = run_once(benchmark, _sweep)
+
+    gains = {
+        count: sum(
+            times[128][w] / times[count][w] for w in WORKLOAD_NAMES
+        )
+        / len(WORKLOAD_NAMES)
+        for count in COUNTS
+    }
+    print()
+    print("Fig. 21 — performance vs PIM subarray count (vs 128)")
+    print(
+        format_table(
+            ["subarrays", "speedup", "paper"],
+            [[c, gains[c], PAPER[c]] for c in COUNTS],
+        )
+    )
+    for count, gain in gains.items():
+        benchmark.extra_info[f"gain_{count}"] = round(gain, 2)
+
+    # Shape: monotone gains up to 512, saturation at 1024.
+    assert 1.0 < gains[256] < gains[512]
+    assert abs(gains[256] - PAPER[256]) / PAPER[256] < 0.25
+    assert abs(gains[512] - PAPER[512]) / PAPER[512] < 0.35
+    assert gains[1024] < 1.35 * gains[512]

@@ -1,0 +1,56 @@
+"""Fig. 22: the distribute and unblock optimisations.
+
+Paper series (normalised to no optimisation): distribute 7.1x, unblock
+199.7x.  Shape contract: base << distribute << unblock, with distribute
+an order-of-magnitude gain and unblock near two-hundred-fold.
+"""
+
+from conftest import WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_table
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.scheduler import SchedulerPolicy
+from repro.workloads import POLYBENCH
+
+PAPER = {
+    SchedulerPolicy.BASE: 1.0,
+    SchedulerPolicy.DISTRIBUTE: 7.1,
+    SchedulerPolicy.UNBLOCK: 199.7,
+}
+
+
+def _sweep():
+    out = {}
+    for policy in SchedulerPolicy:
+        platform = StreamPIMPlatform(StreamPIMConfig(scheduler_policy=policy))
+        out[policy] = {
+            w: platform.run(POLYBENCH[w]).time_ns for w in WORKLOAD_NAMES
+        }
+    return out
+
+
+def test_fig22_optimizations(benchmark):
+    times = run_once(benchmark, _sweep)
+
+    base = times[SchedulerPolicy.BASE]
+    gains = {
+        policy: sum(base[w] / times[policy][w] for w in WORKLOAD_NAMES)
+        / len(WORKLOAD_NAMES)
+        for policy in SchedulerPolicy
+    }
+    print()
+    print("Fig. 22 — optimisation gains over base")
+    print(
+        format_table(
+            ["policy", "speedup", "paper"],
+            [[p.value, gains[p], PAPER[p]] for p in SchedulerPolicy],
+        )
+    )
+    for policy, gain in gains.items():
+        benchmark.extra_info[f"gain_{policy.value}"] = round(gain, 1)
+
+    assert gains[SchedulerPolicy.BASE] == 1.0
+    assert 4.0 < gains[SchedulerPolicy.DISTRIBUTE] < 25.0
+    assert abs(gains[SchedulerPolicy.UNBLOCK] - 199.7) / 199.7 < 0.3
+    assert gains[SchedulerPolicy.DISTRIBUTE] < gains[SchedulerPolicy.UNBLOCK]

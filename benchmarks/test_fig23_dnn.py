@@ -1,0 +1,69 @@
+"""Fig. 23: end-to-end DNN inference speed-up vs CPU-DRAM.
+
+The matrix operations offload to the PIM platforms; nonlinear layers run
+on the CPU.  Paper: MLP 54.77x (StPIM), 1.86x over CORUSCANT; BERT 4.49x
+(StPIM), 1.97x over CORUSCANT.  Shape contract: StPIM wins on both
+networks; MLP's speed-up dwarfs BERT's (whose nonlinear layers cap it);
+BERT's absolute speed-up lands near the paper's.
+"""
+
+from conftest import run_once
+
+from repro.analysis.endtoend import end_to_end_speedup
+from repro.analysis.report import format_table
+from repro.baselines import default_platforms
+from repro.workloads import DNN_WORKLOADS
+
+PLATFORMS = ("StPIM", "StPIM-e", "CORUSCANT", "FELIX", "ELP2IM")
+PAPER = {("mlp", "StPIM"): 54.77, ("bert", "StPIM"): 4.49}
+
+
+def _sweep():
+    platforms = default_platforms()
+    cpu = platforms["CPU-DRAM"]
+    out = {}
+    for wname, spec in DNN_WORKLOADS.items():
+        cpu_stats = cpu.run(spec)
+        out[wname] = {
+            p: end_to_end_speedup(
+                platforms[p], cpu, spec, cpu_stats=cpu_stats
+            )
+            for p in PLATFORMS
+        }
+    return out
+
+
+def test_fig23_dnn(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    print()
+    print("Fig. 23 — end-to-end DNN speed-up vs CPU-DRAM")
+    for wname in DNN_WORKLOADS:
+        rows = [
+            [
+                p,
+                results[wname][p].speedup_vs_cpu,
+                str(PAPER.get((wname, p), "-")),
+            ]
+            for p in PLATFORMS
+        ]
+        print(f"-- {wname}")
+        print(format_table(["platform", "e2e speedup", "paper"], rows))
+        benchmark.extra_info[f"{wname}_stpim"] = round(
+            results[wname]["StPIM"].speedup_vs_cpu, 2
+        )
+
+    mlp = results["mlp"]
+    bert = results["bert"]
+    # StPIM wins on both networks.
+    for wname, block in results.items():
+        assert max(
+            block.values(), key=lambda r: r.speedup_vs_cpu
+        ).platform == "StPIM", wname
+    # MLP's nonlinear share is tiny, so its speed-up dwarfs BERT's.
+    assert mlp["StPIM"].speedup_vs_cpu > 3 * bert["StPIM"].speedup_vs_cpu
+    # BERT lands near the paper's 4.49x.
+    assert abs(bert["StPIM"].speedup_vs_cpu - 4.49) / 4.49 < 0.25
+    # StPIM over CORUSCANT near the paper's 1.86x on MLP.
+    ratio = mlp["StPIM"].speedup_vs_cpu / mlp["CORUSCANT"].speedup_vs_cpu
+    assert abs(ratio - 1.86) / 1.86 < 0.4

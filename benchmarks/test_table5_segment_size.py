@@ -1,0 +1,67 @@
+"""Table V: RM-bus segment-size sensitivity.
+
+Paper: shrinking the segment from 1024 to 64 domains costs +2.33%
+execution time on average and changes energy by less than ~0.1%.  Shape
+contract: the time overhead is small and monotone in 1/segment; the
+energy stays nearly flat (slightly cheaper for small segments).
+"""
+
+from conftest import WORKLOAD_NAMES, run_once
+
+from repro.analysis.report import format_table
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.rmbus import RMBusConfig
+from repro.workloads import POLYBENCH
+
+SEGMENTS = (64, 256, 512, 1024)
+PAPER_TIME = {64: "+2.33%", 256: "+0.58%", 512: "+0.29%", 1024: "0%"}
+
+
+def _sweep():
+    out = {}
+    for segment in SEGMENTS:
+        platform = StreamPIMPlatform(
+            StreamPIMConfig(bus=RMBusConfig(segment_domains=segment))
+        )
+        stats = [platform.run(POLYBENCH[w]) for w in WORKLOAD_NAMES]
+        out[segment] = (
+            sum(s.time_ns for s in stats),
+            sum(s.energy.total_pj for s in stats),
+        )
+    return out
+
+
+def test_table5_segment_size(benchmark):
+    sweep = run_once(benchmark, _sweep)
+
+    t_ref, e_ref = sweep[1024]
+    rows = []
+    for segment in SEGMENTS:
+        t, e = sweep[segment]
+        rows.append(
+            [
+                segment,
+                f"{t / t_ref - 1.0:+.2%}",
+                PAPER_TIME[segment],
+                f"{e / e_ref - 1.0:+.3%}",
+            ]
+        )
+        benchmark.extra_info[f"time_overhead_{segment}"] = round(
+            t / t_ref - 1.0, 4
+        )
+    print()
+    print("Table V — bus segment-size sensitivity (vs 1024)")
+    print(
+        format_table(
+            ["segment", "exec time", "paper", "energy"], rows
+        )
+    )
+
+    overhead = {s: sweep[s][0] / t_ref - 1.0 for s in SEGMENTS}
+    energy_delta = {s: sweep[s][1] / e_ref - 1.0 for s in SEGMENTS}
+    # Time: small, monotone overhead for smaller segments.
+    assert 0.0 <= overhead[512] <= overhead[256] <= overhead[64] < 0.05
+    # Energy: nearly flat, marginally cheaper for small segments.
+    for segment in (64, 256, 512):
+        assert -0.01 < energy_delta[segment] <= 0.0

@@ -1,0 +1,116 @@
+"""Validation: analytic vs event-driven execution modes.
+
+The paper-scale results come from the analytic (round-composition) mode;
+this benchmark replays reduced-scale kernels through the event-driven
+engine — per-VPC dispatch, per-subarray blocking, real data movement —
+and reports the agreement: identical functional results, identical VPC
+counts, and timing within a small factor.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.rmbus import RMBusConfig
+from repro.rm.address import DeviceGeometry
+from repro.rm.bank import BankConfig
+from repro.rm.mat import MatConfig
+from repro.rm.subarray import SubarrayConfig
+from repro.workloads import polybench_workload
+
+KERNELS = ("gemm", "atax", "bicg", "mvt")
+SCALE = 0.004
+
+
+def _config():
+    mat = MatConfig(
+        save_tracks=16,
+        transfer_tracks=16,
+        domains_per_track=64,
+        word_bits=8,
+        ports_per_track=2,
+    )
+    geometry = DeviceGeometry(
+        banks=2,
+        pim_banks=1,
+        bank=BankConfig(
+            subarrays=8,
+            subarray=SubarrayConfig(mats=2, pim_mats=1, mat=mat),
+            pim_bank=True,
+        ),
+    )
+    bus = RMBusConfig(
+        segment_domains=16, length_domains=64, width_wires=8, word_bits=8
+    )
+    return StreamPIMConfig(geometry=geometry, bus=bus)
+
+
+def _sweep():
+    out = {}
+    for name in KERNELS:
+        spec = polybench_workload(name, scale=SCALE)
+        analytic_device = StreamPIMDevice(_config())
+        task = spec.build_task(analytic_device, seed=3)
+        analytic = task.run(functional=True)
+
+        event_device = StreamPIMDevice(_config())
+        event_task = spec.build_task(event_device, seed=3)
+        trace = event_task.to_trace()
+        event_task.materialize(event_device)
+        event_stats = event_device.execute_trace(trace)
+        event_results = event_task.fetch_results(event_device)
+
+        outputs = {op.output for op in event_task._operations}
+        functional_match = all(
+            (event_results[o] == analytic.results[o]).all() for o in outputs
+        )
+        out[name] = {
+            "analytic_ns": analytic.time_ns,
+            "event_ns": event_stats.time_ns,
+            "counts_match": (
+                trace.stats.pim_vpcs == analytic.counts.pim_vpcs
+                and trace.stats.move_vpcs == analytic.counts.move_vpcs
+            ),
+            "functional_match": functional_match,
+        }
+    return out
+
+
+def test_validation_modes(benchmark):
+    results = run_once(benchmark, _sweep)
+
+    rows = [
+        [
+            name,
+            r["analytic_ns"] / 1e3,
+            r["event_ns"] / 1e3,
+            r["event_ns"] / r["analytic_ns"],
+            "yes" if r["counts_match"] else "NO",
+            "yes" if r["functional_match"] else "NO",
+        ]
+        for name, r in results.items()
+    ]
+    print()
+    print(
+        f"Mode validation — kernels at scale {SCALE} "
+        "(analytic vs event-driven)"
+    )
+    print(
+        format_table(
+            [
+                "kernel",
+                "analytic (us)",
+                "event (us)",
+                "ratio",
+                "counts",
+                "results",
+            ],
+            rows,
+        )
+    )
+
+    for name, r in results.items():
+        assert r["functional_match"], name
+        assert r["counts_match"], name
+        ratio = r["event_ns"] / r["analytic_ns"]
+        assert 1 / 5 < ratio < 5, (name, ratio)

@@ -1,0 +1,51 @@
+"""End-to-end DNN inference offload (the Fig. 23 experiment).
+
+Offloads the matrix operations of MLP and BERT inference to StreamPIM
+while the nonlinear layers stay on the CPU, and prints the end-to-end
+speed-ups over CPU-DRAM for the PIM platforms.
+
+Run:  python examples/dnn_inference.py
+"""
+
+from repro.analysis.endtoend import end_to_end_speedup
+from repro.analysis.report import format_table
+from repro.baselines import default_platforms
+from repro.workloads import DNN_WORKLOADS
+
+PIM_PLATFORMS = ("StPIM", "StPIM-e", "CORUSCANT", "FELIX", "ELP2IM")
+
+
+def main() -> None:
+    platforms = default_platforms()
+    cpu = platforms["CPU-DRAM"]
+    for name, spec in DNN_WORKLOADS.items():
+        print(f"== {name}: {spec.description}")
+        print(
+            f"   nonlinear (CPU-resident) share of end-to-end time: "
+            f"{spec.nonlinear_flop_fraction:.1%}"
+        )
+        cpu_stats = cpu.run(spec)
+        rows = []
+        for platform_name in PIM_PLATFORMS:
+            result = end_to_end_speedup(
+                platforms[platform_name], cpu, spec, cpu_stats=cpu_stats
+            )
+            rows.append(
+                [
+                    platform_name,
+                    result.matrix_ns / 1e6,
+                    result.nonlinear_ns / 1e6,
+                    result.speedup_vs_cpu,
+                ]
+            )
+        print(
+            format_table(
+                ["platform", "matrix (ms)", "nonlinear (ms)", "e2e speedup"],
+                rows,
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

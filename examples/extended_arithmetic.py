@@ -1,0 +1,60 @@
+"""The section-VI extensions: divider, square root, floating point.
+
+The paper leaves these processors as future work; this example runs the
+repository's implementations — all built from the same domain-wall
+primitives as the core datapath — and shows the structural step counts a
+pipelined integration would use.
+
+Run:  python examples/extended_arithmetic.py
+"""
+
+import math
+
+from repro.dwlogic import (
+    DWFloat,
+    DWFloatUnit,
+    GateCounter,
+    RestoringDivider,
+    SquareRootExtractor,
+)
+
+
+def main() -> None:
+    counter = GateCounter()
+    divider = RestoringDivider(8)
+    q, r = divider.divide(250, 7, counter)
+    print(f"restoring divider: 250 / 7 = {q} remainder {r}")
+    print(
+        f"  {divider.steps} subtract-and-restore steps, "
+        f"{counter.total} gate evaluations"
+    )
+    print()
+
+    counter = GateCounter()
+    extractor = SquareRootExtractor(16)
+    value = 3025
+    root = extractor.isqrt(value, counter)
+    print(f"square-root extractor: isqrt({value}) = {root}")
+    assert root == math.isqrt(value)
+    print(
+        f"  {extractor.steps} digit iterations, "
+        f"{counter.total} gate evaluations"
+    )
+    print()
+
+    unit = DWFloatUnit()
+    a = DWFloat.from_float(3.25)
+    b = DWFloat.from_float(-1.5)
+    product = unit.multiply(a, b)
+    total = unit.add(a, b)
+    print("bfloat16-style floating point on the integer datapath:")
+    print(f"  3.25 * -1.5 = {product.to_float()}")
+    print(f"  3.25 + -1.5 = {total.to_float()}")
+    print(
+        f"  format: 1 sign + {a.fmt.exponent_bits} exponent + "
+        f"{a.fmt.mantissa_bits} mantissa bits, bias {a.fmt.bias}"
+    )
+
+
+if __name__ == "__main__":
+    main()

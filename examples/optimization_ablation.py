@@ -1,0 +1,57 @@
+"""Ablation of the parallelism optimisations (Figs. 21 and 22).
+
+Sweeps the scheduler policy (base / distribute / unblock) and the PIM
+subarray budget for a matrix-vector workload, showing how StreamPIM's
+performance comes from the interplay of placement, blocking, and
+subarray-level parallelism.
+
+Run:  python examples/optimization_ablation.py
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.scheduler import SchedulerPolicy
+from repro.rm.address import DeviceGeometry
+from repro.workloads import polybench_workload
+
+
+def main() -> None:
+    spec = polybench_workload("gemm", scale=0.25)
+    print(f"workload: gemm at quarter scale ({spec.description})")
+    print()
+
+    print("Fig. 22 — optimisation ablation:")
+    rows = []
+    base_time = None
+    for policy in SchedulerPolicy:
+        platform = StreamPIMPlatform(
+            StreamPIMConfig(scheduler_policy=policy)
+        )
+        time_ns = platform.run(spec).time_ns
+        if base_time is None:
+            base_time = time_ns
+        rows.append([policy.value, time_ns / 1e6, base_time / time_ns])
+    print(format_table(["policy", "time (ms)", "speedup vs base"], rows))
+    print()
+
+    print("Fig. 21 — PIM subarray scaling (unblock policy):")
+    rows = []
+    reference = None
+    for count in (128, 256, 512, 1024):
+        geometry = DeviceGeometry().with_pim_subarrays(count)
+        platform = StreamPIMPlatform(StreamPIMConfig(geometry=geometry))
+        time_ns = platform.run(spec).time_ns
+        if reference is None:
+            reference = time_ns
+        rows.append([count, time_ns / 1e6, reference / time_ns])
+    print(format_table(["subarrays", "time (ms)", "speedup vs 128"], rows))
+    print()
+    print(
+        "note the saturation at 1024 subarrays: data preparation grows "
+        "with the broadcast fan-out while per-subarray compute shrinks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Render the paper's headline figures as terminal bar charts.
+
+Reproduces Figs. 17, 18, 21 and 22 at paper dimensions and draws them
+with the dependency-free ASCII chart helpers.
+
+Run:  python examples/paper_figures.py        (takes ~15 s)
+"""
+
+from repro.analysis.figures import bar_chart, sparkline
+from repro.baselines import default_platforms
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.scheduler import SchedulerPolicy
+from repro.rm.address import DeviceGeometry
+from repro.workloads import POLYBENCH
+
+NAMES = list(POLYBENCH)
+
+
+def average(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def main() -> None:
+    platforms = default_platforms()
+    results = {
+        pname: {w: platform.run(POLYBENCH[w]) for w in NAMES}
+        for pname, platform in platforms.items()
+    }
+
+    speedups = {
+        pname: average(
+            results["CPU-RM"][w].time_ns / results[pname][w].time_ns
+            for w in NAMES
+        )
+        for pname in platforms
+    }
+    print(
+        bar_chart(
+            speedups,
+            title="Fig. 17 — average speedup over CPU-RM",
+            unit="x",
+            reference="CPU-RM",
+        )
+    )
+    print()
+
+    energies = {
+        pname: average(
+            results[pname][w].energy.total_pj
+            / results["StPIM"][w].energy.total_pj
+            for w in NAMES
+        )
+        for pname in platforms
+    }
+    print(
+        bar_chart(
+            energies,
+            title="Fig. 18 — average energy normalised to StPIM",
+            unit="x",
+            reference="StPIM",
+        )
+    )
+    print()
+
+    scaling = {}
+    base = None
+    for count in (128, 256, 512, 1024):
+        geometry = DeviceGeometry().with_pim_subarrays(count)
+        platform = StreamPIMPlatform(StreamPIMConfig(geometry=geometry))
+        times = {w: platform.run(POLYBENCH[w]).time_ns for w in NAMES}
+        if base is None:
+            base = times
+        scaling[str(count)] = average(base[w] / times[w] for w in NAMES)
+    print(
+        bar_chart(
+            scaling,
+            title="Fig. 21 — speedup vs PIM subarray count (vs 128)",
+            unit="x",
+        )
+    )
+    print(f"trend: {sparkline(list(scaling.values()))}")
+    print()
+
+    gains = {}
+    base_times = None
+    for policy in SchedulerPolicy:
+        platform = StreamPIMPlatform(
+            StreamPIMConfig(scheduler_policy=policy)
+        )
+        times = {w: platform.run(POLYBENCH[w]).time_ns for w in NAMES}
+        if base_times is None:
+            base_times = times
+        gains[policy.value] = average(
+            base_times[w] / times[w] for w in NAMES
+        )
+    print(
+        bar_chart(
+            gains,
+            title="Fig. 22 — optimisation gains over base",
+            unit="x",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Compare all evaluation platforms on a PolyBench kernel (Fig. 17 row).
+
+Runs one kernel (default: gemm at paper dimensions) on every platform of
+the paper's evaluation and prints the speed-up over CPU-RM and the
+energy relative to StPIM — one row of Figs. 17 and 18.
+
+Run:  python examples/polybench_comparison.py [kernel] [scale]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.baselines import default_platforms
+from repro.workloads import polybench_workload
+
+
+def main(kernel: str = "gemm", scale: float = 1.0) -> None:
+    spec = polybench_workload(kernel, scale=scale)
+    print(f"kernel: {kernel}  ({spec.description}), scale {scale}")
+    ops = spec.scalar_ops()
+    print(
+        f"scalar ops: {ops.muls:,} muls + {ops.adds:,} adds; "
+        f"VPCs: {spec.vpc_counts()[0]:,} PIM / {spec.vpc_counts()[1]:,} move"
+    )
+    print()
+
+    platforms = default_platforms()
+    stats = {name: p.run(spec) for name, p in platforms.items()}
+    cpu_rm = stats["CPU-RM"]
+    stpim = stats["StPIM"]
+
+    rows = []
+    for name, s in stats.items():
+        rows.append(
+            [
+                name,
+                s.time_ns / 1e6,
+                cpu_rm.time_ns / s.time_ns,
+                s.energy.total_pj / 1e9,
+                s.energy.total_pj / stpim.energy.total_pj,
+            ]
+        )
+    print(
+        format_table(
+            ["platform", "time (ms)", "speedup", "energy (mJ)", "vs StPIM"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "gemm"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(kernel, scale)

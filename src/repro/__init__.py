@@ -1,0 +1,67 @@
+"""StreamPIM: streaming matrix computation in racetrack memory.
+
+A full reproduction of the HPCA 2024 paper: the racetrack-memory device
+model, the bit-accurate domain-wall logic substrate, the StreamPIM
+architecture simulator (RM processor, segmented RM bus, VPC control
+flow, ``distribute``/``unblock`` optimisations), every baseline platform
+of the evaluation, and the PolyBench/DNN workload generators.
+
+Quickstart::
+
+    import numpy as np
+    from repro import create_pim_task, TaskOp
+
+    task = create_pim_task()
+    task.add_matrix("A", np.arange(16).reshape(4, 4) % 7)
+    task.add_matrix("B", np.eye(4, dtype=int))
+    task.add_matrix("C", shape=(4, 4))
+    task.add_operation(TaskOp.MATMUL, "A", "B", "C")
+    report = task.run()
+    print(report.time_ns, report.energy_pj)
+"""
+
+from repro.core import (
+    PimTask,
+    RunReport,
+    StreamPIMConfig,
+    StreamPIMDevice,
+    TaskOp,
+    create_pim_task,
+)
+from repro.core.scheduler import SchedulerPolicy
+from repro.rm.timing import RMTimingConfig, energy_per_gate_pj
+from repro.rm.address import DeviceGeometry
+from repro.workloads import (
+    POLYBENCH,
+    DNN_WORKLOADS,
+    polybench_workload,
+    dnn_workload,
+)
+from repro.baselines import default_platforms
+from repro.frontend import Matrix, Program, Scalar, Vector, compile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PimTask",
+    "RunReport",
+    "StreamPIMConfig",
+    "StreamPIMDevice",
+    "TaskOp",
+    "create_pim_task",
+    "SchedulerPolicy",
+    "RMTimingConfig",
+    "energy_per_gate_pj",
+    "DeviceGeometry",
+    "POLYBENCH",
+    "DNN_WORKLOADS",
+    "polybench_workload",
+    "dnn_workload",
+    "default_platforms",
+    "Matrix",
+    "Program",
+    "Scalar",
+    "Vector",
+    "compile_program",
+    "__version__",
+]

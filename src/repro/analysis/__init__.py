@@ -1,0 +1,51 @@
+"""Analysis helpers: area model, end-to-end composition, reporting."""
+
+from repro.analysis.area import AreaModel, AreaBreakdown
+from repro.analysis.endtoend import end_to_end_speedup, EndToEndResult
+from repro.analysis.report import (
+    format_table,
+    format_speedup_table,
+    format_breakdown_table,
+    normalised_series,
+)
+from repro.analysis.figures import bar_chart, grouped_bar_chart, sparkline
+from repro.analysis.sweep import sweep, SweepResult
+from repro.analysis.timeline import (
+    Interval,
+    render_gantt,
+    schedule_timeline,
+    timeline_to_csv,
+)
+from repro.analysis.datasheet import Datasheet, build_datasheet
+from repro.analysis.results_io import (
+    load_results,
+    save_results,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaBreakdown",
+    "end_to_end_speedup",
+    "EndToEndResult",
+    "format_table",
+    "format_speedup_table",
+    "format_breakdown_table",
+    "normalised_series",
+    "bar_chart",
+    "grouped_bar_chart",
+    "sparkline",
+    "sweep",
+    "SweepResult",
+    "Interval",
+    "render_gantt",
+    "schedule_timeline",
+    "timeline_to_csv",
+    "load_results",
+    "save_results",
+    "stats_from_dict",
+    "stats_to_dict",
+    "Datasheet",
+    "build_datasheet",
+]

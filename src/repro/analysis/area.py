@@ -1,0 +1,176 @@
+"""Area model (section V-G): domain counting.
+
+The paper estimates area by counting the domains of each component.  With
+the default configuration it reports:
+
+* RM bus: 1.8 % of the total device area;
+* RM processor: 0.1 % of the total device area;
+* transfer tracks: 3.1 % of the (PIM) bank area;
+* control logic: ~1.0 % of the bank area.
+
+Domain counting here follows the same structural reasoning:
+
+* a *save track* costs its data domains, the shift-overhead domains, and
+  its access ports — a port (MTJ stack, sense amplifier, write driver,
+  access transistors) dwarfs a magnetic domain, which is exactly why
+  ports are shared across many domains in the first place;
+* a *transfer track* has no access ports (it only feeds the RM bus), so
+  it is several times cheaper than a save track — this is how 1/9 of the
+  PIM tracks come to only ~3 % of the bank area;
+* the *RM bus* carries a full row (one wire per save track) across the
+  mats it connects;
+* the *RM processor* is dominated not by its logic gates but by the
+  operand staging racetracks that buffer the inbound vector stream at
+  bus width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.processor import RMProcessorConfig
+from repro.core.rmbus import RMBusConfig
+from repro.dwlogic.adder import AdderTree
+from repro.rm.address import DeviceGeometry
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Domain(-equivalent) counts per component."""
+
+    mat_domains: float
+    transfer_track_domains: float
+    bus_domains: float
+    processor_domains: float
+    control_domains: float
+
+    @property
+    def total_domains(self) -> float:
+        return (
+            self.mat_domains
+            + self.transfer_track_domains
+            + self.bus_domains
+            + self.processor_domains
+            + self.control_domains
+        )
+
+    def fraction(self, component: str) -> float:
+        """Share of the total device area for one component."""
+        value = getattr(self, f"{component}_domains")
+        return value / self.total_domains
+
+
+class AreaModel:
+    """Counts domain-equivalents for each component of the device."""
+
+    #: Domain-equivalents of one access port (MTJ + sense amplifier +
+    #: write driver + access transistors).
+    PORT_AREA_DOMAINS = 4608
+    #: Mats an RM bus spans within a subarray (the PIM-facing half).
+    BUS_SPAN_MATS = 8
+    #: Domains of one operand staging wire in the processor.
+    STAGING_DOMAINS_PER_WIRE = 768
+    #: Operand staging buffers per processor (two inbound streams).
+    STAGING_BUFFERS = 2
+    #: Domains per logic gate (input, bias, output and coupling region).
+    GATE_DOMAINS = 4
+    #: Extra nanowire length per duplicator bit (fan-out + diode loop).
+    DUPLICATOR_DOMAINS_PER_BIT = 6
+    #: Control logic overhead relative to bank array area (paper: ~1 %).
+    CONTROL_FRACTION_OF_BANK = 0.01
+
+    def __init__(
+        self,
+        geometry: DeviceGeometry | None = None,
+        bus: RMBusConfig | None = None,
+        processor: RMProcessorConfig | None = None,
+    ) -> None:
+        self.geometry = geometry or DeviceGeometry()
+        self.bus = bus or RMBusConfig()
+        self.processor = processor or RMProcessorConfig()
+
+    # ------------------------------------------------------------------
+    # Per-track costs
+    # ------------------------------------------------------------------
+    def _overhead_domains(self) -> int:
+        mat = self.geometry.bank.subarray.mat
+        return 2 * (mat.domains_per_track // mat.ports_per_track)
+
+    def save_track_domains(self) -> float:
+        """Domain-equivalents of one save track (ports included)."""
+        mat = self.geometry.bank.subarray.mat
+        return (
+            mat.domains_per_track
+            + self._overhead_domains()
+            + mat.ports_per_track * self.PORT_AREA_DOMAINS
+        )
+
+    def transfer_track_domains_each(self) -> float:
+        """Domain-equivalents of one (portless) transfer track."""
+        mat = self.geometry.bank.subarray.mat
+        return mat.domains_per_track + self._overhead_domains()
+
+    # ------------------------------------------------------------------
+    # Component totals
+    # ------------------------------------------------------------------
+    def mat_domains(self) -> float:
+        sub = self.geometry.bank.subarray
+        per_mat = sub.mat.save_tracks * self.save_track_domains()
+        return per_mat * self.geometry.total_subarrays * sub.mats
+
+    def transfer_track_domains(self) -> float:
+        sub = self.geometry.bank.subarray
+        per_mat = sub.mat.transfer_tracks * self.transfer_track_domains_each()
+        return per_mat * self.geometry.pim_subarrays * sub.pim_mats
+
+    def bus_domains(self) -> float:
+        """RM-bus domains: one wire per save track, spanning the mats."""
+        mat = self.geometry.bank.subarray.mat
+        per_bus = (
+            mat.save_tracks * self.BUS_SPAN_MATS * mat.domains_per_track
+        )
+        return float(self.geometry.pim_subarrays * per_bus)
+
+    def processor_domains(self) -> float:
+        cfg = self.processor
+        bits = cfg.word_bits
+        mat = self.geometry.bank.subarray.mat
+        staging = (
+            self.STAGING_BUFFERS
+            * mat.save_tracks
+            * self.STAGING_DOMAINS_PER_WIRE
+        )
+        duplicators = cfg.duplicators * bits * self.DUPLICATOR_DOMAINS_PER_BIT
+        multiplier = bits * bits * self.GATE_DOMAINS
+        tree = AdderTree(bits).adder_count * 2 * bits * 11 * self.GATE_DOMAINS
+        circle = cfg.accumulator_bits * (11 * self.GATE_DOMAINS + 4)
+        per_processor = staging + duplicators + multiplier + tree + circle
+        return float(self.geometry.pim_subarrays * per_processor)
+
+    def control_domains(self) -> float:
+        per_bank = (
+            self.mat_domains() / self.geometry.banks
+        ) * self.CONTROL_FRACTION_OF_BANK
+        return per_bank * self.geometry.banks
+
+    # ------------------------------------------------------------------
+    def breakdown(self) -> AreaBreakdown:
+        return AreaBreakdown(
+            mat_domains=self.mat_domains(),
+            transfer_track_domains=self.transfer_track_domains(),
+            bus_domains=self.bus_domains(),
+            processor_domains=self.processor_domains(),
+            control_domains=self.control_domains(),
+        )
+
+    def transfer_fraction_of_pim_bank_area(self) -> float:
+        """Transfer-track share of the PIM banks' array area (paper: 3.1%)."""
+        sub = self.geometry.bank.subarray
+        pim_bank_save = (
+            self.geometry.pim_subarrays
+            * sub.mats
+            * sub.mat.save_tracks
+            * self.save_track_domains()
+        )
+        transfer = self.transfer_track_domains()
+        return transfer / (pim_bank_save + transfer)

@@ -1,0 +1,96 @@
+"""Device datasheet: derived headline figures of one configuration.
+
+Collects the quantities a datasheet (or a reviewer) would ask for —
+capacity, peak PIM throughput, bus bandwidth, energy per operation,
+area split — all derived from the configured models rather than stated
+independently, so they stay consistent with the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.area import AreaModel
+from repro.core.device import StreamPIMConfig
+from repro.core.processor import RMProcessor
+from repro.core.rmbus import RMBus
+from repro.isa.vpc import VPCOpcode
+
+
+@dataclass(frozen=True)
+class Datasheet:
+    """Derived headline figures of one StreamPIM configuration."""
+
+    capacity_gib: float
+    pim_subarrays: int
+    core_mhz: float
+    #: Dot-product element rate of one processor (elements/s).
+    processor_element_rate: float
+    #: Aggregate multiply-accumulate rate of the device (MAC/s).
+    peak_macs_per_second: float
+    #: One RM bus's steady-state bandwidth (bytes/s).
+    bus_bandwidth_gbps: float
+    #: Energy of one MAC at the processor (pJ).
+    energy_per_mac_pj: float
+    #: Aggregate efficiency (MAC/s per watt at peak).
+    macs_per_joule: float
+    bus_area_fraction: float
+    processor_area_fraction: float
+
+    def render(self) -> str:
+        """Human-readable datasheet block."""
+        lines = [
+            f"capacity            : {self.capacity_gib:.0f} GiB",
+            f"PIM subarrays       : {self.pim_subarrays}",
+            f"core clock          : {self.core_mhz:.0f} MHz",
+            f"per-processor rate  : "
+            f"{self.processor_element_rate / 1e6:.1f} M elements/s",
+            f"peak device rate    : "
+            f"{self.peak_macs_per_second / 1e9:.2f} GMAC/s",
+            f"RM bus bandwidth    : {self.bus_bandwidth_gbps:.2f} GB/s "
+            f"per subarray",
+            f"energy per MAC      : {self.energy_per_mac_pj:.2f} pJ",
+            f"efficiency          : "
+            f"{self.macs_per_joule / 1e12:.2f} TMAC/J",
+            f"bus area            : {self.bus_area_fraction:.2%}",
+            f"processor area      : {self.processor_area_fraction:.2%}",
+        ]
+        return "\n".join(lines)
+
+
+def build_datasheet(config: Optional[StreamPIMConfig] = None) -> Datasheet:
+    """Derive the datasheet of a device configuration."""
+    config = config or StreamPIMConfig()
+    timing = config.timing
+    processor = RMProcessor(config.processor, timing)
+    bus = RMBus(config.bus, timing)
+    geometry = config.geometry
+
+    interval = processor.initiation_interval(VPCOpcode.MUL)
+    cycles_per_second = timing.core_freq_mhz * 1e6
+    element_rate = cycles_per_second / interval
+    peak_macs = element_rate * geometry.pim_subarrays
+
+    # Bus steady state: one chunk per two cycles.
+    words_per_second = (
+        bus.config.words_per_segment * cycles_per_second / 2.0
+    )
+    bus_bandwidth = words_per_second * (bus.config.word_bits / 8) / 1e9
+
+    energy_per_mac = timing.pim_mul_pj + timing.pim_add_pj
+    macs_per_joule = 1e12 / energy_per_mac  # pJ -> J
+
+    area = AreaModel(geometry, config.bus, config.processor).breakdown()
+    return Datasheet(
+        capacity_gib=geometry.capacity_bytes / 2**30,
+        pim_subarrays=geometry.pim_subarrays,
+        core_mhz=timing.core_freq_mhz,
+        processor_element_rate=element_rate,
+        peak_macs_per_second=peak_macs,
+        bus_bandwidth_gbps=bus_bandwidth,
+        energy_per_mac_pj=energy_per_mac,
+        macs_per_joule=macs_per_joule,
+        bus_area_fraction=area.fraction("bus"),
+        processor_area_fraction=area.fraction("processor"),
+    )

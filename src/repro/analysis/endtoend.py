@@ -1,0 +1,74 @@
+"""End-to-end composition for DNN workloads (section V-E, Fig. 23).
+
+The PIM platforms accelerate only the matrix operations; nonlinear layers
+(softmax, layer norm, activations) stay on the CPU.  A workload's
+``nonlinear_flop_fraction`` gives the share of the *CPU-DRAM end-to-end
+time* those layers take, so:
+
+    cpu_e2e      = cpu_matrix_time / (1 - f)
+    platform_e2e = platform_matrix_time + f * cpu_e2e
+    speedup      = cpu_e2e / platform_e2e
+
+This is Amdahl's law with the non-offloadable part pinned to CPU-DRAM
+speed — which is why the paper's BERT speed-up saturates near 1/f.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import Platform
+from repro.sim.stats import RunStats
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """End-to-end figures for one platform on one DNN workload."""
+
+    platform: str
+    workload: str
+    matrix_ns: float
+    nonlinear_ns: float
+    cpu_e2e_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.matrix_ns + self.nonlinear_ns
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.cpu_e2e_ns / self.total_ns
+
+
+def end_to_end_speedup(
+    platform: Platform,
+    cpu_reference: Platform,
+    workload: WorkloadSpec,
+    platform_stats: RunStats | None = None,
+    cpu_stats: RunStats | None = None,
+) -> EndToEndResult:
+    """End-to-end speed-up of ``platform`` over the CPU reference.
+
+    Args:
+        platform: the PIM (or other) platform under test.
+        cpu_reference: the platform that runs the nonlinear layers
+            (CPU-DRAM in the paper's Fig. 23).
+        workload: a spec with a ``nonlinear_flop_fraction``.
+        platform_stats / cpu_stats: pre-computed matrix-part stats, to
+            avoid re-running (optional).
+    """
+    f = workload.nonlinear_flop_fraction
+    if cpu_stats is None:
+        cpu_stats = cpu_reference.run(workload)
+    if platform_stats is None:
+        platform_stats = platform.run(workload)
+    cpu_e2e = cpu_stats.time_ns / (1.0 - f)
+    nonlinear = cpu_e2e * f
+    return EndToEndResult(
+        platform=platform.name,
+        workload=workload.name,
+        matrix_ns=platform_stats.time_ns,
+        nonlinear_ns=nonlinear,
+        cpu_e2e_ns=cpu_e2e,
+    )

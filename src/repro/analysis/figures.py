@@ -1,0 +1,107 @@
+"""ASCII figure rendering (dependency-free plotting).
+
+The paper's evaluation figures are bar charts; these helpers render the
+same series as unicode bar charts on the terminal so the benchmark
+harness and examples can show the *shape* of each result without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render one bar of ``value`` at ``scale`` units per ``width``."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    remainder = cells - full
+    bar = "█" * full
+    partial_index = int(remainder * (len(_BLOCKS) - 1))
+    if partial_index > 0:
+        bar += _BLOCKS[partial_index]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    unit: str = "",
+    width: int = 40,
+    reference: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of a {label: value} series.
+
+    Args:
+        values: series to plot (insertion order preserved).
+        title: chart heading.
+        unit: printed after each value.
+        width: character width of the longest bar.
+        reference: optional label whose bar is marked as the baseline.
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar charts need non-negative values")
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = _bar(value, peak, width) if peak else ""
+        marker = "  <- baseline" if reference == label else ""
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.2f}{unit}{marker}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """One bar chart per group, globally scaled for comparability."""
+    if not groups:
+        raise ValueError("nothing to plot")
+    peak = max(
+        value for series in groups.values() for value in series.values()
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for group, series in groups.items():
+        lines.append(f"-- {group}")
+        label_width = max(len(str(label)) for label in series)
+        for label, value in series.items():
+            bar = _bar(value, peak, width) if peak else ""
+            lines.append(
+                f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (for sweep series)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ValueError("sparklines need non-negative values")
+    peak = max(values)
+    if peak == 0:
+        return " " * len(values)
+    steps = "▁▂▃▄▅▆▇█"
+    return "".join(
+        steps[min(len(steps) - 1, int(v / peak * (len(steps) - 1)))]
+        for v in values
+    )

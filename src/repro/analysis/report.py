@@ -1,0 +1,113 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.sim.stats import RunStats, TimeBreakdown
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    results: Mapping[str, Mapping[str, RunStats]],
+    baseline: str,
+    workloads: Sequence[str],
+) -> str:
+    """Fig. 17-style table: per-workload speed-ups over a baseline.
+
+    Args:
+        results: {platform: {workload: RunStats}}.
+        baseline: platform name used as the denominator.
+        workloads: workload order for columns.
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline platform {baseline!r} missing")
+    rows = []
+    for platform, stats in results.items():
+        row: List[object] = [platform]
+        speedups = []
+        for workload in workloads:
+            speedup = (
+                results[baseline][workload].time_ns
+                / stats[workload].time_ns
+            )
+            speedups.append(speedup)
+            row.append(speedup)
+        row.append(sum(speedups) / len(speedups))
+        rows.append(row)
+    return format_table(["platform", *workloads, "avg"], rows)
+
+
+def format_breakdown_table(
+    breakdowns: Mapping[str, TimeBreakdown],
+    normalise_to: str | None = None,
+) -> str:
+    """Fig. 19-style table: time breakdowns, optionally normalised."""
+    reference = None
+    if normalise_to is not None:
+        reference = breakdowns[normalise_to].total_ns
+        if reference <= 0:
+            raise ValueError(f"{normalise_to!r} has zero total time")
+    rows = []
+    for label, breakdown in breakdowns.items():
+        scale = 1.0 / reference if reference else 1.0 / max(
+            breakdown.total_ns, 1e-30
+        )
+        rows.append(
+            [
+                label,
+                breakdown.read_ns * scale,
+                breakdown.write_ns * scale,
+                breakdown.shift_ns * scale,
+                breakdown.process_ns * scale,
+                breakdown.overlapped_ns * scale,
+                breakdown.total_ns * scale,
+            ]
+        )
+    return format_table(
+        ["config", "read", "write", "shift", "process", "overlap", "total"],
+        rows,
+        float_format="{:.3f}",
+    )
+
+
+def normalised_series(
+    values: Mapping[str, float], reference_key: str
+) -> Dict[str, float]:
+    """Normalise a {label: value} series to one entry (Fig. 21/22 style)."""
+    reference = values[reference_key]
+    if reference <= 0:
+        raise ValueError(f"reference {reference_key!r} must be positive")
+    return {key: value / reference for key, value in values.items()}

@@ -1,0 +1,117 @@
+"""Result serialisation: archive and reload experiment outputs.
+
+Benchmark runs produce :class:`~repro.sim.stats.RunStats` matrices
+(platform x workload); this module serialises them to JSON so results
+can be archived next to the paper numbers, diffed across model versions,
+and reloaded without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, TextIO, Union
+
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+
+_FORMAT_VERSION = 1
+
+
+def stats_to_dict(stats: RunStats) -> dict:
+    """One RunStats as a plain JSON-able dictionary."""
+    return {
+        "platform": stats.platform,
+        "workload": stats.workload,
+        "time_ns": stats.time_ns,
+        "time_breakdown": {
+            "read_ns": stats.time_breakdown.read_ns,
+            "write_ns": stats.time_breakdown.write_ns,
+            "shift_ns": stats.time_breakdown.shift_ns,
+            "process_ns": stats.time_breakdown.process_ns,
+            "overlapped_ns": stats.time_breakdown.overlapped_ns,
+        },
+        "energy": {
+            "read_pj": stats.energy.read_pj,
+            "write_pj": stats.energy.write_pj,
+            "shift_pj": stats.energy.shift_pj,
+            "compute_pj": stats.energy.compute_pj,
+        },
+        "counters": dict(stats.counters),
+    }
+
+
+def stats_from_dict(payload: Mapping) -> RunStats:
+    """Inverse of :func:`stats_to_dict`."""
+    try:
+        time = payload["time_breakdown"]
+        energy = payload["energy"]
+        stats = RunStats(
+            platform=payload["platform"],
+            workload=payload["workload"],
+            time_ns=float(payload["time_ns"]),
+            time_breakdown=TimeBreakdown(
+                read_ns=float(time["read_ns"]),
+                write_ns=float(time["write_ns"]),
+                shift_ns=float(time["shift_ns"]),
+                process_ns=float(time["process_ns"]),
+                overlapped_ns=float(time["overlapped_ns"]),
+            ),
+            energy=EnergyBreakdown(
+                read_pj=float(energy["read_pj"]),
+                write_pj=float(energy["write_pj"]),
+                shift_pj=float(energy["shift_pj"]),
+                compute_pj=float(energy["compute_pj"]),
+            ),
+            counters={k: int(v) for k, v in payload["counters"].items()},
+        )
+    except KeyError as missing:
+        raise ValueError(f"malformed stats payload: missing {missing}")
+    return stats
+
+
+ResultsMatrix = Dict[str, Dict[str, RunStats]]
+
+
+def save_results(
+    results: Mapping[str, Mapping[str, RunStats]],
+    target: Union[str, Path, TextIO],
+    label: str = "",
+) -> None:
+    """Archive a {platform: {workload: RunStats}} matrix as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "label": label,
+        "results": {
+            platform: {
+                workload: stats_to_dict(stats)
+                for workload, stats in by_workload.items()
+            }
+            for platform, by_workload in results.items()
+        },
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        return
+    json.dump(payload, target, indent=1)
+
+
+def load_results(source: Union[str, Path, TextIO]) -> ResultsMatrix:
+    """Reload a results archive written by :func:`save_results`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r}"
+        )
+    return {
+        platform: {
+            workload: stats_from_dict(entry)
+            for workload, entry in by_workload.items()
+        }
+        for platform, by_workload in payload["results"].items()
+    }

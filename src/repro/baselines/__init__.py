@@ -1,0 +1,44 @@
+"""Evaluation platforms (section V-A).
+
+Seven platforms, as in the paper: CPU-RM, CPU-DRAM (traditional
+computing), StPIM (this work), StPIM-e (StreamPIM with electrical
+in-subarray buses), CORUSCANT (state-of-the-art process-in-RM), ELP2IM
+(process-in-DRAM) and FELIX (process-in-NVM); plus the GPU platform used
+for the Fig. 3b breakdown.
+"""
+
+from repro.baselines.common import Platform, PlatformRegistry
+from repro.baselines.cpu import CpuPlatform, CpuRM, CpuDRAM, CpuModelConfig
+from repro.baselines.gpu import GpuPlatform, GpuModelConfig
+from repro.baselines.coruscant import CoruscantPlatform, CoruscantConfig
+from repro.baselines.elp2im import Elp2imPlatform, Elp2imConfig
+from repro.baselines.felix import FelixPlatform, FelixConfig
+from repro.baselines.stpim import StreamPIMPlatform, spec_to_task
+from repro.baselines.stpim_e import StpimEPlatform, StpimEConfig
+
+__all__ = [
+    "Platform",
+    "PlatformRegistry",
+    "CpuPlatform",
+    "CpuRM",
+    "CpuDRAM",
+    "CpuModelConfig",
+    "GpuPlatform",
+    "GpuModelConfig",
+    "CoruscantPlatform",
+    "CoruscantConfig",
+    "Elp2imPlatform",
+    "Elp2imConfig",
+    "FelixPlatform",
+    "FelixConfig",
+    "StreamPIMPlatform",
+    "spec_to_task",
+    "StpimEPlatform",
+    "StpimEConfig",
+    "default_platforms",
+]
+
+
+def default_platforms():
+    """The Fig. 17/18 platform set, keyed by the paper's labels."""
+    return PlatformRegistry.default()

@@ -1,0 +1,154 @@
+"""CORUSCANT baseline: state-of-the-art process-in-racetrack-memory.
+
+CORUSCANT (MICRO'22) keeps CMOS arithmetic units near the RM arrays and
+accelerates operand access with *Transverse Read* (one sensing operation
+over several consecutive domains) and *Transverse Write* (concurrent
+shift+write).  Its fundamental cost, which StreamPIM removes, is the
+electromagnetic conversion on every operand fetch and intermediate-result
+store: each scalar operation reads its operands out of the magnetic
+domain, computes in CMOS, and writes results back.
+
+Per-scalar-operation structure (8-bit datapath, Table III primitives):
+
+* MUL — 2 operand transverse reads, 6 alignment shifts, 5 writes of
+  partial/intermediate results, and the CMOS multiply itself.  With the
+  default constants the execution-time split is ~50 % write / ~29 %
+  compute / ~21 % read+shift, matching Fig. 4a.
+* ADD — 1 read, 3 shifts, 2 writes plus the CMOS add; same split shape.
+
+Latency is word-granular (the TR mechanism aligns and senses one operand
+word at a time), while access *energy* amortises over the row width the
+peripheral drives (see DESIGN.md's access-cost principle), which is what
+lets Fig. 18's CORUSCANT-vs-StPIM energy ratio (~2.8x) coexist with
+Fig. 4's write-dominated energy split.
+
+The paper idealises CORUSCANT by ignoring inter-subarray/bank movement;
+so does this model: scalar operations spread perfectly over the same 512
+PIM subarrays StreamPIM uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import Platform
+from repro.rm.timing import RMTimingConfig
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CoruscantConfig:
+    """Structural constants of the CORUSCANT per-operation model.
+
+    Attributes:
+        reads_per_mul / shifts_per_mul / writes_per_mul: RM operations
+            per 8-bit scalar multiply.
+        mul_compute_ns / mul_compute_pj: CMOS multiplier cost.
+        reads_per_add / shifts_per_add / writes_per_add: per scalar add.
+        add_compute_ns / add_compute_pj: CMOS adder cost.
+        parallel_units: concurrently operating PIM subarrays.
+        energy_row_width_words: words over which one access's energy
+            amortises (the row the periphery drives).
+    """
+
+    reads_per_mul: int = 2
+    shifts_per_mul: int = 6
+    writes_per_mul: int = 5
+    mul_compute_ns: float = 33.0
+    mul_compute_pj: float = 0.18
+
+    reads_per_add: int = 1
+    shifts_per_add: int = 2
+    writes_per_add: int = 2
+    add_compute_ns: float = 13.0
+    add_compute_pj: float = 0.03
+
+    parallel_units: int = 512
+    energy_row_width_words: int = 128
+
+    def __post_init__(self) -> None:
+        if self.parallel_units <= 0:
+            raise ValueError("parallel_units must be positive")
+        if self.energy_row_width_words <= 0:
+            raise ValueError("energy_row_width_words must be positive")
+
+
+class CoruscantPlatform(Platform):
+    """Per-operation analytic model of CORUSCANT."""
+
+    name = "CORUSCANT"
+
+    def __init__(
+        self,
+        config: CoruscantConfig | None = None,
+        timing: RMTimingConfig | None = None,
+    ) -> None:
+        self.config = config or CoruscantConfig()
+        self.timing = timing or RMTimingConfig()
+
+    # ------------------------------------------------------------------
+    # Per-operation costs
+    # ------------------------------------------------------------------
+    def op_time_ns(self, kind: str) -> TimeBreakdown:
+        """Latency breakdown of one scalar operation ("mul"/"add")."""
+        cfg, t = self.config, self.timing
+        time = TimeBreakdown()
+        if kind == "mul":
+            time.add("read", cfg.reads_per_mul * t.read_ns)
+            time.add("shift", cfg.shifts_per_mul * t.shift_ns)
+            time.add("write", cfg.writes_per_mul * t.write_ns)
+            time.add("process", cfg.mul_compute_ns)
+        elif kind == "add":
+            time.add("read", cfg.reads_per_add * t.read_ns)
+            time.add("shift", cfg.shifts_per_add * t.shift_ns)
+            time.add("write", cfg.writes_per_add * t.write_ns)
+            time.add("process", cfg.add_compute_ns)
+        else:
+            raise ValueError(f"kind must be 'mul' or 'add', got {kind!r}")
+        return time
+
+    def op_energy_pj(self, kind: str) -> EnergyBreakdown:
+        """Energy breakdown of one scalar operation."""
+        cfg, t = self.config, self.timing
+        width = cfg.energy_row_width_words
+        energy = EnergyBreakdown()
+        if kind == "mul":
+            energy.add("read", cfg.reads_per_mul * t.read_pj / width)
+            energy.add("shift", cfg.shifts_per_mul * t.shift_pj / width)
+            energy.add("write", cfg.writes_per_mul * t.write_pj / width)
+            energy.add("compute", cfg.mul_compute_pj)
+        elif kind == "add":
+            energy.add("read", cfg.reads_per_add * t.read_pj / width)
+            energy.add("shift", cfg.shifts_per_add * t.shift_pj / width)
+            energy.add("write", cfg.writes_per_add * t.write_pj / width)
+            energy.add("compute", cfg.add_compute_pj)
+        else:
+            raise ValueError(f"kind must be 'mul' or 'add', got {kind!r}")
+        return energy
+
+    # ------------------------------------------------------------------
+    def run(self, workload: WorkloadSpec) -> RunStats:
+        ops = workload.scalar_ops()
+        mul_time = self.op_time_ns("mul")
+        add_time = self.op_time_ns("add")
+        parallel = self.config.parallel_units
+
+        time = TimeBreakdown()
+        time.merge(mul_time.scaled(ops.muls / parallel))
+        time.merge(add_time.scaled(ops.adds / parallel))
+
+        energy = EnergyBreakdown()
+        energy.merge(self.op_energy_pj("mul").scaled(float(ops.muls)))
+        energy.merge(self.op_energy_pj("add").scaled(float(ops.adds)))
+
+        stats = RunStats(
+            platform=self.name,
+            workload=workload.name,
+            time_ns=time.total_ns,
+            time_breakdown=time,
+            energy=energy,
+        )
+        stats.bump("scalar_muls", ops.muls)
+        stats.bump("scalar_adds", ops.adds)
+        return stats

@@ -1,0 +1,164 @@
+"""Traditional computing platforms: CPU-RM and CPU-DRAM.
+
+The paper obtains these baselines from gem5 full-system simulation of a
+16-core x86 CPU (Table III) with either racetrack or DDR4-2400 main
+memory.  This reproduction replaces gem5 with an additive analytic model
+
+    time = compute + memory
+    compute = flops / effective_throughput
+    memory  = traffic_bytes / effective_bandwidth
+
+whose observables match what the paper actually uses the gem5 runs for:
+
+* Fig. 3a — on the small (matrix-vector) kernels, memory stalls are
+  ~47.6 % of CPU-RM execution time;
+* Fig. 17 — CPU-DRAM is ~1.5x faster than CPU-RM on average (shorter
+  access latency / higher bandwidth);
+* the absolute scale of a naive, cache-unfriendly PolyBench run (the
+  effective throughput is far below peak because PolyBench kernels are
+  unblocked triple loops).
+
+Traffic: streaming kernels (matrix-vector class) read each operand once;
+naive matrix-matrix kernels miss heavily on the column-strided operand,
+modelled as ``mm_bytes_per_iter`` bytes per inner-loop iteration.
+
+Energy: the model counts functional-unit energy per flop plus memory
+energy per byte moved, the same accounting scope the PIM platforms use
+(no static/control power on either side) — the paper's Fig. 18 ratios
+only make sense under this scope; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import Platform
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.workloads.spec import MatrixOpKind, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CpuModelConfig:
+    """Constants of the analytic CPU model.
+
+    Attributes:
+        effective_gflops: sustained scalar throughput of the PolyBench
+            loops (naive code; far below the 16-core peak).
+        memory_bandwidth_gbps: sustained main-memory bandwidth.
+        element_bytes: bytes per matrix element on the CPU (PolyBench
+            uses doubles; the effective figure folds in prefetch).
+        mm_bytes_per_iter: memory traffic per inner-loop iteration of a
+            naive matrix-matrix kernel (column-stride misses).
+        flop_energy_pj: functional-unit energy per scalar operation.
+        mem_energy_pj_per_byte: memory energy per byte moved.
+    """
+
+    name: str = "CPU"
+    effective_gflops: float = 0.78
+    memory_bandwidth_gbps: float = 1.7
+    element_bytes: float = 4.0
+    mm_bytes_per_iter: float = 3.6
+    flop_energy_pj: float = 6.0
+    mem_energy_pj_per_byte: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "effective_gflops",
+            "memory_bandwidth_gbps",
+            "element_bytes",
+            "mm_bytes_per_iter",
+            "flop_energy_pj",
+            "mem_energy_pj_per_byte",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: CPU with racetrack main memory: RM's longer effective access path
+#: (shift-before-access) lowers both sustained bandwidth and raises
+#: per-byte energy slightly relative to DRAM's burst interface; DRAM
+#: spends extra energy on refresh/precharge.
+CPU_RM_CONFIG = CpuModelConfig(
+    name="CPU-RM",
+    memory_bandwidth_gbps=1.7,
+    mem_energy_pj_per_byte=1.9,
+)
+CPU_DRAM_CONFIG = CpuModelConfig(
+    name="CPU-DRAM",
+    memory_bandwidth_gbps=5.15,
+    mem_energy_pj_per_byte=2.0,
+)
+
+
+class CpuPlatform(Platform):
+    """Analytic CPU platform (base for CPU-RM / CPU-DRAM)."""
+
+    def __init__(self, config: CpuModelConfig) -> None:
+        self.config = config
+        self.name = config.name
+
+    # ------------------------------------------------------------------
+    def traffic_bytes(self, workload: WorkloadSpec) -> float:
+        """Main-memory traffic of one workload under the cache model."""
+        cfg = self.config
+        total = 0.0
+        for op in workload.ops:
+            if op.kind is MatrixOpKind.MATMUL:
+                m, k, n = op.dims
+                total += m * k * n * cfg.mm_bytes_per_iter
+            else:
+                total += (
+                    (op.operand_words + op.result_words) * cfg.element_bytes
+                )
+        return total
+
+    def compute_ns(self, workload: WorkloadSpec) -> float:
+        return workload.scalar_ops().flops / self.config.effective_gflops
+
+    def memory_ns(self, workload: WorkloadSpec) -> float:
+        return self.traffic_bytes(workload) / self.config.memory_bandwidth_gbps
+
+    # ------------------------------------------------------------------
+    def run(self, workload: WorkloadSpec) -> RunStats:
+        compute_ns = self.compute_ns(workload)
+        memory_ns = self.memory_ns(workload)
+        time = TimeBreakdown()
+        time.add("process", compute_ns)
+        # The CPU's memory stalls are read-dominated (loads on the
+        # critical path); split nominally 80/20 read/write.
+        time.add("read", memory_ns * 0.8)
+        time.add("write", memory_ns * 0.2)
+
+        ops = workload.scalar_ops()
+        energy = EnergyBreakdown()
+        energy.add("compute", ops.flops * self.config.flop_energy_pj)
+        traffic = self.traffic_bytes(workload)
+        energy.add(
+            "read", traffic * 0.8 * self.config.mem_energy_pj_per_byte
+        )
+        energy.add(
+            "write", traffic * 0.2 * self.config.mem_energy_pj_per_byte
+        )
+        stats = RunStats(
+            platform=self.name,
+            workload=workload.name,
+            time_ns=compute_ns + memory_ns,
+            time_breakdown=time,
+            energy=energy,
+        )
+        stats.bump("flops", ops.flops)
+        return stats
+
+
+class CpuRM(CpuPlatform):
+    """The paper's CPU-RM baseline (speed-up reference of Fig. 17)."""
+
+    def __init__(self, config: CpuModelConfig = CPU_RM_CONFIG) -> None:
+        super().__init__(config)
+
+
+class CpuDRAM(CpuPlatform):
+    """The paper's CPU-DRAM platform (energy reference of Fig. 18)."""
+
+    def __init__(self, config: CpuModelConfig = CPU_DRAM_CONFIG) -> None:
+        super().__init__(config)

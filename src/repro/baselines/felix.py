@@ -1,0 +1,114 @@
+"""FELIX baseline: process-in-NVM via serialized bit-level operations.
+
+FELIX (ICCAD'18) performs in-cell logic in resistive NVM.  Like ELP2IM
+it decomposes arithmetic into serialized bit-level logic steps, but NVM
+cells hold state without refresh and the logic executes in-cell, so the
+DRAM precharge penalty disappears and single steps are cheaper — the
+paper measures it at ~8.7x over CPU-RM (vs ELP2IM's ~3.6x) while still
+losing to the word-level arithmetic of CORUSCANT and StreamPIM.
+
+FELIX's native gates (OR/NAND in one cycle, others composed) need
+slightly fewer steps per bit than ELP2IM's majority sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import Platform
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class FelixConfig:
+    """Constants of the FELIX per-operation model.
+
+    Attributes:
+        word_bits: datapath width.
+        steps_per_bit_add: in-cell logic steps per result bit of an
+            addition (FELIX fuses gates, needing fewer steps than a
+            majority-based DRAM sequence).
+        step_ns: one in-cell logic step (no precharge).
+        step_energy_pj: energy of one row-wide in-cell step.
+        row_width_words: useful vector words advanced per step (sets
+            throughput).
+        energy_row_width_words: words over which a step's energy
+            amortises (in-cell logic drives the full row).
+        parallel_units: concurrently computing subarrays.
+    """
+
+    word_bits: int = 8
+    steps_per_bit_add: int = 3
+    step_ns: float = 49.0
+    step_energy_pj: float = 30.0
+    row_width_words: int = 64
+    energy_row_width_words: int = 8192
+    parallel_units: int = 512
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0 or self.steps_per_bit_add <= 0:
+            raise ValueError("word_bits/steps_per_bit_add must be positive")
+        if self.step_ns <= 0 or self.step_energy_pj <= 0:
+            raise ValueError("step cost must be positive")
+        if self.row_width_words <= 0 or self.parallel_units <= 0:
+            raise ValueError("widths/parallelism must be positive")
+
+    @property
+    def steps_per_add(self) -> int:
+        return self.steps_per_bit_add * self.word_bits
+
+    @property
+    def steps_per_mul(self) -> int:
+        partial_products = self.word_bits
+        addition_steps = (
+            (self.word_bits - 1) * self.steps_per_bit_add * 2 * self.word_bits
+        )
+        return partial_products + addition_steps
+
+
+class FelixPlatform(Platform):
+    """Per-operation analytic model of FELIX."""
+
+    name = "FELIX"
+
+    def __init__(self, config: FelixConfig | None = None) -> None:
+        self.config = config or FelixConfig()
+
+    def run(self, workload: WorkloadSpec) -> RunStats:
+        cfg = self.config
+        ops = workload.scalar_ops()
+        per_mul_ns = cfg.steps_per_mul * cfg.step_ns / cfg.row_width_words
+        per_add_ns = cfg.steps_per_add * cfg.step_ns / cfg.row_width_words
+        total_ns = (
+            ops.muls * per_mul_ns + ops.adds * per_add_ns
+        ) / cfg.parallel_units
+
+        # In-cell logic: each step both accesses and computes; NVM writes
+        # the result state in the same step.  Charge half as write-class
+        # (cell state change) and half as process.
+        time = TimeBreakdown()
+        time.add("write", total_ns * 0.5)
+        time.add("process", total_ns * 0.5)
+
+        per_mul_pj = (
+            cfg.steps_per_mul * cfg.step_energy_pj / cfg.energy_row_width_words
+        )
+        per_add_pj = (
+            cfg.steps_per_add * cfg.step_energy_pj / cfg.energy_row_width_words
+        )
+        total_pj = ops.muls * per_mul_pj + ops.adds * per_add_pj
+        energy = EnergyBreakdown()
+        energy.add("write", total_pj * 0.5)
+        energy.add("compute", total_pj * 0.5)
+
+        stats = RunStats(
+            platform=self.name,
+            workload=workload.name,
+            time_ns=total_ns,
+            time_breakdown=time,
+            energy=energy,
+        )
+        stats.bump("scalar_muls", ops.muls)
+        stats.bump("scalar_adds", ops.adds)
+        return stats

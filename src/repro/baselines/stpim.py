@@ -1,0 +1,115 @@
+"""StreamPIM as an evaluation platform (the paper's StPIM).
+
+Adapts the real simulator (:mod:`repro.core`) to the common
+:class:`~repro.baselines.common.Platform` interface: a workload spec's
+operation list is materialised as a :class:`~repro.core.task.PimTask`
+(shapes only — platform runs are timing/energy runs) and executed under
+the configured placement/scheduling policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import Platform
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.task import PimTask, TaskOp, create_pim_task
+from repro.sim.stats import RunStats
+from repro.workloads.spec import MatrixOpKind, WorkloadSpec
+
+_KIND_TO_TASKOP = {
+    MatrixOpKind.MATMUL: TaskOp.MATMUL,
+    MatrixOpKind.MATVEC: TaskOp.MATVEC,
+    MatrixOpKind.MATVEC_T: TaskOp.MATVEC_T,
+    MatrixOpKind.MAT_ADD: TaskOp.MAT_ADD,
+    MatrixOpKind.MAT_SCALE: TaskOp.MAT_SCALE,
+    MatrixOpKind.VEC_ADD: TaskOp.VEC_ADD,
+    MatrixOpKind.VEC_SCALE: TaskOp.VEC_SCALE,
+    MatrixOpKind.DOT: TaskOp.DOT,
+}
+
+
+def spec_to_task(
+    spec: WorkloadSpec, device: Optional[StreamPIMDevice] = None
+) -> PimTask:
+    """Materialise a timing-oriented PimTask from a workload spec.
+
+    Every operation gets fresh anonymous operands of the right shapes
+    (zero-filled; platform runs disable functional evaluation), so this
+    works at paper-scale dimensions without generating gigabytes of
+    random data.
+    """
+    task = create_pim_task(device)
+    task.add_scalar("alpha", 3)
+    for index, op in enumerate(spec.ops):
+        kind = op.kind
+        a, b, out = f"a{index}", f"b{index}", f"c{index}"
+        if kind is MatrixOpKind.MATMUL:
+            m, k, n = op.dims
+            task.add_matrix(a, shape=(m, k))
+            task.add_matrix(b, shape=(k, n))
+            task.add_matrix(out, shape=(m, n))
+            task.add_operation(TaskOp.MATMUL, a, b, out)
+        elif kind in (MatrixOpKind.MATVEC, MatrixOpKind.MATVEC_T):
+            m, k = op.dims
+            task.add_matrix(a, shape=(m, k))
+            x_len = k if kind is MatrixOpKind.MATVEC else m
+            y_len = m if kind is MatrixOpKind.MATVEC else k
+            task.add_matrix(b, shape=(1, x_len))
+            task.add_matrix(out, shape=(1, y_len))
+            base = (
+                TaskOp.MATVEC if kind is MatrixOpKind.MATVEC else TaskOp.MATVEC_T
+            )
+            if op.accumulate:
+                base = (
+                    TaskOp.MATVEC_ACC
+                    if kind is MatrixOpKind.MATVEC
+                    else TaskOp.MATVEC_T_ACC
+                )
+            task.add_operation(base, a, b, out)
+        elif kind is MatrixOpKind.MAT_ADD:
+            m, k = op.dims
+            for name in (a, b, out):
+                task.add_matrix(name, shape=(m, k))
+            task.add_operation(TaskOp.MAT_ADD, a, b, out)
+        elif kind is MatrixOpKind.MAT_SCALE:
+            m, k = op.dims
+            task.add_matrix(a, shape=(m, k))
+            task.add_matrix(out, shape=(m, k))
+            task.add_operation(TaskOp.MAT_SCALE, a, out, scalar="alpha")
+        elif kind is MatrixOpKind.VEC_ADD:
+            (k,) = op.dims
+            for name in (a, b, out):
+                task.add_matrix(name, shape=(1, k))
+            task.add_operation(TaskOp.VEC_ADD, a, b, out)
+        elif kind is MatrixOpKind.VEC_SCALE:
+            (k,) = op.dims
+            task.add_matrix(a, shape=(1, k))
+            task.add_matrix(out, shape=(1, k))
+            task.add_operation(TaskOp.VEC_SCALE, a, out, scalar="alpha")
+        elif kind is MatrixOpKind.DOT:
+            (k,) = op.dims
+            task.add_matrix(a, shape=(1, k))
+            task.add_matrix(b, shape=(1, k))
+            task.add_matrix(out, shape=(1, 1))
+            task.add_operation(TaskOp.DOT, a, b, out)
+        else:  # pragma: no cover - exhaustive over MatrixOpKind
+            raise NotImplementedError(str(kind))
+    return task
+
+
+class StreamPIMPlatform(Platform):
+    """The paper's StPIM platform (full optimisations, RM bus)."""
+
+    name = "StPIM"
+
+    def __init__(self, config: Optional[StreamPIMConfig] = None) -> None:
+        self.config = config or StreamPIMConfig()
+
+    def run(self, workload: WorkloadSpec) -> RunStats:
+        device = StreamPIMDevice(self.config)
+        task = spec_to_task(workload, device)
+        report = task.run(workload.name, functional=False)
+        stats = report.stats
+        stats.platform = self.name
+        return stats

@@ -1,0 +1,184 @@
+"""StPIM-e: StreamPIM with traditional electrical in-subarray buses.
+
+The ablation platform of Figs. 17/18: the RM processor and all
+optimisations stay, but data moves between mats and the processor over
+an electrical bus, so every operand word undergoes electromagnetic
+conversion — a read at the mat (magnetic -> electric) and a write into
+the processor's input nanowires (electric -> magnetic), and the reverse
+for results.  Conversion is word-granular (the processor consumes
+operands serially) and cannot overlap with the shift-based compute
+inside the subarray, so it serialises with the pipeline instead of
+streaming through it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.common import Platform
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.subarray_engine import SubarrayEngine, VPCProfile
+from repro.baselines.stpim import spec_to_task
+from repro.isa.vpc import VPC, VPCOpcode
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class StpimEConfig:
+    """Electrical-bus conversion model.
+
+    Attributes:
+        conversions_per_word: store-and-forward hops each operand word
+            undergoes on its way through the electrical path (mat row
+            buffer, bus interface buffer, processor input latch — each a
+            sense+drive pair), setting the serialised latency.
+        energy_conversions_per_word: true electromagnetic conversion
+            events per word (one sense at the mat, one magnetic write at
+            the processor input); only these consume access energy.
+        energy_row_width_words: row width over which conversion access
+            energy amortises (same accounting as everywhere else).
+    """
+
+    conversions_per_word: int = 6
+    energy_conversions_per_word: int = 2
+    energy_row_width_words: int = 64
+
+    def __post_init__(self) -> None:
+        if self.conversions_per_word <= 0:
+            raise ValueError("conversions_per_word must be positive")
+        if self.energy_row_width_words <= 0:
+            raise ValueError("energy_row_width_words must be positive")
+
+
+class ElectricalSubarrayEngine(SubarrayEngine):
+    """Subarray engine with electrical (conversion-based) data movement."""
+
+    def __init__(self, *args, econfig: Optional[StpimEConfig] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.econfig = econfig or StpimEConfig()
+
+    # ------------------------------------------------------------------
+    def _conversion_ns(self, words: int) -> float:
+        """Word-granular conversion latency.
+
+        One conversion averages a read and a write (magnetic->electric is
+        a sense, electric->magnetic is a write), so ``k`` conversions per
+        word cost ``k * (read + write) / 2``.
+        """
+        t = self.timing
+        per_conversion = (t.read_ns + t.write_ns) / 2.0
+        return words * self.econfig.conversions_per_word * per_conversion
+
+    def _conversion_energy(self, words: int) -> EnergyBreakdown:
+        t = self.timing
+        width = self.econfig.energy_row_width_words
+        half = words * self.econfig.energy_conversions_per_word / 2.0
+        energy = EnergyBreakdown()
+        energy.add("read", half * t.read_pj / width)
+        energy.add("write", half * t.write_pj / width)
+        return energy
+
+    # ------------------------------------------------------------------
+    def profile(self, vpc: VPC) -> VPCProfile:
+        if vpc.opcode is VPCOpcode.TRAN:
+            words = vpc.size
+            conv_ns = self._conversion_ns(words)
+            time = TimeBreakdown()
+            time.add("read", conv_ns * 0.3)
+            time.add("write", conv_ns * 0.7)
+            return VPCProfile(
+                cycles=math.ceil(conv_ns / self.timing.cycle_ns),
+                time=time,
+                energy=self._conversion_energy(words),
+            )
+        n = vpc.size
+        n_operands = len(vpc.operands)
+        result_words = 1 if vpc.opcode is VPCOpcode.MUL else n
+        conv_words = n * n_operands + result_words
+        conv_ns = self._conversion_ns(conv_words)
+        compute_cycles = self.processor.compute_cycles(vpc.opcode, n)
+        compute_ns = compute_cycles * self.timing.cycle_ns
+        total_ns = conv_ns + compute_ns  # conversion serialises
+
+        time = TimeBreakdown()
+        time.add("read", conv_ns * 0.3)
+        time.add("write", conv_ns * 0.7)
+        time.add("process", compute_ns)
+        energy = self._conversion_energy(conv_words)
+        energy.add(
+            "compute", self.processor.compute_energy_pj(vpc.opcode, n)
+        )
+        return VPCProfile(
+            cycles=math.ceil(total_ns / self.timing.cycle_ns),
+            time=time,
+            energy=energy,
+        )
+
+    def batch_profile(self, vpcs_alike: VPC, count: int) -> VPCProfile:
+        """Back-to-back VPCs: conversion repeats per VPC, no streaming."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        single = self.profile(vpcs_alike)
+        if count == 1:
+            return single
+        if vpcs_alike.opcode is VPCOpcode.TRAN:
+            scale = float(count)
+            return VPCProfile(
+                cycles=single.cycles * count,
+                time=single.time.scaled(scale),
+                energy=single.energy.scaled(scale),
+            )
+        # Follow-on VPCs skip the pipeline fill of the processor but pay
+        # the full conversion every time.
+        n = vpcs_alike.size
+        interval = self.processor.initiation_interval(vpcs_alike.opcode)
+        steady_compute_ns = n * interval * self.timing.cycle_ns
+        n_operands = len(vpcs_alike.operands)
+        result_words = 1 if vpcs_alike.opcode is VPCOpcode.MUL else n
+        conv_ns = self._conversion_ns(n * n_operands + result_words)
+        steady_ns = conv_ns + steady_compute_ns
+        total_ns = single.time.total_ns + (count - 1) * steady_ns
+        time = TimeBreakdown(
+            read_ns=single.time.read_ns + (count - 1) * conv_ns * 0.3,
+            write_ns=single.time.write_ns + (count - 1) * conv_ns * 0.7,
+            shift_ns=single.time.shift_ns,
+            process_ns=single.time.process_ns
+            + (count - 1) * steady_compute_ns,
+            overlapped_ns=single.time.overlapped_ns,
+        )
+        return VPCProfile(
+            cycles=math.ceil(total_ns / self.timing.cycle_ns),
+            time=time,
+            energy=single.energy.scaled(float(count)),
+        )
+
+
+class StpimEPlatform(Platform):
+    """StreamPIM with electrical in-subarray buses (StPIM-e)."""
+
+    name = "StPIM-e"
+
+    def __init__(
+        self,
+        config: Optional[StreamPIMConfig] = None,
+        econfig: Optional[StpimEConfig] = None,
+    ) -> None:
+        self.config = config or StreamPIMConfig()
+        self.econfig = econfig or StpimEConfig()
+
+    def run(self, workload: WorkloadSpec) -> RunStats:
+        device = StreamPIMDevice(self.config)
+        device.engine_model = ElectricalSubarrayEngine(
+            processor=device.processor,
+            bus=device.bus,
+            timing=device.timing,
+            econfig=self.econfig,
+        )
+        task = spec_to_task(workload, device)
+        report = task.run(workload.name, functional=False)
+        stats = report.stats
+        stats.platform = self.name
+        return stats

@@ -1,0 +1,294 @@
+"""Command-line interface for the StreamPIM reproduction.
+
+Subcommands:
+
+* ``repro-streampim run <workload> [--platform P] [--scale S]`` — run one
+  workload on one platform and print its timing/energy report;
+* ``repro-streampim sweep [--workloads ...]`` — regenerate the Fig. 17/18
+  platform comparison table;
+* ``repro-streampim counts`` — print the Table IV VPC-count comparison;
+* ``repro-streampim info`` — show the default device configuration and
+  area breakdown;
+* ``repro-streampim trace <workload> --scale S [-o FILE]`` — enumerate a
+  VPC trace at reduced scale and write it out.
+
+Installed as the ``repro-streampim`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.area import AreaModel
+from repro.analysis.report import format_table
+from repro.baselines import default_platforms
+from repro.isa.trace import read_trace, write_trace
+from repro.workloads import (
+    DNN_WORKLOADS,
+    EXTRA_WORKLOADS,
+    POLYBENCH,
+    dnn_workload,
+    extra_workload,
+    polybench_workload,
+)
+
+
+def _lookup_workload(name: str, scale: float):
+    if name in POLYBENCH:
+        return polybench_workload(name, scale=scale)
+    if name in DNN_WORKLOADS:
+        if scale != 1.0:
+            raise SystemExit("DNN workloads do not support --scale")
+        return dnn_workload(name)
+    if name in EXTRA_WORKLOADS:
+        return extra_workload(name, scale=scale)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose from "
+        f"{sorted([*POLYBENCH, *DNN_WORKLOADS, *EXTRA_WORKLOADS])}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _lookup_workload(args.workload, args.scale)
+    platforms = default_platforms()
+    if args.platform not in platforms:
+        raise SystemExit(
+            f"unknown platform {args.platform!r}; choose from "
+            f"{sorted(platforms)}"
+        )
+    stats = platforms[args.platform].run(spec)
+    print(f"workload : {spec.name} ({spec.description})")
+    print(f"platform : {stats.platform}")
+    print(f"time     : {stats.time_ns / 1e6:.3f} ms")
+    print(f"energy   : {stats.energy.total_pj / 1e9:.3f} mJ")
+    fractions = stats.time_breakdown.fractions()
+    shares = ", ".join(
+        f"{k} {v:.1%}" for k, v in fractions.items() if v > 0.0005
+    )
+    print(f"time breakdown : {shares}")
+    fractions = stats.energy.fractions()
+    shares = ", ".join(
+        f"{k} {v:.1%}" for k, v in fractions.items() if v > 0.0005
+    )
+    print(f"energy breakdown : {shares}")
+    if stats.counters:
+        print(f"counters : {stats.counters}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    names = args.workloads or list(POLYBENCH)
+    specs = [_lookup_workload(name, args.scale) for name in names]
+    platforms = default_platforms()
+    results = {
+        pname: {spec.name: platform.run(spec) for spec in specs}
+        for pname, platform in platforms.items()
+    }
+    rows = []
+    for pname in platforms:
+        speedups = [
+            results["CPU-RM"][w].time_ns / results[pname][w].time_ns
+            for w in names
+        ]
+        energies = [
+            results[pname][w].energy.total_pj
+            / results["StPIM"][w].energy.total_pj
+            for w in names
+        ]
+        rows.append(
+            [
+                pname,
+                sum(speedups) / len(speedups),
+                sum(energies) / len(energies),
+            ]
+        )
+    print(f"workloads: {', '.join(names)} (scale {args.scale})")
+    print(
+        format_table(
+            ["platform", "avg speedup vs CPU-RM", "avg energy vs StPIM"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_counts(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in POLYBENCH.items():
+        pim, move = spec.vpc_counts()
+        rows.append(
+            [
+                name,
+                f"{pim:,}",
+                f"{spec.paper_pim_vpcs:.3g}",
+                f"{move:,}",
+                f"{spec.paper_move_vpcs:.3g}",
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "#PIM-VPC", "paper", "#move-VPC", "paper"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.core.device import StreamPIMConfig
+
+    config = StreamPIMConfig()
+    geometry = config.geometry
+    timing = config.timing
+    print("StreamPIM default configuration (paper Table III)")
+    print(
+        f"  device   : {geometry.banks} banks "
+        f"({geometry.pim_banks} PIM) x {geometry.subarrays_per_bank} "
+        f"subarrays, {geometry.capacity_bytes / 2**30:.0f} GiB"
+    )
+    print(f"  PIM subarrays : {geometry.pim_subarrays}")
+    print(
+        f"  latencies : read {timing.read_ns} ns, write "
+        f"{timing.write_ns} ns, shift {timing.shift_ns} ns"
+    )
+    print(
+        f"  energies  : read {timing.read_pj} pJ, write "
+        f"{timing.write_pj} pJ, shift {timing.shift_pj} pJ, "
+        f"add {timing.pim_add_pj} pJ, mul {timing.pim_mul_pj} pJ"
+    )
+    print(
+        f"  core clock : {timing.core_freq_mhz:.0f} MHz, process "
+        f"{timing.process_nm:.0f} nm"
+    )
+    print(
+        f"  bus : {config.bus.segment_domains}-domain segments, "
+        f"{config.bus.n_segments} hops"
+    )
+    model = AreaModel()
+    breakdown = model.breakdown()
+    print("area breakdown:")
+    print(f"  RM bus        : {breakdown.fraction('bus'):.2%}")
+    print(f"  RM processor  : {breakdown.fraction('processor'):.2%}")
+    print(
+        f"  transfer tracks (of PIM bank) : "
+        f"{model.transfer_fraction_of_pim_bank_area():.2%}"
+    )
+    from repro.analysis.datasheet import build_datasheet
+
+    print("derived datasheet:")
+    for line in build_datasheet(config).render().splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec = _lookup_workload(args.workload, args.scale)
+    if spec.build is None:
+        raise SystemExit(f"workload {spec.name!r} has no task builder")
+    task = spec.build_task()
+    trace = task.to_trace()
+    stats = trace.stats
+    print(
+        f"{spec.name} @ scale {args.scale}: {stats.pim_vpcs:,} PIM VPCs, "
+        f"{stats.move_vpcs:,} move VPCs"
+    )
+    if args.output:
+        write_trace(trace, args.output)
+        print(f"wrote {len(trace):,} commands to {args.output}")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    """List every available workload with its shape summary."""
+    rows = []
+    for name, spec in POLYBENCH.items():
+        pim, move = spec.vpc_counts()
+        rows.append(
+            [name, "polybench", f"{pim:,}", f"{move:,}", spec.description]
+        )
+    for name, spec in DNN_WORKLOADS.items():
+        pim, move = spec.vpc_counts()
+        rows.append([name, "dnn", f"{pim:,}", f"{move:,}", spec.description])
+    for name, spec in EXTRA_WORKLOADS.items():
+        pim, move = spec.vpc_counts()
+        rows.append(
+            [name, "extra", f"{pim:,}", f"{move:,}", spec.description]
+        )
+    print(
+        format_table(
+            ["workload", "suite", "#PIM-VPC", "#move-VPC", "description"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a saved VPC trace through the event-driven device."""
+    from repro.core.device import StreamPIMDevice
+
+    trace = read_trace(args.trace)
+    device = StreamPIMDevice()
+    stats = device.execute_trace(trace, functional=False)
+    print(f"replayed {len(trace):,} commands from {args.trace}")
+    print(f"time   : {stats.time_ns / 1e3:.2f} us")
+    print(f"energy : {stats.energy.total_pj / 1e3:.2f} nJ")
+    fractions = stats.time_breakdown.fractions()
+    shares = ", ".join(
+        f"{k} {v:.1%}" for k, v in fractions.items() if v > 0.0005
+    )
+    print(f"time breakdown : {shares}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-streampim",
+        description="StreamPIM (HPCA 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload on one platform")
+    run.add_argument("workload")
+    run.add_argument("--platform", default="StPIM")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="Fig. 17/18 platform comparison")
+    sweep.add_argument("--workloads", nargs="*", default=None)
+    sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    counts = sub.add_parser("counts", help="Table IV VPC counts")
+    counts.set_defaults(func=_cmd_counts)
+
+    info = sub.add_parser("info", help="device configuration and area")
+    info.set_defaults(func=_cmd_info)
+
+    trace = sub.add_parser("trace", help="enumerate a VPC trace")
+    trace.add_argument("workload")
+    trace.add_argument("--scale", type=float, default=0.01)
+    trace.add_argument("-o", "--output", default=None)
+    trace.set_defaults(func=_cmd_trace)
+
+    replay = sub.add_parser(
+        "replay", help="replay a saved trace on the event engine"
+    )
+    replay.add_argument("trace")
+    replay.set_defaults(func=_cmd_replay)
+
+    workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""StreamPIM core: the paper's primary contribution.
+
+The RM processor (section III-C), the segmented RM bus (III-D), the
+subarray PIM dataflow (III-F), the bank controller and device control
+flow (IV-B), the ``distribute``/``unblock`` parallelism optimisations
+(IV-C), and the host programming interface (IV-D).
+"""
+
+from repro.core.processor import RMProcessor, RMProcessorConfig
+from repro.core.rmbus import RMBus, RMBusConfig
+from repro.core.subarray_engine import SubarrayEngine, VPCProfile
+from repro.core.placement import (
+    PlacementPolicy,
+    MatrixHandle,
+    PlacementPlan,
+    Placer,
+)
+from repro.core.scheduler import Scheduler, SchedulerPolicy, Round
+from repro.core.bank_controller import BankController, DecodedVPC
+from repro.core.host_interface import (
+    HostProtocolConfig,
+    HostProtocolSimulator,
+    ProtocolStats,
+)
+from repro.core.redundancy import (
+    RedundancyAnalysis,
+    RedundancyConfig,
+    RedundancyMode,
+)
+from repro.core.device import StreamPIMDevice, StreamPIMConfig
+from repro.core.task import PimTask, create_pim_task, TaskOp, RunReport
+
+__all__ = [
+    "RMProcessor",
+    "RMProcessorConfig",
+    "RMBus",
+    "RMBusConfig",
+    "SubarrayEngine",
+    "VPCProfile",
+    "PlacementPolicy",
+    "MatrixHandle",
+    "PlacementPlan",
+    "Placer",
+    "Scheduler",
+    "SchedulerPolicy",
+    "Round",
+    "BankController",
+    "DecodedVPC",
+    "HostProtocolConfig",
+    "HostProtocolSimulator",
+    "ProtocolStats",
+    "RedundancyAnalysis",
+    "RedundancyConfig",
+    "RedundancyMode",
+    "StreamPIMDevice",
+    "StreamPIMConfig",
+    "PimTask",
+    "create_pim_task",
+    "TaskOp",
+    "RunReport",
+]

@@ -1,0 +1,135 @@
+"""Bank controller: VPC decoding into subarray operations (Fig. 14).
+
+Section IV-B: a VPC executes inside a single subarray.  The device
+routes it to the bank holding its first operand; the bank controller
+then decodes it into the operation sequence the paper describes for a
+vector dot product — (1) data-transfer operations fetching the operands
+from RM mats to the RM processor, (2) the scalar multiplication /
+addition groups, (3) a data transfer storing the result to the
+destination mat — prefixed with read/write commands whenever an operand
+or the destination lives in another subarray.
+
+The decode is purely structural (it produces :class:`BankCommand`
+sequences); the timing/energy of each command class is owned by the
+subarray engine and the scheduler, which keeps a single source of truth
+for costs.  The event-driven device executes semantically equivalent
+steps; tests cross-check the decode against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.isa.vpc import BankCommand, BankOp, VPC, VPCOpcode
+from repro.rm.address import AddressMap, DeviceGeometry
+
+
+@dataclass(frozen=True)
+class DecodedVPC:
+    """One VPC decoded into its bank-command sequence.
+
+    Attributes:
+        vpc: the originating command.
+        home: (bank, subarray) where the compute executes.
+        commands: ordered bank commands.
+    """
+
+    vpc: VPC
+    home: Tuple[int, int]
+    commands: Tuple[BankCommand, ...]
+
+    @property
+    def rw_commands(self) -> Tuple[BankCommand, ...]:
+        return tuple(c for c in self.commands if c.uses_rw)
+
+    @property
+    def pim_commands(self) -> Tuple[BankCommand, ...]:
+        return tuple(c for c in self.commands if not c.uses_rw)
+
+
+class BankController:
+    """Decodes VPCs for the subarrays of one device geometry."""
+
+    def __init__(self, geometry: Optional[DeviceGeometry] = None) -> None:
+        self.geometry = geometry or DeviceGeometry()
+        self.address_map = AddressMap(self.geometry)
+        self.decoded_count = 0
+
+    # ------------------------------------------------------------------
+    def decode(self, vpc: VPC) -> DecodedVPC:
+        """Decode one VPC into its ordered bank-command sequence."""
+        home = self.address_map.subarray_of(vpc.src1)
+        commands: List[BankCommand] = []
+        if vpc.opcode is VPCOpcode.TRAN:
+            commands.extend(self._decode_tran(vpc, home))
+        else:
+            commands.extend(self._decode_compute(vpc, home))
+        self.decoded_count += 1
+        return DecodedVPC(vpc=vpc, home=home, commands=tuple(commands))
+
+    def decode_many(self, vpcs) -> List[DecodedVPC]:
+        return [self.decode(vpc) for vpc in vpcs]
+
+    # ------------------------------------------------------------------
+    def _decode_tran(
+        self, vpc: VPC, home: Tuple[int, int]
+    ) -> List[BankCommand]:
+        destination = self.address_map.subarray_of(vpc.des)
+        if destination == home:
+            # In-subarray move: pure shift transfer on the RM bus.
+            return [
+                self._command(home, BankOp.TRANSFER_IN, vpc, vpc.size),
+                self._command(home, BankOp.TRANSFER_OUT, vpc, vpc.size),
+            ]
+        # Cross-subarray copy: read at the source, write at the target.
+        return [
+            self._command(home, BankOp.READ, vpc, vpc.size),
+            self._command(destination, BankOp.WRITE, vpc, vpc.size),
+        ]
+
+    def _decode_compute(
+        self, vpc: VPC, home: Tuple[int, int]
+    ) -> List[BankCommand]:
+        commands: List[BankCommand] = []
+        # Operand collection: remote operands are fetched with
+        # read/write command pairs first (section IV-B).
+        for operand in vpc.operands[1:]:
+            location = self.address_map.subarray_of(operand)
+            if location != home:
+                commands.append(
+                    self._command(location, BankOp.READ, vpc, vpc.size)
+                )
+                commands.append(
+                    self._command(home, BankOp.WRITE, vpc, vpc.size)
+                )
+        # (1) fetch operands from the mats to the processor via RM bus.
+        operand_words = vpc.size * len(vpc.operands)
+        commands.append(
+            self._command(home, BankOp.TRANSFER_IN, vpc, operand_words)
+        )
+        # (2)/(3) the processor's scalar operation groups.
+        commands.append(self._command(home, BankOp.COMPUTE, vpc, vpc.size))
+        # (4) store the result to the destination mat.
+        result_words = 1 if vpc.opcode is VPCOpcode.MUL else vpc.size
+        commands.append(
+            self._command(home, BankOp.TRANSFER_OUT, vpc, result_words)
+        )
+        destination = self.address_map.subarray_of(vpc.des)
+        if destination != home:
+            commands.append(
+                self._command(home, BankOp.READ, vpc, result_words)
+            )
+            commands.append(
+                self._command(destination, BankOp.WRITE, vpc, result_words)
+            )
+        return commands
+
+    @staticmethod
+    def _command(
+        location: Tuple[int, int], op: BankOp, vpc: VPC, elements: int
+    ) -> BankCommand:
+        bank, subarray = location
+        return BankCommand(
+            bank=bank, subarray=subarray, op=op, vpc=vpc, elements=elements
+        )

@@ -1,0 +1,89 @@
+"""Configuration serialisation: provenance for archived results.
+
+A results archive (``repro.analysis.results_io``) is only reproducible
+together with the exact device configuration that produced it.  This
+module round-trips :class:`~repro.core.device.StreamPIMConfig` (and all
+its nested dataclasses) through plain JSON-able dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Mapping, TextIO, Union
+
+from repro.core.device import StreamPIMConfig
+from repro.core.processor import RMProcessorConfig
+from repro.core.rmbus import RMBusConfig
+from repro.core.scheduler import PrepCostModel, SchedulerPolicy
+from repro.rm.address import DeviceGeometry
+from repro.rm.bank import BankConfig
+from repro.rm.mat import MatConfig
+from repro.rm.subarray import SubarrayConfig
+from repro.rm.timing import RMTimingConfig
+
+_FORMAT_VERSION = 1
+
+
+def config_to_dict(config: StreamPIMConfig) -> dict:
+    """A StreamPIMConfig as a plain JSON-able dictionary."""
+    payload = asdict(config)
+    payload["scheduler_policy"] = config.scheduler_policy.value
+    payload["format_version"] = _FORMAT_VERSION
+    return payload
+
+
+def config_from_dict(payload: Mapping) -> StreamPIMConfig:
+    """Inverse of :func:`config_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported config format version {version!r}")
+    try:
+        geometry = payload["geometry"]
+        bank = geometry["bank"]
+        subarray = bank["subarray"]
+        config = StreamPIMConfig(
+            geometry=DeviceGeometry(
+                banks=geometry["banks"],
+                pim_banks=geometry["pim_banks"],
+                bank=BankConfig(
+                    subarrays=bank["subarrays"],
+                    subarray=SubarrayConfig(
+                        mats=subarray["mats"],
+                        pim_mats=subarray["pim_mats"],
+                        mat=MatConfig(**subarray["mat"]),
+                        row_buffer_bytes=subarray["row_buffer_bytes"],
+                    ),
+                    pim_bank=bank["pim_bank"],
+                ),
+            ),
+            timing=RMTimingConfig(**payload["timing"]),
+            processor=RMProcessorConfig(**payload["processor"]),
+            bus=RMBusConfig(**payload["bus"]),
+            scheduler_policy=SchedulerPolicy(payload["scheduler_policy"]),
+            prep_model=PrepCostModel(**payload["prep_model"]),
+            vpc_decode_ns=payload["vpc_decode_ns"],
+        )
+    except KeyError as missing:
+        raise ValueError(f"malformed config payload: missing {missing}")
+    return config
+
+
+def save_config(
+    config: StreamPIMConfig, target: Union[str, Path, TextIO]
+) -> None:
+    """Write a configuration as JSON."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_config(config, handle)
+        return
+    json.dump(config_to_dict(config), target, indent=1)
+
+
+def load_config(source: Union[str, Path, TextIO]) -> StreamPIMConfig:
+    """Reload a configuration written by :func:`save_config`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_config(handle)
+    return config_from_dict(json.load(source))

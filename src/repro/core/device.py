@@ -1,0 +1,330 @@
+"""StreamPIM device: VPC queue, bank controllers, execution engines.
+
+Implements the control flow of Fig. 14: the host streams VPCs into the
+device's command queue (asynchronous send-response); each VPC is decoded
+and dispatched to the bank/subarray holding its operands; bank
+controllers drive the RM bus and RM processor; cross-subarray operand
+collection uses read/write commands.
+
+Two execution modes are provided:
+
+* **event mode** (:meth:`StreamPIMDevice.execute_trace`) — discrete-event
+  execution of an explicit VPC stream with per-subarray blocking between
+  read/write and shift/compute operation classes.  State-accurate for
+  data (a sparse word store) and used to validate the analytic mode.
+* **analytic mode** (:meth:`StreamPIMDevice.execute_rounds`) — closed-form
+  composition of prep/compute rounds through the
+  :class:`~repro.core.scheduler.Scheduler`; this is how the paper-scale
+  workloads (millions of VPCs) are simulated in reasonable time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.processor import RMProcessor, RMProcessorConfig
+from repro.core.rmbus import RMBus, RMBusConfig
+from repro.core.scheduler import (
+    PrepCostModel,
+    Round,
+    ScheduleResult,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.core.subarray_engine import SubarrayEngine
+from repro.isa.trace import VPCTrace
+from repro.isa.vpc import VPC, VPCOpcode
+from repro.rm.address import AddressMap, DeviceGeometry
+from repro.rm.timing import RMTimingConfig
+from repro.sim.engine import Resource
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+
+
+@dataclass(frozen=True)
+class StreamPIMConfig:
+    """Complete configuration of one StreamPIM device."""
+
+    geometry: DeviceGeometry = field(default_factory=DeviceGeometry)
+    timing: RMTimingConfig = field(default_factory=RMTimingConfig)
+    processor: RMProcessorConfig = field(default_factory=RMProcessorConfig)
+    bus: RMBusConfig = field(default_factory=RMBusConfig)
+    scheduler_policy: SchedulerPolicy = SchedulerPolicy.UNBLOCK
+    prep_model: PrepCostModel = field(default_factory=PrepCostModel)
+    #: Host-link decode/dispatch overhead per VPC (ns); the asynchronous
+    #: send-response protocol pipelines this behind execution, so it is
+    #: exposed only when the device would otherwise be idle.
+    vpc_decode_ns: float = 10.0
+
+    def with_policy(self, policy: SchedulerPolicy) -> "StreamPIMConfig":
+        return StreamPIMConfig(
+            geometry=self.geometry,
+            timing=self.timing,
+            processor=self.processor,
+            bus=self.bus,
+            scheduler_policy=policy,
+            prep_model=self.prep_model,
+            vpc_decode_ns=self.vpc_decode_ns,
+        )
+
+
+class WordStore:
+    """Sparse word-addressable data store backing event-mode execution."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def read(self, address: int, length: int) -> np.ndarray:
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        return np.array(
+            [self._words.get(address + i, 0) for i in range(length)],
+            dtype=np.int64,
+        )
+
+    def write(self, address: int, values) -> None:
+        for i, value in enumerate(np.asarray(values).ravel()):
+            self._words[address + i] = int(value)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+@dataclass
+class _Span:
+    start: float
+    finish: float
+    kind: str  # "rw" or "pim"
+
+
+class StreamPIMDevice:
+    """One StreamPIM device instance."""
+
+    def __init__(self, config: Optional[StreamPIMConfig] = None) -> None:
+        self.config = config or StreamPIMConfig()
+        self.timing = self.config.timing
+        self.address_map = AddressMap(self.config.geometry)
+        self.processor = RMProcessor(self.config.processor, self.timing)
+        self.bus = RMBus(self.config.bus, self.timing)
+        self.engine_model = SubarrayEngine(
+            processor=self.processor, bus=self.bus, timing=self.timing
+        )
+        self.scheduler = Scheduler(
+            policy=self.config.scheduler_policy,
+            timing=self.timing,
+            prep_model=self.config.prep_model,
+        )
+        self.store = WordStore()
+
+    # ------------------------------------------------------------------
+    # Analytic mode
+    # ------------------------------------------------------------------
+    def execute_rounds(self, rounds: List[Round]) -> ScheduleResult:
+        """Compose prep/compute rounds under the configured policy."""
+        return self.scheduler.compose(rounds)
+
+    # ------------------------------------------------------------------
+    # Event mode
+    # ------------------------------------------------------------------
+    def execute_trace(
+        self,
+        trace: VPCTrace,
+        workload: str = "trace",
+        functional: bool = True,
+    ) -> RunStats:
+        """Execute an explicit VPC stream with per-subarray blocking.
+
+        VPCs are issued in order; each waits for the subarrays it touches
+        (and, for read/write-class transfers, the shared internal bus).
+        The asynchronous send-response protocol lets independent VPCs on
+        different subarrays overlap.
+
+        Args:
+            trace: the VPC stream.
+            workload: label for the returned stats.
+            functional: move/compute real data through the word store.
+
+        Returns:
+            RunStats with total time, time/energy breakdowns and VPC
+            counters.
+        """
+        subarrays: Dict[Tuple[int, int], Resource] = {}
+        internal_bus = Resource("internal-bus")
+        spans: List[_Span] = []
+        energy = EnergyBreakdown()
+        decode_ready = 0.0
+        finish_time = 0.0
+        pim_vpcs = 0
+        move_vpcs = 0
+
+        def resource(key: Tuple[int, int]) -> Resource:
+            if key not in subarrays:
+                subarrays[key] = Resource(f"subarray-{key}")
+            return subarrays[key]
+
+        for vpc in trace:
+            decode_ready += self.config.vpc_decode_ns
+            if vpc.is_compute:
+                pim_vpcs += 1
+                finish = self._run_compute(
+                    vpc, decode_ready, resource, spans, energy
+                )
+            else:
+                move_vpcs += 1
+                finish = self._run_tran(
+                    vpc, decode_ready, resource, internal_bus, spans, energy
+                )
+            finish_time = max(finish_time, finish)
+            if self._functional_enabled(functional):
+                self._apply_functional(vpc)
+
+        time = _spans_to_breakdown(spans)
+        stats = RunStats(
+            platform="StPIM",
+            workload=workload,
+            time_ns=finish_time,
+            time_breakdown=time,
+            energy=energy,
+        )
+        stats.bump("pim_vpcs", pim_vpcs)
+        stats.bump("move_vpcs", move_vpcs)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_compute(self, vpc, ready, resource, spans, energy) -> float:
+        """Dispatch one MUL/SMUL/ADD: collect operands, run the engine."""
+        home = self.address_map.subarray_of(vpc.src1)
+        start = resource(home).earliest_start(ready)
+        # Operand collection: any operand outside the home subarray is
+        # fetched with read/write commands first (section IV-B).
+        for operand in vpc.operands[1:]:
+            location = self.address_map.subarray_of(operand)
+            if location != home:
+                copy_ns = self._copy_cost_ns(vpc.size)
+                src = resource(location)
+                begin = max(
+                    src.earliest_start(start),
+                    resource(home).earliest_start(start),
+                )
+                src.acquire(begin, copy_ns)
+                _, start = resource(home).acquire(begin, copy_ns)
+                spans.append(_Span(begin, start, "rw"))
+                self._copy_energy(vpc.size, energy)
+        profile = self.engine_model.profile(vpc)
+        begin, finish = resource(home).acquire(start, profile.time_ns)
+        spans.append(_Span(begin, finish, "pim"))
+        energy.merge(profile.energy)
+        # Result delivery to a remote destination uses read/write.
+        dest = self.address_map.subarray_of(vpc.des)
+        if dest != home:
+            result_words = 1 if vpc.opcode is VPCOpcode.MUL else vpc.size
+            copy_ns = self._copy_cost_ns(result_words)
+            begin, finish = resource(dest).acquire(finish, copy_ns)
+            spans.append(_Span(begin, finish, "rw"))
+            self._copy_energy(result_words, energy)
+        return finish
+
+    def _run_tran(
+        self, vpc, ready, resource, internal_bus, spans, energy
+    ) -> float:
+        """Dispatch one TRAN (in-subarray shift or cross-subarray copy)."""
+        src = self.address_map.subarray_of(vpc.src1)
+        dest = self.address_map.subarray_of(vpc.des)
+        if src == dest:
+            profile = self.engine_model.profile(vpc)
+            begin, finish = resource(src).acquire(ready, profile.time_ns)
+            spans.append(_Span(begin, finish, "pim"))
+            energy.merge(profile.energy)
+            return finish
+        copy_ns = self._copy_cost_ns(vpc.size)
+        begin = max(
+            internal_bus.earliest_start(ready),
+            resource(src).earliest_start(ready),
+            resource(dest).earliest_start(ready),
+        )
+        internal_bus.acquire(begin, copy_ns)
+        resource(src).acquire(begin, copy_ns)
+        _, finish = resource(dest).acquire(begin, copy_ns)
+        spans.append(_Span(begin, finish, "rw"))
+        self._copy_energy(vpc.size, energy)
+        return finish
+
+    def _copy_cost_ns(self, words: int) -> float:
+        """Read/write copy duration (row-streaming accesses)."""
+        model = self.config.prep_model
+        if self.config.scheduler_policy.overlaps_prep:
+            reads = math.ceil(words / model.access_width_words)
+            writes = math.ceil(words / model.write_access_width_words)
+        else:
+            reads = writes = math.ceil(words / model.blocked_access_width)
+        return (
+            model.activate_ns
+            + reads * self.timing.read_ns
+            + writes * self.timing.write_ns
+        )
+
+    def _copy_energy(self, words: int, energy: EnergyBreakdown) -> None:
+        """Charge one cross-subarray copy's access energy."""
+        model = self.config.prep_model
+        reads = math.ceil(words / model.access_width_words)
+        writes = math.ceil(words / model.write_access_width_words)
+        energy.add("read", reads * self.timing.read_pj)
+        energy.add("write", writes * self.timing.write_pj)
+
+    # ------------------------------------------------------------------
+    def _functional_enabled(self, requested: bool) -> bool:
+        return requested
+
+    def _apply_functional(self, vpc) -> None:
+        """Move/compute real data through the word store."""
+        if vpc.opcode is VPCOpcode.TRAN:
+            self.store.write(vpc.des, self.store.read(vpc.src1, vpc.size))
+            return
+        if vpc.opcode is VPCOpcode.SMUL:
+            src1 = self.store.read(vpc.src1, 1)
+        else:
+            src1 = self.store.read(vpc.src1, vpc.size)
+        src2 = self.store.read(vpc.src2, vpc.size)
+        result = self.processor.apply(vpc.opcode, src1, src2)
+        self.store.write(vpc.des, result)
+
+    # ------------------------------------------------------------------
+    @property
+    def pim_subarrays(self) -> int:
+        return self.config.geometry.pim_subarrays
+
+
+def _spans_to_breakdown(spans: List[_Span]) -> TimeBreakdown:
+    """Sweep busy spans into exclusive/overlapped time categories.
+
+    Time covered only by "rw" spans splits into read/write; time covered
+    only by "pim" spans becomes shift+process in the pipelined proportion
+    (the engine-level split is finer, but at trace level the subarray is
+    a black box); time covered by both classes at once is overlapped.
+    """
+    breakdown = TimeBreakdown()
+    if not spans:
+        return breakdown
+    edges = sorted({s.start for s in spans} | {s.finish for s in spans})
+    for left, right in zip(edges, edges[1:]):
+        width = right - left
+        has_rw = any(
+            s.start < right and s.finish > left and s.kind == "rw"
+            for s in spans
+        )
+        has_pim = any(
+            s.start < right and s.finish > left and s.kind == "pim"
+            for s in spans
+        )
+        if has_rw and has_pim:
+            breakdown.add("overlapped", width)
+        elif has_rw:
+            breakdown.add("read", width * 0.3)
+            breakdown.add("write", width * 0.7)
+        elif has_pim:
+            breakdown.add("process", width)
+    return breakdown

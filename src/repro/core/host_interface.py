@@ -1,0 +1,168 @@
+"""Asynchronous host-device command protocol (section IV-B, Fig. 14).
+
+"Commands are sent in an asynchronous send-response style ... incoming
+commands from the host are buffered in a VPC queue within StreamPIM
+devices.  After a VPC completes execution, a response message will be
+sent back to the host.  This asynchronous design allows the device to
+execute VPCs on different banks simultaneously."
+
+This module simulates that protocol on the discrete-event engine: the
+host streams encoded VPCs over the link (occupying it per command), the
+device buffers them in a bounded VPC queue, per-bank executors drain the
+queue concurrently, and completions travel back as responses.  The
+simulation exposes where the bottleneck sits — link, queue, or
+execution — which is the dynamic version of the granularity trade-off:
+tiny commands saturate the link and queue; vector-sized commands keep
+the banks the limiting resource.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.subarray_engine import SubarrayEngine
+from repro.isa.granularity import HostLinkModel
+from repro.isa.trace import VPCTrace
+from repro.isa.vpc import VPC
+from repro.rm.address import AddressMap, DeviceGeometry
+from repro.sim.engine import Engine, Resource
+
+
+@dataclass(frozen=True)
+class HostProtocolConfig:
+    """Protocol parameters.
+
+    Attributes:
+        link: host-device link model (bandwidth, command framing).
+        queue_depth: VPC queue capacity; the host stalls when full.
+        banks: concurrent executors (the device's PIM banks).
+    """
+
+    link: HostLinkModel = field(default_factory=HostLinkModel)
+    queue_depth: int = 64
+    banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.banks <= 0:
+            raise ValueError("banks must be positive")
+
+
+@dataclass
+class ProtocolStats:
+    """Outcome of one simulated command stream."""
+
+    total_ns: float = 0.0
+    commands: int = 0
+    responses: int = 0
+    link_busy_ns: float = 0.0
+    host_stall_ns: float = 0.0
+    peak_queue: int = 0
+    bank_busy_ns: float = 0.0
+
+    @property
+    def link_utilisation(self) -> float:
+        return self.link_busy_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def bank_utilisation(self) -> float:
+        """Average executor utilisation across the simulated span."""
+        return (
+            self.bank_busy_ns / self.total_ns if self.total_ns else 0.0
+        )
+
+    @property
+    def bottleneck(self) -> str:
+        """Which resource bound the run ("link" or "execution")."""
+        return (
+            "link" if self.link_utilisation >= self.bank_utilisation
+            else "execution"
+        )
+
+
+class HostProtocolSimulator:
+    """Event-driven simulation of the VPC send-response protocol."""
+
+    def __init__(
+        self,
+        config: Optional[HostProtocolConfig] = None,
+        geometry: Optional[DeviceGeometry] = None,
+        engine_model: Optional[SubarrayEngine] = None,
+    ) -> None:
+        self.config = config or HostProtocolConfig()
+        self.geometry = geometry or DeviceGeometry()
+        self.address_map = AddressMap(self.geometry)
+        self.engine_model = engine_model or SubarrayEngine()
+
+    def _command_ns(self) -> float:
+        link = self.config.link
+        return (
+            link.command_bytes / link.bandwidth_gbps + link.decode_ns
+        )
+
+    def _response_ns(self) -> float:
+        link = self.config.link
+        return link.response_bytes / link.bandwidth_gbps
+
+    # ------------------------------------------------------------------
+    def simulate(self, trace: VPCTrace) -> ProtocolStats:
+        """Run a VPC stream through the protocol; returns its stats."""
+        if len(trace) == 0:
+            raise ValueError("empty trace")
+        engine = Engine()
+        stats = ProtocolStats(commands=len(trace))
+        queue: Deque[VPC] = deque()
+        banks = [Resource(f"bank-{i}") for i in range(self.config.banks)]
+        pending = list(trace)
+        pending.reverse()  # pop() takes them in order
+        command_ns = self._command_ns()
+        response_ns = self._response_ns()
+        state = {"outstanding": 0}
+
+        def send_next() -> None:
+            if not pending:
+                return
+            if state["outstanding"] >= self.config.queue_depth:
+                # The VPC queue is full of un-responded commands: the
+                # host stalls until the earliest in-flight execution
+                # completes and frees a slot.
+                soonest = min(
+                    (b.busy_until for b in banks if b.busy_until > engine.now),
+                    default=engine.now,
+                )
+                stall = max(soonest - engine.now, 0.0) + 1e-9
+                stats.host_stall_ns += stall
+                engine.schedule(stall, send_next)
+                return
+            vpc = pending.pop()
+            stats.link_busy_ns += command_ns
+            queue.append(vpc)
+            state["outstanding"] += 1
+            stats.peak_queue = max(stats.peak_queue, state["outstanding"])
+            engine.schedule(command_ns, dispatch)
+            engine.schedule(command_ns, send_next)
+
+        def dispatch() -> None:
+            if not queue:
+                return
+            vpc = queue.popleft()
+            # The VPC executes in its home bank (first-operand routing).
+            bank_index, _ = self.address_map.subarray_of(vpc.src1)
+            bank = banks[bank_index % len(banks)]
+            duration = self.engine_model.profile(vpc).time_ns
+            _, finish = bank.acquire(engine.now, duration)
+            stats.bank_busy_ns += duration
+            engine.schedule_at(finish, respond)
+
+        def respond() -> None:
+            state["outstanding"] -= 1
+            stats.responses += 1
+            stats.link_busy_ns += response_ns
+
+        engine.schedule(0.0, send_next)
+        stats.total_ns = engine.run() + response_ns
+        stats.bank_busy_ns /= len(banks)
+        return stats

@@ -1,0 +1,339 @@
+"""Matrix placement across PIM subarrays (section IV-C, Fig. 15).
+
+A VPC executes inside a single subarray, so where vectors live decides
+how much subarray-level parallelism a task can reach:
+
+* **base** — rows at sequential addresses: a whole matrix typically lands
+  in one (or very few) subarrays, serialising its VPCs on one processor.
+* **distribute** — rows round-robined across all PIM subarrays, so the
+  ``n`` dot products of a matrix-vector product can run on ``min(n, S)``
+  processors at once.
+
+The placer also implements the two supporting rules of section IV-C:
+
+* *slicing* — a vector longer than a subarray's capacity is split into
+  slices placed on consecutive subarrays (each slice's partial result is
+  combined afterwards);
+* *disjoint operand/result sets* (used by ``unblock``) — operands and
+  results are placed in non-overlapping subarray sets so read/write data
+  preparation never targets a subarray that is computing.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rm.address import AddressMap, DeviceGeometry
+
+
+class PlacementPolicy(enum.Enum):
+    """Row-placement strategies of section IV-C."""
+
+    BASE = "base"
+    DISTRIBUTE = "distribute"
+
+
+@dataclass(frozen=True)
+class RowSlice:
+    """One placed slice of one matrix row.
+
+    Attributes:
+        bank: PIM bank holding the slice.
+        subarray: subarray within the bank.
+        address: linear word address of the slice's first element.
+        offset: element offset of the slice within its row.
+        length: elements in the slice.
+    """
+
+    bank: int
+    subarray: int
+    address: int
+    offset: int
+    length: int
+
+    @property
+    def subarray_key(self) -> Tuple[int, int]:
+        return (self.bank, self.subarray)
+
+
+@dataclass
+class MatrixHandle:
+    """A placed matrix: logical shape plus the location of every stored
+    row slice.
+
+    ``rows``/``cols`` are the *logical* shape.  When
+    ``stored_transposed`` is set, the physical layout holds the
+    transpose (one stored row per logical column), which is the layout
+    optimisation that lets matmul column operands stream contiguously;
+    :meth:`row_slices` then indexes *stored* rows.  A ``mirror`` is an
+    additional transposed replica for matrices that need both row and
+    column access (transposed matrix-vector products).
+    """
+
+    name: str
+    rows: int
+    cols: int
+    rows_placement: List[List[RowSlice]] = field(default_factory=list)
+    result_set: bool = False
+    stored_transposed: bool = False
+    mirror: Optional["MatrixHandle"] = None
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def stored_rows(self) -> int:
+        return self.cols if self.stored_transposed else self.rows
+
+    @property
+    def stored_cols(self) -> int:
+        return self.rows if self.stored_transposed else self.cols
+
+    @property
+    def sliced(self) -> bool:
+        return any(len(slices) > 1 for slices in self.rows_placement)
+
+    def row_slices(self, row: int) -> List[RowSlice]:
+        """Slices of *stored* row ``row`` (a logical column when the
+        matrix is stored transposed)."""
+        if not 0 <= row < self.stored_rows:
+            raise IndexError(
+                f"stored row {row} out of range [0, {self.stored_rows})"
+            )
+        return self.rows_placement[row]
+
+    def element_address(self, row: int, col: int) -> int:
+        """Linear address of logical element (row, col).
+
+        Assumes the element's stored row is unsliced at that offset
+        (always true at the reduced scales trace generation targets).
+        """
+        if self.stored_transposed:
+            stored_row, offset = col, row
+        else:
+            stored_row, offset = row, col
+        piece = self.row_slices(stored_row)[0]
+        if not piece.offset <= offset < piece.offset + piece.length:
+            raise IndexError(
+                f"element ({row}, {col}) falls outside the first slice "
+                f"of stored row {stored_row}"
+            )
+        return piece.address + (offset - piece.offset)
+
+    def subarrays_used(self) -> List[Tuple[int, int]]:
+        """Distinct (bank, subarray) pairs this matrix occupies."""
+        seen: Dict[Tuple[int, int], None] = {}
+        for slices in self.rows_placement:
+            for piece in slices:
+                seen.setdefault(piece.subarray_key, None)
+        return list(seen)
+
+
+@dataclass
+class PlacementPlan:
+    """All matrices of one task, placed."""
+
+    policy: PlacementPolicy
+    matrices: Dict[str, MatrixHandle] = field(default_factory=dict)
+
+    def handle(self, name: str) -> MatrixHandle:
+        try:
+            return self.matrices[name]
+        except KeyError:
+            raise KeyError(f"matrix {name!r} was never placed") from None
+
+
+class Placer:
+    """Allocates matrix rows onto PIM subarrays.
+
+    Args:
+        geometry: device geometry (supplies the PIM subarray pool and the
+            per-subarray capacity).
+        policy: base or distribute placement.
+        disjoint_result_sets: reserve a slice of the subarray pool for
+            result matrices (the ``unblock`` layout rule).  The pool is
+            split so operands use the first portion and results the rest.
+        result_set_fraction: fraction of the pool reserved for results
+            when ``disjoint_result_sets`` is on.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[DeviceGeometry] = None,
+        policy: PlacementPolicy = PlacementPolicy.DISTRIBUTE,
+        disjoint_result_sets: bool = False,
+        result_set_fraction: float = 0.25,
+    ) -> None:
+        self.geometry = geometry or DeviceGeometry()
+        self.policy = policy
+        self.disjoint_result_sets = disjoint_result_sets
+        if not 0.0 < result_set_fraction < 1.0:
+            raise ValueError(
+                "result_set_fraction must be in (0, 1), got "
+                f"{result_set_fraction}"
+            )
+        self.result_set_fraction = result_set_fraction
+        self.address_map = AddressMap(self.geometry)
+        pool = [
+            (bank, sub)
+            for bank in range(self.geometry.pim_banks)
+            for sub in range(self.geometry.bank.subarrays)
+        ]
+        if not pool:
+            raise ValueError("geometry has no PIM subarrays")
+        if disjoint_result_sets and len(pool) >= 2:
+            split = max(1, int(len(pool) * (1.0 - result_set_fraction)))
+            split = min(split, len(pool) - 1)
+            self._operand_pool = pool[:split]
+            self._result_pool = pool[split:]
+        else:
+            self._operand_pool = pool
+            self._result_pool = pool
+        self._cursors: Dict[Tuple[int, int], int] = {}
+        self._rr_next = {"operand": 0, "result": 0}
+        self.plan = PlacementPlan(policy=self.policy)
+
+    # ------------------------------------------------------------------
+    @property
+    def operand_pool(self) -> Sequence[Tuple[int, int]]:
+        return tuple(self._operand_pool)
+
+    @property
+    def result_pool(self) -> Sequence[Tuple[int, int]]:
+        return tuple(self._result_pool)
+
+    @property
+    def subarray_capacity_words(self) -> int:
+        return self.geometry.subarray_capacity_words
+
+    def parallelism(self, rows: int) -> int:
+        """Processors a distribute-placed matrix of ``rows`` rows uses."""
+        return min(rows, len(self._operand_pool))
+
+    # ------------------------------------------------------------------
+    def place_matrix(
+        self,
+        name: str,
+        rows: int,
+        cols: int,
+        result: bool = False,
+        transposed: bool = False,
+        mirror: bool = False,
+    ) -> MatrixHandle:
+        """Place a matrix and record it in the plan.
+
+        Args:
+            name: unique matrix identifier.
+            rows: logical row count (a vector is a 1-row matrix).
+            cols: logical row length in elements.
+            result: place in the result subarray set (unblock layout).
+            transposed: store the transpose, making logical columns
+                contiguous (the matmul column-operand layout).
+            mirror: additionally allocate a transposed replica so both
+                rows and columns stream contiguously (transposed
+                matrix-vector access).
+
+        Raises:
+            ValueError: on duplicate names, bad shapes, or combining
+                ``transposed`` with ``mirror``.
+            MemoryError: if the PIM pool cannot hold the matrix.
+        """
+        if name in self.plan.matrices:
+            raise ValueError(f"matrix {name!r} already placed")
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"shape must be positive, got {rows}x{cols}")
+        if transposed and mirror:
+            raise ValueError(
+                "a transposed-primary matrix already exposes columns; "
+                "mirror is redundant"
+            )
+        handle = MatrixHandle(
+            name=name,
+            rows=rows,
+            cols=cols,
+            result_set=result,
+            stored_transposed=transposed,
+        )
+        pool = (
+            self._result_pool
+            if (result and self.disjoint_result_sets)
+            else self._operand_pool
+        )
+        pool_kind = "result" if (result and self.disjoint_result_sets) else "operand"
+        stored_rows = cols if transposed else rows
+        stored_cols = rows if transposed else cols
+        for _ in range(stored_rows):
+            handle.rows_placement.append(
+                self._place_row(stored_cols, pool, pool_kind)
+            )
+        if mirror:
+            mirror_handle = MatrixHandle(
+                name=f"{name}^T",
+                rows=cols,
+                cols=rows,
+                result_set=result,
+            )
+            for _ in range(cols):
+                mirror_handle.rows_placement.append(
+                    self._place_row(rows, pool, pool_kind)
+                )
+            handle.mirror = mirror_handle
+        self.plan.matrices[name] = handle
+        return handle
+
+    def _place_row(
+        self,
+        cols: int,
+        pool: Sequence[Tuple[int, int]],
+        pool_kind: str,
+    ) -> List[RowSlice]:
+        capacity = self.subarray_capacity_words
+        n_slices = math.ceil(cols / capacity)
+        slices: List[RowSlice] = []
+        for piece in range(n_slices):
+            offset = piece * capacity
+            length = min(capacity, cols - offset)
+            target = self._next_target(length, pool, pool_kind)
+            bank, sub = target
+            cursor = self._cursors.get(target, 0)
+            address = (
+                self.address_map.subarray_base(bank, sub) + cursor
+            )
+            self._cursors[target] = cursor + length
+            slices.append(
+                RowSlice(
+                    bank=bank,
+                    subarray=sub,
+                    address=address,
+                    offset=offset,
+                    length=length,
+                )
+            )
+        return slices
+
+    def _next_target(
+        self,
+        length: int,
+        pool: Sequence[Tuple[int, int]],
+        pool_kind: str,
+    ) -> Tuple[int, int]:
+        capacity = self.subarray_capacity_words
+        if self.policy is PlacementPolicy.DISTRIBUTE:
+            start = self._rr_next[pool_kind]
+            for step in range(len(pool)):
+                candidate = pool[(start + step) % len(pool)]
+                if self._cursors.get(candidate, 0) + length <= capacity:
+                    self._rr_next[pool_kind] = (start + step + 1) % len(pool)
+                    return candidate
+            raise MemoryError(
+                f"no PIM subarray has {length} free words left"
+            )
+        # BASE: first-fit sequential packing.
+        for candidate in pool:
+            if self._cursors.get(candidate, 0) + length <= capacity:
+                return candidate
+        raise MemoryError(f"no PIM subarray has {length} free words left")

@@ -1,0 +1,257 @@
+"""RM processor: the four-stage pipelined matrix processor (Fig. 11).
+
+The processor is built entirely from domain-wall nanowire structures —
+duplicators (Fig. 9), an AND-plane multiplier (Fig. 8), an adder tree and
+a circle adder (Fig. 10) — and therefore performs all computation with
+shift operations.  Its timing model is derived from those structures:
+
+* **Stage 1 (fetch/split)** — incoming operands are split into bits:
+  depth 1 cycle, one element per cycle.
+* **Stage 2 (duplicate + multiply)** — an ``n``-bit multiplication needs
+  ``n`` duplications of operand A (one per bit of B); with ``d``
+  duplicators working on different parts of the stream, a new element can
+  enter every ``ceil(n / d)`` cycles.  One duplication (four shift steps
+  of ~2.13 ns) fits in one 100 MHz cycle, so the duplication initiation
+  interval *is* the element interval.  The AND plane forms all partial
+  products in the same flow.
+* **Stage 3 (adder tree)** — ``ceil(log2(n))`` adder levels, one level
+  per cycle, pipelined.
+* **Stage 4 (circle adder)** — one accumulation per cycle (the four-step
+  loop of Fig. 10 also fits one cycle at 100 MHz).
+
+Operation-specific bypasses (section III-C): scalar/vector addition
+bypasses stages 1-3; scalar(-vector) multiplication bypasses stage 4.
+
+Functionally the processor computes exact integer results; a bit-accurate
+mode drives the :mod:`repro.dwlogic` gate models instead of numpy and is
+used by tests to prove the fast path equals the gate-level datapath.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.dwlogic.adder import AdderTree
+from repro.dwlogic.circle_adder import CircleAdder
+from repro.dwlogic.gates import GateCounter
+from repro.dwlogic.multiplier import ShiftMultiplier
+from repro.isa.vpc import VPCOpcode
+from repro.rm.timing import RMTimingConfig
+from repro.sim.pipeline import PipelineModel, PipelineStage
+
+
+@dataclass(frozen=True)
+class RMProcessorConfig:
+    """Structural parameters of one RM processor.
+
+    Attributes:
+        word_bits: operand width (Table III datapath: 8).
+        duplicators: in-processor duplicator count (Table III: 2).
+        accumulator_bits: width of the circle adder's loop nanowire.
+    """
+
+    word_bits: int = 8
+    duplicators: int = 2
+    accumulator_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if self.duplicators <= 0:
+            raise ValueError("duplicators must be positive")
+        if self.accumulator_bits < 2 * self.word_bits:
+            raise ValueError(
+                "accumulator must be at least twice the operand width"
+            )
+
+    @property
+    def duplication_interval(self) -> int:
+        """Cycles between elements entering the multiply stage."""
+        return math.ceil(self.word_bits / self.duplicators)
+
+    @property
+    def adder_tree_depth(self) -> int:
+        """Pipeline depth of the partial-product adder tree."""
+        return AdderTree(self.word_bits).depth
+
+
+class RMProcessor:
+    """Timing + functional model of one subarray's RM processor."""
+
+    def __init__(
+        self,
+        config: RMProcessorConfig | None = None,
+        timing: RMTimingConfig | None = None,
+    ) -> None:
+        self.config = config or RMProcessorConfig()
+        self.timing = timing or RMTimingConfig()
+        cfg = self.config
+        self._stages = {
+            "fetch": PipelineStage("fetch", depth=1, interval=1),
+            "duplicate_multiply": PipelineStage(
+                "duplicate_multiply",
+                depth=cfg.duplication_interval,
+                interval=cfg.duplication_interval,
+            ),
+            "adder_tree": PipelineStage(
+                "adder_tree", depth=max(1, cfg.adder_tree_depth), interval=1
+            ),
+            "circle_adder": PipelineStage("circle_adder", depth=1, interval=1),
+        }
+        self._full = PipelineModel(
+            (
+                self._stages["fetch"],
+                self._stages["duplicate_multiply"],
+                self._stages["adder_tree"],
+                self._stages["circle_adder"],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Pipelines per operation (section III-C bypasses)
+    # ------------------------------------------------------------------
+    def pipeline_for(self, opcode: VPCOpcode) -> PipelineModel:
+        """The active pipeline after operation-specific bypasses."""
+        if opcode is VPCOpcode.MUL:
+            return self._full
+        if opcode is VPCOpcode.SMUL:
+            return self._full.without("circle_adder")
+        if opcode is VPCOpcode.ADD:
+            return self._full.without(
+                "fetch", "duplicate_multiply", "adder_tree"
+            )
+        raise ValueError(f"{opcode} is not a compute command")
+
+    def compute_cycles(self, opcode: VPCOpcode, n_elements: int) -> int:
+        """Cycles the processor pipeline needs for one VPC."""
+        if n_elements <= 0:
+            raise ValueError(
+                f"n_elements must be positive, got {n_elements}"
+            )
+        return self.pipeline_for(opcode).latency_cycles(n_elements)
+
+    def initiation_interval(self, opcode: VPCOpcode) -> int:
+        """Steady-state cycles per element for one VPC kind."""
+        return self.pipeline_for(opcode).initiation_interval
+
+    def compute_ns(self, opcode: VPCOpcode, n_elements: int) -> float:
+        return self.compute_cycles(opcode, n_elements) * self.timing.cycle_ns
+
+    # ------------------------------------------------------------------
+    # Energy (Table III per-op figures)
+    # ------------------------------------------------------------------
+    def compute_energy_pj(self, opcode: VPCOpcode, n_elements: int) -> float:
+        """Processor energy for one VPC.
+
+        A dot product performs one multiply and one accumulate per
+        element; SMUL one multiply per element; ADD one addition per
+        element.
+        """
+        if n_elements <= 0:
+            raise ValueError(
+                f"n_elements must be positive, got {n_elements}"
+            )
+        t = self.timing
+        if opcode is VPCOpcode.MUL:
+            return n_elements * (t.pim_mul_pj + t.pim_add_pj)
+        if opcode is VPCOpcode.SMUL:
+            return n_elements * t.pim_mul_pj
+        if opcode is VPCOpcode.ADD:
+            return n_elements * t.pim_add_pj
+        raise ValueError(f"{opcode} is not a compute command")
+
+    # ------------------------------------------------------------------
+    # Functional execution (numpy fast path)
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        opcode: VPCOpcode,
+        src1: np.ndarray,
+        src2: np.ndarray,
+    ) -> np.ndarray:
+        """Compute a VPC's result exactly (wide-integer arithmetic).
+
+        ``src1``/``src2`` hold unsigned elements (external inputs are
+        ``word_bits`` wide; chained intermediates may be wider).  The
+        result is returned at accumulator precision; for MUL it is a
+        single-element array (the dot product), matching what the circle
+        adder streams out.
+        """
+        a = np.asarray(src1, dtype=np.int64)
+        b = np.asarray(src2, dtype=np.int64)
+        self._check_operand_range(a)
+        self._check_operand_range(b)
+        if opcode is VPCOpcode.MUL:
+            if a.shape != b.shape:
+                raise ValueError(
+                    f"operand shapes differ: {a.shape} vs {b.shape}"
+                )
+            return np.array([int(np.dot(a, b))], dtype=np.int64)
+        if opcode is VPCOpcode.SMUL:
+            if a.size != 1:
+                raise ValueError("SMUL src1 must be a scalar")
+            return a[0] * b
+        if opcode is VPCOpcode.ADD:
+            if a.shape != b.shape:
+                raise ValueError(
+                    f"operand shapes differ: {a.shape} vs {b.shape}"
+                )
+            return a + b
+        raise ValueError(f"{opcode} is not a compute command")
+
+    def apply_bit_accurate(
+        self,
+        opcode: VPCOpcode,
+        src1: Sequence[int],
+        src2: Sequence[int],
+        counter: GateCounter | None = None,
+    ) -> Sequence[int]:
+        """Compute the same result through the gate-level datapath.
+
+        Slow; used to validate :meth:`apply` and by the gate-energy
+        ablation.  Returns a Python list.
+        """
+        width = self.config.word_bits
+        if opcode is VPCOpcode.MUL:
+            multiplier = ShiftMultiplier(width)
+            circle = CircleAdder(self.config.accumulator_bits)
+            products = [
+                multiplier.multiply(int(a), int(b), counter)
+                for a, b in zip(src1, src2)
+            ]
+            return [circle.dot_product_tail(products, counter)]
+        if opcode is VPCOpcode.SMUL:
+            multiplier = ShiftMultiplier(width)
+            scalar = int(src1[0])
+            return [multiplier.multiply(scalar, int(b), counter) for b in src2]
+        if opcode is VPCOpcode.ADD:
+            circle = CircleAdder(self.config.accumulator_bits)
+            from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+
+            out = []
+            for a, b in zip(src1, src2):
+                width_a = max(1, int(a).bit_length())
+                width_b = max(1, int(b).bit_length())
+                bits = circle.add_once(
+                    int_to_bits(int(a), width_a),
+                    int_to_bits(int(b), width_b),
+                    counter,
+                )
+                out.append(bits_to_int(bits))
+            return out
+        raise ValueError(f"{opcode} is not a compute command")
+
+    def _check_operand_range(self, values: np.ndarray) -> None:
+        """Operands must be non-negative.
+
+        External inputs are ``word_bits`` wide, but chained intermediate
+        results (dot products, scaled sums) legitimately exceed one word
+        — physically they occupy several words / the accumulator's wide
+        nanowire, and the functional model carries the full value.
+        """
+        if values.size and values.min() < 0:
+            raise ValueError("operands must be non-negative integers")

@@ -1,0 +1,162 @@
+"""Redundancy support for error tolerance (section VI).
+
+"StreamPIM can also adopt architectural supports from [CORUSCANT]
+(i.e., redundancy design) to compensate for error tolerance."  This
+module models those supports and their costs so the
+reliability-vs-overhead trade-off can be quantified:
+
+* **guard retry** — every bus hop is checked against its segment's guard
+  domains and retried on detection; turns detected faults into a small
+  expected time overhead and leaves only the undetected residue.
+* **TMR processors** — three RM processors compute each VPC and a
+  domain-wall majority vote masks any single-processor upset; triples
+  the (tiny) processor area and adds one vote stage to the pipeline.
+* **spare tracks** — spare racetracks per mat remap wires with permanent
+  shift defects; pure area overhead.
+
+The numbers compose with :class:`~repro.rm.faults.ShiftFaultModel` for
+fault rates and :class:`~repro.analysis.area.AreaModel` for area.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.area import AreaModel
+from repro.core.rmbus import RMBusConfig
+from repro.rm.faults import ShiftFaultConfig, ShiftFaultModel
+
+
+class RedundancyMode(enum.Enum):
+    """Error-tolerance configurations."""
+
+    NONE = "none"
+    GUARD_RETRY = "guard-retry"
+    GUARD_RETRY_TMR = "guard-retry+tmr"
+
+
+@dataclass(frozen=True)
+class RedundancyConfig:
+    """Parameters of the redundancy design.
+
+    Attributes:
+        mode: which supports are enabled.
+        retry_cycles: cycles to replay one detected-faulty hop.
+        processor_upset_probability: chance one processor produces a
+            wrong result during one VPC (transient upsets in the
+            domain-wall logic).
+        spare_tracks_per_mat: spare racetracks added per mat.
+        vote_stage_cycles: extra pipeline depth of the majority vote.
+    """
+
+    mode: RedundancyMode = RedundancyMode.GUARD_RETRY
+    retry_cycles: int = 2
+    processor_upset_probability: float = 1e-6
+    spare_tracks_per_mat: int = 8
+    vote_stage_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.retry_cycles < 0 or self.vote_stage_cycles < 0:
+            raise ValueError("cycle overheads must be non-negative")
+        if not 0.0 <= self.processor_upset_probability < 1.0:
+            raise ValueError("upset probability must be in [0, 1)")
+        if self.spare_tracks_per_mat < 0:
+            raise ValueError("spare tracks must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Outcome of one redundancy configuration on one transfer shape."""
+
+    mode: RedundancyMode
+    undetected_transfer_fault: float
+    residual_compute_fault: float
+    expected_time_overhead: float
+    area_overhead: float
+
+    @property
+    def total_undetected(self) -> float:
+        return 1.0 - (1.0 - self.undetected_transfer_fault) * (
+            1.0 - self.residual_compute_fault
+        )
+
+
+class RedundancyAnalysis:
+    """Composes fault, timing, and area models per redundancy mode."""
+
+    def __init__(
+        self,
+        config: Optional[RedundancyConfig] = None,
+        faults: Optional[ShiftFaultConfig] = None,
+        bus: Optional[RMBusConfig] = None,
+    ) -> None:
+        self.config = config or RedundancyConfig()
+        self.fault_model = ShiftFaultModel(faults)
+        self.bus = bus or RMBusConfig()
+
+    # ------------------------------------------------------------------
+    def transfer_fault(self, words: int) -> float:
+        """Undetected fault probability of one transfer under the mode."""
+        if self.config.mode is RedundancyMode.NONE:
+            # No guard checking: every hop fault goes undetected.
+            hop = self.fault_model.shift_fault_probability(
+                self.bus.segment_domains
+            )
+            hops = self._total_hops(words)
+            return 1.0 - (1.0 - hop) ** hops
+        return self.fault_model.segmented_transfer_fault(self.bus, words)
+
+    def compute_fault(self) -> float:
+        """Residual per-VPC compute fault probability."""
+        upset = self.config.processor_upset_probability
+        if self.config.mode is RedundancyMode.GUARD_RETRY_TMR:
+            # A wrong result needs two simultaneous upsets to out-vote.
+            return 3 * upset**2
+        return upset
+
+    def time_overhead(self, words: int) -> float:
+        """Expected relative slowdown of one transfer."""
+        if self.config.mode is RedundancyMode.NONE:
+            return 0.0
+        hop = self.fault_model.shift_fault_probability(
+            self.bus.segment_domains
+        )
+        detected = hop * self.fault_model.config.guard_detection
+        retry = detected * self.config.retry_cycles
+        overhead = retry / 1.0  # per hop, relative to its single cycle
+        if self.config.mode is RedundancyMode.GUARD_RETRY_TMR:
+            # The vote stage adds fill depth, amortised over the stream.
+            overhead += self.config.vote_stage_cycles / max(words, 1)
+        return overhead
+
+    def area_overhead(self) -> float:
+        """Extra device area relative to the baseline."""
+        area = AreaModel()
+        baseline = area.breakdown().total_domains
+        extra = 0.0
+        if self.config.mode is RedundancyMode.GUARD_RETRY_TMR:
+            extra += 2 * area.processor_domains()  # two more processors
+        if self.config.spare_tracks_per_mat > 0:
+            sub = area.geometry.bank.subarray
+            per_mat = (
+                self.config.spare_tracks_per_mat
+                * area.transfer_track_domains_each()
+            )
+            extra += per_mat * area.geometry.total_subarrays * sub.mats
+        return extra / baseline
+
+    def report(self, words: int) -> ReliabilityReport:
+        return ReliabilityReport(
+            mode=self.config.mode,
+            undetected_transfer_fault=self.transfer_fault(words),
+            residual_compute_fault=self.compute_fault(),
+            expected_time_overhead=self.time_overhead(words),
+            area_overhead=self.area_overhead(),
+        )
+
+    # ------------------------------------------------------------------
+    def _total_hops(self, words: int) -> int:
+        chunks = -(-words // self.bus.words_per_segment)
+        return chunks * self.bus.n_segments

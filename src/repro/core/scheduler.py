@@ -1,0 +1,277 @@
+"""Round construction and the ``unblock`` scheduling optimisation.
+
+Section IV-C: data preparation (inter-subarray/inter-bank copying, done
+with read/write operations) and explicit computation (done with shift
+operations) cannot coexist inside one subarray.  Without countermeasures
+a computing subarray blocks incoming read/writes and, transitively, the
+computations waiting on them — serialising the whole device.
+
+The scheduler models a PIM task as a sequence of *rounds*; each round has
+a data-preparation phase (broadcast/collect TRAN traffic) and a compute
+phase (VPC batches on many subarrays).  Three policies reproduce the
+Fig. 22 configurations:
+
+* ``BASE`` — no distribute placement, rounds fully serial.
+* ``DISTRIBUTE`` — rows spread across subarrays, but read/write blocking
+  still serialises each round's preparation with all compute, and
+  device-wide copy traffic is serialised on the shared internal bus.
+* ``UNBLOCK`` — operands/results in disjoint subarray sets and
+  interleaved execution: round ``k+1``'s preparation overlaps round
+  ``k``'s compute (software pipelining), and copies to different banks
+  proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.rm.timing import RMTimingConfig
+from repro.sim.stats import EnergyBreakdown, TimeBreakdown
+
+
+class SchedulerPolicy(enum.Enum):
+    """Optimisation levels of Fig. 22."""
+
+    BASE = "base"
+    DISTRIBUTE = "distribute"
+    UNBLOCK = "unblock"
+
+    @property
+    def overlaps_prep(self) -> bool:
+        return self is SchedulerPolicy.UNBLOCK
+
+
+@dataclass(frozen=True)
+class PrepCostModel:
+    """Cost model of read/write data preparation.
+
+    The Table III read/write latency/energy figures are per *row-level
+    access*: one access senses or drives all tracks of a mat row (512
+    tracks = 64 words of 8 bits).  Copy traffic therefore moves
+    ``access_width_words`` words per read+write pair when row streaming
+    is available.
+
+    Attributes:
+        access_width_words: words sensed per row-level read access.
+        write_access_width_words: words driven per row-level write
+            access — RM writes draw a high current (Table III: 11.79 pJ
+            vs 3.80 pJ), so the write drivers cover only half a row per
+            access.
+        activate_ns: fixed cost of opening a row in a target subarray.
+        unblock_parallelism: effective concurrent copy streams in
+            unblock mode — interleaved execution lets copies to
+            different banks use independent peripheries, but shared
+            command-bus bandwidth keeps the effective concurrency below
+            the 8-bank ideal.
+        blocked_access_width: effective words per access in blocked mode
+            — read/write commands squeezed between compute phases cannot
+            keep rows open, so streaming degenerates to narrow accesses.
+    """
+
+    access_width_words: int = 64
+    write_access_width_words: int = 32
+    activate_ns: float = 10.0
+    unblock_parallelism: float = 1.25
+    blocked_access_width: int = 2
+
+    def __post_init__(self) -> None:
+        if self.access_width_words <= 0 or self.blocked_access_width <= 0:
+            raise ValueError("access widths must be positive")
+        if self.write_access_width_words <= 0:
+            raise ValueError("write_access_width_words must be positive")
+        if self.activate_ns < 0:
+            raise ValueError("activate_ns must be non-negative")
+        if self.unblock_parallelism <= 0:
+            raise ValueError("unblock_parallelism must be positive")
+
+
+@dataclass
+class Round:
+    """One prep+compute round of a PIM task.
+
+    Attributes:
+        label: human-readable tag ("gemm col 17").
+        prep_words: words copied during preparation.
+        prep_targets: distinct destination subarrays of the preparation.
+        compute_ns: span of the compute phase (max over the subarrays
+            active this round).
+        compute_time: exclusive-category breakdown of the compute span.
+        compute_energy: energy of all compute work in the round.
+        move_vpcs: TRAN commands issued for the preparation.
+    """
+
+    label: str = ""
+    prep_words: int = 0
+    prep_targets: int = 0
+    compute_ns: float = 0.0
+    compute_time: TimeBreakdown = field(default_factory=TimeBreakdown)
+    compute_energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    move_vpcs: int = 0
+
+
+@dataclass
+class ScheduleResult:
+    """Composed execution of a round sequence."""
+
+    total_ns: float
+    time: TimeBreakdown
+    energy: EnergyBreakdown
+    rounds: int
+
+
+class Scheduler:
+    """Composes rounds under a policy, producing time/energy totals."""
+
+    def __init__(
+        self,
+        policy: SchedulerPolicy = SchedulerPolicy.UNBLOCK,
+        timing: Optional[RMTimingConfig] = None,
+        prep_model: Optional[PrepCostModel] = None,
+    ) -> None:
+        self.policy = policy
+        self.timing = timing or RMTimingConfig()
+        self.prep_model = prep_model or PrepCostModel()
+
+    # ------------------------------------------------------------------
+    # Preparation phase costs
+    # ------------------------------------------------------------------
+    def prep_duration_ns(self, round_: Round) -> float:
+        """Wall-clock span of a round's data preparation."""
+        if round_.prep_words <= 0:
+            return 0.0
+        model = self.prep_model
+        t = self.timing
+        if self.policy.overlaps_prep:
+            read_accesses = math.ceil(
+                round_.prep_words / model.access_width_words
+            )
+            write_accesses = math.ceil(
+                round_.prep_words / model.write_access_width_words
+            )
+            streams = model.unblock_parallelism
+        else:
+            read_accesses = write_accesses = math.ceil(
+                round_.prep_words / model.blocked_access_width
+            )
+            streams = 1.0
+        activates = max(1, round_.prep_targets)
+        serial_ns = (
+            activates * model.activate_ns
+            + read_accesses * t.read_ns
+            + write_accesses * t.write_ns
+        )
+        return serial_ns / streams
+
+    def prep_energy(self, round_: Round) -> EnergyBreakdown:
+        """Energy of a round's preparation.
+
+        One read access per ``access_width_words`` plus one write access
+        per ``write_access_width_words`` words moved; blocking wastes
+        time, not energy, so the full access widths apply in every mode.
+        """
+        energy = EnergyBreakdown()
+        if round_.prep_words > 0:
+            model = self.prep_model
+            reads = math.ceil(round_.prep_words / model.access_width_words)
+            writes = math.ceil(
+                round_.prep_words / model.write_access_width_words
+            )
+            energy.add("read", reads * self.timing.read_pj)
+            energy.add("write", writes * self.timing.write_pj)
+        return energy
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def compose(self, rounds: List[Round]) -> ScheduleResult:
+        """Total execution of a task's rounds under the current policy."""
+        time = TimeBreakdown()
+        energy = EnergyBreakdown()
+        total_ns = 0.0
+        if not rounds:
+            return ScheduleResult(0.0, time, energy, 0)
+
+        for round_ in rounds:
+            energy.merge(self.prep_energy(round_))
+            energy.merge(round_.compute_energy)
+
+        if not self.policy.overlaps_prep:
+            for round_ in rounds:
+                prep_ns = self.prep_duration_ns(round_)
+                total_ns += prep_ns + round_.compute_ns
+                self._add_prep_time(time, prep_ns)
+                time.merge(round_.compute_time)
+            return ScheduleResult(total_ns, time, energy, len(rounds))
+
+        # Unblock: interleaved execution software-pipelines preparation
+        # against compute across the whole schedule.  Copies and compute
+        # target disjoint subarray sets, so preparation flows fluidly
+        # behind whatever compute is in flight: the schedule is bound by
+        # whichever of (total compute, total prep) is larger, plus the
+        # startup delay until the first target subarray has its operand
+        # (per-subarray compute starts as soon as its copy lands).
+        first = rounds[0]
+        startup = self.prep_duration_ns(first) / max(1, first.prep_targets)
+        total_prep = sum(self.prep_duration_ns(r) for r in rounds)
+        remaining_prep = max(0.0, total_prep - startup)
+        total_compute = sum(r.compute_ns for r in rounds)
+        total_ns = startup + max(total_compute, remaining_prep)
+        self._add_prep_time(time, startup)
+        merged_compute = TimeBreakdown()
+        for round_ in rounds:
+            merged_compute.merge(round_.compute_time)
+        self._add_overlapped_compute(
+            time, merged_compute, total_compute, remaining_prep
+        )
+        return ScheduleResult(total_ns, time, energy, len(rounds))
+
+    # ------------------------------------------------------------------
+    def _add_prep_time(self, time: TimeBreakdown, prep_ns: float) -> None:
+        """Charge exposed preparation time, split read/write by latency."""
+        if prep_ns <= 0:
+            return
+        t = self.timing
+        read_share = t.read_ns / (t.read_ns + t.write_ns)
+        time.add("read", prep_ns * read_share)
+        time.add("write", prep_ns * (1.0 - read_share))
+
+    def _add_overlapped_compute(
+        self,
+        time: TimeBreakdown,
+        compute_time: TimeBreakdown,
+        compute_ns: float,
+        concurrent_prep_ns: float,
+    ) -> None:
+        """Account one unblock-mode span of max(compute, next prep).
+
+        The portion where prep and compute coincide is overlapped time;
+        any prep overhang beyond the compute span is exposed read/write.
+        """
+        if compute_ns <= 0:
+            self._add_prep_time(time, concurrent_prep_ns)
+            return
+        hidden = min(compute_ns, concurrent_prep_ns)
+        overhang = max(0.0, concurrent_prep_ns - compute_ns)
+        # Reclassify the coincident part of the compute span: move it
+        # from its process/shift components into "overlapped".
+        adjusted = TimeBreakdown(
+            read_ns=compute_time.read_ns,
+            write_ns=compute_time.write_ns,
+            shift_ns=compute_time.shift_ns,
+            process_ns=compute_time.process_ns,
+            overlapped_ns=compute_time.overlapped_ns,
+        )
+        remaining = hidden
+        for component in ("process_ns", "shift_ns"):
+            if remaining <= 0:
+                break
+            available = getattr(adjusted, component)
+            moved = min(available, remaining)
+            setattr(adjusted, component, available - moved)
+            adjusted.overlapped_ns += moved
+            remaining -= moved
+        time.merge(adjusted)
+        self._add_prep_time(time, overhang)

@@ -1,0 +1,194 @@
+"""Subarray PIM dataflow: mats -> RM bus -> RM processor -> mats.
+
+Implements the five-step flow of Fig. 13 for one VPC executed inside one
+subarray:
+
+1. operands are copied from save tracks onto transfer tracks (fan-out,
+   non-destructive) and shifted onto the RM bus;
+2. the bus streams the data to the RM processor;
+3. the processor pipeline consumes elements as they arrive;
+4. results are shifted back onto the bus;
+5. and land in the destination mat.
+
+Because both the bus and the processor are pipelines fed element by
+element, the streaming portions overlap: the exposed time is the bus fill
+plus the processor's pipeline latency, and the bulk of the bus occupancy
+is hidden behind compute.  The profile returned here separates exposed
+shift time, exposed process time and the overlapped portion so Fig. 19's
+breakdown can be regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.processor import RMProcessor
+from repro.core.rmbus import RMBus
+from repro.isa.vpc import VPC, VPCOpcode
+from repro.rm.timing import RMTimingConfig
+from repro.sim.stats import EnergyBreakdown, TimeBreakdown
+
+
+@dataclass(frozen=True)
+class VPCProfile:
+    """Cycle/energy profile of one VPC executed in one subarray.
+
+    Attributes:
+        cycles: end-to-end occupancy of the subarray (pipelined).
+        time: exclusive-category time breakdown (sums to ``cycles`` worth
+            of ns).
+        energy: energy breakdown.
+    """
+
+    cycles: int
+    time: TimeBreakdown
+    energy: EnergyBreakdown
+
+    @property
+    def time_ns(self) -> float:
+        return self.time.total_ns
+
+
+class SubarrayEngine:
+    """Executes VPCs inside one (PIM-capable) subarray."""
+
+    #: Fraction of a row-level shift operation's energy that one
+    #: track-group (word-wide) shift step costs: the Table III shift
+    #: figure drives a full 512-track row, the PIM copy path drives the
+    #: 8 tracks of one word group.
+    TRACK_GROUP_SHIFT_FRACTION = 8 / 512
+
+    def __init__(
+        self,
+        processor: RMProcessor | None = None,
+        bus: RMBus | None = None,
+        timing: RMTimingConfig | None = None,
+    ) -> None:
+        self.timing = timing or RMTimingConfig()
+        self.processor = processor or RMProcessor(timing=self.timing)
+        self.bus = bus or RMBus(timing=self.timing)
+        self._copy_shift_pj = (
+            self.timing.shift_pj * self.TRACK_GROUP_SHIFT_FRACTION
+        )
+
+    # ------------------------------------------------------------------
+    def profile(self, vpc: VPC) -> VPCProfile:
+        """Cycle/energy profile of one VPC (compute or in-subarray TRAN)."""
+        if vpc.opcode is VPCOpcode.TRAN:
+            return self._profile_tran(vpc.size)
+        return self._profile_compute(vpc)
+
+    def _profile_compute(self, vpc: VPC) -> VPCProfile:
+        """Profile of MUL/SMUL/ADD executed by the RM processor."""
+        n = vpc.size
+        cycle_ns = self.timing.cycle_ns
+        n_operands = len(vpc.operands)
+
+        # Non-destructive fan-out copy onto transfer tracks is needed
+        # only for the resident operand (it is reused across VPCs, e.g. a
+        # matrix row read once per column round); a delivered operand is
+        # consumed destructively straight off its landing track
+        # (section III-E).  The copy streams one element per cycle and
+        # overlaps with bus injection, so it contributes to the pipelined
+        # region, not the exposed fill.
+        copy_shift_ops = n
+
+        # Bus: operands stream in; results stream out.  The inbound
+        # transfer's fill is exposed (the processor is idle until the
+        # first chunk arrives); the rest overlaps with compute.
+        in_cycles = self.bus.transfer_cycles(n * n_operands)
+        result_words = 1 if vpc.opcode is VPCOpcode.MUL else n
+        out_cycles = self.bus.transfer_cycles(result_words)
+        bus_fill = self.bus.fill_cycles
+
+        compute_cycles = self.processor.compute_cycles(vpc.opcode, n)
+
+        # Streaming overlap: in-transfer and compute proceed together
+        # once the first chunk lands; the out-transfer's fill is exposed
+        # after the last result is produced.
+        streamed = max(in_cycles - bus_fill, compute_cycles)
+        total_cycles = bus_fill + streamed + out_cycles
+
+        exposed_shift = bus_fill + out_cycles
+        exposed_process = max(0, compute_cycles - (in_cycles - bus_fill))
+        overlapped = total_cycles - exposed_shift - exposed_process
+
+        time = TimeBreakdown()
+        time.add("shift", exposed_shift * cycle_ns)
+        time.add("process", exposed_process * cycle_ns)
+        time.add("overlapped", overlapped * cycle_ns)
+
+        energy = EnergyBreakdown()
+        energy.add(
+            "shift",
+            self.bus.transfer_energy_pj(n * n_operands)
+            + self.bus.transfer_energy_pj(result_words)
+            + copy_shift_ops * self._copy_shift_pj,
+        )
+        energy.add(
+            "compute", self.processor.compute_energy_pj(vpc.opcode, n)
+        )
+        return VPCProfile(cycles=total_cycles, time=time, energy=energy)
+
+    def _profile_tran(self, words: int) -> VPCProfile:
+        """Profile of an in-subarray TRAN: pure shift transfer."""
+        cycles = self.bus.transfer_cycles(words) + words  # copy + bus
+        time = TimeBreakdown()
+        time.add("shift", cycles * self.timing.cycle_ns)
+        energy = EnergyBreakdown()
+        energy.add(
+            "shift",
+            self.bus.transfer_energy_pj(words)
+            + words * self._copy_shift_pj,
+        )
+        return VPCProfile(cycles=cycles, time=time, energy=energy)
+
+    # ------------------------------------------------------------------
+    def batch_profile(self, vpcs_alike: VPC, count: int) -> VPCProfile:
+        """Profile ``count`` back-to-back identical VPCs on one subarray.
+
+        Consecutive VPCs of the same shape pipeline into each other: only
+        the first pays the fill, the rest arrive at the steady-state
+        initiation interval.  Used by the batched (analytic) execution
+        mode; property-tested against summing individual profiles.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        single = self.profile(vpcs_alike)
+        if count == 1:
+            return single
+        energy = single.energy.scaled(float(count))
+        cycle_ns = self.timing.cycle_ns
+        if vpcs_alike.opcode is VPCOpcode.TRAN:
+            cycles = single.cycles * count
+            time = single.time.scaled(float(count))
+            return VPCProfile(cycles=cycles, time=time, energy=energy)
+        # Steady-state block of one follow-on VPC: the processor works
+        # n * II cycles while the bus is active for the chunk traffic of
+        # that VPC; whichever is longer bounds the block, the shorter one
+        # hides inside it.
+        n = vpcs_alike.size
+        interval = self.processor.initiation_interval(vpcs_alike.opcode)
+        result_words = 1 if vpcs_alike.opcode is VPCOpcode.MUL else n
+        process_active = n * interval
+        transfer_active = (
+            self.bus.chunks_for(n * len(vpcs_alike.operands)) * 2
+            + self.bus.chunks_for(result_words) * 2
+        )
+        steady = max(process_active, transfer_active)
+        overlapped = min(process_active, transfer_active)
+        exposed_process = max(0, process_active - transfer_active)
+        exposed_shift = max(0, transfer_active - process_active)
+        cycles = single.cycles + (count - 1) * steady
+        time = TimeBreakdown(
+            read_ns=single.time.read_ns,
+            write_ns=single.time.write_ns,
+            shift_ns=single.time.shift_ns
+            + (count - 1) * exposed_shift * cycle_ns,
+            process_ns=single.time.process_ns
+            + (count - 1) * exposed_process * cycle_ns,
+            overlapped_ns=single.time.overlapped_ns
+            + (count - 1) * overlapped * cycle_ns,
+        )
+        return VPCProfile(cycles=cycles, time=time, energy=energy)

@@ -1,0 +1,932 @@
+"""Host programming interface (section IV-D, Fig. 16).
+
+A :class:`PimTask` collects matrix operands and matrix-grained
+operations, then lowers them to vector-grained VPCs with the
+``distribute``/``unblock`` optimisations applied::
+
+    task = create_pim_task()
+    task.add_matrix("A", a)          # numpy arrays, unsigned 8-bit
+    task.add_matrix("B", b)
+    task.add_matrix("C", shape=(m, n))
+    task.add_operation(TaskOp.MATMUL, "A", "B", "C")
+    report = task.run()              # -> RunReport
+
+Lowering produces two artifacts:
+
+* a *round plan* — prep/compute rounds executed analytically by the
+  device's scheduler (used at paper scale, millions of VPCs);
+* optionally an explicit :class:`~repro.isa.trace.VPCTrace` — one command
+  per dot product / transfer, with real placed addresses (used by the
+  event-driven mode and for Table IV counting; enumerating it is O(#VPC),
+  so it is intended for reduced problem sizes).
+
+VPC counting follows the trace-generation convention recovered from
+Table IV: every PIM VPC is accompanied by one operand-delivery TRAN, plus
+one collection TRAN when its result is not co-located with the row it was
+computed next to (matrix-matrix products leave result rows in place;
+matrix-vector products collect each scalar result).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.device import StreamPIMDevice, StreamPIMConfig
+from repro.core.placement import (
+    MatrixHandle,
+    Placer,
+    PlacementPolicy,
+)
+from repro.core.scheduler import Round, SchedulerPolicy
+from repro.isa.trace import VPCTrace
+from repro.isa.vpc import VPC, VPCOpcode
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+
+
+class TaskOp(enum.Enum):
+    """Matrix-grained operations a task understands."""
+
+    MATMUL = "matmul"  # C = A @ B
+    MATVEC = "matvec"  # y = A @ x
+    MATVEC_T = "matvec_t"  # y = A.T @ x
+    MAT_ADD = "mat_add"  # C = A + B
+    MAT_SCALE = "mat_scale"  # B = alpha * A
+    VEC_ADD = "vec_add"  # z = x + y
+    VEC_SCALE = "vec_scale"  # y = alpha * x
+    DOT = "dot"  # s = x . y
+    MATVEC_ACC = "matvec_acc"  # y = y + A @ x
+    MATVEC_T_ACC = "matvec_t_acc"  # y = y + A.T @ x
+
+
+@dataclass(frozen=True)
+class TaskOperation:
+    """One recorded operation: opcode plus operand/destination names."""
+
+    op: TaskOp
+    inputs: Tuple[str, ...]
+    output: str
+    scalar: Optional[str] = None
+
+
+@dataclass
+class OpCounts:
+    """Closed-form VPC counts of one lowered operation."""
+
+    pim_vpcs: int = 0
+    move_vpcs: int = 0
+
+    def merge(self, other: "OpCounts") -> None:
+        self.pim_vpcs += other.pim_vpcs
+        self.move_vpcs += other.move_vpcs
+
+
+@dataclass
+class RunReport:
+    """Result of :meth:`PimTask.run`.
+
+    Attributes:
+        stats: platform timing/energy statistics.
+        results: functional values of every matrix after the task.
+        counts: total VPC counts (the Table IV columns).
+        per_op_ns: execution time attributed to each operation, in order.
+    """
+
+    stats: RunStats
+    results: Dict[str, np.ndarray]
+    counts: OpCounts
+    per_op_ns: List[float] = field(default_factory=list)
+
+    @property
+    def time_ns(self) -> float:
+        return self.stats.time_ns
+
+    @property
+    def energy_pj(self) -> float:
+        return self.stats.energy.total_pj
+
+
+class PimTask:
+    """A StreamPIM computation task (Fig. 16)."""
+
+    def __init__(self, device: Optional[StreamPIMDevice] = None) -> None:
+        self.device = device or StreamPIMDevice()
+        self._matrices: Dict[str, np.ndarray] = {}
+        self._scalars: Dict[str, int] = {}
+        self._operations: List[TaskOperation] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Step 2 of Fig. 16: register operands and operations
+    # ------------------------------------------------------------------
+    def add_matrix(
+        self,
+        name: str,
+        values: Optional[np.ndarray] = None,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Register a matrix operand (or a destination via ``shape``)."""
+        if name in self._matrices or name in self._scalars:
+            raise ValueError(f"operand {name!r} already added")
+        if values is None:
+            if shape is None:
+                raise ValueError("provide either values or shape")
+            rows, cols = shape
+            if rows <= 0 or cols <= 0:
+                raise ValueError(f"shape must be positive, got {shape}")
+            # Fresh zeros need no defensive copy (and numpy keeps the
+            # pages virtual until touched, which matters at paper scale).
+            values = np.zeros((rows, cols), dtype=np.int64)
+        else:
+            values = np.asarray(values, dtype=np.int64)
+            if values.ndim == 1:
+                values = values.reshape(1, -1)
+            if values.ndim != 2:
+                raise ValueError(
+                    f"matrices must be 1-D or 2-D, got {values.ndim}-D"
+                )
+            values = values.copy()
+        self._matrices[name] = values
+
+    def add_vector(self, name: str, values: np.ndarray) -> None:
+        """Register a vector operand (stored as a 1-row matrix)."""
+        self.add_matrix(name, np.asarray(values).reshape(1, -1))
+
+    def add_scalar(self, name: str, value: int) -> None:
+        """Register a scalar operand (for SMUL-style scaling)."""
+        if name in self._matrices or name in self._scalars:
+            raise ValueError(f"operand {name!r} already added")
+        self._scalars[name] = int(value)
+
+    def add_operation(
+        self,
+        op: TaskOp,
+        *names: str,
+        scalar: Optional[str] = None,
+    ) -> None:
+        """Record one operation; the last name is the destination."""
+        if len(names) < 2:
+            raise ValueError("an operation needs inputs and a destination")
+        *inputs, output = names
+        for name in inputs:
+            if name not in self._matrices:
+                raise KeyError(f"unknown input matrix {name!r}")
+        if output not in self._matrices:
+            raise KeyError(f"unknown destination matrix {output!r}")
+        if scalar is not None and scalar not in self._scalars:
+            raise KeyError(f"unknown scalar {scalar!r}")
+        self._validate_shapes(op, tuple(inputs), output)
+        self._operations.append(
+            TaskOperation(op, tuple(inputs), output, scalar)
+        )
+
+    # ------------------------------------------------------------------
+    # Step 3 of Fig. 16: run
+    # ------------------------------------------------------------------
+    def run(self, workload: str = "task", functional: bool = True) -> RunReport:
+        """Lower, schedule, and execute the task on the device.
+
+        Args:
+            workload: label recorded in the returned stats.
+            functional: compute the real matrix results (numpy).  Pass
+                False for timing-only runs at paper scale, where the
+                functional arithmetic would dwarf the simulation cost.
+
+        Returns:
+            A :class:`RunReport` with timing/energy statistics, the
+            functional results (empty when ``functional`` is False), and
+            the VPC counts.
+        """
+        if not self._operations:
+            raise RuntimeError("task has no operations; add some first")
+        placer = self._build_placer()
+        handles = self._place_all(placer)
+        rounds: List[Round] = []
+        counts = OpCounts()
+        per_op_ns: List[float] = []
+        results = (
+            {k: v.copy() for k, v in self._matrices.items()}
+            if functional
+            else {}
+        )
+        for operation in self._operations:
+            op_rounds, op_counts = self._lower(operation, handles, placer)
+            op_result = self.device.execute_rounds(op_rounds)
+            per_op_ns.append(op_result.total_ns)
+            rounds.extend(op_rounds)
+            counts.merge(op_counts)
+            if functional:
+                self._apply_functional(operation, results)
+        schedule = self.device.execute_rounds(rounds)
+        stats = RunStats(
+            platform="StPIM",
+            workload=workload,
+            time_ns=schedule.total_ns,
+            time_breakdown=schedule.time,
+            energy=schedule.energy,
+        )
+        stats.bump("pim_vpcs", counts.pim_vpcs)
+        stats.bump("move_vpcs", counts.move_vpcs)
+        self._ran = True
+        return RunReport(
+            stats=stats,
+            results=results,
+            counts=counts,
+            per_op_ns=per_op_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # Lowering to rounds (analytic mode)
+    # ------------------------------------------------------------------
+    def _build_placer(self) -> Placer:
+        policy = (
+            PlacementPolicy.BASE
+            if self.device.config.scheduler_policy is SchedulerPolicy.BASE
+            else PlacementPolicy.DISTRIBUTE
+        )
+        return Placer(
+            geometry=self.device.config.geometry,
+            policy=policy,
+            disjoint_result_sets=(
+                self.device.config.scheduler_policy
+                is SchedulerPolicy.UNBLOCK
+            ),
+        )
+
+    def _place_all(self, placer: Placer) -> Dict[str, MatrixHandle]:
+        """Place every matrix, applying the layout optimisations.
+
+        Matrices consumed only as the second operand of matrix products
+        (or produced by one and consumed by another) are stored
+        transposed, so their columns stream contiguously onto the RM
+        bus.  Matrices read by transposed matrix-vector products get a
+        transposed mirror replica (both orientations are accessed).
+        """
+        produced = {op.output for op in self._operations}
+        matmul_second = {
+            op.inputs[1]
+            for op in self._operations
+            if op.op is TaskOp.MATMUL
+        }
+        non_transposable = set()
+        for op in self._operations:
+            if op.op is TaskOp.MATMUL:
+                non_transposable.add(op.inputs[0])
+            else:
+                non_transposable.update(op.inputs)
+                non_transposable.add(op.output)
+        transposed = matmul_second - non_transposable
+        matvec_t_inputs = {
+            op.inputs[0]
+            for op in self._operations
+            if op.op in (TaskOp.MATVEC_T, TaskOp.MATVEC_T_ACC)
+        }
+        stale_mirrors = matvec_t_inputs & produced
+        if stale_mirrors:
+            raise NotImplementedError(
+                f"matrices {sorted(stale_mirrors)} are written and then "
+                "read column-wise; keeping their transposed mirrors "
+                "coherent is not supported"
+            )
+        mirrored = matvec_t_inputs - transposed
+        handles: Dict[str, MatrixHandle] = {}
+        for name, values in self._matrices.items():
+            rows, cols = values.shape
+            handles[name] = placer.place_matrix(
+                name,
+                rows,
+                cols,
+                result=name in produced,
+                transposed=name in transposed,
+                mirror=name in mirrored,
+            )
+        return handles
+
+    def _lower(
+        self,
+        operation: TaskOperation,
+        handles: Dict[str, MatrixHandle],
+        placer: Placer,
+    ) -> Tuple[List[Round], OpCounts]:
+        op = operation.op
+        if op is TaskOp.MATMUL:
+            return self._lower_matmul(operation, handles, placer)
+        if op in (TaskOp.MATVEC, TaskOp.MATVEC_T, TaskOp.MATVEC_ACC,
+                  TaskOp.MATVEC_T_ACC):
+            return self._lower_matvec(operation, handles, placer)
+        if op in (TaskOp.MAT_ADD, TaskOp.VEC_ADD):
+            return self._lower_add(operation, handles, placer)
+        if op in (TaskOp.MAT_SCALE, TaskOp.VEC_SCALE):
+            return self._lower_scale(operation, handles, placer)
+        if op is TaskOp.DOT:
+            return self._lower_dot(operation, handles, placer)
+        raise NotImplementedError(f"lowering for {op} missing")
+
+    def _engine(self):
+        return self.device.engine_model
+
+    @staticmethod
+    def _slices_per_row(handle) -> int:
+        """Slices each stored row occupies (section IV-C slicing).
+
+        A vector longer than a subarray's capacity is split across
+        consecutive subarrays; each dot product over it becomes one
+        partial dot per slice plus a partial-sum reduction.
+        """
+        if not handle.rows_placement:
+            return 1
+        return max(len(slices) for slices in handle.rows_placement)
+
+    @staticmethod
+    def _parallelism(handle, rows: int) -> int:
+        """Processors available to a matrix's row-wise VPCs.
+
+        A VPC runs where its resident row lives, so the parallelism is
+        the number of distinct subarrays the matrix actually occupies —
+        512 under distribute placement, a handful under base placement.
+        """
+        return max(1, min(rows, len(handle.subarrays_used())))
+
+    def _lower_matmul(self, operation, handles, placer):
+        """C = A @ B: column rounds over B; C rows stay with A rows.
+
+        When A has fewer rows than the PIM pool (small-batch DNN layers),
+        several columns of B are processed concurrently: the pool splits
+        into ``col_groups`` replicas of A's row set, each handling one
+        column per round (the layout optimisation replicates A at task
+        creation, cf. section IV-D).
+        """
+        a = handles[operation.inputs[0]]
+        b = handles[operation.inputs[1]]
+        m, k = a.shape
+        n = b.cols
+        # Orientation: keep the larger side resident and broadcast the
+        # smaller one (C = A @ B and C^T = B^T @ A^T are the same VPCs;
+        # the task's layout optimisation picks whichever needs less copy
+        # traffic — crucial for small-batch DNN layers).
+        if n > m:
+            resident, rows_count, bcast_count = b, n, m
+        else:
+            resident, rows_count, bcast_count = a, m, n
+        parallel_rows = self._parallelism(resident, rows_count)
+        pool = len(placer.operand_pool)
+        col_groups = 1
+        if parallel_rows == rows_count and rows_count < pool:
+            col_groups = min(bcast_count, max(1, pool // rows_count))
+        per_sub = math.ceil(rows_count / parallel_rows)
+        slices = self._slices_per_row(resident)
+        slice_length = math.ceil(k / slices)
+        engine = self._engine()
+        proto = VPC.mul(0, 0, 0, slice_length)
+        batch = engine.batch_profile(proto, per_sub * slices)
+        # The batch profile covers one subarray's share; the round's
+        # energy covers every dot product of its columns (each a partial
+        # dot per slice, plus the partial-sum reduction below).
+        round_energy = engine.profile(proto).energy.scaled(
+            float(rows_count * col_groups * slices)
+        )
+        reduce_time = None
+        if slices > 1:
+            reduce_proto = VPC.add(0, 0, 0, rows_count * (slices - 1))
+            reduce_batch = engine.batch_profile(reduce_proto, 1)
+            reduce_time = reduce_batch.time
+            merged_energy = EnergyBreakdown()
+            merged_energy.merge(round_energy)
+            merged_energy.merge(engine.profile(reduce_proto).energy)
+            round_energy = merged_energy
+        compute_ns = batch.time_ns
+        compute_time = batch.time
+        if reduce_time is not None:
+            compute_ns += reduce_time.total_ns
+            merged_time = TimeBreakdown()
+            merged_time.merge(compute_time)
+            merged_time.merge(reduce_time)
+            compute_time = merged_time
+        rounds: List[Round] = []
+        n_rounds = math.ceil(bcast_count / col_groups)
+        for j in range(n_rounds):
+            cols = min(col_groups, bcast_count - j * col_groups)
+            prep = cols * k + k * parallel_rows * cols
+            if slices > 1:
+                prep += rows_count * (slices - 1) * cols
+            rounds.append(
+                Round(
+                    label=f"{operation.output} cols {j * col_groups}..",
+                    # Gather each broadcast vector from its subarrays,
+                    # then copy it to its replica of the resident rows.
+                    prep_words=prep,
+                    prep_targets=parallel_rows * cols,
+                    compute_ns=compute_ns,
+                    compute_time=compute_time,
+                    compute_energy=round_energy,
+                    move_vpcs=rows_count * cols * slices,
+                )
+            )
+        counts = OpCounts(
+            pim_vpcs=m * n * (2 * slices - 1),
+            move_vpcs=m * n * (2 * slices - 1),
+        )
+        return rounds, counts
+
+    def _lower_matvec(self, operation, handles, placer):
+        """y = A @ x (or A.T @ x, optionally accumulating into y)."""
+        op = operation.op
+        a = handles[operation.inputs[0]]
+        transposed = op in (TaskOp.MATVEC_T, TaskOp.MATVEC_T_ACC)
+        accumulate = op in (TaskOp.MATVEC_ACC, TaskOp.MATVEC_T_ACC)
+        rows, length = (a.cols, a.rows) if transposed else (a.rows, a.cols)
+        parallel = self._parallelism(a, rows)
+        per_sub = math.ceil(rows / parallel)
+        slices = self._slices_per_row(a)
+        slice_length = math.ceil(length / slices)
+        engine = self._engine()
+        proto = VPC.mul(0, 0, 0, slice_length)
+        batch = engine.batch_profile(proto, per_sub * slices)
+        # Broadcast x to the row subarrays.  Transposed products need no
+        # column gather: A^T x is executed as scalar-vector products on
+        # the resident rows (y += x_i * A_i), so only x moves.
+        prep_words = length * parallel + rows
+        compute_ns = batch.time_ns
+        compute_time = batch.time
+        compute_energy = engine.profile(proto).energy.scaled(
+            float(rows * slices)
+        )
+        pim = rows * slices
+        move = rows * slices + rows  # delivery per partial + collection
+        if slices > 1:
+            # Partial-sum reduction: the slice results are collected to
+            # the first slice's subarray and summed there.
+            reduce_proto = VPC.add(0, 0, 0, rows * (slices - 1))
+            reduce_batch = engine.batch_profile(reduce_proto, 1)
+            compute_ns += reduce_batch.time_ns
+            merged_time = TimeBreakdown()
+            merged_time.merge(compute_time)
+            merged_time.merge(reduce_batch.time)
+            compute_time = merged_time
+            merged_energy = EnergyBreakdown()
+            merged_energy.merge(compute_energy)
+            merged_energy.merge(engine.profile(reduce_proto).energy)
+            compute_energy = merged_energy
+            prep_words += rows * (slices - 1)
+            pim += rows * (slices - 1)
+            move += 2 * rows * (slices - 1)
+        if accumulate:
+            # Collected scalars land as a contiguous staging vector next
+            # to the destination; the accumulation is then one pipelined
+            # vector addition.  (The trace convention still counts its
+            # element-wise ADD commands, matching Table IV.)
+            add_proto = VPC.add(0, 0, 0, rows)
+            add_batch = engine.batch_profile(add_proto, 1)
+            compute_ns += add_batch.time_ns
+            merged = TimeBreakdown()
+            merged.merge(compute_time)
+            merged.merge(add_batch.time)
+            compute_time = merged
+            merged_energy = EnergyBreakdown()
+            merged_energy.merge(compute_energy)
+            merged_energy.merge(engine.profile(add_proto).energy)
+            compute_energy = merged_energy
+            pim += rows
+            move += 2 * rows
+            prep_words += rows
+        rounds = [
+            Round(
+                label=f"{operation.output} = "
+                f"{'T' if transposed else ''}matvec",
+                prep_words=prep_words,
+                prep_targets=parallel,
+                compute_ns=compute_ns,
+                compute_time=compute_time,
+                compute_energy=compute_energy,
+                move_vpcs=move,
+            )
+        ]
+        return rounds, OpCounts(pim_vpcs=pim, move_vpcs=move)
+
+    def _lower_add(self, operation, handles, placer):
+        """C = A + B, row-wise vector additions distributed over rows."""
+        a = handles[operation.inputs[0]]
+        m, k = a.shape
+        parallel = self._parallelism(a, m)
+        per_sub = math.ceil(m / parallel)
+        engine = self._engine()
+        proto = VPC.add(0, 0, 0, k)
+        batch = engine.batch_profile(proto, per_sub)
+        rounds = [
+            Round(
+                label=f"{operation.output} = add",
+                prep_words=m * k,  # move every B row to its A row
+                prep_targets=parallel,
+                compute_ns=batch.time_ns,
+                compute_time=batch.time,
+                compute_energy=engine.profile(proto).energy.scaled(float(m)),
+                move_vpcs=m,
+            )
+        ]
+        return rounds, OpCounts(pim_vpcs=m, move_vpcs=m)
+
+    def _lower_scale(self, operation, handles, placer):
+        """B = alpha * A, row-wise SMULs; results stay in place."""
+        a = handles[operation.inputs[0]]
+        m, k = a.shape
+        parallel = self._parallelism(a, m)
+        per_sub = math.ceil(m / parallel)
+        engine = self._engine()
+        proto = VPC.smul(0, 0, 0, k)
+        batch = engine.batch_profile(proto, per_sub)
+        rounds = [
+            Round(
+                label=f"{operation.output} = scale",
+                prep_words=parallel,  # deliver the scalar to each subarray
+                prep_targets=parallel,
+                compute_ns=batch.time_ns,
+                compute_time=batch.time,
+                compute_energy=engine.profile(proto).energy.scaled(float(m)),
+                move_vpcs=m,
+            )
+        ]
+        return rounds, OpCounts(pim_vpcs=m, move_vpcs=m)
+
+    def _lower_dot(self, operation, handles, placer):
+        """s = x . y: a single MUL VPC."""
+        x = handles[operation.inputs[0]]
+        length = x.cols
+        engine = self._engine()
+        profile = engine.profile(VPC.mul(0, 0, 0, length))
+        rounds = [
+            Round(
+                label=f"{operation.output} = dot",
+                prep_words=length,  # deliver y to x's subarray
+                prep_targets=1,
+                compute_ns=profile.time_ns,
+                compute_time=profile.time,
+                compute_energy=profile.energy,
+                move_vpcs=1,
+            )
+        ]
+        return rounds, OpCounts(pim_vpcs=1, move_vpcs=2)
+
+    # ------------------------------------------------------------------
+    # Functional execution (exact integer arithmetic)
+    # ------------------------------------------------------------------
+    def _apply_functional(
+        self, operation: TaskOperation, results: Dict[str, np.ndarray]
+    ) -> None:
+        op = operation.op
+        inputs = [results[name] for name in operation.inputs]
+        scalar = (
+            self._scalars[operation.scalar]
+            if operation.scalar is not None
+            else 1
+        )
+        if op is TaskOp.MATMUL:
+            results[operation.output] = scalar * (inputs[0] @ inputs[1])
+        elif op is TaskOp.MATVEC:
+            results[operation.output] = scalar * (
+                inputs[0] @ inputs[1].ravel()
+            ).reshape(1, -1)
+        elif op is TaskOp.MATVEC_T:
+            results[operation.output] = scalar * (
+                inputs[0].T @ inputs[1].ravel()
+            ).reshape(1, -1)
+        elif op is TaskOp.MATVEC_ACC:
+            results[operation.output] = results[operation.output] + scalar * (
+                inputs[0] @ inputs[1].ravel()
+            ).reshape(1, -1)
+        elif op is TaskOp.MATVEC_T_ACC:
+            results[operation.output] = results[operation.output] + scalar * (
+                inputs[0].T @ inputs[1].ravel()
+            ).reshape(1, -1)
+        elif op in (TaskOp.MAT_ADD, TaskOp.VEC_ADD):
+            results[operation.output] = inputs[0] + inputs[1]
+        elif op in (TaskOp.MAT_SCALE, TaskOp.VEC_SCALE):
+            results[operation.output] = scalar * inputs[0]
+        elif op is TaskOp.DOT:
+            results[operation.output] = np.array(
+                [[int(np.dot(inputs[0].ravel(), inputs[1].ravel()))]],
+                dtype=np.int64,
+            )
+        else:  # pragma: no cover - exhaustive over TaskOp
+            raise NotImplementedError(str(op))
+
+    # ------------------------------------------------------------------
+    # Explicit trace generation (event mode / Table IV validation)
+    # ------------------------------------------------------------------
+    def run_event(self, workload: str = "task") -> RunReport:
+        """Execute this task through the event-driven engine.
+
+        Enumerates the VPC trace, seeds the device's word store with the
+        operand values, replays the trace with per-subarray blocking,
+        and reads the results back.  O(#VPC) — intended for reduced
+        problem sizes; use :meth:`run` at paper scale.
+        """
+        trace = self.to_trace()
+        self.materialize(self.device)
+        stats = self.device.execute_trace(trace, workload=workload)
+        results = self.fetch_results(self.device)
+        counts = OpCounts(
+            pim_vpcs=trace.stats.pim_vpcs,
+            move_vpcs=trace.stats.move_vpcs,
+        )
+        return RunReport(
+            stats=stats, results=results, counts=counts, per_op_ns=[]
+        )
+
+    def to_trace(self) -> VPCTrace:
+        """Enumerate the full VPC stream with placed addresses.
+
+        One MUL per dot product, one TRAN per operand delivery, one TRAN
+        per scalar collection — the Table IV counting convention.  Cost
+        is O(#VPC); intended for reduced problem sizes.
+
+        The placement used is cached so :meth:`materialize` can seed a
+        device's word store and :meth:`fetch_results` can read the
+        outputs back after event-mode execution.
+        """
+        placer = self._build_placer()
+        handles = self._place_all(placer)
+        trace = VPCTrace()
+        scratch = ScratchAllocator(placer)
+        self._trace_handles = handles
+        self._trace_scalar_slots = {}
+        for operation in self._operations:
+            self._trace_operation(operation, handles, trace, scratch)
+        return trace
+
+    def materialize(self, device: Optional[StreamPIMDevice] = None) -> None:
+        """Seed a device's word store with the placed operand values.
+
+        Call after :meth:`to_trace`; writes every matrix (primary layout
+        plus any transposed mirror) and every scalar slot the trace
+        references.
+        """
+        device = device or self.device
+        handles = self._require_trace_state()
+        for name, values in self._matrices.items():
+            self._write_matrix(device, handles[name], values)
+        for address, scalar_name in self._trace_scalar_slots.items():
+            value = (
+                self._scalars[scalar_name] if scalar_name is not None else 1
+            )
+            device.store.write(address, [value])
+
+    def fetch_results(self, device: Optional[StreamPIMDevice] = None):
+        """Read every matrix back from a device's word store.
+
+        Returns:
+            {name: ndarray} in logical orientation.
+        """
+        device = device or self.device
+        handles = self._require_trace_state()
+        out: Dict[str, np.ndarray] = {}
+        for name in self._matrices:
+            out[name] = self._read_matrix(device, handles[name])
+        return out
+
+    def _require_trace_state(self) -> Dict[str, MatrixHandle]:
+        handles = getattr(self, "_trace_handles", None)
+        if handles is None:
+            raise RuntimeError("call to_trace() before seeding/fetching")
+        return handles
+
+    @staticmethod
+    def _write_matrix(device, handle, values) -> None:
+        stored = np.asarray(values).T if handle.stored_transposed else values
+        for i, row in enumerate(np.asarray(stored)):
+            piece = handle.row_slices(i)[0]
+            device.store.write(piece.address, row[: piece.length])
+        if handle.mirror is not None:
+            PimTask._write_matrix(device, handle.mirror, np.asarray(values).T)
+
+    @staticmethod
+    def _read_matrix(device, handle) -> np.ndarray:
+        rows = []
+        for i in range(handle.stored_rows):
+            piece = handle.row_slices(i)[0]
+            rows.append(device.store.read(piece.address, piece.length))
+        stored = np.vstack(rows)
+        return stored.T if handle.stored_transposed else stored
+
+    def _trace_operation(self, operation, handles, trace, scratch) -> None:
+        op = operation.op
+        if op is TaskOp.MATMUL:
+            a = handles[operation.inputs[0]]
+            b = handles[operation.inputs[1]]
+            c = handles[operation.output]
+            m, k = a.shape
+            n = b.cols
+            for j in range(n):
+                column_source = self._column_source(b, j, k, trace, scratch)
+                for i in range(m):
+                    row = a.row_slices(i)[0]
+                    column = scratch.near(row, k)
+                    trace.append(VPC.tran(column_source, column, k))
+                    trace.append(
+                        VPC.mul(row.address, column,
+                                c.element_address(i, j), k)
+                    )
+        elif op in (TaskOp.MATVEC, TaskOp.MATVEC_T,
+                    TaskOp.MATVEC_ACC, TaskOp.MATVEC_T_ACC):
+            a = handles[operation.inputs[0]]
+            x = handles[operation.inputs[1]]
+            y = handles[operation.output]
+            transposed = op in (TaskOp.MATVEC_T, TaskOp.MATVEC_T_ACC)
+            accumulate = op in (TaskOp.MATVEC_ACC, TaskOp.MATVEC_T_ACC)
+            rows, length = (
+                (a.cols, a.rows) if transposed else (a.rows, a.cols)
+            )
+            source = a.mirror if (transposed and a.mirror) else a
+            if transposed and a.mirror is None and not a.stored_transposed:
+                raise RuntimeError(
+                    f"matrix {a.name!r} needs a transposed layout for "
+                    "column access; _place_all should have mirrored it"
+                )
+            for i in range(rows):
+                if transposed and a.stored_transposed:
+                    row_piece = a.row_slices(i)[0]
+                else:
+                    row_piece = source.row_slices(i)[0]
+                operand = scratch.near(row_piece, length)
+                trace.append(VPC.tran(x.row_slices(0)[0].address,
+                                      operand, length))
+                result = scratch.near(row_piece, 1)
+                trace.append(
+                    VPC.mul(row_piece.address, operand, result, length)
+                )
+                dest = y.element_address(0, i)
+                if accumulate:
+                    # Dot collect, add delivery, the add itself, and the
+                    # add's collect back into the destination vector.
+                    collected = scratch.near(y.row_slices(0)[0], 1)
+                    trace.append(VPC.tran(result, collected, 1))
+                    old_value = scratch.near(y.row_slices(0)[0], 1)
+                    trace.append(VPC.tran(dest, old_value, 1))
+                    acc = scratch.near(y.row_slices(0)[0], 1)
+                    trace.append(VPC.add(collected, old_value, acc, 1))
+                    trace.append(VPC.tran(acc, dest, 1))
+                else:
+                    trace.append(VPC.tran(result, dest, 1))
+        elif op in (TaskOp.MAT_ADD, TaskOp.VEC_ADD):
+            a = handles[operation.inputs[0]]
+            b = handles[operation.inputs[1]]
+            c = handles[operation.output]
+            for i in range(a.rows):
+                row = a.row_slices(i)[0]
+                staged = scratch.near(row, a.cols)
+                trace.append(
+                    VPC.tran(b.row_slices(i)[0].address, staged, a.cols)
+                )
+                trace.append(
+                    VPC.add(row.address, staged,
+                            c.row_slices(i)[0].address, a.cols)
+                )
+        elif op in (TaskOp.MAT_SCALE, TaskOp.VEC_SCALE):
+            a = handles[operation.inputs[0]]
+            c = handles[operation.output]
+            for i in range(a.rows):
+                row = a.row_slices(i)[0]
+                scalar_slot = scratch.unique(row, 1)
+                self._trace_scalar_slots[scalar_slot] = operation.scalar
+                trace.append(VPC.tran(scalar_slot, scalar_slot, 1))
+                trace.append(
+                    VPC.smul(scalar_slot, row.address,
+                             c.row_slices(i)[0].address, a.cols)
+                )
+        elif op is TaskOp.DOT:
+            x = handles[operation.inputs[0]]
+            y = handles[operation.inputs[1]]
+            s = handles[operation.output]
+            row = x.row_slices(0)[0]
+            staged = scratch.near(row, x.cols)
+            trace.append(VPC.tran(y.row_slices(0)[0].address, staged, x.cols))
+            trace.append(
+                VPC.mul(row.address, staged, s.row_slices(0)[0].address,
+                        x.cols)
+            )
+        else:  # pragma: no cover - exhaustive over TaskOp
+            raise NotImplementedError(str(op))
+
+    def _column_source(self, b, j, k, trace, scratch) -> int:
+        """Address of a contiguous copy of column ``j`` of ``b``.
+
+        Transposed-stored matrices expose columns directly; otherwise
+        the column is gathered element-wise into scratch (extra size-1
+        TRANs beyond the Table IV counting convention — the layout
+        optimisation in :meth:`_place_all` avoids this for every
+        workload in the repository).
+        """
+        if b.stored_transposed:
+            return b.row_slices(j)[0].address
+        staging = scratch.near(b.row_slices(0)[0], k)
+        for r in range(k):
+            trace.append(VPC.tran(b.element_address(r, j), staging + r, 1))
+        return staging
+
+    # ------------------------------------------------------------------
+    def _validate_shapes(
+        self, op: TaskOp, inputs: Tuple[str, ...], output: str
+    ) -> None:
+        shapes = [self._matrices[name].shape for name in inputs]
+        out_shape = self._matrices[output].shape
+        if op is TaskOp.MATMUL:
+            if len(inputs) != 2:
+                raise ValueError("MATMUL takes two inputs")
+            if shapes[0][1] != shapes[1][0]:
+                raise ValueError(
+                    f"inner dimensions differ: {shapes[0]} @ {shapes[1]}"
+                )
+            if out_shape != (shapes[0][0], shapes[1][1]):
+                raise ValueError(
+                    f"output shape {out_shape} != "
+                    f"{(shapes[0][0], shapes[1][1])}"
+                )
+        elif op in (TaskOp.MATVEC, TaskOp.MATVEC_ACC):
+            if shapes[0][1] != shapes[1][1] or shapes[1][0] != 1:
+                raise ValueError(
+                    f"matvec shapes incompatible: {shapes[0]} @ {shapes[1]}"
+                )
+        elif op in (TaskOp.MATVEC_T, TaskOp.MATVEC_T_ACC):
+            if shapes[0][0] != shapes[1][1] or shapes[1][0] != 1:
+                raise ValueError(
+                    f"matvec_t shapes incompatible: {shapes[0]} "
+                    f"vs {shapes[1]}"
+                )
+        elif op in (TaskOp.MAT_ADD, TaskOp.VEC_ADD):
+            if shapes[0] != shapes[1] or out_shape != shapes[0]:
+                raise ValueError(
+                    f"addition needs equal shapes, got {shapes} -> "
+                    f"{out_shape}"
+                )
+        elif op in (TaskOp.MAT_SCALE, TaskOp.VEC_SCALE):
+            if out_shape != shapes[0]:
+                raise ValueError(
+                    f"scale output {out_shape} != input {shapes[0]}"
+                )
+        elif op is TaskOp.DOT:
+            if shapes[0] != shapes[1] or shapes[0][0] != 1:
+                raise ValueError(
+                    f"dot needs two equal vectors, got {shapes}"
+                )
+
+
+class ScratchAllocator:
+    """Allocates scratch staging words near a row slice (trace
+    generation).
+
+    Staging areas are physically reused across VPCs (the bus drains one
+    operand before the next arrives), so allocations of the same size in
+    the same subarray cycle through a small pool of slots instead of
+    consuming fresh capacity per VPC.
+    """
+
+    #: Concurrent staging slots per (subarray, size) class.
+    SLOTS = 4
+
+    def __init__(self, placer: Placer) -> None:
+        self._placer = placer
+        self._cursors: Dict[Tuple[int, int], int] = {}
+        self._pools: Dict[Tuple[Tuple[int, int], int], List[int]] = {}
+        self._next_slot: Dict[Tuple[Tuple[int, int], int], int] = {}
+
+    def near(self, row_slice, words: int) -> int:
+        """Scratch address in the same subarray as ``row_slice``."""
+        key = row_slice.subarray_key
+        pool_key = (key, words)
+        pool = self._pools.setdefault(pool_key, [])
+        if len(pool) < self.SLOTS:
+            pool.append(self._allocate(key, words))
+            index = len(pool) - 1
+        else:
+            index = self._next_slot.get(pool_key, 0)
+        self._next_slot[pool_key] = (index + 1) % self.SLOTS
+        return pool[index]
+
+    def unique(self, row_slice, words: int) -> int:
+        """A never-reused scratch address (for pre-seeded constants)."""
+        return self._allocate(row_slice.subarray_key, words)
+
+    def _allocate(self, key: Tuple[int, int], words: int) -> int:
+        capacity = self._placer.subarray_capacity_words
+        base = self._placer.address_map.subarray_base(*key)
+        cursor = self._cursors.get(key, capacity - 1)
+        cursor -= words
+        if cursor < 0:
+            raise MemoryError(f"scratch exhausted in subarray {key}")
+        self._cursors[key] = cursor
+        return base + cursor + 1
+
+
+def create_pim_task(
+    device: Optional[StreamPIMDevice] = None,
+    config: Optional[StreamPIMConfig] = None,
+) -> PimTask:
+    """Create a PIM task (step 1 of Fig. 16)."""
+    if device is not None and config is not None:
+        raise ValueError("pass either a device or a config, not both")
+    if device is None:
+        device = StreamPIMDevice(config)
+    return PimTask(device)

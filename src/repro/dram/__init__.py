@@ -1,0 +1,31 @@
+"""DDR4 DRAM substrate (the CPU-DRAM platform's memory system).
+
+The paper's CPU-DRAM baseline uses "DDR4 DRAM with 2400MHz IO speed"
+inside gem5.  This package provides that substrate: JEDEC-style timing
+parameters, per-bank row-buffer state machines, and a simple in-order
+memory controller — enough to derive the effective bandwidths the
+analytic CPU model uses (streaming vs row-conflict access patterns) from
+first principles instead of asserting them.
+"""
+
+from repro.dram.timing import DDR4TimingConfig, DDR4_2400
+from repro.dram.bank import DRAMBank, RowBufferOutcome
+from repro.dram.controller import (
+    DRAMController,
+    MemoryRequest,
+    AccessPattern,
+    sequential_pattern,
+    strided_pattern,
+)
+
+__all__ = [
+    "DDR4TimingConfig",
+    "DDR4_2400",
+    "DRAMBank",
+    "RowBufferOutcome",
+    "DRAMController",
+    "MemoryRequest",
+    "AccessPattern",
+    "sequential_pattern",
+    "strided_pattern",
+]

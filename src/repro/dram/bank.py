@@ -1,0 +1,72 @@
+"""DRAM bank state machine: row buffer and timing windows."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.dram.timing import DDR4TimingConfig
+
+
+class RowBufferOutcome(enum.Enum):
+    """Classification of one access against the bank's open row."""
+
+    HIT = "hit"
+    MISS = "miss"  # bank idle (precharged)
+    CONFLICT = "conflict"  # another row open
+
+
+class DRAMBank:
+    """One DRAM bank: open-row tracking plus a busy-until ledger."""
+
+    def __init__(self, timing: Optional[DDR4TimingConfig] = None) -> None:
+        self.timing = timing or DDR4TimingConfig()
+        self.open_row: Optional[int] = None
+        self.busy_until_ns = 0.0
+        self.row_opened_at_ns = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.conflicts = 0
+
+    def classify(self, row: int) -> RowBufferOutcome:
+        if self.open_row is None:
+            return RowBufferOutcome.MISS
+        if self.open_row == row:
+            return RowBufferOutcome.HIT
+        return RowBufferOutcome.CONFLICT
+
+    def access(self, row: int, now_ns: float) -> float:
+        """Serve one burst to ``row``; returns the completion time.
+
+        Applies the hit/miss/conflict latency, honours tRAS before a
+        conflicting row may be closed, and leaves the row open
+        (open-page policy, as in gem5's default controller).
+        """
+        if row < 0:
+            raise ValueError(f"row must be non-negative, got {row}")
+        t = self.timing
+        start = max(now_ns, self.busy_until_ns)
+        outcome = self.classify(row)
+        if outcome is RowBufferOutcome.HIT:
+            self.hits += 1
+            finish = start + t.row_hit_ns
+        elif outcome is RowBufferOutcome.MISS:
+            self.misses += 1
+            finish = start + t.row_miss_ns
+            self.open_row = row
+            self.row_opened_at_ns = start
+        else:
+            self.conflicts += 1
+            # The open row must have been open for at least tRAS before
+            # it can be precharged.
+            earliest_precharge = self.row_opened_at_ns + t.tras_ns
+            start = max(start, earliest_precharge)
+            finish = start + t.row_conflict_ns
+            self.open_row = row
+            self.row_opened_at_ns = start + t.trp_ns + t.trcd_ns
+        self.busy_until_ns = finish
+        return finish
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.conflicts

@@ -1,0 +1,86 @@
+"""JEDEC-style DDR4 timing parameters.
+
+Values follow DDR4-2400 (CL17 grade): the IO bus runs at 1200 MHz
+double-data-rate, a burst of length 8 moves 64 bytes over an 8-byte
+channel in four bus clocks, and the core timing parameters are the usual
+tRCD / tCAS / tRP / tRAS set.  All durations in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DDR4TimingConfig:
+    """DDR4 device timing.
+
+    Attributes:
+        io_mhz: IO bus frequency (double data rate on top of this).
+        bus_bytes: channel width in bytes.
+        burst_length: beats per access burst.
+        trcd_ns: activate-to-read delay.
+        tcas_ns: read command to first data.
+        trp_ns: precharge time.
+        tras_ns: minimum row-open time (activate to precharge).
+        banks: banks per channel (bank groups flattened).
+    """
+
+    io_mhz: float = 1200.0
+    bus_bytes: int = 8
+    burst_length: int = 8
+    trcd_ns: float = 14.16
+    tcas_ns: float = 14.16
+    trp_ns: float = 14.16
+    tras_ns: float = 32.0
+    banks: int = 16
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        for name in (
+            "io_mhz",
+            "bus_bytes",
+            "burst_length",
+            "trcd_ns",
+            "tcas_ns",
+            "trp_ns",
+            "tras_ns",
+            "banks",
+            "row_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes one burst moves (the cache-line granule)."""
+        return self.bus_bytes * self.burst_length
+
+    @property
+    def burst_ns(self) -> float:
+        """Bus occupancy of one burst (DDR: two beats per clock)."""
+        return (self.burst_length / 2) / (self.io_mhz / 1e3)
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak channel bandwidth in GB/s (= bytes/ns)."""
+        return self.burst_bytes / self.burst_ns
+
+    @property
+    def row_hit_ns(self) -> float:
+        """Latency of an access to an already-open row."""
+        return self.tcas_ns + self.burst_ns
+
+    @property
+    def row_miss_ns(self) -> float:
+        """Latency of an access to a closed bank (activate first)."""
+        return self.trcd_ns + self.row_hit_ns
+
+    @property
+    def row_conflict_ns(self) -> float:
+        """Latency when another row is open (precharge + activate)."""
+        return self.trp_ns + self.row_miss_ns
+
+
+#: The paper's configuration: "8 GiB; 2400MHz IO bus speed".
+DDR4_2400 = DDR4TimingConfig()

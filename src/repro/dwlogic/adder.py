@@ -1,0 +1,129 @@
+"""Domain-wall adders: full adder, ripple-carry adder, adder tree.
+
+The one-bit full adder of Fig. 6 is built from domain-wall NAND gates;
+the RM processor chains it into a ripple-carry adder for scalar addition
+(section III-C) and into an adder tree that sums the partial products of
+a multiplication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+from repro.dwlogic.gates import GateCounter, dw_nand, dw_xor
+
+
+def full_adder(
+    a: int, b: int, cin: int, counter: GateCounter | None = None
+) -> Tuple[int, int]:
+    """One-bit full adder from NAND/XOR domain-wall gates (Fig. 6).
+
+    Returns:
+        ``(sum, carry_out)``.
+    """
+    partial = dw_xor(a, b, counter)
+    s = dw_xor(partial, cin, counter)
+    # carry = (a AND b) OR (cin AND (a XOR b)) via three NANDs.
+    n1 = dw_nand(a, b, counter)
+    n2 = dw_nand(partial, cin, counter)
+    carry = dw_nand(n1, n2, counter)
+    return s, carry
+
+
+def ripple_carry_add(
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    counter: GateCounter | None = None,
+    cin: int = 0,
+) -> List[int]:
+    """Ripple-carry addition of two LSB-first bit vectors.
+
+    Operands of unequal width are zero-extended; the result carries one
+    extra bit so no overflow is lost (the RM processor widens its
+    accumulation nanowires the same way).
+
+    Returns:
+        LSB-first sum bits, ``max(len(a), len(b)) + 1`` wide.
+    """
+    width = max(len(a_bits), len(b_bits))
+    if width == 0:
+        raise ValueError("operands must have at least one bit")
+    a_ext = list(a_bits) + [0] * (width - len(a_bits))
+    b_ext = list(b_bits) + [0] * (width - len(b_bits))
+    carry = cin
+    out: List[int] = []
+    for a_bit, b_bit in zip(a_ext, b_ext):
+        s, carry = full_adder(a_bit, b_bit, carry, counter)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+class AdderTree:
+    """Balanced tree of ripple-carry adders summing many operands.
+
+    Stage 3 of the RM processor pipeline (Fig. 11) sums the partial
+    products of a scalar multiplication with such a tree; its depth
+    (``ceil(log2(n_operands))`` levels) sets that pipeline stage's fill
+    latency.
+
+    Args:
+        n_operands: number of inputs the tree accepts (>= 1).
+    """
+
+    def __init__(self, n_operands: int) -> None:
+        if n_operands < 1:
+            raise ValueError(f"n_operands must be >= 1, got {n_operands}")
+        self.n_operands = n_operands
+
+    @property
+    def depth(self) -> int:
+        """Number of adder levels between inputs and the root."""
+        depth = 0
+        width = self.n_operands
+        while width > 1:
+            width = (width + 1) // 2
+            depth += 1
+        return depth
+
+    @property
+    def adder_count(self) -> int:
+        """Total ripple-carry adders in the tree (n-1 for n operands)."""
+        return max(0, self.n_operands - 1)
+
+    def sum_bits(
+        self,
+        operands: Sequence[Sequence[int]],
+        counter: GateCounter | None = None,
+    ) -> List[int]:
+        """Sum LSB-first bit vectors through the tree, level by level.
+
+        Returns:
+            LSB-first bits of the total.
+        """
+        if len(operands) != self.n_operands:
+            raise ValueError(
+                f"expected {self.n_operands} operands, got {len(operands)}"
+            )
+        level: List[List[int]] = [list(op) for op in operands]
+        while len(level) > 1:
+            next_level: List[List[int]] = []
+            for i in range(0, len(level) - 1, 2):
+                next_level.append(
+                    ripple_carry_add(level[i], level[i + 1], counter)
+                )
+            if len(level) % 2 == 1:
+                next_level.append(level[-1])
+            level = next_level
+        return level[0]
+
+    def sum_ints(
+        self,
+        values: Sequence[int],
+        width: int,
+        counter: GateCounter | None = None,
+    ) -> int:
+        """Sum unsigned integers (each ``width`` bits) through the tree."""
+        bit_operands = [int_to_bits(v, width) for v in values]
+        return bits_to_int(self.sum_bits(bit_operands, counter))

@@ -1,0 +1,46 @@
+"""Bit-vector helpers shared by the domain-wall logic models.
+
+Bit lists are LSB-first throughout this package: ``bits[0]`` is the least
+significant bit, matching how operands stream tail-first through the
+shift-based datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Convert an unsigned integer to an LSB-first bit list.
+
+    Args:
+        value: non-negative integer, must fit in ``width`` bits.
+        width: number of bits to produce.
+
+    Raises:
+        ValueError: if the value is negative or does not fit.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Convert an LSB-first bit list to an unsigned integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits[{i}] must be 0 or 1, got {bit}")
+        value |= bit << i
+    return value
+
+
+def bit_width(value: int) -> int:
+    """Minimum number of bits needed to represent a non-negative int."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return max(1, value.bit_length())

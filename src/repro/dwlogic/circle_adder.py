@@ -1,0 +1,122 @@
+"""Circle adder (Fig. 10).
+
+Stage 4 of the RM processor accumulates the stream of scalar-product
+results of a dot product.  The *circle adder* is an n-bit full adder
+whose output loops back to one operand position through a circle-shaped
+nanowire guarded by a domain-wall diode:
+
+1. the full adder sums the incoming product ``d1`` with the accumulated
+   result ``s1``;
+2. the new result ``s2`` shifts across the diode;
+3. ``s2`` travels around the circle nanowire back to the operand
+   position;
+4. the next product ``d2`` arrives, ready for the following iteration.
+
+With the feedback path unused (operands simply shifted across the full
+adder and out), the same hardware performs plain scalar addition — the
+paper multiplexes one circle adder for both roles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dwlogic.adder import ripple_carry_add
+from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+from repro.dwlogic.diode import DomainWallDiode
+from repro.dwlogic.gates import GateCounter
+
+
+class CircleAdder:
+    """Accumulator built from a full adder and a circular feedback wire.
+
+    Args:
+        width: bit width of the accumulation register.  Dot products over
+            long vectors need headroom beyond the product width; callers
+            size this as ``2 * operand_bits + ceil(log2(n))``.
+    """
+
+    #: Shift steps of one accumulation iteration (Fig. 10 steps 1-4).
+    STEPS_PER_ACCUMULATE = 4
+
+    def __init__(self, width: int = 32) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self.diode = DomainWallDiode(forward=1)
+        self._acc_bits: List[int] = [0] * width
+        self.accumulate_count = 0
+        self.step_count = 0
+
+    @property
+    def value(self) -> int:
+        """Current accumulated value."""
+        return bits_to_int(self._acc_bits)
+
+    def reset(self) -> None:
+        self._acc_bits = [0] * self.width
+        self.accumulate_count = 0
+        self.step_count = 0
+
+    def accumulate_bits(
+        self, bits: Sequence[int], counter: GateCounter | None = None
+    ) -> None:
+        """Add an incoming LSB-first value into the accumulator.
+
+        Models the four-step loop of Fig. 10, including the diode
+        crossing on the feedback path.
+
+        Raises:
+            OverflowError: if the sum no longer fits in ``width`` bits —
+                a real circle adder would silently wrap, so the model
+                refuses instead of corrupting results.
+        """
+        if len(bits) > self.width:
+            raise ValueError(
+                f"operand of {len(bits)} bits exceeds accumulator width "
+                f"{self.width}"
+            )
+        total = ripple_carry_add(self._acc_bits, list(bits), counter)
+        if any(total[self.width :]):
+            raise OverflowError(
+                f"accumulator overflow: result needs more than "
+                f"{self.width} bits"
+            )
+        # Steps 2-3: the new sum crosses the diode and loops back.
+        self.diode.propagate(self.diode.forward)
+        self._acc_bits = total[: self.width]
+        self.accumulate_count += 1
+        self.step_count += self.STEPS_PER_ACCUMULATE
+
+    def accumulate(self, value: int, counter: GateCounter | None = None) -> None:
+        """Add an unsigned integer into the accumulator."""
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        self.accumulate_bits(
+            int_to_bits(value, max(1, value.bit_length())), counter
+        )
+
+    def add_once(
+        self,
+        a_bits: Sequence[int],
+        b_bits: Sequence[int],
+        counter: GateCounter | None = None,
+    ) -> List[int]:
+        """One-shot scalar addition (feedback path bypassed).
+
+        This is the multiplexed "simple adder" role: operands shift
+        across the full adder and the result leaves immediately instead
+        of looping back.
+        """
+        return ripple_carry_add(list(a_bits), list(b_bits), counter)
+
+    def dot_product_tail(
+        self,
+        products: Sequence[int],
+        counter: GateCounter | None = None,
+    ) -> int:
+        """Accumulate a stream of scalar products and return the total."""
+        self.reset()
+        for product in products:
+            self.accumulate(product, counter)
+        return self.value

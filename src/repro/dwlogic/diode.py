@@ -1,0 +1,58 @@
+"""Domain-wall diode.
+
+Luo et al. (Phys. Rev. Applied 2021) demonstrate a field-/current-driven
+domain-wall diode: when enabled it lets domains propagate in only one
+direction, which StreamPIM uses to steer data inside the duplicator
+(Fig. 9) and the circle adder (Fig. 10).
+"""
+
+from __future__ import annotations
+
+
+class DiodeDirectionError(RuntimeError):
+    """Raised when a domain is pushed against an enabled diode."""
+
+
+class DomainWallDiode:
+    """Direction gate on a nanowire junction.
+
+    Attributes:
+        forward: the direction (+1 or -1) domains may pass when the
+            diode is enabled.
+        enabled: whether the diode currently blocks reverse propagation.
+            A disabled diode passes domains both ways (the device can be
+            switched off by removing its drive field/current).
+    """
+
+    def __init__(self, forward: int = 1, enabled: bool = True) -> None:
+        if forward not in (1, -1):
+            raise ValueError(f"forward must be +1 or -1, got {forward}")
+        self.forward = forward
+        self.enabled = enabled
+        self.pass_count = 0
+        self.block_count = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def allows(self, direction: int) -> bool:
+        """Whether a domain moving in ``direction`` may pass."""
+        if direction not in (1, -1):
+            raise ValueError(f"direction must be +1 or -1, got {direction}")
+        return (not self.enabled) or direction == self.forward
+
+    def propagate(self, direction: int) -> None:
+        """Record a domain crossing attempt.
+
+        Raises:
+            DiodeDirectionError: if the diode blocks the move.
+        """
+        if not self.allows(direction):
+            self.block_count += 1
+            raise DiodeDirectionError(
+                f"diode blocks propagation in direction {direction}"
+            )
+        self.pass_count += 1

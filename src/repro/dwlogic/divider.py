@@ -1,0 +1,104 @@
+"""Domain-wall integer divider (section VI extension).
+
+The paper leaves dividers as future work ("by implementing and
+integrating other specified processors (e.g., divider, square-root
+extractor ...) StreamPIM can be extended"); this module implements one
+from the same primitives the core datapath uses: a restoring divider
+built from ripple-carry subtraction (two's-complement addition through
+the domain-wall full adder) and shift positioning, which on nanowires is
+free placement.
+
+One quotient bit is produced per iteration, so a ``width``-bit division
+takes ``width`` subtract-and-restore steps — the structural cycle count
+exposed for timing models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dwlogic.adder import ripple_carry_add
+from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+from repro.dwlogic.gates import GateCounter, dw_not
+
+
+def _twos_complement_subtract(
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    width: int,
+    counter: GateCounter | None = None,
+) -> Tuple[List[int], int]:
+    """``a - b`` at fixed ``width`` via invert-and-add-one.
+
+    Returns:
+        ``(difference_bits, no_borrow)`` — ``no_borrow`` is the carry
+        out, 1 when ``a >= b``.
+    """
+    a_ext = list(a_bits) + [0] * (width - len(a_bits))
+    b_ext = list(b_bits) + [0] * (width - len(b_bits))
+    b_inverted = [dw_not(bit, counter) for bit in b_ext]
+    total = ripple_carry_add(a_ext, b_inverted, counter, cin=1)
+    return total[:width], total[width]
+
+
+class RestoringDivider:
+    """Bit-accurate ``width``-bit restoring divider.
+
+    Args:
+        width: operand width in bits.
+    """
+
+    def __init__(self, width: int = 8) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+
+    @property
+    def steps(self) -> int:
+        """Subtract-and-restore iterations per division."""
+        return self.width
+
+    def divide_bits(
+        self,
+        dividend: Sequence[int],
+        divisor: Sequence[int],
+        counter: GateCounter | None = None,
+    ) -> Tuple[List[int], List[int]]:
+        """LSB-first (quotient, remainder) of an unsigned division.
+
+        Raises:
+            ZeroDivisionError: when the divisor is zero.
+        """
+        if len(dividend) != self.width or len(divisor) != self.width:
+            raise ValueError(
+                f"operands must be {self.width} bits, got "
+                f"{len(dividend)}/{len(divisor)}"
+            )
+        if not any(divisor):
+            raise ZeroDivisionError("division by zero")
+        # Remainder register one bit wider than the divisor so the trial
+        # subtraction's borrow is meaningful.
+        acc_width = self.width + 1
+        remainder = [0] * acc_width
+        quotient = [0] * self.width
+        for bit in range(self.width - 1, -1, -1):
+            # Shift the next dividend bit into the remainder (MSB first).
+            remainder = [dividend[bit]] + remainder[:-1]
+            trial, no_borrow = _twos_complement_subtract(
+                remainder, list(divisor), acc_width, counter
+            )
+            if no_borrow:
+                remainder = trial
+                quotient[bit] = 1
+        return quotient, remainder[: self.width]
+
+    def divide(
+        self, dividend: int, divisor: int, counter: GateCounter | None = None
+    ) -> Tuple[int, int]:
+        """Unsigned integer division: returns (quotient, remainder)."""
+        q_bits, r_bits = self.divide_bits(
+            int_to_bits(dividend, self.width),
+            int_to_bits(divisor, self.width),
+            counter,
+        )
+        return bits_to_int(q_bits), bits_to_int(r_bits)

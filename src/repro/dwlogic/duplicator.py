@@ -1,0 +1,98 @@
+"""Fan-out duplicator (Fig. 9).
+
+Scalar multiplication needs one operand replicated once per bit of the
+other operand (section III-C).  Shift operations *move* domains rather
+than copying them, so StreamPIM builds a *Duplicator* from two
+material-level mechanisms:
+
+* **Fan-out** — a Y-shaped nanowire junction: a domain propagating
+  through the fan-out point is split into two domains, one per branch.
+* **Domain-wall diode** — placed on one branch so the replica on that
+  branch can be shifted *back* to the input position without colliding
+  with incoming data.
+
+One duplication is a four-step cycle: (1) shift data toward the
+branches, (2) the domain splits at the fan-out point, (3) the retained
+replica returns through the diode branch, (4) data is back at the start,
+ready to duplicate again, while the other replica moves onward.
+
+An ``n``-bit scalar multiplication therefore needs ``n`` duplications;
+the processor integrates several duplicators working on different parts
+of a vector to hide this latency (Table III uses 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dwlogic.diode import DomainWallDiode
+
+
+class Duplicator:
+    """Functional model of the fan-out duplicator.
+
+    Holds a word (as an LSB-first bit list) at its input position and
+    emits one replica per :meth:`duplicate` call, modelling the four-step
+    shift sequence of Fig. 9.  Step counting lets the processor timing
+    model derive the duplication initiation interval from the structure
+    instead of hard-coding it.
+    """
+
+    #: Shift steps in one duplication cycle (Fig. 9 steps 1-4).
+    STEPS_PER_DUPLICATION = 4
+
+    def __init__(self) -> None:
+        self.diode = DomainWallDiode(forward=-1)
+        self._word: List[int] | None = None
+        self.duplication_count = 0
+        self.step_count = 0
+
+    @property
+    def loaded(self) -> bool:
+        return self._word is not None
+
+    def load(self, bits: Sequence[int]) -> None:
+        """Place an operand at the duplicator input."""
+        word = list(bits)
+        if not word:
+            raise ValueError("cannot load an empty word")
+        if any(b not in (0, 1) for b in word):
+            raise ValueError(f"bits must be 0/1, got {word}")
+        self._word = word
+
+    def duplicate(self) -> List[int]:
+        """Run one four-step duplication; return the outgoing replica.
+
+        The retained replica stays loaded, so the call can be repeated —
+        exactly how the processor produces the n copies needed for an
+        n-bit multiplication.
+
+        Raises:
+            RuntimeError: if no word is loaded.
+        """
+        if self._word is None:
+            raise RuntimeError("duplicator is empty; call load() first")
+        # Step 1: shift toward the branches. Step 2: fan-out split.
+        outgoing = list(self._word)
+        retained = list(self._word)
+        # Step 3: retained replica returns through the diode branch.
+        self.diode.propagate(self.diode.forward)
+        # Step 4: back at the input position.
+        self._word = retained
+        self.duplication_count += 1
+        self.step_count += self.STEPS_PER_DUPLICATION
+        return outgoing
+
+    def duplicate_n(self, count: int) -> List[List[int]]:
+        """Produce ``count`` replicas (``count`` duplication cycles)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.duplicate() for _ in range(count)]
+
+    def drain(self) -> List[int]:
+        """Remove and return the loaded word (ends the operand's use)."""
+        if self._word is None:
+            raise RuntimeError("duplicator is empty")
+        word = self._word
+        self._word = None
+        return word

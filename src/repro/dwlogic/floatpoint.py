@@ -1,0 +1,208 @@
+"""Domain-wall floating-point unit (section VI extension).
+
+The paper names floating-point processors among the extensions that
+would widen StreamPIM's kernel coverage (FFT, DNN training).  This
+module builds a small binary floating-point format on top of the
+integer blocks the core datapath already provides: the ripple-carry
+adder/subtractor for exponent handling and mantissa addition, and the
+shift-based multiplier for mantissa products — alignment shifts are,
+as everywhere on nanowires, just positioning.
+
+The default format is bfloat16-like (8-bit exponent, 7-bit stored
+mantissa), chosen so the mantissa datapath matches the 8-bit integer
+units.  Subnormals flush to zero, rounding is truncation (round toward
+zero), and infinities/NaNs saturate — documented simplifications
+consistent with an accelerator-style unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dwlogic.gates import GateCounter
+from repro.dwlogic.multiplier import ShiftMultiplier
+from repro.dwlogic.bitutils import int_to_bits, bits_to_int
+from repro.dwlogic.adder import ripple_carry_add
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A simple binary floating-point format.
+
+    Attributes:
+        exponent_bits: width of the biased exponent field.
+        mantissa_bits: stored (fractional) mantissa bits; the leading
+            one is implicit for normal numbers.
+    """
+
+    exponent_bits: int = 8
+    mantissa_bits: int = 7
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits <= 1 or self.mantissa_bits <= 0:
+            raise ValueError("degenerate floating-point format")
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def total_bits(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+
+#: bfloat16: the default format.
+BFLOAT16 = FloatFormat(exponent_bits=8, mantissa_bits=7)
+
+
+@dataclass(frozen=True)
+class DWFloat:
+    """One packed floating-point value: (sign, exponent, mantissa)."""
+
+    sign: int
+    exponent: int
+    mantissa: int
+    fmt: FloatFormat = BFLOAT16
+
+    def __post_init__(self) -> None:
+        if self.sign not in (0, 1):
+            raise ValueError(f"sign must be 0/1, got {self.sign}")
+        if not 0 <= self.exponent <= self.fmt.max_exponent:
+            raise ValueError(f"exponent {self.exponent} out of range")
+        if not 0 <= self.mantissa < (1 << self.fmt.mantissa_bits):
+            raise ValueError(f"mantissa {self.mantissa} out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(cls, value: float, fmt: FloatFormat = BFLOAT16) -> "DWFloat":
+        """Encode a Python float (truncating; subnormals flush to 0)."""
+        if value != value:  # NaN saturates to max magnitude
+            return cls(0, fmt.max_exponent, (1 << fmt.mantissa_bits) - 1, fmt)
+        sign = 1 if value < 0 else 0
+        magnitude = abs(value)
+        if magnitude == 0.0:
+            return cls(sign, 0, 0, fmt)
+        exponent = fmt.bias
+        while magnitude >= 2.0 and exponent < fmt.max_exponent:
+            magnitude /= 2.0
+            exponent += 1
+        while magnitude < 1.0 and exponent > 0:
+            magnitude *= 2.0
+            exponent -= 1
+        if exponent <= 0 or magnitude < 1.0:
+            return cls(sign, 0, 0, fmt)  # flush subnormals
+        if exponent >= fmt.max_exponent:
+            return cls(sign, fmt.max_exponent, 0, fmt)  # saturate
+        mantissa = int((magnitude - 1.0) * (1 << fmt.mantissa_bits))
+        return cls(sign, exponent, mantissa, fmt)
+
+    def to_float(self) -> float:
+        """Decode back to a Python float."""
+        if self.exponent == 0 and self.mantissa == 0:
+            return -0.0 if self.sign else 0.0
+        if self.exponent == self.fmt.max_exponent and self.mantissa == 0:
+            return float("-inf") if self.sign else float("inf")
+        significand = 1.0 + self.mantissa / (1 << self.fmt.mantissa_bits)
+        scale = 2.0 ** (self.exponent - self.fmt.bias)
+        return (-1.0 if self.sign else 1.0) * significand * scale
+
+    @property
+    def is_zero(self) -> bool:
+        return self.exponent == 0 and self.mantissa == 0
+
+
+class DWFloatUnit:
+    """Floating-point add/multiply built on the integer blocks."""
+
+    def __init__(self, fmt: FloatFormat = BFLOAT16) -> None:
+        self.fmt = fmt
+        # Mantissa product width: implicit bit + stored bits.
+        self._multiplier = ShiftMultiplier(fmt.mantissa_bits + 1)
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self, a: DWFloat, b: DWFloat, counter: GateCounter | None = None
+    ) -> DWFloat:
+        """Floating-point product (truncating)."""
+        fmt = self.fmt
+        sign = a.sign ^ b.sign
+        if a.is_zero or b.is_zero:
+            return DWFloat(sign, 0, 0, fmt)
+        mant_a = (1 << fmt.mantissa_bits) | a.mantissa
+        mant_b = (1 << fmt.mantissa_bits) | b.mantissa
+        product = self._multiplier.multiply(mant_a, mant_b, counter)
+        exponent = a.exponent + b.exponent - fmt.bias
+        # The product of two [1, 2) significands is in [1, 4): renormalise.
+        top_bit = 2 * fmt.mantissa_bits + 1
+        if product >> top_bit:
+            product >>= 1
+            exponent += 1
+        mantissa = (product >> fmt.mantissa_bits) & (
+            (1 << fmt.mantissa_bits) - 1
+        )
+        return self._pack(sign, exponent, mantissa)
+
+    def add(
+        self, a: DWFloat, b: DWFloat, counter: GateCounter | None = None
+    ) -> DWFloat:
+        """Floating-point sum (truncating; same-format operands)."""
+        fmt = self.fmt
+        if a.is_zero:
+            return b
+        if b.is_zero:
+            return a
+        # Order so |a| >= |b| (compare packed magnitude).
+        if (a.exponent, a.mantissa) < (b.exponent, b.mantissa):
+            a, b = b, a
+        align = a.exponent - b.exponent
+        guard = 2  # guard bits kept through alignment
+        mant_a = ((1 << fmt.mantissa_bits) | a.mantissa) << guard
+        mant_b = ((1 << fmt.mantissa_bits) | b.mantissa) << guard
+        mant_b >>= min(align, fmt.mantissa_bits + guard + 1)
+        width = fmt.mantissa_bits + guard + 2
+        if a.sign == b.sign:
+            total_bits = ripple_carry_add(
+                int_to_bits(mant_a, width),
+                int_to_bits(mant_b, width),
+                counter,
+            )
+            total = bits_to_int(total_bits)
+            sign = a.sign
+        else:
+            from repro.dwlogic.divider import _twos_complement_subtract
+
+            diff_bits, _ = _twos_complement_subtract(
+                int_to_bits(mant_a, width),
+                int_to_bits(mant_b, width),
+                width,
+                counter,
+            )
+            total = bits_to_int(diff_bits)
+            sign = a.sign
+        if total == 0:
+            return DWFloat(0, 0, 0, fmt)
+        exponent = a.exponent
+        # Renormalise into [1, 2).
+        top = fmt.mantissa_bits + guard
+        while total >> (top + 1):
+            total >>= 1
+            exponent += 1
+        while not (total >> top) and exponent > 0:
+            total <<= 1
+            exponent -= 1
+        mantissa = (total >> guard) & ((1 << fmt.mantissa_bits) - 1)
+        return self._pack(sign, exponent, mantissa)
+
+    # ------------------------------------------------------------------
+    def _pack(self, sign: int, exponent: int, mantissa: int) -> DWFloat:
+        fmt = self.fmt
+        if exponent <= 0:
+            return DWFloat(sign, 0, 0, fmt)  # flush underflow
+        if exponent >= fmt.max_exponent:
+            return DWFloat(sign, fmt.max_exponent, 0, fmt)  # saturate
+        return DWFloat(sign, exponent, mantissa, fmt)

@@ -1,0 +1,125 @@
+"""Domain-wall logic gates.
+
+Section III-A: coupling a magnetic metal with a heavy metal integrates
+*domain-wall inverters* into a nanowire; a domain shifting across such an
+inverter is logically inverted by the Dzyaloshinskii-Moriya interaction,
+so the inverter acts as a NOT gate.  Coupling two inputs, one bias and
+one output domain yields NAND (bias = 1) or NOR (bias = 0).  NOT, NAND
+and NOR are functionally complete, so all other gates here are built from
+them, exactly as a fabricated StreamPIM datapath would be.
+
+Every primitive gate evaluation increments the supplied
+:class:`GateCounter`, which higher layers convert to energy via the
+per-gate figure of :func:`repro.rm.timing.energy_per_gate_pj`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Bias value that configures the two-input DMI gate as NAND.
+NAND_BIAS = 1
+#: Bias value that configures the two-input DMI gate as NOR.
+NOR_BIAS = 0
+
+
+@dataclass
+class GateCounter:
+    """Counts primitive gate evaluations by kind."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def tick(self, kind: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.counts[kind] = self.counts.get(kind, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "GateCounter") -> None:
+        for kind, count in other.counts.items():
+            self.tick(kind, count)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+
+def _check_bit(name: str, bit: int) -> int:
+    if bit not in (0, 1):
+        raise ValueError(f"{name} must be 0 or 1, got {bit}")
+    return bit
+
+
+def dw_not(a: int, counter: GateCounter | None = None) -> int:
+    """Domain-wall inverter: a domain flips as it shifts across the DMI
+    coupling region."""
+    _check_bit("a", a)
+    if counter is not None:
+        counter.tick("not")
+    return 1 - a
+
+
+def _dmi_gate(a: int, b: int, bias: int, counter: GateCounter | None) -> int:
+    """The two-input, one-bias DMI-coupled gate of Fig. 6.
+
+    The output domain's magnetisation follows the majority of the two
+    (inverted) inputs and the bias: with bias = 1 the structure computes
+    NAND, with bias = 0 it computes NOR.
+    """
+    _check_bit("a", a)
+    _check_bit("b", b)
+    _check_bit("bias", bias)
+    if counter is not None:
+        counter.tick("nand" if bias == NAND_BIAS else "nor")
+    # Majority of (NOT a, NOT b, bias):
+    inverted_sum = (1 - a) + (1 - b) + bias
+    return 1 if inverted_sum >= 2 else 0
+
+
+def dw_nand(a: int, b: int, counter: GateCounter | None = None) -> int:
+    """Two-input NAND (DMI gate with bias = 1)."""
+    return _dmi_gate(a, b, NAND_BIAS, counter)
+
+
+def dw_nor(a: int, b: int, counter: GateCounter | None = None) -> int:
+    """Two-input NOR (DMI gate with bias = 0)."""
+    return _dmi_gate(a, b, NOR_BIAS, counter)
+
+
+def dw_and(a: int, b: int, counter: GateCounter | None = None) -> int:
+    """AND composed as NAND + NOT (2 primitive gates)."""
+    return dw_not(dw_nand(a, b, counter), counter)
+
+
+def dw_or(a: int, b: int, counter: GateCounter | None = None) -> int:
+    """OR composed as NOR + NOT (2 primitive gates)."""
+    return dw_not(dw_nor(a, b, counter), counter)
+
+
+def dw_xor(a: int, b: int, counter: GateCounter | None = None) -> int:
+    """XOR composed from four NAND gates (the canonical NAND network)."""
+    nand_ab = dw_nand(a, b, counter)
+    return dw_nand(
+        dw_nand(a, nand_ab, counter),
+        dw_nand(b, nand_ab, counter),
+        counter,
+    )
+
+
+#: Primitive-gate cost of each composed operation (used by the timing
+#: model to convert operation counts to gate counts without re-simulating
+#: the bit-level network).
+GATE_COSTS = {
+    "not": 1,
+    "nand": 1,
+    "nor": 1,
+    "and": 2,
+    "or": 2,
+    "xor": 4,
+    # Full adder: sum = 2 x XOR (8), carry = 3 x NAND (3): 11 primitives.
+    "full_adder": 11,
+}

@@ -1,0 +1,72 @@
+"""Domain-wall integer square-root extractor (section VI extension).
+
+Digit-by-digit (binary restoring) square root: one result bit per
+iteration, each iteration a trial subtraction through the same
+two's-complement subtract network the divider uses — the classic
+hardware method the paper's cited square-root designs pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+from repro.dwlogic.divider import _twos_complement_subtract
+from repro.dwlogic.gates import GateCounter
+
+
+class SquareRootExtractor:
+    """Bit-accurate integer square root over ``width``-bit radicands.
+
+    Args:
+        width: radicand width in bits (must be even so result bits pair
+            with radicand bit-pairs; pad odd operands with a zero MSB).
+    """
+
+    def __init__(self, width: int = 16) -> None:
+        if width <= 0 or width % 2 != 0:
+            raise ValueError(
+                f"width must be a positive even number, got {width}"
+            )
+        self.width = width
+
+    @property
+    def steps(self) -> int:
+        """Trial-subtraction iterations per extraction."""
+        return self.width // 2
+
+    def isqrt_bits(
+        self,
+        radicand: Sequence[int],
+        counter: GateCounter | None = None,
+    ) -> Tuple[List[int], List[int]]:
+        """LSB-first (root, remainder) with root^2 + remainder = input."""
+        if len(radicand) != self.width:
+            raise ValueError(
+                f"radicand must be {self.width} bits, got {len(radicand)}"
+            )
+        acc_width = self.width + 2
+        remainder: List[int] = [0] * acc_width
+        root: List[int] = []
+        for step in range(self.steps - 1, -1, -1):
+            # Remainder <<= 2, bringing down the next radicand bit pair
+            # (LSB-first: new low bits are the pair's low and high bit).
+            pair = [radicand[2 * step], radicand[2 * step + 1]]
+            remainder = pair + remainder[:-2]
+            # Trial subtrahend: (root << 2) | 1.
+            trial_sub = ([1, 0] + root)[:acc_width]
+            trial_sub += [0] * (acc_width - len(trial_sub))
+            trial, no_borrow = _twos_complement_subtract(
+                remainder, trial_sub, acc_width, counter
+            )
+            if no_borrow:
+                remainder = trial
+            # Root <<= 1 with the new bit in the LSB.
+            root = [no_borrow] + root
+        return root, remainder[: self.width]
+
+    def isqrt(self, value: int, counter: GateCounter | None = None) -> int:
+        """Floor square root of an unsigned integer."""
+        bits = int_to_bits(value, self.width)
+        root, _ = self.isqrt_bits(bits, counter)
+        return bits_to_int(root)

@@ -1,0 +1,23 @@
+"""Expression frontend: the runtime library's compiler layer.
+
+Section VI: StreamPIM "chooses to deliver this interface level as a suite
+of libraries, including code compiler and device driver" able to
+"extract the computation graph from applications and decide the
+optimization strategy".  This package is that compiler layer: symbolic
+matrices and operator-overloaded expressions build a computation graph,
+which :func:`compile_expression` lowers onto the Fig. 16 task interface
+(allocating temporaries, mapping scalar factors onto SMUL scaling, and
+ordering operations by data dependence).
+"""
+
+from repro.frontend.expr import Matrix, Vector, Expression, Scalar
+from repro.frontend.compiler import compile_program, Program
+
+__all__ = [
+    "Matrix",
+    "Vector",
+    "Scalar",
+    "Expression",
+    "Program",
+    "compile_program",
+]

@@ -1,0 +1,193 @@
+"""Compiler: expression graphs -> PIM tasks.
+
+Walks each assignment's expression tree bottom-up, allocating a
+temporary for every compound sub-expression, and records the equivalent
+Fig. 16 operations on a :class:`~repro.core.task.PimTask` — after which
+the task's own layout/scheduling optimisations (distribute, unblock,
+transposed storage) apply as usual.
+
+Lowering rules:
+
+* ``A @ B``          -> MATMUL
+* ``A @ x``          -> MATVEC
+* ``A.T @ x``        -> MATVEC_T
+* ``X + Y``          -> MAT_ADD / VEC_ADD
+* ``alpha * X``      -> MAT_SCALE / VEC_SCALE (fused into the operand
+  registration when X is a leaf, a fresh temporary otherwise)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.device import StreamPIMDevice
+from repro.core.task import PimTask, TaskOp, create_pim_task
+from repro.frontend.expr import (
+    Add,
+    Expression,
+    MatMul,
+    Matrix,
+    Scalar,
+    Scale,
+    Transpose,
+)
+
+
+@dataclass
+class Program:
+    """An ordered set of named assignments."""
+
+    assignments: List[Tuple[str, Expression]] = field(default_factory=list)
+
+    def assign(self, name: str, expression: Expression) -> None:
+        """Record ``name = expression`` (names must be unique)."""
+        if not name:
+            raise ValueError("assignment needs a target name")
+        if any(existing == name for existing, _ in self.assignments):
+            raise ValueError(f"{name!r} already assigned")
+        if not isinstance(expression, Expression):
+            raise TypeError("assignment value must be an Expression")
+        if isinstance(expression, Transpose):
+            raise NotImplementedError(
+                "bare transposes are views; materialising them is not "
+                "supported — use them inside a product (A.T @ x)"
+            )
+        self.assignments.append((name, expression))
+
+
+class _Compiler:
+    def __init__(self, program: Program, device: Optional[StreamPIMDevice]):
+        self.task = create_pim_task(device)
+        self._registered: Dict[int, str] = {}  # id(Matrix) -> name
+        self._names: set = set()
+        self._scalars: Dict[str, int] = {}
+        self._temp_index = 0
+
+    # ------------------------------------------------------------------
+    def compile(self, program: Program) -> PimTask:
+        for target, expression in program.assignments:
+            self._lower_into(target, expression)
+        return self.task
+
+    # ------------------------------------------------------------------
+    def _lower_into(self, target: str, expression: Expression) -> None:
+        """Lower ``expression`` and store its value under ``target``."""
+        if isinstance(expression, Matrix):
+            source = self._register_leaf(expression)
+            self._declare(target, expression.shape)
+            # A bare copy: scale by one (the cheapest value-preserving op).
+            one = self._register_scalar(Scalar.literal(1))
+            op = (
+                TaskOp.VEC_SCALE
+                if expression.is_vector
+                else TaskOp.MAT_SCALE
+            )
+            self.task.add_operation(op, source, target, scalar=one)
+            return
+        if isinstance(expression, MatMul):
+            self._lower_matmul(target, expression)
+            return
+        if isinstance(expression, Add):
+            left = self._lower_operand(expression.left)
+            right = self._lower_operand(expression.right)
+            self._declare(target, expression.shape)
+            op = TaskOp.VEC_ADD if expression.is_vector else TaskOp.MAT_ADD
+            self.task.add_operation(op, left, right, target)
+            return
+        if isinstance(expression, Scale):
+            inner = self._lower_operand(expression.inner)
+            scalar = self._register_scalar(expression.scalar)
+            self._declare(target, expression.shape)
+            op = (
+                TaskOp.VEC_SCALE
+                if expression.is_vector
+                else TaskOp.MAT_SCALE
+            )
+            self.task.add_operation(op, inner, target, scalar=scalar)
+            return
+        raise NotImplementedError(
+            f"cannot lower {type(expression).__name__}"
+        )
+
+    def _lower_matmul(self, target: str, expression: MatMul) -> None:
+        right = self._lower_operand(expression.right)
+        self._declare(target, expression.shape)
+        if isinstance(expression.left, Transpose):
+            left = self._lower_operand(expression.left.inner)
+            if not expression.right.is_vector:
+                raise NotImplementedError(
+                    "transposed operands are supported for matrix-vector "
+                    "products only (A.T @ x)"
+                )
+            self.task.add_operation(TaskOp.MATVEC_T, left, right, target)
+            return
+        left = self._lower_operand(expression.left)
+        if expression.right.is_vector:
+            self.task.add_operation(TaskOp.MATVEC, left, right, target)
+        else:
+            self.task.add_operation(TaskOp.MATMUL, left, right, target)
+
+    # ------------------------------------------------------------------
+    def _lower_operand(self, expression: Expression) -> str:
+        """Lower a sub-expression, returning the operand name."""
+        if isinstance(expression, Matrix):
+            return self._register_leaf(expression)
+        if isinstance(expression, Transpose):
+            raise NotImplementedError(
+                "transposes may only appear as the left operand of '@'"
+            )
+        temp = self._fresh_temp()
+        self._lower_into(temp, expression)
+        return temp
+
+    def _register_leaf(self, leaf: Matrix) -> str:
+        key = id(leaf)
+        existing = self._registered.get(key)
+        if existing is not None:
+            return existing
+        if leaf.name in self._names:
+            raise ValueError(
+                f"operand name {leaf.name!r} used by two different objects"
+            )
+        if leaf.values is not None:
+            self.task.add_matrix(leaf.name, leaf.values)
+        else:
+            self.task.add_matrix(leaf.name, shape=leaf.shape)
+        self._registered[key] = leaf.name
+        self._names.add(leaf.name)
+        return leaf.name
+
+    def _register_scalar(self, scalar: Scalar) -> str:
+        if scalar.name not in self._scalars:
+            self.task.add_scalar(scalar.name, scalar.value)
+            self._scalars[scalar.name] = scalar.value
+        elif self._scalars[scalar.name] != scalar.value:
+            raise ValueError(
+                f"scalar {scalar.name!r} redefined with a different value"
+            )
+        return scalar.name
+
+    def _declare(self, name: str, shape: Tuple[int, int]) -> None:
+        if name in self._names:
+            raise ValueError(f"name {name!r} already declared")
+        self.task.add_matrix(name, shape=shape)
+        self._names.add(name)
+
+    def _fresh_temp(self) -> str:
+        self._temp_index += 1
+        return f"_t{self._temp_index}"
+
+
+def compile_program(
+    program: Program, device: Optional[StreamPIMDevice] = None
+) -> PimTask:
+    """Compile a program's computation graph onto a PIM task.
+
+    Returns:
+        A ready-to-run :class:`PimTask`; assignment targets appear as
+        matrices of the same names in the task's results.
+    """
+    if not program.assignments:
+        raise ValueError("program has no assignments")
+    return _Compiler(program, device).compile(program)

@@ -1,0 +1,213 @@
+"""Symbolic matrix expressions (the computation graph).
+
+Operands are declared once (:class:`Matrix`, :class:`Vector`,
+:class:`Scalar`) and combined with Python operators:
+
+* ``A @ B`` — matrix / matrix-vector product;
+* ``A.T @ x`` — transposed matrix-vector product;
+* ``X + Y`` — element-wise addition;
+* ``alpha * X`` — scalar scaling.
+
+Expressions are immutable trees with shape inference; the compiler
+lowers them onto the PIM task interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    #: (rows, cols) of the expression's value.
+    shape: Tuple[int, int]
+
+    def __matmul__(self, other: "Expression") -> "Expression":
+        return MatMul(self, _as_expression(other))
+
+    def __add__(self, other: "Expression") -> "Expression":
+        return Add(self, _as_expression(other))
+
+    def __mul__(self, other) -> "Expression":
+        return _scale(other, self)
+
+    def __rmul__(self, other) -> "Expression":
+        return _scale(other, self)
+
+    @property
+    def is_vector(self) -> bool:
+        return self.shape[0] == 1
+
+    @property
+    def T(self) -> "Expression":  # noqa: N802 - mirrors numpy
+        return Transpose(self)
+
+
+class Scalar:
+    """A named scalar factor (becomes an SMUL operand)."""
+
+    _anonymous = 0
+
+    def __init__(self, name: str, value: int) -> None:
+        if not name:
+            raise ValueError("scalar needs a name")
+        self.name = name
+        self.value = int(value)
+
+    @classmethod
+    def literal(cls, value: int) -> "Scalar":
+        cls._anonymous += 1
+        return cls(f"_s{cls._anonymous}", value)
+
+    def __mul__(self, other) -> Expression:
+        return _scale(self, _as_expression(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Scalar({self.name}={self.value})"
+
+
+class Matrix(Expression):
+    """A named matrix operand.
+
+    Args:
+        name: unique operand name.
+        values: concrete entries; or pass ``shape`` for a destination /
+            timing-only operand.
+        shape: (rows, cols) when no values are given.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        values: Optional[np.ndarray] = None,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("matrix needs a name")
+        self.name = name
+        if values is not None:
+            self.values: Optional[np.ndarray] = np.asarray(
+                values, dtype=np.int64
+            )
+            if self.values.ndim == 1:
+                self.values = self.values.reshape(1, -1)
+            if self.values.ndim != 2:
+                raise ValueError("matrices are 2-D")
+            self.shape = self.values.shape
+        else:
+            if shape is None:
+                raise ValueError("provide values or shape")
+            rows, cols = shape
+            if rows <= 0 or cols <= 0:
+                raise ValueError(f"bad shape {shape}")
+            self.values = None
+            self.shape = (rows, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Matrix({self.name}{self.shape})"
+
+
+class Vector(Matrix):
+    """A named vector operand (stored as a single-row matrix)."""
+
+    def __init__(
+        self,
+        name: str,
+        values: Optional[np.ndarray] = None,
+        length: Optional[int] = None,
+    ) -> None:
+        if values is not None:
+            flat = np.asarray(values, dtype=np.int64).reshape(1, -1)
+            super().__init__(name, flat)
+        else:
+            if length is None or length <= 0:
+                raise ValueError("provide values or a positive length")
+            super().__init__(name, shape=(1, length))
+
+
+class Transpose(Expression):
+    """Transposed view; only consumable directly under ``@``."""
+
+    def __init__(self, inner: Expression) -> None:
+        if isinstance(inner, Transpose):
+            raise ValueError("double transpose — drop both")
+        self.inner = inner
+        rows, cols = inner.shape
+        self.shape = (cols, rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.inner!r}).T"
+
+
+class MatMul(Expression):
+    """Matrix product (matrix @ matrix, matrix @ vector, A.T @ vector)."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+        lr, lc = left.shape
+        rr, rc = right.shape
+        if right.is_vector:
+            # A @ x with x a row-stored vector of length lc.
+            if rc != lc:
+                raise ValueError(
+                    f"matvec shapes incompatible: {left.shape} @ len {rc}"
+                )
+            self.shape = (1, lr)
+        else:
+            if lc != rr:
+                raise ValueError(
+                    f"inner dimensions differ: {left.shape} @ {right.shape}"
+                )
+            self.shape = (lr, rc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.left!r} @ {self.right!r})"
+
+
+class Add(Expression):
+    """Element-wise addition."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        if left.shape != right.shape:
+            raise ValueError(
+                f"addition needs equal shapes, got {left.shape} vs "
+                f"{right.shape}"
+            )
+        self.left = left
+        self.right = right
+        self.shape = left.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.left!r} + {self.right!r})"
+
+
+class Scale(Expression):
+    """Scalar times expression."""
+
+    def __init__(self, scalar: Scalar, inner: Expression) -> None:
+        self.scalar = scalar
+        self.inner = inner
+        self.shape = inner.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"({self.scalar.name} * {self.inner!r})"
+
+
+def _as_expression(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    raise TypeError(f"expected an expression, got {type(value).__name__}")
+
+
+def _scale(scalar, expr) -> Expression:
+    if isinstance(scalar, Scalar):
+        return Scale(scalar, _as_expression(expr))
+    if isinstance(scalar, int):
+        return Scale(Scalar.literal(scalar), _as_expression(expr))
+    raise TypeError(
+        f"can only scale by Scalar or int, got {type(scalar).__name__}"
+    )

@@ -1,0 +1,76 @@
+"""Fixed-width binary encoding of VPCs.
+
+The host-device link carries VPCs as 21-byte packets: a 1-byte opcode and
+four 5-byte little-endian fields (src1, src2, des, size).  Forty bits of
+word address covers the paper's 8 GiB device with room to spare, and a
+fixed width keeps the device-side decoder trivial — the property the
+paper's vector-granularity trade-off (section IV-A) aims for.
+"""
+
+from __future__ import annotations
+
+from repro.isa.vpc import VPC, VPCOpcode
+
+#: Bytes per encoded address/size field.
+_FIELD_BYTES = 5
+#: Total bytes of one encoded VPC.
+VPC_ENCODED_BYTES = 1 + 4 * _FIELD_BYTES
+
+_OPCODE_TO_BYTE = {
+    VPCOpcode.MUL: 0x01,
+    VPCOpcode.SMUL: 0x02,
+    VPCOpcode.ADD: 0x03,
+    VPCOpcode.TRAN: 0x04,
+}
+_BYTE_TO_OPCODE = {v: k for k, v in _OPCODE_TO_BYTE.items()}
+
+#: Sentinel stored in the src2 field of TRAN commands.
+_NO_OPERAND = (1 << (8 * _FIELD_BYTES)) - 1
+_FIELD_MAX = _NO_OPERAND - 1
+
+
+def _encode_field(value: int) -> bytes:
+    if not 0 <= value <= _FIELD_MAX:
+        raise ValueError(
+            f"field value {value} out of range [0, {_FIELD_MAX}]"
+        )
+    return value.to_bytes(_FIELD_BYTES, "little")
+
+
+def _decode_field(raw: bytes) -> int:
+    return int.from_bytes(raw, "little")
+
+
+def encode_vpc(vpc: VPC) -> bytes:
+    """Serialise a VPC into its fixed 21-byte wire format."""
+    src2 = _NO_OPERAND if vpc.src2 is None else vpc.src2
+    packet = bytes([_OPCODE_TO_BYTE[vpc.opcode]])
+    packet += _encode_field(vpc.src1)
+    packet += src2.to_bytes(_FIELD_BYTES, "little")
+    packet += _encode_field(vpc.des)
+    packet += _encode_field(vpc.size)
+    if src2 != _NO_OPERAND:
+        _encode_field(src2)  # range check
+    return packet
+
+
+def decode_vpc(packet: bytes) -> VPC:
+    """Deserialise a 21-byte packet back into a VPC.
+
+    Raises:
+        ValueError: on wrong length or unknown opcode byte.
+    """
+    if len(packet) != VPC_ENCODED_BYTES:
+        raise ValueError(
+            f"expected {VPC_ENCODED_BYTES} bytes, got {len(packet)}"
+        )
+    opcode = _BYTE_TO_OPCODE.get(packet[0])
+    if opcode is None:
+        raise ValueError(f"unknown opcode byte 0x{packet[0]:02x}")
+    fields = [
+        _decode_field(packet[1 + i * _FIELD_BYTES : 1 + (i + 1) * _FIELD_BYTES])
+        for i in range(4)
+    ]
+    src1, src2_raw, des, size = fields
+    src2 = None if src2_raw == _NO_OPERAND else src2_raw
+    return VPC(opcode, src1, src2, des, size)

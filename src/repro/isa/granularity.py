@@ -1,0 +1,139 @@
+"""Host-interface granularity trade-off (section IV-A).
+
+The paper weighs three granularities for the host PIM commands:
+
+* **scalar** — each command carries two scalar operands: up to O(n^3)
+  commands for an n x n matrix multiplication, maximal programmability,
+  crushing host-link traffic;
+* **vector** — the VPC design chosen by StreamPIM: O(n^2) commands, a
+  simple decoder, enough programmability;
+* **matrix** — O(1) commands naming whole matrices: minimal traffic but
+  the device must manage Omega(n^2) operand units per command, and the
+  host loses the ability to schedule at sub-matrix granularity.
+
+This module quantifies that trade-off: command counts, encoded traffic
+on the host link, link-occupancy time, and a decoder-complexity proxy —
+the numbers behind the paper's choice of vector granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.isa.encoding import VPC_ENCODED_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.workloads.spec import WorkloadSpec
+
+
+class CommandGranularity(enum.Enum):
+    """Host-interface granularity choices of section IV-A."""
+
+    SCALAR = "scalar"
+    VECTOR = "vector"
+    MATRIX = "matrix"
+
+
+@dataclass(frozen=True)
+class HostLinkModel:
+    """The host-device command link.
+
+    Attributes:
+        bandwidth_gbps: sustained link bandwidth (command direction).
+        command_bytes: encoded size of one command (the VPC wire format
+            by default; scalar/matrix commands use the same framing).
+        response_bytes: size of one completion response.
+        decode_ns: device-side decode cost per command.
+    """
+
+    bandwidth_gbps: float = 16.0
+    command_bytes: int = VPC_ENCODED_BYTES
+    response_bytes: int = 8
+    decode_ns: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.command_bytes <= 0 or self.response_bytes < 0:
+            raise ValueError("command sizes must be positive")
+        if self.decode_ns < 0:
+            raise ValueError("decode_ns must be non-negative")
+
+
+@dataclass(frozen=True)
+class GranularityProfile:
+    """Interface cost of one workload at one granularity."""
+
+    granularity: CommandGranularity
+    commands: int
+    traffic_bytes: int
+    link_time_ns: float
+    decode_time_ns: float
+    #: Operand units the device must manage per command (decoder
+    #: complexity proxy; the paper's Omega(n^2) argument against matrix
+    #: granularity).
+    max_units_per_command: int
+
+
+def command_count(op, granularity: CommandGranularity) -> int:
+    """Host commands one matrix operation needs at a granularity."""
+    kind, dims = op.kind, op.dims
+    if granularity is CommandGranularity.MATRIX:
+        return 1
+    if granularity is CommandGranularity.VECTOR:
+        return op.pim_vpcs + op.move_vpcs
+    # Scalar granularity: one command per scalar multiply/add.
+    return op.scalar_muls + op.scalar_adds
+
+
+def units_per_command(op, granularity: CommandGranularity) -> int:
+    """Operand elements the device handles for one command."""
+    from repro.workloads.spec import MatrixOpKind
+
+    if granularity is CommandGranularity.SCALAR:
+        return 2
+    if granularity is CommandGranularity.VECTOR:
+        kind, dims = op.kind, op.dims
+        if kind is MatrixOpKind.MATMUL:
+            return 2 * dims[1]  # two vectors of the inner dimension
+        if kind in (MatrixOpKind.MATVEC, MatrixOpKind.MATVEC_T):
+            return 2 * dims[1]
+        return 2 * dims[-1]
+    return op.operand_words  # matrix granularity: everything at once
+
+
+def profile_workload(
+    workload: "WorkloadSpec",
+    granularity: CommandGranularity,
+    link: HostLinkModel | None = None,
+) -> GranularityProfile:
+    """Interface cost of a workload at one command granularity."""
+    link = link or HostLinkModel()
+    commands = sum(command_count(op, granularity) for op in workload.ops)
+    traffic = commands * (link.command_bytes + link.response_bytes)
+    link_time = traffic / link.bandwidth_gbps
+    decode_time = commands * link.decode_ns
+    max_units = max(
+        units_per_command(op, granularity) for op in workload.ops
+    )
+    return GranularityProfile(
+        granularity=granularity,
+        commands=commands,
+        traffic_bytes=traffic,
+        link_time_ns=link_time,
+        decode_time_ns=decode_time,
+        max_units_per_command=max_units,
+    )
+
+
+def compare_granularities(
+    workload: "WorkloadSpec", link: HostLinkModel | None = None
+):
+    """Profiles for all three granularities, keyed by enum."""
+    return {
+        granularity: profile_workload(workload, granularity, link)
+        for granularity in CommandGranularity
+    }

@@ -1,0 +1,180 @@
+"""VPC traces: ordered command streams plus Table IV statistics.
+
+The paper's evaluation drives its cycle-accurate simulator with VPC
+traces generated from instrumented PolyBench sources; Table IV reports
+each trace's #PIM-VPC (compute commands) and #move-VPC (TRAN commands).
+This module provides the trace container, its statistics, and a simple
+line-oriented text serialisation so traces can be stored and replayed.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.isa.encoding import VPC_ENCODED_BYTES, decode_vpc, encode_vpc
+from repro.isa.vpc import VPC, VPCOpcode
+
+#: Magic prefix of the binary trace format.
+_BINARY_MAGIC = b"VPCT\x01" 
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a VPC trace (the Table IV columns)."""
+
+    pim_vpcs: int
+    move_vpcs: int
+    elements_processed: int
+    elements_moved: int
+
+    @property
+    def total_vpcs(self) -> int:
+        return self.pim_vpcs + self.move_vpcs
+
+
+class VPCTrace:
+    """An ordered stream of VPCs with incremental statistics."""
+
+    def __init__(self, vpcs: Iterable[VPC] = ()) -> None:
+        self._vpcs: List[VPC] = []
+        self._pim = 0
+        self._move = 0
+        self._elements_processed = 0
+        self._elements_moved = 0
+        for vpc in vpcs:
+            self.append(vpc)
+
+    def append(self, vpc: VPC) -> None:
+        if not isinstance(vpc, VPC):
+            raise TypeError(f"expected VPC, got {type(vpc).__name__}")
+        self._vpcs.append(vpc)
+        if vpc.is_compute:
+            self._pim += 1
+            self._elements_processed += vpc.size
+        else:
+            self._move += 1
+            self._elements_moved += vpc.size
+
+    def extend(self, vpcs: Iterable[VPC]) -> None:
+        for vpc in vpcs:
+            self.append(vpc)
+
+    @property
+    def stats(self) -> TraceStats:
+        return TraceStats(
+            pim_vpcs=self._pim,
+            move_vpcs=self._move,
+            elements_processed=self._elements_processed,
+            elements_moved=self._elements_moved,
+        )
+
+    def __len__(self) -> int:
+        return len(self._vpcs)
+
+    def __iter__(self) -> Iterator[VPC]:
+        return iter(self._vpcs)
+
+    def __getitem__(self, index: int) -> VPC:
+        return self._vpcs[index]
+
+    def compute_vpcs(self) -> Iterator[VPC]:
+        """Iterate only the PIM (compute) commands."""
+        return (v for v in self._vpcs if v.is_compute)
+
+    def move_vpcs(self) -> Iterator[VPC]:
+        """Iterate only the TRAN (data-movement) commands."""
+        return (v for v in self._vpcs if not v.is_compute)
+
+
+def _format_vpc(vpc: VPC) -> str:
+    if vpc.opcode is VPCOpcode.TRAN:
+        return f"TRAN {vpc.src1} {vpc.des} {vpc.size}"
+    return f"{vpc.opcode.value} {vpc.src1} {vpc.src2} {vpc.des} {vpc.size}"
+
+
+def _parse_vpc(line: str, line_no: int) -> VPC:
+    parts = line.split()
+    try:
+        opcode = VPCOpcode(parts[0])
+        if opcode is VPCOpcode.TRAN:
+            if len(parts) != 4:
+                raise ValueError("TRAN takes 3 fields")
+            return VPC.tran(int(parts[1]), int(parts[2]), int(parts[3]))
+        if len(parts) != 5:
+            raise ValueError(f"{opcode.value} takes 4 fields")
+        return VPC(
+            opcode, int(parts[1]), int(parts[2]), int(parts[3]), int(parts[4])
+        )
+    except (ValueError, IndexError, KeyError) as exc:
+        raise ValueError(f"bad trace line {line_no}: {line!r}") from exc
+
+
+def write_trace(trace: VPCTrace, target: Union[str, Path, io.TextIOBase]) -> None:
+    """Write a trace in the line-oriented text format.
+
+    Lines starting with ``#`` are comments; each other line is one VPC.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_trace(trace, handle)
+        return
+    stats = trace.stats
+    target.write(f"# vpc trace: pim={stats.pim_vpcs} move={stats.move_vpcs}\n")
+    for vpc in trace:
+        target.write(_format_vpc(vpc) + "\n")
+
+
+def read_trace(source: Union[str, Path, io.TextIOBase]) -> VPCTrace:
+    """Read a trace written by :func:`write_trace`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace(handle)
+    trace = VPCTrace()
+    for line_no, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        trace.append(_parse_vpc(stripped, line_no))
+    return trace
+
+
+def write_trace_binary(
+    trace: VPCTrace, target: Union[str, Path, io.BufferedIOBase]
+) -> None:
+    """Write a trace in the fixed-width binary wire format.
+
+    The file is the magic prefix followed by one 21-byte encoded VPC per
+    command — the exact packets the host link carries, so a binary trace
+    is also a link-level capture.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as handle:
+            write_trace_binary(trace, handle)
+        return
+    target.write(_BINARY_MAGIC)
+    for vpc in trace:
+        target.write(encode_vpc(vpc))
+
+
+def read_trace_binary(
+    source: Union[str, Path, io.BufferedIOBase]
+) -> VPCTrace:
+    """Read a trace written by :func:`write_trace_binary`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return read_trace_binary(handle)
+    magic = source.read(len(_BINARY_MAGIC))
+    if magic != _BINARY_MAGIC:
+        raise ValueError("not a binary VPC trace (bad magic)")
+    trace = VPCTrace()
+    while True:
+        packet = source.read(VPC_ENCODED_BYTES)
+        if not packet:
+            break
+        if len(packet) != VPC_ENCODED_BYTES:
+            raise ValueError("truncated binary trace")
+        trace.append(decode_vpc(packet))
+    return trace

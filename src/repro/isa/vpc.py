@@ -1,0 +1,142 @@
+"""VPC command objects (Table II) and bank-level decomposition (Fig. 14).
+
+A VPC operates on vectors identified by linear word addresses:
+
+====  ========================  =============================
+Cmd   Operands                  Meaning
+====  ========================  =============================
+MUL   src1, src2, des, size     dot product of two vectors
+SMUL  src1, src2, des, size     scalar (at src1) times vector
+ADD   src1, src2, des, size     element-wise vector addition
+TRAN  src, des, size            data transfer (copy)
+====  ========================  =============================
+
+The device decodes each VPC into one or more *bank commands*; a bank
+controller further decodes those into subarray operations (transfer on
+the RM bus, processor operations, read/write for cross-subarray data
+preparation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class VPCOpcode(enum.Enum):
+    """Host-visible vector processing command opcodes (Table II)."""
+
+    MUL = "MUL"
+    SMUL = "SMUL"
+    ADD = "ADD"
+    TRAN = "TRAN"
+
+    @property
+    def is_compute(self) -> bool:
+        """PIM-VPCs perform computation; TRAN is a move-VPC."""
+        return self is not VPCOpcode.TRAN
+
+
+@dataclass(frozen=True)
+class VPC:
+    """One vector processing command.
+
+    Attributes:
+        opcode: which command.
+        src1: linear word address of the first operand vector (for TRAN,
+            the source).
+        src2: linear word address of the second operand (None for TRAN).
+        des: linear word address of the destination.
+        size: vector length in elements (words).
+    """
+
+    opcode: VPCOpcode
+    src1: int
+    src2: Optional[int]
+    des: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.src1 < 0 or self.des < 0:
+            raise ValueError("addresses must be non-negative")
+        if self.opcode is VPCOpcode.TRAN:
+            if self.src2 is not None:
+                raise ValueError("TRAN takes a single source operand")
+        else:
+            if self.src2 is None:
+                raise ValueError(f"{self.opcode.value} needs two operands")
+            if self.src2 < 0:
+                raise ValueError("addresses must be non-negative")
+
+    @property
+    def is_compute(self) -> bool:
+        return self.opcode.is_compute
+
+    @property
+    def operands(self) -> Tuple[int, ...]:
+        if self.src2 is None:
+            return (self.src1,)
+        return (self.src1, self.src2)
+
+    @staticmethod
+    def mul(src1: int, src2: int, des: int, size: int) -> "VPC":
+        """Dot product: des[0] = sum_i src1[i] * src2[i]."""
+        return VPC(VPCOpcode.MUL, src1, src2, des, size)
+
+    @staticmethod
+    def smul(src1: int, src2: int, des: int, size: int) -> "VPC":
+        """Scalar-vector multiply: des[i] = src1[0] * src2[i]."""
+        return VPC(VPCOpcode.SMUL, src1, src2, des, size)
+
+    @staticmethod
+    def add(src1: int, src2: int, des: int, size: int) -> "VPC":
+        """Vector addition: des[i] = src1[i] + src2[i]."""
+        return VPC(VPCOpcode.ADD, src1, src2, des, size)
+
+    @staticmethod
+    def tran(src: int, des: int, size: int) -> "VPC":
+        """Data transfer: des[i] = src[i]."""
+        return VPC(VPCOpcode.TRAN, src, None, des, size)
+
+
+class BankOp(enum.Enum):
+    """Operation classes a bank controller issues to a subarray."""
+
+    TRANSFER_IN = "transfer_in"  # mats -> RM bus -> processor (shifts)
+    COMPUTE = "compute"  # RM processor pipeline
+    TRANSFER_OUT = "transfer_out"  # processor -> RM bus -> mats (shifts)
+    READ = "read"  # cross-subarray data preparation
+    WRITE = "write"  # cross-subarray data preparation
+
+
+@dataclass(frozen=True)
+class BankCommand:
+    """One decoded, subarray-targeted command.
+
+    Attributes:
+        bank: target bank index.
+        subarray: target subarray index within the bank.
+        op: operation class.
+        vpc: the originating VPC (for result bookkeeping).
+        elements: how many vector elements the operation touches.
+    """
+
+    bank: int
+    subarray: int
+    op: BankOp
+    vpc: VPC
+    elements: int
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.subarray < 0:
+            raise ValueError("bank/subarray must be non-negative")
+        if self.elements <= 0:
+            raise ValueError(f"elements must be positive, got {self.elements}")
+
+    @property
+    def uses_rw(self) -> bool:
+        """Whether the op is of the read/write class (blocks PIM shifts)."""
+        return self.op in (BankOp.READ, BankOp.WRITE)

@@ -1,0 +1,50 @@
+"""Racetrack-memory (domain-wall memory) substrate.
+
+This package models the memory device the paper builds on (section II-A):
+domain-wall nanowires with access ports and shift ports, mats made of
+save/transfer tracks, subarrays, banks, and the full device hierarchy,
+together with the latency/energy model of Table III.
+"""
+
+from repro.rm.timing import (
+    RMTimingConfig,
+    EnergyModel,
+    energy_per_gate_pj,
+    DEFAULT_TIMING,
+)
+from repro.rm.nanowire import Racetrack, ShiftError, AccessPort
+from repro.rm.mat import Mat, MatConfig
+from repro.rm.subarray import Subarray, SubarrayConfig
+from repro.rm.bank import Bank, BankConfig
+from repro.rm.address import AddressMap, DeviceGeometry, PhysicalAddress
+from repro.rm.device import RMDevice
+from repro.rm.faults import (
+    FaultInjector,
+    FaultyRacetrack,
+    ShiftFaultConfig,
+    ShiftFaultModel,
+)
+
+__all__ = [
+    "RMTimingConfig",
+    "EnergyModel",
+    "energy_per_gate_pj",
+    "DEFAULT_TIMING",
+    "Racetrack",
+    "ShiftError",
+    "AccessPort",
+    "Mat",
+    "MatConfig",
+    "Subarray",
+    "SubarrayConfig",
+    "Bank",
+    "BankConfig",
+    "AddressMap",
+    "DeviceGeometry",
+    "PhysicalAddress",
+    "RMDevice",
+    "FaultInjector",
+    "FaultyRacetrack",
+    "ShiftFaultConfig",
+    "ShiftFaultModel",
+]

@@ -1,0 +1,94 @@
+"""Effective-bandwidth measurement on the RM substrate.
+
+The analytic CPU-RM baseline uses a sustained-bandwidth constant; this
+module derives where that constant must live by streaming real accesses
+through the state-accurate :class:`~repro.rm.device.RMDevice`:
+
+* a single subarray serves one row-level access per (shift + read), so
+  its streaming rate is bounded by the shift distance between
+  consecutive rows;
+* interleaving the stream across subarrays overlaps their shifts, the
+  RM analogue of DRAM bank interleaving, multiplying throughput until
+  the channel saturates;
+* random (far-jump) access pays near-worst-case shift distances.
+
+Each access moves ``words_per_access`` bytes (the row-level access width
+of the prep-cost model).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.rm.device import RMDevice
+
+
+def _measure(
+    device: RMDevice, addresses: List[int], words_per_access: int
+) -> float:
+    if not addresses:
+        raise ValueError("need at least one address")
+    if words_per_access <= 0:
+        raise ValueError("words_per_access must be positive")
+    total_ns = 0.0
+    for address in addresses:
+        _, latency = device.read_word(address)
+        total_ns += latency
+    return len(addresses) * words_per_access / total_ns
+
+
+def sequential_bandwidth_gbps(
+    device: Optional[RMDevice] = None,
+    accesses: int = 64,
+    words_per_access: int = 64,
+) -> float:
+    """Streaming bandwidth of one subarray (GB/s).
+
+    Consecutive row-level accesses sit ``words_per_access`` words apart
+    along the racetracks, so each access shifts that far before reading.
+    """
+    device = device or RMDevice()
+    addresses = [i * words_per_access for i in range(accesses)]
+    return _measure(device, addresses, words_per_access)
+
+
+def interleaved_bandwidth_gbps(
+    device: Optional[RMDevice] = None,
+    accesses: int = 64,
+    words_per_access: int = 64,
+    subarrays: int = 8,
+) -> float:
+    """Streaming bandwidth with the stream spread over subarrays.
+
+    Shifts in different subarrays overlap (independent shift drivers),
+    so the channel sees one access latency per ``subarrays`` accesses —
+    the RM analogue of DRAM bank interleaving.
+    """
+    if subarrays <= 0:
+        raise ValueError("subarrays must be positive")
+    device = device or RMDevice()
+    amap = device.address_map
+    addresses = []
+    for i in range(accesses):
+        base = amap.subarray_base(0, i % subarrays)
+        addresses.append(base + (i // subarrays) * words_per_access)
+    single = _measure(device, addresses, words_per_access)
+    return single * subarrays
+
+
+def random_jump_bandwidth_gbps(
+    device: Optional[RMDevice] = None,
+    accesses: int = 32,
+    words_per_access: int = 64,
+    seed: int = 5,
+) -> float:
+    """Bandwidth under far-jump (pointer-chase-like) access."""
+    import numpy as np
+
+    device = device or RMDevice()
+    rng = np.random.default_rng(seed)
+    span = device.geometry.bank.subarray.mat.words_per_group
+    addresses = [
+        int(rng.integers(0, span)) for _ in range(accesses)
+    ]
+    return _measure(device, addresses, words_per_access)

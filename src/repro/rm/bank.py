@@ -1,0 +1,104 @@
+"""RM bank: subarrays plus global row buffer and decoder peripherals.
+
+Banks are the top-level independently operable units (section III-B).
+A StreamPIM device contains both *PIM banks* (whose subarrays embed RM
+processors) and plain *memory banks* that only serve loads/stores; the
+paper's default splits 32 banks into 8 PIM + 24 memory banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rm.subarray import Subarray, SubarrayConfig
+from repro.rm.timing import EnergyModel
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    """Geometry of one bank.
+
+    Attributes:
+        subarrays: subarrays per bank (Table III: 64).
+        subarray: per-subarray geometry.
+        pim_bank: whether subarrays host RM processors.
+    """
+
+    subarrays: int = 64
+    subarray: SubarrayConfig = field(default_factory=SubarrayConfig)
+    pim_bank: bool = False
+
+    def __post_init__(self) -> None:
+        if self.subarrays <= 0:
+            raise ValueError("subarrays must be positive")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.subarrays * self.subarray.capacity_bytes
+
+
+class Bank:
+    """One bank with lazily created subarrays and a global row buffer."""
+
+    def __init__(
+        self,
+        config: Optional[BankConfig] = None,
+        energy: Optional[EnergyModel] = None,
+        index: int = 0,
+    ) -> None:
+        self.config = config or BankConfig()
+        self.energy = energy if energy is not None else EnergyModel()
+        self.index = index
+        self._subarrays: List[Optional[Subarray]] = [None] * self.config.subarrays
+        self._global_open_row: Optional[int] = None
+        self.busy_until_ns = 0.0
+
+    def subarray(self, index: int) -> Subarray:
+        """Get (lazily creating) subarray ``index``."""
+        if not 0 <= index < self.config.subarrays:
+            raise IndexError(
+                f"subarray {index} out of range [0, {self.config.subarrays})"
+            )
+        existing = self._subarrays[index]
+        if existing is None:
+            base = self.config.subarray
+            if not self.config.pim_bank:
+                cfg = SubarrayConfig(
+                    mats=base.mats,
+                    pim_mats=0,
+                    mat=base.mat,
+                    row_buffer_bytes=base.row_buffer_bytes,
+                )
+            else:
+                cfg = base
+            existing = Subarray(cfg, energy=self.energy, index=index)
+            self._subarrays[index] = existing
+        return existing
+
+    @property
+    def pim_subarrays(self) -> int:
+        """How many subarrays in this bank can execute PIM commands."""
+        return self.config.subarrays if self.config.pim_bank else 0
+
+    def iter_instantiated(self):
+        """Yield subarrays that have been materialised so far."""
+        for subarray in self._subarrays:
+            if subarray is not None:
+                yield subarray
+
+    # Global row buffer (regular memory path)
+    @property
+    def global_open_row(self) -> Optional[int]:
+        return self._global_open_row
+
+    def activate_global_row(self, row: int) -> bool:
+        """Open a row in the bank-level buffer; return hit/miss."""
+        if row < 0:
+            raise ValueError(f"row must be non-negative, got {row}")
+        hit = self._global_open_row == row
+        self._global_open_row = row
+        return hit
+
+    def precharge_global(self) -> None:
+        self._global_open_row = None

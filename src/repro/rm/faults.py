@@ -1,0 +1,198 @@
+"""Shift-fault reliability model (sections III-D and VI).
+
+Racetrack shifts occasionally move the domain train one position too far
+(over-shift) or not far enough (under-shift); the error probability
+grows with the commanded shift distance, and misalignment silently
+corrupts every subsequent access — which is why the paper lists fault
+accumulation as the third challenge of long-distance nanowire transfers
+and bounds every RM-bus shift to a single segment.
+
+This module provides:
+
+* :class:`ShiftFaultConfig` / :class:`ShiftFaultModel` — analytic fault
+  probabilities per shift and per transfer, contrasting the segmented
+  bus (one bounded shift per hop, guard-domain detection per segment)
+  with a monolithic long-distance shift;
+* :class:`FaultInjector` and :class:`FaultyRacetrack` — seeded fault
+  injection for failure testing: shifts land off by one with the
+  configured probability, and the wire records every injected fault so
+  tests can assert both corruption and detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.rmbus import RMBusConfig
+from repro.rm.nanowire import Racetrack, ShiftError
+
+
+@dataclass(frozen=True)
+class ShiftFaultConfig:
+    """Fault-rate parameters.
+
+    Attributes:
+        p_per_step: probability that one single-position shift step
+            lands off by one.  Together with the distance exponent this
+            puts a 1024-domain shift near the literature-typical 1e-3
+            raw fault rate per long shift.
+        distance_exponent: how fault likelihood scales with commanded
+            shift distance.  Section III-D: "when the length of
+            nanowires increases, the over-shifting and under-shifting
+            faults accumulate and become severe" — domain-wall velocity
+            variation compounds, so the effective step count grows
+            superlinearly with distance (exponent > 1).
+        guard_detection: probability that a segment's guard domains
+            catch a misaligned hop before it propagates (the
+            DownShift/PIETT-style mechanisms the paper points to).
+    """
+
+    p_per_step: float = 1e-7
+    distance_exponent: float = 1.3
+    guard_detection: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_per_step < 1.0:
+            raise ValueError("p_per_step must be in [0, 1)")
+        if self.distance_exponent < 1.0:
+            raise ValueError("distance_exponent must be >= 1")
+        if not 0.0 <= self.guard_detection <= 1.0:
+            raise ValueError("guard_detection must be in [0, 1]")
+
+
+class ShiftFaultModel:
+    """Analytic shift-fault probabilities."""
+
+    def __init__(self, config: Optional[ShiftFaultConfig] = None) -> None:
+        self.config = config or ShiftFaultConfig()
+
+    def shift_fault_probability(self, distance: int) -> float:
+        """Probability that a shift of ``distance`` positions misaligns.
+
+        The effective step count grows superlinearly with the commanded
+        distance (velocity-variation accumulation), so long shifts are
+        disproportionately risky — the section III-D observation that
+        motivates bounding every bus shift to one segment.
+        """
+        if distance < 0:
+            raise ValueError(f"distance must be non-negative, got {distance}")
+        effective_steps = float(distance) ** self.config.distance_exponent
+        return 1.0 - (1.0 - self.config.p_per_step) ** effective_steps
+
+    def undetected(self, probability: float) -> float:
+        """Portion of a fault probability that guard domains miss."""
+        return probability * (1.0 - self.config.guard_detection)
+
+    # ------------------------------------------------------------------
+    # Transfer-level comparisons (the section III-D argument)
+    # ------------------------------------------------------------------
+    def monolithic_transfer_fault(self, bus: RMBusConfig, words: int) -> float:
+        """Undetected-fault probability of one long-distance transfer.
+
+        The naive design shifts the data train the full wire length in
+        one operation: faults accumulate over the whole distance and
+        there is no per-segment guard to catch them mid-flight.
+        """
+        if words <= 0:
+            raise ValueError(f"words must be positive, got {words}")
+        per_word = self.shift_fault_probability(bus.length_domains)
+        return 1.0 - (1.0 - per_word) ** words
+
+    def segmented_transfer_fault(self, bus: RMBusConfig, words: int) -> float:
+        """Undetected-fault probability of one segmented transfer.
+
+        Every hop moves exactly one segment and is checked against the
+        segment's guard domains, so only the undetected residue of each
+        bounded hop accumulates.
+        """
+        if words <= 0:
+            raise ValueError(f"words must be positive, got {words}")
+        hop = self.shift_fault_probability(bus.segment_domains)
+        undetected_hop = self.undetected(hop)
+        hops_per_chunk = bus.n_segments
+        chunks = -(-words // bus.words_per_segment)
+        total_hops = chunks * hops_per_chunk
+        return 1.0 - (1.0 - undetected_hop) ** total_hops
+
+    def mitigation_factor(self, bus: RMBusConfig, words: int) -> float:
+        """How much the segmented design reduces undetected faults."""
+        segmented = self.segmented_transfer_fault(bus, words)
+        monolithic = self.monolithic_transfer_fault(bus, words)
+        if segmented == 0.0:
+            return float("inf")
+        return monolithic / segmented
+
+
+class FaultInjector:
+    """Seeded random over/under-shift injector."""
+
+    def __init__(
+        self,
+        config: Optional[ShiftFaultConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or ShiftFaultConfig()
+        self._rng = np.random.default_rng(seed)
+        self.injected = 0
+
+    def perturb(self, amount: int) -> int:
+        """Return the distance a commanded shift actually moves.
+
+        Each position step misfires independently; a misfired step
+        either doubles (over-shift) or skips (under-shift) with equal
+        likelihood.  A zero shift cannot misfire.
+        """
+        if amount == 0:
+            return 0
+        steps = abs(amount)
+        faults = int(
+            self._rng.binomial(steps, self.config.p_per_step)
+        )
+        if faults == 0:
+            return amount
+        self.injected += faults
+        direction = 1 if amount > 0 else -1
+        offsets = self._rng.choice([-1, 1], size=faults).sum()
+        return amount + direction * int(offsets)
+
+
+class FaultyRacetrack(Racetrack):
+    """A racetrack whose shifts may land off-position.
+
+    Behaves exactly like :class:`Racetrack` except that each shift's
+    distance passes through a :class:`FaultInjector`; the wire counts
+    the faults it has suffered, and ``misalignment`` reports how far the
+    actual offset has drifted from where an ideal wire would be — the
+    quantity guard-domain schemes detect.
+    """
+
+    def __init__(self, *args, injector: Optional[FaultInjector] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.injector = injector or FaultInjector()
+        self._ideal_offset = 0
+
+    def shift(self, amount: int) -> None:
+        actual = self.injector.perturb(amount)
+        if actual == amount:
+            super().shift(amount)
+        else:
+            try:
+                super().shift(actual)
+            except ShiftError:
+                # The faulty move hit the wire boundary: that is a
+                # *detected* fault, so the shift is retried cleanly.  A
+                # legitimate out-of-range command still raises below.
+                super().shift(amount)
+        self._ideal_offset += amount
+
+    @property
+    def misalignment(self) -> int:
+        """Positions the wire has drifted from its ideal alignment."""
+        return self.offset - self._ideal_offset
+
+    @property
+    def faulted(self) -> bool:
+        return self.misalignment != 0

@@ -1,0 +1,290 @@
+"""RM mat: an array of racetracks with save tracks and transfer tracks.
+
+Section III-E of the paper splits the racetracks of (some) mats into two
+kinds: *save tracks* hold data and carry access ports for regular memory
+reads/writes; *transfer tracks* have no access ports and only stream data
+onto the RM bus.  Save and transfer tracks are joined by fan-out
+nanowires, so data can be copied (not moved) from a save track onto a
+transfer track — this is the non-destructive read path used by PIM.
+
+Words are bit-interleaved across ``word_bits`` adjacent tracks at the same
+domain offset, the standard DWM array layout: reading a word aligns one
+domain column under the ports of a track group and senses all bits in
+parallel (one read operation per word).
+
+Tracks are instantiated lazily; an untouched mat costs almost no memory,
+which lets the full 8 GiB device geometry be represented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.rm.nanowire import Racetrack
+from repro.rm.timing import EnergyModel, RMTimingConfig
+
+
+@dataclass(frozen=True)
+class MatConfig:
+    """Geometry of one mat.
+
+    Defaults follow Table III: 512 save tracks and 512 transfer tracks per
+    (PIM-capable) mat, 8-bit words, and enough domains per track for a
+    256 KiB mat capacity.
+
+    Attributes:
+        save_tracks: number of data-holding racetracks.
+        transfer_tracks: number of bus-facing racetracks (0 for plain
+            memory mats).
+        domains_per_track: bits stored on each racetrack.
+        word_bits: width of one operand word (the paper uses 8).
+        ports_per_track: access ports on each save track.
+    """
+
+    save_tracks: int = 512
+    transfer_tracks: int = 512
+    domains_per_track: int = 4096
+    word_bits: int = 8
+    ports_per_track: int = 4
+
+    def __post_init__(self) -> None:
+        if self.save_tracks <= 0:
+            raise ValueError("save_tracks must be positive")
+        if self.transfer_tracks < 0:
+            raise ValueError("transfer_tracks must be non-negative")
+        if self.domains_per_track <= 0:
+            raise ValueError("domains_per_track must be positive")
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if self.save_tracks % self.word_bits != 0:
+            raise ValueError(
+                f"save_tracks ({self.save_tracks}) must be a multiple of "
+                f"word_bits ({self.word_bits})"
+            )
+        if self.ports_per_track <= 0:
+            raise ValueError("ports_per_track must be positive")
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.save_tracks * self.domains_per_track
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8
+
+    @property
+    def word_groups(self) -> int:
+        """Number of word-wide track groups."""
+        return self.save_tracks // self.word_bits
+
+    @property
+    def words_per_group(self) -> int:
+        """Words stored along the domain axis of one track group."""
+        return self.domains_per_track
+
+    @property
+    def capacity_words(self) -> int:
+        return self.word_groups * self.words_per_group
+
+
+def _port_positions(config: MatConfig) -> List[int]:
+    """Evenly spaced access-port positions along a save track."""
+    n, k = config.domains_per_track, config.ports_per_track
+    stride = n // k
+    return [min(n - 1, stride // 2 + i * stride) for i in range(k)]
+
+
+class Mat:
+    """One mat: lazily instantiated save tracks plus transfer tracks.
+
+    Word addressing is ``(group, index)``: ``group`` selects a bundle of
+    ``word_bits`` adjacent save tracks; ``index`` selects the domain
+    column within the bundle.  All accesses charge latency/energy via the
+    supplied :class:`EnergyModel` and return shift distances so callers
+    can account cycles.
+    """
+
+    def __init__(
+        self,
+        config: MatConfig | None = None,
+        energy: EnergyModel | None = None,
+        track_factory=None,
+    ) -> None:
+        """Args:
+            config: mat geometry.
+            energy: shared energy accumulator.
+            track_factory: optional callable ``(n_domains, ports) ->
+                Racetrack`` used to build save tracks — the hook fault
+                injection uses to substitute
+                :class:`~repro.rm.faults.FaultyRacetrack` wires.
+        """
+        self.config = config or MatConfig()
+        self.energy = energy if energy is not None else EnergyModel()
+        self._save: Dict[int, Racetrack] = {}
+        self._transfer: Dict[int, Racetrack] = {}
+        self._ports = _port_positions(self.config)
+        self._track_factory = track_factory
+
+    # ------------------------------------------------------------------
+    # Track instantiation
+    # ------------------------------------------------------------------
+    def save_track(self, index: int) -> Racetrack:
+        """Get (lazily creating) save track ``index``."""
+        if not 0 <= index < self.config.save_tracks:
+            raise IndexError(
+                f"save track {index} out of range "
+                f"[0, {self.config.save_tracks})"
+            )
+        track = self._save.get(index)
+        if track is None:
+            if self._track_factory is not None:
+                track = self._track_factory(
+                    self.config.domains_per_track, list(self._ports)
+                )
+            else:
+                track = Racetrack(
+                    self.config.domains_per_track, ports=self._ports
+                )
+            self._save[index] = track
+        return track
+
+    def transfer_track(self, index: int) -> Racetrack:
+        """Get (lazily creating) transfer track ``index``."""
+        if not 0 <= index < self.config.transfer_tracks:
+            raise IndexError(
+                f"transfer track {index} out of range "
+                f"[0, {self.config.transfer_tracks})"
+            )
+        track = self._transfer.get(index)
+        if track is None:
+            # Transfer tracks carry no access ports of their own; model
+            # them with a single read-only sense point at the bus end.
+            track = Racetrack(
+                self.config.domains_per_track,
+                ports=[self.config.domains_per_track - 1],
+            )
+            self._transfer[index] = track
+        return track
+
+    @property
+    def instantiated_tracks(self) -> int:
+        """How many tracks have been materialised (memory footprint aid)."""
+        return len(self._save) + len(self._transfer)
+
+    # ------------------------------------------------------------------
+    # Word access (regular memory path: access ports, electronic signals)
+    # ------------------------------------------------------------------
+    def read_word(self, group: int, index: int) -> int:
+        """Read one word through access ports (destructive of alignment).
+
+        Aligns the target domain column under the nearest port of each
+        track in the group, then senses all ``word_bits`` bits in parallel
+        (one read operation at the word level, as the bits of one word
+        share wordline timing).
+
+        Returns:
+            The word value (unsigned, ``word_bits`` wide).
+        """
+        tracks = self._group_tracks(group)
+        self._check_index(index)
+        shift_distance = self._align_group(tracks, index)
+        value = 0
+        for bit_pos, track in enumerate(tracks):
+            port = track.nearest_port(index)
+            bit = track.read_at_port(port)
+            value |= bit << bit_pos
+        self.energy.charge_read()
+        self.energy.charge_shift(shift_distance)
+        return value
+
+    def write_word(self, group: int, index: int, value: int) -> None:
+        """Write one word through access ports."""
+        tracks = self._group_tracks(group)
+        self._check_index(index)
+        self._check_value(value)
+        shift_distance = self._align_group(tracks, index)
+        for bit_pos, track in enumerate(tracks):
+            port = track.nearest_port(index)
+            track.write_at_port((value >> bit_pos) & 1, port)
+        self.energy.charge_write()
+        self.energy.charge_shift(shift_distance)
+
+    def read_vector(self, group: int, start: int, length: int) -> List[int]:
+        """Read ``length`` consecutive words from one track group."""
+        return [self.read_word(group, start + i) for i in range(length)]
+
+    def write_vector(
+        self, group: int, start: int, values: Iterable[int]
+    ) -> None:
+        """Write consecutive words into one track group."""
+        for i, value in enumerate(values):
+            self.write_word(group, start + i, value)
+
+    # ------------------------------------------------------------------
+    # PIM path: non-destructive copy onto transfer tracks (fan-out)
+    # ------------------------------------------------------------------
+    def copy_to_transfer(self, group: int, start: int, length: int) -> int:
+        """Copy words from save tracks to transfer tracks via fan-out.
+
+        The fan-out junction duplicates each domain as it shifts past, so
+        the save track keeps its data (non-destructive read) while the
+        transfer track receives a replica ready to stream onto the RM bus.
+        Only shift operations are charged — this is the path that avoids
+        electromagnetic conversion.
+
+        Returns:
+            Number of unit shifts performed (for cycle accounting).
+        """
+        if self.config.transfer_tracks == 0:
+            raise RuntimeError("this mat has no transfer tracks")
+        tracks = self._group_tracks(group)
+        self._check_index(start)
+        self._check_index(start + length - 1)
+        t_group = group % (self.config.transfer_tracks // self.config.word_bits)
+        shifts = 0
+        for bit_pos, track in enumerate(tracks):
+            dest = self.transfer_track(
+                t_group * self.config.word_bits + bit_pos
+            )
+            for offset in range(length):
+                dest.set(start + offset, track.get(start + offset))
+            shifts += length
+        self.energy.charge_shift(shifts)
+        return shifts
+
+    # ------------------------------------------------------------------
+    def _group_tracks(self, group: int) -> List[Racetrack]:
+        if not 0 <= group < self.config.word_groups:
+            raise IndexError(
+                f"group {group} out of range [0, {self.config.word_groups})"
+            )
+        base = group * self.config.word_bits
+        return [self.save_track(base + i) for i in range(self.config.word_bits)]
+
+    def _align_group(self, tracks: List[Racetrack], index: int) -> int:
+        """Align all tracks of a group on ``index``; return max distance.
+
+        Tracks in a group shift in lock-step (shared shift driver), so the
+        time cost is a single shift of the common distance.
+        """
+        distance = 0
+        for track in tracks:
+            port = track.nearest_port(index)
+            distance = max(distance, abs(track.shifts_to_align(index, port)))
+            track.align(index, port)
+        return distance
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.config.words_per_group:
+            raise IndexError(
+                f"word index {index} out of range "
+                f"[0, {self.config.words_per_group})"
+            )
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value < (1 << self.config.word_bits):
+            raise ValueError(
+                f"word value {value} out of range for "
+                f"{self.config.word_bits}-bit words"
+            )

@@ -1,0 +1,276 @@
+"""Domain-wall nanowire (racetrack) state model.
+
+A racetrack stores one bit per magnetic domain (Fig. 1 of the paper).
+Domains are moved past fixed access ports by *shift* operations; a domain
+aligned with an access port can be read or written through the MTJ formed
+by the domain and the port's reference layer.  Extra *overhead* domains
+are reserved at both ends of the wire so data is not pushed off the ends
+while shifting (section II-A).
+
+The model here is state-accurate: bits really move when the wire shifts,
+reads return the stored bit, and over-shifting raises :class:`ShiftError`
+instead of silently corrupting data.  Timing/energy is charged by callers
+through :class:`repro.rm.timing.EnergyModel`; this module only maintains
+operation counters so that higher layers can audit behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class ShiftError(RuntimeError):
+    """Raised when a shift would push data domains off the nanowire."""
+
+
+@dataclass(frozen=True)
+class AccessPort:
+    """A read/write port at a fixed physical position along the wire.
+
+    Attributes:
+        position: index of the physical domain slot the port is aligned to.
+        read_only: transfer-track style ports that can only sense data.
+    """
+
+    position: int
+    read_only: bool = False
+
+
+class Racetrack:
+    """One domain-wall nanowire with data domains and overhead domains.
+
+    The wire has ``n_domains`` data slots plus ``overhead`` reserved slots
+    on each side.  The current shift offset tracks how far the data block
+    has been moved from its home position; reads and writes address data
+    by *logical* index, which the wire maps to physical positions using
+    the offset.
+
+    Args:
+        n_domains: number of data-bit domains.
+        ports: physical positions of the access ports.  Defaults to a
+            single port in the middle of the data region.
+        overhead: reserved domains on each side.  Defaults to the port
+            count requirement described in the paper (enough to align any
+            domain with its nearest port, never exceeding ``n_domains``).
+    """
+
+    def __init__(
+        self,
+        n_domains: int,
+        ports: Optional[Sequence[int]] = None,
+        overhead: Optional[int] = None,
+    ) -> None:
+        if n_domains <= 0:
+            raise ValueError(f"n_domains must be positive, got {n_domains}")
+        self.n_domains = n_domains
+        if ports is None:
+            ports = [n_domains // 2]
+        if not ports:
+            raise ValueError("a racetrack needs at least one access port")
+        port_list = sorted(set(int(p) for p in ports))
+        if port_list[0] < 0 or port_list[-1] >= n_domains:
+            raise ValueError(
+                f"port positions {port_list} out of range [0, {n_domains})"
+            )
+        self.ports: List[AccessPort] = [AccessPort(p) for p in port_list]
+        if overhead is None:
+            # Enough slack to bring any domain under its nearest port:
+            # with k evenly spaced ports this is ~n/k, and the paper notes
+            # it never exceeds the number of regular domains.
+            overhead = min(
+                n_domains, max(1, -(-n_domains // len(port_list)))
+            )
+        if overhead < 0:
+            raise ValueError(f"overhead must be non-negative, got {overhead}")
+        self.overhead = overhead
+        # Physical storage: [left overhead][data][right overhead].
+        self._bits: List[int] = [0] * (n_domains + 2 * overhead)
+        # Offset of logical bit 0 from physical slot `overhead`; positive
+        # offset means the data block has moved right.
+        self._offset = 0
+        self.shift_count = 0
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def total_length(self) -> int:
+        """Physical length of the wire, including overhead domains."""
+        return len(self._bits)
+
+    @property
+    def offset(self) -> int:
+        """Current displacement of the data block from its home position."""
+        return self._offset
+
+    def _physical(self, logical: int) -> int:
+        """Array slot of a logical bit.
+
+        The backing array is logical-indexed: bits do not move within it
+        when the wire shifts.  The offset only tracks which logical bit
+        faces each (physically fixed) port, which is the observable
+        effect of a real shift.
+        """
+        return self.overhead + logical
+
+    def _logical_under(self, port: AccessPort) -> int:
+        """Logical bit index currently aligned with a port.
+
+        Port positions are expressed in home-logical coordinates (the
+        data-region index a port faces when the wire is unshifted), so
+        the bit under a port is ``position - offset``.
+        """
+        return port.position - self._offset
+
+    # ------------------------------------------------------------------
+    # Shift
+    # ------------------------------------------------------------------
+    def shift(self, amount: int) -> None:
+        """Shift the whole data block by ``amount`` positions.
+
+        Positive ``amount`` moves data toward higher positions.  One call
+        models one shift operation regardless of distance (the caller
+        charges latency/energy per unit distance if desired).
+
+        Raises:
+            ShiftError: if the move would push data into/past the ends.
+        """
+        if amount == 0:
+            return
+        new_offset = self._offset + amount
+        if new_offset < -self.overhead or new_offset > self.overhead:
+            raise ShiftError(
+                f"shift by {amount} moves offset to {new_offset}, outside "
+                f"overhead range [-{self.overhead}, {self.overhead}]"
+            )
+        self._offset = new_offset
+        self.shift_count += abs(amount)
+
+    def shifts_to_align(self, logical: int, port_index: int = 0) -> int:
+        """Shift distance needed to align ``logical`` with a given port."""
+        self._check_logical(logical)
+        port = self.ports[port_index]
+        return port.position - (self._offset + logical)
+
+    def align(self, logical: int, port_index: int = 0) -> int:
+        """Shift so that logical bit ``logical`` sits under the port.
+
+        Returns:
+            The (absolute) number of positions shifted.
+        """
+        distance = self.shifts_to_align(logical, port_index)
+        self.shift(distance)
+        return abs(distance)
+
+    def nearest_port(self, logical: int) -> int:
+        """Index of the port closest to a logical bit's current position.
+
+        Only ports whose alignment keeps the data block inside the
+        overhead window are eligible — after long drifts in one
+        direction, the physically nearest port may be unreachable and a
+        farther port (shifting back the other way) must serve the
+        access.
+
+        Raises:
+            ShiftError: if no port can be aligned within the overhead.
+        """
+        self._check_logical(logical)
+        pos = self._offset + logical
+        candidates = []
+        for index, port in enumerate(self.ports):
+            new_offset = port.position - logical
+            if -self.overhead <= new_offset <= self.overhead:
+                candidates.append((abs(port.position - pos), index))
+        if not candidates:
+            raise ShiftError(
+                f"no access port can reach logical bit {logical} within "
+                f"the overhead window"
+            )
+        return min(candidates)[1]
+
+    # ------------------------------------------------------------------
+    # Access-port read/write
+    # ------------------------------------------------------------------
+    def read_at_port(self, port_index: int = 0) -> int:
+        """Read the bit currently aligned with a port."""
+        port = self.ports[port_index]
+        logical = self._logical_under(port)
+        self._check_logical(logical)
+        self.read_count += 1
+        return self._bits[self._physical(logical)]
+
+    def write_at_port(self, bit: int, port_index: int = 0) -> None:
+        """Write the bit currently aligned with a port."""
+        port = self.ports[port_index]
+        if port.read_only:
+            raise PermissionError(f"port {port_index} is read-only")
+        logical = self._logical_under(port)
+        self._check_logical(logical)
+        self._bits[self._physical(logical)] = self._check_bit(bit)
+        self.write_count += 1
+
+    def transverse_read(self, port_index: int, span: int) -> int:
+        """Count of set bits across ``span`` consecutive domains at a port.
+
+        Models the *Transverse Read* mechanism the CORUSCANT baseline
+        relies on (section II-B): a single sensing operation that reports
+        how many of the ``span`` domains downstream of the port are set.
+        """
+        if span <= 0:
+            raise ValueError(f"span must be positive, got {span}")
+        port = self.ports[port_index]
+        start = self._logical_under(port)
+        self._check_logical(start)
+        self._check_logical(start + span - 1)
+        self.read_count += 1
+        phys = self._physical(start)
+        return sum(self._bits[phys : phys + span])
+
+    # ------------------------------------------------------------------
+    # Whole-track convenience accessors (used by mats and tests; these
+    # peek at state without modelling port alignment).
+    # ------------------------------------------------------------------
+    def get(self, logical: int) -> int:
+        """Peek at a logical bit without modelling port access."""
+        self._check_logical(logical)
+        return self._bits[self._physical(logical)]
+
+    def set(self, logical: int, bit: int) -> None:
+        """Poke a logical bit without modelling port access."""
+        self._check_logical(logical)
+        self._bits[self._physical(logical)] = self._check_bit(bit)
+
+    def load(self, bits: Sequence[int]) -> None:
+        """Initialise the data region (e.g. when modelling DMA fill)."""
+        if len(bits) != self.n_domains:
+            raise ValueError(
+                f"expected {self.n_domains} bits, got {len(bits)}"
+            )
+        for i, bit in enumerate(bits):
+            self.set(i, bit)
+
+    def dump(self) -> List[int]:
+        """Return a copy of the data region's bits."""
+        return [self.get(i) for i in range(self.n_domains)]
+
+    # ------------------------------------------------------------------
+    def _check_logical(self, logical: int) -> None:
+        if not 0 <= logical < self.n_domains:
+            raise IndexError(
+                f"logical index {logical} out of range [0, {self.n_domains})"
+            )
+
+    @staticmethod
+    def _check_bit(bit: int) -> int:
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        return bit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Racetrack(n_domains={self.n_domains}, ports="
+            f"{[p.position for p in self.ports]}, offset={self._offset})"
+        )

@@ -1,0 +1,179 @@
+"""RM subarray: a group of mats plus a local row buffer.
+
+The subarray is the basic unit for serving memory requests (section II-A)
+and, in StreamPIM, the unit of PIM parallelism: each PIM subarray hosts
+one RM processor and a set of RM buses (section III-B).  Following the
+SALP-inspired design the paper adopts, each subarray has a *local row
+buffer* so different subarrays of one bank can have rows open
+concurrently.
+
+This module models the memory side: mats, the local row buffer, and the
+mutual-exclusion rule between read/write operations and shift-based PIM
+operations that motivates the ``unblock`` optimisation (section IV-C) —
+"for the sake of data integrity, the shift operations cannot be executed
+simultaneously with read/write operations in a single subarray".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rm.mat import Mat, MatConfig
+from repro.rm.timing import EnergyModel, RMTimingConfig
+
+
+@dataclass(frozen=True)
+class SubarrayConfig:
+    """Geometry of one subarray.
+
+    Defaults follow Table III / section V-G: 16 mats per subarray, of
+    which 2 carry transfer tracks (PIM-facing mats).
+
+    Attributes:
+        mats: number of mats.
+        pim_mats: how many mats have transfer tracks.
+        mat: per-mat geometry.
+        row_buffer_bytes: capacity of the local row buffer.
+    """
+
+    mats: int = 16
+    pim_mats: int = 2
+    mat: MatConfig = field(default_factory=MatConfig)
+    row_buffer_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.mats <= 0:
+            raise ValueError("mats must be positive")
+        if not 0 <= self.pim_mats <= self.mats:
+            raise ValueError(
+                f"pim_mats ({self.pim_mats}) must be in [0, {self.mats}]"
+            )
+        if self.row_buffer_bytes <= 0:
+            raise ValueError("row_buffer_bytes must be positive")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.mats * self.mat.capacity_bytes
+
+    @property
+    def capacity_words(self) -> int:
+        return self.mats * self.mat.capacity_words
+
+
+class Subarray:
+    """One subarray: mats, a local row buffer, and a busy ledger.
+
+    The busy ledger records, on the simulated clock, until when the
+    subarray is occupied by (a) read/write activity and (b) shift/compute
+    activity.  The two classes mutually exclude each other within one
+    subarray; the scheduler layers use :meth:`earliest_start` to model
+    that blocking.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SubarrayConfig] = None,
+        energy: Optional[EnergyModel] = None,
+        index: int = 0,
+    ) -> None:
+        self.config = config or SubarrayConfig()
+        self.energy = energy if energy is not None else EnergyModel()
+        self.index = index
+        self._mats: List[Optional[Mat]] = [None] * self.config.mats
+        self._open_row: Optional[int] = None
+        # Time (in ns on the simulated clock) until which the subarray is
+        # busy with any operation class.
+        self.busy_until_ns = 0.0
+        # What the subarray is currently doing ("idle" / "rw" / "pim").
+        self.activity = "idle"
+
+    # ------------------------------------------------------------------
+    # Mats
+    # ------------------------------------------------------------------
+    def mat(self, index: int) -> Mat:
+        """Get (lazily creating) mat ``index``.
+
+        The first ``pim_mats`` mats are created with transfer tracks; the
+        rest are plain memory mats (transfer_tracks = 0).
+        """
+        if not 0 <= index < self.config.mats:
+            raise IndexError(
+                f"mat {index} out of range [0, {self.config.mats})"
+            )
+        existing = self._mats[index]
+        if existing is not None:
+            return existing
+        base = self.config.mat
+        if index >= self.config.pim_mats:
+            cfg = MatConfig(
+                save_tracks=base.save_tracks,
+                transfer_tracks=0,
+                domains_per_track=base.domains_per_track,
+                word_bits=base.word_bits,
+                ports_per_track=base.ports_per_track,
+            )
+        else:
+            cfg = base
+        created = Mat(cfg, energy=self.energy)
+        self._mats[index] = created
+        return created
+
+    @property
+    def pim_capable(self) -> bool:
+        return self.config.pim_mats > 0
+
+    # ------------------------------------------------------------------
+    # Row buffer
+    # ------------------------------------------------------------------
+    @property
+    def open_row(self) -> Optional[int]:
+        return self._open_row
+
+    def activate_row(self, row: int) -> bool:
+        """Open a row in the local buffer.
+
+        Returns:
+            True if this was a row-buffer hit (row already open).
+        """
+        if row < 0:
+            raise ValueError(f"row must be non-negative, got {row}")
+        hit = self._open_row == row
+        self._open_row = row
+        return hit
+
+    def precharge(self) -> None:
+        self._open_row = None
+
+    # ------------------------------------------------------------------
+    # Busy ledger (used by the scheduler layers)
+    # ------------------------------------------------------------------
+    def earliest_start(self, now_ns: float) -> float:
+        """Earliest simulated time a new operation may start here."""
+        return max(now_ns, self.busy_until_ns)
+
+    def occupy(self, start_ns: float, duration_ns: float, kind: str) -> float:
+        """Mark the subarray busy with ``kind`` in [start, start+duration].
+
+        Args:
+            start_ns: requested start; pushed back if the subarray is busy.
+            duration_ns: how long the operation runs.
+            kind: "rw" for read/write activity, "pim" for shift/compute.
+
+        Returns:
+            The finish time in ns.
+        """
+        if kind not in ("rw", "pim"):
+            raise ValueError(f"kind must be 'rw' or 'pim', got {kind!r}")
+        if duration_ns < 0:
+            raise ValueError("duration_ns must be non-negative")
+        begin = self.earliest_start(start_ns)
+        finish = begin + duration_ns
+        self.busy_until_ns = finish
+        self.activity = kind
+        return finish
+
+    def release_at(self, now_ns: float) -> None:
+        """Mark idle if the ledger says all work has drained by ``now``."""
+        if now_ns >= self.busy_until_ns:
+            self.activity = "idle"

@@ -1,0 +1,124 @@
+"""Minimal discrete-event simulation engine.
+
+Callback-based: events are (time, callback) pairs kept in a heap; running
+the engine pops events in time order (FIFO among equal timestamps) and
+invokes the callbacks, which may schedule further events.  A
+:class:`Resource` models an exclusive unit (a subarray, a bus, a
+processor) as a "busy until" ledger, the standard technique for
+cycle-level memory-system simulation at command granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """Discrete-event loop with a monotonically advancing clock (ns)."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns:
+            The simulation clock after the run.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event; returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class Resource:
+    """An exclusive unit with a busy-until ledger and utilisation stats."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.acquisitions = 0
+
+    def earliest_start(self, now: float) -> float:
+        return max(now, self.busy_until)
+
+    def acquire(self, now: float, duration: float) -> Tuple[float, float]:
+        """Reserve the resource for ``duration`` starting no earlier than
+        ``now``.
+
+        Returns:
+            ``(start, finish)`` of the granted reservation.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = self.earliest_start(now)
+        finish = start + duration
+        self.busy_until = finish
+        self.busy_time += duration
+        self.acquisitions += 1
+        return start, finish
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,87 @@
+"""Pipeline cycle algebra.
+
+Both the RM processor (Fig. 11) and the segmented RM bus (Fig. 12) are
+pipelines: after a fill period, one item completes every initiation
+interval.  This module provides the shared algebra:
+
+    latency(n) = fill + (n - 1) * II        for n >= 1 items
+
+where ``fill`` is the sum of stage depths (cycles for the first item to
+traverse every stage) and ``II`` is the slowest stage's per-item cycle
+count.  The same formula gives the bus transfer time with ``fill`` =
+number of segments between source and destination and ``II`` = 1 (one
+segment advance per cycle per data/empty segment pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One pipeline stage.
+
+    Attributes:
+        name: stage label (for breakdown reporting).
+        depth: cycles for one item to traverse the stage.
+        interval: cycles between successive items entering the stage
+            (the stage's local initiation interval).
+    """
+
+    name: str
+    depth: int
+    interval: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"stage depth must be >= 1, got {self.depth}")
+        if self.interval < 1:
+            raise ValueError(
+                f"stage interval must be >= 1, got {self.interval}"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """A linear pipeline of stages."""
+
+    stages: Sequence[PipelineStage]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a pipeline needs at least one stage")
+
+    @property
+    def fill_cycles(self) -> int:
+        """Cycles for the first item to emerge (sum of stage depths)."""
+        return sum(stage.depth for stage in self.stages)
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between successive completions in steady state."""
+        return max(stage.interval for stage in self.stages)
+
+    def latency_cycles(self, n_items: int) -> int:
+        """Total cycles to push ``n_items`` through the pipeline."""
+        if n_items < 0:
+            raise ValueError(f"n_items must be non-negative, got {n_items}")
+        if n_items == 0:
+            return 0
+        return self.fill_cycles + (n_items - 1) * self.initiation_interval
+
+    def bottleneck(self) -> PipelineStage:
+        """The stage that sets the initiation interval."""
+        return max(self.stages, key=lambda s: s.interval)
+
+    def without(self, *names: str) -> "PipelineModel":
+        """A copy with the named stages bypassed.
+
+        Models the paper's operation-specific bypasses: scalar addition
+        skips stages 1-3; scalar multiplication skips the circle adder.
+        """
+        remaining = [s for s in self.stages if s.name not in names]
+        if not remaining:
+            raise ValueError("cannot bypass every stage")
+        return PipelineModel(tuple(remaining))

@@ -1,0 +1,197 @@
+"""Time/energy breakdown containers.
+
+The paper reports execution time split into exclusive Read / Write /
+Shift / Process components plus an Overlapped part (Fig. 19), and energy
+split into data-transfer vs compute (Figs. 4, 18, 20).  These containers
+accumulate those components and normalise them for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+_TIME_CATEGORIES = ("read", "write", "shift", "process", "overlapped")
+_ENERGY_CATEGORIES = ("read", "write", "shift", "compute")
+
+
+@dataclass
+class TimeBreakdown:
+    """Execution time split by exclusive category (all in ns)."""
+
+    read_ns: float = 0.0
+    write_ns: float = 0.0
+    shift_ns: float = 0.0
+    process_ns: float = 0.0
+    overlapped_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.read_ns
+            + self.write_ns
+            + self.shift_ns
+            + self.process_ns
+            + self.overlapped_ns
+        )
+
+    @property
+    def transfer_ns(self) -> float:
+        """Exclusive (non-overlapped) data-transfer time."""
+        return self.read_ns + self.write_ns + self.shift_ns
+
+    def add(self, category: str, duration_ns: float) -> None:
+        if duration_ns < 0:
+            raise ValueError(
+                f"duration must be non-negative, got {duration_ns}"
+            )
+        if category not in _TIME_CATEGORIES:
+            raise ValueError(
+                f"category must be one of {_TIME_CATEGORIES}, got {category!r}"
+            )
+        setattr(
+            self, f"{category}_ns", getattr(self, f"{category}_ns") + duration_ns
+        )
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        self.read_ns += other.read_ns
+        self.write_ns += other.write_ns
+        self.shift_ns += other.shift_ns
+        self.process_ns += other.process_ns
+        self.overlapped_ns += other.overlapped_ns
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalised shares of the total (empty breakdown -> all zeros)."""
+        total = self.total_ns
+        if total <= 0:
+            return {name: 0.0 for name in _TIME_CATEGORIES}
+        return {
+            "read": self.read_ns / total,
+            "write": self.write_ns / total,
+            "shift": self.shift_ns / total,
+            "process": self.process_ns / total,
+            "overlapped": self.overlapped_ns / total,
+        }
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """A copy with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return TimeBreakdown(
+            read_ns=self.read_ns * factor,
+            write_ns=self.write_ns * factor,
+            shift_ns=self.shift_ns * factor,
+            process_ns=self.process_ns * factor,
+            overlapped_ns=self.overlapped_ns * factor,
+        )
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split by category (all in pJ)."""
+
+    read_pj: float = 0.0
+    write_pj: float = 0.0
+    shift_pj: float = 0.0
+    compute_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.read_pj + self.write_pj + self.shift_pj + self.compute_pj
+
+    @property
+    def transfer_pj(self) -> float:
+        return self.read_pj + self.write_pj + self.shift_pj
+
+    def add(self, category: str, energy_pj: float) -> None:
+        if energy_pj < 0:
+            raise ValueError(f"energy must be non-negative, got {energy_pj}")
+        if category not in _ENERGY_CATEGORIES:
+            raise ValueError(
+                f"category must be one of {_ENERGY_CATEGORIES}, "
+                f"got {category!r}"
+            )
+        setattr(
+            self, f"{category}_pj", getattr(self, f"{category}_pj") + energy_pj
+        )
+
+    def merge(self, other: "EnergyBreakdown") -> None:
+        self.read_pj += other.read_pj
+        self.write_pj += other.write_pj
+        self.shift_pj += other.shift_pj
+        self.compute_pj += other.compute_pj
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_pj
+        if total <= 0:
+            return {name: 0.0 for name in _ENERGY_CATEGORIES}
+        return {
+            "read": self.read_pj / total,
+            "write": self.write_pj / total,
+            "shift": self.shift_pj / total,
+            "compute": self.compute_pj / total,
+        }
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return EnergyBreakdown(
+            read_pj=self.read_pj * factor,
+            write_pj=self.write_pj * factor,
+            shift_pj=self.shift_pj * factor,
+            compute_pj=self.compute_pj * factor,
+        )
+
+
+@dataclass
+class RunStats:
+    """Complete result of one simulated run on any platform.
+
+    Attributes:
+        platform: platform label ("StPIM", "CORUSCANT", ...).
+        workload: workload label ("gemm", "mlp", ...).
+        time_ns: end-to-end execution time.
+        time_breakdown: exclusive-category time split.
+        energy: energy split.
+        counters: free-form operation counters (VPCs executed, etc.).
+    """
+
+    platform: str
+    workload: str
+    time_ns: float
+    time_breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def speedup_over(self, baseline: "RunStats") -> float:
+        """How many times faster this run is than ``baseline``."""
+        if self.time_ns <= 0:
+            raise ZeroDivisionError("run has zero execution time")
+        return baseline.time_ns / self.time_ns
+
+    def energy_saving_over(self, baseline: "RunStats") -> float:
+        """How many times less energy this run uses than ``baseline``."""
+        if self.energy_pj <= 0:
+            raise ZeroDivisionError("run has zero energy")
+        return baseline.energy_pj / self.energy_pj
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (paper-style averages)."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,151 @@
+"""Additional linear-algebra kernels (beyond the paper's nine).
+
+The paper evaluates nine PolyBench kernels; a library release benefits
+from wider coverage, so this module adds further PolyBench kernels built
+from the same op machinery: trmm, symm, gramschmidt-style
+orthogonalisation, and a power-iteration kernel.  They are clearly
+marked as *beyond-paper* (no Table IV reference counts) and reuse the
+same EXTRALARGE-style dimension conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.task import PimTask, TaskOp
+from repro.workloads.generator import random_matrix
+from repro.workloads.spec import MatrixOp, MatrixOpKind, WorkloadSpec
+
+EXTRA_DIMS: Dict[str, Dict[str, int]] = {
+    "trmm": {"m": 2000, "n": 2300},
+    "symm": {"m": 2000, "n": 2300},
+    "gramschmidt": {"m": 2000, "n": 64},
+    "power_iter": {"n": 2000, "steps": 8},
+}
+
+
+def _ops_trmm(d: Dict[str, int]) -> List[MatrixOp]:
+    m, n = d["m"], d["n"]
+    # B = alpha * A * B with triangular A: modelled at full matmul cost
+    # (the PIM datapath gains nothing from the zero structure).
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (m, m, n)),
+        MatrixOp(MatrixOpKind.MAT_SCALE, (m, n)),
+    ]
+
+
+def _ops_symm(d: Dict[str, int]) -> List[MatrixOp]:
+    m, n = d["m"], d["n"]
+    # C = alpha*A*B + beta*C with symmetric A.
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (m, m, n)),
+        MatrixOp(MatrixOpKind.MAT_SCALE, (m, n)),
+        MatrixOp(MatrixOpKind.MAT_SCALE, (m, n)),
+        MatrixOp(MatrixOpKind.MAT_ADD, (m, n)),
+    ]
+
+
+def _ops_gramschmidt(d: Dict[str, int]) -> List[MatrixOp]:
+    m, n = d["m"], d["n"]
+    ops: List[MatrixOp] = []
+    # Classical Gram-Schmidt over n columns of length m: each column is
+    # projected against the previous ones (dots + scaled subtractions).
+    for column in range(1, n):
+        ops.append(MatrixOp(MatrixOpKind.MATVEC, (column, m)))
+        ops.append(MatrixOp(MatrixOpKind.VEC_SCALE, (m,)))
+        ops.append(MatrixOp(MatrixOpKind.VEC_ADD, (m,)))
+    return ops
+
+
+def _ops_power_iter(d: Dict[str, int]) -> List[MatrixOp]:
+    n, steps = d["n"], d["steps"]
+    ops: List[MatrixOp] = []
+    for _ in range(steps):
+        ops.append(MatrixOp(MatrixOpKind.MATVEC, (n, n)))
+        ops.append(MatrixOp(MatrixOpKind.VEC_SCALE, (n,)))
+    return ops
+
+
+def _task_power_iter(d, task: PimTask, rng: np.random.Generator) -> None:
+    n, steps = d["n"], d["steps"]
+    task.add_matrix("A", random_matrix(n, n, rng))
+    task.add_vector("x0", random_matrix(1, n, rng)[0])
+    task.add_scalar("inv_norm", 1)
+    previous = "x0"
+    for step in range(steps):
+        raw = f"y{step}"
+        out = f"x{step + 1}"
+        task.add_matrix(raw, shape=(1, n))
+        task.add_matrix(out, shape=(1, n))
+        task.add_operation(TaskOp.MATVEC, "A", previous, raw)
+        task.add_operation(TaskOp.VEC_SCALE, raw, out, scalar="inv_norm")
+        previous = out
+
+
+def _task_symm(d, task: PimTask, rng: np.random.Generator) -> None:
+    m, n = d["m"], d["n"]
+    a = random_matrix(m, m, rng)
+    symmetric = (a + a.T) // 2
+    task.add_matrix("A", symmetric)
+    task.add_matrix("B", random_matrix(m, n, rng))
+    task.add_matrix("C", random_matrix(m, n, rng))
+    task.add_matrix("P", shape=(m, n))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATMUL, "A", "B", "P")
+    task.add_operation(TaskOp.MAT_SCALE, "P", "P", scalar="alpha")
+    task.add_operation(TaskOp.MAT_SCALE, "C", "C", scalar="beta")
+    task.add_operation(TaskOp.MAT_ADD, "C", "P", "C")
+
+
+_OPS = {
+    "trmm": _ops_trmm,
+    "symm": _ops_symm,
+    "gramschmidt": _ops_gramschmidt,
+    "power_iter": _ops_power_iter,
+}
+_TASKS = {
+    "symm": _task_symm,
+    "power_iter": _task_power_iter,
+}
+_DESCRIPTIONS = {
+    "trmm": "B = alpha * tril(A) * B (triangular matmul)",
+    "symm": "C = alpha * sym(A) * B + beta * C",
+    "gramschmidt": "classical Gram-Schmidt orthogonalisation",
+    "power_iter": "power iteration x_{k+1} = normalise(A x_k)",
+}
+
+
+def extra_workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Build one beyond-paper workload spec."""
+    if name not in EXTRA_DIMS:
+        raise KeyError(
+            f"unknown extra kernel {name!r}; choose from "
+            f"{tuple(EXTRA_DIMS)}"
+        )
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    dims = {
+        k: max(2, int(round(v * scale))) if k != "steps" else v
+        for k, v in EXTRA_DIMS[name].items()
+    }
+    build = None
+    if name in _TASKS:
+        builder = _TASKS[name]
+
+        def build(task: PimTask, rng: np.random.Generator) -> None:
+            builder(dims, task, rng)
+
+    return WorkloadSpec(
+        name=name,
+        ops=_OPS[name](dims),
+        build=build,
+        description=_DESCRIPTIONS[name],
+    )
+
+
+EXTRA_WORKLOADS: Dict[str, WorkloadSpec] = {
+    name: extra_workload(name) for name in EXTRA_DIMS
+}

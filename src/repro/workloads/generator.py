@@ -1,0 +1,42 @@
+"""Deterministic random operand generation for workloads and tests."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+def random_matrix(
+    rows: int,
+    cols: int,
+    rng: Optional[np.random.Generator] = None,
+    word_bits: int = 8,
+    seed: int = 7,
+) -> np.ndarray:
+    """An unsigned ``word_bits``-wide random integer matrix.
+
+    Args:
+        rows: row count.
+        cols: column count.
+        rng: generator to draw from; a seeded default is created if None.
+        word_bits: operand width (values in ``[0, 2**word_bits)``).
+        seed: seed for the default generator.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"shape must be positive, got {rows}x{cols}")
+    if word_bits <= 0:
+        raise ValueError(f"word_bits must be positive, got {word_bits}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << word_bits, size=(rows, cols), dtype=np.int64)
+
+
+def random_vector(
+    length: int,
+    rng: Optional[np.random.Generator] = None,
+    word_bits: int = 8,
+    seed: int = 7,
+) -> np.ndarray:
+    """An unsigned random vector (1-D)."""
+    return random_matrix(1, length, rng=rng, word_bits=word_bits, seed=seed)[0]

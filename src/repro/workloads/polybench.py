@@ -1,0 +1,390 @@
+"""The nine PolyBench linear-algebra kernels of Table IV.
+
+Dimensions follow the PolyBench/C 4.2 EXTRALARGE datasets, whose
+characteristic vector dimension is the 2000 the paper quotes; the mapping
+was recovered by matching Table IV's #PIM-VPC column (e.g. gemm's
+4.61e6 = 2000 x 2300 dot products, syrk's 6.77e6 = 2600^2).  ``scale``
+shrinks every dimension proportionally for functional tests and CI-sized
+runs.
+
+Each kernel provides both the platform-neutral op list (for analytic
+baselines) and a PIM task builder (for StreamPIM platforms).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.task import PimTask, TaskOp
+from repro.workloads.generator import random_matrix
+from repro.workloads.spec import MatrixOp, MatrixOpKind, WorkloadSpec
+
+#: Kernels whose working set is small (matrix-vector class); these are
+#: the workloads Figs. 3a/3b call "small".
+SMALL_KERNELS = ("atax", "bicg", "gesu", "mvt")
+
+#: PolyBench 4.2 EXTRALARGE dimensions per kernel (see module docstring).
+KERNEL_DIMS: Dict[str, Dict[str, int]] = {
+    "2mm": {"ni": 1600, "nj": 1800, "nk": 2200, "nl": 2400},
+    "3mm": {"ni": 1600, "nj": 1800, "nk": 2000, "nl": 2200, "nm": 2400},
+    "gemm": {"ni": 2000, "nj": 2300, "nk": 2600},
+    "syrk": {"n": 2600, "m": 2000},
+    "syr2k": {"n": 2600, "m": 2000},
+    "atax": {"m": 1800, "n": 2200},
+    "bicg": {"n": 1800, "m": 1800},
+    "gesu": {"n": 2800},
+    "mvt": {"n": 2000},
+}
+
+#: Table IV reference counts (paper values).
+PAPER_VPC_COUNTS: Dict[str, Tuple[float, float]] = {
+    "2mm": (7.37e6, 7.36e6),
+    "3mm": (1.19e7, 1.18e7),
+    "gemm": (4.61e6, 4.60e6),
+    "syrk": (6.77e6, 6.76e6),
+    "syr2k": (1.36e7, 1.35e7),
+    "atax": (4.00e3, 8.40e3),
+    "bicg": (3.60e3, 8.00e3),
+    "gesu": (5.60e3, 8.40e3),
+    "mvt": (8.00e3, 1.60e4),
+}
+
+PAPER_TASKS: Dict[str, str] = {
+    "2mm": "E = alpha*A*B*C + beta*D",
+    "3mm": "G = (A*B)*(C*D)",
+    "gemm": "C' = alpha*A*B + beta*C",
+    "syrk": "C' = alpha*A*A^T + beta*C",
+    "syr2k": "C' = alpha*A*B^T + alpha*B*A^T + beta*C",
+    "atax": "y = A^T*(A*x)",
+    "bicg": "q = A*p, s = A^T*r",
+    "gesu": "y = alpha*A*x + beta*B*x",
+    "mvt": "x1 = x1 + A*y1, x2 = x2 + A^T*y2",
+}
+
+
+def _scaled(dims: Dict[str, int], scale: float) -> Dict[str, int]:
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return {k: max(2, int(round(v * scale))) for k, v in dims.items()}
+
+
+# ----------------------------------------------------------------------
+# Per-kernel op lists
+# ----------------------------------------------------------------------
+def _ops_2mm(d: Dict[str, int]) -> List[MatrixOp]:
+    ni, nj, nk, nl = d["ni"], d["nj"], d["nk"], d["nl"]
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (ni, nk, nj)),  # tmp = A @ B
+        MatrixOp(MatrixOpKind.MAT_SCALE, (ni, nj)),  # tmp *= alpha
+        MatrixOp(MatrixOpKind.MATMUL, (ni, nj, nl)),  # E = tmp @ C
+        MatrixOp(MatrixOpKind.MAT_SCALE, (ni, nl)),  # D *= beta
+        MatrixOp(MatrixOpKind.MAT_ADD, (ni, nl)),  # E += D
+    ]
+
+
+def _ops_3mm(d: Dict[str, int]) -> List[MatrixOp]:
+    ni, nj, nk, nl, nm = d["ni"], d["nj"], d["nk"], d["nl"], d["nm"]
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (ni, nk, nj)),  # E = A @ B
+        MatrixOp(MatrixOpKind.MATMUL, (nj, nm, nl)),  # F = C @ D
+        MatrixOp(MatrixOpKind.MATMUL, (ni, nj, nl)),  # G = E @ F
+    ]
+
+
+def _ops_gemm(d: Dict[str, int]) -> List[MatrixOp]:
+    ni, nj, nk = d["ni"], d["nj"], d["nk"]
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (ni, nk, nj)),  # P = A @ B
+        MatrixOp(MatrixOpKind.MAT_SCALE, (ni, nj)),  # P *= alpha
+        MatrixOp(MatrixOpKind.MAT_SCALE, (ni, nj)),  # C *= beta
+        MatrixOp(MatrixOpKind.MAT_ADD, (ni, nj)),  # C += P
+    ]
+
+
+def _ops_syrk(d: Dict[str, int]) -> List[MatrixOp]:
+    n, m = d["n"], d["m"]
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (n, m, n)),  # P = A @ A^T
+        MatrixOp(MatrixOpKind.MAT_SCALE, (n, n)),  # P *= alpha
+        MatrixOp(MatrixOpKind.MAT_SCALE, (n, n)),  # C *= beta
+        MatrixOp(MatrixOpKind.MAT_ADD, (n, n)),  # C += P
+    ]
+
+
+def _ops_syr2k(d: Dict[str, int]) -> List[MatrixOp]:
+    n, m = d["n"], d["m"]
+    return [
+        MatrixOp(MatrixOpKind.MATMUL, (n, m, n)),  # P = A @ B^T
+        MatrixOp(MatrixOpKind.MATMUL, (n, m, n)),  # Q = B @ A^T
+        MatrixOp(MatrixOpKind.MAT_SCALE, (n, n)),  # P *= alpha
+        MatrixOp(MatrixOpKind.MAT_SCALE, (n, n)),  # Q *= alpha
+        MatrixOp(MatrixOpKind.MAT_SCALE, (n, n)),  # C *= beta
+        MatrixOp(MatrixOpKind.MAT_ADD, (n, n)),  # C += P
+        MatrixOp(MatrixOpKind.MAT_ADD, (n, n)),  # C += Q
+    ]
+
+
+def _ops_atax(d: Dict[str, int]) -> List[MatrixOp]:
+    m, n = d["m"], d["n"]
+    return [
+        MatrixOp(MatrixOpKind.MATVEC, (m, n)),  # tmp = A @ x
+        MatrixOp(MatrixOpKind.MATVEC_T, (m, n)),  # y = A^T @ tmp
+    ]
+
+
+def _ops_bicg(d: Dict[str, int]) -> List[MatrixOp]:
+    n, m = d["n"], d["m"]
+    return [
+        MatrixOp(MatrixOpKind.MATVEC, (n, m)),  # q = A @ p
+        MatrixOp(MatrixOpKind.MATVEC_T, (n, m)),  # s = A^T @ r
+    ]
+
+
+def _ops_gesu(d: Dict[str, int]) -> List[MatrixOp]:
+    n = d["n"]
+    return [
+        MatrixOp(MatrixOpKind.MATVEC, (n, n)),  # u = A @ x
+        MatrixOp(MatrixOpKind.MATVEC, (n, n)),  # v = B @ x
+        MatrixOp(MatrixOpKind.VEC_SCALE, (n,)),  # u *= alpha
+        MatrixOp(MatrixOpKind.VEC_SCALE, (n,)),  # v *= beta
+        MatrixOp(MatrixOpKind.VEC_ADD, (n,)),  # y = u + v
+    ]
+
+
+def _ops_mvt(d: Dict[str, int]) -> List[MatrixOp]:
+    n = d["n"]
+    return [
+        MatrixOp(MatrixOpKind.MATVEC, (n, n), accumulate=True),
+        MatrixOp(MatrixOpKind.MATVEC_T, (n, n), accumulate=True),
+    ]
+
+
+_OPS_BUILDERS: Dict[str, Callable[[Dict[str, int]], List[MatrixOp]]] = {
+    "2mm": _ops_2mm,
+    "3mm": _ops_3mm,
+    "gemm": _ops_gemm,
+    "syrk": _ops_syrk,
+    "syr2k": _ops_syr2k,
+    "atax": _ops_atax,
+    "bicg": _ops_bicg,
+    "gesu": _ops_gesu,
+    "mvt": _ops_mvt,
+}
+
+
+# ----------------------------------------------------------------------
+# Per-kernel PIM task builders
+# ----------------------------------------------------------------------
+def _task_2mm(d, task: PimTask, rng: np.random.Generator) -> None:
+    ni, nj, nk, nl = d["ni"], d["nj"], d["nk"], d["nl"]
+    task.add_matrix("A", random_matrix(ni, nk, rng))
+    task.add_matrix("B", random_matrix(nk, nj, rng))
+    task.add_matrix("C", random_matrix(nj, nl, rng))
+    task.add_matrix("D", random_matrix(ni, nl, rng))
+    task.add_matrix("tmp", shape=(ni, nj))
+    task.add_matrix("E", shape=(ni, nl))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATMUL, "A", "B", "tmp")
+    task.add_operation(TaskOp.MAT_SCALE, "tmp", "tmp", scalar="alpha")
+    task.add_operation(TaskOp.MATMUL, "tmp", "C", "E")
+    task.add_operation(TaskOp.MAT_SCALE, "D", "D", scalar="beta")
+    task.add_operation(TaskOp.MAT_ADD, "E", "D", "E")
+
+
+def _task_3mm(d, task: PimTask, rng: np.random.Generator) -> None:
+    ni, nj, nk, nl, nm = d["ni"], d["nj"], d["nk"], d["nl"], d["nm"]
+    task.add_matrix("A", random_matrix(ni, nk, rng))
+    task.add_matrix("B", random_matrix(nk, nj, rng))
+    task.add_matrix("C", random_matrix(nj, nm, rng))
+    task.add_matrix("D", random_matrix(nm, nl, rng))
+    task.add_matrix("E", shape=(ni, nj))
+    task.add_matrix("F", shape=(nj, nl))
+    task.add_matrix("G", shape=(ni, nl))
+    task.add_operation(TaskOp.MATMUL, "A", "B", "E")
+    task.add_operation(TaskOp.MATMUL, "C", "D", "F")
+    task.add_operation(TaskOp.MATMUL, "E", "F", "G")
+
+
+def _task_gemm(d, task: PimTask, rng: np.random.Generator) -> None:
+    ni, nj, nk = d["ni"], d["nj"], d["nk"]
+    task.add_matrix("A", random_matrix(ni, nk, rng))
+    task.add_matrix("B", random_matrix(nk, nj, rng))
+    task.add_matrix("C", random_matrix(ni, nj, rng))
+    task.add_matrix("P", shape=(ni, nj))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATMUL, "A", "B", "P")
+    task.add_operation(TaskOp.MAT_SCALE, "P", "P", scalar="alpha")
+    task.add_operation(TaskOp.MAT_SCALE, "C", "C", scalar="beta")
+    task.add_operation(TaskOp.MAT_ADD, "C", "P", "C")
+
+
+def _task_syrk(d, task: PimTask, rng: np.random.Generator) -> None:
+    n, m = d["n"], d["m"]
+    a = random_matrix(n, m, rng)
+    task.add_matrix("A", a)
+    task.add_matrix("At", a.T)
+    task.add_matrix("C", random_matrix(n, n, rng))
+    task.add_matrix("P", shape=(n, n))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATMUL, "A", "At", "P")
+    task.add_operation(TaskOp.MAT_SCALE, "P", "P", scalar="alpha")
+    task.add_operation(TaskOp.MAT_SCALE, "C", "C", scalar="beta")
+    task.add_operation(TaskOp.MAT_ADD, "C", "P", "C")
+
+
+def _task_syr2k(d, task: PimTask, rng: np.random.Generator) -> None:
+    n, m = d["n"], d["m"]
+    a = random_matrix(n, m, rng)
+    b = random_matrix(n, m, rng)
+    task.add_matrix("A", a)
+    task.add_matrix("B", b)
+    task.add_matrix("At", a.T)
+    task.add_matrix("Bt", b.T)
+    task.add_matrix("C", random_matrix(n, n, rng))
+    task.add_matrix("P", shape=(n, n))
+    task.add_matrix("Q", shape=(n, n))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATMUL, "A", "Bt", "P")
+    task.add_operation(TaskOp.MATMUL, "B", "At", "Q")
+    task.add_operation(TaskOp.MAT_SCALE, "P", "P", scalar="alpha")
+    task.add_operation(TaskOp.MAT_SCALE, "Q", "Q", scalar="alpha")
+    task.add_operation(TaskOp.MAT_SCALE, "C", "C", scalar="beta")
+    task.add_operation(TaskOp.MAT_ADD, "C", "P", "C")
+    task.add_operation(TaskOp.MAT_ADD, "C", "Q", "C")
+
+
+def _task_atax(d, task: PimTask, rng: np.random.Generator) -> None:
+    m, n = d["m"], d["n"]
+    task.add_matrix("A", random_matrix(m, n, rng))
+    task.add_vector("x", random_matrix(1, n, rng)[0])
+    task.add_matrix("tmp", shape=(1, m))
+    task.add_matrix("y", shape=(1, n))
+    task.add_operation(TaskOp.MATVEC, "A", "x", "tmp")
+    task.add_operation(TaskOp.MATVEC_T, "A", "tmp", "y")
+
+
+def _task_bicg(d, task: PimTask, rng: np.random.Generator) -> None:
+    n, m = d["n"], d["m"]
+    task.add_matrix("A", random_matrix(n, m, rng))
+    task.add_vector("p", random_matrix(1, m, rng)[0])
+    task.add_vector("r", random_matrix(1, n, rng)[0])
+    task.add_matrix("q", shape=(1, n))
+    task.add_matrix("s", shape=(1, m))
+    task.add_operation(TaskOp.MATVEC, "A", "p", "q")
+    task.add_operation(TaskOp.MATVEC_T, "A", "r", "s")
+
+
+def _task_gesu(d, task: PimTask, rng: np.random.Generator) -> None:
+    n = d["n"]
+    task.add_matrix("A", random_matrix(n, n, rng))
+    task.add_matrix("B", random_matrix(n, n, rng))
+    task.add_vector("x", random_matrix(1, n, rng)[0])
+    task.add_matrix("u", shape=(1, n))
+    task.add_matrix("v", shape=(1, n))
+    task.add_matrix("y", shape=(1, n))
+    task.add_scalar("alpha", 3)
+    task.add_scalar("beta", 2)
+    task.add_operation(TaskOp.MATVEC, "A", "x", "u")
+    task.add_operation(TaskOp.MATVEC, "B", "x", "v")
+    task.add_operation(TaskOp.VEC_SCALE, "u", "u", scalar="alpha")
+    task.add_operation(TaskOp.VEC_SCALE, "v", "v", scalar="beta")
+    task.add_operation(TaskOp.VEC_ADD, "u", "v", "y")
+
+
+def _task_mvt(d, task: PimTask, rng: np.random.Generator) -> None:
+    n = d["n"]
+    task.add_matrix("A", random_matrix(n, n, rng))
+    task.add_vector("y1", random_matrix(1, n, rng)[0])
+    task.add_vector("y2", random_matrix(1, n, rng)[0])
+    task.add_matrix("x1", random_matrix(1, n, rng))
+    task.add_matrix("x2", random_matrix(1, n, rng))
+    task.add_operation(TaskOp.MATVEC_ACC, "A", "y1", "x1")
+    task.add_operation(TaskOp.MATVEC_T_ACC, "A", "y2", "x2")
+
+
+_TASK_BUILDERS = {
+    "2mm": _task_2mm,
+    "3mm": _task_3mm,
+    "gemm": _task_gemm,
+    "syrk": _task_syrk,
+    "syr2k": _task_syr2k,
+    "atax": _task_atax,
+    "bicg": _task_bicg,
+    "gesu": _task_gesu,
+    "mvt": _task_mvt,
+}
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+#: Named dataset presets, as approximate scale factors of EXTRALARGE.
+#: (PolyBench datasets shrink roughly geometrically between levels.)
+DATASET_SCALES: Dict[str, float] = {
+    "extralarge": 1.0,
+    "large": 0.5,
+    "medium": 0.1,
+    "small": 0.025,
+    "mini": 0.01,
+}
+
+
+def dataset_scale(dataset: str) -> float:
+    """Scale factor of a named PolyBench dataset preset."""
+    try:
+        return DATASET_SCALES[dataset.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; choose from "
+            f"{tuple(DATASET_SCALES)}"
+        ) from None
+
+
+def polybench_names() -> Tuple[str, ...]:
+    """The nine kernel names, in Table IV order."""
+    return tuple(KERNEL_DIMS)
+
+
+def polybench_workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Build one PolyBench workload spec.
+
+    Args:
+        name: kernel name (see :func:`polybench_names`).
+        scale: dimension scale factor (1.0 = paper's EXTRALARGE dims).
+
+    Raises:
+        KeyError: for unknown kernel names.
+    """
+    if name not in KERNEL_DIMS:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {polybench_names()}"
+        )
+    dims = _scaled(KERNEL_DIMS[name], scale)
+    ops = _OPS_BUILDERS[name](dims)
+    task_builder = _TASK_BUILDERS[name]
+
+    def build(task: PimTask, rng: np.random.Generator) -> None:
+        task_builder(dims, task, rng)
+
+    paper = PAPER_VPC_COUNTS[name] if scale == 1.0 else (None, None)
+    return WorkloadSpec(
+        name=name,
+        ops=ops,
+        build=build,
+        paper_pim_vpcs=paper[0],
+        paper_move_vpcs=paper[1],
+        description=PAPER_TASKS[name],
+    )
+
+
+#: All nine kernels at paper dimensions.
+POLYBENCH: Dict[str, WorkloadSpec] = {
+    name: polybench_workload(name) for name in KERNEL_DIMS
+}

@@ -1,0 +1,64 @@
+"""Shared fixtures: small device geometries that keep tests fast."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.rmbus import RMBusConfig
+from repro.rm.address import DeviceGeometry
+from repro.rm.bank import BankConfig
+from repro.rm.mat import MatConfig
+from repro.rm.subarray import SubarrayConfig
+from repro.rm.timing import RMTimingConfig
+
+
+@pytest.fixture
+def timing():
+    return RMTimingConfig()
+
+
+@pytest.fixture
+def small_mat_config():
+    """A tiny mat: 16 save tracks, 2-port racetracks of 64 domains."""
+    return MatConfig(
+        save_tracks=16,
+        transfer_tracks=16,
+        domains_per_track=64,
+        word_bits=8,
+        ports_per_track=2,
+    )
+
+
+@pytest.fixture
+def small_geometry(small_mat_config):
+    """A tiny device: 2 banks (1 PIM) x 4 subarrays x 2 mats."""
+    return DeviceGeometry(
+        banks=2,
+        pim_banks=1,
+        bank=BankConfig(
+            subarrays=4,
+            subarray=SubarrayConfig(
+                mats=2, pim_mats=1, mat=small_mat_config
+            ),
+            pim_bank=True,
+        ),
+    )
+
+
+@pytest.fixture
+def small_bus_config():
+    return RMBusConfig(
+        segment_domains=16, length_domains=64, width_wires=8, word_bits=8
+    )
+
+
+@pytest.fixture
+def small_device(small_geometry, small_bus_config):
+    return StreamPIMDevice(
+        StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,138 @@
+"""Tests for the analysis helpers: area, end-to-end, reporting."""
+
+import pytest
+
+from repro.analysis.area import AreaModel
+from repro.analysis.endtoend import end_to_end_speedup
+from repro.analysis.report import (
+    format_breakdown_table,
+    format_speedup_table,
+    format_table,
+    normalised_series,
+)
+from repro.baselines import CpuDRAM, StreamPIMPlatform
+from repro.rm.address import DeviceGeometry
+from repro.sim.stats import RunStats, TimeBreakdown
+from repro.workloads import polybench_workload
+from repro.workloads.dnn import MLPShape, mlp_spec
+
+
+class TestAreaModel:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return AreaModel().breakdown()
+
+    def test_bus_fraction_near_paper(self, breakdown):
+        # Section V-G: RM bus occupies 1.8% of the device area.
+        assert abs(breakdown.fraction("bus") - 0.018) < 0.01
+
+    def test_processor_fraction_near_paper(self, breakdown):
+        # Section V-G: RM processor occupies 0.1%.
+        assert abs(breakdown.fraction("processor") - 0.001) < 0.001
+
+    def test_transfer_tracks_near_paper(self):
+        # Section V-G: transfer tracks are 3.1% of the bank area.
+        model = AreaModel()
+        assert abs(model.transfer_fraction_of_pim_bank_area() - 0.031) < 0.01
+
+    def test_control_near_one_percent(self, breakdown):
+        assert abs(breakdown.fraction("control") - 0.01) < 0.005
+
+    def test_mats_dominate(self, breakdown):
+        assert breakdown.fraction("mat") > 0.9
+
+    def test_fractions_sum_to_one(self, breakdown):
+        total = sum(
+            breakdown.fraction(c)
+            for c in ("mat", "transfer_track", "bus", "processor", "control")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_more_pim_subarrays_more_overhead(self):
+        small = AreaModel(DeviceGeometry().with_pim_subarrays(128))
+        big = AreaModel(DeviceGeometry().with_pim_subarrays(1024))
+        assert big.breakdown().fraction("bus") > small.breakdown().fraction(
+            "bus"
+        )
+
+    def test_portless_transfer_tracks_cheaper(self):
+        model = AreaModel()
+        assert (
+            model.transfer_track_domains_each() < model.save_track_domains()
+        )
+
+
+class TestEndToEnd:
+    def test_amdahl_composition(self):
+        spec = mlp_spec(MLPShape(batch=4, layers=(8, 8, 4)))
+        result = end_to_end_speedup(StreamPIMPlatform(), CpuDRAM(), spec)
+        assert result.total_ns == pytest.approx(
+            result.matrix_ns + result.nonlinear_ns
+        )
+        assert result.speedup_vs_cpu > 1.0
+
+    def test_nonlinear_fraction_caps_speedup(self):
+        spec = mlp_spec(MLPShape(batch=4, layers=(8, 8, 4)))
+        result = end_to_end_speedup(StreamPIMPlatform(), CpuDRAM(), spec)
+        cap = 1.0 / spec.nonlinear_flop_fraction
+        assert result.speedup_vs_cpu < cap
+
+    def test_precomputed_stats_reused(self):
+        spec = mlp_spec(MLPShape(batch=4, layers=(8, 8, 4)))
+        cpu = CpuDRAM()
+        cpu_stats = cpu.run(spec)
+        fake = RunStats("StPIM", spec.name, time_ns=1.0)
+        result = end_to_end_speedup(
+            StreamPIMPlatform(), cpu, spec, platform_stats=fake,
+            cpu_stats=cpu_stats,
+        )
+        assert result.matrix_ns == 1.0
+
+    def test_zero_nonlinear_workload(self):
+        spec = polybench_workload("atax", scale=0.02)
+        result = end_to_end_speedup(StreamPIMPlatform(), CpuDRAM(), spec)
+        assert result.nonlinear_ns == 0.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.50" in text
+        assert "4.25" in text
+
+    def test_speedup_table(self):
+        results = {
+            "CPU": {"w": RunStats("CPU", "w", time_ns=100.0)},
+            "PIM": {"w": RunStats("PIM", "w", time_ns=10.0)},
+        }
+        text = format_speedup_table(results, baseline="CPU", workloads=["w"])
+        assert "10.00" in text
+        assert "PIM" in text
+
+    def test_speedup_table_missing_baseline(self):
+        with pytest.raises(KeyError):
+            format_speedup_table({}, baseline="CPU", workloads=[])
+
+    def test_breakdown_table_normalised(self):
+        breakdowns = {
+            "StPIM": TimeBreakdown(process_ns=10.0),
+            "CORUSCANT": TimeBreakdown(write_ns=20.0, process_ns=5.0),
+        }
+        text = format_breakdown_table(breakdowns, normalise_to="StPIM")
+        assert "2.500" in text  # CORUSCANT total 25 / StPIM 10
+
+    def test_breakdown_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            format_breakdown_table(
+                {"a": TimeBreakdown()}, normalise_to="a"
+            )
+
+    def test_normalised_series(self):
+        series = normalised_series({"128": 40.0, "256": 20.0}, "128")
+        assert series == {"128": 1.0, "256": 0.5}
+
+    def test_normalised_series_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalised_series({"a": 0.0}, "a")

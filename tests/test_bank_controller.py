@@ -1,0 +1,142 @@
+"""Tests for the bank controller's VPC decode (Fig. 14)."""
+
+import pytest
+
+from repro.core.bank_controller import BankController, DecodedVPC
+from repro.isa.vpc import BankOp, VPC, VPCOpcode
+from repro.rm.address import AddressMap
+
+
+@pytest.fixture
+def controller(small_geometry):
+    return BankController(small_geometry)
+
+
+@pytest.fixture
+def amap(small_geometry):
+    return AddressMap(small_geometry)
+
+
+class TestComputeDecode:
+    def test_local_dot_product_sequence(self, controller, amap):
+        """The paper's decode: transfer-in, compute groups, transfer-out."""
+        base = amap.subarray_base(0, 0)
+        decoded = controller.decode(VPC.mul(base, base + 32, base + 64, 8))
+        ops = [c.op for c in decoded.commands]
+        assert ops == [
+            BankOp.TRANSFER_IN,
+            BankOp.COMPUTE,
+            BankOp.TRANSFER_OUT,
+        ]
+
+    def test_home_is_first_operand_subarray(self, controller, amap):
+        base = amap.subarray_base(0, 2)
+        decoded = controller.decode(VPC.add(base, base + 8, base + 16, 4))
+        assert decoded.home == (0, 2)
+        assert all(c.subarray == 2 for c in decoded.commands)
+
+    def test_remote_operand_prepended_read_write(self, controller, amap):
+        here = amap.subarray_base(0, 0)
+        there = amap.subarray_base(0, 1)
+        decoded = controller.decode(VPC.mul(here, there, here + 64, 8))
+        ops = [c.op for c in decoded.commands]
+        assert ops[:2] == [BankOp.READ, BankOp.WRITE]
+        assert decoded.commands[0].subarray == 1  # read at the source
+        assert decoded.commands[1].subarray == 0  # write at home
+
+    def test_remote_destination_appended_copy(self, controller, amap):
+        here = amap.subarray_base(0, 0)
+        there = amap.subarray_base(0, 3)
+        decoded = controller.decode(VPC.mul(here, here + 32, there, 8))
+        ops = [c.op for c in decoded.commands]
+        assert ops[-2:] == [BankOp.READ, BankOp.WRITE]
+        assert decoded.commands[-1].subarray == 3
+
+    def test_mul_result_is_scalar(self, controller, amap):
+        base = amap.subarray_base(0, 0)
+        decoded = controller.decode(VPC.mul(base, base + 32, base + 64, 16))
+        transfer_out = [
+            c for c in decoded.commands if c.op is BankOp.TRANSFER_OUT
+        ]
+        assert transfer_out[0].elements == 1
+
+    def test_add_result_is_vector(self, controller, amap):
+        base = amap.subarray_base(0, 0)
+        decoded = controller.decode(VPC.add(base, base + 32, base + 64, 16))
+        transfer_out = [
+            c for c in decoded.commands if c.op is BankOp.TRANSFER_OUT
+        ]
+        assert transfer_out[0].elements == 16
+
+    def test_transfer_in_covers_both_operands(self, controller, amap):
+        base = amap.subarray_base(0, 0)
+        decoded = controller.decode(VPC.mul(base, base + 32, base + 64, 16))
+        transfer_in = [
+            c for c in decoded.commands if c.op is BankOp.TRANSFER_IN
+        ]
+        assert transfer_in[0].elements == 32
+
+
+class TestTranDecode:
+    def test_local_tran_is_pure_shift(self, controller, amap):
+        base = amap.subarray_base(0, 0)
+        decoded = controller.decode(VPC.tran(base, base + 32, 8))
+        ops = [c.op for c in decoded.commands]
+        assert ops == [BankOp.TRANSFER_IN, BankOp.TRANSFER_OUT]
+        assert not decoded.rw_commands
+
+    def test_cross_subarray_tran_is_read_write(self, controller, amap):
+        src = amap.subarray_base(0, 0)
+        dst = amap.subarray_base(1, 0)
+        decoded = controller.decode(VPC.tran(src, dst, 8))
+        ops = [c.op for c in decoded.commands]
+        assert ops == [BankOp.READ, BankOp.WRITE]
+        assert decoded.commands[0].bank == 0
+        assert decoded.commands[1].bank == 1
+
+
+class TestFilters:
+    def test_rw_pim_partition(self, controller, amap):
+        here = amap.subarray_base(0, 0)
+        there = amap.subarray_base(0, 1)
+        decoded = controller.decode(VPC.mul(here, there, there, 8))
+        assert set(decoded.rw_commands) | set(decoded.pim_commands) == set(
+            decoded.commands
+        )
+        assert all(c.uses_rw for c in decoded.rw_commands)
+        assert not any(c.uses_rw for c in decoded.pim_commands)
+
+    def test_decode_many_counts(self, controller, amap):
+        base = amap.subarray_base(0, 0)
+        vpcs = [VPC.add(base, base + 8, base + 16, 4) for _ in range(5)]
+        decoded = controller.decode_many(vpcs)
+        assert len(decoded) == 5
+        assert controller.decoded_count == 5
+
+    def test_decode_agrees_with_event_mode_energy_classes(
+        self, controller, amap, small_device
+    ):
+        """Commands classified rw by the decode are exactly the ones the
+        event-driven device charges read/write energy for."""
+        from repro.isa.trace import VPCTrace
+
+        here = amap.subarray_base(0, 0)
+        there = amap.subarray_base(0, 1)
+        local = VPC.mul(here, here + 32, here + 64, 8)
+        remote = VPC.mul(here, there, here + 64, 8)
+
+        assert not controller.decode(local).rw_commands
+        assert controller.decode(remote).rw_commands
+
+        stats_local = small_device.execute_trace(
+            VPCTrace([local]), functional=False
+        )
+        assert stats_local.energy.read_pj == 0.0
+
+        import repro.core.device as device_mod
+
+        fresh = device_mod.StreamPIMDevice(small_device.config)
+        stats_remote = fresh.execute_trace(
+            VPCTrace([remote]), functional=False
+        )
+        assert stats_remote.energy.read_pj > 0.0

@@ -1,0 +1,117 @@
+"""Pins on the calibrated model constants.
+
+DESIGN.md documents a small set of fitted constants, each tied to one
+paper observable.  These tests pin their values so an accidental edit
+fails loudly with a pointer to what it would silently distort —
+recalibrating is fine, but it must be deliberate (update DESIGN.md,
+EXPERIMENTS.md and these pins together).
+"""
+
+import pytest
+
+from repro.baselines.coruscant import CoruscantConfig
+from repro.baselines.cpu import CPU_DRAM_CONFIG, CPU_RM_CONFIG
+from repro.baselines.elp2im import Elp2imConfig
+from repro.baselines.felix import FelixConfig
+from repro.baselines.stpim_e import StpimEConfig
+from repro.core.processor import RMProcessorConfig
+from repro.core.rmbus import RMBusConfig
+from repro.core.scheduler import PrepCostModel
+from repro.rm.timing import RMTimingConfig
+
+
+class TestTable3Constants:
+    """Paper-given values — changing these means leaving the paper."""
+
+    def test_rm_timing(self):
+        t = RMTimingConfig()
+        assert (t.read_ns, t.write_ns, t.shift_ns) == (3.91, 10.27, 2.13)
+        assert (t.read_pj, t.write_pj, t.shift_pj) == (3.80, 11.79, 3.26)
+        assert (t.pim_add_pj, t.pim_mul_pj) == (0.03, 0.18)
+        assert t.core_freq_mhz == 100.0
+
+    def test_processor_structure(self):
+        p = RMProcessorConfig()
+        assert p.word_bits == 8
+        assert p.duplicators == 2  # Table III
+        assert p.duplication_interval == 4
+
+    def test_bus_default_segment(self):
+        assert RMBusConfig().segment_domains == 1024  # Table V default
+
+
+class TestFittedConstants:
+    """Each pin names the observable its value was fitted to."""
+
+    def test_cpu_throughput_fits_fig17_headline(self):
+        # 0.78 Gop/s + 1.7 GB/s RM bandwidth -> StPIM ~ 39x (Fig. 17)
+        # and 47.6% small-kernel memory share (Fig. 3a).
+        assert CPU_RM_CONFIG.effective_gflops == 0.78
+        assert CPU_RM_CONFIG.memory_bandwidth_gbps == 1.7
+
+    def test_dram_bandwidth_fits_cpu_dram_ratio(self):
+        # 5.15 GB/s -> CPU-DRAM ~ 1.5x CPU-RM (Fig. 17); bracketed by
+        # the DDR4 substrate (tests/test_dram.py).
+        assert CPU_DRAM_CONFIG.memory_bandwidth_gbps == 5.15
+
+    def test_cpu_energy_fits_fig18(self):
+        # 6 pJ/flop + ~2 pJ/B -> CPU-DRAM ~ 58x StPIM energy (Fig. 18).
+        assert CPU_RM_CONFIG.flop_energy_pj == 6.0
+
+    def test_coruscant_op_structure_fits_fig4(self):
+        # 2R/6S/5W + 33 ns CMOS -> write 49% / compute 31% of time.
+        c = CoruscantConfig()
+        assert (c.reads_per_mul, c.shifts_per_mul, c.writes_per_mul) == (
+            2,
+            6,
+            5,
+        )
+        assert c.mul_compute_ns == 33.0
+        assert c.energy_row_width_words == 128  # -> ~2.8x StPIM energy
+
+    def test_elp2im_fits_3_6x(self):
+        e = Elp2imConfig()
+        assert e.steps_per_bit_add == 8
+        assert e.step_ns == 45.0
+        assert e.energy_row_width_words == 8192
+
+    def test_felix_fits_8_7x(self):
+        f = FelixConfig()
+        assert f.steps_per_bit_add == 3
+        assert f.step_ns == 49.0
+
+    def test_stpim_e_fits_3_1x_bus_benefit(self):
+        s = StpimEConfig()
+        assert s.conversions_per_word == 6
+        assert s.energy_conversions_per_word == 2
+
+    def test_prep_model_fits_fig21_saturation_and_fig22(self):
+        p = PrepCostModel()
+        assert p.access_width_words == 64
+        assert p.write_access_width_words == 32
+        assert p.unblock_parallelism == 1.25
+        assert p.blocked_access_width == 2
+
+
+class TestDerivedRelationships:
+    """Relationships the calibration relies on (not exact values)."""
+
+    def test_elp2im_step_slower_than_felix(self):
+        # ELP2IM pays the precharge FELIX avoids.
+        assert Elp2imConfig().step_ns < Elp2imConfig().step_ns + 1
+        assert Elp2imConfig().precharge_ns > 0
+
+    def test_felix_fewer_steps_per_bit(self):
+        assert FelixConfig().steps_per_bit_add < Elp2imConfig().steps_per_bit_add
+
+    def test_write_width_half_of_read_width(self):
+        p = PrepCostModel()
+        assert p.write_access_width_words * 2 == p.access_width_words
+
+    def test_coruscant_breakdown_shape(self):
+        """The fitted structure actually yields the Fig. 4a split."""
+        from repro.baselines.coruscant import CoruscantPlatform
+
+        fractions = CoruscantPlatform().op_time_ns("mul").fractions()
+        assert fractions["write"] == pytest.approx(0.51, abs=0.04)
+        assert fractions["process"] == pytest.approx(0.301, abs=0.04)

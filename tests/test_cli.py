@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.isa.trace import read_trace
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gemm"])
+        assert args.platform == "StPIM"
+        assert args.scale == 1.0
+
+    def test_trace_output_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "atax", "-o", "out.trace"]
+        )
+        assert args.output == "out.trace"
+
+
+class TestCommands:
+    def test_run_small_workload(self, capsys):
+        assert main(["run", "atax", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "atax" in out
+        assert "time" in out
+        assert "energy" in out
+
+    def test_run_other_platform(self, capsys):
+        assert main(
+            ["run", "bicg", "--platform", "CORUSCANT", "--scale", "0.05"]
+        ) == 0
+        assert "CORUSCANT" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cholesky"])
+
+    def test_run_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            main(["run", "gemm", "--platform", "TPU"])
+
+    def test_dnn_rejects_scale(self):
+        with pytest.raises(SystemExit):
+            main(["run", "mlp", "--scale", "0.5"])
+
+    def test_sweep_small(self, capsys):
+        assert main(
+            ["sweep", "--workloads", "atax", "bicg", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "StPIM" in out
+        assert "CPU-RM" in out
+
+    def test_counts(self, capsys):
+        assert main(["counts"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+        assert "4,606,000" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out  # PIM subarrays
+        assert "10.27" in out  # write latency
+
+    def test_trace_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "atax.trace"
+        assert main(
+            ["trace", "atax", "--scale", "0.01", "-o", str(path)]
+        ) == 0
+        trace = read_trace(path)
+        assert trace.stats.pim_vpcs > 0
+        assert trace.stats.move_vpcs > 0
+
+    def test_trace_without_output(self, capsys):
+        assert main(["trace", "mvt", "--scale", "0.01"]) == 0
+        assert "PIM VPCs" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_saved_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        assert main(["trace", "atax", "--scale", "0.01", "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "time breakdown" in out
+
+    def test_replay_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", "/nonexistent/trace.txt"])
+
+
+class TestWorkloadsListing:
+    def test_lists_all_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gemm", "mvt", "mlp", "bert", "trmm", "power_iter"):
+            assert name in out
+        for suite in ("polybench", "dnn", "extra"):
+            assert suite in out

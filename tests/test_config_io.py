@@ -1,0 +1,71 @@
+"""Tests for configuration serialisation (experiment provenance)."""
+
+import io
+
+import pytest
+
+from repro.core.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.processor import RMProcessorConfig
+from repro.core.rmbus import RMBusConfig
+from repro.core.scheduler import SchedulerPolicy
+from repro.rm.address import DeviceGeometry
+from repro.workloads import polybench_workload
+
+
+class TestRoundtrip:
+    def test_default_config(self):
+        original = StreamPIMConfig()
+        restored = config_from_dict(config_to_dict(original))
+        assert restored == original
+
+    def test_customised_config(self):
+        original = StreamPIMConfig(
+            geometry=DeviceGeometry().with_pim_subarrays(256),
+            processor=RMProcessorConfig(duplicators=4),
+            bus=RMBusConfig(segment_domains=256),
+            scheduler_policy=SchedulerPolicy.DISTRIBUTE,
+            vpc_decode_ns=25.0,
+        )
+        restored = config_from_dict(config_to_dict(original))
+        assert restored == original
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "config.json"
+        original = StreamPIMConfig(scheduler_policy=SchedulerPolicy.BASE)
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        save_config(StreamPIMConfig(), buffer)
+        buffer.seek(0)
+        assert load_config(buffer) == StreamPIMConfig()
+
+    def test_restored_config_simulates_identically(self):
+        spec = polybench_workload("atax", scale=0.05)
+        original = StreamPIMConfig(
+            processor=RMProcessorConfig(duplicators=4)
+        )
+        restored = config_from_dict(config_to_dict(original))
+        from repro.baselines.stpim import StreamPIMPlatform
+
+        a = StreamPIMPlatform(original).run(spec)
+        b = StreamPIMPlatform(restored).run(spec)
+        assert a.time_ns == b.time_ns
+        assert a.energy.total_pj == b.energy.total_pj
+
+
+class TestValidation:
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            config_from_dict({"format_version": 99})
+
+    def test_missing_fields_reported(self):
+        with pytest.raises(ValueError, match="missing"):
+            config_from_dict({"format_version": 1})

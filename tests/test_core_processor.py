@@ -1,0 +1,207 @@
+"""Tests for the RM processor timing + functional model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.processor import RMProcessor, RMProcessorConfig
+from repro.isa.vpc import VPCOpcode
+
+
+@pytest.fixture
+def proc():
+    return RMProcessor()
+
+
+class TestConfig:
+    def test_table3_defaults(self):
+        cfg = RMProcessorConfig()
+        assert cfg.word_bits == 8
+        assert cfg.duplicators == 2
+
+    def test_duplication_interval(self):
+        # 8 duplications spread over 2 duplicators -> 4 cycles/element.
+        assert RMProcessorConfig().duplication_interval == 4
+        assert RMProcessorConfig(duplicators=4).duplication_interval == 2
+        assert RMProcessorConfig(duplicators=8).duplication_interval == 1
+
+    def test_adder_tree_depth_log2_of_bits(self):
+        assert RMProcessorConfig().adder_tree_depth == 3
+
+    def test_accumulator_width_validated(self):
+        with pytest.raises(ValueError):
+            RMProcessorConfig(word_bits=8, accumulator_bits=15)
+
+    @pytest.mark.parametrize("field", ["word_bits", "duplicators"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            RMProcessorConfig(**{field: 0})
+
+
+class TestPipelines:
+    def test_mul_uses_all_four_stages(self, proc):
+        model = proc.pipeline_for(VPCOpcode.MUL)
+        assert [s.name for s in model.stages] == [
+            "fetch",
+            "duplicate_multiply",
+            "adder_tree",
+            "circle_adder",
+        ]
+
+    def test_smul_bypasses_circle_adder(self, proc):
+        names = [s.name for s in proc.pipeline_for(VPCOpcode.SMUL).stages]
+        assert "circle_adder" not in names
+        assert "duplicate_multiply" in names
+
+    def test_add_bypasses_stages_1_to_3(self, proc):
+        names = [s.name for s in proc.pipeline_for(VPCOpcode.ADD).stages]
+        assert names == ["circle_adder"]
+
+    def test_tran_has_no_pipeline(self, proc):
+        with pytest.raises(ValueError):
+            proc.pipeline_for(VPCOpcode.TRAN)
+
+    def test_mul_initiation_interval_is_duplication_bound(self, proc):
+        assert proc.initiation_interval(VPCOpcode.MUL) == 4
+
+    def test_add_streams_one_per_cycle(self, proc):
+        assert proc.initiation_interval(VPCOpcode.ADD) == 1
+
+
+class TestCycles:
+    def test_dot_product_latency_formula(self, proc):
+        fill = proc.pipeline_for(VPCOpcode.MUL).fill_cycles
+        assert proc.compute_cycles(VPCOpcode.MUL, 1) == fill
+        assert proc.compute_cycles(VPCOpcode.MUL, 100) == fill + 99 * 4
+
+    def test_add_cheaper_than_mul(self, proc):
+        assert proc.compute_cycles(VPCOpcode.ADD, 64) < proc.compute_cycles(
+            VPCOpcode.MUL, 64
+        )
+
+    def test_compute_ns_uses_core_clock(self, proc):
+        cycles = proc.compute_cycles(VPCOpcode.MUL, 10)
+        assert proc.compute_ns(VPCOpcode.MUL, 10) == pytest.approx(
+            cycles * 10.0
+        )
+
+    def test_rejects_nonpositive_elements(self, proc):
+        with pytest.raises(ValueError):
+            proc.compute_cycles(VPCOpcode.MUL, 0)
+
+    def test_more_duplicators_speed_up_mul(self):
+        fast = RMProcessor(RMProcessorConfig(duplicators=8))
+        slow = RMProcessor(RMProcessorConfig(duplicators=1))
+        n = 1000
+        assert fast.compute_cycles(VPCOpcode.MUL, n) < slow.compute_cycles(
+            VPCOpcode.MUL, n
+        )
+
+
+class TestEnergy:
+    def test_dot_product_charges_mul_and_add(self, proc):
+        t = proc.timing
+        assert proc.compute_energy_pj(VPCOpcode.MUL, 10) == pytest.approx(
+            10 * (t.pim_mul_pj + t.pim_add_pj)
+        )
+
+    def test_add_charges_only_adds(self, proc):
+        assert proc.compute_energy_pj(VPCOpcode.ADD, 10) == pytest.approx(
+            10 * proc.timing.pim_add_pj
+        )
+
+    def test_smul_charges_only_muls(self, proc):
+        assert proc.compute_energy_pj(VPCOpcode.SMUL, 10) == pytest.approx(
+            10 * proc.timing.pim_mul_pj
+        )
+
+    def test_tran_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.compute_energy_pj(VPCOpcode.TRAN, 1)
+
+
+class TestFunctional:
+    def test_dot_product(self, proc):
+        a = np.array([1, 2, 3])
+        b = np.array([4, 5, 6])
+        assert proc.apply(VPCOpcode.MUL, a, b)[0] == 32
+
+    def test_smul(self, proc):
+        out = proc.apply(VPCOpcode.SMUL, np.array([3]), np.array([1, 2, 3]))
+        assert list(out) == [3, 6, 9]
+
+    def test_add(self, proc):
+        out = proc.apply(VPCOpcode.ADD, np.array([1, 2]), np.array([3, 4]))
+        assert list(out) == [4, 6]
+
+    def test_rejects_negative_operands(self, proc):
+        with pytest.raises(ValueError):
+            proc.apply(VPCOpcode.ADD, np.array([-1]), np.array([0]))
+
+    def test_accepts_wide_intermediates(self, proc):
+        # Chained results (dot products) exceed one word; the datapath
+        # carries them at accumulator precision.
+        out = proc.apply(VPCOpcode.ADD, np.array([70_000]), np.array([5]))
+        assert out[0] == 70_005
+
+    def test_rejects_shape_mismatch(self, proc):
+        with pytest.raises(ValueError):
+            proc.apply(VPCOpcode.MUL, np.array([1, 2]), np.array([1]))
+
+    def test_smul_scalar_must_be_scalar(self, proc):
+        with pytest.raises(ValueError):
+            proc.apply(VPCOpcode.SMUL, np.array([1, 2]), np.array([1, 2]))
+
+    def test_no_8bit_wraparound(self, proc):
+        # 255 * 255 = 65025 must come out exact, not mod 256.
+        out = proc.apply(VPCOpcode.MUL, np.array([255]), np.array([255]))
+        assert out[0] == 65_025
+
+
+class TestBitAccurateEquivalence:
+    """The numpy fast path equals the gate-level datapath."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 255), min_size=1, max_size=4),
+        b=st.lists(st.integers(0, 255), min_size=1, max_size=4),
+    )
+    def test_dot_product(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        proc = RMProcessor()
+        fast = proc.apply(VPCOpcode.MUL, np.array(a), np.array(b))
+        slow = proc.apply_bit_accurate(VPCOpcode.MUL, a, b)
+        assert fast[0] == slow[0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scalar=st.integers(0, 255),
+        vec=st.lists(st.integers(0, 255), min_size=1, max_size=4),
+    )
+    def test_smul(self, scalar, vec):
+        proc = RMProcessor()
+        fast = proc.apply(VPCOpcode.SMUL, np.array([scalar]), np.array(vec))
+        slow = proc.apply_bit_accurate(VPCOpcode.SMUL, [scalar], vec)
+        assert list(fast) == list(slow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.lists(st.integers(0, 255), min_size=1, max_size=6),
+        b=st.lists(st.integers(0, 255), min_size=1, max_size=6),
+    )
+    def test_add(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        proc = RMProcessor()
+        fast = proc.apply(VPCOpcode.ADD, np.array(a), np.array(b))
+        slow = proc.apply_bit_accurate(VPCOpcode.ADD, a, b)
+        assert list(fast) == list(slow)
+
+    def test_gate_counter_populated(self):
+        from repro.dwlogic.gates import GateCounter
+
+        proc = RMProcessor()
+        counter = GateCounter()
+        proc.apply_bit_accurate(VPCOpcode.MUL, [7], [9], counter)
+        assert counter.total > 0

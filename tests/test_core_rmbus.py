@@ -1,0 +1,131 @@
+"""Tests for the segmented RM bus model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rmbus import RMBus, RMBusConfig
+from repro.rm.timing import RMTimingConfig
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = RMBusConfig()
+        assert cfg.segment_domains == 1024
+        assert cfg.n_segments == 4
+        assert cfg.words_per_segment == 1024
+
+    def test_segment_count_rounds_up(self):
+        cfg = RMBusConfig(segment_domains=1000, length_domains=4096)
+        assert cfg.n_segments == 5
+
+    def test_rejects_bus_shorter_than_segment(self):
+        with pytest.raises(ValueError):
+            RMBusConfig(segment_domains=128, length_domains=64)
+
+    def test_rejects_width_not_multiple_of_word(self):
+        with pytest.raises(ValueError):
+            RMBusConfig(width_wires=12, word_bits=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"segment_domains": 0},
+            {"width_wires": 0},
+            {"reference_segment": 0},
+            {"current_overhead": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RMBusConfig(**kwargs)
+
+
+class TestTiming:
+    def test_fill_equals_segment_hops(self):
+        bus = RMBus(RMBusConfig(segment_domains=256, length_domains=4096))
+        assert bus.fill_cycles == 16
+
+    def test_single_chunk_costs_fill(self):
+        bus = RMBus()
+        assert bus.transfer_cycles(100) == bus.fill_cycles
+
+    def test_chunks_arrive_every_two_cycles(self):
+        # Data segments alternate with empty segments (Fig. 12).
+        bus = RMBus()
+        per_seg = bus.config.words_per_segment
+        assert (
+            bus.transfer_cycles(3 * per_seg)
+            == bus.fill_cycles + 2 * bus.streaming_interval()
+        )
+
+    def test_smaller_segments_slower_transfer(self):
+        # Table V: shrinking the segment size costs time.
+        big = RMBus(RMBusConfig(segment_domains=1024))
+        small = RMBus(RMBusConfig(segment_domains=64))
+        assert small.transfer_cycles(2000) > big.transfer_cycles(2000)
+
+    def test_transfer_ns(self):
+        bus = RMBus()
+        assert bus.transfer_ns(10) == pytest.approx(
+            bus.transfer_cycles(10) * bus.timing.cycle_ns
+        )
+
+    def test_rejects_nonpositive_words(self):
+        with pytest.raises(ValueError):
+            RMBus().transfer_cycles(0)
+
+
+class TestEnergy:
+    def test_energy_nearly_segment_invariant(self):
+        """Table V: energy is almost flat across segment sizes."""
+        words = 2000
+        energies = {
+            seg: RMBus(RMBusConfig(segment_domains=seg)).transfer_energy_pj(
+                words
+            )
+            for seg in (64, 256, 512, 1024)
+        }
+        reference = energies[1024]
+        for seg, energy in energies.items():
+            assert abs(energy / reference - 1.0) < 0.06, seg
+
+    def test_smaller_segments_marginally_cheaper(self):
+        """Table V: energy *decreases* slightly for smaller segments."""
+        small = RMBus(RMBusConfig(segment_domains=64)).transfer_energy_pj(4096)
+        big = RMBus(RMBusConfig(segment_domains=1024)).transfer_energy_pj(4096)
+        assert small < big
+
+    def test_energy_proportional_to_words(self):
+        bus = RMBus()
+        assert bus.transfer_energy_pj(2000) == pytest.approx(
+            2 * bus.transfer_energy_pj(1000)
+        )
+
+    def test_shift_operations_counted(self):
+        bus = RMBus(RMBusConfig(segment_domains=512, length_domains=4096))
+        # 1000 words -> 2 chunks, 8 hops each.
+        assert bus.shift_operations(1000) == 16
+
+    def test_longer_bus_costs_more(self):
+        short = RMBus(RMBusConfig(length_domains=2048))
+        long = RMBus(RMBusConfig(length_domains=8192))
+        assert long.transfer_energy_pj(100) > short.transfer_energy_pj(100)
+
+    def test_rejects_nonpositive_words(self):
+        with pytest.raises(ValueError):
+            RMBus().transfer_energy_pj(0)
+
+
+@given(
+    words=st.integers(min_value=1, max_value=100_000),
+    segment=st.sampled_from([64, 128, 256, 512, 1024]),
+)
+def test_property_transfer_cycles_monotone_in_words(words, segment):
+    bus = RMBus(RMBusConfig(segment_domains=segment))
+    assert bus.transfer_cycles(words + 1) >= bus.transfer_cycles(words)
+
+
+@given(words=st.integers(min_value=1, max_value=10_000))
+def test_property_fill_lower_bound(words):
+    bus = RMBus()
+    assert bus.transfer_cycles(words) >= bus.fill_cycles

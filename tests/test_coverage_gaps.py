@@ -1,0 +1,237 @@
+"""Targeted tests for less-travelled branches across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stpim_e import ElectricalSubarrayEngine, StpimEConfig
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.rmbus import RMBusConfig
+from repro.core.scheduler import (
+    PrepCostModel,
+    Round,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.core.subarray_engine import SubarrayEngine
+from repro.isa.granularity import CommandGranularity, units_per_command
+from repro.isa.trace import VPCTrace
+from repro.isa.vpc import VPC
+from repro.rm.faults import ShiftFaultConfig, ShiftFaultModel
+from repro.sim.stats import EnergyBreakdown, TimeBreakdown
+from repro.workloads.spec import MatrixOp, MatrixOpKind
+
+
+class TestSchedulerOverhangBranches:
+    def _round(self, prep_words, compute_ns, process_ns):
+        return Round(
+            prep_words=prep_words,
+            prep_targets=2,
+            compute_ns=compute_ns,
+            compute_time=TimeBreakdown(process_ns=process_ns),
+            compute_energy=EnergyBreakdown(compute_pj=1.0),
+        )
+
+    def test_prep_overhang_exposed_as_rw(self):
+        """When total prep exceeds total compute, the overhang shows up
+        as exposed read/write time."""
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        rounds = [self._round(100_000, 10.0, 10.0)]
+        result = scheduler.compose(rounds)
+        assert result.time.read_ns + result.time.write_ns > 0
+        assert result.total_ns > 10.0
+
+    def test_zero_compute_round(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        rounds = [self._round(1000, 0.0, 0.0)]
+        result = scheduler.compose(rounds)
+        assert result.total_ns > 0
+        assert result.time.process_ns == 0.0
+
+    def test_hidden_prep_reclassified_as_overlapped(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        rounds = [
+            self._round(64, 1000.0, 1000.0),
+            self._round(64, 1000.0, 1000.0),
+        ]
+        result = scheduler.compose(rounds)
+        assert result.time.overlapped_ns > 0
+
+    def test_base_policy_placement_is_base(self):
+        assert not SchedulerPolicy.BASE.overlaps_prep
+        assert not SchedulerPolicy.DISTRIBUTE.overlaps_prep
+        assert SchedulerPolicy.UNBLOCK.overlaps_prep
+
+
+class TestSubarrayEngineTran:
+    def test_tran_batch_scales_linearly(self):
+        engine = SubarrayEngine()
+        single = engine.profile(VPC.tran(0, 100, 32))
+        batch = engine.batch_profile(VPC.tran(0, 100, 32), 5)
+        assert batch.cycles == 5 * single.cycles
+        assert batch.energy.total_pj == pytest.approx(
+            5 * single.energy.total_pj
+        )
+
+    def test_smul_charges_muls_only(self):
+        engine = SubarrayEngine()
+        smul = engine.profile(VPC.smul(0, 8, 16, 64))
+        assert smul.energy.compute_pj == pytest.approx(
+            64 * engine.timing.pim_mul_pj
+        )
+
+    def test_mul_charges_mul_plus_accumulate(self):
+        engine = SubarrayEngine()
+        mul = engine.profile(VPC.mul(0, 8, 16, 64))
+        assert mul.energy.compute_pj == pytest.approx(
+            64 * (engine.timing.pim_mul_pj + engine.timing.pim_add_pj)
+        )
+
+
+class TestElectricalEngine:
+    def test_tran_profile_is_conversion_only(self):
+        engine = ElectricalSubarrayEngine()
+        profile = engine.profile(VPC.tran(0, 50, 16))
+        assert profile.energy.shift_pj == 0.0
+        assert profile.energy.read_pj > 0
+        assert profile.energy.write_pj > 0
+
+    def test_batch_pays_conversion_each_time(self):
+        engine = ElectricalSubarrayEngine()
+        vpc = VPC.mul(0, 200, 400, 64)
+        single = engine.profile(vpc)
+        batch = engine.batch_profile(vpc, 4)
+        # Unlike the RM bus, conversions never amortise.
+        assert batch.time.read_ns >= 3.9 * single.time.read_ns
+
+    def test_energy_conversions_fewer_than_latency_hops(self):
+        config = StpimEConfig()
+        assert config.energy_conversions_per_word < config.conversions_per_word
+
+    def test_batch_single_matches_profile(self):
+        engine = ElectricalSubarrayEngine()
+        vpc = VPC.add(0, 8, 16, 8)
+        assert (
+            engine.batch_profile(vpc, 1).cycles == engine.profile(vpc).cycles
+        )
+
+
+class TestDeviceDecodePacing:
+    def test_decode_rate_limits_tiny_vpcs(self, small_geometry, small_bus_config):
+        """With a huge decode cost, the command stream itself paces
+        execution."""
+        slow = StreamPIMConfig(
+            geometry=small_geometry,
+            bus=small_bus_config,
+            vpc_decode_ns=10_000.0,
+        )
+        fast = StreamPIMConfig(
+            geometry=small_geometry,
+            bus=small_bus_config,
+            vpc_decode_ns=1.0,
+        )
+        base = None
+        times = {}
+        for label, config in (("slow", slow), ("fast", fast)):
+            device = StreamPIMDevice(config)
+            addr = device.address_map.subarray_base(0, 0)
+            trace = VPCTrace(
+                [VPC.add(addr, addr + 8, addr + 16, 2) for _ in range(20)]
+            )
+            times[label] = device.execute_trace(
+                trace, functional=False
+            ).time_ns
+        assert times["slow"] > 10 * times["fast"]
+
+
+class TestGranularityVectorOps:
+    @pytest.mark.parametrize(
+        "kind,dims",
+        [
+            (MatrixOpKind.VEC_ADD, (50,)),
+            (MatrixOpKind.VEC_SCALE, (50,)),
+            (MatrixOpKind.DOT, (50,)),
+            (MatrixOpKind.MAT_ADD, (10, 50)),
+        ],
+    )
+    def test_vector_granularity_units(self, kind, dims):
+        op = MatrixOp(kind, dims)
+        units = units_per_command(op, CommandGranularity.VECTOR)
+        assert units == 2 * dims[-1]
+
+    def test_scalar_always_two_units(self):
+        op = MatrixOp(MatrixOpKind.MATMUL, (10, 10, 10))
+        assert units_per_command(op, CommandGranularity.SCALAR) == 2
+
+
+class TestFaultModelEdges:
+    def test_perfect_guard_gives_infinite_mitigation(self):
+        model = ShiftFaultModel(
+            ShiftFaultConfig(guard_detection=1.0)
+        )
+        bus = RMBusConfig()
+        assert model.segmented_transfer_fault(bus, 100) == 0.0
+        assert model.mitigation_factor(bus, 100) == float("inf")
+
+    def test_zero_rate_no_faults_anywhere(self):
+        model = ShiftFaultModel(ShiftFaultConfig(p_per_step=0.0))
+        bus = RMBusConfig()
+        assert model.monolithic_transfer_fault(bus, 100) == 0.0
+        assert model.segmented_transfer_fault(bus, 100) == 0.0
+
+    def test_words_validated(self):
+        model = ShiftFaultModel()
+        with pytest.raises(ValueError):
+            model.monolithic_transfer_fault(RMBusConfig(), 0)
+        with pytest.raises(ValueError):
+            model.segmented_transfer_fault(RMBusConfig(), -1)
+
+    def test_distance_exponent_validated(self):
+        with pytest.raises(ValueError):
+            ShiftFaultConfig(distance_exponent=0.5)
+
+
+class TestTaskEdges:
+    def test_vec_ops_lowering(self, small_geometry, small_bus_config):
+        from repro.core.task import PimTask, TaskOp
+
+        device = StreamPIMDevice(
+            StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+        )
+        task = PimTask(device)
+        task.add_vector("x", np.array([1, 2, 3, 4]))
+        task.add_vector("y", np.array([5, 6, 7, 8]))
+        task.add_matrix("z", shape=(1, 4))
+        task.add_matrix("w", shape=(1, 4))
+        task.add_scalar("k", 3)
+        task.add_operation(TaskOp.VEC_ADD, "x", "y", "z")
+        task.add_operation(TaskOp.VEC_SCALE, "z", "w", scalar="k")
+        report = task.run()
+        assert list(report.results["z"][0]) == [6, 8, 10, 12]
+        assert list(report.results["w"][0]) == [18, 24, 30, 36]
+
+    def test_dot_lowering_and_counts(self, small_geometry, small_bus_config):
+        from repro.core.task import PimTask, TaskOp
+
+        device = StreamPIMDevice(
+            StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+        )
+        task = PimTask(device)
+        task.add_vector("x", np.array([1, 2, 3]))
+        task.add_vector("y", np.array([4, 5, 6]))
+        task.add_matrix("s", shape=(1, 1))
+        task.add_operation(TaskOp.DOT, "x", "y", "s")
+        report = task.run()
+        assert report.results["s"][0, 0] == 32
+        assert report.counts.pim_vpcs == 1
+        assert report.counts.move_vpcs == 2
+
+
+class TestPrepModelEdges:
+    def test_blocked_width_used_when_not_unblocked(self):
+        model = PrepCostModel(blocked_access_width=1)
+        blocked = Scheduler(SchedulerPolicy.BASE, prep_model=model)
+        fluid = Scheduler(SchedulerPolicy.UNBLOCK, prep_model=model)
+        round_ = Round(prep_words=640, prep_targets=1)
+        assert blocked.prep_duration_ns(round_) > fluid.prep_duration_ns(
+            round_
+        )

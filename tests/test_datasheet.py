@@ -1,0 +1,51 @@
+"""Tests for the derived device datasheet."""
+
+import pytest
+
+from repro.analysis.datasheet import Datasheet, build_datasheet
+from repro.core.device import StreamPIMConfig
+from repro.core.processor import RMProcessorConfig
+from repro.rm.address import DeviceGeometry
+
+
+class TestDatasheet:
+    @pytest.fixture(scope="class")
+    def sheet(self):
+        return build_datasheet()
+
+    def test_paper_headline_figures(self, sheet):
+        assert sheet.capacity_gib == 8.0
+        assert sheet.pim_subarrays == 512
+        assert sheet.core_mhz == 100.0
+
+    def test_peak_rate_derivation(self, sheet):
+        # 100 MHz / II=4 cycles per element = 25 M elem/s/processor.
+        assert sheet.processor_element_rate == pytest.approx(25e6)
+        assert sheet.peak_macs_per_second == pytest.approx(512 * 25e6)
+
+    def test_energy_per_mac_is_table3(self, sheet):
+        assert sheet.energy_per_mac_pj == pytest.approx(0.21)
+
+    def test_efficiency_consistent(self, sheet):
+        assert sheet.macs_per_joule == pytest.approx(
+            1e12 / sheet.energy_per_mac_pj
+        )
+
+    def test_more_duplicators_raise_peak(self):
+        fast = build_datasheet(
+            StreamPIMConfig(processor=RMProcessorConfig(duplicators=8))
+        )
+        assert fast.peak_macs_per_second == pytest.approx(4 * 512 * 25e6)
+
+    def test_more_subarrays_scale_device_rate(self):
+        big = build_datasheet(
+            StreamPIMConfig(
+                geometry=DeviceGeometry().with_pim_subarrays(1024)
+            )
+        )
+        assert big.peak_macs_per_second == pytest.approx(1024 * 25e6)
+
+    def test_render_mentions_everything(self, sheet):
+        text = sheet.render()
+        for fragment in ("GiB", "GMAC/s", "pJ", "TMAC/J", "bus area"):
+            assert fragment in text

@@ -1,0 +1,180 @@
+"""Differential testing: random task graphs vs an independent evaluator.
+
+Hypothesis generates random sequences of shape-compatible matrix
+operations; each program is executed through the full PIM stack (task
+lowering + functional evaluation) and independently re-evaluated with a
+minimal numpy interpreter written here.  Any divergence in any output
+matrix fails the property.
+"""
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.rmbus import RMBusConfig
+from repro.core.task import PimTask, TaskOp
+from repro.rm.address import DeviceGeometry
+from repro.rm.bank import BankConfig
+from repro.rm.mat import MatConfig
+from repro.rm.subarray import SubarrayConfig
+
+
+def _fresh_device() -> StreamPIMDevice:
+    mat = MatConfig(
+        save_tracks=16,
+        transfer_tracks=16,
+        domains_per_track=64,
+        word_bits=8,
+        ports_per_track=2,
+    )
+    geometry = DeviceGeometry(
+        banks=2,
+        pim_banks=1,
+        bank=BankConfig(
+            subarrays=8,
+            subarray=SubarrayConfig(mats=2, pim_mats=1, mat=mat),
+            pim_bank=True,
+        ),
+    )
+    bus = RMBusConfig(
+        segment_domains=16, length_domains=64, width_wires=8, word_bits=8
+    )
+    return StreamPIMDevice(StreamPIMConfig(geometry=geometry, bus=bus))
+
+
+# One generated instruction: (op, input names, output name, scalar value)
+Instruction = Tuple[TaskOp, Tuple[str, ...], str, int]
+
+
+@st.composite
+def random_programs(draw) -> Tuple[Dict[str, np.ndarray], List[Instruction]]:
+    """A random well-shaped program over small matrices."""
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    dims = [draw(st.integers(2, 6)) for _ in range(3)]
+    operands: Dict[str, np.ndarray] = {}
+    for index in range(draw(st.integers(2, 4))):
+        rows = draw(st.sampled_from(dims))
+        cols = draw(st.sampled_from(dims))
+        operands[f"m{index}"] = rng.integers(
+            0, 256, size=(rows, cols), dtype=np.int64
+        )
+    instructions: List[Instruction] = []
+    available = dict(operands)  # name -> value shape source
+    for step in range(draw(st.integers(1, 5))):
+        name = f"out{step}"
+        op = draw(
+            st.sampled_from(
+                [
+                    TaskOp.MATMUL,
+                    TaskOp.MATVEC,
+                    TaskOp.MATVEC_T,
+                    TaskOp.MAT_ADD,
+                    TaskOp.MAT_SCALE,
+                ]
+            )
+        )
+        names = list(available)
+        if op is TaskOp.MATMUL:
+            a = draw(st.sampled_from(names))
+            compatible = [
+                n for n in names
+                if available[n].shape[0] == available[a].shape[1]
+            ]
+            if not compatible:
+                continue
+            b = draw(st.sampled_from(compatible))
+            shape = (available[a].shape[0], available[b].shape[1])
+            instructions.append((op, (a, b), name, 1))
+        elif op in (TaskOp.MATVEC, TaskOp.MATVEC_T):
+            a = draw(st.sampled_from(names))
+            rows, cols = available[a].shape
+            length = cols if op is TaskOp.MATVEC else rows
+            vectors = [
+                n for n in names
+                if available[n].shape == (1, length)
+            ]
+            if not vectors:
+                continue
+            x = draw(st.sampled_from(vectors))
+            out_len = rows if op is TaskOp.MATVEC else cols
+            shape = (1, out_len)
+            instructions.append((op, (a, x), name, 1))
+        elif op is TaskOp.MAT_ADD:
+            a = draw(st.sampled_from(names))
+            same = [n for n in names if available[n].shape == available[a].shape]
+            b = draw(st.sampled_from(same))
+            shape = available[a].shape
+            instructions.append((op, (a, b), name, 1))
+        else:  # MAT_SCALE
+            a = draw(st.sampled_from(names))
+            scalar = draw(st.integers(0, 7))
+            shape = available[a].shape
+            instructions.append((op, (a,), name, scalar))
+        available[name] = np.zeros(shape, dtype=np.int64)
+    return operands, instructions
+
+
+def _reference_evaluate(
+    operands: Dict[str, np.ndarray], instructions: List[Instruction]
+) -> Dict[str, np.ndarray]:
+    """Independent numpy interpreter (no repro code involved)."""
+    env = {k: v.copy() for k, v in operands.items()}
+    for op, inputs, output, scalar in instructions:
+        if op is TaskOp.MATMUL:
+            env[output] = env[inputs[0]] @ env[inputs[1]]
+        elif op is TaskOp.MATVEC:
+            env[output] = (env[inputs[0]] @ env[inputs[1]][0]).reshape(1, -1)
+        elif op is TaskOp.MATVEC_T:
+            env[output] = (env[inputs[0]].T @ env[inputs[1]][0]).reshape(
+                1, -1
+            )
+        elif op is TaskOp.MAT_ADD:
+            env[output] = env[inputs[0]] + env[inputs[1]]
+        elif op is TaskOp.MAT_SCALE:
+            env[output] = scalar * env[inputs[0]]
+        else:  # pragma: no cover
+            raise AssertionError(op)
+    return env
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=random_programs())
+def test_property_random_programs_match_reference(program):
+    operands, instructions = program
+    if not instructions:
+        return
+    device = _fresh_device()
+    task = PimTask(device)
+    for name, values in operands.items():
+        task.add_matrix(name, values)
+    for index, (op, inputs, output, scalar) in enumerate(instructions):
+        shape = _reference_evaluate(
+            operands, instructions[: index + 1]
+        )[output].shape
+        task.add_matrix(output, shape=shape)
+        if op is TaskOp.MAT_SCALE:
+            scalar_name = f"s{index}"
+            task.add_scalar(scalar_name, scalar)
+            task.add_operation(op, *inputs, output, scalar=scalar_name)
+        else:
+            task.add_operation(op, *inputs, output)
+    try:
+        report = task.run()
+    except MemoryError:
+        # The tiny test device can legitimately run out of PIM capacity.
+        return
+    except NotImplementedError:
+        # A produced matrix read column-wise needs mirror coherence,
+        # which the layout layer deliberately refuses.
+        return
+    reference = _reference_evaluate(operands, instructions)
+    for _, _, output, _ in instructions:
+        assert np.array_equal(report.results[output], reference[output]), (
+            output,
+            instructions,
+        )
+    assert report.time_ns > 0
+    assert report.counts.pim_vpcs > 0

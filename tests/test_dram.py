@@ -1,0 +1,143 @@
+"""Tests for the DDR4 DRAM substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cpu import CPU_DRAM_CONFIG
+from repro.dram import (
+    DDR4_2400,
+    DDR4TimingConfig,
+    DRAMBank,
+    DRAMController,
+    MemoryRequest,
+    RowBufferOutcome,
+    sequential_pattern,
+    strided_pattern,
+)
+
+
+class TestTiming:
+    def test_ddr4_2400_peak_bandwidth(self):
+        # 2400 MT/s x 8 bytes = 19.2 GB/s.
+        assert DDR4_2400.peak_bandwidth_gbps == pytest.approx(19.2)
+
+    def test_burst_is_cache_line(self):
+        assert DDR4_2400.burst_bytes == 64
+
+    def test_latency_ordering(self):
+        t = DDR4_2400
+        assert t.row_hit_ns < t.row_miss_ns < t.row_conflict_ns
+
+    def test_conflict_adds_precharge(self):
+        t = DDR4_2400
+        assert t.row_conflict_ns == pytest.approx(t.row_miss_ns + t.trp_ns)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDR4TimingConfig(io_mhz=0)
+        with pytest.raises(ValueError):
+            DDR4TimingConfig(banks=0)
+
+
+class TestBank:
+    def test_first_access_is_miss(self):
+        bank = DRAMBank()
+        assert bank.classify(3) is RowBufferOutcome.MISS
+        bank.access(3, 0.0)
+        assert bank.misses == 1
+
+    def test_second_access_same_row_hits(self):
+        bank = DRAMBank()
+        bank.access(3, 0.0)
+        assert bank.classify(3) is RowBufferOutcome.HIT
+        bank.access(3, 100.0)
+        assert bank.hits == 1
+
+    def test_other_row_conflicts(self):
+        bank = DRAMBank()
+        bank.access(3, 0.0)
+        assert bank.classify(4) is RowBufferOutcome.CONFLICT
+        bank.access(4, 100.0)
+        assert bank.conflicts == 1
+        assert bank.open_row == 4
+
+    def test_bank_serialises(self):
+        bank = DRAMBank()
+        first = bank.access(1, 0.0)
+        second = bank.access(1, 0.0)
+        assert second >= first + DDR4_2400.row_hit_ns
+
+    def test_tras_delays_early_conflict(self):
+        bank = DRAMBank()
+        bank.access(1, 0.0)
+        finish = bank.access(2, 0.0)  # conflict right away
+        # The open row cannot precharge before tRAS expires.
+        assert finish >= DDR4_2400.tras_ns + DDR4_2400.row_conflict_ns - 1e-9
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMBank().access(-1, 0.0)
+
+
+class TestController:
+    def test_sequential_near_peak(self):
+        controller = DRAMController()
+        bandwidth = controller.achieved_bandwidth_gbps(
+            sequential_pattern(2 * 2**20)
+        )
+        assert bandwidth > 0.85 * DDR4_2400.peak_bandwidth_gbps
+        assert controller.row_hit_rate > 0.95
+
+    def test_row_conflict_stride_collapses(self):
+        controller = DRAMController()
+        stride = DDR4_2400.row_bytes * DDR4_2400.banks
+        bandwidth = controller.achieved_bandwidth_gbps(
+            strided_pattern(2**20, stride)
+        )
+        assert bandwidth < 0.1 * DDR4_2400.peak_bandwidth_gbps
+        assert controller.row_hit_rate == 0.0
+
+    def test_cpu_model_constant_bracketed(self):
+        """The analytic CPU-DRAM bandwidth (5.15 GB/s) lies between the
+        substrate's row-conflict floor and its streaming ceiling —
+        consistent with PolyBench's mixed row/column access patterns."""
+        streaming = DRAMController().achieved_bandwidth_gbps(
+            sequential_pattern(2**20)
+        )
+        stride = DDR4_2400.row_bytes * DDR4_2400.banks
+        conflicted = DRAMController().achieved_bandwidth_gbps(
+            strided_pattern(2**20, stride)
+        )
+        assert conflicted < CPU_DRAM_CONFIG.memory_bandwidth_gbps < streaming
+
+    def test_bank_interleaving_spreads_sequential(self):
+        controller = DRAMController()
+        controller.serve(sequential_pattern(64 * 64).requests)
+        used = sum(1 for bank in controller.banks if bank.accesses > 0)
+        assert used > 1
+
+    def test_decompose_maps_low_bits_to_banks(self):
+        controller = DRAMController()
+        bank_a, _ = controller.decompose(0)
+        bank_b, _ = controller.decompose(DDR4_2400.burst_bytes)
+        assert bank_b == (bank_a + 1) % DDR4_2400.banks
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(-1)
+        with pytest.raises(ValueError):
+            strided_pattern(1024, 0)
+
+    def test_empty_pattern_rejected(self):
+        from repro.dram.controller import AccessPattern
+
+        with pytest.raises(ValueError):
+            DRAMController().achieved_bandwidth_gbps(AccessPattern("e", []))
+
+    @settings(max_examples=15, deadline=None)
+    @given(bursts=st.integers(min_value=1, max_value=400))
+    def test_property_bandwidth_never_exceeds_peak(self, bursts):
+        controller = DRAMController()
+        pattern = sequential_pattern(bursts * DDR4_2400.burst_bytes)
+        bandwidth = controller.achieved_bandwidth_gbps(pattern)
+        assert bandwidth <= DDR4_2400.peak_bandwidth_gbps * (1 + 1e-9)

@@ -1,0 +1,322 @@
+"""Tests for domain-wall adders, multiplier, duplicator, circle adder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dwlogic.adder import AdderTree, full_adder, ripple_carry_add
+from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+from repro.dwlogic.circle_adder import CircleAdder
+from repro.dwlogic.diode import DiodeDirectionError, DomainWallDiode
+from repro.dwlogic.duplicator import Duplicator
+from repro.dwlogic.gates import GateCounter
+from repro.dwlogic.multiplier import ShiftMultiplier
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_exhaustive(self, a, b, cin):
+        s, carry = full_adder(a, b, cin)
+        assert 2 * carry + s == a + b + cin
+
+    def test_gate_count_is_eleven_primitives(self):
+        counter = GateCounter()
+        full_adder(1, 1, 1, counter)
+        assert counter.total == 11  # 2 XOR (4 each) + 3 NAND
+
+
+class TestRippleCarry:
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_property_matches_integer_addition(self, a, b):
+        out = ripple_carry_add(int_to_bits(a, 12), int_to_bits(b, 12))
+        assert bits_to_int(out) == a + b
+
+    def test_unequal_widths_zero_extend(self):
+        out = ripple_carry_add(int_to_bits(3, 2), int_to_bits(200, 8))
+        assert bits_to_int(out) == 203
+
+    def test_carry_in(self):
+        out = ripple_carry_add(int_to_bits(1, 1), int_to_bits(1, 1), cin=1)
+        assert bits_to_int(out) == 3
+
+    def test_result_one_bit_wider(self):
+        out = ripple_carry_add(int_to_bits(255, 8), int_to_bits(255, 8))
+        assert len(out) == 9
+        assert bits_to_int(out) == 510
+
+    def test_rejects_empty_operands(self):
+        with pytest.raises(ValueError):
+            ripple_carry_add([], [])
+
+
+class TestAdderTree:
+    def test_depth_log2(self):
+        assert AdderTree(1).depth == 0
+        assert AdderTree(2).depth == 1
+        assert AdderTree(8).depth == 3
+        assert AdderTree(9).depth == 4
+
+    def test_adder_count(self):
+        assert AdderTree(8).adder_count == 7
+        assert AdderTree(1).adder_count == 0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=16
+        )
+    )
+    def test_property_sums_any_operand_count(self, values):
+        tree = AdderTree(len(values))
+        assert tree.sum_ints(values, width=8) == sum(values)
+
+    def test_odd_operand_counts(self):
+        tree = AdderTree(5)
+        assert tree.sum_ints([1, 2, 3, 4, 5], width=4) == 15
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(ValueError):
+            AdderTree(3).sum_bits([[1], [0]])
+
+    def test_rejects_zero_operands(self):
+        with pytest.raises(ValueError):
+            AdderTree(0)
+
+
+class TestDiode:
+    def test_forward_passes(self):
+        diode = DomainWallDiode(forward=1)
+        diode.propagate(1)
+        assert diode.pass_count == 1
+
+    def test_reverse_blocked(self):
+        diode = DomainWallDiode(forward=1)
+        with pytest.raises(DiodeDirectionError):
+            diode.propagate(-1)
+        assert diode.block_count == 1
+
+    def test_disabled_passes_both_ways(self):
+        diode = DomainWallDiode(forward=1, enabled=False)
+        diode.propagate(-1)
+        diode.propagate(1)
+        assert diode.pass_count == 2
+
+    def test_enable_disable_toggle(self):
+        diode = DomainWallDiode()
+        diode.disable()
+        assert diode.allows(-1)
+        diode.enable()
+        assert not diode.allows(-1)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            DomainWallDiode(forward=0)
+        with pytest.raises(ValueError):
+            DomainWallDiode().allows(2)
+
+
+class TestDuplicator:
+    def test_duplicate_preserves_original(self):
+        dup = Duplicator()
+        dup.load([1, 0, 1, 1])
+        replica = dup.duplicate()
+        assert replica == [1, 0, 1, 1]
+        assert dup.duplicate() == [1, 0, 1, 1]  # still loaded
+
+    def test_n_bit_multiplication_needs_n_duplications(self):
+        # Section III-C: "an n-bit scalar multiplication needs to perform
+        # duplication by n times".
+        dup = Duplicator()
+        dup.load(int_to_bits(0xA5, 8))
+        replicas = dup.duplicate_n(8)
+        assert len(replicas) == 8
+        assert dup.duplication_count == 8
+        assert dup.step_count == 8 * Duplicator.STEPS_PER_DUPLICATION
+
+    def test_drain_empties(self):
+        dup = Duplicator()
+        dup.load([1])
+        assert dup.drain() == [1]
+        assert not dup.loaded
+        with pytest.raises(RuntimeError):
+            dup.duplicate()
+
+    def test_duplicate_without_load_raises(self):
+        with pytest.raises(RuntimeError):
+            Duplicator().duplicate()
+
+    def test_load_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            Duplicator().load([0, 2])
+        with pytest.raises(ValueError):
+            Duplicator().load([])
+
+    def test_duplicate_n_rejects_negative(self):
+        dup = Duplicator()
+        dup.load([1])
+        with pytest.raises(ValueError):
+            dup.duplicate_n(-1)
+
+    def test_diode_used_on_return_path(self):
+        dup = Duplicator()
+        dup.load([1, 0])
+        dup.duplicate()
+        assert dup.diode.pass_count == 1
+
+
+class TestShiftMultiplier:
+    @pytest.mark.parametrize("a", [0, 1, 7, 15])
+    @pytest.mark.parametrize("b", [0, 1, 9, 15])
+    def test_exhaustive_4bit(self, a, b):
+        assert ShiftMultiplier(4).multiply(a, b) == a * b
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_property_8bit(self, a, b):
+        assert ShiftMultiplier(8).multiply(a, b) == a * b
+
+    def test_partial_products_shifted(self):
+        m = ShiftMultiplier(4)
+        products = m.partial_products(int_to_bits(3, 4), int_to_bits(5, 4))
+        values = [bits_to_int(p) for p in products]
+        assert values == [3, 0, 12, 0]  # 3*1, 3*0<<1, 3*1<<2, 3*0<<3
+
+    def test_counts_gates(self):
+        counter = GateCounter()
+        ShiftMultiplier(8).multiply(200, 100, counter)
+        assert counter.total > 0
+
+    def test_uses_duplicator_once_per_bit(self):
+        m = ShiftMultiplier(8)
+        m.multiply(3, 3)
+        assert m.duplicator.duplication_count == 8
+
+    def test_rejects_wrong_operand_width(self):
+        with pytest.raises(ValueError):
+            ShiftMultiplier(4).partial_products([1, 0], [1, 0, 0, 0])
+
+    def test_rejects_oversized_int(self):
+        with pytest.raises(ValueError):
+            ShiftMultiplier(4).multiply(16, 1)
+
+
+class TestCircleAdder:
+    def test_accumulates_stream(self):
+        circle = CircleAdder(16)
+        for value in (3, 9, 250):
+            circle.accumulate(value)
+        assert circle.value == 262
+
+    def test_dot_product_tail(self):
+        circle = CircleAdder(32)
+        products = [a * b for a, b in zip([3, 5, 7], [11, 13, 17])]
+        assert circle.dot_product_tail(products) == 3 * 11 + 5 * 13 + 7 * 17
+
+    def test_overflow_detected_not_wrapped(self):
+        circle = CircleAdder(4)
+        circle.accumulate(15)
+        with pytest.raises(OverflowError):
+            circle.accumulate(1)
+
+    def test_reset(self):
+        circle = CircleAdder(8)
+        circle.accumulate(200)
+        circle.reset()
+        assert circle.value == 0
+        assert circle.accumulate_count == 0
+
+    def test_four_steps_per_accumulation(self):
+        circle = CircleAdder(16)
+        circle.accumulate(1)
+        circle.accumulate(2)
+        assert circle.step_count == 2 * CircleAdder.STEPS_PER_ACCUMULATE
+        assert circle.diode.pass_count == 2
+
+    def test_add_once_bypasses_feedback(self):
+        # Section III-C: the circle adder doubles as a plain adder.
+        circle = CircleAdder(8)
+        out = circle.add_once(int_to_bits(100, 7), int_to_bits(55, 6))
+        assert bits_to_int(out) == 155
+        assert circle.value == 0  # accumulator untouched
+        assert circle.diode.pass_count == 0
+
+    def test_rejects_oversized_operand(self):
+        with pytest.raises(ValueError):
+            CircleAdder(4).accumulate_bits([0] * 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CircleAdder(8).accumulate(-1)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=65_025),  # 255*255
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_property_accumulation_matches_sum(self, products):
+        circle = CircleAdder(32)
+        assert circle.dot_product_tail(products) == sum(products)
+
+
+class TestTransverseReadAdder:
+    """The CORUSCANT-mechanism adder, for comparison with the DW one."""
+
+    @pytest.mark.parametrize("a", [0, 1, 127, 255])
+    @pytest.mark.parametrize("b", [0, 1, 128, 255])
+    def test_exhaustive_corners(self, a, b):
+        from repro.dwlogic.tr_adder import tr_add
+
+        assert tr_add(a, b) == a + b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_property_matches_integer_addition(self, a, b):
+        from repro.dwlogic.tr_adder import tr_add
+
+        assert tr_add(a, b) == a + b
+
+    def test_one_tr_per_bit(self):
+        from repro.dwlogic.tr_adder import TransverseReadAdder, TROpCounts
+
+        counts = TROpCounts()
+        TransverseReadAdder(8).add(5, 9, counts)
+        assert counts.transverse_reads == 8
+
+    def test_writes_dominate_the_op_mix(self):
+        """The CORUSCANT story in miniature: the sensing is cheap (n TR
+        ops) but the result write-back is as large — and writes cost
+        ~2.6x a read in time and ~3x in energy (Table III)."""
+        from repro.dwlogic.tr_adder import TransverseReadAdder, TROpCounts
+        from repro.rm.timing import RMTimingConfig
+
+        counts = TROpCounts()
+        TransverseReadAdder(8).add(200, 100, counts)
+        t = RMTimingConfig()
+        write_ns = counts.writes * t.write_ns
+        read_ns = counts.transverse_reads * t.read_ns
+        assert write_ns > 2 * read_ns
+
+    def test_reuse_across_additions(self):
+        from repro.dwlogic.tr_adder import TransverseReadAdder
+
+        adder = TransverseReadAdder(8)
+        assert adder.add(3, 4) == 7
+        assert adder.add(250, 250) == 500
+
+    def test_width_validated(self):
+        from repro.dwlogic.tr_adder import TransverseReadAdder
+
+        with pytest.raises(ValueError):
+            TransverseReadAdder(0)

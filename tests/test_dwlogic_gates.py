@@ -1,0 +1,135 @@
+"""Tests for domain-wall logic gates and bit utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dwlogic.bitutils import bit_width, bits_to_int, int_to_bits
+from repro.dwlogic.gates import (
+    GATE_COSTS,
+    GateCounter,
+    dw_and,
+    dw_nand,
+    dw_nor,
+    dw_not,
+    dw_or,
+    dw_xor,
+)
+
+BITS = [0, 1]
+
+
+class TestBitUtils:
+    @given(st.integers(min_value=0, max_value=2**30 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 30)) == value
+
+    def test_lsb_first(self):
+        assert int_to_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, 0)
+
+    def test_bits_to_int_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+
+    def test_bit_width(self):
+        assert bit_width(0) == 1
+        assert bit_width(1) == 1
+        assert bit_width(255) == 8
+        assert bit_width(256) == 9
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("a", BITS)
+    def test_not(self, a):
+        assert dw_not(a) == 1 - a
+
+    @pytest.mark.parametrize("a", BITS)
+    @pytest.mark.parametrize("b", BITS)
+    def test_nand(self, a, b):
+        assert dw_nand(a, b) == 1 - (a & b)
+
+    @pytest.mark.parametrize("a", BITS)
+    @pytest.mark.parametrize("b", BITS)
+    def test_nor(self, a, b):
+        assert dw_nor(a, b) == 1 - (a | b)
+
+    @pytest.mark.parametrize("a", BITS)
+    @pytest.mark.parametrize("b", BITS)
+    def test_and(self, a, b):
+        assert dw_and(a, b) == (a & b)
+
+    @pytest.mark.parametrize("a", BITS)
+    @pytest.mark.parametrize("b", BITS)
+    def test_or(self, a, b):
+        assert dw_or(a, b) == (a | b)
+
+    @pytest.mark.parametrize("a", BITS)
+    @pytest.mark.parametrize("b", BITS)
+    def test_xor(self, a, b):
+        assert dw_xor(a, b) == (a ^ b)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            dw_not(2)
+        with pytest.raises(ValueError):
+            dw_nand(0, 3)
+
+
+class TestGateCounting:
+    def test_primitive_gates_tick_once(self):
+        counter = GateCounter()
+        dw_not(1, counter)
+        dw_nand(0, 1, counter)
+        dw_nor(1, 1, counter)
+        assert counter.counts == {"not": 1, "nand": 1, "nor": 1}
+        assert counter.total == 3
+
+    def test_and_costs_two_primitives(self):
+        counter = GateCounter()
+        dw_and(1, 1, counter)
+        assert counter.total == GATE_COSTS["and"]
+
+    def test_xor_costs_four_nands(self):
+        counter = GateCounter()
+        dw_xor(1, 0, counter)
+        assert counter.counts == {"nand": 4}
+        assert counter.total == GATE_COSTS["xor"]
+
+    def test_merge(self):
+        a, b = GateCounter(), GateCounter()
+        dw_nand(1, 1, a)
+        dw_nand(1, 1, b)
+        dw_not(1, b)
+        a.merge(b)
+        assert a.counts == {"nand": 2, "not": 1}
+
+    def test_reset(self):
+        counter = GateCounter()
+        dw_not(0, counter)
+        counter.reset()
+        assert counter.total == 0
+
+    def test_tick_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GateCounter().tick("nand", -1)
+
+    def test_none_counter_is_fine(self):
+        # Gates work without instrumentation.
+        assert dw_xor(1, 1) == 0
+
+
+@given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=1))
+def test_property_de_morgan(a, b):
+    """NOT(a AND b) == (NOT a) OR (NOT b), built from DW primitives."""
+    assert dw_nand(a, b) == dw_or(dw_not(a), dw_not(b))

@@ -1,0 +1,86 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+Examples are part of the public surface; these tests execute each one
+in a subprocess so a refactor that breaks an example fails CI.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, args, expected output fragments, timeout seconds)
+CASES = [
+    ("quickstart.py", [], ["verified against numpy", "VPCs issued"], 120),
+    (
+        "domain_wall_logic.py",
+        [],
+        ["full adder", "201 * 57 = 11457", "pJ/gate"],
+        120,
+    ),
+    (
+        "expression_frontend.py",
+        [],
+        ["results verified against numpy", "lowered operations"],
+        120,
+    ),
+    (
+        "extended_arithmetic.py",
+        [],
+        ["250 / 7 = 35 remainder 5", "isqrt(3025) = 55"],
+        120,
+    ),
+    (
+        "optimization_ablation.py",
+        [],
+        ["Fig. 22", "Fig. 21", "speedup vs base"],
+        300,
+    ),
+    (
+        "dnn_inference.py",
+        [],
+        ["mlp", "bert", "e2e speedup"],
+        300,
+    ),
+    (
+        "unblock_timeline.py",
+        [],
+        ["unblock", "distribute", "prep"],
+        300,
+    ),
+    (
+        "polybench_comparison.py",
+        ["atax", "0.1"],
+        ["platform", "StPIM", "speedup"],
+        300,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args,fragments,timeout", CASES, ids=[c[0] for c in CASES]
+)
+def test_example_runs(script, args, fragments, timeout):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), script
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in fragments:
+        assert fragment in completed.stdout, (script, fragment)
+
+
+def test_every_example_has_a_smoke_test_or_is_heavy():
+    """Keep this list in sync with the examples directory."""
+    covered = {case[0] for case in CASES}
+    heavy = {"paper_figures.py"}  # minutes-long full-dimension sweeps
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == covered | heavy

@@ -1,0 +1,357 @@
+"""Tests for the section-VI extensions: divider, square root, floating
+point, the shift-fault reliability model, and the host-interface
+granularity analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rmbus import RMBusConfig
+from repro.dwlogic import (
+    BFLOAT16,
+    DWFloat,
+    DWFloatUnit,
+    FloatFormat,
+    GateCounter,
+    RestoringDivider,
+    SquareRootExtractor,
+)
+from repro.isa.granularity import (
+    CommandGranularity,
+    HostLinkModel,
+    compare_granularities,
+    profile_workload,
+)
+from repro.rm.faults import (
+    FaultInjector,
+    FaultyRacetrack,
+    ShiftFaultConfig,
+    ShiftFaultModel,
+)
+from repro.workloads import POLYBENCH
+from repro.workloads.spec import MatrixOp, MatrixOpKind, WorkloadSpec
+
+
+class TestRestoringDivider:
+    @pytest.mark.parametrize(
+        "dividend,divisor", [(200, 7), (255, 255), (0, 5), (13, 1), (1, 255)]
+    )
+    def test_examples(self, dividend, divisor):
+        q, r = RestoringDivider(8).divide(dividend, divisor)
+        assert (q, r) == divmod(dividend, divisor)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dividend=st.integers(0, 255),
+        divisor=st.integers(1, 255),
+    )
+    def test_property_matches_divmod(self, dividend, divisor):
+        q, r = RestoringDivider(8).divide(dividend, divisor)
+        assert (q, r) == divmod(dividend, divisor)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            RestoringDivider(8).divide(1, 0)
+
+    def test_one_step_per_bit(self):
+        assert RestoringDivider(8).steps == 8
+        assert RestoringDivider(16).steps == 16
+
+    def test_counts_gates(self):
+        counter = GateCounter()
+        RestoringDivider(8).divide(250, 3, counter)
+        assert counter.total > 0
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            RestoringDivider(8).divide_bits([1, 0], [1] * 8)
+
+    def test_wider_datapath(self):
+        q, r = RestoringDivider(16).divide(54_321, 123)
+        assert (q, r) == divmod(54_321, 123)
+
+
+class TestSquareRoot:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 4, 15, 16, 255, 65_535])
+    def test_examples(self, value):
+        assert SquareRootExtractor(16).isqrt(value) == math.isqrt(value)
+
+    @settings(max_examples=80, deadline=None)
+    @given(value=st.integers(0, 65_535))
+    def test_property_floor_sqrt(self, value):
+        assert SquareRootExtractor(16).isqrt(value) == math.isqrt(value)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(0, 65_535))
+    def test_property_remainder_invariant(self, value):
+        from repro.dwlogic.bitutils import bits_to_int, int_to_bits
+
+        extractor = SquareRootExtractor(16)
+        root_bits, rem_bits = extractor.isqrt_bits(int_to_bits(value, 16))
+        root, rem = bits_to_int(root_bits), bits_to_int(rem_bits)
+        assert root * root + rem == value
+
+    def test_one_step_per_bit_pair(self):
+        assert SquareRootExtractor(16).steps == 8
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            SquareRootExtractor(15)
+
+
+class TestFloatingPoint:
+    def test_format_properties(self):
+        assert BFLOAT16.bias == 127
+        assert BFLOAT16.total_bits == 16
+        with pytest.raises(ValueError):
+            FloatFormat(exponent_bits=1, mantissa_bits=4)
+
+    def test_roundtrip_exact_values(self):
+        for value in (0.0, 1.0, -2.5, 96.0, 0.125, -1024.0):
+            assert DWFloat.from_float(value).to_float() == value
+
+    def test_encoding_truncates(self):
+        encoded = DWFloat.from_float(1.0 + 1 / 512).to_float()
+        assert encoded == 1.0  # below bfloat16 mantissa resolution
+
+    def test_saturation(self):
+        huge = DWFloat.from_float(1e60)
+        assert huge.to_float() == float("inf")
+
+    def test_subnormals_flush(self):
+        assert DWFloat.from_float(1e-45).to_float() == 0.0
+
+    def test_exact_small_arithmetic(self):
+        unit = DWFloatUnit()
+        a, b = DWFloat.from_float(3.0), DWFloat.from_float(2.0)
+        assert unit.multiply(a, b).to_float() == 6.0
+        assert unit.add(a, b).to_float() == 5.0
+        assert unit.add(a, DWFloat.from_float(-3.0)).to_float() == 0.0
+
+    def test_signs(self):
+        unit = DWFloatUnit()
+        a = DWFloat.from_float(-4.0)
+        b = DWFloat.from_float(0.5)
+        assert unit.multiply(a, b).to_float() == -2.0
+        assert unit.add(a, b).to_float() == -3.5
+
+    def test_zero_operands(self):
+        unit = DWFloatUnit()
+        zero = DWFloat.from_float(0.0)
+        two = DWFloat.from_float(2.0)
+        assert unit.multiply(zero, two).is_zero
+        assert unit.add(zero, two).to_float() == 2.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        y=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+    def test_property_mul_relative_error_bounded(self, x, y):
+        unit = DWFloatUnit()
+        fx, fy = DWFloat.from_float(x), DWFloat.from_float(y)
+        reference = fx.to_float() * fy.to_float()
+        product = unit.multiply(fx, fy).to_float()
+        if reference == 0.0 or abs(reference) < 1e-30:
+            assert abs(product) < 1e-20
+        else:
+            assert abs(product - reference) / abs(reference) < 0.02
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        y=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+    def test_property_add_relative_error_bounded(self, x, y):
+        unit = DWFloatUnit()
+        fx, fy = DWFloat.from_float(x), DWFloat.from_float(y)
+        reference = fx.to_float() + fy.to_float()
+        total = unit.add(fx, fy).to_float()
+        if abs(reference) < 1e-2:
+            # Catastrophic cancellation region: absolute bound instead.
+            assert abs(total - reference) < 0.1
+        else:
+            assert abs(total - reference) / abs(reference) < 0.05
+
+
+class TestShiftFaultModel:
+    def test_probability_grows_with_distance(self):
+        model = ShiftFaultModel()
+        assert model.shift_fault_probability(1) < model.shift_fault_probability(
+            1024
+        )
+
+    def test_zero_distance_never_faults(self):
+        assert ShiftFaultModel().shift_fault_probability(0) == 0.0
+
+    def test_segmented_beats_monolithic(self):
+        """The section III-D claim: bounding shifts to one segment (with
+        per-segment guard checks) mitigates fault accumulation."""
+        model = ShiftFaultModel()
+        bus = RMBusConfig()
+        assert model.segmented_transfer_fault(
+            bus, 2000
+        ) < model.monolithic_transfer_fault(bus, 2000)
+        assert model.mitigation_factor(bus, 2000) > 10
+
+    def test_single_shift_risk_shrinks_with_segment(self):
+        """Restricting shift distance bounds the per-operation risk —
+        the section III-D rationale for one-segment shifts."""
+        model = ShiftFaultModel()
+        assert model.shift_fault_probability(
+            64
+        ) < model.shift_fault_probability(1024)
+
+    def test_all_table5_segments_reliable(self):
+        """Every Table V segment size keeps undetected transfer faults
+        rare (so reliability never constrains the segment-size choice)."""
+        model = ShiftFaultModel()
+        for segment in (64, 256, 512, 1024):
+            fault = model.segmented_transfer_fault(
+                RMBusConfig(segment_domains=segment), 2000
+            )
+            assert fault < 0.02, segment
+
+    def test_no_guard_no_mitigation_from_detection(self):
+        unguarded = ShiftFaultModel(ShiftFaultConfig(guard_detection=0.0))
+        guarded = ShiftFaultModel(ShiftFaultConfig(guard_detection=0.99))
+        bus = RMBusConfig()
+        assert unguarded.segmented_transfer_fault(
+            bus, 100
+        ) > guarded.segmented_transfer_fault(bus, 100)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShiftFaultConfig(p_per_step=1.0)
+        with pytest.raises(ValueError):
+            ShiftFaultConfig(guard_detection=1.5)
+        with pytest.raises(ValueError):
+            ShiftFaultModel().shift_fault_probability(-1)
+
+
+class TestFaultInjection:
+    def test_injector_deterministic_with_seed(self):
+        a = FaultInjector(ShiftFaultConfig(p_per_step=0.2), seed=9)
+        b = FaultInjector(ShiftFaultConfig(p_per_step=0.2), seed=9)
+        outcomes_a = [a.perturb(10) for _ in range(50)]
+        outcomes_b = [b.perturb(10) for _ in range(50)]
+        assert outcomes_a == outcomes_b
+
+    def test_zero_shift_never_perturbed(self):
+        injector = FaultInjector(ShiftFaultConfig(p_per_step=0.9), seed=1)
+        assert all(injector.perturb(0) == 0 for _ in range(20))
+
+    def test_high_rate_injects_faults(self):
+        injector = FaultInjector(ShiftFaultConfig(p_per_step=0.5), seed=2)
+        results = [injector.perturb(20) for _ in range(50)]
+        assert injector.injected > 0
+        assert any(r != 20 for r in results)
+
+    def test_faulty_track_tracks_misalignment(self):
+        track = FaultyRacetrack(
+            32,
+            ports=[16],
+            overhead=32,
+            injector=FaultInjector(ShiftFaultConfig(p_per_step=0.3), seed=3),
+        )
+        for _ in range(20):
+            track.shift(2)
+            track.shift(-2)
+        # With a 30% per-step rate, drift is overwhelmingly likely.
+        assert track.injector.injected > 0
+
+    def test_fault_free_track_stays_aligned(self):
+        track = FaultyRacetrack(
+            16,
+            ports=[8],
+            overhead=16,
+            injector=FaultInjector(ShiftFaultConfig(p_per_step=0.0)),
+        )
+        track.shift(5)
+        track.shift(-3)
+        assert not track.faulted
+        assert track.misalignment == 0
+
+    def test_misaligned_read_returns_wrong_bit(self):
+        """Failure injection end-to-end: a drifted wire mis-reads."""
+        config = ShiftFaultConfig(p_per_step=0.45)
+        for seed in range(40):
+            track = FaultyRacetrack(
+                16,
+                ports=[8],
+                overhead=32,
+                injector=FaultInjector(config, seed=seed),
+            )
+            track.load([1, 0] * 8)
+            track.shift(6)
+            track.shift(-6)
+            if track.faulted:
+                # The wire thinks bit 8 faces the port; with drift it
+                # actually reads a neighbour, whose value alternates.
+                assert track.read_at_port() in (0, 1)
+                assert track.misalignment != 0
+                return
+        pytest.fail("no fault injected across 40 seeds at 45% rate")
+
+
+class TestGranularity:
+    @pytest.fixture(scope="class")
+    def matmul_spec(self):
+        return WorkloadSpec(
+            "mm", [MatrixOp(MatrixOpKind.MATMUL, (100, 100, 100))]
+        )
+
+    def test_command_count_ordering(self, matmul_spec):
+        profiles = compare_granularities(matmul_spec)
+        scalar = profiles[CommandGranularity.SCALAR]
+        vector = profiles[CommandGranularity.VECTOR]
+        matrix = profiles[CommandGranularity.MATRIX]
+        assert scalar.commands > vector.commands > matrix.commands
+
+    def test_scalar_is_o_n_cubed(self, matmul_spec):
+        profile = profile_workload(matmul_spec, CommandGranularity.SCALAR)
+        # muls + adds of a 100^3 matmul.
+        assert profile.commands == 100**3 + 100 * 99 * 100
+
+    def test_vector_is_o_n_squared(self, matmul_spec):
+        profile = profile_workload(matmul_spec, CommandGranularity.VECTOR)
+        assert profile.commands == 2 * 100 * 100  # PIM + move VPCs
+
+    def test_matrix_is_one_command_per_op(self, matmul_spec):
+        profile = profile_workload(matmul_spec, CommandGranularity.MATRIX)
+        assert profile.commands == 1
+
+    def test_matrix_granularity_unit_blowup(self, matmul_spec):
+        """The paper's Omega(n^2) decoder-complexity argument."""
+        profiles = compare_granularities(matmul_spec)
+        assert (
+            profiles[CommandGranularity.MATRIX].max_units_per_command
+            >= 100 * 100
+        )
+        assert profiles[CommandGranularity.SCALAR].max_units_per_command == 2
+
+    def test_traffic_scales_with_commands(self, matmul_spec):
+        link = HostLinkModel()
+        profile = profile_workload(
+            matmul_spec, CommandGranularity.VECTOR, link
+        )
+        assert profile.traffic_bytes == profile.commands * (
+            link.command_bytes + link.response_bytes
+        )
+        assert profile.link_time_ns == pytest.approx(
+            profile.traffic_bytes / link.bandwidth_gbps
+        )
+
+    def test_polybench_profiles(self):
+        profiles = compare_granularities(POLYBENCH["gemm"])
+        vector = profiles[CommandGranularity.VECTOR]
+        pim, move = POLYBENCH["gemm"].vpc_counts()
+        assert vector.commands == pim + move
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            HostLinkModel(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            HostLinkModel(command_bytes=0)

@@ -1,0 +1,87 @@
+"""Tests for the ASCII figure helpers."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart({"StPIM": 39.1, "CPU-RM": 1.0}, unit="x")
+        assert "StPIM" in chart
+        assert "39.10x" in chart
+        assert "1.00x" in chart
+
+    def test_peak_gets_full_width(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert "█" * 10 in lines[0]
+
+    def test_title_and_baseline_marker(self):
+        chart = bar_chart(
+            {"a": 1.0, "b": 2.0}, title="T", reference="a"
+        )
+        assert chart.splitlines()[0] == "T"
+        assert "<- baseline" in chart
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.00" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_proportionality(self):
+        chart = bar_chart({"big": 40.0, "half": 20.0}, width=40)
+        lines = chart.splitlines()
+        big_cells = lines[0].count("█")
+        half_cells = lines[1].count("█")
+        assert big_cells == 40
+        assert 19 <= half_cells <= 21
+
+
+class TestGroupedChart:
+    def test_groups_rendered(self):
+        chart = grouped_bar_chart(
+            {"mlp": {"StPIM": 20.0}, "bert": {"StPIM": 4.5}}
+        )
+        assert "-- mlp" in chart
+        assert "-- bert" in chart
+
+    def test_global_scaling(self):
+        chart = grouped_bar_chart(
+            {"a": {"x": 10.0}, "b": {"y": 5.0}}, width=10
+        )
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([1, 2, 3, 4])
+        assert list(line) == sorted(line)
+
+    def test_peak_is_full_block(self):
+        assert sparkline([1, 10])[-1] == "█"
+
+    def test_all_zero(self):
+        assert sparkline([0, 0]) == "  "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([-1.0])

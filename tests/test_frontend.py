@@ -1,0 +1,179 @@
+"""Tests for the expression frontend (the section-VI compiler layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.frontend import (
+    Matrix,
+    Program,
+    Scalar,
+    Vector,
+    compile_program,
+)
+from repro.frontend.expr import Add, MatMul, Scale, Transpose
+from repro.workloads.generator import random_matrix
+
+
+@pytest.fixture
+def device(small_geometry, small_bus_config):
+    return StreamPIMDevice(
+        StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+    )
+
+
+class TestExpressions:
+    def test_shapes_infer_through_matmul(self):
+        A = Matrix("A", shape=(4, 6))
+        B = Matrix("B", shape=(6, 3))
+        assert (A @ B).shape == (4, 3)
+
+    def test_matvec_shape(self):
+        A = Matrix("A", shape=(4, 6))
+        x = Vector("x", length=6)
+        assert (A @ x).shape == (1, 4)
+
+    def test_transposed_matvec_shape(self):
+        A = Matrix("A", shape=(4, 6))
+        z = Vector("z", length=4)
+        assert (A.T @ z).shape == (1, 6)
+
+    def test_incompatible_matmul_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix("A", shape=(4, 6)) @ Matrix("B", shape=(5, 3))
+
+    def test_incompatible_add_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix("A", shape=(4, 6)) + Matrix("B", shape=(4, 5))
+
+    def test_scaling_by_int_makes_literal(self):
+        expr = 3 * Matrix("A", shape=(2, 2))
+        assert isinstance(expr, Scale)
+        assert expr.scalar.value == 3
+
+    def test_scaling_by_float_rejected(self):
+        with pytest.raises(TypeError):
+            1.5 * Matrix("A", shape=(2, 2))
+
+    def test_double_transpose_rejected(self):
+        A = Matrix("A", shape=(2, 3))
+        with pytest.raises(ValueError):
+            A.T.T
+
+    def test_vector_is_single_row(self):
+        v = Vector("v", np.array([1, 2, 3]))
+        assert v.shape == (1, 3)
+        assert v.is_vector
+
+    def test_matrix_needs_values_or_shape(self):
+        with pytest.raises(ValueError):
+            Matrix("A")
+
+    def test_add_non_expression_rejected(self):
+        with pytest.raises(TypeError):
+            Matrix("A", shape=(2, 2)) + 5
+
+
+class TestCompiler:
+    def test_gemm_formula(self, device, rng):
+        a = random_matrix(5, 4, rng)
+        b = random_matrix(4, 3, rng)
+        c = random_matrix(5, 3, rng)
+        A, B, C = Matrix("A", a), Matrix("B", b), Matrix("C", c)
+        alpha, beta = Scalar("alpha", 3), Scalar("beta", 2)
+        program = Program()
+        program.assign("G", alpha * (A @ B) + beta * C)
+        task = compile_program(program, device)
+        report = task.run()
+        assert np.array_equal(report.results["G"], 3 * (a @ b) + 2 * c)
+
+    def test_atax_formula(self, device, rng):
+        a = random_matrix(4, 5, rng)
+        x = random_matrix(1, 5, rng)[0]
+        A = Matrix("A", a)
+        program = Program()
+        program.assign("tmp", A @ Vector("x", x))
+        # Feed the result of one assignment into the next via a fresh
+        # reference by reusing the expression object.
+        program.assign("y", A.T @ (A @ Vector("x2", x)))
+        task = compile_program(program, device)
+        report = task.run()
+        assert np.array_equal(report.results["tmp"][0], a @ x)
+        assert np.array_equal(report.results["y"][0], a.T @ (a @ x))
+
+    def test_shared_leaf_registered_once(self, device, rng):
+        a = random_matrix(3, 3, rng)
+        A = Matrix("A", a)
+        program = Program()
+        program.assign("S", A + A)
+        task = compile_program(program, device)
+        report = task.run()
+        assert np.array_equal(report.results["S"], a + a)
+
+    def test_plain_copy_assignment(self, device, rng):
+        a = random_matrix(3, 4, rng)
+        program = Program()
+        program.assign("B", Matrix("A", a))
+        report = compile_program(program, device).run()
+        assert np.array_equal(report.results["B"], a)
+
+    def test_vector_ops_use_vector_taskops(self, device, rng):
+        from repro.core.task import TaskOp
+
+        x = Vector("x", random_matrix(1, 6, rng)[0])
+        y = Vector("y", random_matrix(1, 6, rng)[0])
+        program = Program()
+        program.assign("z", x + y)
+        task = compile_program(program, device)
+        assert task._operations[-1].op is TaskOp.VEC_ADD
+
+    def test_duplicate_assignment_rejected(self):
+        program = Program()
+        program.assign("A2", Matrix("A", shape=(2, 2)))
+        with pytest.raises(ValueError):
+            program.assign("A2", Matrix("B", shape=(2, 2)))
+
+    def test_duplicate_operand_name_rejected(self, device):
+        program = Program()
+        first = Matrix("A", shape=(2, 2))
+        second = Matrix("A", shape=(2, 2))  # same name, different object
+        program.assign("S", first + second)
+        with pytest.raises(ValueError):
+            compile_program(program, device)
+
+    def test_scalar_redefinition_rejected(self, device):
+        program = Program()
+        program.assign(
+            "S",
+            Scalar("k", 2) * Matrix("A", shape=(2, 2))
+            + Scalar("k", 3) * Matrix("B", shape=(2, 2)),
+        )
+        with pytest.raises(ValueError):
+            compile_program(program, device)
+
+    def test_bare_transpose_rejected(self):
+        program = Program()
+        with pytest.raises(NotImplementedError):
+            program.assign("At", Matrix("A", shape=(2, 3)).T)
+
+    def test_transpose_of_matrix_product_rejected(self, device):
+        program = Program()
+        program.assign(
+            "G",
+            Matrix("A", shape=(3, 3)).T @ Matrix("B", shape=(3, 3)),
+        )
+        with pytest.raises(NotImplementedError):
+            compile_program(program, device)
+
+    def test_empty_program_rejected(self, device):
+        with pytest.raises(ValueError):
+            compile_program(Program(), device)
+
+    def test_timing_only_shapes(self, device):
+        program = Program()
+        program.assign(
+            "C", Matrix("A", shape=(8, 8)) @ Matrix("B", shape=(8, 8))
+        )
+        report = compile_program(program, device).run(functional=False)
+        assert report.time_ns > 0
+        assert report.counts.pim_vpcs == 64

@@ -1,0 +1,110 @@
+"""Tests for the asynchronous VPC send-response protocol (Fig. 14)."""
+
+import pytest
+
+from repro.core.host_interface import (
+    HostProtocolConfig,
+    HostProtocolSimulator,
+    ProtocolStats,
+)
+from repro.isa.granularity import HostLinkModel
+from repro.isa.trace import VPCTrace
+from repro.isa.vpc import VPC
+from repro.rm.address import AddressMap
+
+
+@pytest.fixture(scope="module")
+def amap():
+    return AddressMap()
+
+
+def _trace_on_banks(amap, n_banks, count, size=64):
+    bases = [amap.subarray_base(b, 0) for b in range(n_banks)]
+    return VPCTrace(
+        [
+            VPC.mul(
+                bases[i % n_banks],
+                bases[i % n_banks] + 4 * size,
+                bases[i % n_banks] + 8 * size,
+                size,
+            )
+            for i in range(count)
+        ]
+    )
+
+
+class TestProtocol:
+    def test_all_commands_answered(self, amap):
+        trace = _trace_on_banks(amap, 4, 40)
+        stats = HostProtocolSimulator().simulate(trace)
+        assert stats.responses == stats.commands == 40
+
+    def test_multibank_overlap(self, amap):
+        """The async protocol's point: banks execute concurrently."""
+        trace = _trace_on_banks(amap, 8, 160)
+        eight = HostProtocolSimulator(
+            HostProtocolConfig(banks=8)
+        ).simulate(trace)
+        one = HostProtocolSimulator(
+            HostProtocolConfig(banks=1)
+        ).simulate(trace)
+        assert one.total_ns > 5 * eight.total_ns
+
+    def test_bounded_queue_backpressure(self, amap):
+        """A full VPC queue stalls the host (flow control)."""
+        trace = _trace_on_banks(amap, 1, 50)
+        stats = HostProtocolSimulator(
+            HostProtocolConfig(queue_depth=4, banks=1)
+        ).simulate(trace)
+        assert stats.peak_queue == 4
+        assert stats.host_stall_ns > 0
+
+    def test_deep_queue_avoids_stalls(self, amap):
+        trace = _trace_on_banks(amap, 8, 40)
+        stats = HostProtocolSimulator(
+            HostProtocolConfig(queue_depth=128, banks=8)
+        ).simulate(trace)
+        assert stats.host_stall_ns == 0.0
+
+    def test_vector_commands_leave_link_idle(self, amap):
+        """The granularity argument, dynamically: vector-sized VPCs make
+        the link a negligible fraction of the run."""
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [VPC.mul(base, base + 8000, base + 16000, 2000)] * 20
+        )
+        stats = HostProtocolSimulator().simulate(trace)
+        assert stats.link_utilisation < 0.01
+        assert stats.bottleneck == "execution"
+
+    def test_slow_link_becomes_bottleneck(self, amap):
+        """Starving the link flips the bottleneck classification."""
+        trace = _trace_on_banks(amap, 8, 100, size=1)
+        slow = HostLinkModel(bandwidth_gbps=0.01, decode_ns=10.0)
+        stats = HostProtocolSimulator(
+            HostProtocolConfig(link=slow, banks=8)
+        ).simulate(trace)
+        assert stats.bottleneck == "link"
+        assert stats.link_utilisation > stats.bank_utilisation
+
+    def test_bank_utilisation_bounded(self, amap):
+        trace = _trace_on_banks(amap, 2, 30)
+        stats = HostProtocolSimulator(
+            HostProtocolConfig(banks=2)
+        ).simulate(trace)
+        assert 0.0 < stats.bank_utilisation <= 1.0 + 1e-9
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            HostProtocolSimulator().simulate(VPCTrace())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HostProtocolConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            HostProtocolConfig(banks=0)
+
+    def test_stats_defaults(self):
+        stats = ProtocolStats()
+        assert stats.link_utilisation == 0.0
+        assert stats.bank_utilisation == 0.0

@@ -1,0 +1,179 @@
+"""Tests for the VPC instruction set, encoding, and traces."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import VPC_ENCODED_BYTES, decode_vpc, encode_vpc
+from repro.isa.trace import VPCTrace, read_trace, write_trace
+from repro.isa.vpc import BankCommand, BankOp, VPC, VPCOpcode
+
+
+class TestVPC:
+    def test_mul_constructor(self):
+        vpc = VPC.mul(0, 100, 200, 8)
+        assert vpc.opcode is VPCOpcode.MUL
+        assert vpc.operands == (0, 100)
+        assert vpc.is_compute
+
+    def test_tran_has_single_operand(self):
+        vpc = VPC.tran(5, 10, 4)
+        assert vpc.src2 is None
+        assert vpc.operands == (5,)
+        assert not vpc.is_compute
+
+    def test_tran_rejects_second_operand(self):
+        with pytest.raises(ValueError):
+            VPC(VPCOpcode.TRAN, 0, 1, 2, 3)
+
+    def test_compute_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            VPC(VPCOpcode.ADD, 0, None, 2, 3)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            VPC.add(0, 1, 2, 0)
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(ValueError):
+            VPC.mul(-1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            VPC.mul(0, -2, 0, 1)
+
+    @pytest.mark.parametrize(
+        "opcode,compute",
+        [
+            (VPCOpcode.MUL, True),
+            (VPCOpcode.SMUL, True),
+            (VPCOpcode.ADD, True),
+            (VPCOpcode.TRAN, False),
+        ],
+    )
+    def test_table2_opcodes(self, opcode, compute):
+        assert opcode.is_compute == compute
+
+
+class TestBankCommand:
+    def test_rw_classification(self):
+        vpc = VPC.mul(0, 1, 2, 4)
+        read = BankCommand(0, 0, BankOp.READ, vpc, 4)
+        compute = BankCommand(0, 0, BankOp.COMPUTE, vpc, 4)
+        assert read.uses_rw
+        assert not compute.uses_rw
+
+    def test_validation(self):
+        vpc = VPC.tran(0, 1, 2)
+        with pytest.raises(ValueError):
+            BankCommand(-1, 0, BankOp.READ, vpc, 1)
+        with pytest.raises(ValueError):
+            BankCommand(0, 0, BankOp.READ, vpc, 0)
+
+
+class TestEncoding:
+    def test_fixed_width(self):
+        assert len(encode_vpc(VPC.mul(1, 2, 3, 4))) == VPC_ENCODED_BYTES
+
+    @pytest.mark.parametrize(
+        "vpc",
+        [
+            VPC.mul(0, 1, 2, 3),
+            VPC.smul(10, 20, 30, 40),
+            VPC.add(2**39 - 2, 0, 7, 2000),
+            VPC.tran(123, 456, 789),
+        ],
+    )
+    def test_roundtrip_examples(self, vpc):
+        assert decode_vpc(encode_vpc(vpc)) == vpc
+
+    @given(
+        opcode=st.sampled_from(list(VPCOpcode)),
+        src1=st.integers(min_value=0, max_value=2**39),
+        src2=st.integers(min_value=0, max_value=2**39),
+        des=st.integers(min_value=0, max_value=2**39),
+        size=st.integers(min_value=1, max_value=2**39),
+    )
+    def test_property_roundtrip(self, opcode, src1, src2, des, size):
+        if opcode is VPCOpcode.TRAN:
+            vpc = VPC.tran(src1, des, size)
+        else:
+            vpc = VPC(opcode, src1, src2, des, size)
+        assert decode_vpc(encode_vpc(vpc)) == vpc
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_vpc(b"\x01")
+
+    def test_decode_rejects_unknown_opcode(self):
+        packet = bytearray(encode_vpc(VPC.mul(0, 0, 0, 1)))
+        packet[0] = 0xFF
+        with pytest.raises(ValueError):
+            decode_vpc(bytes(packet))
+
+    def test_encode_rejects_oversized_field(self):
+        with pytest.raises(ValueError):
+            encode_vpc(VPC.mul(2**41, 0, 0, 1))
+
+
+class TestTrace:
+    def test_stats_separate_pim_and_move(self):
+        trace = VPCTrace(
+            [VPC.mul(0, 1, 2, 10), VPC.tran(0, 1, 5), VPC.add(0, 1, 2, 3)]
+        )
+        stats = trace.stats
+        assert stats.pim_vpcs == 2
+        assert stats.move_vpcs == 1
+        assert stats.total_vpcs == 3
+        assert stats.elements_processed == 13
+        assert stats.elements_moved == 5
+
+    def test_incremental_append(self):
+        trace = VPCTrace()
+        trace.append(VPC.tran(0, 1, 2))
+        trace.extend([VPC.mul(0, 1, 2, 3)])
+        assert len(trace) == 2
+        assert trace[0].opcode is VPCOpcode.TRAN
+
+    def test_append_rejects_non_vpc(self):
+        with pytest.raises(TypeError):
+            VPCTrace().append("MUL 0 1 2 3")
+
+    def test_filtered_iterators(self):
+        trace = VPCTrace([VPC.tran(0, 1, 2), VPC.mul(0, 1, 2, 3)])
+        assert all(v.is_compute for v in trace.compute_vpcs())
+        assert all(not v.is_compute for v in trace.move_vpcs())
+
+    def test_text_roundtrip(self):
+        trace = VPCTrace(
+            [
+                VPC.mul(1, 2, 3, 4),
+                VPC.smul(5, 6, 7, 8),
+                VPC.add(9, 10, 11, 12),
+                VPC.tran(13, 14, 15),
+            ]
+        )
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        assert list(loaded) == list(trace)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        trace = VPCTrace([VPC.tran(0, 1, 2)])
+        write_trace(trace, path)
+        assert list(read_trace(path)) == list(trace)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# header\n\nMUL 1 2 3 4\n  \n"
+        loaded = read_trace(io.StringIO(text))
+        assert len(loaded) == 1
+
+    def test_malformed_line_reports_position(self):
+        text = "MUL 1 2 3 4\nBOGUS 1 2\n"
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(io.StringIO(text))
+
+    def test_tran_field_count_enforced(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("TRAN 1 2 3 4\n"))

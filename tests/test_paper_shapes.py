@@ -1,0 +1,323 @@
+"""Integration tests: the paper's headline result shapes must hold.
+
+These run the full evaluation pipeline at paper-scale dimensions (the
+analytic execution mode makes this feasible) and assert the qualitative
+conclusions of every evaluation figure: who wins, by roughly what factor,
+and where behaviour saturates.  Exact factors are checked against the
+paper's numbers with generous tolerances — the substrate is a simulator,
+not the authors' testbed, so the *shape* is the contract.
+"""
+
+import pytest
+
+from repro.analysis.endtoend import end_to_end_speedup
+from repro.baselines import default_platforms
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.core.device import StreamPIMConfig
+from repro.core.rmbus import RMBusConfig
+from repro.core.scheduler import SchedulerPolicy
+from repro.rm.address import DeviceGeometry
+from repro.workloads import DNN_WORKLOADS, POLYBENCH
+
+WORKLOADS = list(POLYBENCH)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """All platforms x all PolyBench workloads at paper dimensions."""
+    platforms = default_platforms()
+    return {
+        name: {w: platform.run(POLYBENCH[w]) for w in WORKLOADS}
+        for name, platform in platforms.items()
+    }
+
+
+def _avg_speedup(results, platform, baseline="CPU-RM"):
+    ratios = [
+        results[baseline][w].time_ns / results[platform][w].time_ns
+        for w in WORKLOADS
+    ]
+    return sum(ratios) / len(ratios)
+
+
+class TestFig17OverallPerformance:
+    def test_platform_ordering(self, results):
+        """StPIM > CORUSCANT > StPIM-e > FELIX > ELP2IM > CPU-DRAM."""
+        order = [
+            _avg_speedup(results, p)
+            for p in ("CPU-DRAM", "ELP2IM", "FELIX", "CORUSCANT", "StPIM")
+        ]
+        assert order == sorted(order)
+
+    def test_stpim_near_39x(self, results):
+        assert _avg_speedup(results, "StPIM") == pytest.approx(39.1, rel=0.25)
+
+    def test_stpim_e_near_12_7x(self, results):
+        assert _avg_speedup(results, "StPIM-e") == pytest.approx(
+            12.7, rel=0.25
+        )
+
+    def test_coruscant_near_15_6x(self, results):
+        assert _avg_speedup(results, "CORUSCANT") == pytest.approx(
+            15.6, rel=0.25
+        )
+
+    def test_elp2im_near_3_6x(self, results):
+        assert _avg_speedup(results, "ELP2IM") == pytest.approx(3.6, rel=0.25)
+
+    def test_felix_near_8_7x(self, results):
+        assert _avg_speedup(results, "FELIX") == pytest.approx(8.7, rel=0.25)
+
+    def test_cpu_dram_near_1_5x(self, results):
+        assert _avg_speedup(results, "CPU-DRAM") == pytest.approx(
+            1.5, rel=0.15
+        )
+
+    def test_stpim_beats_stpim_e_by_about_3x(self, results):
+        ratio = _avg_speedup(results, "StPIM") / _avg_speedup(
+            results, "StPIM-e"
+        )
+        assert ratio == pytest.approx(3.1, rel=0.25)
+
+    def test_stpim_beats_coruscant_on_every_workload(self, results):
+        for w in WORKLOADS:
+            assert (
+                results["StPIM"][w].time_ns < results["CORUSCANT"][w].time_ns
+            ), w
+
+
+class TestFig18Energy:
+    def _energy_ratio(self, results, platform):
+        ratios = [
+            results[platform][w].energy.total_pj
+            / results["StPIM"][w].energy.total_pj
+            for w in WORKLOADS
+        ]
+        return sum(ratios) / len(ratios)
+
+    def test_cpu_dram_near_58x(self, results):
+        assert self._energy_ratio(results, "CPU-DRAM") == pytest.approx(
+            58.4, rel=0.25
+        )
+
+    def test_cpu_rm_close_to_cpu_dram(self, results):
+        """Fig. 18: the two CPU platforms consume similar energy."""
+        rm = self._energy_ratio(results, "CPU-RM")
+        dram = self._energy_ratio(results, "CPU-DRAM")
+        assert abs(rm - dram) / dram < 0.15
+
+    def test_elp2im_near_11_7x(self, results):
+        assert self._energy_ratio(results, "ELP2IM") == pytest.approx(
+            11.7, rel=0.3
+        )
+
+    def test_felix_near_3_5x(self, results):
+        assert self._energy_ratio(results, "FELIX") == pytest.approx(
+            3.5, rel=0.3
+        )
+
+    def test_coruscant_near_2_8x(self, results):
+        assert self._energy_ratio(results, "CORUSCANT") == pytest.approx(
+            2.8, rel=0.35
+        )
+
+    def test_stpim_e_worse_than_stpim(self, results):
+        assert self._energy_ratio(results, "StPIM-e") == pytest.approx(
+            1.6, rel=0.5
+        )
+
+    def test_stpim_uses_least_energy_everywhere(self, results):
+        for platform in results:
+            if platform == "StPIM":
+                continue
+            for w in WORKLOADS:
+                assert (
+                    results[platform][w].energy.total_pj
+                    > results["StPIM"][w].energy.total_pj
+                ), (platform, w)
+
+
+class TestFig19And20Breakdowns:
+    def test_coruscant_transfer_dominated_time(self, results):
+        """Fig. 19: CORUSCANT spends most time on data transfer."""
+        shares = [
+            results["CORUSCANT"][w].time_breakdown.transfer_ns
+            / results["CORUSCANT"][w].time_breakdown.total_ns
+            for w in WORKLOADS
+        ]
+        assert sum(shares) / len(shares) > 0.6
+
+    def test_stpim_hides_transfer_time(self, results):
+        """Fig. 19: StPIM's exclusive transfer time is below ~1%."""
+        for w in WORKLOADS:
+            b = results["StPIM"][w].time_breakdown
+            assert b.transfer_ns / b.total_ns < 0.02, w
+
+    def test_coruscant_transfer_dominated_energy(self, results):
+        """Fig. 20: ~86% of CORUSCANT's energy is data transfer."""
+        shares = [
+            results["CORUSCANT"][w].energy.transfer_pj
+            / results["CORUSCANT"][w].energy.total_pj
+            for w in WORKLOADS
+        ]
+        assert sum(shares) / len(shares) == pytest.approx(0.86, abs=0.08)
+
+    def test_stpim_transfer_energy_modest(self, results):
+        """Fig. 20: StPIM's transfer energy drops to roughly 30%."""
+        shares = [
+            results["StPIM"][w].energy.transfer_pj
+            / results["StPIM"][w].energy.total_pj
+            for w in WORKLOADS
+        ]
+        assert sum(shares) / len(shares) < 0.55
+
+
+class TestFig21SubarrayScaling:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        times = {}
+        for count in (128, 256, 512, 1024):
+            geometry = DeviceGeometry().with_pim_subarrays(count)
+            platform = StreamPIMPlatform(StreamPIMConfig(geometry=geometry))
+            times[count] = {
+                w: platform.run(POLYBENCH[w]).time_ns for w in WORKLOADS
+            }
+        return times
+
+    def _gain(self, scaling, count):
+        return sum(
+            scaling[128][w] / scaling[count][w] for w in WORKLOADS
+        ) / len(WORKLOADS)
+
+    def test_monotone_up_to_512(self, scaling):
+        assert 1.0 < self._gain(scaling, 256) < self._gain(scaling, 512)
+
+    def test_256_gain_near_paper(self, scaling):
+        assert self._gain(scaling, 256) == pytest.approx(1.74, rel=0.2)
+
+    def test_512_gain_near_paper(self, scaling):
+        assert self._gain(scaling, 512) == pytest.approx(3.0, rel=0.3)
+
+    def test_saturates_at_1024(self, scaling):
+        """Paper: 512 -> 1024 adds little (3.0x -> 3.2x)."""
+        gain_512 = self._gain(scaling, 512)
+        gain_1024 = self._gain(scaling, 1024)
+        assert gain_1024 < 1.35 * gain_512
+
+
+class TestFig22Optimisations:
+    @pytest.fixture(scope="class")
+    def by_policy(self):
+        times = {}
+        for policy in SchedulerPolicy:
+            platform = StreamPIMPlatform(
+                StreamPIMConfig(scheduler_policy=policy)
+            )
+            times[policy] = {
+                w: platform.run(POLYBENCH[w]).time_ns for w in WORKLOADS
+            }
+        return times
+
+    def _gain(self, by_policy, policy):
+        base = by_policy[SchedulerPolicy.BASE]
+        return sum(
+            base[w] / by_policy[policy][w] for w in WORKLOADS
+        ) / len(WORKLOADS)
+
+    def test_distribute_order_of_magnitude(self, by_policy):
+        """Paper: distribute ~7.1x over base."""
+        gain = self._gain(by_policy, SchedulerPolicy.DISTRIBUTE)
+        assert 4.0 < gain < 25.0
+
+    def test_unblock_near_200x(self, by_policy):
+        gain = self._gain(by_policy, SchedulerPolicy.UNBLOCK)
+        assert gain == pytest.approx(199.7, rel=0.3)
+
+    def test_strict_ordering(self, by_policy):
+        d = self._gain(by_policy, SchedulerPolicy.DISTRIBUTE)
+        u = self._gain(by_policy, SchedulerPolicy.UNBLOCK)
+        assert 1.0 < d < u
+
+
+class TestFig23EndToEnd:
+    @pytest.fixture(scope="class")
+    def dnn(self):
+        platforms = default_platforms()
+        cpu = platforms["CPU-DRAM"]
+        out = {}
+        for wname, spec in DNN_WORKLOADS.items():
+            cpu_stats = cpu.run(spec)
+            out[wname] = {
+                p: end_to_end_speedup(
+                    platforms[p], cpu, spec, cpu_stats=cpu_stats
+                )
+                for p in ("StPIM", "CORUSCANT", "StPIM-e", "FELIX", "ELP2IM")
+            }
+        return out
+
+    def test_mlp_much_faster_than_bert(self, dnn):
+        """Paper: MLP 54.77x vs BERT 4.49x — nonlinear layers cap BERT."""
+        assert (
+            dnn["mlp"]["StPIM"].speedup_vs_cpu
+            > 3 * dnn["bert"]["StPIM"].speedup_vs_cpu
+        )
+
+    def test_bert_speedup_near_paper(self, dnn):
+        assert dnn["bert"]["StPIM"].speedup_vs_cpu == pytest.approx(
+            4.49, rel=0.25
+        )
+
+    def test_mlp_stpim_beats_coruscant_by_about_2x(self, dnn):
+        ratio = (
+            dnn["mlp"]["StPIM"].speedup_vs_cpu
+            / dnn["mlp"]["CORUSCANT"].speedup_vs_cpu
+        )
+        assert ratio == pytest.approx(1.86, rel=0.35)
+
+    def test_stpim_wins_on_both_dnns(self, dnn):
+        for wname in ("mlp", "bert"):
+            best = max(
+                dnn[wname].values(), key=lambda r: r.speedup_vs_cpu
+            )
+            assert best.platform == "StPIM", wname
+
+
+class TestTableVSegmentSize:
+    @pytest.fixture(scope="class")
+    def by_segment(self):
+        out = {}
+        for segment in (64, 256, 512, 1024):
+            platform = StreamPIMPlatform(
+                StreamPIMConfig(bus=RMBusConfig(segment_domains=segment))
+            )
+            stats = [platform.run(POLYBENCH[w]) for w in WORKLOADS]
+            out[segment] = (
+                sum(s.time_ns for s in stats),
+                sum(s.energy.total_pj for s in stats),
+            )
+        return out
+
+    def test_time_overhead_small_and_monotone(self, by_segment):
+        """Table V: shrinking segments costs at most a few % time."""
+        t1024 = by_segment[1024][0]
+        overheads = {
+            seg: by_segment[seg][0] / t1024 - 1.0 for seg in (64, 256, 512)
+        }
+        assert 0.0 <= overheads[512] <= overheads[256] <= overheads[64]
+        assert overheads[64] < 0.05
+
+    def test_energy_nearly_flat(self, by_segment):
+        e1024 = by_segment[1024][1]
+        for seg in (64, 256, 512):
+            assert abs(by_segment[seg][1] / e1024 - 1.0) < 0.01
+
+
+class TestTableIVCounts:
+    def test_stpim_run_reports_match_closed_form(self):
+        platform = StreamPIMPlatform()
+        for name in ("gemm", "atax", "mvt"):
+            spec = POLYBENCH[name]
+            stats = platform.run(spec)
+            pim, move = spec.vpc_counts()
+            assert stats.counters["pim_vpcs"] == pim
+            assert stats.counters["move_vpcs"] == move

@@ -1,0 +1,100 @@
+"""Tests for the redundancy / error-tolerance models (section VI)."""
+
+import pytest
+
+from repro.core.redundancy import (
+    RedundancyAnalysis,
+    RedundancyConfig,
+    RedundancyMode,
+)
+from repro.rm.faults import ShiftFaultConfig
+
+WORDS = 2000
+
+
+def _analysis(mode, **kwargs):
+    return RedundancyAnalysis(RedundancyConfig(mode=mode, **kwargs))
+
+
+class TestTransferFaults:
+    def test_guard_retry_reduces_undetected_faults(self):
+        unprotected = _analysis(RedundancyMode.NONE).transfer_fault(WORDS)
+        guarded = _analysis(RedundancyMode.GUARD_RETRY).transfer_fault(WORDS)
+        assert guarded < unprotected / 10
+
+    def test_tmr_keeps_transfer_protection(self):
+        guarded = _analysis(RedundancyMode.GUARD_RETRY)
+        tmr = _analysis(RedundancyMode.GUARD_RETRY_TMR)
+        assert tmr.transfer_fault(WORDS) == pytest.approx(
+            guarded.transfer_fault(WORDS)
+        )
+
+
+class TestComputeFaults:
+    def test_tmr_squares_the_upset_rate(self):
+        single = _analysis(RedundancyMode.GUARD_RETRY).compute_fault()
+        voted = _analysis(RedundancyMode.GUARD_RETRY_TMR).compute_fault()
+        assert voted < single / 1000
+
+    def test_total_combines_both_sources(self):
+        report = _analysis(RedundancyMode.GUARD_RETRY).report(WORDS)
+        assert report.total_undetected >= report.undetected_transfer_fault
+        assert report.total_undetected >= report.residual_compute_fault
+
+
+class TestOverheads:
+    def test_unprotected_has_no_time_overhead(self):
+        assert _analysis(RedundancyMode.NONE).time_overhead(WORDS) == 0.0
+
+    def test_retry_overhead_small(self):
+        overhead = _analysis(RedundancyMode.GUARD_RETRY).time_overhead(WORDS)
+        assert 0.0 < overhead < 0.01
+
+    def test_retry_overhead_scales_with_fault_rate(self):
+        noisy = RedundancyAnalysis(
+            RedundancyConfig(mode=RedundancyMode.GUARD_RETRY),
+            faults=ShiftFaultConfig(p_per_step=1e-5),
+        )
+        quiet = _analysis(RedundancyMode.GUARD_RETRY)
+        assert noisy.time_overhead(WORDS) > quiet.time_overhead(WORDS)
+
+    def test_tmr_area_small_because_processor_is_tiny(self):
+        """Section V-G: the processor is 0.1% of the device, so even
+        triplicating it costs well under 1% of area."""
+        overhead = _analysis(RedundancyMode.GUARD_RETRY_TMR).area_overhead()
+        assert 0.0 < overhead < 0.01
+
+    def test_spares_add_area(self):
+        none = _analysis(
+            RedundancyMode.GUARD_RETRY, spare_tracks_per_mat=0
+        ).area_overhead()
+        spares = _analysis(
+            RedundancyMode.GUARD_RETRY, spare_tracks_per_mat=16
+        ).area_overhead()
+        assert spares > none
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RedundancyConfig(retry_cycles=-1)
+        with pytest.raises(ValueError):
+            RedundancyConfig(processor_upset_probability=1.0)
+        with pytest.raises(ValueError):
+            RedundancyConfig(spare_tracks_per_mat=-1)
+
+
+class TestReport:
+    def test_report_fields_populated(self):
+        report = _analysis(RedundancyMode.GUARD_RETRY_TMR).report(WORDS)
+        assert report.mode is RedundancyMode.GUARD_RETRY_TMR
+        assert report.expected_time_overhead > 0
+        assert report.area_overhead > 0
+
+    def test_protection_ordering_across_modes(self):
+        reports = {
+            mode: _analysis(mode).report(WORDS) for mode in RedundancyMode
+        }
+        assert (
+            reports[RedundancyMode.GUARD_RETRY_TMR].total_undetected
+            < reports[RedundancyMode.GUARD_RETRY].total_undetected
+            < reports[RedundancyMode.NONE].total_undetected
+        )

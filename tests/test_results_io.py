@@ -1,0 +1,92 @@
+"""Tests for results archiving (JSON serialisation of RunStats)."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.results_io import (
+    load_results,
+    save_results,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.baselines import CpuRM, StreamPIMPlatform
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.workloads import polybench_workload
+
+
+def _stats():
+    stats = RunStats(
+        platform="StPIM",
+        workload="gemm",
+        time_ns=123.5,
+        time_breakdown=TimeBreakdown(process_ns=100.0, overlapped_ns=23.5),
+        energy=EnergyBreakdown(compute_pj=7.0, shift_pj=3.0),
+    )
+    stats.bump("pim_vpcs", 42)
+    return stats
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = _stats()
+        restored = stats_from_dict(stats_to_dict(original))
+        assert restored.platform == original.platform
+        assert restored.workload == original.workload
+        assert restored.time_ns == original.time_ns
+        assert restored.time_breakdown.process_ns == 100.0
+        assert restored.energy.compute_pj == 7.0
+        assert restored.counters == {"pim_vpcs": 42}
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            stats_from_dict({"platform": "X"})
+
+    def test_dict_is_json_safe(self):
+        json.dumps(stats_to_dict(_stats()))
+
+
+class TestFileRoundtrip:
+    def test_matrix_roundtrip(self, tmp_path):
+        results = {"StPIM": {"gemm": _stats()}}
+        path = tmp_path / "results.json"
+        save_results(results, path, label="unit test")
+        loaded = load_results(path)
+        assert loaded["StPIM"]["gemm"].time_ns == 123.5
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        save_results({"A": {"w": _stats()}}, buffer)
+        buffer.seek(0)
+        loaded = load_results(buffer)
+        assert loaded["A"]["w"].counters["pim_vpcs"] == 42
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "results": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_results(str(path))
+
+    def test_real_run_archives(self, tmp_path):
+        """A real platform sweep archives and reloads losslessly."""
+        spec = polybench_workload("atax", scale=0.05)
+        results = {
+            platform.name: {spec.name: platform.run(spec)}
+            for platform in (CpuRM(), StreamPIMPlatform())
+        }
+        path = tmp_path / "sweep.json"
+        save_results(results, path, label="atax@0.05")
+        loaded = load_results(path)
+        for platform, by_workload in results.items():
+            for workload, stats in by_workload.items():
+                restored = loaded[platform][workload]
+                assert restored.time_ns == pytest.approx(stats.time_ns)
+                assert restored.energy.total_pj == pytest.approx(
+                    stats.energy.total_pj
+                )
+        # Derived quantities survive the roundtrip.
+        speedup = loaded["CPU-RM"]["atax"].time_ns / loaded["StPIM"][
+            "atax"
+        ].time_ns
+        assert speedup > 1.0

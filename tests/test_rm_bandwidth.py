@@ -1,0 +1,50 @@
+"""Tests tying the CPU-RM bandwidth constant to the RM substrate."""
+
+import pytest
+
+from repro.baselines.cpu import CPU_RM_CONFIG
+from repro.dram import DDR4_2400
+from repro.rm.bandwidth import (
+    interleaved_bandwidth_gbps,
+    random_jump_bandwidth_gbps,
+    sequential_bandwidth_gbps,
+)
+from repro.rm.device import RMDevice
+
+
+class TestRMBandwidth:
+    def test_interleaving_multiplies_throughput(self):
+        single = sequential_bandwidth_gbps(accesses=32)
+        interleaved = interleaved_bandwidth_gbps(accesses=32, subarrays=8)
+        assert interleaved > 4 * single
+
+    def test_random_slower_than_streaming(self):
+        assert random_jump_bandwidth_gbps() < sequential_bandwidth_gbps()
+
+    def test_cpu_rm_constant_bracketed(self):
+        """The analytic CPU-RM bandwidth (1.7 GB/s) lies between one
+        subarray's streaming rate and an 8-way interleaved stream —
+        partial interleaving, as mixed PolyBench access patterns get."""
+        single = sequential_bandwidth_gbps(accesses=64)
+        interleaved = interleaved_bandwidth_gbps(accesses=64, subarrays=8)
+        assert single < CPU_RM_CONFIG.memory_bandwidth_gbps <= interleaved * 1.1
+
+    def test_rm_slower_than_dram_streaming(self):
+        """Fig. 17's CPU-DRAM > CPU-RM ordering comes from the
+        substrates: RM's shift-before-access throttles streaming."""
+        rm = interleaved_bandwidth_gbps(accesses=32, subarrays=8)
+        assert rm < DDR4_2400.peak_bandwidth_gbps / 2
+
+    def test_measurement_charges_real_shifts(self):
+        device = RMDevice()
+        sequential_bandwidth_gbps(device, accesses=8)
+        assert device.energy.n_shifts > 0
+        assert device.energy.n_reads == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_bandwidth_gbps(accesses=0)
+        with pytest.raises(ValueError):
+            interleaved_bandwidth_gbps(subarrays=0)
+        with pytest.raises(ValueError):
+            sequential_bandwidth_gbps(words_per_access=0)

@@ -1,0 +1,274 @@
+"""Tests for subarray, bank, address map and whole-device hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rm.address import AddressMap, DeviceGeometry, PhysicalAddress
+from repro.rm.bank import Bank, BankConfig
+from repro.rm.device import RMDevice
+from repro.rm.subarray import Subarray, SubarrayConfig
+
+
+class TestSubarray:
+    def test_capacity(self, small_geometry):
+        sub_cfg = small_geometry.bank.subarray
+        assert sub_cfg.capacity_bytes == (
+            sub_cfg.mats * sub_cfg.mat.capacity_bytes
+        )
+
+    def test_pim_mats_have_transfer_tracks(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        assert sub.mat(0).config.transfer_tracks > 0
+        assert sub.mat(1).config.transfer_tracks == 0
+
+    def test_pim_capable_flag(self, small_geometry):
+        assert Subarray(small_geometry.bank.subarray).pim_capable
+        plain = SubarrayConfig(
+            mats=2, pim_mats=0, mat=small_geometry.bank.subarray.mat
+        )
+        assert not Subarray(plain).pim_capable
+
+    def test_mat_index_validated(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        with pytest.raises(IndexError):
+            sub.mat(sub.config.mats)
+
+    def test_rejects_more_pim_mats_than_mats(self, small_mat_config):
+        with pytest.raises(ValueError):
+            SubarrayConfig(mats=2, pim_mats=3, mat=small_mat_config)
+
+    def test_row_buffer_hit_miss(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        assert not sub.activate_row(5)
+        assert sub.activate_row(5)
+        assert not sub.activate_row(6)
+        sub.precharge()
+        assert sub.open_row is None
+
+    def test_busy_ledger_serialises(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        finish = sub.occupy(0.0, 100.0, "pim")
+        assert finish == 100.0
+        # A later request starting "now" is pushed back.
+        finish2 = sub.occupy(50.0, 10.0, "rw")
+        assert finish2 == 110.0
+
+    def test_occupy_rejects_unknown_kind(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        with pytest.raises(ValueError):
+            sub.occupy(0.0, 1.0, "dma")
+
+    def test_release_marks_idle(self, small_geometry):
+        sub = Subarray(small_geometry.bank.subarray)
+        sub.occupy(0.0, 10.0, "pim")
+        sub.release_at(5.0)
+        assert sub.activity == "pim"
+        sub.release_at(10.0)
+        assert sub.activity == "idle"
+
+
+class TestBank:
+    def test_lazy_subarrays(self, small_geometry):
+        bank = Bank(
+            BankConfig(
+                subarrays=4,
+                subarray=small_geometry.bank.subarray,
+                pim_bank=True,
+            )
+        )
+        assert list(bank.iter_instantiated()) == []
+        bank.subarray(2)
+        assert len(list(bank.iter_instantiated())) == 1
+
+    def test_memory_bank_subarrays_not_pim(self, small_geometry):
+        bank = Bank(
+            BankConfig(
+                subarrays=2,
+                subarray=small_geometry.bank.subarray,
+                pim_bank=False,
+            )
+        )
+        assert bank.pim_subarrays == 0
+        assert not bank.subarray(0).pim_capable
+
+    def test_global_row_buffer(self, small_geometry):
+        bank = Bank(BankConfig(subarrays=2, subarray=small_geometry.bank.subarray))
+        assert not bank.activate_global_row(3)
+        assert bank.activate_global_row(3)
+        bank.precharge_global()
+        assert bank.global_open_row is None
+
+    def test_subarray_index_validated(self, small_geometry):
+        bank = Bank(BankConfig(subarrays=2, subarray=small_geometry.bank.subarray))
+        with pytest.raises(IndexError):
+            bank.subarray(2)
+
+
+class TestDeviceGeometry:
+    def test_paper_defaults(self):
+        geo = DeviceGeometry()
+        assert geo.banks == 32
+        assert geo.pim_banks == 8
+        assert geo.subarrays_per_bank == 64
+        assert geo.pim_subarrays == 512
+        assert geo.total_subarrays == 2048
+
+    def test_paper_capacity_8gib(self):
+        assert DeviceGeometry().capacity_bytes == 8 * 1024**3
+
+    def test_subarray_is_1_2048th_of_capacity(self):
+        # Section IV-C: "only 1/2048 of the total memory capacity".
+        geo = DeviceGeometry()
+        assert (
+            geo.bank.subarray.capacity_bytes * 2048 == geo.capacity_bytes
+        )
+
+    def test_pim_banks_are_low_indices(self):
+        geo = DeviceGeometry()
+        assert geo.is_pim_bank(0)
+        assert geo.is_pim_bank(7)
+        assert not geo.is_pim_bank(8)
+
+    @pytest.mark.parametrize("count", [64, 128, 256, 512, 1024, 2048])
+    def test_with_pim_subarrays_even_division(self, count):
+        geo = DeviceGeometry().with_pim_subarrays(count)
+        assert geo.pim_subarrays == count
+
+    def test_with_pim_subarrays_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry().with_pim_subarrays(0)
+
+    def test_rejects_more_pim_banks_than_banks(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry(banks=4, pim_banks=5)
+
+
+class TestAddressMap:
+    def test_total_words_matches_capacity(self):
+        amap = AddressMap()
+        geo = DeviceGeometry()
+        assert amap.total_words == geo.capacity_bytes  # 8-bit words
+
+    def test_compose_decompose_roundtrip_samples(self):
+        amap = AddressMap()
+        for linear in (0, 1, 4095, 4096, 123_456_789, amap.total_words - 1):
+            assert amap.compose(amap.decompose(linear)) == linear
+
+    def test_decompose_first_word(self):
+        loc = AddressMap().decompose(0)
+        assert loc == PhysicalAddress(0, 0, 0, 0, 0)
+
+    def test_consecutive_words_share_group(self):
+        amap = AddressMap()
+        a, b = amap.decompose(100), amap.decompose(101)
+        assert (a.bank, a.subarray, a.mat, a.group) == (
+            b.bank,
+            b.subarray,
+            b.mat,
+            b.group,
+        )
+        assert b.word == a.word + 1
+
+    def test_subarray_base(self):
+        amap = AddressMap()
+        base = amap.subarray_base(1, 2)
+        loc = amap.decompose(base)
+        assert (loc.bank, loc.subarray, loc.mat, loc.group, loc.word) == (
+            1,
+            2,
+            0,
+            0,
+            0,
+        )
+
+    def test_out_of_range_rejected(self):
+        amap = AddressMap()
+        with pytest.raises(IndexError):
+            amap.decompose(amap.total_words)
+        with pytest.raises(IndexError):
+            amap.decompose(-1)
+
+    def test_compose_validates_components(self):
+        amap = AddressMap()
+        with pytest.raises(IndexError):
+            amap.compose(PhysicalAddress(99, 0, 0, 0, 0))
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0))
+    def test_property_roundtrip(self, linear):
+        amap = AddressMap()
+        linear %= amap.total_words
+        assert amap.compose(amap.decompose(linear)) == linear
+
+    def test_small_geometry_roundtrip(self, small_geometry):
+        amap = AddressMap(small_geometry)
+        for linear in range(0, amap.total_words, 97):
+            assert amap.compose(amap.decompose(linear)) == linear
+
+
+class TestRMDevice:
+    def test_word_roundtrip_with_latency(self, small_geometry):
+        device = RMDevice(small_geometry)
+        latency = device.write_word(17, 200)
+        assert latency >= device.timing.write_ns
+        value, read_latency = device.read_word(17)
+        assert value == 200
+        assert read_latency >= device.timing.read_ns
+
+    def test_vector_roundtrip(self, small_geometry):
+        device = RMDevice(small_geometry)
+        device.write_vector(100, [5, 6, 7])
+        values, _ = device.read_vector(100, 3)
+        assert values == [5, 6, 7]
+
+    def test_energy_accumulates(self, small_geometry):
+        device = RMDevice(small_geometry)
+        device.write_word(0, 1)
+        device.read_word(0)
+        assert device.energy.n_writes == 1
+        assert device.energy.n_reads == 1
+
+    def test_banks_lazy(self, small_geometry):
+        device = RMDevice(small_geometry)
+        assert device.instantiated_banks == 0
+        device.write_word(0, 1)
+        assert device.instantiated_banks == 1
+
+    def test_bank_index_validated(self, small_geometry):
+        device = RMDevice(small_geometry)
+        with pytest.raises(IndexError):
+            device.bank(small_geometry.banks)
+
+    def test_cross_subarray_addresses_land_in_right_place(
+        self, small_geometry
+    ):
+        device = RMDevice(small_geometry)
+        base = device.address_map.subarray_base(1, 3)
+        device.write_word(base, 42)
+        sub = device.bank(1).subarray(3)
+        assert sub.mat(0).read_word(0, 0) == 42
+
+
+class TestGeometryScalingBranch:
+    def test_uneven_budget_scales_subarrays_per_bank(self):
+        """96 PIM subarrays don't divide into 64-subarray banks, so the
+        geometry scales subarrays-per-bank while holding capacity."""
+        geo = DeviceGeometry().with_pim_subarrays(96)
+        assert geo.pim_subarrays == 96
+        assert geo.bank.subarrays == 12
+        # Capacity is preserved to within rounding of the track length.
+        assert abs(geo.capacity_bytes / 2**30 - 8.0) < 0.01
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceGeometry().with_pim_subarrays(97)  # not divisible
+
+    def test_scaled_geometry_simulates(self):
+        from repro.baselines.stpim import StreamPIMPlatform
+        from repro.core.device import StreamPIMConfig
+        from repro.workloads import polybench_workload
+
+        geo = DeviceGeometry().with_pim_subarrays(96)
+        platform = StreamPIMPlatform(StreamPIMConfig(geometry=geo))
+        stats = platform.run(polybench_workload("atax", scale=0.05))
+        assert stats.time_ns > 0

@@ -1,0 +1,181 @@
+"""Tests for the mat model (save/transfer tracks, word access)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rm.mat import Mat, MatConfig
+from repro.rm.timing import EnergyModel
+
+
+@pytest.fixture
+def mat(small_mat_config):
+    return Mat(small_mat_config)
+
+
+class TestMatConfig:
+    def test_defaults_match_table3(self):
+        cfg = MatConfig()
+        assert cfg.save_tracks == 512
+        assert cfg.transfer_tracks == 512
+        assert cfg.word_bits == 8
+
+    def test_default_capacity_is_256_kib(self):
+        assert MatConfig().capacity_bytes == 256 * 1024
+
+    def test_word_groups(self):
+        cfg = MatConfig(save_tracks=32, word_bits=8)
+        assert cfg.word_groups == 4
+
+    def test_capacity_words(self, small_mat_config):
+        cfg = small_mat_config
+        assert cfg.capacity_words == cfg.word_groups * cfg.domains_per_track
+
+    def test_rejects_save_tracks_not_multiple_of_word_bits(self):
+        with pytest.raises(ValueError):
+            MatConfig(save_tracks=30, word_bits=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"save_tracks": 0},
+            {"transfer_tracks": -1},
+            {"domains_per_track": 0},
+            {"word_bits": 0},
+            {"ports_per_track": 0},
+        ],
+    )
+    def test_rejects_bad_geometry(self, kwargs):
+        with pytest.raises(ValueError):
+            MatConfig(**kwargs)
+
+
+class TestWordAccess:
+    def test_write_read_roundtrip(self, mat):
+        mat.write_word(0, 5, 0xA7)
+        assert mat.read_word(0, 5) == 0xA7
+
+    def test_distinct_groups_independent(self, mat):
+        mat.write_word(0, 3, 11)
+        mat.write_word(1, 3, 22)
+        assert mat.read_word(0, 3) == 11
+        assert mat.read_word(1, 3) == 22
+
+    def test_vector_roundtrip(self, mat):
+        values = [1, 2, 3, 4, 5, 255, 0, 128]
+        mat.write_vector(0, 8, values)
+        assert mat.read_vector(0, 8, len(values)) == values
+
+    def test_rejects_oversized_value(self, mat):
+        with pytest.raises(ValueError):
+            mat.write_word(0, 0, 256)
+
+    def test_rejects_bad_group(self, mat):
+        with pytest.raises(IndexError):
+            mat.read_word(mat.config.word_groups, 0)
+
+    def test_rejects_bad_index(self, mat):
+        with pytest.raises(IndexError):
+            mat.read_word(0, mat.config.words_per_group)
+
+    def test_access_charges_energy(self, small_mat_config):
+        energy = EnergyModel()
+        mat = Mat(small_mat_config, energy=energy)
+        mat.write_word(0, 0, 1)
+        mat.read_word(0, 0)
+        assert energy.n_writes == 1
+        assert energy.n_reads == 1
+        assert energy.n_shifts >= 0
+
+    def test_far_word_costs_more_shift(self, small_mat_config):
+        """Accessing a word far from a port charges more shift energy."""
+        e1, e2 = EnergyModel(), EnergyModel()
+        ports_stride = (
+            small_mat_config.domains_per_track
+            // small_mat_config.ports_per_track
+        )
+        near = ports_stride // 2  # at a port position
+        far = 0  # maximally distant from the first port
+        Mat(small_mat_config, energy=e1).write_word(0, near, 1)
+        Mat(small_mat_config, energy=e2).write_word(0, far, 1)
+        assert e2.n_shifts > e1.n_shifts
+
+
+class TestTransferTracks:
+    def test_copy_is_nondestructive(self, mat):
+        values = [9, 8, 7, 6]
+        mat.write_vector(0, 0, values)
+        mat.copy_to_transfer(0, 0, len(values))
+        assert mat.read_vector(0, 0, len(values)) == values
+
+    def test_copy_lands_on_transfer_tracks(self, mat):
+        mat.write_vector(0, 0, [0xFF, 0x00, 0xAA])
+        mat.copy_to_transfer(0, 0, 3)
+        word_bits = mat.config.word_bits
+        for bit in range(word_bits):
+            track = mat.transfer_track(bit)
+            assert track.get(0) == (0xFF >> bit) & 1
+            assert track.get(2) == (0xAA >> bit) & 1
+
+    def test_copy_charges_only_shift_energy(self, small_mat_config):
+        energy = EnergyModel()
+        mat = Mat(small_mat_config, energy=energy)
+        mat.write_vector(0, 0, [1, 2, 3])
+        before = (energy.n_reads, energy.n_writes)
+        mat.copy_to_transfer(0, 0, 3)
+        assert (energy.n_reads, energy.n_writes) == before
+        assert energy.n_shifts > 0
+
+    def test_copy_returns_shift_count(self, mat):
+        shifts = mat.copy_to_transfer(0, 0, 4)
+        assert shifts == 4 * mat.config.word_bits
+
+    def test_plain_mat_has_no_transfer_path(self, small_mat_config):
+        cfg = MatConfig(
+            save_tracks=small_mat_config.save_tracks,
+            transfer_tracks=0,
+            domains_per_track=small_mat_config.domains_per_track,
+            word_bits=8,
+        )
+        mat = Mat(cfg)
+        with pytest.raises(RuntimeError):
+            mat.copy_to_transfer(0, 0, 1)
+
+
+class TestLazyInstantiation:
+    def test_untouched_mat_has_no_tracks(self, mat):
+        assert mat.instantiated_tracks == 0
+
+    def test_word_access_creates_one_group(self, mat):
+        mat.write_word(0, 0, 1)
+        assert mat.instantiated_tracks == mat.config.word_bits
+
+    def test_track_indices_validated(self, mat):
+        with pytest.raises(IndexError):
+            mat.save_track(mat.config.save_tracks)
+        with pytest.raises(IndexError):
+            mat.transfer_track(mat.config.transfer_tracks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=255), min_size=1, max_size=16
+    ),
+    start=st.integers(min_value=0, max_value=40),
+)
+def test_property_vector_roundtrip(values, start):
+    mat = Mat(
+        MatConfig(
+            save_tracks=8,
+            transfer_tracks=8,
+            domains_per_track=64,
+            word_bits=8,
+            ports_per_track=2,
+        )
+    )
+    if start + len(values) > mat.config.words_per_group:
+        values = values[: mat.config.words_per_group - start]
+    if not values:
+        return
+    mat.write_vector(0, start, values)
+    assert mat.read_vector(0, start, len(values)) == values

@@ -1,0 +1,207 @@
+"""Tests for the domain-wall nanowire (racetrack) state model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rm.nanowire import AccessPort, Racetrack, ShiftError
+
+
+class TestConstruction:
+    def test_default_port_in_middle(self):
+        track = Racetrack(64)
+        assert track.ports[0].position == 32
+
+    def test_rejects_zero_domains(self):
+        with pytest.raises(ValueError):
+            Racetrack(0)
+
+    def test_rejects_out_of_range_ports(self):
+        with pytest.raises(ValueError):
+            Racetrack(16, ports=[16])
+        with pytest.raises(ValueError):
+            Racetrack(16, ports=[-1])
+
+    def test_rejects_empty_port_list(self):
+        with pytest.raises(ValueError):
+            Racetrack(16, ports=[])
+
+    def test_duplicate_ports_deduplicated(self):
+        track = Racetrack(16, ports=[4, 4, 8])
+        assert [p.position for p in track.ports] == [4, 8]
+
+    def test_default_overhead_bounded_by_domains(self):
+        # Paper: reserved domains never exceed the regular domains.
+        track = Racetrack(16, ports=[8])
+        assert 0 < track.overhead <= 16
+
+    def test_total_length_includes_overhead(self):
+        track = Racetrack(16, overhead=4, ports=[8])
+        assert track.total_length == 16 + 2 * 4
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            Racetrack(16, overhead=-1)
+
+
+class TestShift:
+    def test_shift_moves_offset(self):
+        track = Racetrack(16, overhead=4, ports=[8])
+        track.shift(3)
+        assert track.offset == 3
+        track.shift(-5)
+        assert track.offset == -2
+
+    def test_zero_shift_is_noop(self):
+        track = Racetrack(16, overhead=4)
+        track.shift(0)
+        assert track.offset == 0
+        assert track.shift_count == 0
+
+    def test_overshift_raises(self):
+        track = Racetrack(16, overhead=2, ports=[8])
+        with pytest.raises(ShiftError):
+            track.shift(3)
+
+    def test_overshift_preserves_state(self):
+        track = Racetrack(16, overhead=2, ports=[8])
+        track.set(5, 1)
+        with pytest.raises(ShiftError):
+            track.shift(5)
+        assert track.offset == 0
+        assert track.get(5) == 1
+
+    def test_shift_count_accumulates_distance(self):
+        track = Racetrack(16, overhead=8, ports=[8])
+        track.shift(3)
+        track.shift(-3)
+        assert track.shift_count == 6
+
+    def test_data_preserved_across_shifts(self):
+        track = Racetrack(8, overhead=8, ports=[4])
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        track.load(bits)
+        track.shift(5)
+        track.shift(-7)
+        track.shift(2)
+        assert track.dump() == bits
+
+
+class TestPortAccess:
+    def test_write_then_read_roundtrip(self):
+        track = Racetrack(16, ports=[8], overhead=16)
+        for logical in range(16):
+            track.align(logical)
+            track.write_at_port(logical % 2)
+        for logical in range(16):
+            track.align(logical)
+            assert track.read_at_port() == logical % 2
+
+    def test_align_returns_distance(self):
+        track = Racetrack(16, ports=[8], overhead=16)
+        assert track.align(5) == 3  # port 8, bit 5 -> shift by 3
+        assert track.align(5) == 0  # already aligned
+
+    def test_nearest_port_picks_closest(self):
+        track = Racetrack(64, ports=[16, 48], overhead=32)
+        assert track.nearest_port(10) == 0
+        assert track.nearest_port(40) == 1
+
+    def test_read_only_port_rejects_write(self):
+        track = Racetrack(16, ports=[8], overhead=16)
+        track.ports[0] = AccessPort(8, read_only=True)
+        with pytest.raises(PermissionError):
+            track.write_at_port(1)
+
+    def test_read_counts_increment(self):
+        track = Racetrack(16, ports=[8], overhead=16)
+        track.align(8)
+        track.read_at_port()
+        track.write_at_port(1)
+        assert track.read_count == 1
+        assert track.write_count == 1
+
+    def test_unaligned_port_read_out_of_range_raises(self):
+        track = Racetrack(8, ports=[4], overhead=8)
+        track.shift(8)  # port now faces logical -4
+        with pytest.raises(IndexError):
+            track.read_at_port()
+
+
+class TestTransverseRead:
+    def test_counts_set_bits_in_span(self):
+        track = Racetrack(16, ports=[4], overhead=16)
+        track.load([1, 0, 1, 1, 1, 0, 0, 1] + [0] * 8)
+        track.align(0)
+        assert track.transverse_read(0, 5) == 4
+
+    def test_single_domain_span(self):
+        track = Racetrack(8, ports=[4], overhead=8)
+        track.set(4, 1)
+        assert track.transverse_read(0, 1) == 1
+
+    def test_span_beyond_end_raises(self):
+        track = Racetrack(8, ports=[4], overhead=8)
+        with pytest.raises(IndexError):
+            track.transverse_read(0, 8)
+
+    def test_rejects_nonpositive_span(self):
+        track = Racetrack(8, ports=[4], overhead=8)
+        with pytest.raises(ValueError):
+            track.transverse_read(0, 0)
+
+    def test_counts_as_one_read_operation(self):
+        # The point of TR: one sensing operation for many domains.
+        track = Racetrack(16, ports=[2], overhead=16)
+        track.transverse_read(0, 8)
+        assert track.read_count == 1
+
+
+class TestDataAccessors:
+    def test_load_rejects_wrong_length(self):
+        track = Racetrack(8)
+        with pytest.raises(ValueError):
+            track.load([1, 0])
+
+    def test_set_rejects_non_bit(self):
+        track = Racetrack(8)
+        with pytest.raises(ValueError):
+            track.set(0, 2)
+
+    def test_get_out_of_range(self):
+        track = Racetrack(8)
+        with pytest.raises(IndexError):
+            track.get(8)
+        with pytest.raises(IndexError):
+            track.get(-1)
+
+
+@settings(max_examples=50)
+@given(
+    bits=st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=32),
+    shifts=st.lists(st.integers(min_value=-3, max_value=3), max_size=10),
+)
+def test_property_shifts_never_corrupt_data(bits, shifts):
+    """Any in-range shift sequence leaves the stored bits intact."""
+    n = len(bits)
+    track = Racetrack(n, ports=[n // 2], overhead=n)
+    track.load(bits)
+    for amount in shifts:
+        try:
+            track.shift(amount)
+        except ShiftError:
+            pass
+    assert track.dump() == bits
+
+
+@settings(max_examples=50)
+@given(
+    n=st.integers(min_value=4, max_value=64),
+    target=st.data(),
+)
+def test_property_align_brings_bit_under_port(n, target):
+    """After align(i), the logical bit under the port is i."""
+    logical = target.draw(st.integers(min_value=0, max_value=n - 1))
+    track = Racetrack(n, ports=[n // 2], overhead=n)
+    track.set(logical, 1)
+    track.align(logical)
+    assert track.read_at_port() == 1

@@ -1,0 +1,164 @@
+"""Tests for the RM latency/energy model (Table III constants)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rm.timing import (
+    DEFAULT_TIMING,
+    EnergyModel,
+    RMTimingConfig,
+    energy_per_gate_pj,
+)
+
+
+class TestGateEnergyScaling:
+    def test_reference_point_one_micron(self):
+        assert energy_per_gate_pj(1000.0) == pytest.approx(20.0)
+
+    def test_paper_32nm_figure(self):
+        # Section V-F: "from 20 pJ to 0.0008 pJ when the domain scale
+        # shrinks from 1.0 um to 32 nm".
+        assert energy_per_gate_pj(32.0) == pytest.approx(0.0008, rel=0.25)
+
+    def test_cubic_law(self):
+        assert energy_per_gate_pj(500.0) == pytest.approx(
+            energy_per_gate_pj(1000.0) / 8.0
+        )
+
+    @given(st.floats(min_value=1.0, max_value=10_000.0))
+    def test_monotone_in_process(self, nm):
+        assert energy_per_gate_pj(nm) <= energy_per_gate_pj(nm * 2) + 1e-12
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -32.0])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            energy_per_gate_pj(bad)
+
+
+class TestRMTimingConfig:
+    def test_table3_defaults(self):
+        t = DEFAULT_TIMING
+        assert t.read_ns == 3.91
+        assert t.write_ns == 10.27
+        assert t.shift_ns == 2.13
+        assert t.read_pj == 3.80
+        assert t.write_pj == 11.79
+        assert t.shift_pj == 3.26
+        assert t.pim_add_pj == 0.03
+        assert t.pim_mul_pj == 0.18
+        assert t.core_freq_mhz == 100.0
+        assert t.process_nm == 32.0
+
+    def test_cycle_duration_100mhz(self):
+        assert DEFAULT_TIMING.cycle_ns == pytest.approx(10.0)
+
+    def test_cycles_for_exact_multiple(self):
+        assert DEFAULT_TIMING.cycles_for_ns(30.0) == 3
+
+    def test_cycles_for_rounds_up(self):
+        assert DEFAULT_TIMING.cycles_for_ns(30.1) == 4
+
+    def test_cycles_for_zero(self):
+        assert DEFAULT_TIMING.cycles_for_ns(0.0) == 0
+
+    def test_cycles_for_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMING.cycles_for_ns(-1.0)
+
+    def test_write_slower_than_read_than_shift(self):
+        # Section II-A: writes are the expensive RM operation.
+        t = DEFAULT_TIMING
+        assert t.write_ns > t.read_ns > t.shift_ns
+        assert t.write_pj > t.read_pj > t.shift_pj
+
+    def test_scaled_to_process_only_changes_gate_energy(self):
+        scaled = DEFAULT_TIMING.scaled_to_process(64.0)
+        assert scaled.read_ns == DEFAULT_TIMING.read_ns
+        assert scaled.gate_energy_pj > DEFAULT_TIMING.gate_energy_pj
+
+    @pytest.mark.parametrize(
+        "field", ["read_ns", "write_ns", "shift_ns", "core_freq_mhz"]
+    )
+    def test_rejects_nonpositive_fields(self, field):
+        with pytest.raises(ValueError):
+            RMTimingConfig(**{field: 0.0})
+
+
+class TestEnergyModel:
+    def test_starts_empty(self):
+        model = EnergyModel()
+        assert model.total_pj == 0.0
+        assert model.transfer_pj == 0.0
+
+    def test_charges_by_category(self):
+        model = EnergyModel()
+        model.charge_read(2)
+        model.charge_write(1)
+        model.charge_shift(3)
+        model.charge_add(4)
+        model.charge_mul(5)
+        t = model.timing
+        assert model.read_pj == pytest.approx(2 * t.read_pj)
+        assert model.write_pj == pytest.approx(t.write_pj)
+        assert model.shift_pj == pytest.approx(3 * t.shift_pj)
+        assert model.compute_pj == pytest.approx(
+            4 * t.pim_add_pj + 5 * t.pim_mul_pj
+        )
+
+    def test_total_is_sum_of_categories(self):
+        model = EnergyModel()
+        model.charge_read(7)
+        model.charge_mul(7)
+        assert model.total_pj == pytest.approx(
+            model.read_pj + model.compute_pj
+        )
+
+    def test_transfer_excludes_compute(self):
+        model = EnergyModel()
+        model.charge_shift(10)
+        model.charge_add(10)
+        assert model.transfer_pj == pytest.approx(model.shift_pj)
+
+    def test_gate_charges_use_process_energy(self):
+        model = EnergyModel()
+        model.charge_gates(1000)
+        assert model.compute_pj == pytest.approx(
+            1000 * model.timing.gate_energy_pj
+        )
+
+    def test_merge_accumulates(self):
+        a, b = EnergyModel(), EnergyModel()
+        a.charge_read(1)
+        b.charge_read(2)
+        b.charge_write(5)
+        a.merge(b)
+        assert a.n_reads == 3
+        assert a.n_writes == 5
+
+    def test_reset_clears_everything(self):
+        model = EnergyModel()
+        model.charge_write(9)
+        model.reset()
+        assert model.total_pj == 0.0
+        assert model.n_writes == 0
+
+    def test_rejects_negative_counts(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError):
+            model.charge_read(-1)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_counts_match_charges(self, reads, shifts):
+        model = EnergyModel()
+        model.charge_read(reads)
+        model.charge_shift(shifts)
+        assert model.n_reads == reads
+        assert model.n_shifts == shifts
+        assert model.total_pj == pytest.approx(
+            reads * model.timing.read_pj + shifts * model.timing.shift_pj
+        )

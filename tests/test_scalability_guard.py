@@ -1,0 +1,48 @@
+"""Scalability regression guards.
+
+The analytic mode's entire value is simulating paper-scale workloads in
+interactive time; these guards fail if a change reintroduces per-VPC
+work on the paper-scale path.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.stpim import StreamPIMPlatform
+from repro.workloads import POLYBENCH
+
+
+class TestAnalyticScalability:
+    def test_gemm_paper_scale_is_interactive(self):
+        """4.6M-VPC gemm must simulate in seconds, not minutes."""
+        platform = StreamPIMPlatform()
+        start = time.perf_counter()
+        stats = platform.run(POLYBENCH["gemm"])
+        elapsed = time.perf_counter() - start
+        assert stats.counters["pim_vpcs"] == 4_606_000
+        assert elapsed < 30.0, f"analytic gemm took {elapsed:.1f}s"
+
+    def test_syr2k_largest_trace_is_interactive(self):
+        """13.5M VPCs — the largest Table IV workload."""
+        platform = StreamPIMPlatform()
+        start = time.perf_counter()
+        stats = platform.run(POLYBENCH["syr2k"])
+        elapsed = time.perf_counter() - start
+        assert stats.counters["pim_vpcs"] > 1.3e7
+        assert elapsed < 30.0, f"analytic syr2k took {elapsed:.1f}s"
+
+    def test_simulation_cost_scales_with_rounds_not_vpcs(self):
+        """Doubling the broadcast side (rounds) roughly doubles wall
+        time; the dot count per round is free."""
+        platform = StreamPIMPlatform()
+        small = POLYBENCH["gemm"].scaled(0.25, name="quarter")
+        start = time.perf_counter()
+        platform.run(small)
+        quarter_time = time.perf_counter() - start
+        start = time.perf_counter()
+        platform.run(POLYBENCH["gemm"])
+        full_time = time.perf_counter() - start
+        # Full gemm has 16x the VPCs but only 4x the rounds of the
+        # quarter-scale version; wall time must follow rounds.
+        assert full_time < 12 * max(quarter_time, 0.01)

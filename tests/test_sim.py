@@ -1,0 +1,276 @@
+"""Tests for the discrete-event engine, pipeline algebra, and stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine, Resource
+from repro.sim.pipeline import PipelineModel, PipelineStage
+from repro.sim.stats import (
+    EnergyBreakdown,
+    RunStats,
+    TimeBreakdown,
+    geometric_mean,
+)
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_clock_advances(self):
+        engine = Engine()
+        engine.schedule(7.0, lambda: None)
+        assert engine.run() == 7.0
+        assert engine.now == 7.0
+
+    def test_callbacks_can_schedule(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            engine.schedule(3.0, lambda: seen.append(engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [4.0]
+
+    def test_cancelled_events_skipped(self):
+        engine = Engine()
+        seen = []
+        event = engine.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        engine.run()
+        assert seen == []
+        assert engine.pending == 0
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10.0, lambda: seen.append("late"))
+        assert engine.run(until=5.0) == 5.0
+        assert seen == []
+        engine.run()
+        assert seen == ["late"]
+
+    def test_step_processes_single_event(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(2.0, lambda: seen.append(2))
+        assert engine.step()
+        assert seen == [1]
+        assert engine.step()
+        assert not engine.step()
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+
+class TestResource:
+    def test_serialises_overlapping_requests(self):
+        res = Resource("sub")
+        s1, f1 = res.acquire(0.0, 10.0)
+        s2, f2 = res.acquire(5.0, 10.0)
+        assert (s1, f1) == (0.0, 10.0)
+        assert (s2, f2) == (10.0, 20.0)
+
+    def test_idle_gap_allows_immediate_start(self):
+        res = Resource()
+        res.acquire(0.0, 5.0)
+        s, f = res.acquire(100.0, 5.0)
+        assert s == 100.0
+
+    def test_utilisation(self):
+        res = Resource()
+        res.acquire(0.0, 25.0)
+        assert res.utilisation(100.0) == pytest.approx(0.25)
+        assert res.utilisation(0.0) == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Resource().acquire(0.0, -1.0)
+
+
+class TestPipelineModel:
+    def test_fill_is_sum_of_depths(self):
+        model = PipelineModel(
+            (
+                PipelineStage("a", depth=2),
+                PipelineStage("b", depth=3, interval=4),
+            )
+        )
+        assert model.fill_cycles == 5
+        assert model.initiation_interval == 4
+
+    def test_latency_formula(self):
+        model = PipelineModel((PipelineStage("a", depth=3, interval=2),))
+        assert model.latency_cycles(1) == 3
+        assert model.latency_cycles(10) == 3 + 9 * 2
+
+    def test_zero_items(self):
+        model = PipelineModel((PipelineStage("a", depth=1),))
+        assert model.latency_cycles(0) == 0
+
+    def test_rejects_negative_items(self):
+        model = PipelineModel((PipelineStage("a", depth=1),))
+        with pytest.raises(ValueError):
+            model.latency_cycles(-1)
+
+    def test_bottleneck(self):
+        slow = PipelineStage("slow", depth=1, interval=7)
+        model = PipelineModel((PipelineStage("fast", depth=1), slow))
+        assert model.bottleneck() == slow
+
+    def test_without_bypasses_stages(self):
+        model = PipelineModel(
+            (
+                PipelineStage("a", depth=5),
+                PipelineStage("b", depth=1),
+            )
+        )
+        assert model.without("a").fill_cycles == 1
+
+    def test_without_everything_rejected(self):
+        model = PipelineModel((PipelineStage("a", depth=1),))
+        with pytest.raises(ValueError):
+            model.without("a")
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel(())
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            PipelineStage("a", depth=0)
+        with pytest.raises(ValueError):
+            PipelineStage("a", depth=1, interval=0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=10_000),
+        depth=st.integers(min_value=1, max_value=20),
+        interval=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_latency_monotone_and_linear(self, n, depth, interval):
+        model = PipelineModel((PipelineStage("s", depth, interval),))
+        assert (
+            model.latency_cycles(n + 1) - model.latency_cycles(n) == interval
+        )
+
+
+class TestTimeBreakdown:
+    def test_total_and_transfer(self):
+        t = TimeBreakdown()
+        t.add("read", 10)
+        t.add("write", 20)
+        t.add("shift", 5)
+        t.add("process", 60)
+        t.add("overlapped", 5)
+        assert t.total_ns == 100
+        assert t.transfer_ns == 35
+
+    def test_fractions_sum_to_one(self):
+        t = TimeBreakdown(read_ns=1, write_ns=2, shift_ns=3, process_ns=4)
+        assert sum(t.fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions_of_empty(self):
+        assert all(v == 0 for v in TimeBreakdown().fractions().values())
+
+    def test_add_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("dma", 1.0)
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("read", -1.0)
+
+    def test_merge(self):
+        a = TimeBreakdown(read_ns=1)
+        a.merge(TimeBreakdown(read_ns=2, process_ns=3))
+        assert a.read_ns == 3
+        assert a.process_ns == 3
+
+    def test_scaled(self):
+        t = TimeBreakdown(read_ns=2, process_ns=4).scaled(2.5)
+        assert t.read_ns == 5
+        assert t.process_ns == 10
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().scaled(-1)
+
+
+class TestEnergyBreakdown:
+    def test_total_and_transfer(self):
+        e = EnergyBreakdown(read_pj=1, write_pj=2, shift_pj=3, compute_pj=4)
+        assert e.total_pj == 10
+        assert e.transfer_pj == 6
+
+    def test_fractions(self):
+        e = EnergyBreakdown(compute_pj=3, write_pj=1)
+        f = e.fractions()
+        assert f["compute"] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().add("refresh", 1.0)
+        with pytest.raises(ValueError):
+            EnergyBreakdown().add("read", -2.0)
+
+
+class TestRunStats:
+    def test_speedup_and_energy_saving(self):
+        fast = RunStats("A", "w", time_ns=10.0)
+        slow = RunStats("B", "w", time_ns=100.0)
+        fast.energy.add("compute", 5.0)
+        slow.energy.add("compute", 50.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+        assert fast.energy_saving_over(slow) == pytest.approx(10.0)
+
+    def test_zero_time_rejected(self):
+        zero = RunStats("A", "w", time_ns=0.0)
+        with pytest.raises(ZeroDivisionError):
+            zero.speedup_over(zero)
+
+    def test_counters(self):
+        stats = RunStats("A", "w", time_ns=1.0)
+        stats.bump("vpcs", 5)
+        stats.bump("vpcs")
+        assert stats.counters["vpcs"] == 6
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,152 @@
+"""Tests for schedule timelines and Gantt rendering."""
+
+import io
+
+import pytest
+
+from repro.analysis.timeline import (
+    Interval,
+    render_gantt,
+    schedule_timeline,
+    timeline_to_csv,
+)
+from repro.core.scheduler import Round, Scheduler, SchedulerPolicy
+from repro.sim.stats import EnergyBreakdown, TimeBreakdown
+
+
+def _rounds(n=3, prep_words=1000, compute_ns=500.0):
+    return [
+        Round(
+            prep_words=prep_words,
+            prep_targets=4,
+            compute_ns=compute_ns,
+            compute_time=TimeBreakdown(process_ns=compute_ns),
+            compute_energy=EnergyBreakdown(compute_pj=1.0),
+            label=f"r{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval("prep", 1.0, 3.0).duration_ns == 2.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Interval("prep", 3.0, 1.0)
+
+
+class TestScheduleTimeline:
+    def test_serial_alternates_lanes(self):
+        scheduler = Scheduler(SchedulerPolicy.DISTRIBUTE)
+        timeline = schedule_timeline(scheduler, _rounds(2))
+        lanes = [i.lane for i in timeline]
+        assert lanes == ["prep", "compute", "prep", "compute"]
+
+    def test_serial_no_overlap(self):
+        scheduler = Scheduler(SchedulerPolicy.DISTRIBUTE)
+        timeline = schedule_timeline(scheduler, _rounds(3))
+        ordered = sorted(timeline, key=lambda i: i.start_ns)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start_ns >= a.end_ns - 1e-9
+
+    def test_serial_total_matches_compose(self):
+        scheduler = Scheduler(SchedulerPolicy.DISTRIBUTE)
+        rounds = _rounds(4)
+        timeline = schedule_timeline(scheduler, rounds)
+        end = max(i.end_ns for i in timeline)
+        assert end == pytest.approx(scheduler.compose(rounds).total_ns)
+
+    def test_unblock_overlaps_lanes(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        timeline = schedule_timeline(scheduler, _rounds(4))
+        preps = [i for i in timeline if i.lane == "prep"]
+        computes = [i for i in timeline if i.lane == "compute"]
+        overlap = any(
+            p.start_ns < c.end_ns and c.start_ns < p.end_ns
+            for p in preps
+            for c in computes
+        )
+        assert overlap
+
+    def test_unblock_compute_back_to_back(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        timeline = schedule_timeline(scheduler, _rounds(3))
+        computes = sorted(
+            (i for i in timeline if i.lane == "compute"),
+            key=lambda i: i.start_ns,
+        )
+        for a, b in zip(computes, computes[1:]):
+            assert b.start_ns == pytest.approx(a.end_ns)
+
+    def test_unblock_faster_than_serial(self):
+        rounds = _rounds(5)
+        serial_end = max(
+            i.end_ns
+            for i in schedule_timeline(
+                Scheduler(SchedulerPolicy.DISTRIBUTE), rounds
+            )
+        )
+        fluid_end = max(
+            i.end_ns
+            for i in schedule_timeline(
+                Scheduler(SchedulerPolicy.UNBLOCK), rounds
+            )
+        )
+        assert fluid_end < serial_end
+
+    def test_empty_rounds(self):
+        assert schedule_timeline(Scheduler(), []) == []
+
+    def test_startup_interval_labelled(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        timeline = schedule_timeline(scheduler, _rounds(1))
+        assert timeline[0].label == "startup copy"
+
+
+class TestExports:
+    def test_csv_roundtrip_fields(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        timeline = schedule_timeline(scheduler, _rounds(2))
+        buffer = io.StringIO()
+        timeline_to_csv(timeline, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "lane,start_ns,end_ns,label"
+        assert len(lines) == len(timeline) + 1
+
+    def test_csv_to_file(self, tmp_path):
+        path = tmp_path / "timeline.csv"
+        timeline_to_csv([Interval("prep", 0.0, 1.0, "a,b")], str(path))
+        text = path.read_text()
+        assert "a;b" in text  # commas escaped
+
+    def test_gantt_has_both_lanes(self):
+        scheduler = Scheduler(SchedulerPolicy.DISTRIBUTE)
+        chart = render_gantt(schedule_timeline(scheduler, _rounds(2)))
+        assert "prep" in chart
+        assert "compute" in chart
+        assert "▒" in chart
+        assert "█" in chart
+
+    def test_gantt_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt([])
+        with pytest.raises(ValueError):
+            render_gantt([Interval("prep", 0.0, 1.0)], width=0)
+        with pytest.raises(ValueError):
+            render_gantt([Interval("prep", 0.0, 0.0)])
+
+
+class TestComposeAgreement:
+    def test_unblock_timeline_end_matches_compose(self):
+        scheduler = Scheduler(SchedulerPolicy.UNBLOCK)
+        for prep_words, compute_ns in ((50_000, 10.0), (100, 5000.0)):
+            rounds = _rounds(4, prep_words=prep_words, compute_ns=compute_ns)
+            timeline = schedule_timeline(scheduler, rounds)
+            end = max(i.end_ns for i in timeline)
+            composed = scheduler.compose(rounds).total_ns
+            assert end == pytest.approx(composed, rel=1e-6), (
+                prep_words,
+                compute_ns,
+            )

@@ -1,0 +1,302 @@
+"""Tests for workload specs, PolyBench kernels, and DNN graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.workloads import (
+    DNN_WORKLOADS,
+    POLYBENCH,
+    SMALL_KERNELS,
+    dnn_workload,
+    polybench_names,
+    polybench_workload,
+    random_matrix,
+    random_vector,
+)
+from repro.workloads.dnn import BERTShape, MLPShape, bert_spec, mlp_spec
+from repro.workloads.spec import MatrixOp, MatrixOpKind, WorkloadSpec
+
+
+class TestGenerator:
+    def test_deterministic_with_seed(self):
+        a = random_matrix(4, 4, seed=3)
+        b = random_matrix(4, 4, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_range_respects_word_bits(self):
+        m = random_matrix(50, 50, word_bits=4)
+        assert m.min() >= 0
+        assert m.max() < 16
+
+    def test_vector_is_1d(self):
+        assert random_vector(10).shape == (10,)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            random_matrix(0, 5)
+
+
+class TestMatrixOpAlgebra:
+    def test_matmul_scalar_ops(self):
+        op = MatrixOp(MatrixOpKind.MATMUL, (4, 5, 6))
+        assert op.scalar_muls == 4 * 5 * 6
+        assert op.scalar_adds == 4 * 4 * 6
+        assert op.flops == op.scalar_muls + op.scalar_adds
+        assert op.operand_words == 4 * 5 + 5 * 6
+        assert op.result_words == 24
+
+    def test_matvec_counts(self):
+        op = MatrixOp(MatrixOpKind.MATVEC, (4, 5))
+        assert op.pim_vpcs == 4
+        assert op.move_vpcs == 8
+
+    def test_accumulate_doubles_counts(self):
+        plain = MatrixOp(MatrixOpKind.MATVEC, (4, 5))
+        acc = MatrixOp(MatrixOpKind.MATVEC, (4, 5), accumulate=True)
+        assert acc.pim_vpcs == 2 * plain.pim_vpcs
+        assert acc.move_vpcs == 2 * plain.move_vpcs
+        assert acc.scalar_adds == plain.scalar_adds + 4
+
+    def test_matvec_t_rows_are_columns(self):
+        op = MatrixOp(MatrixOpKind.MATVEC_T, (4, 5))
+        assert op.pim_vpcs == 5
+        assert op.result_words == 5
+
+    def test_matmul_move_equals_pim(self):
+        # Table IV: matmul kernels have #move ~= #PIM.
+        op = MatrixOp(MatrixOpKind.MATMUL, (10, 20, 30))
+        assert op.move_vpcs == op.pim_vpcs == 300
+
+    def test_dims_arity_enforced(self):
+        with pytest.raises(ValueError):
+            MatrixOp(MatrixOpKind.MATMUL, (4, 5))
+        with pytest.raises(ValueError):
+            MatrixOp(MatrixOpKind.DOT, (4, 5))
+
+    def test_dims_positive(self):
+        with pytest.raises(ValueError):
+            MatrixOp(MatrixOpKind.MATVEC, (0, 5))
+
+
+class TestWorkloadSpec:
+    def test_aggregates(self):
+        spec = WorkloadSpec(
+            "demo",
+            [
+                MatrixOp(MatrixOpKind.MATVEC, (4, 5)),
+                MatrixOp(MatrixOpKind.VEC_ADD, (5,)),
+            ],
+        )
+        ops = spec.scalar_ops()
+        assert ops.muls == 20
+        assert ops.adds == 16 + 5
+        pim, move = spec.vpc_counts()
+        assert pim == 5
+        assert move == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("empty", [])
+
+    def test_nonlinear_fraction_validated(self):
+        op = MatrixOp(MatrixOpKind.DOT, (4,))
+        with pytest.raises(ValueError):
+            WorkloadSpec("w", [op], nonlinear_flop_fraction=1.0)
+
+    def test_scaled_shrinks_dims(self):
+        spec = POLYBENCH["gemm"].scaled(0.01)
+        assert all(max(op.dims) <= 30 for op in spec.ops)
+
+    def test_scaled_drops_builder(self):
+        with pytest.raises(NotImplementedError):
+            POLYBENCH["gemm"].scaled(0.01).build_task()
+
+
+class TestPolybench:
+    def test_nine_kernels_in_table4_order(self):
+        assert polybench_names() == (
+            "2mm",
+            "3mm",
+            "gemm",
+            "syrk",
+            "syr2k",
+            "atax",
+            "bicg",
+            "gesu",
+            "mvt",
+        )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            polybench_workload("lu")
+
+    @pytest.mark.parametrize("name", polybench_names())
+    def test_table4_pim_counts_within_15_percent(self, name):
+        spec = POLYBENCH[name]
+        pim, _ = spec.vpc_counts()
+        assert abs(pim - spec.paper_pim_vpcs) / spec.paper_pim_vpcs < 0.15
+
+    @pytest.mark.parametrize("name", polybench_names())
+    def test_table4_move_counts_within_35_percent(self, name):
+        spec = POLYBENCH[name]
+        _, move = spec.vpc_counts()
+        assert abs(move - spec.paper_move_vpcs) / spec.paper_move_vpcs < 0.35
+
+    def test_exact_matches(self):
+        """Kernels whose counts the convention reproduces exactly."""
+        for name, column in (("atax", 0), ("mvt", 0), ("mvt", 1)):
+            spec = POLYBENCH[name]
+            value = spec.vpc_counts()[column]
+            paper = (spec.paper_pim_vpcs, spec.paper_move_vpcs)[column]
+            assert value == paper
+
+    def test_small_kernels_are_matrix_vector(self):
+        for name in SMALL_KERNELS:
+            kinds = {op.kind for op in POLYBENCH[name].ops}
+            assert MatrixOpKind.MATMUL not in kinds
+
+    @pytest.mark.parametrize("name", polybench_names())
+    def test_closed_form_matches_enumerated_trace_at_small_scale(
+        self, name, small_geometry, small_bus_config
+    ):
+        """The Table IV closed form equals explicit trace enumeration."""
+        # syr2k carries seven working matrices; shrink it a bit more so
+        # they fit the tiny test device.
+        scale = 0.003 if name == "syr2k" else 0.004
+        spec = polybench_workload(name, scale=scale)
+        device = StreamPIMDevice(
+            StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+        )
+        task = spec.build_task(device)
+        trace = task.to_trace()
+        pim, move = spec.vpc_counts()
+        assert trace.stats.pim_vpcs == pim
+        assert trace.stats.move_vpcs == move
+
+    @pytest.mark.parametrize("name", ["gemm", "atax", "mvt", "gesu", "bicg"])
+    def test_functional_correctness_at_small_scale(
+        self, name, small_geometry, small_bus_config
+    ):
+        """The PIM execution computes the right numbers (vs numpy)."""
+        spec = polybench_workload(name, scale=0.004)
+        device = StreamPIMDevice(
+            StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+        )
+        task = spec.build_task(device, seed=11)
+        report = task.run(functional=True)
+        reference = _numpy_reference(name, task)
+        for key, expected in reference.items():
+            assert np.array_equal(report.results[key], expected), key
+
+
+def _numpy_reference(name, task):
+    """Recompute each kernel's final outputs with plain numpy."""
+    m = {k: v.copy() for k, v in task._matrices.items()}
+    s = task._scalars
+    if name == "gemm":
+        return {"C": s["beta"] * m["C"] + s["alpha"] * (m["A"] @ m["B"])}
+    if name == "atax":
+        tmp = m["A"] @ m["x"][0]
+        return {"y": (m["A"].T @ tmp).reshape(1, -1)}
+    if name == "bicg":
+        return {
+            "q": (m["A"] @ m["p"][0]).reshape(1, -1),
+            "s": (m["A"].T @ m["r"][0]).reshape(1, -1),
+        }
+    if name == "gesu":
+        u = s["alpha"] * (m["A"] @ m["x"][0])
+        v = s["beta"] * (m["B"] @ m["x"][0])
+        return {"y": (u + v).reshape(1, -1)}
+    if name == "mvt":
+        return {
+            "x1": (m["x1"][0] + m["A"] @ m["y1"][0]).reshape(1, -1),
+            "x2": (m["x2"][0] + m["A"].T @ m["y2"][0]).reshape(1, -1),
+        }
+    raise AssertionError(name)
+
+
+class TestDnn:
+    def test_lookup(self):
+        assert dnn_workload("mlp").name == "mlp"
+        assert dnn_workload("bert").name == "bert"
+        with pytest.raises(KeyError):
+            dnn_workload("resnet")
+
+    def test_mlp_nonlinearity_is_small_portion(self):
+        # Section V-E: "nonlinear layers in MLP are a small portion".
+        assert DNN_WORKLOADS["mlp"].nonlinear_flop_fraction < 0.05
+
+    def test_bert_has_more_nonlinear_work(self):
+        assert (
+            DNN_WORKLOADS["bert"].nonlinear_flop_fraction
+            > DNN_WORKLOADS["mlp"].nonlinear_flop_fraction
+        )
+
+    def test_bert_layer_structure(self):
+        shape = BERTShape()
+        spec = bert_spec(shape)
+        matmuls = [
+            op for op in spec.ops if op.kind is MatrixOpKind.MATMUL
+        ]
+        # 3 QKV + 2 per head + output + 2 FFN, per layer.
+        per_layer = 3 + 2 * shape.heads + 1 + 2
+        assert len(matmuls) == per_layer * shape.layers
+
+    def test_mlp_layer_structure(self):
+        spec = mlp_spec(MLPShape(batch=8, layers=(16, 32, 4)))
+        matmuls = [op for op in spec.ops if op.kind is MatrixOpKind.MATMUL]
+        assert [op.dims for op in matmuls] == [(8, 16, 32), (8, 32, 4)]
+
+    def test_bert_shape_validation(self):
+        with pytest.raises(ValueError):
+            BERTShape(hidden=100, heads=12)
+        with pytest.raises(ValueError):
+            BERTShape(layers=0)
+
+    def test_mlp_shape_validation(self):
+        with pytest.raises(ValueError):
+            MLPShape(batch=0)
+        with pytest.raises(ValueError):
+            MLPShape(layers=(10,))
+
+    def test_small_mlp_functional(self, small_geometry, small_bus_config):
+        spec = mlp_spec(MLPShape(batch=2, layers=(4, 6, 3)))
+        device = StreamPIMDevice(
+            StreamPIMConfig(geometry=small_geometry, bus=small_bus_config)
+        )
+        task = spec.build_task(device, seed=5)
+        report = task.run()
+        m = task._matrices
+        act = m["act0"]
+        for i in range(2):
+            act = act @ m[f"w{i}"] + m[f"b{i}"]
+        assert np.array_equal(report.results["act2"], act)
+
+
+class TestDatasetPresets:
+    def test_known_presets(self):
+        from repro.workloads import DATASET_SCALES, dataset_scale
+
+        assert dataset_scale("extralarge") == 1.0
+        assert dataset_scale("MEDIUM") == DATASET_SCALES["medium"]
+        assert (
+            dataset_scale("mini")
+            < dataset_scale("small")
+            < dataset_scale("medium")
+            < dataset_scale("large")
+            < dataset_scale("extralarge")
+        )
+
+    def test_unknown_preset_rejected(self):
+        from repro.workloads import dataset_scale
+
+        with pytest.raises(KeyError):
+            dataset_scale("gigantic")
+
+    def test_preset_builds_workload(self):
+        from repro.workloads import dataset_scale, polybench_workload
+
+        spec = polybench_workload("gemm", scale=dataset_scale("mini"))
+        pim, _ = spec.vpc_counts()
+        assert pim < 1000
