@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures docs examples clean
+.PHONY: install test lint check bench figures docs examples clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro.cli lint
+
+check:
+	$(PYTHON) -m repro.cli check --all-workloads --strict --scale 0.01
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

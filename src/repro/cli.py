@@ -10,7 +10,11 @@ Subcommands:
 * ``repro-streampim info`` — show the default device configuration and
   area breakdown;
 * ``repro-streampim trace <workload> --scale S [-o FILE]`` — enumerate a
-  VPC trace at reduced scale and write it out.
+  VPC trace at reduced scale and write it out;
+* ``repro-streampim check <trace|workload>`` — static trace/placement
+  verification (the ``SPV`` rule catalogue, ``docs/static_analysis.md``);
+* ``repro-streampim lint`` — repository-invariant AST lint (``SPL``
+  rules) over ``src/repro``.
 
 Installed as the ``repro-streampim`` console script; also runnable as
 ``python -m repro.cli``.
@@ -231,7 +235,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     trace = read_trace(args.trace)
     device = StreamPIMDevice()
-    stats = device.execute_trace(trace, functional=False)
+    stats = device.execute_trace(
+        trace, functional=False, verify=not args.no_verify
+    )
     print(f"replayed {len(trace):,} commands from {args.trace}")
     print(f"time   : {stats.time_ns / 1e3:.2f} us")
     print(f"energy : {stats.energy.total_pj / 1e3:.2f} nJ")
@@ -241,6 +247,98 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     )
     print(f"time breakdown : {shares}")
     return 0
+
+
+def _load_trace_file(path: str):
+    """Read a trace file, sniffing the binary magic prefix."""
+    from repro.isa.trace import _BINARY_MAGIC, read_trace_binary
+
+    with open(path, "rb") as handle:
+        head = handle.read(len(_BINARY_MAGIC))
+    if head == _BINARY_MAGIC:
+        return read_trace_binary(path)
+    return read_trace(path)
+
+
+def _check_specs(scale: float):
+    """Every shipped workload generator at a reduced, checkable size."""
+    from repro.workloads.dnn import (
+        BERTShape,
+        MLPShape,
+        bert_spec,
+        mlp_spec,
+    )
+
+    for name in POLYBENCH:
+        spec = polybench_workload(name, scale=scale)
+        if spec.build is not None:
+            yield spec
+    for name in EXTRA_WORKLOADS:
+        spec = extra_workload(name, scale=scale)
+        if spec.build is not None:
+            yield spec
+    yield mlp_spec(MLPShape(batch=4, layers=(16, 12, 8)))
+    yield bert_spec(
+        BERTShape(seq_len=4, hidden=8, ffn=16, heads=2, layers=1)
+    )
+
+
+def _verify_spec(spec, hazard_window: int):
+    """Enumerate a workload's trace and verify it with its placement."""
+    from repro.verify import TraceVerifier
+
+    task = spec.build_task()
+    trace = task.to_trace()
+    verifier = TraceVerifier(
+        geometry=task.device.config.geometry,
+        plan=task.placement_plan,
+        hazard_window=hazard_window,
+    )
+    return verifier.verify(trace, subject=f"workload {spec.name}")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Statically verify traces/workloads against the SPV rules."""
+    import os
+
+    from repro.verify import TraceVerifier
+
+    reports = []
+    if args.all_workloads:
+        for spec in _check_specs(args.scale):
+            reports.append(_verify_spec(spec, args.hazard_window))
+    elif args.target is None:
+        raise SystemExit("check needs a trace file or workload name")
+    elif os.path.exists(args.target):
+        trace = _load_trace_file(args.target)
+        verifier = TraceVerifier(hazard_window=args.hazard_window)
+        reports.append(
+            verifier.verify(trace, subject=f"trace {args.target}")
+        )
+    else:
+        spec = _lookup_workload(args.target, args.scale)
+        reports.append(_verify_spec(spec, args.hazard_window))
+    failed = 0
+    for report in reports:
+        ok = report.ok(strict=args.strict)
+        failed += 0 if ok else 1
+        if ok and len(reports) > 1 and not report.diagnostics:
+            print(f"{report.subject}: PASS")
+        else:
+            print(report.render(strict=args.strict))
+    if failed:
+        print(f"{failed} of {len(reports)} target(s) FAILED")
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repository-invariant AST lint (SPL rules)."""
+    from repro.verify import lint_paths
+
+    report = lint_paths(args.paths or None)
+    print(report.render())
+    return 0 if report.ok() else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,7 +375,50 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a saved trace on the event engine"
     )
     replay.add_argument("trace")
+    replay.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the pre-execution bounds verification",
+    )
     replay.set_defaults(func=_cmd_replay)
+
+    check = sub.add_parser(
+        "check",
+        help="static trace/placement verification (SPV rules)",
+    )
+    check.add_argument(
+        "target",
+        nargs="?",
+        help="a trace file (text or binary) or a workload name",
+    )
+    check.add_argument(
+        "--all-workloads",
+        action="store_true",
+        help="check every shipped workload generator at reduced size",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors",
+    )
+    check.add_argument("--scale", type=float, default=0.01)
+    check.add_argument(
+        "--hazard-window",
+        type=int,
+        default=4,
+        help="pipeline depth for the SPV004 hazard scan",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint", help="repository-invariant AST lint (SPL rules)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     workloads = sub.add_parser("workloads", help="list available workloads")
     workloads.set_defaults(func=_cmd_workloads)

@@ -60,6 +60,13 @@ class StreamPIMConfig:
     #: exposed only when the device would otherwise be idle.
     vpc_decode_ns: float = 10.0
 
+    def __post_init__(self) -> None:
+        if self.vpc_decode_ns < 0:
+            raise ValueError(
+                f"vpc_decode_ns must be non-negative, got "
+                f"{self.vpc_decode_ns}"
+            )
+
     def with_policy(self, policy: SchedulerPolicy) -> "StreamPIMConfig":
         return StreamPIMConfig(
             geometry=self.geometry,
@@ -135,6 +142,7 @@ class StreamPIMDevice:
         trace: VPCTrace,
         workload: str = "trace",
         functional: bool = True,
+        verify: bool = True,
     ) -> RunStats:
         """Execute an explicit VPC stream with per-subarray blocking.
 
@@ -147,11 +155,29 @@ class StreamPIMDevice:
             trace: the VPC stream.
             workload: label for the returned stats.
             functional: move/compute real data through the word store.
+            verify: statically check operand bounds before executing
+                (cheap, O(#VPC)); a failing trace raises
+                :class:`~repro.verify.trace_verifier.TraceVerificationError`
+                instead of silently corrupting the word store.  Pass
+                False to replay a known-bad trace anyway.  The full rule
+                set (overlap, hazards, placement) is the job of
+                ``repro-streampim check``.
 
         Returns:
             RunStats with total time, time/energy breakdowns and VPC
             counters.
         """
+        if verify:
+            from repro.verify.trace_verifier import (
+                TraceVerificationError,
+                TraceVerifier,
+            )
+
+            report = TraceVerifier(
+                geometry=self.config.geometry, rules=("SPV001",)
+            ).verify(trace, subject=workload)
+            if not report.ok():
+                raise TraceVerificationError(report)
         subarrays: Dict[Tuple[int, int], Resource] = {}
         internal_bus = Resource("internal-bus")
         spans: List[_Span] = []

@@ -652,6 +652,7 @@ class PimTask:
         trace = VPCTrace()
         scratch = ScratchAllocator(placer)
         self._trace_handles = handles
+        self._trace_plan = placer.plan
         self._trace_scalar_slots = {}
         for operation in self._operations:
             self._trace_operation(operation, handles, trace, scratch)
@@ -692,6 +693,22 @@ class PimTask:
         if handles is None:
             raise RuntimeError("call to_trace() before seeding/fetching")
         return handles
+
+    @property
+    def placement_plan(self):
+        """The placement plan of the last :meth:`to_trace` call.
+
+        Static verification (``repro-streampim check``) pairs it with
+        the enumerated trace to check operand-overwrite and
+        double-booking rules.
+
+        Raises:
+            RuntimeError: if :meth:`to_trace` has not run yet.
+        """
+        plan = getattr(self, "_trace_plan", None)
+        if plan is None:
+            raise RuntimeError("call to_trace() before reading the plan")
+        return plan
 
     @staticmethod
     def _write_matrix(device, handle, values) -> None:

@@ -12,6 +12,7 @@ from repro.isa.encoding import encode_vpc, decode_vpc, VPC_ENCODED_BYTES
 from repro.isa.trace import (
     VPCTrace,
     TraceStats,
+    TraceFormatError,
     write_trace,
     read_trace,
     write_trace_binary,
@@ -35,6 +36,7 @@ __all__ = [
     "VPC_ENCODED_BYTES",
     "VPCTrace",
     "TraceStats",
+    "TraceFormatError",
     "write_trace",
     "read_trace",
     "write_trace_binary",

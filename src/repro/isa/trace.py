@@ -12,13 +12,37 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.isa.encoding import VPC_ENCODED_BYTES, decode_vpc, encode_vpc
 from repro.isa.vpc import VPC, VPCOpcode
 
 #: Magic prefix of the binary trace format.
-_BINARY_MAGIC = b"VPCT\x01" 
+_BINARY_MAGIC = b"VPCT\x01"
+
+
+class TraceFormatError(ValueError):
+    """A trace file is malformed (bad magic, truncated record, garbage).
+
+    Attributes:
+        offset: byte offset of the malformed data (binary traces).
+        line: 1-based line number of the malformed data (text traces).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: Optional[int] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        where = ""
+        if offset is not None:
+            where = f" at byte offset {offset}"
+        elif line is not None:
+            where = f" at line {line}"
+        super().__init__(message + where)
+        self.offset = offset
+        self.line = line
 
 
 @dataclass(frozen=True)
@@ -109,7 +133,9 @@ def _parse_vpc(line: str, line_no: int) -> VPC:
             opcode, int(parts[1]), int(parts[2]), int(parts[3]), int(parts[4])
         )
     except (ValueError, IndexError, KeyError) as exc:
-        raise ValueError(f"bad trace line {line_no}: {line!r}") from exc
+        raise TraceFormatError(
+            f"bad trace record {line!r}: {exc}", line=line_no
+        ) from exc
 
 
 def write_trace(trace: VPCTrace, target: Union[str, Path, io.TextIOBase]) -> None:
@@ -168,13 +194,28 @@ def read_trace_binary(
             return read_trace_binary(handle)
     magic = source.read(len(_BINARY_MAGIC))
     if magic != _BINARY_MAGIC:
-        raise ValueError("not a binary VPC trace (bad magic)")
+        raise TraceFormatError(
+            f"not a binary VPC trace: expected magic {_BINARY_MAGIC!r}, "
+            f"got {magic!r}",
+            offset=0,
+        )
     trace = VPCTrace()
+    offset = len(_BINARY_MAGIC)
     while True:
         packet = source.read(VPC_ENCODED_BYTES)
         if not packet:
             break
         if len(packet) != VPC_ENCODED_BYTES:
-            raise ValueError("truncated binary trace")
-        trace.append(decode_vpc(packet))
+            raise TraceFormatError(
+                f"truncated record / trailing garbage: got {len(packet)} "
+                f"of {VPC_ENCODED_BYTES} bytes",
+                offset=offset,
+            )
+        try:
+            trace.append(decode_vpc(packet))
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"undecodable record: {exc}", offset=offset
+            ) from exc
+        offset += VPC_ENCODED_BYTES
     return trace

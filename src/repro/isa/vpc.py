@@ -20,6 +20,7 @@ preparation).
 from __future__ import annotations
 
 import enum
+import numbers
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -58,18 +59,38 @@ class VPC:
     size: int
 
     def __post_init__(self) -> None:
-        if self.size <= 0:
-            raise ValueError(f"size must be positive, got {self.size}")
-        if self.src1 < 0 or self.des < 0:
-            raise ValueError("addresses must be non-negative")
+        if not isinstance(self.opcode, VPCOpcode):
+            raise TypeError(
+                f"opcode must be a VPCOpcode, got {self.opcode!r}"
+            )
+        # src2 is None exactly for TRAN (Table II: the only one-source
+        # command); everything else takes two operand addresses.
         if self.opcode is VPCOpcode.TRAN:
             if self.src2 is not None:
                 raise ValueError("TRAN takes a single source operand")
-        else:
-            if self.src2 is None:
-                raise ValueError(f"{self.opcode.value} needs two operands")
-            if self.src2 < 0:
-                raise ValueError("addresses must be non-negative")
+        elif self.src2 is None:
+            raise ValueError(f"{self.opcode.value} needs two operands")
+        for name in ("src1", "src2", "des", "size"):
+            value = getattr(self, name)
+            if name == "src2" and value is None:
+                continue
+            # Bools are Integral but never a meaningful address/length;
+            # floats and strings from sloppy generators are rejected,
+            # numpy integer scalars are normalised to builtin int so the
+            # binary encoder always sees plain integers.
+            if isinstance(value, bool) or not isinstance(
+                value, numbers.Integral
+            ):
+                raise TypeError(
+                    f"{name} must be an integer, got {value!r}"
+                )
+            object.__setattr__(self, name, int(value))
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+        if self.src1 < 0 or self.des < 0 or (
+            self.src2 is not None and self.src2 < 0
+        ):
+            raise ValueError("addresses must be non-negative")
 
     @property
     def is_compute(self) -> bool:

@@ -1,0 +1,48 @@
+"""Static verification: trace/program analysis and repository lint.
+
+Two halves, sharing one diagnostic vocabulary:
+
+* :mod:`repro.verify.trace_verifier` — pre-execution verification of VPC
+  traces and placement plans (``SPV`` rules): operand bounds, subarray
+  capacity, Table II src/des overlap, pipeline data hazards, operand
+  overwrites, and placement double-booking.  Runs in O(#VPC), so it is
+  wired in front of every event-mode ``cycle_sim`` run and exposed as
+  ``repro-streampim check``.
+* :mod:`repro.verify.lint` — AST lint over the simulator source
+  (``SPL`` rules), exposed as ``repro-streampim lint`` and gating CI.
+"""
+
+from repro.verify.diagnostics import (
+    ALL_RULES,
+    Diagnostic,
+    LINT_RULES,
+    Rule,
+    Severity,
+    TRACE_RULES,
+    VerifyReport,
+    make_diagnostic,
+)
+from repro.verify.lint import lint_paths, lint_source
+from repro.verify.trace_verifier import (
+    DEFAULT_HAZARD_WINDOW,
+    TraceVerificationError,
+    TraceVerifier,
+    verify_trace,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LINT_RULES",
+    "Rule",
+    "Severity",
+    "TRACE_RULES",
+    "VerifyReport",
+    "make_diagnostic",
+    "lint_paths",
+    "lint_source",
+    "DEFAULT_HAZARD_WINDOW",
+    "TraceVerificationError",
+    "TraceVerifier",
+    "verify_trace",
+]

@@ -1,0 +1,231 @@
+"""Typed diagnostics shared by the trace verifier and the repo linter.
+
+Every check emits :class:`Diagnostic` objects carrying a stable rule ID
+(``SPV0xx`` for trace/program rules, ``SPL1xx`` for repository lint
+rules), a severity, a location (a trace index or a ``file:line``), and a
+one-line fix hint.  A :class:`VerifyReport` aggregates them and decides
+pass/fail, optionally promoting warnings to errors (``--strict``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; strict mode treats WARNING as ERROR."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalogue.
+
+    Attributes:
+        rule_id: stable identifier ("SPV001", "SPL104", ...).
+        title: short name of the invariant the rule guards.
+        severity: default severity of violations.
+        hint: one-line fix suggestion attached to every diagnostic.
+    """
+
+    rule_id: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+#: Trace/program static-analysis rules (the ``check`` half).
+TRACE_RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule(
+            "SPV001",
+            "address range out of device bounds",
+            Severity.ERROR,
+            "clamp the operand to the device word space; the workload "
+            "generator placed data past the last subarray",
+        ),
+        Rule(
+            "SPV002",
+            "operand range overflows its subarray",
+            Severity.WARNING,
+            "split the vector into per-subarray slices (section IV-C "
+            "slicing); a VPC operand must live in one subarray",
+        ),
+        Rule(
+            "SPV003",
+            "source/destination ranges overlap within one VPC",
+            Severity.ERROR,
+            "stage the result in scratch words first; overlapping "
+            "src/des is undefined per Table II",
+        ),
+        Rule(
+            "SPV004",
+            "data hazard between pipelined compute VPCs",
+            Severity.WARNING,
+            "separate the dependent VPCs by at least the pipeline "
+            "window (or an intervening TRAN that drains the RM bus)",
+        ),
+        Rule(
+            "SPV005",
+            "TRAN writes into placed operand data",
+            Severity.ERROR,
+            "move-VPC destinations must target scratch or result-set "
+            "rows; rerun placement with disjoint result sets",
+        ),
+        Rule(
+            "SPV006",
+            "placement double-books a subarray row slice",
+            Severity.ERROR,
+            "two matrices claim the same words of one (bank, subarray); "
+            "the placer's cursors are inconsistent",
+        ),
+    )
+}
+
+#: Repository-invariant lint rules (the ``lint`` half).
+LINT_RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule(
+            "SPL101",
+            "float equality in timing/energy accounting",
+            Severity.ERROR,
+            "compare accumulated ns/pJ with math.isclose or an explicit "
+            "tolerance, never with == / !=",
+        ),
+        Rule(
+            "SPL102",
+            "nanowire/subarray state mutated outside repro.core/repro.rm",
+            Severity.ERROR,
+            "call the device model's methods instead of poking its "
+            "attributes from a higher layer",
+        ),
+        Rule(
+            "SPL103",
+            "frozen config dataclass without __post_init__ validation",
+            Severity.ERROR,
+            "add a __post_init__ that rejects out-of-range fields; every "
+            "*Config dataclass is a user-facing input surface",
+        ),
+        Rule(
+            "SPL104",
+            "bare assert used for input validation",
+            Severity.ERROR,
+            "raise ValueError/TypeError instead; asserts vanish under "
+            "python -O",
+        ),
+    )
+}
+
+ALL_RULES: Dict[str, Rule] = {**TRACE_RULES, **LINT_RULES}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported violation.
+
+    Attributes:
+        rule_id: catalogue identifier.
+        severity: effective severity (catalogue default unless a caller
+            overrides it).
+        location: where — ``"vpc #12"`` for trace rules, ``"path:line"``
+            for lint rules, ``"placement"`` for plan-level rules.
+        message: what went wrong, with concrete addresses/names.
+        hint: one-line fix suggestion.
+        index: trace position for trace rules (None otherwise).
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+    index: Optional[int] = None
+
+    def render(self) -> str:
+        tag = self.severity.value
+        line = f"{self.rule_id} {tag}: {self.location}: {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+
+def make_diagnostic(
+    rule_id: str,
+    location: str,
+    message: str,
+    index: Optional[int] = None,
+) -> Diagnostic:
+    """Build a diagnostic from the catalogue entry for ``rule_id``."""
+    rule = ALL_RULES[rule_id]
+    return Diagnostic(
+        rule_id=rule_id,
+        severity=rule.severity,
+        location=location,
+        message=message,
+        hint=rule.hint,
+        index=index,
+    )
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics of one verification/lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: What was analysed ("trace gemm", "src/repro", ...).
+    subject: str = ""
+    #: Findings dropped after the verifier's recording cap was hit.
+    suppressed: int = 0
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        ]
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule IDs present, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for diagnostic in self.diagnostics:
+            seen.setdefault(diagnostic.rule_id, None)
+        return list(seen)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Whether the run passes (strict promotes warnings to errors)."""
+        if strict:
+            return not self.diagnostics
+        return not self.errors
+
+    def render(self, strict: bool = False) -> str:
+        """Human-readable multi-line summary."""
+        lines = [d.render() for d in self.diagnostics]
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        verdict = "PASS" if self.ok(strict) else "FAIL"
+        strict_note = " (strict)" if strict else ""
+        summary = (
+            f"{self.subject or 'verification'}: {verdict}{strict_note} — "
+            f"{n_err} error(s), {n_warn} warning(s)"
+        )
+        if self.suppressed:
+            summary += f" (+{self.suppressed} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)

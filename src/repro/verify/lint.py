@@ -1,0 +1,261 @@
+"""Repository-invariant lint for the simulator codebase.
+
+AST-based custom rules the generic linters cannot express, each guarding
+an invariant the simulator's correctness leans on:
+
+* **SPL101** — no float ``==`` / ``!=`` in timing/energy accounting
+  paths.  Accumulated nanoseconds and picojoules are floats; exact
+  equality there silently becomes order-dependent.
+* **SPL102** — no direct mutation of nanowire/subarray state outside
+  ``repro.core`` / ``repro.rm``.  Higher layers must use the device
+  model's methods so operation counters and shift offsets stay honest.
+* **SPL103** — every ``@dataclass(frozen=True)`` class named ``*Config``
+  must validate itself in ``__post_init__``; configs are the user-facing
+  input surface of the simulator.
+* **SPL104** — no bare ``assert`` in ``src/repro``: asserts vanish under
+  ``python -O``, so they must never guard input validation.
+
+Run via ``repro-streampim lint`` (or ``make lint``); the pass is also a
+CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    VerifyReport,
+    make_diagnostic,
+)
+
+#: Module paths (relative to the package root, posix form) that belong to
+#: the timing/energy accounting surface guarded by SPL101.
+TIMING_ENERGY_PATHS = (
+    "rm/timing.py",
+    "dram/timing.py",
+    "sim/",
+    "core/",
+    "analysis/",
+    "baselines/",
+)
+
+#: Identifier suffixes that mark a float timing/energy quantity.
+_FLOAT_QUANTITY_SUFFIXES = (
+    "_ns",
+    "_pj",
+    "_nj",
+    "_mj",
+    "_mhz",
+    "_ghz",
+    "_nm",
+)
+
+#: Variable names that look like handles to RM device-state objects.
+_DEVICE_STATE_NAME = re.compile(
+    r"(nanowire|racetrack|subarray|wire|track)", re.IGNORECASE
+)
+
+#: Package subtrees allowed to mutate RM device state directly.
+_DEVICE_STATE_OWNERS = ("rm/", "core/")
+
+
+def _identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_float_quantity(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    name = _identifier(node)
+    if name is None:
+        return False
+    return name.endswith(_FLOAT_QUANTITY_SUFFIXES)
+
+
+class _Linter(ast.NodeVisitor):
+    """Collects diagnostics for one module."""
+
+    def __init__(self, rel_path: str, display_path: str) -> None:
+        self.rel_path = rel_path
+        self.display_path = display_path
+        self.diagnostics: List[Diagnostic] = []
+        self._in_timing_path = self.rel_path.startswith(
+            TIMING_ENERGY_PATHS
+        ) or self.rel_path in TIMING_ENERGY_PATHS
+
+    def _emit(self, rule_id: str, line: int, message: str) -> None:
+        self.diagnostics.append(
+            make_diagnostic(
+                rule_id, f"{self.display_path}:{line}", message
+            )
+        )
+
+    # -- SPL101 --------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._in_timing_path and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            sides = [node.left, *node.comparators]
+            offender = next(
+                (s for s in sides if _is_float_quantity(s)), None
+            )
+            if offender is not None:
+                what = (
+                    repr(offender.value)
+                    if isinstance(offender, ast.Constant)
+                    else _identifier(offender)
+                )
+                self._emit(
+                    "SPL101",
+                    node.lineno,
+                    f"float equality against {what} in a timing/energy "
+                    "accounting module",
+                )
+        self.generic_visit(node)
+
+    # -- SPL102 --------------------------------------------------------
+    def _check_state_mutation(self, target: ast.AST, line: int) -> None:
+        if self.rel_path.startswith(_DEVICE_STATE_OWNERS):
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if not isinstance(base, ast.Name) or base.id in ("self", "cls"):
+            return
+        if _DEVICE_STATE_NAME.search(base.id):
+            self._emit(
+                "SPL102",
+                line,
+                f"direct mutation of {base.id}.{target.attr} outside "
+                "repro.core/repro.rm",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_state_mutation(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_state_mutation(node.target, node.lineno)
+        self.generic_visit(node)
+
+    # -- SPL103 --------------------------------------------------------
+    @staticmethod
+    def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            name = getattr(func, "id", getattr(func, "attr", None))
+            if name != "dataclass":
+                continue
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Config") and self._is_frozen_dataclass(
+            node
+        ):
+            has_post_init = any(
+                isinstance(item, ast.FunctionDef)
+                and item.name == "__post_init__"
+                for item in node.body
+            )
+            if not has_post_init:
+                self._emit(
+                    "SPL103",
+                    node.lineno,
+                    f"frozen dataclass {node.name!r} has no "
+                    "__post_init__ validation",
+                )
+        self.generic_visit(node)
+
+    # -- SPL104 --------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._emit(
+            "SPL104",
+            node.lineno,
+            "bare assert statement (stripped under python -O)",
+        )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, rel_path: str, display_path: Optional[str] = None
+) -> List[Diagnostic]:
+    """Lint one module's source text.
+
+    Args:
+        source: the module text.
+        rel_path: path relative to the package root (posix form) — rule
+            scoping keys off it.
+        display_path: path to show in diagnostics (defaults to
+            ``rel_path``).
+    """
+    linter = _Linter(rel_path, display_path or rel_path)
+    linter.visit(ast.parse(source))
+    return linter.diagnostics
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the lint target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_python_files(root: Path) -> Iterable[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+) -> VerifyReport:
+    """Lint python files/directories (default: the repro package).
+
+    Returns:
+        A :class:`VerifyReport`; lint findings are all errors, so
+        ``report.ok()`` is the gate.
+    """
+    if not paths:
+        targets: List[Path] = [package_root()]
+    else:
+        targets = [Path(p) for p in paths]
+    root = package_root()
+    report = VerifyReport(subject="lint")
+    for target in targets:
+        files = (
+            iter_python_files(target) if target.is_dir() else [target]
+        )
+        for path in files:
+            resolved = path.resolve()
+            try:
+                rel = resolved.relative_to(root).as_posix()
+            except ValueError:
+                rel = resolved.name
+            try:
+                display = str(path)
+                report.extend(
+                    lint_source(
+                        resolved.read_text(encoding="utf-8"),
+                        rel,
+                        display,
+                    )
+                )
+            except SyntaxError as exc:
+                raise SyntaxError(
+                    f"cannot lint {path}: {exc}"
+                ) from exc
+    return report

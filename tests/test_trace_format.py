@@ -1,0 +1,186 @@
+"""Hardened trace readers, VPC operand validation, encode round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import TraceFormatError
+from repro.isa.encoding import VPC_ENCODED_BYTES, decode_vpc, encode_vpc
+from repro.isa.trace import (
+    VPCTrace,
+    read_trace,
+    read_trace_binary,
+    write_trace,
+    write_trace_binary,
+)
+from repro.isa.vpc import VPC, VPCOpcode
+
+_MAGIC = b"VPCT\x01"
+
+
+def binary_bytes(trace):
+    buffer = io.BytesIO()
+    write_trace_binary(trace, buffer)
+    return buffer.getvalue()
+
+
+class TestBinaryReaderErrors:
+    def test_bad_magic_reports_offset_zero(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace_binary(io.BytesIO(b"NOPE\x01" + b"\x00" * 21))
+        assert excinfo.value.offset == 0
+        assert "magic" in str(excinfo.value)
+
+    def test_empty_file_is_bad_magic(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace_binary(io.BytesIO(b""))
+        assert excinfo.value.offset == 0
+
+    def test_truncated_record_reports_byte_offset(self):
+        trace = VPCTrace([VPC.tran(0, 8, 4), VPC.add(0, 8, 16, 4)])
+        data = binary_bytes(trace)
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace_binary(io.BytesIO(data[:-7]))
+        # The second record starts after magic + one full record.
+        assert excinfo.value.offset == len(_MAGIC) + VPC_ENCODED_BYTES
+        assert "truncated" in str(excinfo.value)
+        assert f"offset {excinfo.value.offset}" in str(excinfo.value)
+
+    def test_trailing_garbage_is_rejected(self):
+        data = binary_bytes(VPCTrace([VPC.tran(0, 8, 4)]))
+        with pytest.raises(TraceFormatError):
+            read_trace_binary(io.BytesIO(data + b"\xff\xff"))
+
+    def test_unknown_opcode_byte_reports_offset(self):
+        good = binary_bytes(VPCTrace([VPC.tran(0, 8, 4)]))
+        corrupt = bytearray(good)
+        corrupt[len(_MAGIC)] = 0x7F
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace_binary(io.BytesIO(bytes(corrupt)))
+        assert excinfo.value.offset == len(_MAGIC)
+        assert "0x7f" in str(excinfo.value)
+
+    def test_error_is_a_value_error(self):
+        # Callers that predate the dedicated type still catch it.
+        assert issubclass(TraceFormatError, ValueError)
+
+
+class TestTextReaderErrors:
+    def test_bad_line_reports_line_number(self):
+        source = io.StringIO("# header\nTRAN 0 8 4\nMUL 1 2 oops 4\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            read_trace(source)
+        assert excinfo.value.line == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_wrong_field_count_is_flagged(self):
+        with pytest.raises(TraceFormatError):
+            read_trace(io.StringIO("TRAN 0 8\n"))
+        with pytest.raises(TraceFormatError):
+            read_trace(io.StringIO("ADD 0 8 16\n"))
+
+    def test_unknown_opcode_is_flagged(self):
+        with pytest.raises(TraceFormatError):
+            read_trace(io.StringIO("FROB 0 8 16 4\n"))
+
+    def test_comments_and_blanks_are_skipped(self):
+        source = io.StringIO("# c\n\nTRAN 0 8 4\n")
+        assert len(read_trace(source)) == 1
+
+
+class TestRoundTrips:
+    def test_text_round_trip(self, tmp_path):
+        trace = VPCTrace(
+            [
+                VPC.mul(0, 8, 16, 4),
+                VPC.smul(1, 8, 16, 4),
+                VPC.add(0, 8, 16, 4),
+                VPC.tran(16, 32, 4),
+            ]
+        )
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        assert list(read_trace(path)) == list(trace)
+
+    def test_binary_round_trip(self, tmp_path):
+        trace = VPCTrace([VPC.tran(0, 8, 4), VPC.mul(0, 8, 16, 4)])
+        path = tmp_path / "t.bin"
+        write_trace_binary(trace, path)
+        assert list(read_trace_binary(path)) == list(trace)
+
+
+class TestVPCValidation:
+    def test_float_operand_rejected(self):
+        with pytest.raises(TypeError):
+            VPC.tran(0.5, 8, 4)
+        with pytest.raises(TypeError):
+            VPC.mul(0, 8, 16, 4.0)
+
+    def test_string_operand_rejected(self):
+        with pytest.raises(TypeError):
+            VPC.add("0", 8, 16, 4)
+
+    def test_bool_operand_rejected(self):
+        with pytest.raises(TypeError):
+            VPC.tran(True, 8, 4)
+
+    def test_opcode_type_checked(self):
+        with pytest.raises(TypeError):
+            VPC("MUL", 0, 8, 16, 4)
+
+    def test_numpy_integers_normalised(self):
+        vpc = VPC.tran(np.int64(3), np.int32(9), np.uint16(4))
+        assert vpc.src1 == 3 and type(vpc.src1) is int
+        assert type(vpc.des) is int and type(vpc.size) is int
+        # and the binary encoder accepts the result
+        assert decode_vpc(encode_vpc(vpc)) == VPC.tran(3, 9, 4)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VPC.tran(0, 8, 0)
+        with pytest.raises(ValueError):
+            VPC.mul(0, 8, 16, -1)
+
+    def test_addresses_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            VPC.tran(-1, 8, 4)
+        with pytest.raises(ValueError):
+            VPC.add(0, -8, 16, 4)
+
+    def test_src2_is_none_iff_tran(self):
+        with pytest.raises(ValueError):
+            VPC(VPCOpcode.TRAN, 0, 8, 16, 4)
+        with pytest.raises(ValueError):
+            VPC(VPCOpcode.MUL, 0, None, 16, 4)
+
+
+_FIELD_MAX = (1 << 40) - 2
+addresses = st.integers(min_value=0, max_value=_FIELD_MAX)
+sizes = st.integers(min_value=1, max_value=_FIELD_MAX)
+
+
+@st.composite
+def vpcs(draw):
+    opcode = draw(st.sampled_from(list(VPCOpcode)))
+    src2 = None if opcode is VPCOpcode.TRAN else draw(addresses)
+    return VPC(opcode, draw(addresses), src2, draw(addresses), draw(sizes))
+
+
+class TestEncodingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(vpcs())
+    def test_encode_decode_round_trip(self, vpc):
+        packet = encode_vpc(vpc)
+        assert len(packet) == VPC_ENCODED_BYTES
+        assert decode_vpc(packet) == vpc
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(vpcs(), max_size=20))
+    def test_binary_trace_round_trip(self, commands):
+        trace = VPCTrace(commands)
+        restored = read_trace_binary(io.BytesIO(binary_bytes(trace)))
+        assert list(restored) == commands
+        assert restored.stats == trace.stats

@@ -1,0 +1,410 @@
+"""Static trace verifier: every SPV rule, positive and negative."""
+
+import io
+
+import pytest
+
+from repro.core.device import StreamPIMConfig, StreamPIMDevice
+from repro.core.placement import (
+    MatrixHandle,
+    PlacementPlan,
+    PlacementPolicy,
+    RowSlice,
+)
+from repro.isa.trace import VPCTrace, write_trace, write_trace_binary
+from repro.isa.vpc import VPC
+from repro.rm.address import AddressMap, DeviceGeometry
+from repro.verify import (
+    Severity,
+    TraceVerificationError,
+    TraceVerifier,
+    verify_trace,
+)
+
+
+@pytest.fixture
+def geometry(small_geometry):
+    return small_geometry
+
+
+@pytest.fixture
+def amap(geometry):
+    return AddressMap(geometry)
+
+
+def rules_of(report):
+    return set(report.rule_ids())
+
+
+class TestBounds:
+    def test_clean_trace_passes(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.mul(base, base + 8, base + 16, 4)])
+        report = verify_trace(trace, geometry=geometry)
+        assert report.ok(strict=True)
+        assert not report.diagnostics
+
+    def test_spv001_out_of_device(self, geometry, amap):
+        end = amap.total_words
+        trace = VPCTrace([VPC.tran(end + 10, 0, 4)])
+        report = verify_trace(trace, geometry=geometry)
+        assert "SPV001" in rules_of(report)
+        assert not report.ok()
+
+    def test_spv001_range_runs_past_end(self, geometry, amap):
+        # Start is in bounds; start + size is not.
+        trace = VPCTrace([VPC.tran(amap.total_words - 2, 0, 8)])
+        report = verify_trace(trace, geometry=geometry)
+        assert "SPV001" in rules_of(report)
+
+    def test_spv002_crosses_subarray(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        cap = amap.words_per_subarray
+        trace = VPCTrace([VPC.tran(base + cap - 2, base, 4)])
+        report = verify_trace(trace, geometry=geometry)
+        assert "SPV002" in rules_of(report)
+        # Subarray overflow is a warning: fails only under strict.
+        assert report.ok()
+        assert not report.ok(strict=True)
+
+    def test_diagnostic_carries_index_and_hint(self, geometry, amap):
+        trace = VPCTrace(
+            [
+                VPC.tran(amap.subarray_base(0, 0), amap.subarray_base(0, 1), 2),
+                VPC.tran(amap.total_words, 0, 1),
+            ]
+        )
+        report = verify_trace(trace, geometry=geometry)
+        (diag,) = report.by_rule("SPV001")
+        assert diag.index == 1
+        assert diag.hint
+        assert diag.severity is Severity.ERROR
+        assert "vpc #1" in diag.render()
+
+
+class TestOverlap:
+    def test_spv003_des_inside_source(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.add(base, base + 16, base + 4, 8)])
+        report = verify_trace(trace, geometry=geometry)
+        assert "SPV003" in rules_of(report)
+        assert not report.ok()
+
+    def test_spv003_partial_tran_overlap(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.tran(base, base + 2, 4)])
+        report = verify_trace(trace, geometry=geometry)
+        assert "SPV003" in rules_of(report)
+
+    def test_identity_tran_is_defined(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.tran(base, base, 3)])
+        report = verify_trace(trace, geometry=geometry)
+        assert report.ok(strict=True)
+
+    def test_aligned_inplace_add_is_defined(self, geometry, amap):
+        # C = C + B with C read and written at the same aligned range
+        # (the MLP bias add) is element-wise defined.
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.add(base, base + 32, base, 8)])
+        report = verify_trace(trace, geometry=geometry)
+        assert report.ok(strict=True)
+
+
+class TestHazards:
+    def test_spv004_raw_between_adjacent_computes(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [
+                VPC.mul(base, base + 8, base + 16, 4),
+                VPC.add(base + 16, base + 32, base + 48, 4),
+            ]
+        )
+        report = verify_trace(trace, geometry=geometry)
+        (diag,) = report.by_rule("SPV004")
+        assert "RAW" in diag.message
+        assert report.ok() and not report.ok(strict=True)
+
+    def test_spv004_waw_and_war(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        # vpc1 writes [base+8, base+20): over vpc0's src2 read (WAR) and
+        # its destination (WAW), without reading anything vpc0 wrote.
+        trace = VPCTrace(
+            [
+                VPC.add(base, base + 8, base + 16, 4),
+                VPC.add(base + 64, base + 96, base + 8, 12),
+            ]
+        )
+        report = verify_trace(trace, geometry=geometry)
+        (diag,) = report.by_rule("SPV004")
+        assert "WAR" in diag.message
+        assert "WAW" in diag.message
+        assert "RAW" not in diag.message
+
+    def test_no_hazard_outside_window(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        filler = [
+            VPC.tran(base + 64 + 8 * i, base + 128 + 8 * i, 4)
+            for i in range(4)
+        ]
+        trace = VPCTrace(
+            [VPC.mul(base, base + 8, base + 16, 4)]
+            + filler
+            + [VPC.add(base + 16, base + 32, base + 48, 4)]
+        )
+        report = verify_trace(trace, geometry=geometry)
+        assert not report.by_rule("SPV004")
+
+    def test_tran_never_hazards(self, geometry, amap):
+        # Move-VPCs go through the blocking read/write path, not the
+        # processor pipeline: MUL -> TRAN(result) at distance 1 is the
+        # generator's collection idiom and must stay clean.
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [
+                VPC.mul(base, base + 8, base + 16, 4),
+                VPC.tran(base + 16, base + 32, 1),
+            ]
+        )
+        report = verify_trace(trace, geometry=geometry)
+        assert report.ok(strict=True)
+
+    def test_window_is_configurable(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [
+                VPC.mul(base, base + 8, base + 16, 4),
+                VPC.tran(base + 64, base + 96, 4),
+                VPC.add(base + 16, base + 32, base + 48, 4),
+            ]
+        )
+        wide = verify_trace(trace, geometry=geometry, hazard_window=8)
+        narrow = verify_trace(trace, geometry=geometry, hazard_window=2)
+        assert wide.by_rule("SPV004")
+        assert not narrow.by_rule("SPV004")
+
+
+def _plan_with(handles):
+    plan = PlacementPlan(policy=PlacementPolicy.DISTRIBUTE)
+    for handle in handles:
+        plan.matrices[handle.name] = handle
+    return plan
+
+
+def _handle(name, slices, result=False):
+    return MatrixHandle(
+        name=name,
+        rows=len(slices),
+        cols=slices[0].length,
+        rows_placement=[[piece] for piece in slices],
+        result_set=result,
+    )
+
+
+class TestPlacementRules:
+    def test_spv005_tran_overwrites_operand(self, geometry, amap):
+        base = amap.subarray_base(0, 1)
+        plan = _plan_with(
+            [
+                _handle(
+                    "A",
+                    [RowSlice(0, 1, base, 0, 16)],
+                    result=False,
+                )
+            ]
+        )
+        trace = VPCTrace([VPC.tran(amap.subarray_base(0, 0), base + 4, 4)])
+        report = verify_trace(trace, geometry=geometry, plan=plan)
+        (diag,) = report.by_rule("SPV005")
+        assert "'A'" in diag.message
+        assert not report.ok()
+
+    def test_tran_into_result_rows_is_fine(self, geometry, amap):
+        base = amap.subarray_base(0, 1)
+        plan = _plan_with(
+            [_handle("C", [RowSlice(0, 1, base, 0, 16)], result=True)]
+        )
+        trace = VPCTrace([VPC.tran(amap.subarray_base(0, 0), base + 4, 4)])
+        report = verify_trace(trace, geometry=geometry, plan=plan)
+        assert not report.by_rule("SPV005")
+
+    def test_spv006_double_booked_slice(self, geometry, amap):
+        base = amap.subarray_base(0, 2)
+        plan = _plan_with(
+            [
+                _handle("A", [RowSlice(0, 2, base, 0, 16)]),
+                _handle("B", [RowSlice(0, 2, base + 8, 0, 16)]),
+            ]
+        )
+        report = verify_trace(VPCTrace(), geometry=geometry, plan=plan)
+        (diag,) = report.by_rule("SPV006")
+        assert "'A'" in diag.message and "'B'" in diag.message
+        assert not report.ok()
+
+    def test_disjoint_slices_pass(self, geometry, amap):
+        base = amap.subarray_base(0, 2)
+        plan = _plan_with(
+            [
+                _handle("A", [RowSlice(0, 2, base, 0, 16)]),
+                _handle("B", [RowSlice(0, 2, base + 16, 0, 16)]),
+            ]
+        )
+        report = verify_trace(VPCTrace(), geometry=geometry, plan=plan)
+        assert report.ok(strict=True)
+
+
+class TestVerifierMechanics:
+    def test_rule_subset(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.add(base, base + 16, base + 4, 8)])
+        verifier = TraceVerifier(geometry=geometry, rules=("SPV001",))
+        assert verifier.verify(trace).ok(strict=True)
+
+    def test_diagnostic_cap(self, geometry, amap):
+        bad = amap.total_words
+        trace = VPCTrace([VPC.tran(bad, 0, 1) for _ in range(40)])
+        verifier = TraceVerifier(geometry=geometry, max_diagnostics=10)
+        report = verifier.verify(trace)
+        assert len(report.diagnostics) == 10
+        assert report.suppressed == 30
+        assert "suppressed" in report.render()
+
+    def test_bad_window_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            TraceVerifier(geometry=geometry, hazard_window=0)
+
+    def test_report_render_mentions_verdict(self, geometry, amap):
+        report = verify_trace(VPCTrace(), geometry=geometry)
+        assert "PASS" in report.render()
+
+
+class TestDeviceAutoVerify:
+    def test_execute_trace_rejects_out_of_bounds(self, small_device):
+        bad = small_device.address_map.total_words
+        trace = VPCTrace([VPC.tran(bad, 0, 4)])
+        with pytest.raises(TraceVerificationError) as excinfo:
+            small_device.execute_trace(trace)
+        assert "SPV001" in str(excinfo.value)
+        assert excinfo.value.report.by_rule("SPV001")
+
+    def test_verify_flag_skips_the_gate(self, small_device):
+        # With the gate off the bad address reaches the address map raw:
+        # an IndexError from deep inside instead of a typed report.
+        bad = small_device.address_map.total_words
+        trace = VPCTrace([VPC.tran(bad, 0, 4)])
+        with pytest.raises(IndexError):
+            small_device.execute_trace(trace, verify=False)
+
+    def test_semantic_warnings_do_not_block_execution(self, small_device):
+        # Only memory-safety (bounds) gates execution; Table II overlap
+        # is check-tool territory.
+        base = small_device.address_map.subarray_base(0, 0)
+        trace = VPCTrace([VPC.add(base, base + 16, base + 4, 8)])
+        stats = small_device.execute_trace(trace)
+        assert stats.time_ns > 0
+
+
+class TestWorkloadGeneratorsPassStrict:
+    @pytest.mark.parametrize(
+        "name", ["gemm", "atax", "bicg", "mvt", "gesu", "2mm"]
+    )
+    def test_polybench_strict_clean(self, name):
+        from repro.workloads import polybench_workload
+
+        spec = polybench_workload(name, scale=0.01)
+        task = spec.build_task()
+        trace = task.to_trace()
+        verifier = TraceVerifier(
+            geometry=task.device.config.geometry,
+            plan=task.placement_plan,
+        )
+        report = verifier.verify(trace, subject=spec.name)
+        assert report.ok(strict=True), report.render(strict=True)
+
+    def test_dnn_generators_strict_clean(self):
+        from repro.workloads.dnn import (
+            BERTShape,
+            MLPShape,
+            bert_spec,
+            mlp_spec,
+        )
+
+        for spec in (
+            mlp_spec(MLPShape(batch=4, layers=(16, 12, 8))),
+            bert_spec(
+                BERTShape(seq_len=4, hidden=8, ffn=16, heads=2, layers=1)
+            ),
+        ):
+            task = spec.build_task()
+            trace = task.to_trace()
+            verifier = TraceVerifier(
+                geometry=task.device.config.geometry,
+                plan=task.placement_plan,
+            )
+            report = verifier.verify(trace, subject=spec.name)
+            assert report.ok(strict=True), report.render(strict=True)
+
+
+class TestCheckCli:
+    def test_check_workload_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "gemm", "--scale", "0.01", "--strict"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_flags_seeded_corrupt_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        amap = AddressMap(DeviceGeometry())
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [
+                # out-of-bounds address
+                VPC.tran(amap.total_words + 5, base, 4),
+                # overlapping src/des
+                VPC.add(base, base + 16, base + 4, 8),
+            ]
+        )
+        path = tmp_path / "corrupt.trace"
+        write_trace(trace, path)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SPV001" in out
+        assert "SPV003" in out
+        assert "FAIL" in out
+
+    def test_check_reads_binary_traces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        amap = AddressMap(DeviceGeometry())
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.mul(base, base + 8, base + 16, 4)])
+        path = tmp_path / "ok.bin"
+        write_trace_binary(trace, path)
+        assert main(["check", str(path), "--strict"]) == 0
+
+    def test_check_requires_a_target(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_lint_cli_clean_on_repo(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_replay_no_verify_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        amap = AddressMap(DeviceGeometry())
+        trace = VPCTrace([VPC.tran(amap.total_words + 5, 0, 1)])
+        path = tmp_path / "bad.trace"
+        write_trace(trace, path)
+        # Gated replay fails with the typed report; --no-verify bypasses
+        # the gate, so the raw IndexError from the address map surfaces.
+        with pytest.raises(TraceVerificationError):
+            main(["replay", str(path)])
+        with pytest.raises(IndexError):
+            main(["replay", str(path), "--no-verify"])

@@ -1,0 +1,228 @@
+"""Simulator-invariant lint rules (SPL101..SPL104)."""
+
+import textwrap
+
+from repro.verify import LINT_RULES, Severity, lint_paths, lint_source
+
+
+def lint(source, rel_path="core/module.py"):
+    return lint_source(textwrap.dedent(source), rel_path)
+
+
+def rule_ids(diags):
+    return [d.rule_id for d in diags]
+
+
+class TestFloatEquality:
+    def test_flags_float_literal_comparison(self):
+        diags = lint(
+            """
+            def f(elapsed):
+                if elapsed == 1.5:
+                    return True
+            """
+        )
+        assert rule_ids(diags) == ["SPL101"]
+
+    def test_flags_quantity_suffixed_names(self):
+        diags = lint(
+            """
+            def f(time_ns, energy_pj):
+                return time_ns != energy_pj * 0
+            """,
+            rel_path="rm/timing.py",
+        )
+        assert rule_ids(diags) == ["SPL101"]
+
+    def test_integer_equality_is_fine(self):
+        diags = lint(
+            """
+            def f(count):
+                return count == 4
+            """
+        )
+        assert not diags
+
+    def test_ordering_comparisons_are_fine(self):
+        diags = lint(
+            """
+            def f(time_ns):
+                return time_ns >= 1.5
+            """
+        )
+        assert not diags
+
+    def test_out_of_scope_module_is_exempt(self):
+        diags = lint(
+            """
+            def f(time_ns):
+                return time_ns == 1.5
+            """,
+            rel_path="workloads/polybench.py",
+        )
+        assert not diags
+
+
+class TestDeviceStateMutation:
+    def test_flags_attribute_assignment(self):
+        diags = lint(
+            """
+            def poke(nanowire):
+                nanowire.offset = 3
+            """,
+            rel_path="analysis/hack.py",
+        )
+        assert rule_ids(diags) == ["SPL102"]
+        assert "nanowire.offset" in diags[0].message
+
+    def test_flags_augmented_assignment(self):
+        diags = lint(
+            """
+            def poke(subarray):
+                subarray.shifts += 1
+            """,
+            rel_path="workloads/hack.py",
+        )
+        assert rule_ids(diags) == ["SPL102"]
+
+    def test_owner_packages_are_exempt(self):
+        source = """
+        def poke(nanowire):
+            nanowire.offset = 3
+        """
+        assert not lint(source, rel_path="rm/nanowire.py")
+        assert not lint(source, rel_path="core/device.py")
+
+    def test_self_attribute_is_fine(self):
+        diags = lint(
+            """
+            class Tracker:
+                def bump(self):
+                    self.subarray_hits = 1
+            """,
+            rel_path="analysis/tracker.py",
+        )
+        assert not diags
+
+    def test_unrelated_names_are_fine(self):
+        diags = lint(
+            """
+            def f(config):
+                config.scale = 2
+            """,
+            rel_path="analysis/tuner.py",
+        )
+        assert not diags
+
+
+class TestFrozenConfigValidation:
+    def test_flags_unvalidated_frozen_config(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PumpConfig:
+                rate: float
+            """
+        )
+        assert rule_ids(diags) == ["SPL103"]
+        assert "PumpConfig" in diags[0].message
+
+    def test_flags_qualified_decorator_too(self):
+        diags = lint(
+            """
+            import dataclasses
+
+            @dataclasses.dataclass(frozen=True)
+            class PumpConfig:
+                rate: float
+            """
+        )
+        assert rule_ids(diags) == ["SPL103"]
+
+    def test_post_init_satisfies_the_rule(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PumpConfig:
+                rate: float
+
+                def __post_init__(self):
+                    if self.rate < 0:
+                        raise ValueError("rate must be non-negative")
+            """
+        )
+        assert not diags
+
+    def test_mutable_dataclass_is_exempt(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class PumpConfig:
+                rate: float
+            """
+        )
+        assert not diags
+
+    def test_non_config_class_is_exempt(self):
+        diags = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PumpResult:
+                rate: float
+            """
+        )
+        assert not diags
+
+
+class TestBareAssert:
+    def test_flags_assert(self):
+        diags = lint(
+            """
+            def f(x):
+                assert x > 0
+                return x
+            """,
+            rel_path="workloads/f.py",
+        )
+        assert rule_ids(diags) == ["SPL104"]
+
+    def test_explicit_raise_is_fine(self):
+        diags = lint(
+            """
+            def f(x):
+                if x <= 0:
+                    raise ValueError("x must be positive")
+                return x
+            """
+        )
+        assert not diags
+
+
+class TestRuleMetadata:
+    def test_every_lint_rule_is_an_error(self):
+        for rule in LINT_RULES.values():
+            assert rule.severity is Severity.ERROR
+            assert rule.hint
+
+    def test_diagnostics_carry_file_and_line(self):
+        (diag,) = lint(
+            """
+            assert True
+            """,
+            rel_path="sim/x.py",
+        )
+        assert diag.location == "sim/x.py:2"
+
+
+class TestRepoIsClean:
+    def test_shipped_package_lints_clean(self):
+        report = lint_paths()
+        assert report.ok(), report.render()
