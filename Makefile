@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench figures docs examples clean
+.PHONY: install test lint check bench bench-perf figures docs examples clean
+
+# Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
+BENCH_FLAGS ?=
 
 install:
 	pip install -e .
@@ -18,6 +21,9 @@ check:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-perf:
+	$(PYTHON) tools/bench_trace_exec.py $(BENCH_FLAGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

@@ -83,23 +83,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_worker(job):
+    """Run one (platform, workload) pair; top-level so it pickles."""
+    pname, wname, scale = job
+    spec = _lookup_workload(wname, scale)
+    stats = default_platforms()[pname].run(spec)
+    return pname, wname, stats.time_ns, stats.energy.total_pj
+
+
+def _sweep_metrics(names, scale: float, jobs: int):
+    """(time_ns, total_pj) per (platform, workload), optionally parallel.
+
+    The (platform x workload) grid is embarrassingly parallel — every
+    cell builds its own spec and platform, so with ``--jobs N`` the
+    cells run in a process pool and results are identical to the
+    sequential order (each cell is deterministic).
+    """
+    platform_names = list(default_platforms())
+    jobs_list = [
+        (pname, wname, scale)
+        for pname in platform_names
+        for wname in names
+    ]
+    if jobs <= 1:
+        results = [_sweep_worker(job) for job in jobs_list]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_sweep_worker, jobs_list))
+    return platform_names, {
+        (pname, wname): (time_ns, total_pj)
+        for pname, wname, time_ns, total_pj in results
+    }
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = args.workloads or list(POLYBENCH)
-    specs = [_lookup_workload(name, args.scale) for name in names]
-    platforms = default_platforms()
-    results = {
-        pname: {spec.name: platform.run(spec) for spec in specs}
-        for pname, platform in platforms.items()
-    }
+    for name in names:
+        _lookup_workload(name, args.scale)  # fail fast on bad names
+    platform_names, metrics = _sweep_metrics(names, args.scale, args.jobs)
     rows = []
-    for pname in platforms:
+    for pname in platform_names:
         speedups = [
-            results["CPU-RM"][w].time_ns / results[pname][w].time_ns
+            metrics[("CPU-RM", w)][0] / metrics[(pname, w)][0]
             for w in names
         ]
         energies = [
-            results[pname][w].energy.total_pj
-            / results["StPIM"][w].energy.total_pj
+            metrics[(pname, w)][1] / metrics[("StPIM", w)][1]
             for w in names
         ]
         rows.append(
@@ -233,10 +264,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     """Replay a saved VPC trace through the event-driven device."""
     from repro.core.device import StreamPIMDevice
 
-    trace = read_trace(args.trace)
+    if args.engine == "vector":
+        # Columnar bulk decode feeds the vectorized executor directly.
+        from repro.isa.columnar import read_trace_columnar
+
+        trace = read_trace_columnar(args.trace)
+    else:
+        trace = _load_trace_file(args.trace)
     device = StreamPIMDevice()
     stats = device.execute_trace(
-        trace, functional=False, verify=not args.no_verify
+        trace,
+        functional=False,
+        verify=not args.no_verify,
+        engine=args.engine,
     )
     print(f"replayed {len(trace):,} commands from {args.trace}")
     print(f"time   : {stats.time_ns / 1e3:.2f} us")
@@ -357,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="Fig. 17/18 platform comparison")
     sweep.add_argument("--workloads", nargs="*", default=None)
     sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run (platform, workload) pairs in N parallel processes",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     counts = sub.add_parser("counts", help="Table IV VPC counts")
@@ -379,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the pre-execution bounds verification",
+    )
+    replay.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="event executor: the reference per-VPC loop or the "
+        "columnar vectorized fast path (identical results)",
     )
     replay.set_defaults(func=_cmd_replay)
 

@@ -43,6 +43,7 @@ from repro.rm.address import AddressMap, DeviceGeometry
 from repro.rm.timing import RMTimingConfig
 from repro.sim.engine import Resource
 from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+from repro.sim.vector_exec import sweep_spans
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,7 @@ class StreamPIMDevice:
             prep_model=self.config.prep_model,
         )
         self.store = WordStore()
+        self._bounds_verifier = None
 
     # ------------------------------------------------------------------
     # Analytic mode
@@ -143,6 +145,7 @@ class StreamPIMDevice:
         workload: str = "trace",
         functional: bool = True,
         verify: bool = True,
+        engine: str = "scalar",
     ) -> RunStats:
         """Execute an explicit VPC stream with per-subarray blocking.
 
@@ -152,7 +155,8 @@ class StreamPIMDevice:
         different subarrays overlap.
 
         Args:
-            trace: the VPC stream.
+            trace: the VPC stream (a :class:`~repro.isa.trace.VPCTrace`
+                or :class:`~repro.isa.columnar.ColumnarTrace`).
             workload: label for the returned stats.
             functional: move/compute real data through the word store.
             verify: statically check operand bounds before executing
@@ -162,27 +166,50 @@ class StreamPIMDevice:
                 False to replay a known-bad trace anyway.  The full rule
                 set (overlap, hazards, placement) is the job of
                 ``repro-streampim check``.
+            engine: ``"scalar"`` (the reference per-VPC event loop) or
+                ``"vector"`` (the columnar fast path of
+                :mod:`repro.sim.vector_exec`; identical results,
+                orders of magnitude faster on large traces).
 
         Returns:
             RunStats with total time, time/energy breakdowns and VPC
             counters.
         """
-        if verify:
-            from repro.verify.trace_verifier import (
-                TraceVerificationError,
-                TraceVerifier,
+        if engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
             )
+        if engine == "vector":
+            from repro.isa.columnar import ColumnarTrace
+            from repro.sim.vector_exec import execute_columnar
 
-            report = TraceVerifier(
-                geometry=self.config.geometry, rules=("SPV001",)
-            ).verify(trace, subject=workload)
+            if isinstance(trace, ColumnarTrace):
+                cols = trace
+            else:
+                cols = ColumnarTrace.from_trace(trace)
+            if verify:
+                from repro.verify.trace_verifier import (
+                    TraceVerificationError,
+                )
+
+                report = self._trace_verifier().verify_columnar(
+                    cols, subject=workload
+                )
+                if not report.ok():
+                    raise TraceVerificationError(report)
+            return execute_columnar(
+                self, cols, workload=workload, functional=functional
+            )
+        if verify:
+            from repro.verify.trace_verifier import TraceVerificationError
+
+            report = self._trace_verifier().verify(trace, subject=workload)
             if not report.ok():
                 raise TraceVerificationError(report)
         subarrays: Dict[Tuple[int, int], Resource] = {}
         internal_bus = Resource("internal-bus")
         spans: List[_Span] = []
         energy = EnergyBreakdown()
-        decode_ready = 0.0
         finish_time = 0.0
         pim_vpcs = 0
         move_vpcs = 0
@@ -192,8 +219,11 @@ class StreamPIMDevice:
                 subarrays[key] = Resource(f"subarray-{key}")
             return subarrays[key]
 
-        for vpc in trace:
-            decode_ready += self.config.vpc_decode_ns
+        for index, vpc in enumerate(trace):
+            # Derived, not accumulated: += would drift the decode clock
+            # by an ulp every few million commands and break scalar /
+            # vector equivalence.
+            decode_ready = (index + 1) * self.config.vpc_decode_ns
             if vpc.is_compute:
                 pim_vpcs += 1
                 finish = self._run_compute(
@@ -302,6 +332,22 @@ class StreamPIMDevice:
         energy.add("write", writes * self.timing.write_pj)
 
     # ------------------------------------------------------------------
+    def _trace_verifier(self):
+        """The cached pre-replay bounds verifier (SPV001 only).
+
+        Geometry is frozen for the device's lifetime, so one verifier
+        (with its geometry-derived bounds) serves every execute_trace
+        call instead of being rebuilt per call.
+        """
+        if self._bounds_verifier is None:
+            from repro.verify.trace_verifier import TraceVerifier
+
+            self._bounds_verifier = TraceVerifier(
+                geometry=self.config.geometry, rules=("SPV001",)
+            )
+        return self._bounds_verifier
+
+    # ------------------------------------------------------------------
     def _functional_enabled(self, requested: bool) -> bool:
         return requested
 
@@ -332,25 +378,10 @@ def _spans_to_breakdown(spans: List[_Span]) -> TimeBreakdown:
     (the engine-level split is finer, but at trace level the subarray is
     a black box); time covered by both classes at once is overlapped.
     """
-    breakdown = TimeBreakdown()
     if not spans:
-        return breakdown
-    edges = sorted({s.start for s in spans} | {s.finish for s in spans})
-    for left, right in zip(edges, edges[1:]):
-        width = right - left
-        has_rw = any(
-            s.start < right and s.finish > left and s.kind == "rw"
-            for s in spans
-        )
-        has_pim = any(
-            s.start < right and s.finish > left and s.kind == "pim"
-            for s in spans
-        )
-        if has_rw and has_pim:
-            breakdown.add("overlapped", width)
-        elif has_rw:
-            breakdown.add("read", width * 0.3)
-            breakdown.add("write", width * 0.7)
-        elif has_pim:
-            breakdown.add("process", width)
-    return breakdown
+        return TimeBreakdown()
+    return sweep_spans(
+        np.array([s.start for s in spans]),
+        np.array([s.finish for s in spans]),
+        np.array([s.kind == "rw" for s in spans], dtype=bool),
+    )

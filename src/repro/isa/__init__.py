@@ -8,7 +8,19 @@ PIM-VPC / move-VPC statistics reported in Table IV.
 """
 
 from repro.isa.vpc import VPCOpcode, VPC, BankCommand, BankOp
-from repro.isa.encoding import encode_vpc, decode_vpc, VPC_ENCODED_BYTES
+from repro.isa.encoding import (
+    encode_vpc,
+    decode_vpc,
+    OPCODE_TO_BYTE,
+    BYTE_TO_OPCODE,
+    NO_OPERAND_SENTINEL,
+    VPC_ENCODED_BYTES,
+)
+from repro.isa.columnar import (
+    ColumnarTrace,
+    RECORD_DTYPE,
+    read_trace_columnar,
+)
 from repro.isa.trace import (
     VPCTrace,
     TraceStats,
@@ -33,7 +45,13 @@ __all__ = [
     "BankOp",
     "encode_vpc",
     "decode_vpc",
+    "OPCODE_TO_BYTE",
+    "BYTE_TO_OPCODE",
+    "NO_OPERAND_SENTINEL",
     "VPC_ENCODED_BYTES",
+    "ColumnarTrace",
+    "RECORD_DTYPE",
+    "read_trace_columnar",
     "VPCTrace",
     "TraceStats",
     "TraceFormatError",

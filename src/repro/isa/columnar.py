@@ -1,0 +1,396 @@
+"""Columnar VPC traces: NumPy structured arrays instead of objects.
+
+The object-based :class:`~repro.isa.trace.VPCTrace` is convenient for
+generation and inspection, but walking millions of :class:`VPC`
+dataclasses dominates event-mode replay time.  This module keeps the
+same trace *content* in a single NumPy structured array — one record per
+command, one column per field — so that decoding, verification and
+execution can run as bulk array passes:
+
+* binary traces decode with one ``np.frombuffer`` over the fixed
+  21-byte wire records (no per-record ``struct``/``int.from_bytes``);
+* text traces parse straight into columns without building ``VPC``
+  objects;
+* conversion to/from :class:`~repro.isa.trace.VPCTrace` is lossless and
+  property-tested, so the columnar form is a faithful interchange format
+  rather than a lossy cache.
+
+Malformed inputs raise the same :class:`~repro.isa.trace.TraceFormatError`
+(with the same byte offsets / line numbers) as the scalar readers.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.isa.encoding import (
+    BYTE_TO_OPCODE,
+    NO_OPERAND_SENTINEL,
+    OPCODE_TO_BYTE,
+    VPC_ENCODED_BYTES,
+    decode_vpc,
+)
+from repro.isa.trace import (
+    _BINARY_MAGIC,
+    TraceFormatError,
+    TraceStats,
+    VPCTrace,
+    _parse_vpc,
+)
+from repro.isa.vpc import VPC, VPCOpcode
+
+#: One trace record: the wire opcode byte plus the four integer fields.
+#: ``src2`` holds :data:`NO_OPERAND_SENTINEL` for TRAN commands.
+RECORD_DTYPE = np.dtype(
+    [
+        ("opcode", np.uint8),
+        ("src1", np.int64),
+        ("src2", np.int64),
+        ("des", np.int64),
+        ("size", np.int64),
+    ]
+)
+
+#: Wire byte of the TRAN opcode (the only single-source command).
+TRAN_BYTE = OPCODE_TO_BYTE[VPCOpcode.TRAN]
+#: Wire byte of the MUL opcode (the only single-result-word command).
+MUL_BYTE = OPCODE_TO_BYTE[VPCOpcode.MUL]
+#: Wire byte of the SMUL opcode (scalar first operand).
+SMUL_BYTE = OPCODE_TO_BYTE[VPCOpcode.SMUL]
+
+_VALID_OPCODE_BYTES = np.array(sorted(BYTE_TO_OPCODE), dtype=np.uint8)
+_TEXT_OPCODE_BYTES = {op.value: OPCODE_TO_BYTE[op] for op in VPCOpcode}
+#: Columnar fields are int64; anything beyond this cannot round-trip.
+_COLUMN_MAX = np.iinfo(np.int64).max
+#: Little-endian byte weights of one 5-byte wire field.
+_FIELD_WEIGHTS = (np.int64(1) << (8 * np.arange(5, dtype=np.int64)))
+
+
+class ColumnarTrace:
+    """An ordered VPC stream stored as one structured NumPy array.
+
+    Semantically equivalent to :class:`~repro.isa.trace.VPCTrace`
+    (``from_trace``/``to_trace`` round-trip losslessly); operationally a
+    set of parallel columns that vectorized passes index directly.
+    """
+
+    def __init__(self, records: np.ndarray) -> None:
+        records = np.asarray(records)
+        if records.dtype != RECORD_DTYPE:
+            raise TypeError(
+                f"records must have dtype {RECORD_DTYPE}, got "
+                f"{records.dtype}"
+            )
+        if records.ndim != 1:
+            raise ValueError(
+                f"records must be 1-D, got {records.ndim}-D"
+            )
+        self.records = records
+
+    # ------------------------------------------------------------------
+    # Column views
+    # ------------------------------------------------------------------
+    @property
+    def opcode(self) -> np.ndarray:
+        """Wire opcode byte per command (uint8)."""
+        return self.records["opcode"]
+
+    @property
+    def src1(self) -> np.ndarray:
+        return self.records["src1"]
+
+    @property
+    def src2(self) -> np.ndarray:
+        """Second operand; :data:`NO_OPERAND_SENTINEL` for TRAN."""
+        return self.records["src2"]
+
+    @property
+    def des(self) -> np.ndarray:
+        return self.records["des"]
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.records["size"]
+
+    @property
+    def is_compute(self) -> np.ndarray:
+        """Boolean mask of PIM (compute) commands."""
+        return self.records["opcode"] != TRAN_BYTE
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[VPC]:
+        rec = self.records
+        for code, src1, src2, des, size in zip(
+            rec["opcode"].tolist(),
+            rec["src1"].tolist(),
+            rec["src2"].tolist(),
+            rec["des"].tolist(),
+            rec["size"].tolist(),
+        ):
+            yield VPC(
+                BYTE_TO_OPCODE[code],
+                src1,
+                None if src2 == NO_OPERAND_SENTINEL else src2,
+                des,
+                size,
+            )
+
+    def __getitem__(self, index: int) -> VPC:
+        rec = self.records[index]
+        src2 = int(rec["src2"])
+        return VPC(
+            BYTE_TO_OPCODE[int(rec["opcode"])],
+            int(rec["src1"]),
+            None if src2 == NO_OPERAND_SENTINEL else src2,
+            int(rec["des"]),
+            int(rec["size"]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return np.array_equal(self.records, other.records)
+
+    @property
+    def stats(self) -> TraceStats:
+        """The Table IV statistics, computed by column reduction."""
+        compute = self.is_compute
+        size = self.records["size"]
+        return TraceStats(
+            pim_vpcs=int(compute.sum()),
+            move_vpcs=int((~compute).sum()),
+            elements_processed=int(size[compute].sum()),
+            elements_moved=int(size[~compute].sum()),
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion to/from the object form
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace) -> "ColumnarTrace":
+        """Columnarise any iterable of VPCs (lossless)."""
+        rows = [
+            (
+                OPCODE_TO_BYTE[vpc.opcode],
+                vpc.src1,
+                NO_OPERAND_SENTINEL if vpc.src2 is None else vpc.src2,
+                vpc.des,
+                vpc.size,
+            )
+            for vpc in trace
+        ]
+        for row in rows:
+            for value in row[1:]:
+                if value > _COLUMN_MAX:
+                    raise ValueError(
+                        f"field value {value} exceeds the columnar "
+                        f"int64 range"
+                    )
+        return cls(np.array(rows, dtype=RECORD_DTYPE))
+
+    def to_trace(self) -> VPCTrace:
+        """Rebuild the object-form trace (inverse of :meth:`from_trace`)."""
+        return VPCTrace(self)
+
+    # ------------------------------------------------------------------
+    # Binary wire format (same format as write_trace_binary)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarTrace":
+        """Decode a binary trace in one bulk pass.
+
+        Accepts exactly the files :func:`~repro.isa.trace.write_trace_binary`
+        produces and raises the same :class:`TraceFormatError` (message
+        and byte offset included) on bad magic, truncated records, or
+        undecodable records.
+        """
+        magic_len = len(_BINARY_MAGIC)
+        if data[:magic_len] != _BINARY_MAGIC:
+            raise TraceFormatError(
+                f"not a binary VPC trace: expected magic "
+                f"{_BINARY_MAGIC!r}, got {bytes(data[:magic_len])!r}",
+                offset=0,
+            )
+        body = memoryview(data)[magic_len:]
+        extra = len(body) % VPC_ENCODED_BYTES
+        if extra:
+            raise TraceFormatError(
+                f"truncated record / trailing garbage: got {extra} "
+                f"of {VPC_ENCODED_BYTES} bytes",
+                offset=magic_len + len(body) - extra,
+            )
+        raw = np.frombuffer(body, dtype=np.uint8).reshape(
+            -1, VPC_ENCODED_BYTES
+        )
+        fields = raw[:, 1:].reshape(-1, 4, 5).astype(np.int64)
+        values = fields @ _FIELD_WEIGHTS
+        records = np.empty(len(raw), dtype=RECORD_DTYPE)
+        records["opcode"] = raw[:, 0]
+        records["src1"] = values[:, 0]
+        records["src2"] = values[:, 1]
+        records["des"] = values[:, 2]
+        records["size"] = values[:, 3]
+        _validate_records(records, body, magic_len)
+        return cls(records)
+
+    def to_bytes(self) -> bytes:
+        """Encode to the binary wire format (one bulk pass).
+
+        Byte-identical to :func:`~repro.isa.trace.write_trace_binary`
+        over :meth:`to_trace`'s output.
+        """
+        rec = self.records
+        field_max = NO_OPERAND_SENTINEL - 1
+        for name in ("src1", "des", "size"):
+            column = rec[name]
+            bad = (column < 0) | (column > field_max)
+            if bad.any():
+                value = int(column[int(np.argmax(bad))])
+                raise ValueError(
+                    f"field value {value} out of range [0, {field_max}]"
+                )
+        src2 = rec["src2"]
+        bad = (src2 < 0) | (
+            (src2 > field_max) & (src2 != NO_OPERAND_SENTINEL)
+        )
+        if bad.any():
+            value = int(src2[int(np.argmax(bad))])
+            raise ValueError(
+                f"field value {value} out of range [0, {field_max}]"
+            )
+        out = np.empty((len(rec), VPC_ENCODED_BYTES), dtype=np.uint8)
+        out[:, 0] = rec["opcode"]
+        values = np.stack(
+            [rec["src1"], src2, rec["des"], rec["size"]], axis=1
+        )
+        shifted = values[:, :, None] >> (8 * np.arange(5, dtype=np.int64))
+        out[:, 1:] = (shifted & 0xFF).reshape(len(rec), 20)
+        return _BINARY_MAGIC + out.tobytes()
+
+    # ------------------------------------------------------------------
+    # Text format (same format as write_trace)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_text(
+        cls, source: Union[str, Path, io.TextIOBase]
+    ) -> "ColumnarTrace":
+        """Parse the line-oriented text format straight into columns.
+
+        Raises the same :class:`TraceFormatError` (with line numbers) as
+        :func:`~repro.isa.trace.read_trace` on malformed records.
+        """
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.from_text(handle)
+        rows = []
+        for line_no, line in enumerate(source, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            try:
+                code = _TEXT_OPCODE_BYTES[parts[0]]
+                if code == TRAN_BYTE:
+                    if len(parts) != 4:
+                        raise ValueError("TRAN takes 3 fields")
+                    src1, des, size = (
+                        int(parts[1]), int(parts[2]), int(parts[3])
+                    )
+                    src2 = NO_OPERAND_SENTINEL
+                else:
+                    if len(parts) != 5:
+                        raise ValueError("takes 4 fields")
+                    src1, src2, des, size = (
+                        int(parts[1]), int(parts[2]),
+                        int(parts[3]), int(parts[4]),
+                    )
+                if size < 1 or src1 < 0 or src2 < 0 or des < 0:
+                    raise ValueError("field out of range")
+            except (ValueError, KeyError, IndexError):
+                # Re-parse through the scalar reader so the diagnostic
+                # (message and line number) is exactly the canonical one.
+                _parse_vpc(stripped, line_no)
+                raise TraceFormatError(
+                    f"bad trace record {stripped!r}: not representable "
+                    f"in columnar form",
+                    line=line_no,
+                )
+            if (
+                code != TRAN_BYTE and src2 == NO_OPERAND_SENTINEL
+            ) or max(src1, src2, des, size) > _COLUMN_MAX:
+                raise TraceFormatError(
+                    f"bad trace record {stripped!r}: field exceeds the "
+                    f"columnar field range",
+                    line=line_no,
+                )
+            rows.append((code, src1, src2, des, size))
+        return cls(np.array(rows, dtype=RECORD_DTYPE))
+
+    # ------------------------------------------------------------------
+    # File helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "ColumnarTrace":
+        """Read a trace file, sniffing the binary magic prefix."""
+        with open(path, "rb") as handle:
+            head = handle.read(len(_BINARY_MAGIC))
+            if head == _BINARY_MAGIC:
+                return cls.from_bytes(head + handle.read())
+        return cls.from_text(path)
+
+    def write_binary(self, target: Union[str, Path, io.BufferedIOBase]) -> None:
+        """Write the binary wire format."""
+        if isinstance(target, (str, Path)):
+            with open(target, "wb") as handle:
+                handle.write(self.to_bytes())
+            return
+        target.write(self.to_bytes())
+
+
+def _validate_records(
+    records: np.ndarray, body: memoryview, magic_len: int
+) -> None:
+    """Reject records the scalar decoder would reject.
+
+    The offending record is re-decoded through the scalar
+    :func:`~repro.isa.encoding.decode_vpc` path so the raised
+    :class:`TraceFormatError` carries exactly the canonical message.
+    """
+    opcode = records["opcode"]
+    src2 = records["src2"]
+    bad = ~np.isin(opcode, _VALID_OPCODE_BYTES)
+    bad |= records["size"] < 1
+    is_tran = opcode == TRAN_BYTE
+    has_operand = src2 != NO_OPERAND_SENTINEL
+    bad |= is_tran & has_operand
+    bad |= ~is_tran & ~has_operand
+    if not bad.any():
+        return
+    index = int(np.argmax(bad))
+    offset = magic_len + index * VPC_ENCODED_BYTES
+    packet = bytes(
+        body[index * VPC_ENCODED_BYTES : (index + 1) * VPC_ENCODED_BYTES]
+    )
+    try:
+        decode_vpc(packet)
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"undecodable record: {exc}", offset=offset
+        ) from exc
+    raise TraceFormatError(  # pragma: no cover - defensive guard
+        "undecodable record", offset=offset
+    )
+
+
+def read_trace_columnar(path: Union[str, Path]) -> ColumnarTrace:
+    """Read any trace file (binary or text) into columnar form."""
+    return ColumnarTrace.read(path)

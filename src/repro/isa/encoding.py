@@ -16,16 +16,21 @@ _FIELD_BYTES = 5
 #: Total bytes of one encoded VPC.
 VPC_ENCODED_BYTES = 1 + 4 * _FIELD_BYTES
 
-_OPCODE_TO_BYTE = {
+#: Wire byte of each opcode (the columnar codec indexes by these too).
+OPCODE_TO_BYTE = {
     VPCOpcode.MUL: 0x01,
     VPCOpcode.SMUL: 0x02,
     VPCOpcode.ADD: 0x03,
     VPCOpcode.TRAN: 0x04,
 }
-_BYTE_TO_OPCODE = {v: k for k, v in _OPCODE_TO_BYTE.items()}
+BYTE_TO_OPCODE = {v: k for k, v in OPCODE_TO_BYTE.items()}
 
 #: Sentinel stored in the src2 field of TRAN commands.
-_NO_OPERAND = (1 << (8 * _FIELD_BYTES)) - 1
+NO_OPERAND_SENTINEL = (1 << (8 * _FIELD_BYTES)) - 1
+
+_OPCODE_TO_BYTE = OPCODE_TO_BYTE
+_BYTE_TO_OPCODE = BYTE_TO_OPCODE
+_NO_OPERAND = NO_OPERAND_SENTINEL
 _FIELD_MAX = _NO_OPERAND - 1
 
 

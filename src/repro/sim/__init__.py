@@ -9,6 +9,7 @@ paper's breakdown figures.
 from repro.sim.engine import Engine, Event, Resource
 from repro.sim.pipeline import PipelineModel, PipelineStage
 from repro.sim.stats import TimeBreakdown, EnergyBreakdown, RunStats
+from repro.sim.vector_exec import execute_columnar, sweep_spans
 
 __all__ = [
     "Engine",
@@ -19,4 +20,6 @@ __all__ = [
     "TimeBreakdown",
     "EnergyBreakdown",
     "RunStats",
+    "execute_columnar",
+    "sweep_spans",
 ]

@@ -24,9 +24,19 @@ class Event:
     order: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Backrefs for O(1) live-event accounting: the owning engine and
+    # whether the event already ran (a cancel after execution must not
+    # decrement the live counter).
+    _engine: Optional["Engine"] = field(
+        default=None, compare=False, repr=False
+    )
+    _consumed: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None and not self._consumed:
+                self._engine._live -= 1
 
 
 class Engine:
@@ -35,6 +45,7 @@ class Engine:
     def __init__(self) -> None:
         self._queue: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
         self.now = 0.0
         self.events_processed = 0
 
@@ -50,8 +61,9 @@ class Engine:
             raise ValueError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        event = Event(time, next(self._counter), callback)
+        event = Event(time, next(self._counter), callback, _engine=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def run(self, until: Optional[float] = None) -> float:
@@ -67,6 +79,8 @@ class Engine:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event._consumed = True
+            self._live -= 1
             self.now = event.time
             self.events_processed += 1
             event.callback()
@@ -78,6 +92,8 @@ class Engine:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event._consumed = True
+            self._live -= 1
             self.now = event.time
             self.events_processed += 1
             event.callback()
@@ -86,7 +102,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (scheduled, not yet run, not cancelled) events — O(1)."""
+        return self._live
 
 
 class Resource:

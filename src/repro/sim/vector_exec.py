@@ -1,0 +1,469 @@
+"""Vectorized event-mode trace execution.
+
+The scalar :meth:`~repro.core.device.StreamPIMDevice.execute_trace` loop
+interprets one VPC at a time: per command it decomposes addresses,
+builds a fresh cycle/energy profile, and merges dataclass breakdowns —
+tens of microseconds of Python per command, which is what limits the
+event mode to reduced problem sizes.
+
+This module is the columnar fast path selected with
+``execute_trace(..., engine="vector")``.  It splits the work into
+
+* **bulk array passes** for everything value-parallel: subarray ids of
+  every operand (one integer division per column), per-command durations
+  and energies (profiled once per unique ``(opcode, size)`` shape and
+  gathered), decode-ready times, and the exclusive-category time sweep
+  (:func:`sweep_spans`);
+* a **minimal busy-until scan** for the one genuinely sequential part —
+  the per-subarray blocking recurrence — reduced to a handful of float
+  ``max``/``add`` operations per command over precomputed columns;
+* a **batched functional apply** that replays data movement on a dense,
+  address-compacted buffer with NumPy slice arithmetic instead of
+  per-word dictionary traffic.
+
+Equivalence contract: for every trace the vector engine produces
+*bit-identical* results to the scalar executor — the same ``RunStats``
+(total time, time/energy breakdowns, counters) and the same word-store
+contents.  Every floating-point accumulation is performed in the same
+order with the same IEEE operations; the differential tests in
+``tests/test_vector_exec.py`` assert exact equality over every shipped
+workload generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.isa.columnar import (
+    ColumnarTrace,
+    MUL_BYTE,
+    SMUL_BYTE,
+    TRAN_BYTE,
+)
+from repro.isa.encoding import BYTE_TO_OPCODE
+from repro.isa.vpc import VPC, VPCOpcode
+from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
+
+
+def _ordered_sum(values: np.ndarray) -> float:
+    """Strict left-to-right float sum (matches sequential accumulation).
+
+    The scalar executor accumulates breakdown components with repeated
+    Python float additions; reproducing its results exactly requires the
+    same association order, which pairwise reductions (``np.sum``) do
+    not guarantee.  ``np.cumsum`` is a running total and therefore
+    exactly that order; dropping exact zeros first is safe
+    (adding 0.0 never changes a finite accumulator) and keeps the pass
+    short.
+    """
+    compressed = values[np.nonzero(values)]
+    if not len(compressed):
+        return 0.0
+    return float(compressed.cumsum()[-1])
+
+
+def sweep_spans(
+    starts: np.ndarray, finishes: np.ndarray, is_rw: np.ndarray
+) -> TimeBreakdown:
+    """Sweep busy spans into exclusive time categories (vectorized).
+
+    Array-pass replacement for the O(spans^2) interval scan: sort the
+    unique edges once, count rw/pim coverage per elementary interval
+    with difference arrays, and reduce the per-interval contributions in
+    edge order (bit-identical to the sequential scan).
+    """
+    if len(starts) == 0:
+        return TimeBreakdown()
+    starts = np.asarray(starts, dtype=np.float64)
+    finishes = np.asarray(finishes, dtype=np.float64)
+    is_rw = np.asarray(is_rw, dtype=bool)
+    edges = np.unique(np.concatenate((starts, finishes)))
+    n_edges = len(edges)
+    if n_edges < 2:
+        return TimeBreakdown()
+    first = np.searchsorted(edges, starts)
+    last = np.searchsorted(edges, finishes)
+    rw_delta = np.bincount(
+        first[is_rw], minlength=n_edges
+    ) - np.bincount(last[is_rw], minlength=n_edges)
+    pim_delta = np.bincount(
+        first[~is_rw], minlength=n_edges
+    ) - np.bincount(last[~is_rw], minlength=n_edges)
+    rw_cover = np.cumsum(rw_delta)[:-1] > 0
+    pim_cover = np.cumsum(pim_delta)[:-1] > 0
+    widths = np.diff(edges)
+    both = rw_cover & pim_cover
+    rw_only = rw_cover & ~pim_cover
+    pim_only = pim_cover & ~rw_cover
+    return TimeBreakdown(
+        read_ns=_ordered_sum(widths[rw_only] * 0.3),
+        write_ns=_ordered_sum(widths[rw_only] * 0.7),
+        process_ns=_ordered_sum(widths[pim_only]),
+        overlapped_ns=_ordered_sum(widths[both]),
+    )
+
+
+def _unique_profiles(
+    device, opcode: np.ndarray, size: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-command (duration, shift_pj, compute_pj) via shape dedup.
+
+    ``SubarrayEngine.profile`` depends only on ``(opcode, size)``;
+    real traces contain a handful of distinct shapes, so profiling each
+    unique shape once and gathering is exact and cheap.
+    """
+    key = (opcode.astype(np.int64) << 48) | size
+    uniq, inverse = np.unique(key, return_inverse=True)
+    duration = np.empty(len(uniq), dtype=np.float64)
+    shift_pj = np.empty(len(uniq), dtype=np.float64)
+    compute_pj = np.empty(len(uniq), dtype=np.float64)
+    for j, packed in enumerate(uniq.tolist()):
+        code = packed >> 48
+        words = packed & ((1 << 48) - 1)
+        vpc_opcode = BYTE_TO_OPCODE[code]
+        if vpc_opcode is VPCOpcode.TRAN:
+            proto = VPC.tran(0, 0, words)
+        else:
+            proto = VPC(vpc_opcode, 0, 0, 0, words)
+        profile = device.engine_model.profile(proto)
+        duration[j] = profile.time_ns
+        shift_pj[j] = profile.energy.shift_pj
+        compute_pj[j] = profile.energy.compute_pj
+    return duration[inverse], shift_pj[inverse], compute_pj[inverse]
+
+
+def _copy_costs(
+    device, words: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(duration, read_pj, write_pj) of a cross-subarray copy per size.
+
+    Delegates each unique word count to the device's scalar cost model
+    (same ``math.ceil`` float divisions) so the gathered values are the
+    exact floats the scalar executor computes.
+    """
+    uniq, inverse = np.unique(words, return_inverse=True)
+    model = device.config.prep_model
+    duration = np.empty(len(uniq), dtype=np.float64)
+    read_pj = np.empty(len(uniq), dtype=np.float64)
+    write_pj = np.empty(len(uniq), dtype=np.float64)
+    for j, count in enumerate(uniq.tolist()):
+        duration[j] = device._copy_cost_ns(count)
+        reads = math.ceil(count / model.access_width_words)
+        writes = math.ceil(count / model.write_access_width_words)
+        read_pj[j] = reads * device.timing.read_pj
+        write_pj[j] = writes * device.timing.write_pj
+    return duration[inverse], read_pj[inverse], write_pj[inverse]
+
+
+def execute_columnar(
+    device,
+    cols: ColumnarTrace,
+    workload: str = "trace",
+    functional: bool = True,
+) -> RunStats:
+    """Execute a columnar trace; equivalent to the scalar event loop.
+
+    Verification is the caller's job (``StreamPIMDevice.execute_trace``
+    runs the vectorized SPV001 gate before dispatching here).
+    """
+    n = len(cols)
+    opcode = cols.opcode
+    src1 = cols.src1
+    src2 = cols.src2
+    des = cols.des
+    size = cols.size
+    compute = cols.is_compute
+    pim_vpcs = int(compute.sum())
+
+    # Fail fast on out-of-range addresses, matching the IndexError the
+    # scalar path's address decomposition raises (same first offender:
+    # lowest trace index, then the scalar's src1 -> src2 -> des order).
+    address_map = device.address_map
+    total_words = address_map.total_words
+    bad_src1 = (src1 < 0) | (src1 >= total_words)
+    bad_src2 = compute & ((src2 < 0) | (src2 >= total_words))
+    bad_des = (des < 0) | (des >= total_words)
+    bad_any = bad_src1 | bad_src2 | bad_des
+    if bad_any.any():
+        index = int(np.argmax(bad_any))
+        if bad_src1[index]:
+            value = int(src1[index])
+        elif bad_src2[index]:
+            value = int(src2[index])
+        else:
+            value = int(des[index])
+        raise IndexError(
+            f"address {value} out of range [0, {total_words})"
+        )
+
+    stats = RunStats(
+        platform="StPIM",
+        workload=workload,
+        time_ns=0.0,
+        time_breakdown=TimeBreakdown(),
+        energy=EnergyBreakdown(),
+    )
+    stats.bump("pim_vpcs", pim_vpcs)
+    stats.bump("move_vpcs", n - pim_vpcs)
+    if n == 0:
+        return stats
+
+    words_per_subarray = address_map.words_per_subarray
+    sub1 = src1 // words_per_subarray
+    sub2 = src2 // words_per_subarray
+    subd = des // words_per_subarray
+
+    is_mul = opcode == MUL_BYTE
+    profile_ns, profile_shift, profile_compute = _unique_profiles(
+        device, opcode, size
+    )
+    copy_ns, copy_read, copy_write = _copy_costs(device, size)
+    result_words = np.where(is_mul, 1, size)
+    result_ns, result_read, result_write = _copy_costs(
+        device, result_words
+    )
+
+    operand_copy = compute & (sub2 != sub1)
+    result_copy = compute & (subd != sub1)
+    cross_tran = ~compute & (sub1 != subd)
+
+    # ------------------------------------------------------------------
+    # Energy: per-command contributions are fully static; lay them out
+    # in the scalar executor's event order (operand copy, profile,
+    # result copy — three slots per command) and reduce sequentially.
+    # ------------------------------------------------------------------
+    read_contrib = np.zeros(3 * n)
+    write_contrib = np.zeros(3 * n)
+    shift_contrib = np.zeros(3 * n)
+    compute_contrib = np.zeros(3 * n)
+    slot0 = 3 * np.flatnonzero(operand_copy)
+    read_contrib[slot0] = copy_read[operand_copy]
+    write_contrib[slot0] = copy_write[operand_copy]
+    profiled = compute | ~cross_tran
+    slot1 = 3 * np.flatnonzero(profiled) + 1
+    shift_contrib[slot1] = profile_shift[profiled]
+    compute_contrib[slot1] = profile_compute[profiled]
+    slot1_cross = 3 * np.flatnonzero(cross_tran) + 1
+    read_contrib[slot1_cross] = copy_read[cross_tran]
+    write_contrib[slot1_cross] = copy_write[cross_tran]
+    slot2 = 3 * np.flatnonzero(result_copy) + 2
+    read_contrib[slot2] = result_read[result_copy]
+    write_contrib[slot2] = result_write[result_copy]
+    stats.energy = EnergyBreakdown(
+        read_pj=_ordered_sum(read_contrib),
+        write_pj=_ordered_sum(write_contrib),
+        shift_pj=_ordered_sum(shift_contrib),
+        compute_pj=_ordered_sum(compute_contrib),
+    )
+
+    # ------------------------------------------------------------------
+    # Busy-until scan: the only sequential dependence.  Everything here
+    # is a plain-float replay of Resource.earliest_start/acquire over
+    # the precomputed columns.
+    # ------------------------------------------------------------------
+    decode_ns = device.config.vpc_decode_ns
+    ready_list = (np.arange(1, n + 1, dtype=np.float64) * decode_ns).tolist()
+    busy: Dict[int, float] = {}
+    busy_get = busy.get
+    bus_busy = 0.0
+    finish_time = 0.0
+    span_start: List[float] = []
+    span_finish: List[float] = []
+    span_rw: List[bool] = []
+    start_append = span_start.append
+    finish_append = span_finish.append
+    rw_append = span_rw.append
+
+    for (
+        ready,
+        code,
+        home,
+        remote,
+        dest,
+        profile_dur,
+        copy_dur,
+        result_dur,
+        has_operand_copy,
+        has_result_copy,
+    ) in zip(
+        ready_list,
+        opcode.tolist(),
+        sub1.tolist(),
+        sub2.tolist(),
+        subd.tolist(),
+        profile_ns.tolist(),
+        copy_ns.tolist(),
+        result_ns.tolist(),
+        operand_copy.tolist(),
+        result_copy.tolist(),
+    ):
+        if code != TRAN_BYTE:
+            home_busy = busy_get(home, 0.0)
+            start = ready if ready > home_busy else home_busy
+            if has_operand_copy:
+                remote_busy = busy_get(remote, 0.0)
+                begin = start if start > remote_busy else remote_busy
+                start = begin + copy_dur
+                busy[remote] = start
+                start_append(begin)
+                finish_append(start)
+                rw_append(True)
+            finish = start + profile_dur
+            busy[home] = finish
+            start_append(start)
+            finish_append(finish)
+            rw_append(False)
+            if has_result_copy:
+                dest_busy = busy_get(dest, 0.0)
+                begin = finish if finish > dest_busy else dest_busy
+                finish = begin + result_dur
+                busy[dest] = finish
+                start_append(begin)
+                finish_append(finish)
+                rw_append(True)
+        elif home == dest:
+            source_busy = busy_get(home, 0.0)
+            begin = ready if ready > source_busy else source_busy
+            finish = begin + profile_dur
+            busy[home] = finish
+            start_append(begin)
+            finish_append(finish)
+            rw_append(False)
+        else:
+            begin = bus_busy if bus_busy > ready else ready
+            source_busy = busy_get(home, 0.0)
+            if source_busy > begin:
+                begin = source_busy
+            dest_busy = busy_get(dest, 0.0)
+            if dest_busy > begin:
+                begin = dest_busy
+            finish = begin + copy_dur
+            bus_busy = finish
+            busy[home] = finish
+            busy[dest] = finish
+            start_append(begin)
+            finish_append(finish)
+            rw_append(True)
+        if finish > finish_time:
+            finish_time = finish
+
+    stats.time_ns = finish_time
+    stats.time_breakdown = sweep_spans(
+        np.array(span_start), np.array(span_finish), np.array(span_rw)
+    )
+
+    if device._functional_enabled(functional):
+        _apply_functional_columnar(device, cols)
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Batched functional apply
+# ----------------------------------------------------------------------
+def _merge_ranges(
+    starts: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Union of half-open ranges as sorted disjoint segments."""
+    order = np.argsort(starts, kind="stable")
+    starts = starts[order]
+    running_end = np.maximum.accumulate(ends[order])
+    breaks = np.empty(len(starts), dtype=bool)
+    breaks[0] = True
+    breaks[1:] = starts[1:] > running_end[:-1]
+    segment_starts = starts[breaks]
+    last = np.concatenate(
+        (np.flatnonzero(breaks)[1:] - 1, [len(starts) - 1])
+    )
+    return segment_starts, running_end[last]
+
+
+def _apply_functional_columnar(device, cols: ColumnarTrace) -> None:
+    """Replay the trace's data movement on a compacted dense buffer.
+
+    Word addresses referenced by the trace are compacted into one dense
+    int64 buffer (seeded from the device's word store), every command is
+    applied with NumPy slice arithmetic, and the written ranges are
+    flushed back — producing exactly the word-store contents the scalar
+    per-word dictionary path produces.
+    """
+    n = len(cols)
+    if n == 0:
+        return
+    opcode = cols.opcode
+    src1 = cols.src1.astype(np.int64)
+    src2 = cols.src2.astype(np.int64)
+    des = cols.des.astype(np.int64)
+    size = cols.size.astype(np.int64)
+    compute = cols.is_compute
+    src1_len = np.where(opcode == SMUL_BYTE, 1, size)
+    des_len = np.where(opcode == MUL_BYTE, 1, size)
+
+    range_starts = np.concatenate((src1, src2[compute], des))
+    range_ends = np.concatenate(
+        (src1 + src1_len, (src2 + size)[compute], des + des_len)
+    )
+    segment_starts, segment_ends = _merge_ranges(range_starts, range_ends)
+    lengths = segment_ends - segment_starts
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    buffer = np.zeros(int(lengths.sum()), dtype=np.int64)
+
+    def compact(addresses: np.ndarray) -> np.ndarray:
+        index = np.searchsorted(segment_starts, addresses, side="right") - 1
+        return offsets[index] + (addresses - segment_starts[index])
+
+    # Seed from the sparse store (reads of unseeded words default to 0).
+    stored = device.store._words
+    if stored:
+        keys = np.fromiter(stored.keys(), dtype=np.int64, count=len(stored))
+        values = np.fromiter(
+            stored.values(), dtype=np.int64, count=len(stored)
+        )
+        index = np.searchsorted(segment_starts, keys, side="right") - 1
+        inside = (index >= 0) & (keys < segment_ends[index])
+        buffer[compact(keys[inside])] = values[inside]
+
+    op_list = opcode.tolist()
+    a_list = compact(src1).tolist()
+    # src2 of TRAN rows is the no-operand sentinel, outside every
+    # segment; substitute src1 so compact() stays in range (the value is
+    # never used for TRAN rows).
+    b_list = compact(np.where(compute, src2, src1)).tolist()
+    d_list = compact(des).tolist()
+    size_list = size.tolist()
+    apply_compute = device.processor.apply
+
+    for i in range(n):
+        code = op_list[i]
+        words = size_list[i]
+        a = a_list[i]
+        d = d_list[i]
+        if code == TRAN_BYTE:
+            if a != d:
+                chunk = buffer[a : a + words]
+                if abs(a - d) < words:
+                    chunk = chunk.copy()
+                buffer[d : d + words] = chunk
+            continue
+        vpc_opcode = BYTE_TO_OPCODE[code]
+        first_len = 1 if code == SMUL_BYTE else words
+        result = apply_compute(
+            vpc_opcode,
+            buffer[a : a + first_len],
+            buffer[b_list[i] : b_list[i] + words],
+        )
+        buffer[d : d + len(result)] = result
+
+    written_starts, written_ends = _merge_ranges(
+        des, des + des_len
+    )
+    write = device.store.write
+    for start, end, base in zip(
+        written_starts.tolist(),
+        written_ends.tolist(),
+        compact(written_starts).tolist(),
+    ):
+        write(start, buffer[base : base + (end - start)])

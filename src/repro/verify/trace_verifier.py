@@ -117,6 +117,10 @@ class TraceVerifier:
         self.hazard_window = hazard_window
         self.rules = frozenset(rules) if rules is not None else None
         self.max_diagnostics = max_diagnostics
+        # Geometry-derived bounds are fixed for the verifier's lifetime;
+        # cache them so repeated verify() calls don't re-derive them.
+        self._total_words = self.address_map.total_words
+        self._words_per_subarray = self.address_map.words_per_subarray
         self._operand_spans: List[Tuple[int, int, str]] = []
         self._operand_starts: List[int] = []
         if plan is not None:
@@ -139,8 +143,8 @@ class TraceVerifier:
         if self.plan is not None:
             for diagnostic in self._check_plan(self.plan):
                 emit(diagnostic)
-        total_words = self.address_map.total_words
-        words_per_subarray = self.address_map.words_per_subarray
+        total_words = self._total_words
+        words_per_subarray = self._words_per_subarray
         # Ring of recent compute VPCs for the hazard scan:
         # (index, reads, writes).
         recent: List[Tuple[int, List[_Interval], List[_Interval]]] = []
@@ -204,6 +208,63 @@ class TraceVerifier:
                     for entry in recent
                     if index + 1 - entry[0] < self.hazard_window
                 ]
+        report.suppressed = suppressed
+        return report
+
+    # ------------------------------------------------------------------
+    def verify_columnar(self, cols, subject: str = "trace") -> VerifyReport:
+        """Verify a :class:`~repro.isa.columnar.ColumnarTrace`.
+
+        When only SPV001 (operand bounds) is enabled — the configuration
+        the event-mode pre-replay gate uses — the check runs as a few
+        bulk array comparisons; diagnostics are materialised only for
+        offending commands, in exactly the order (and with exactly the
+        messages) the scalar :meth:`verify` walk produces.  Any broader
+        rule set falls back to the scalar walk, which accepts a columnar
+        trace directly (it iterates VPCs).
+        """
+        if self.rules is None or not self.rules <= {"SPV001"}:
+            return self.verify(cols, subject=subject)
+        import numpy as np
+
+        report = VerifyReport(subject=subject)
+        if "SPV001" not in self.rules or len(cols) == 0:
+            return report
+        from repro.isa.columnar import MUL_BYTE, SMUL_BYTE
+
+        total_words = self._total_words
+        opcode = cols.opcode
+        size = cols.size
+        compute = cols.is_compute
+        # Range ends in the scalar walk's order: reads then writes.
+        read1_end = cols.src1 + np.where(opcode == SMUL_BYTE, 1, size)
+        read2_end = cols.src2 + size  # meaningful on compute rows only
+        write_end = cols.des + np.where(opcode == MUL_BYTE, 1, size)
+        bad = (
+            (read1_end > total_words)
+            | (compute & (read2_end > total_words))
+            | (write_end > total_words)
+        )
+        if not bad.any():
+            return report
+        suppressed = 0
+        for index in np.flatnonzero(bad).tolist():
+            vpc = cols[index]
+            for start, end in _vpc_reads(vpc) + _vpc_writes(vpc):
+                if end <= total_words:
+                    continue
+                if len(report.diagnostics) < self.max_diagnostics:
+                    report.diagnostics.append(
+                        make_diagnostic(
+                            "SPV001",
+                            f"vpc #{index}",
+                            f"{vpc.opcode.value} range [{start}, {end}) "
+                            f"exceeds the device's {total_words} words",
+                            index=index,
+                        )
+                    )
+                else:
+                    suppressed += 1
         report.suppressed = suppressed
         return report
 

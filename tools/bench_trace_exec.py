@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the event-mode trace executors.
+
+Builds one large matmul trace (2*m*n VPCs: a TRAN + MUL per output
+element), replays it through both the scalar reference executor and the
+columnar vector engine, checks the results are identical, and writes the
+measurements to a JSON file so the speedup trajectory is tracked across
+changes.
+
+Run directly or via ``make bench-perf``::
+
+    PYTHONPATH=src python tools/bench_trace_exec.py \
+        --vpcs 100000 --min-speedup 10 --out BENCH_trace_exec.json
+
+Exit status is non-zero when the engines disagree or the measured
+speedup falls below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.device import StreamPIMDevice  # noqa: E402
+from repro.core.task import PimTask, TaskOp  # noqa: E402
+from repro.isa.columnar import ColumnarTrace  # noqa: E402
+
+_STAT_FIELDS = (
+    ("time_ns", lambda s: s.time_ns),
+    ("read_ns", lambda s: s.time_breakdown.read_ns),
+    ("write_ns", lambda s: s.time_breakdown.write_ns),
+    ("shift_ns", lambda s: s.time_breakdown.shift_ns),
+    ("process_ns", lambda s: s.time_breakdown.process_ns),
+    ("overlapped_ns", lambda s: s.time_breakdown.overlapped_ns),
+    ("read_pj", lambda s: s.energy.read_pj),
+    ("write_pj", lambda s: s.energy.write_pj),
+    ("shift_pj", lambda s: s.energy.shift_pj),
+    ("compute_pj", lambda s: s.energy.compute_pj),
+)
+
+
+def build_trace(target_vpcs: int):
+    """A matmul trace of at least ``target_vpcs`` commands.
+
+    With B stored transposed the lowering emits one TRAN (column
+    delivery) plus one MUL (dot product) per output element, so an
+    m x n result yields exactly 2*m*n trace commands.
+    """
+    side = max(2, math.ceil(math.sqrt(target_vpcs / 2)))
+    k = 64
+    rng = np.random.default_rng(2024)
+    a = rng.integers(0, 200, size=(side, k))
+    b = rng.integers(0, 200, size=(k, side))
+    task = PimTask(StreamPIMDevice())
+    task.add_matrix("A", a)
+    task.add_matrix("B", b)
+    task.add_matrix("C", shape=(side, side))
+    task.add_operation(TaskOp.MATMUL, "A", "B", "C")
+    return task.to_trace(), side
+
+
+def run(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    trace, side = build_trace(args.vpcs)
+    gen_s = time.perf_counter() - t0
+    n_vpcs = len(trace)
+    print(f"trace: matmul {side}x64 @ 64x{side} -> {n_vpcs:,} VPCs "
+          f"(generated in {gen_s:.2f}s)")
+
+    t0 = time.perf_counter()
+    cols = ColumnarTrace.from_trace(trace)
+    columnarize_s = time.perf_counter() - t0
+
+    payload = cols.to_bytes()
+    t0 = time.perf_counter()
+    decoded = ColumnarTrace.from_bytes(payload)
+    decode_s = time.perf_counter() - t0
+    if decoded != cols:
+        print("FAIL: columnar binary round-trip mismatch")
+        return 1
+
+    # Best-of-N timing per engine (as timeit does): the minimum is the
+    # least noise-contaminated estimate of the per-trace cost, and the
+    # first iteration doubles as warmup for one-time allocation costs.
+    scalar_s = math.inf
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        scalar_stats = StreamPIMDevice().execute_trace(
+            trace, workload="bench", functional=False
+        )
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+
+    vector_s = math.inf
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        vector_stats = StreamPIMDevice().execute_trace(
+            cols, workload="bench", functional=False, engine="vector"
+        )
+        vector_s = min(vector_s, time.perf_counter() - t0)
+
+    mismatches = [
+        name
+        for name, get in _STAT_FIELDS
+        if get(scalar_stats) != get(vector_stats)
+    ]
+    if scalar_stats.counters != vector_stats.counters:
+        mismatches.append("counters")
+    speedup = scalar_s / vector_s if vector_s > 0 else float("inf")
+
+    result = {
+        "trace_vpcs": n_vpcs,
+        "matmul_side": side,
+        "generate_s": round(gen_s, 4),
+        "columnarize_s": round(columnarize_s, 4),
+        "binary_decode_s": round(decode_s, 4),
+        "scalar_exec_s": round(scalar_s, 4),
+        "vector_exec_s": round(vector_s, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+        "stats_identical": not mismatches,
+        "time_ns": scalar_stats.time_ns,
+        "energy_pj": scalar_stats.energy.total_pj,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(f"columnarize {columnarize_s:.3f}s  "
+          f"binary decode {decode_s:.3f}s")
+    print(f"scalar {scalar_s:.3f}s  vector {vector_s:.3f}s  "
+          f"speedup {speedup:.1f}x (floor {args.min_speedup}x)")
+    print(f"wrote {out}")
+
+    if mismatches:
+        print(f"FAIL: scalar/vector stats differ in {mismatches}")
+        return 1
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below the "
+              f"{args.min_speedup}x floor")
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--vpcs",
+        type=int,
+        default=100_000,
+        help="target trace length in VPCs (default: 100000)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="fail if vector/scalar speedup drops below this",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per engine; the best is reported",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_trace_exec.json",
+        help="output JSON path",
+    )
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
