@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench bench-perf figures docs examples clean
+.PHONY: install test lint check faults-smoke bench bench-perf figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -18,6 +18,10 @@ lint:
 
 check:
 	$(PYTHON) -m repro.cli check --all-workloads --strict --scale 0.01
+
+faults-smoke:
+	$(PYTHON) -m repro.cli faults campaign gemm --scale 0.01 --runs 16 \
+		--p-per-step 2e-6 -o FAULTS_campaign.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -29,12 +29,14 @@ def stats_to_dict(stats: RunStats) -> dict:
             "shift_ns": stats.time_breakdown.shift_ns,
             "process_ns": stats.time_breakdown.process_ns,
             "overlapped_ns": stats.time_breakdown.overlapped_ns,
+            "recovery_ns": stats.time_breakdown.recovery_ns,
         },
         "energy": {
             "read_pj": stats.energy.read_pj,
             "write_pj": stats.energy.write_pj,
             "shift_pj": stats.energy.shift_pj,
             "compute_pj": stats.energy.compute_pj,
+            "recovery_pj": stats.energy.recovery_pj,
         },
         "counters": dict(stats.counters),
     }
@@ -55,12 +57,15 @@ def stats_from_dict(payload: Mapping) -> RunStats:
                 shift_ns=float(time["shift_ns"]),
                 process_ns=float(time["process_ns"]),
                 overlapped_ns=float(time["overlapped_ns"]),
+                # Pre-recovery archives omit the field; default to zero.
+                recovery_ns=float(time.get("recovery_ns", 0.0)),
             ),
             energy=EnergyBreakdown(
                 read_pj=float(energy["read_pj"]),
                 write_pj=float(energy["write_pj"]),
                 shift_pj=float(energy["shift_pj"]),
                 compute_pj=float(energy["compute_pj"]),
+                recovery_pj=float(energy.get("recovery_pj", 0.0)),
             ),
             counters={k: int(v) for k, v in payload["counters"].items()},
         )

@@ -13,6 +13,8 @@ Subcommands:
   VPC trace at reduced scale and write it out;
 * ``repro-streampim check <trace|workload>`` — static trace/placement
   verification (the ``SPV`` rule catalogue, ``docs/static_analysis.md``);
+* ``repro-streampim faults run|campaign`` — seeded fault-injection runs
+  and Monte-Carlo reliability campaigns (``docs/reliability.md``);
 * ``repro-streampim lint`` — repository-invariant AST lint (``SPL``
   rules) over ``src/repro``.
 
@@ -372,6 +374,138 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_config(args: argparse.Namespace):
+    """Build a FaultCampaignConfig from the shared faults CLI flags."""
+    from repro.resilience import FaultCampaignConfig, RecoveryPolicy
+    from repro.rm.faults import ShiftFaultConfig
+
+    try:
+        return FaultCampaignConfig(
+            faults=ShiftFaultConfig(
+                p_per_step=args.p_per_step,
+                guard_detection=args.guard_detection,
+            ),
+            policy=RecoveryPolicy(args.policy),
+            max_retries=args.max_retries,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _print_run_report(report) -> None:
+    print(f"workload : {report.workload} (seed {report.seed})")
+    print(f"policy   : {report.policy}")
+    print(
+        f"hops     : {report.hops:,} "
+        f"(p_hop {report.p_hop:.3e})"
+    )
+    print(
+        f"faults   : {report.injected} injected, "
+        f"{report.detected} detected, {report.undetected} silent"
+    )
+    print(
+        f"recovery : {report.retries} retries, "
+        f"{report.recovered} recovered, "
+        f"{report.recovery_ns / 1e3:.3f} us / "
+        f"{report.recovery_pj / 1e3:.3f} nJ charged"
+    )
+    if report.quarantined:
+        pairs = ", ".join(
+            f"(bank {bank}, subarray {sub})"
+            for bank, sub in report.quarantined
+        )
+        print(f"quarantined : {pairs}")
+    if report.aborted:
+        print(f"aborted  : yes, at vpc #{report.abort_index}")
+    elif report.time_ns is not None:
+        print(f"time     : {report.time_ns / 1e3:.2f} us")
+    print(
+        f"SDC      : {report.sdc_events} corrupted VPC(s), "
+        f"rate {report.sdc_rate:.3e} "
+        f"(analytic expectation {report.expected_undetected:.3e})"
+    )
+    if report.mttf_ns is not None:
+        print(f"MTTF     : {report.mttf_ns / 1e3:.2f} us")
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    """One fault-injected trace execution with a reliability report."""
+    import json
+
+    from repro.resilience import run_with_faults
+
+    spec = _lookup_workload(args.workload, args.scale)
+    if spec.build is None:
+        raise SystemExit(f"workload {args.workload!r} has no task builder")
+    task = spec.build_task()
+    trace = task.to_trace()
+    if args.engine == "vector":
+        from repro.isa.columnar import ColumnarTrace
+
+        trace = ColumnarTrace.from_trace(trace)
+    stats, report = run_with_faults(
+        task.device,
+        trace,
+        config=_fault_config(args),
+        seed=args.seed,
+        workload=spec.name,
+        engine=args.engine,
+    )
+    _print_run_report(report)
+    if stats is not None and stats.time_breakdown.recovery_ns > 0.0:
+        share = stats.time_breakdown.fractions()["recovery"]
+        print(f"recovery time share : {share:.2%}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_faults_campaign(args: argparse.Namespace) -> int:
+    """Monte-Carlo fault campaign over independent seeds."""
+    from repro.resilience import run_campaign
+
+    try:
+        report = run_campaign(
+            args.workload,
+            config=_fault_config(args),
+            scale=args.scale,
+            runs=args.runs,
+            master_seed=args.master_seed,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"campaign : {report.workload} (scale {report.scale}), "
+        f"{report.n_runs} runs, engine {report.engine}, "
+        f"policy {report.policy}"
+    )
+    print(
+        f"faults   : {report.total_injected} injected, "
+        f"{report.total_detected} detected, "
+        f"{report.total_undetected} silent"
+    )
+    print(
+        f"runs     : {report.aborted_runs} aborted, "
+        f"{report.sdc_runs} with silent corruption"
+    )
+    print(
+        f"undetected/run : observed {report.observed_undetected_mean:.4f}"
+        f" vs analytic {report.expected_undetected_per_run:.4f}"
+    )
+    if report.mttf_ns is not None:
+        print(f"observed MTTF : {report.mttf_ns / 1e3:.2f} us")
+    if report.analytic_mttf_ns is not None:
+        print(f"analytic MTTF : {report.analytic_mttf_ns / 1e3:.2f} us")
+    if args.output:
+        report.to_json(args.output)
+        print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the repository-invariant AST lint (SPL rules)."""
     from repro.verify import lint_paths
@@ -462,6 +596,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline depth for the SPV004 hazard scan",
     )
     check.set_defaults(func=_cmd_check)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection runs and Monte-Carlo campaigns",
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    def _add_fault_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("workload")
+        cmd.add_argument("--scale", type=float, default=0.01)
+        cmd.add_argument(
+            "--policy",
+            choices=("retry", "abort", "degrade"),
+            default="retry",
+            help="recovery policy for guard-detected faults",
+        )
+        cmd.add_argument(
+            "--p-per-step",
+            type=float,
+            default=1e-7,
+            help="per-step shift misalignment probability",
+        )
+        cmd.add_argument(
+            "--guard-detection",
+            type=float,
+            default=0.99,
+            help="probability a guard domain catches a misaligned hop",
+        )
+        cmd.add_argument(
+            "--max-retries",
+            type=int,
+            default=3,
+            help="re-shift attempts before retry escalates to abort",
+        )
+        cmd.add_argument(
+            "--engine",
+            choices=("scalar", "vector"),
+            default="scalar",
+            help="trace engine (both produce identical reports)",
+        )
+        cmd.add_argument(
+            "-o",
+            "--output",
+            default=None,
+            help="write the JSON report to this file",
+        )
+
+    faults_run = faults_sub.add_parser(
+        "run", help="one seeded fault-injected trace execution"
+    )
+    _add_fault_flags(faults_run)
+    faults_run.add_argument("--seed", type=int, default=0)
+    faults_run.set_defaults(func=_cmd_faults_run)
+
+    faults_campaign = faults_sub.add_parser(
+        "campaign", help="Monte-Carlo campaign over independent seeds"
+    )
+    _add_fault_flags(faults_campaign)
+    faults_campaign.add_argument("--runs", type=int, default=16)
+    faults_campaign.add_argument("--master-seed", type=int, default=0)
+    faults_campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="distribute runs over N processes (same report as jobs=1)",
+    )
+    faults_campaign.set_defaults(func=_cmd_faults_campaign)
 
     lint = sub.add_parser(
         "lint", help="repository-invariant AST lint (SPL rules)"

@@ -40,8 +40,10 @@ from repro.core.subarray_engine import SubarrayEngine
 from repro.isa.trace import VPCTrace
 from repro.isa.vpc import VPC, VPCOpcode
 from repro.rm.address import AddressMap, DeviceGeometry
+from repro.rm.nanowire import ShiftError
 from repro.rm.timing import RMTimingConfig
 from repro.sim.engine import Resource
+from repro.sim.errors import SimulationFault
 from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
 from repro.sim.vector_exec import sweep_spans
 
@@ -146,6 +148,7 @@ class StreamPIMDevice:
         functional: bool = True,
         verify: bool = True,
         engine: str = "scalar",
+        faults=None,
     ) -> RunStats:
         """Execute an explicit VPC stream with per-subarray blocking.
 
@@ -170,6 +173,15 @@ class StreamPIMDevice:
                 ``"vector"`` (the columnar fast path of
                 :mod:`repro.sim.vector_exec`; identical results,
                 orders of magnitude faster on large traces).
+            faults: an optional resolved fault session
+                (:class:`~repro.resilience.session.FaultSession`):
+                undetected shift faults silently corrupt destination
+                words, repair costs are charged to the ``recovery``
+                breakdown categories, and an aborting policy raises a
+                typed :class:`~repro.sim.errors.SimulationFault` at the
+                faulting trace index.  Both engines consume the same
+                pre-sampled session, so results stay bit-identical
+                under one seed.
 
         Returns:
             RunStats with total time, time/energy breakdowns and VPC
@@ -198,7 +210,11 @@ class StreamPIMDevice:
                 if not report.ok():
                     raise TraceVerificationError(report)
             return execute_columnar(
-                self, cols, workload=workload, functional=functional
+                self,
+                cols,
+                workload=workload,
+                functional=functional,
+                faults=faults,
             )
         if verify:
             from repro.verify.trace_verifier import TraceVerificationError
@@ -219,26 +235,47 @@ class StreamPIMDevice:
                 subarrays[key] = Resource(f"subarray-{key}")
             return subarrays[key]
 
-        for index, vpc in enumerate(trace):
-            # Derived, not accumulated: += would drift the decode clock
-            # by an ulp every few million commands and break scalar /
-            # vector equivalence.
-            decode_ready = (index + 1) * self.config.vpc_decode_ns
-            if vpc.is_compute:
-                pim_vpcs += 1
-                finish = self._run_compute(
-                    vpc, decode_ready, resource, spans, energy
-                )
-            else:
-                move_vpcs += 1
-                finish = self._run_tran(
-                    vpc, decode_ready, resource, internal_bus, spans, energy
-                )
-            finish_time = max(finish_time, finish)
-            if self._functional_enabled(functional):
-                self._apply_functional(vpc)
+        abort_at = None if faults is None else faults.abort_index
+        index = -1
+        try:
+            for index, vpc in enumerate(trace):
+                if index == abort_at:
+                    raise faults.abort_error()
+                # Derived, not accumulated: += would drift the decode
+                # clock by an ulp every few million commands and break
+                # scalar / vector equivalence.
+                decode_ready = (index + 1) * self.config.vpc_decode_ns
+                if vpc.is_compute:
+                    pim_vpcs += 1
+                    finish = self._run_compute(
+                        vpc, decode_ready, resource, spans, energy
+                    )
+                else:
+                    move_vpcs += 1
+                    finish = self._run_tran(
+                        vpc,
+                        decode_ready,
+                        resource,
+                        internal_bus,
+                        spans,
+                        energy,
+                    )
+                finish_time = max(finish_time, finish)
+                if self._functional_enabled(functional):
+                    self._apply_functional(vpc)
+                    if faults is not None:
+                        faults.corrupt_store(self.store, vpc, index)
+        except ShiftError as exc:
+            raise SimulationFault(
+                f"shift escaped the nanowire model during replay: {exc}",
+                index=index,
+            ) from exc
 
         time = _spans_to_breakdown(spans)
+        if faults is not None:
+            time.add("recovery", faults.recovery_ns)
+            energy.add("recovery", faults.recovery_pj)
+            finish_time = finish_time + faults.recovery_ns
         stats = RunStats(
             platform="StPIM",
             workload=workload,

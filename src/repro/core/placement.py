@@ -214,6 +214,35 @@ class Placer:
         """Processors a distribute-placed matrix of ``rows`` rows uses."""
         return min(rows, len(self._operand_pool))
 
+    def remap_target(
+        self,
+        quarantined: Sequence[Tuple[int, int]],
+        result: bool = False,
+    ) -> Tuple[int, int]:
+        """A healthy subarray to re-home data evicted from a faulty one.
+
+        The ``degrade`` recovery policy quarantines a subarray after an
+        unrecoverable shift fault and replays its placement elsewhere;
+        this picks the least-loaded (by allocation cursor) non-
+        quarantined subarray from the matching pool.
+
+        Raises:
+            MemoryError: when every subarray in the pool is quarantined.
+        """
+        pool = (
+            self._result_pool
+            if (result and self.disjoint_result_sets)
+            else self._operand_pool
+        )
+        banned = set(quarantined)
+        healthy = [key for key in pool if key not in banned]
+        if not healthy:
+            raise MemoryError(
+                "every PIM subarray in the pool is quarantined; "
+                "cannot remap"
+            )
+        return min(healthy, key=lambda key: (self._cursors.get(key, 0), key))
+
     # ------------------------------------------------------------------
     def place_matrix(
         self,

@@ -147,6 +147,28 @@ class RedundancyAnalysis:
             extra += per_mat * area.geometry.total_subarrays * sub.mats
         return extra / baseline
 
+    def transfer_hops(self, words: int) -> int:
+        """Bounded segment hops one ``words``-long transfer performs."""
+        if words <= 0:
+            raise ValueError(f"words must be positive, got {words}")
+        return self._total_hops(words)
+
+    def expected_undetected_faults(self, words: int) -> float:
+        """Expected count of undetected hop faults in one transfer.
+
+        This is the analytic quantity Monte-Carlo fault campaigns
+        (:mod:`repro.resilience`) estimate empirically; the two agree to
+        within sampling error because both count
+        ``hops x p_hop x (1 - guard_detection)`` over the same hop
+        total as :meth:`transfer_fault`.
+        """
+        if words <= 0:
+            raise ValueError(f"words must be positive, got {words}")
+        hop = self.fault_model.shift_fault_probability(
+            self.bus.segment_domains
+        )
+        return self._total_hops(words) * self.fault_model.undetected(hop)
+
     def report(self, words: int) -> ReliabilityReport:
         return ReliabilityReport(
             mode=self.config.mode,

@@ -151,6 +151,17 @@ class RMBus:
             self.timing.shift_pj * ratio**2 * (overhead / reference_overhead)
         )
 
+    @property
+    def energy_per_hop_pj(self) -> float:
+        """Energy of one bounded segment hop (recovery re-shifts pay
+        this same cost per repair attempt)."""
+        return self._energy_per_hop_pj()
+
+    @property
+    def hop_ns(self) -> float:
+        """Latency of one bounded segment hop (a data/empty cycle pair)."""
+        return self.streaming_interval() * self.timing.cycle_ns
+
     def shift_operations(self, words: int) -> int:
         """Segment-pair shift operations for one transfer."""
         return self.chunks_for(words) * self.config.n_segments

@@ -1,0 +1,178 @@
+"""Per-run fault session: the object the trace engines consume.
+
+A :class:`FaultSession` resolves a sampled :class:`~repro.resilience.plan.FaultPlan`
+against one device under one recovery policy — *before* execution
+starts, so the engines see only immutable decisions:
+
+* ``abort_index`` — the trace position where execution must raise a
+  typed :class:`~repro.sim.errors.SimulationFault` (``abort`` policy, or
+  a ``retry`` whose budget ran out), or None;
+* ``drift`` — the per-index net undetected misalignment that silently
+  corrupts destination words (applied identically by both engines via
+  :func:`~repro.resilience.corruption.corrupt_words`);
+* ``recovery_ns`` / ``recovery_pj`` — the total detect-and-repair cost,
+  charged into the run's ``recovery`` breakdown categories.
+
+Both engines take the session through ``execute_trace(...,
+faults=session)`` and, because every random draw happened in the plan,
+produce bit-identical stats, word stores, and reliability reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.placement import Placer
+from repro.isa.vpc import VPCOpcode
+from repro.resilience.corruption import corrupt_words
+from repro.resilience.plan import (
+    FaultCampaignConfig,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.resilience.report import ReliabilityRunReport
+from repro.sim.errors import SimulationFault
+
+
+class FaultSession:
+    """One run's resolved fault decisions and recovery accounting."""
+
+    def __init__(
+        self,
+        device,
+        plan: FaultPlan,
+        config: FaultCampaignConfig,
+    ) -> None:
+        self.plan = plan
+        self.config = config
+        self.drift: Dict[int, int] = {}
+        self.abort_index: Optional[int] = None
+        self.recovery_ns = 0.0
+        self.recovery_pj = 0.0
+        self.injected = 0
+        self.detected = 0
+        self.undetected = 0
+        self.retries = 0
+        self.recovered = 0
+        self.quarantined: List[Tuple[int, int]] = []
+        self.remapped: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+        self._resolve(device)
+
+    # ------------------------------------------------------------------
+    def _resolve(self, device) -> None:
+        policy = self.config.policy
+        hop_ns = device.bus.hop_ns
+        hop_pj = device.bus.energy_per_hop_pj
+        placer = None
+        quarantine_set = set()
+        for event in self.plan.events:
+            self.injected += event.faults
+            self.detected += event.detected
+            self.undetected += event.undetected
+            if event.drift:
+                self.drift[event.index] = event.drift
+            if event.detected == 0:
+                continue
+            if policy is RecoveryPolicy.ABORT:
+                self._abort_at(event.index)
+                break
+            if policy is RecoveryPolicy.RETRY:
+                for tries in event.attempts:
+                    self.retries += tries
+                    for attempt in range(tries):
+                        self.recovery_ns += (
+                            hop_ns * self.config.backoff**attempt
+                        )
+                    self.recovery_pj += tries * hop_pj
+                if event.recovered:
+                    self.recovered += event.detected
+                else:
+                    # Retry budget exhausted: escalate to abort.
+                    self._abort_at(event.index)
+                    break
+                continue
+            # DEGRADE: quarantine the faulty subarray, replay placement.
+            if placer is None:
+                placer = Placer(geometry=device.config.geometry)
+            key = device.address_map.subarray_of(event.src1)
+            if key not in quarantine_set:
+                target = placer.remap_target(self.quarantined)
+                quarantine_set.add(key)
+                self.quarantined.append(key)
+                self.remapped.append((key, target))
+            self.recovery_ns += device.bus.transfer_ns(event.words)
+            self.recovery_pj += device.bus.transfer_energy_pj(event.words)
+            self.recovered += event.detected
+
+    def _abort_at(self, index: int) -> None:
+        self.abort_index = index
+        # The faulting VPC never completes, so its destination is never
+        # written: no silent corruption at the abort point itself.
+        self.drift.pop(index, None)
+
+    # ------------------------------------------------------------------
+    # Engine contract
+    # ------------------------------------------------------------------
+    def abort_error(self) -> SimulationFault:
+        """The typed fault execution raises at ``abort_index``."""
+        if self.abort_index is None:
+            raise RuntimeError("session has no abort decision")
+        return SimulationFault(
+            "guard domains detected a misaligned hop; "
+            f"{self.config.policy.value} policy stopped execution",
+            index=self.abort_index,
+        )
+
+    def corrupt_values(self, values: np.ndarray, drift: int) -> np.ndarray:
+        """Corrupt one destination slice (vector-engine hook)."""
+        return corrupt_words(values, drift)
+
+    def corrupt_store(self, store, vpc, index: int) -> None:
+        """Corrupt one VPC's destination words (scalar-engine hook)."""
+        drift = self.drift.get(index)
+        if not drift:
+            return
+        length = 1 if vpc.opcode is VPCOpcode.MUL else vpc.size
+        store.write(
+            vpc.des, corrupt_words(store.read(vpc.des, length), drift)
+        )
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        workload: str,
+        seed: int,
+        time_ns: Optional[float] = None,
+    ) -> ReliabilityRunReport:
+        """Summarise the run; identical for both engines by design."""
+        sdc_events = len(self.drift)
+        mttf_ns = None
+        if time_ns is not None and self.undetected > 0:
+            mttf_ns = time_ns / self.undetected
+        return ReliabilityRunReport(
+            workload=workload,
+            seed=seed,
+            policy=self.config.policy.value,
+            n_vpcs=self.plan.n_vpcs,
+            hops=self.plan.hops_total,
+            p_hop=self.plan.p_hop,
+            injected=self.injected,
+            detected=self.detected,
+            undetected=self.undetected,
+            retries=self.retries,
+            recovered=self.recovered,
+            sdc_events=sdc_events,
+            sdc_rate=(
+                sdc_events / self.plan.n_vpcs if self.plan.n_vpcs else 0.0
+            ),
+            aborted=self.abort_index is not None,
+            abort_index=self.abort_index,
+            quarantined=tuple(self.quarantined),
+            recovery_ns=self.recovery_ns,
+            recovery_pj=self.recovery_pj,
+            time_ns=time_ns,
+            expected_undetected=self.plan.expected_undetected,
+            mttf_ns=mttf_ns,
+        )

@@ -22,7 +22,7 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -127,16 +127,58 @@ class ShiftFaultModel:
 
 
 class FaultInjector:
-    """Seeded random over/under-shift injector."""
+    """Seeded random over/under-shift injector.
+
+    ``seed`` may be a plain integer or a ``numpy.random.SeedSequence``
+    (e.g. one child of a ``SeedSequence.spawn`` fan-out, so parallel
+    campaign workers draw from independent, reproducible streams).
+    """
 
     def __init__(
         self,
         config: Optional[ShiftFaultConfig] = None,
-        seed: int = 0,
+        seed: Union[int, np.random.SeedSequence] = 0,
     ) -> None:
         self.config = config or ShiftFaultConfig()
         self._rng = np.random.default_rng(seed)
         self.injected = 0
+        self.detected = 0
+        self.undetected = 0
+
+    @classmethod
+    def spawn(
+        cls,
+        n: int,
+        config: Optional[ShiftFaultConfig] = None,
+        seed: Union[int, np.random.SeedSequence] = 0,
+    ) -> list:
+        """``n`` injectors with independent sub-streams of one seed.
+
+        Uses ``SeedSequence.spawn`` so the fan-out is reproducible and
+        identical whether the injectors end up in one process or many.
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        return [cls(config=config, seed=child) for child in root.spawn(n)]
+
+    def guard_detects(self) -> bool:
+        """Sample whether guard domains catch one misaligned hop.
+
+        Updates the ``detected``/``undetected`` tallies so callers can
+        compare observed detection rates against
+        ``ShiftFaultConfig.guard_detection``.
+        """
+        caught = bool(self._rng.random() < self.config.guard_detection)
+        if caught:
+            self.detected += 1
+        else:
+            self.undetected += 1
+        return caught
 
     def perturb(self, amount: int) -> int:
         """Return the distance a commanded shift actually moves.
@@ -187,6 +229,49 @@ class FaultyRacetrack(Racetrack):
                 # legitimate out-of-range command still raises below.
                 super().shift(amount)
         self._ideal_offset += amount
+
+    def _corrective_shift(self, amount: int) -> None:
+        """Physically move the train without moving the ideal position.
+
+        Repairs are corrective moves, not commanded data moves, so the
+        ideal offset must stay put; the move still runs through the
+        injector and can itself misfire.
+        """
+        self._ideal_offset -= amount
+        self.shift(amount)
+
+    def shift_with_guard(self, amount: int, max_retries: int = 3) -> bool:
+        """Shift, guard-check the fresh drift, repair what was caught.
+
+        Each position of drift introduced by the shift passes one
+        guard-domain check independently (probability
+        ``ShiftFaultConfig.guard_detection``); undetected positions
+        silently persist as misalignment, detected positions are
+        re-shifted away with up to ``max_retries`` corrective moves —
+        each of which may itself misfire and be re-checked.  Returns
+        True when the wire ends aligned.
+        """
+        if max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {max_retries}"
+            )
+        before = self.misalignment
+        self.shift(amount)
+        pending = self.misalignment - before
+        retries = 0
+        while pending != 0 and retries < max_retries:
+            detected = 0
+            for _ in range(abs(pending)):
+                if self.injector.guard_detects():
+                    detected += 1
+            if detected == 0:
+                break  # the drift escaped every guard check -> SDC
+            correction = -detected if pending > 0 else detected
+            target = self.misalignment + correction
+            self._corrective_shift(correction)
+            retries += 1
+            pending = self.misalignment - target
+        return self.misalignment == 0
 
     @property
     def misalignment(self) -> int:

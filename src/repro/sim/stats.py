@@ -12,19 +12,27 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
 
-_TIME_CATEGORIES = ("read", "write", "shift", "process", "overlapped")
-_ENERGY_CATEGORIES = ("read", "write", "shift", "compute")
+_TIME_CATEGORIES = (
+    "read", "write", "shift", "process", "overlapped", "recovery"
+)
+_ENERGY_CATEGORIES = ("read", "write", "shift", "compute", "recovery")
 
 
 @dataclass
 class TimeBreakdown:
-    """Execution time split by exclusive category (all in ns)."""
+    """Execution time split by exclusive category (all in ns).
+
+    ``recovery_ns`` is the time spent re-shifting after guard domains
+    detect a misaligned hop (fault-injection campaigns,
+    :mod:`repro.resilience`); fault-free runs leave it at zero.
+    """
 
     read_ns: float = 0.0
     write_ns: float = 0.0
     shift_ns: float = 0.0
     process_ns: float = 0.0
     overlapped_ns: float = 0.0
+    recovery_ns: float = 0.0
 
     @property
     def total_ns(self) -> float:
@@ -34,6 +42,7 @@ class TimeBreakdown:
             + self.shift_ns
             + self.process_ns
             + self.overlapped_ns
+            + self.recovery_ns
         )
 
     @property
@@ -60,6 +69,7 @@ class TimeBreakdown:
         self.shift_ns += other.shift_ns
         self.process_ns += other.process_ns
         self.overlapped_ns += other.overlapped_ns
+        self.recovery_ns += other.recovery_ns
 
     def fractions(self) -> Dict[str, float]:
         """Normalised shares of the total (empty breakdown -> all zeros)."""
@@ -72,6 +82,7 @@ class TimeBreakdown:
             "shift": self.shift_ns / total,
             "process": self.process_ns / total,
             "overlapped": self.overlapped_ns / total,
+            "recovery": self.recovery_ns / total,
         }
 
     def scaled(self, factor: float) -> "TimeBreakdown":
@@ -84,21 +95,33 @@ class TimeBreakdown:
             shift_ns=self.shift_ns * factor,
             process_ns=self.process_ns * factor,
             overlapped_ns=self.overlapped_ns * factor,
+            recovery_ns=self.recovery_ns * factor,
         )
 
 
 @dataclass
 class EnergyBreakdown:
-    """Energy split by category (all in pJ)."""
+    """Energy split by category (all in pJ).
+
+    ``recovery_pj`` covers re-shift energy spent repairing detected
+    misalignments (see :mod:`repro.resilience`); zero on fault-free runs.
+    """
 
     read_pj: float = 0.0
     write_pj: float = 0.0
     shift_pj: float = 0.0
     compute_pj: float = 0.0
+    recovery_pj: float = 0.0
 
     @property
     def total_pj(self) -> float:
-        return self.read_pj + self.write_pj + self.shift_pj + self.compute_pj
+        return (
+            self.read_pj
+            + self.write_pj
+            + self.shift_pj
+            + self.compute_pj
+            + self.recovery_pj
+        )
 
     @property
     def transfer_pj(self) -> float:
@@ -121,6 +144,7 @@ class EnergyBreakdown:
         self.write_pj += other.write_pj
         self.shift_pj += other.shift_pj
         self.compute_pj += other.compute_pj
+        self.recovery_pj += other.recovery_pj
 
     def fractions(self) -> Dict[str, float]:
         total = self.total_pj
@@ -131,6 +155,7 @@ class EnergyBreakdown:
             "write": self.write_pj / total,
             "shift": self.shift_pj / total,
             "compute": self.compute_pj / total,
+            "recovery": self.recovery_pj / total,
         }
 
     def scaled(self, factor: float) -> "EnergyBreakdown":
@@ -141,6 +166,7 @@ class EnergyBreakdown:
             write_pj=self.write_pj * factor,
             shift_pj=self.shift_pj * factor,
             compute_pj=self.compute_pj * factor,
+            recovery_pj=self.recovery_pj * factor,
         )
 
 

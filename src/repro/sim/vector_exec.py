@@ -46,6 +46,8 @@ from repro.isa.columnar import (
 )
 from repro.isa.encoding import BYTE_TO_OPCODE
 from repro.isa.vpc import VPC, VPCOpcode
+from repro.rm.nanowire import ShiftError
+from repro.sim.errors import SimulationFault
 from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
 
 
@@ -164,11 +166,18 @@ def execute_columnar(
     cols: ColumnarTrace,
     workload: str = "trace",
     functional: bool = True,
+    faults=None,
 ) -> RunStats:
     """Execute a columnar trace; equivalent to the scalar event loop.
 
     Verification is the caller's job (``StreamPIMDevice.execute_trace``
     runs the vectorized SPV001 gate before dispatching here).
+
+    ``faults`` is an optional resolved
+    :class:`~repro.resilience.session.FaultSession`: the session's
+    pre-sampled decisions (silent corruption indices, recovery totals,
+    abort position) are applied exactly as the scalar loop applies them,
+    so fault-injected runs stay bit-identical across engines.
     """
     n = len(cols)
     opcode = cols.opcode
@@ -199,6 +208,15 @@ def execute_columnar(
         raise IndexError(
             f"address {value} out of range [0, {total_words})"
         )
+
+    if faults is not None and faults.abort_index is not None:
+        # The scalar loop raises mid-trace with every earlier VPC
+        # already applied; reproduce that observable state exactly.
+        if device._functional_enabled(functional):
+            _apply_functional_columnar(
+                device, cols, faults=faults, limit=faults.abort_index
+            )
+        raise faults.abort_error()
 
     stats = RunStats(
         platform="StPIM",
@@ -355,9 +373,13 @@ def execute_columnar(
     stats.time_breakdown = sweep_spans(
         np.array(span_start), np.array(span_finish), np.array(span_rw)
     )
+    if faults is not None:
+        stats.time_breakdown.add("recovery", faults.recovery_ns)
+        stats.energy.add("recovery", faults.recovery_pj)
+        stats.time_ns = finish_time + faults.recovery_ns
 
     if device._functional_enabled(functional):
-        _apply_functional_columnar(device, cols)
+        _apply_functional_columnar(device, cols, faults=faults)
     return stats
 
 
@@ -381,7 +403,9 @@ def _merge_ranges(
     return segment_starts, running_end[last]
 
 
-def _apply_functional_columnar(device, cols: ColumnarTrace) -> None:
+def _apply_functional_columnar(
+    device, cols: ColumnarTrace, faults=None, limit=None
+) -> None:
     """Replay the trace's data movement on a compacted dense buffer.
 
     Word addresses referenced by the trace are compacted into one dense
@@ -389,9 +413,15 @@ def _apply_functional_columnar(device, cols: ColumnarTrace) -> None:
     applied with NumPy slice arithmetic, and the written ranges are
     flushed back — producing exactly the word-store contents the scalar
     per-word dictionary path produces.
+
+    ``faults`` corrupts destination slices at the session's undetected-
+    drift indices (same rotation, same point in the apply sequence as
+    the scalar hook); ``limit`` truncates the apply at an abort index so
+    the flushed store matches the scalar loop's state when it raised.
     """
     n = len(cols)
-    if n == 0:
+    count = n if limit is None else min(limit, n)
+    if count == 0:
         return
     opcode = cols.opcode
     src1 = cols.src1.astype(np.int64)
@@ -435,30 +465,50 @@ def _apply_functional_columnar(device, cols: ColumnarTrace) -> None:
     d_list = compact(des).tolist()
     size_list = size.tolist()
     apply_compute = device.processor.apply
+    drift_map = faults.drift if faults is not None else None
+    if not drift_map:
+        drift_map = None
+        des_len_list = None
+    else:
+        des_len_list = des_len.tolist()
 
-    for i in range(n):
-        code = op_list[i]
-        words = size_list[i]
-        a = a_list[i]
-        d = d_list[i]
-        if code == TRAN_BYTE:
-            if a != d:
-                chunk = buffer[a : a + words]
-                if abs(a - d) < words:
-                    chunk = chunk.copy()
-                buffer[d : d + words] = chunk
-            continue
-        vpc_opcode = BYTE_TO_OPCODE[code]
-        first_len = 1 if code == SMUL_BYTE else words
-        result = apply_compute(
-            vpc_opcode,
-            buffer[a : a + first_len],
-            buffer[b_list[i] : b_list[i] + words],
-        )
-        buffer[d : d + len(result)] = result
+    i = -1
+    try:
+        for i in range(count):
+            code = op_list[i]
+            words = size_list[i]
+            a = a_list[i]
+            d = d_list[i]
+            if code == TRAN_BYTE:
+                if a != d:
+                    chunk = buffer[a : a + words]
+                    if abs(a - d) < words:
+                        chunk = chunk.copy()
+                    buffer[d : d + words] = chunk
+            else:
+                vpc_opcode = BYTE_TO_OPCODE[code]
+                first_len = 1 if code == SMUL_BYTE else words
+                result = apply_compute(
+                    vpc_opcode,
+                    buffer[a : a + first_len],
+                    buffer[b_list[i] : b_list[i] + words],
+                )
+                buffer[d : d + len(result)] = result
+            if drift_map is not None:
+                drift = drift_map.get(i)
+                if drift:
+                    span = des_len_list[i]
+                    buffer[d : d + span] = faults.corrupt_values(
+                        buffer[d : d + span], drift
+                    )
+    except ShiftError as exc:
+        raise SimulationFault(
+            f"shift escaped the nanowire model during replay: {exc}",
+            index=i,
+        ) from exc
 
     written_starts, written_ends = _merge_ranges(
-        des, des + des_len
+        des[:count], (des + des_len)[:count]
     )
     write = device.store.write
     for start, end, base in zip(

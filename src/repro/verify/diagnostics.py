@@ -84,6 +84,14 @@ TRACE_RULES: Dict[str, Rule] = {
             "two matrices claim the same words of one (bank, subarray); "
             "the placer's cursors are inconsistent",
         ),
+        Rule(
+            "SPV007",
+            "commanded shift exceeds the bounded segment length",
+            Severity.ERROR,
+            "a transfer longer than one RM-bus segment cannot be "
+            "guard-checked per hop (the precondition of shift-fault "
+            "recovery); split the VPC into per-segment chunks",
+        ),
     )
 }
 

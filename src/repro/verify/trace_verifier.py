@@ -20,6 +20,7 @@ from __future__ import annotations
 import bisect
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.rmbus import RMBusConfig
 from repro.isa.vpc import VPC, VPCOpcode
 from repro.rm.address import AddressMap, DeviceGeometry
 from repro.verify.diagnostics import (
@@ -93,6 +94,8 @@ class TraceVerifier:
         rules: restrict checking to these rule IDs (None = all).
         max_diagnostics: stop recording past this many findings (the
             count of suppressed ones is still reported).
+        bus: RM-bus configuration supplying the bounded per-segment
+            length for SPV007 (defaults to the paper's segmented bus).
     """
 
     def __init__(
@@ -102,6 +105,7 @@ class TraceVerifier:
         hazard_window: int = DEFAULT_HAZARD_WINDOW,
         rules: Optional[Sequence[str]] = None,
         max_diagnostics: int = 500,
+        bus: Optional["RMBusConfig"] = None,
     ) -> None:
         if hazard_window < 1:
             raise ValueError(
@@ -121,6 +125,8 @@ class TraceVerifier:
         # cache them so repeated verify() calls don't re-derive them.
         self._total_words = self.address_map.total_words
         self._words_per_subarray = self.address_map.words_per_subarray
+        self.bus = bus or RMBusConfig()
+        self._segment_words = self.bus.words_per_segment
         self._operand_spans: List[Tuple[int, int, str]] = []
         self._operand_starts: List[int] = []
         if plan is not None:
@@ -181,6 +187,21 @@ class TraceVerifier:
                             index=index,
                         )
                     )
+            if (
+                self._enabled("SPV007")
+                and vpc.size > self._segment_words
+            ):
+                emit(
+                    make_diagnostic(
+                        "SPV007",
+                        location,
+                        f"{vpc.opcode.value} moves {vpc.size} words in "
+                        f"one commanded shift train, exceeding the "
+                        f"bounded segment length of "
+                        f"{self._segment_words} words",
+                        index=index,
+                    )
+                )
             if self._enabled("SPV003"):
                 for diagnostic in self._check_overlap(
                     vpc, reads, writes, index
@@ -215,20 +236,21 @@ class TraceVerifier:
     def verify_columnar(self, cols, subject: str = "trace") -> VerifyReport:
         """Verify a :class:`~repro.isa.columnar.ColumnarTrace`.
 
-        When only SPV001 (operand bounds) is enabled — the configuration
-        the event-mode pre-replay gate uses — the check runs as a few
-        bulk array comparisons; diagnostics are materialised only for
-        offending commands, in exactly the order (and with exactly the
-        messages) the scalar :meth:`verify` walk produces.  Any broader
-        rule set falls back to the scalar walk, which accepts a columnar
-        trace directly (it iterates VPCs).
+        When only SPV001 (operand bounds) and/or SPV007 (bounded segment
+        length) are enabled — the configurations the event-mode
+        pre-replay gate uses — the checks run as a few bulk array
+        comparisons; diagnostics are materialised only for offending
+        commands, in exactly the order (and with exactly the messages)
+        the scalar :meth:`verify` walk produces.  Any broader rule set
+        falls back to the scalar walk, which accepts a columnar trace
+        directly (it iterates VPCs).
         """
-        if self.rules is None or not self.rules <= {"SPV001"}:
+        if self.rules is None or not self.rules <= {"SPV001", "SPV007"}:
             return self.verify(cols, subject=subject)
         import numpy as np
 
         report = VerifyReport(subject=subject)
-        if "SPV001" not in self.rules or len(cols) == 0:
+        if len(cols) == 0:
             return report
         from repro.isa.columnar import MUL_BYTE, SMUL_BYTE
 
@@ -236,25 +258,42 @@ class TraceVerifier:
         opcode = cols.opcode
         size = cols.size
         compute = cols.is_compute
-        # Range ends in the scalar walk's order: reads then writes.
-        read1_end = cols.src1 + np.where(opcode == SMUL_BYTE, 1, size)
-        read2_end = cols.src2 + size  # meaningful on compute rows only
-        write_end = cols.des + np.where(opcode == MUL_BYTE, 1, size)
-        bad = (
-            (read1_end > total_words)
-            | (compute & (read2_end > total_words))
-            | (write_end > total_words)
-        )
+        no_rows = np.zeros(len(cols), dtype=bool)
+        if "SPV001" in self.rules:
+            # Range ends in the scalar walk's order: reads then writes.
+            read1_end = cols.src1 + np.where(opcode == SMUL_BYTE, 1, size)
+            read2_end = cols.src2 + size  # meaningful on compute rows
+            write_end = cols.des + np.where(opcode == MUL_BYTE, 1, size)
+            bad_bounds = (
+                (read1_end > total_words)
+                | (compute & (read2_end > total_words))
+                | (write_end > total_words)
+            )
+        else:
+            bad_bounds = no_rows
+        if "SPV007" in self.rules:
+            bad_segment = size > self._segment_words
+        else:
+            bad_segment = no_rows
+        bad = bad_bounds | bad_segment
         if not bad.any():
             return report
         suppressed = 0
+
+        def emit(diagnostic: Diagnostic) -> None:
+            nonlocal suppressed
+            if len(report.diagnostics) < self.max_diagnostics:
+                report.diagnostics.append(diagnostic)
+            else:
+                suppressed += 1
+
         for index in np.flatnonzero(bad).tolist():
             vpc = cols[index]
-            for start, end in _vpc_reads(vpc) + _vpc_writes(vpc):
-                if end <= total_words:
-                    continue
-                if len(report.diagnostics) < self.max_diagnostics:
-                    report.diagnostics.append(
+            if bad_bounds[index]:
+                for start, end in _vpc_reads(vpc) + _vpc_writes(vpc):
+                    if end <= total_words:
+                        continue
+                    emit(
                         make_diagnostic(
                             "SPV001",
                             f"vpc #{index}",
@@ -263,8 +302,18 @@ class TraceVerifier:
                             index=index,
                         )
                     )
-                else:
-                    suppressed += 1
+            if bad_segment[index]:
+                emit(
+                    make_diagnostic(
+                        "SPV007",
+                        f"vpc #{index}",
+                        f"{vpc.opcode.value} moves {vpc.size} words in "
+                        f"one commanded shift train, exceeding the "
+                        f"bounded segment length of "
+                        f"{self._segment_words} words",
+                        index=index,
+                    )
+                )
         report.suppressed = suppressed
         return report
 
@@ -424,6 +473,7 @@ def verify_trace(
     hazard_window: int = DEFAULT_HAZARD_WINDOW,
     rules: Optional[Sequence[str]] = None,
     subject: str = "trace",
+    bus: Optional["RMBusConfig"] = None,
 ) -> VerifyReport:
     """One-shot convenience wrapper around :class:`TraceVerifier`."""
     verifier = TraceVerifier(
@@ -431,5 +481,6 @@ def verify_trace(
         plan=plan,
         hazard_window=hazard_window,
         rules=rules,
+        bus=bus,
     )
     return verifier.verify(trace, subject=subject)

@@ -98,6 +98,79 @@ class TestReplay:
             main(["replay", "/nonexistent/trace.txt"])
 
 
+class TestFaults:
+    def test_run_prints_reliability_report(self, capsys):
+        assert main(
+            [
+                "faults",
+                "run",
+                "gemm",
+                "--scale",
+                "0.01",
+                "--seed",
+                "42",
+                "--p-per-step",
+                "2e-6",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert "SDC" in out
+        assert "policy   : retry" in out
+
+    def test_run_engines_print_identical_reports(self, capsys):
+        argv = ["faults", "run", "gemm", "--scale", "0.01",
+                "--seed", "3", "--p-per-step", "2e-6"]
+        assert main(argv) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "vector"]) == 0
+        vector_out = capsys.readouterr().out
+        assert scalar_out == vector_out
+
+    def test_campaign_writes_json_report(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "campaign.json"
+        assert main(
+            [
+                "faults",
+                "campaign",
+                "gemm",
+                "--scale",
+                "0.01",
+                "--runs",
+                "3",
+                "--p-per-step",
+                "2e-6",
+                "-o",
+                str(target),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "observed" in out
+        payload = json.loads(target.read_text())
+        assert payload["n_runs"] == 3
+        assert len(payload["runs"]) == 3
+
+    def test_rejects_bad_policy_parameters(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "faults",
+                    "run",
+                    "gemm",
+                    "--scale",
+                    "0.01",
+                    "--max-retries",
+                    "0",
+                ]
+            )
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "run", "cholesky"])
+
+
 class TestWorkloadsListing:
     def test_lists_all_suites(self, capsys):
         assert main(["workloads"]) == 0

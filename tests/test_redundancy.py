@@ -82,6 +82,60 @@ class TestOverheads:
             RedundancyConfig(spare_tracks_per_mat=-1)
 
 
+class TestHopAccounting:
+    def test_transfer_hops_counts_segment_chunks(self):
+        analysis = _analysis(RedundancyMode.NONE)
+        bus = analysis.bus
+        one_chunk = analysis.transfer_hops(1)
+        assert one_chunk == bus.n_segments
+        assert (
+            analysis.transfer_hops(bus.words_per_segment) == one_chunk
+        )
+        assert (
+            analysis.transfer_hops(bus.words_per_segment + 1)
+            == 2 * one_chunk
+        )
+
+    def test_transfer_hops_rejects_non_positive_words(self):
+        analysis = _analysis(RedundancyMode.NONE)
+        with pytest.raises(ValueError):
+            analysis.transfer_hops(0)
+        with pytest.raises(ValueError):
+            analysis.transfer_hops(-3)
+
+    def test_expected_undetected_faults_matches_hop_model(self):
+        faults = ShiftFaultConfig(p_per_step=1e-6, guard_detection=0.9)
+        analysis = RedundancyAnalysis(
+            RedundancyConfig(mode=RedundancyMode.GUARD_RETRY),
+            faults=faults,
+        )
+        hop = analysis.fault_model.shift_fault_probability(
+            analysis.bus.segment_domains
+        )
+        expected = analysis.transfer_hops(WORDS) * hop * (1.0 - 0.9)
+        assert analysis.expected_undetected_faults(WORDS) == pytest.approx(
+            expected
+        )
+
+    def test_expected_undetected_faults_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            _analysis(RedundancyMode.NONE).expected_undetected_faults(0)
+
+    def test_perfect_guard_leaves_no_undetected_faults(self):
+        analysis = RedundancyAnalysis(
+            RedundancyConfig(mode=RedundancyMode.GUARD_RETRY),
+            faults=ShiftFaultConfig(guard_detection=1.0),
+        )
+        assert analysis.expected_undetected_faults(WORDS) == 0.0
+
+    def test_zero_rate_leaves_no_undetected_faults(self):
+        analysis = RedundancyAnalysis(
+            RedundancyConfig(mode=RedundancyMode.GUARD_RETRY),
+            faults=ShiftFaultConfig(p_per_step=0.0),
+        )
+        assert analysis.expected_undetected_faults(WORDS) == 0.0
+
+
 class TestReport:
     def test_report_fields_populated(self):
         report = _analysis(RedundancyMode.GUARD_RETRY_TMR).report(WORDS)

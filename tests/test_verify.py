@@ -253,6 +253,97 @@ class TestPlacementRules:
         assert report.ok(strict=True)
 
 
+class TestSegmentLength:
+    """SPV007: commanded shift bounded by one RM-bus segment."""
+
+    def _small_bus(self):
+        from repro.core.rmbus import RMBusConfig
+
+        # words_per_segment = 16 * (8 // 8) = 16
+        return RMBusConfig(
+            segment_domains=16,
+            length_domains=64,
+            width_wires=8,
+            word_bits=8,
+        )
+
+    def test_oversized_shift_flagged(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.tran(base, base + 64, 17)])
+        report = verify_trace(
+            trace, geometry=geometry, bus=self._small_bus()
+        )
+        (diag,) = report.by_rule("SPV007")
+        assert diag.index == 0
+        assert "17 words" in diag.message
+        assert "16 words" in diag.message
+        assert not report.ok()
+
+    def test_segment_sized_shift_passes(self, geometry, amap):
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace([VPC.tran(base, base + 64, 16)])
+        report = verify_trace(
+            trace, geometry=geometry, bus=self._small_bus()
+        )
+        assert not report.by_rule("SPV007")
+
+    def test_default_bus_never_flags_shipped_workloads(self):
+        from repro.workloads import polybench_workload
+
+        task = polybench_workload("gemm", scale=0.01).build_task()
+        verifier = TraceVerifier(
+            geometry=task.device.config.geometry, rules=("SPV007",)
+        )
+        report = verifier.verify(task.to_trace())
+        assert report.ok(strict=True)
+
+    def test_columnar_fast_path_matches_scalar_walk(self, geometry, amap):
+        from repro.isa.columnar import ColumnarTrace
+
+        base = amap.subarray_base(0, 0)
+        end = amap.total_words
+        trace = VPCTrace(
+            [
+                VPC.tran(base, base + 64, 8),
+                VPC.tran(base, base + 64, 17),  # SPV007 only
+                VPC.tran(end - 4, base, 17),  # SPV001 + SPV007
+            ]
+        )
+        verifier = TraceVerifier(
+            geometry=geometry,
+            rules=("SPV001", "SPV007"),
+            bus=self._small_bus(),
+        )
+        scalar = verifier.verify(trace)
+        columnar = verifier.verify_columnar(
+            ColumnarTrace.from_trace(trace)
+        )
+        assert scalar.diagnostics == columnar.diagnostics
+        assert scalar.suppressed == columnar.suppressed
+        assert [d.rule_id for d in scalar.diagnostics] == [
+            "SPV007",
+            "SPV001",
+            "SPV007",
+        ]
+
+    def test_columnar_fast_path_respects_cap(self, geometry, amap):
+        from repro.isa.columnar import ColumnarTrace
+
+        base = amap.subarray_base(0, 0)
+        trace = VPCTrace(
+            [VPC.tran(base, base + 64, 17) for _ in range(8)]
+        )
+        verifier = TraceVerifier(
+            geometry=geometry,
+            rules=("SPV007",),
+            bus=self._small_bus(),
+            max_diagnostics=3,
+        )
+        report = verifier.verify_columnar(ColumnarTrace.from_trace(trace))
+        assert len(report.diagnostics) == 3
+        assert report.suppressed == 5
+
+
 class TestVerifierMechanics:
     def test_rule_subset(self, geometry, amap):
         base = amap.subarray_base(0, 0)
