@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check faults-smoke bench bench-perf figures docs examples clean
+.PHONY: install test lint check faults-smoke profile-smoke bench bench-perf figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -22,6 +22,11 @@ check:
 faults-smoke:
 	$(PYTHON) -m repro.cli faults campaign gemm --scale 0.01 --runs 16 \
 		--p-per-step 2e-6 -o FAULTS_campaign.json
+
+profile-smoke:
+	$(PYTHON) -m repro.cli profile gemm --scale 0.05 -o trace.json
+	$(PYTHON) tools/bench_trace_exec.py --vpcs 100000 \
+		--min-speedup 1.0 --max-obs-overhead 5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

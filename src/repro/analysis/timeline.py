@@ -14,6 +14,7 @@ renders an ASCII Gantt chart, making the Fig. 22 mechanism visible:
 
 from __future__ import annotations
 
+import csv
 import io
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, TextIO, Union
@@ -109,18 +110,51 @@ def timeline_to_csv(
     intervals: Sequence[Interval],
     target: Union[str, TextIO],
 ) -> None:
-    """Write a timeline as CSV (lane, start_ns, end_ns, label)."""
+    """Write a timeline as CSV (lane, start_ns, end_ns, label).
+
+    Labels are emitted through the :mod:`csv` module, so commas, quotes
+    and newlines in round labels survive quoting intact instead of
+    corrupting the row structure; :func:`timeline_from_csv` reads the
+    file back losslessly (timestamps are rounded to 3 decimals on the
+    way out).
+    """
     if isinstance(target, str):
-        with open(target, "w", encoding="utf-8") as handle:
+        with open(target, "w", encoding="utf-8", newline="") as handle:
             timeline_to_csv(intervals, handle)
         return
-    target.write("lane,start_ns,end_ns,label\n")
+    writer = csv.writer(target, lineterminator="\n")
+    writer.writerow(["lane", "start_ns", "end_ns", "label"])
     for interval in intervals:
-        label = interval.label.replace(",", ";")
-        target.write(
-            f"{interval.lane},{interval.start_ns:.3f},"
-            f"{interval.end_ns:.3f},{label}\n"
+        writer.writerow(
+            [
+                interval.lane,
+                f"{interval.start_ns:.3f}",
+                f"{interval.end_ns:.3f}",
+                interval.label,
+            ]
         )
+
+
+def timeline_from_csv(
+    source: Union[str, TextIO],
+) -> List[Interval]:
+    """Read a :func:`timeline_to_csv` file back into intervals."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as handle:
+            return timeline_from_csv(handle)
+    reader = csv.reader(source)
+    header = next(reader, None)
+    if header != ["lane", "start_ns", "end_ns", "label"]:
+        raise ValueError(f"unrecognised timeline CSV header: {header!r}")
+    intervals = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != 4:
+            raise ValueError(f"malformed timeline CSV row: {row!r}")
+        lane, start, end, label = row
+        intervals.append(Interval(lane, float(start), float(end), label))
+    return intervals
 
 
 def render_gantt(

@@ -15,6 +15,10 @@ Subcommands:
   verification (the ``SPV`` rule catalogue, ``docs/static_analysis.md``);
 * ``repro-streampim faults run|campaign`` — seeded fault-injection runs
   and Monte-Carlo reliability campaigns (``docs/reliability.md``);
+* ``repro-streampim profile <workload>`` — instrumented run writing a
+  Chrome-trace JSON plus a metrics/utilisation summary
+  (``docs/observability.md``); ``replay`` and ``faults run`` accept
+  ``--profile FILE`` for the same export;
 * ``repro-streampim lint`` — repository-invariant AST lint (``SPL``
   rules) over ``src/repro``.
 
@@ -274,6 +278,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     else:
         trace = _load_trace_file(args.trace)
     device = StreamPIMDevice()
+    collector = None
+    if args.profile:
+        from repro.obs import Collector
+
+        collector = Collector()
+        device.observe(collector)
     stats = device.execute_trace(
         trace,
         functional=False,
@@ -288,7 +298,109 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{k} {v:.1%}" for k, v in fractions.items() if v > 0.0005
     )
     print(f"time breakdown : {shares}")
+    if collector is not None:
+        return _export_profile(collector, stats, args.profile)
     return 0
+
+
+def _breakdown_rows(stats, collector):
+    """(category, span-derived ns, engine ns, delta) reconciliation rows."""
+    from repro.obs import exclusive_breakdown
+
+    swept = exclusive_breakdown(collector.spans)
+    reported = stats.time_breakdown
+    rows = []
+    worst = 0.0
+    for category in (
+        "read", "write", "shift", "process", "overlapped", "recovery"
+    ):
+        field = f"{category}_ns"
+        from_spans = getattr(swept, field)
+        from_engine = getattr(reported, field)
+        scale = max(abs(from_spans), abs(from_engine), 1.0)
+        delta = abs(from_spans - from_engine) / scale
+        worst = max(worst, delta)
+        rows.append([category, from_spans, from_engine, delta])
+    return rows, worst
+
+
+def _export_profile(collector, stats, path: str) -> int:
+    """Write the Chrome trace and print the observation summary."""
+    from repro.analysis.report import format_table
+    from repro.obs import track_utilisation, write_chrome_trace
+
+    payload = write_chrome_trace(
+        path, collector.spans, metrics=collector.registry.snapshot()
+    )
+    print(
+        f"wrote {path} ({len(payload['traceEvents']):,} trace events; "
+        f"open in chrome://tracing or https://ui.perfetto.dev)"
+    )
+    print()
+    print(collector.registry.render())
+    if stats is None:
+        return 0
+    elapsed = stats.time_ns
+    rows = [
+        [track, busy, count, ratio]
+        for track, busy, count, ratio in track_utilisation(
+            collector.spans, elapsed
+        )[:12]
+    ]
+    if rows:
+        print()
+        print(
+            format_table(
+                ["track", "busy_ns", "spans", "utilisation"], rows
+            )
+        )
+    recon_rows, worst = _breakdown_rows(stats, collector)
+    print()
+    print(
+        format_table(
+            ["category", "spans_ns", "engine_ns", "rel_delta"],
+            [[c, s, e, f"{d:.2e}"] for c, s, e, d in recon_rows],
+            float_format="{:.3f}",
+        )
+    )
+    if worst > 1e-9:
+        print(
+            f"FAIL: span-derived breakdown diverges from the engine's "
+            f"by {worst:.3e} (relative)"
+        )
+        return 1
+    print("breakdown reconciliation: OK (span sums match the engine)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one workload instrumented; export trace.json + summaries."""
+    from repro.obs import Collector
+
+    spec = _lookup_workload(args.workload, args.scale)
+    if spec.build is None:
+        raise SystemExit(f"workload {args.workload!r} has no task builder")
+    task = spec.build_task()
+    trace = task.to_trace()
+    if args.engine == "vector":
+        from repro.isa.columnar import ColumnarTrace
+
+        trace = ColumnarTrace.from_trace(trace)
+    collector = Collector()
+    device = task.device.observe(collector)
+    stats = device.execute_trace(
+        trace,
+        workload=spec.name,
+        functional=args.functional,
+        engine=args.engine,
+    )
+    print(
+        f"profiled {spec.name} @ scale {args.scale}: {len(trace):,} "
+        f"commands, engine {args.engine}"
+    )
+    print(f"time   : {stats.time_ns / 1e3:.2f} us")
+    print(f"energy : {stats.energy.total_pj / 1e3:.2f} nJ")
+    return _export_profile(collector, stats, args.output)
 
 
 def _load_trace_file(path: str):
@@ -443,6 +555,12 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         from repro.isa.columnar import ColumnarTrace
 
         trace = ColumnarTrace.from_trace(trace)
+    collector = None
+    if args.profile:
+        from repro.obs import Collector
+
+        collector = Collector()
+        task.device.observe(collector)
     stats, report = run_with_faults(
         task.device,
         trace,
@@ -459,6 +577,8 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=1)
         print(f"report written to {args.output}")
+    if collector is not None:
+        return _export_profile(collector, stats, args.profile)
     return 0
 
 
@@ -567,7 +687,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="event executor: the reference per-VPC loop or the "
         "columnar vectorized fast path (identical results)",
     )
+    replay.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="collect metrics and spans; write a Chrome trace to FILE",
+    )
     replay.set_defaults(func=_cmd_replay)
+
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented workload run: Chrome trace + metrics summary",
+    )
+    profile.add_argument("workload")
+    profile.add_argument("--scale", type=float, default=0.05)
+    profile.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="vector",
+        help="trace engine (both emit identical span streams)",
+    )
+    profile.add_argument(
+        "--functional",
+        action="store_true",
+        help="also execute word-level semantics during the run",
+    )
+    profile.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="Chrome trace_event JSON output path",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     check = sub.add_parser(
         "check",
@@ -648,6 +799,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_flags(faults_run)
     faults_run.add_argument("--seed", type=int, default=0)
+    faults_run.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="collect metrics and spans; write a Chrome trace to FILE",
+    )
     faults_run.set_defaults(func=_cmd_faults_run)
 
     faults_campaign = faults_sub.add_parser(

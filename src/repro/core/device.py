@@ -39,6 +39,7 @@ from repro.core.scheduler import (
 from repro.core.subarray_engine import SubarrayEngine
 from repro.isa.trace import VPCTrace
 from repro.isa.vpc import VPC, VPCOpcode
+from repro.obs.spans import NULL_COLLECTOR
 from repro.rm.address import AddressMap, DeviceGeometry
 from repro.rm.nanowire import ShiftError
 from repro.rm.timing import RMTimingConfig
@@ -130,6 +131,26 @@ class StreamPIMDevice:
         )
         self.store = WordStore()
         self._bounds_verifier = None
+        #: Observation sink (:mod:`repro.obs`); the disabled singleton
+        #: by default — attach a real collector with :meth:`observe`.
+        self.obs = NULL_COLLECTOR
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observe(self, collector) -> "StreamPIMDevice":
+        """Attach an observation collector to this device.
+
+        Wires the device's trace engines plus the analytic scheduler
+        and RM-bus cost model to the same collector, so one profiled
+        run lands in one span/metric stream.  Pass
+        :data:`repro.obs.NULL_COLLECTOR` to detach.  Returns the device
+        for chaining.
+        """
+        self.obs = collector
+        self.scheduler.obs = collector
+        self.bus.obs = collector
+        return self
 
     # ------------------------------------------------------------------
     # Analytic mode
@@ -209,13 +230,27 @@ class StreamPIMDevice:
                 )
                 if not report.ok():
                     raise TraceVerificationError(report)
-            return execute_columnar(
+            # Observability: checked once per run.  The engine stays
+            # untouched when disabled; when enabled it hands back the
+            # busy-interval arrays it computed anyway and the spans are
+            # batch-built here, after the run.
+            sink = [] if self.obs.enabled else None
+            stats = execute_columnar(
                 self,
                 cols,
                 workload=workload,
                 functional=functional,
                 faults=faults,
+                span_sink=sink,
             )
+            if sink is not None:
+                from repro.obs.trace_spans import record_trace_run
+
+                starts, finishes, is_rw = sink[0]
+                record_trace_run(
+                    self.obs, self, cols, starts, finishes, is_rw, stats
+                )
+            return stats
         if verify:
             from repro.verify.trace_verifier import TraceVerificationError
 
@@ -285,6 +320,27 @@ class StreamPIMDevice:
         )
         stats.bump("pim_vpcs", pim_vpcs)
         stats.bump("move_vpcs", move_vpcs)
+        if self.obs.enabled:
+            # Same batched recording as the vector path, fed from the
+            # span records this loop accumulated anyway — both engines
+            # therefore emit identical observation streams.
+            from repro.isa.columnar import ColumnarTrace
+            from repro.obs.trace_spans import record_trace_run
+
+            cols = (
+                trace
+                if isinstance(trace, ColumnarTrace)
+                else ColumnarTrace.from_trace(trace)
+            )
+            record_trace_run(
+                self.obs,
+                self,
+                cols,
+                np.array([s.start for s in spans], dtype=np.float64),
+                np.array([s.finish for s in spans], dtype=np.float64),
+                np.array([s.kind == "rw" for s in spans], dtype=bool),
+                stats,
+            )
         return stats
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.spans import NULL_COLLECTOR
 from repro.rm.timing import RMTimingConfig
 
 
@@ -105,6 +106,12 @@ class RMBus:
     ) -> None:
         self.config = config or RMBusConfig()
         self.timing = timing or RMTimingConfig()
+        #: Observation sink (:mod:`repro.obs`); disabled by default.
+        #: The bus is a cost *model*, so its metrics count model
+        #: queries — the vector engine memoises per unique word count,
+        #: so query counts are not comparable across engines (span
+        #: streams are; see ``trace.bus_transfers``).
+        self.obs = NULL_COLLECTOR
 
     # ------------------------------------------------------------------
     # Timing
@@ -129,6 +136,9 @@ class RMBus:
         return 2
 
     def transfer_ns(self, words: int) -> float:
+        if self.obs.enabled:
+            self.obs.counter("rmbus.transfer_queries").inc()
+            self.obs.histogram("rmbus.transfer_words").observe(words)
         return self.transfer_cycles(words) * self.timing.cycle_ns
 
     # ------------------------------------------------------------------
@@ -176,6 +186,8 @@ class RMBus:
         """
         if words <= 0:
             raise ValueError(f"words must be positive, got {words}")
+        if self.obs.enabled:
+            self.obs.counter("rmbus.energy_queries").inc()
         fractional_chunks = words / self.config.words_per_segment
         return (
             fractional_chunks

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.spans import NULL_COLLECTOR
 from repro.rm.timing import RMTimingConfig
 from repro.sim.stats import EnergyBreakdown, TimeBreakdown
 
@@ -134,6 +135,8 @@ class Scheduler:
         self.policy = policy
         self.timing = timing or RMTimingConfig()
         self.prep_model = prep_model or PrepCostModel()
+        #: Observation sink (:mod:`repro.obs`); disabled by default.
+        self.obs = NULL_COLLECTOR
 
     # ------------------------------------------------------------------
     # Preparation phase costs
@@ -204,7 +207,9 @@ class Scheduler:
                 total_ns += prep_ns + round_.compute_ns
                 self._add_prep_time(time, prep_ns)
                 time.merge(round_.compute_time)
-            return ScheduleResult(total_ns, time, energy, len(rounds))
+            result = ScheduleResult(total_ns, time, energy, len(rounds))
+            self._observe_rounds(rounds, result)
+            return result
 
         # Unblock: interleaved execution software-pipelines preparation
         # against compute across the whole schedule.  Copies and compute
@@ -226,7 +231,46 @@ class Scheduler:
         self._add_overlapped_compute(
             time, merged_compute, total_compute, remaining_prep
         )
-        return ScheduleResult(total_ns, time, energy, len(rounds))
+        result = ScheduleResult(total_ns, time, energy, len(rounds))
+        self._observe_rounds(rounds, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _observe_rounds(
+        self, rounds: List[Round], result: ScheduleResult
+    ) -> None:
+        """Emit one composed schedule into the observation sink.
+
+        Enabled-checked once per compose; each round's prep and compute
+        phases become spans on the ``sched.prep`` / ``sched.compute``
+        lanes, reconstructed with the same policy-aware clocks as
+        :func:`repro.analysis.timeline.schedule_timeline` (reused
+        directly — it is the reference reconstruction of this
+        composition).
+        """
+        obs = self.obs
+        if not obs.enabled or not rounds:
+            return
+        from repro.analysis.timeline import schedule_timeline
+
+        for interval in schedule_timeline(self, rounds):
+            obs.emit(
+                interval.label or interval.lane,
+                "sched",
+                interval.start_ns,
+                interval.duration_ns,
+                f"sched.{interval.lane}",
+            )
+        registry = obs.registry
+        registry.counter("sched.composes").inc()
+        registry.counter("sched.rounds").inc(len(rounds))
+        registry.counter("sched.prep_words").inc(
+            sum(r.prep_words for r in rounds)
+        )
+        registry.counter("sched.move_vpcs").inc(
+            sum(r.move_vpcs for r in rounds)
+        )
+        registry.gauge("sched.total_ns").set(result.total_ns)
 
     # ------------------------------------------------------------------
     def _add_prep_time(self, time: TimeBreakdown, prep_ns: float) -> None:

@@ -1,0 +1,150 @@
+"""Chrome ``trace_event`` export of a collected span stream.
+
+Produces the JSON Object Format consumed by ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_: one complete (``"ph": "X"``)
+event per span, one trace "thread" per track, with thread-name metadata
+so the timeline shows resource names.  Chrome timestamps are
+microseconds; the exact nanosecond values are preserved in each event's
+``args`` (``ts_ns``/``dur_ns``) so tooling can reconcile the export
+against engine-reported breakdowns without unit loss.
+
+:func:`validate_chrome_trace` is the schema check the tests and the
+``profile`` CLI run on every export: required keys present, and ``ts``
+monotonically non-decreasing per track — the property that makes the
+trace loadable as non-overlapping slices.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.spans import Span
+
+#: Synthetic process id of the simulated device in the export.
+DEVICE_PID = 1
+
+
+def chrome_trace_dict(
+    spans: Sequence[Span],
+    metrics: Optional[Mapping[str, object]] = None,
+    label: str = "repro-streampim",
+) -> Dict[str, object]:
+    """Build the Chrome trace JSON object for a span stream.
+
+    Tracks become trace threads in order of first appearance; events
+    within a track are emitted sorted by start time (stable), which the
+    exclusive-resource span streams already satisfy.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": DEVICE_PID,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    for span in spans:
+        if span.track not in tids:
+            tids[span.track] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": DEVICE_PID,
+                    "tid": tids[span.track],
+                    "args": {"name": span.track},
+                }
+            )
+    slices = []
+    for order, span in enumerate(spans):
+        args = dict(span.args)
+        args["ts_ns"] = span.ts_ns
+        args["dur_ns"] = span.dur_ns
+        slices.append(
+            (
+                tids[span.track],
+                span.ts_ns,
+                order,
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": DEVICE_PID,
+                    "tid": tids[span.track],
+                    "ts": span.ts_ns / 1e3,
+                    "dur": span.dur_ns / 1e3,
+                    "args": args,
+                },
+            )
+        )
+    slices.sort(key=lambda item: (item[0], item[1], item[2]))
+    events.extend(item[3] for item in slices)
+    payload: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+    }
+    if metrics is not None:
+        payload["otherData"] = {"metrics": dict(metrics)}
+    return payload
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    metrics: Optional[Mapping[str, object]] = None,
+    label: str = "repro-streampim",
+) -> Dict[str, object]:
+    """Write a span stream as Chrome trace JSON; returns the payload."""
+    payload = chrome_trace_dict(spans, metrics=metrics, label=label)
+    validate_chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: Mapping[str, object]) -> None:
+    """Schema-check one Chrome trace payload; raises ValueError.
+
+    Checks the Object Format skeleton, per-event required keys, and
+    that ``ts`` is monotonically non-decreasing within every track
+    (pid, tid) — exported resources are exclusive, so out-of-order or
+    overlapping slices indicate a corrupted export.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts: Dict[tuple, float] = {}
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{position} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(
+                    f"event #{position} is missing required key {key!r}"
+                )
+        if event["ph"] == "M":
+            continue
+        if event["ph"] != "X":
+            raise ValueError(
+                f"event #{position} has unsupported phase "
+                f"{event['ph']!r}"
+            )
+        for key in ("cat", "ts", "dur"):
+            if key not in event:
+                raise ValueError(
+                    f"event #{position} is missing required key {key!r}"
+                )
+        if event["dur"] < 0:
+            raise ValueError(f"event #{position} has negative duration")
+        track = (event["pid"], event["tid"])
+        previous = last_ts.get(track)
+        if previous is not None and event["ts"] < previous:
+            raise ValueError(
+                f"event #{position} rewinds track {track}: ts "
+                f"{event['ts']} after {previous}"
+            )
+        last_ts[track] = event["ts"]

@@ -1,0 +1,244 @@
+"""Named counters, gauges and histograms with a no-op disabled mode.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`): code under instrumentation asks the registry for a
+metric *by name* and bumps it; the registry memoises the metric objects
+so repeated lookups are dictionary hits.  The disabled path is a
+singleton :data:`NULL_REGISTRY` whose metrics swallow every update —
+call sites check ``collector.enabled`` once at run start and skip the
+instrumentation block entirely, so a disabled run pays one attribute
+read per *run*, not per event.
+
+Determinism contract: every aggregate a metric keeps (counter totals,
+histogram sums) is computed with order-free accumulation
+(:func:`math.fsum` for float streams), so two engines feeding the same
+values in the same order — or batched as one array — report identical
+totals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing named total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A named last-written value (plus the extremes seen)."""
+
+    __slots__ = ("name", "value", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[Number] = None
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of an observed quantity.
+
+    The sum is kept as the exact :func:`math.fsum` of everything
+    observed so far (observations are buffered and compensated), which
+    makes batched and one-at-a-time feeding report identical totals.
+    """
+
+    __slots__ = ("name", "count", "min", "max", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self._values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self._values.append(float(value))
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Memoising name -> metric map with a text/JSON summary."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _claim(self, name: str, kind: str) -> None:
+        # One name, one kind: snapshot() flattens all three maps into a
+        # single key space, so a collision would silently shadow data.
+        held = self._kinds.setdefault(name, kind)
+        if held != kind:
+            raise ValueError(
+                f"metric {name!r} is already a {held}, not a {kind}"
+            )
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._claim(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._claim(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._claim(name, "histogram")
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as one JSON-serialisable mapping."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = {
+                "value": gauge.value,
+                "min": gauge.min,
+                "max": gauge.max,
+            }
+        for name, hist in self._histograms.items():
+            out[name] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+            }
+        return out
+
+    def render(self) -> str:
+        """Aligned text table of every metric, sorted by name."""
+        from repro.analysis.report import format_table
+
+        rows = []
+        for name in sorted(self._counters):
+            rows.append([name, "counter", str(self._counters[name].value)])
+        for name in sorted(self._gauges):
+            gauge = self._gauges[name]
+            rows.append([name, "gauge", f"{gauge.value}"])
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            rows.append(
+                [
+                    name,
+                    "histogram",
+                    f"n={hist.count} sum={hist.sum:.6g} "
+                    f"mean={hist.mean:.6g}",
+                ]
+            )
+        return format_table(["metric", "kind", "value"], rows)
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+        )
+
+
+# ----------------------------------------------------------------------
+# Disabled mode
+# ----------------------------------------------------------------------
+class _NullMetric:
+    """Accepts every update and records nothing."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    min = None
+    max = None
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        return None
+
+    def set(self, value: Number) -> None:
+        return None
+
+    def observe(self, value: Number) -> None:
+        return None
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled sink: every lookup returns the shared no-op metric."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def render(self) -> str:
+        return "(metrics disabled)"
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.placement import Placer
 from repro.isa.vpc import VPCOpcode
+from repro.obs.spans import NULL_COLLECTOR
 from repro.resilience.corruption import corrupt_words
 from repro.resilience.plan import (
     FaultCampaignConfig,
@@ -67,6 +68,13 @@ class FaultSession:
         hop_pj = device.bus.energy_per_hop_pj
         placer = None
         quarantine_set = set()
+        # Observation sink, checked once per session resolve; every
+        # retry attempt / quarantine re-copy becomes a span on the
+        # "recovery" track whose running offsets mirror recovery_ns, so
+        # the exported trace's recovery durations sum to exactly the
+        # total the engines charge into the breakdown.
+        obs = getattr(device, "obs", NULL_COLLECTOR)
+        emitting = obs.enabled
         for event in self.plan.events:
             self.injected += event.faults
             self.detected += event.detected
@@ -82,9 +90,20 @@ class FaultSession:
                 for tries in event.attempts:
                     self.retries += tries
                     for attempt in range(tries):
-                        self.recovery_ns += (
-                            hop_ns * self.config.backoff**attempt
-                        )
+                        attempt_ns = hop_ns * self.config.backoff**attempt
+                        if emitting:
+                            obs.emit(
+                                "retry",
+                                "recovery",
+                                self.recovery_ns,
+                                attempt_ns,
+                                "recovery",
+                                {
+                                    "index": event.index,
+                                    "attempt": attempt,
+                                },
+                            )
+                        self.recovery_ns += attempt_ns
                     self.recovery_pj += tries * hop_pj
                 if event.recovered:
                     self.recovered += event.detected
@@ -102,9 +121,31 @@ class FaultSession:
                 quarantine_set.add(key)
                 self.quarantined.append(key)
                 self.remapped.append((key, target))
-            self.recovery_ns += device.bus.transfer_ns(event.words)
+            remap_ns = device.bus.transfer_ns(event.words)
+            if emitting:
+                obs.emit(
+                    "remap",
+                    "recovery",
+                    self.recovery_ns,
+                    remap_ns,
+                    "recovery",
+                    {"index": event.index, "words": event.words},
+                )
+            self.recovery_ns += remap_ns
             self.recovery_pj += device.bus.transfer_energy_pj(event.words)
             self.recovered += event.detected
+        if emitting:
+            registry = obs.registry
+            registry.counter("faults.injected").inc(self.injected)
+            registry.counter("faults.detected").inc(self.detected)
+            registry.counter("faults.undetected").inc(self.undetected)
+            registry.counter("faults.retries").inc(self.retries)
+            registry.counter("faults.recovered").inc(self.recovered)
+            registry.counter("faults.quarantined").inc(
+                len(self.quarantined)
+            )
+            if self.abort_index is not None:
+                registry.counter("faults.aborts").inc()
 
     def _abort_at(self, index: int) -> None:
         self.abort_index = index

@@ -74,7 +74,11 @@ class Engine:
         """
         while self._queue:
             if until is not None and self._queue[0].time > until:
-                self.now = until
+                # Clamp, never rewind: run(until=t) with t already in
+                # the past must leave the monotone clock untouched — a
+                # rewound clock corrupts every timestamped span emitted
+                # downstream.
+                self.now = max(self.now, until)
                 return self.now
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -134,8 +138,25 @@ class Resource:
         self.acquisitions += 1
         return start, finish
 
+    #: Relative slack for float accumulation drift before a busy/elapsed
+    #: ratio above 1.0 is treated as double-booking.
+    _OVERBOOK_TOLERANCE = 1e-9
+
     def utilisation(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` the resource spent busy."""
+        """Fraction of ``elapsed`` the resource spent busy.
+
+        Returns the raw busy/elapsed ratio.  A ratio above 1.0 (beyond
+        float-accumulation slack) means the ledger booked more busy
+        time than wall-clock passed — an accounting bug that a display
+        clamp would silently mask — so it raises instead.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        ratio = self.busy_time / elapsed
+        if ratio > 1.0 + self._OVERBOOK_TOLERANCE:
+            raise ValueError(
+                f"resource {self.name!r} over-accounted: busy "
+                f"{self.busy_time} ns exceeds elapsed {elapsed} ns "
+                f"(utilisation {ratio:.6f})"
+            )
+        return ratio

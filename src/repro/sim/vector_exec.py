@@ -167,6 +167,7 @@ def execute_columnar(
     workload: str = "trace",
     functional: bool = True,
     faults=None,
+    span_sink=None,
 ) -> RunStats:
     """Execute a columnar trace; equivalent to the scalar event loop.
 
@@ -178,6 +179,12 @@ def execute_columnar(
     pre-sampled decisions (silent corruption indices, recovery totals,
     abort position) are applied exactly as the scalar loop applies them,
     so fault-injected runs stay bit-identical across engines.
+
+    ``span_sink``, when not None, receives one
+    ``(starts, finishes, is_rw)`` array triple — the exact busy
+    intervals the time sweep consumed, in emission order — so the
+    observability layer (:mod:`repro.obs`) can batch-build named spans
+    *after* the run without adding any per-event work here.
     """
     n = len(cols)
     opcode = cols.opcode
@@ -228,6 +235,11 @@ def execute_columnar(
     stats.bump("pim_vpcs", pim_vpcs)
     stats.bump("move_vpcs", n - pim_vpcs)
     if n == 0:
+        if span_sink is not None:
+            empty = np.array([], dtype=np.float64)
+            span_sink.append(
+                (empty, empty.copy(), np.array([], dtype=bool))
+            )
         return stats
 
     words_per_subarray = address_map.words_per_subarray
@@ -370,9 +382,14 @@ def execute_columnar(
             finish_time = finish
 
     stats.time_ns = finish_time
+    starts_array = np.array(span_start, dtype=np.float64)
+    finishes_array = np.array(span_finish, dtype=np.float64)
+    rw_array = np.array(span_rw, dtype=bool)
     stats.time_breakdown = sweep_spans(
-        np.array(span_start), np.array(span_finish), np.array(span_rw)
+        starts_array, finishes_array, rw_array
     )
+    if span_sink is not None:
+        span_sink.append((starts_array, finishes_array, rw_array))
     if faults is not None:
         stats.time_breakdown.add("recovery", faults.recovery_ns)
         stats.energy.add("recovery", faults.recovery_pj)

@@ -87,6 +87,20 @@ class TestEngine:
         with pytest.raises(ValueError):
             engine.schedule_at(1.0, lambda: None)
 
+    def test_run_until_never_rewinds_clock(self):
+        # Regression: run(until=t) with t < now used to drag the clock
+        # backwards, letting later schedule_at calls "time travel".
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        assert engine.now == 10.0
+        engine.schedule(10.0, lambda: None)  # pending event at t=20
+        assert engine.run(until=3.0) == 10.0
+        assert engine.now == 10.0
+        engine.schedule_at(10.0, lambda: None)  # still legal
+        with pytest.raises(ValueError):
+            engine.schedule_at(5.0, lambda: None)
+
 
 class TestResource:
     def test_serialises_overlapping_requests(self):
@@ -111,6 +125,19 @@ class TestResource:
     def test_rejects_negative_duration(self):
         with pytest.raises(ValueError):
             Resource().acquire(0.0, -1.0)
+
+    def test_utilisation_raises_on_overaccounting(self):
+        # Regression: busy time beyond the elapsed window used to be
+        # silently clamped to 1.0, hiding double-charged intervals.
+        res = Resource("sub0")
+        res.acquire(0.0, 25.0)
+        with pytest.raises(ValueError, match="over-accounted"):
+            res.utilisation(10.0)
+
+    def test_utilisation_full_window_is_exact(self):
+        res = Resource()
+        res.acquire(0.0, 50.0)
+        assert res.utilisation(50.0) == 1.0
 
 
 class TestPipelineModel:
@@ -274,3 +301,18 @@ class TestGeometricMean:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])
+
+    def test_huge_values_do_not_overflow(self):
+        # Regression: the product accumulator overflowed to inf for
+        # realistic speedup lists; the log-domain form stays finite.
+        import math
+
+        values = [1e300, 1e305, 1e308]
+        result = geometric_mean(values)
+        assert math.isfinite(result)
+        expected = 10 ** ((300 + 305 + 308) / 3)
+        assert result == pytest.approx(expected, rel=1e-12)
+
+    def test_tiny_values_do_not_underflow(self):
+        result = geometric_mean([1e-300] * 4)
+        assert result == pytest.approx(1e-300, rel=1e-12)

@@ -8,6 +8,7 @@ from repro.analysis.timeline import (
     Interval,
     render_gantt,
     schedule_timeline,
+    timeline_from_csv,
     timeline_to_csv,
 )
 from repro.core.scheduler import Round, Scheduler, SchedulerPolicy
@@ -119,7 +120,28 @@ class TestExports:
         path = tmp_path / "timeline.csv"
         timeline_to_csv([Interval("prep", 0.0, 1.0, "a,b")], str(path))
         text = path.read_text()
-        assert "a;b" in text  # commas escaped
+        assert '"a,b"' in text  # commas survive via quoting
+        assert timeline_from_csv(str(path))[0].label == "a,b"
+
+    def test_csv_roundtrip_hostile_labels(self, tmp_path):
+        path = tmp_path / "timeline.csv"
+        original = [
+            Interval("prep", 0.0, 1.5, 'say "hi", ok'),
+            Interval("compute", 1.5, 4.0, "line\nbreak"),
+            Interval("compute", 4.0, 4.25, ""),
+        ]
+        timeline_to_csv(original, str(path))
+        restored = timeline_from_csv(str(path))
+        assert restored == original
+
+    def test_csv_from_buffer_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            timeline_from_csv(io.StringIO("lane,start,end,label\n"))
+
+    def test_csv_from_buffer_rejects_short_row(self):
+        source = io.StringIO("lane,start_ns,end_ns,label\nprep,0.0\n")
+        with pytest.raises(ValueError):
+            timeline_from_csv(source)
 
     def test_gantt_has_both_lanes(self):
         scheduler = Scheduler(SchedulerPolicy.DISTRIBUTE)

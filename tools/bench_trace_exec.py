@@ -116,6 +116,54 @@ def run(args: argparse.Namespace) -> int:
         mismatches.append("counters")
     speedup = scalar_s / vector_s if vector_s > 0 else float("inf")
 
+    # Observability overhead: the public vector path with the collector
+    # disabled (NULL_COLLECTOR: one enabled check per run) against a
+    # direct engine call that bypasses the obs plumbing entirely.  Both
+    # skip verification so the delta isolates the dispatch overhead.
+    from repro.obs import Collector
+    from repro.sim.vector_exec import execute_columnar
+
+    obs_control_s = math.inf
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        control_stats = execute_columnar(
+            StreamPIMDevice(), cols, workload="bench", functional=False
+        )
+        obs_control_s = min(obs_control_s, time.perf_counter() - t0)
+
+    obs_disabled_s = math.inf
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        disabled_stats = StreamPIMDevice().execute_trace(
+            cols,
+            workload="bench",
+            functional=False,
+            verify=False,
+            engine="vector",
+        )
+        obs_disabled_s = min(obs_disabled_s, time.perf_counter() - t0)
+
+    if [get(control_stats) for _, get in _STAT_FIELDS] != [
+        get(disabled_stats) for _, get in _STAT_FIELDS
+    ]:
+        mismatches.append("obs_disabled_stats")
+    obs_overhead_pct = (
+        (obs_disabled_s - obs_control_s) / obs_control_s * 100.0
+        if obs_control_s > 0
+        else 0.0
+    )
+
+    # Informational: one fully instrumented run (spans + metrics).
+    t0 = time.perf_counter()
+    StreamPIMDevice().observe(Collector()).execute_trace(
+        cols,
+        workload="bench",
+        functional=False,
+        verify=False,
+        engine="vector",
+    )
+    obs_profiled_s = time.perf_counter() - t0
+
     result = {
         "trace_vpcs": n_vpcs,
         "matmul_side": side,
@@ -129,6 +177,11 @@ def run(args: argparse.Namespace) -> int:
         "stats_identical": not mismatches,
         "time_ns": scalar_stats.time_ns,
         "energy_pj": scalar_stats.energy.total_pj,
+        "obs_control_s": round(obs_control_s, 4),
+        "obs_disabled_s": round(obs_disabled_s, 4),
+        "obs_disabled_overhead_pct": round(obs_overhead_pct, 2),
+        "obs_profiled_s": round(obs_profiled_s, 4),
+        "max_obs_overhead_pct": args.max_obs_overhead,
     }
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
@@ -137,6 +190,10 @@ def run(args: argparse.Namespace) -> int:
           f"binary decode {decode_s:.3f}s")
     print(f"scalar {scalar_s:.3f}s  vector {vector_s:.3f}s  "
           f"speedup {speedup:.1f}x (floor {args.min_speedup}x)")
+    print(f"obs: control {obs_control_s:.3f}s  "
+          f"disabled {obs_disabled_s:.3f}s  "
+          f"(overhead {obs_overhead_pct:+.1f}%)  "
+          f"profiled {obs_profiled_s:.3f}s")
     print(f"wrote {out}")
 
     if mismatches:
@@ -145,6 +202,14 @@ def run(args: argparse.Namespace) -> int:
     if speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.1f}x below the "
               f"{args.min_speedup}x floor")
+        return 1
+    if (
+        args.max_obs_overhead is not None
+        and obs_overhead_pct > args.max_obs_overhead
+    ):
+        print(f"FAIL: disabled-mode observability overhead "
+              f"{obs_overhead_pct:.1f}% exceeds the "
+              f"{args.max_obs_overhead}% ceiling")
         return 1
     print("PASS")
     return 0
@@ -169,6 +234,13 @@ def main(argv=None) -> int:
         type=int,
         default=3,
         help="timed runs per engine; the best is reported",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        help="fail if the disabled-mode observability overhead on the "
+        "vector path exceeds this percentage",
     )
     parser.add_argument(
         "--out",
