@@ -2,10 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check faults-smoke profile-smoke bench bench-perf figures docs examples clean
+.PHONY: install test lint check faults-smoke profile-smoke bench bench-perf bench-compile figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
+# Extra flags for bench-compile, e.g.
+# COMPILE_BENCH_FLAGS="--compile-scale 0.05 --min-cache-speedup 1.0"
+COMPILE_BENCH_FLAGS ?= --min-compile-speedup 5 --min-cache-speedup 20
 
 install:
 	pip install -e .
@@ -33,6 +36,9 @@ bench:
 
 bench-perf:
 	$(PYTHON) tools/bench_trace_exec.py $(BENCH_FLAGS)
+
+bench-compile:
+	$(PYTHON) tools/bench_trace_exec.py --compile $(COMPILE_BENCH_FLAGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

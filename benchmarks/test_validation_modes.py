@@ -7,7 +7,7 @@ and reports the agreement: identical functional results, identical VPC
 counts, and timing within a small factor.
 """
 
-from conftest import run_once
+from conftest import compile_cached, run_once
 
 from repro.analysis.report import format_table
 from repro.core.device import StreamPIMConfig, StreamPIMDevice
@@ -54,8 +54,8 @@ def _sweep():
         analytic = task.run(functional=True)
 
         event_device = StreamPIMDevice(_config())
-        event_task = spec.build_task(event_device, seed=3)
-        trace = event_task.to_trace()
+        compiled = compile_cached(spec, event_device, seed=3)
+        event_task, trace = compiled.task, compiled.trace
         event_task.materialize(event_device)
         event_stats = event_device.execute_trace(trace)
         event_results = event_task.fetch_results(event_device)

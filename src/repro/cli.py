@@ -20,7 +20,14 @@ Subcommands:
   (``docs/observability.md``); ``replay`` and ``faults run`` accept
   ``--profile FILE`` for the same export;
 * ``repro-streampim lint`` — repository-invariant AST lint (``SPL``
-  rules) over ``src/repro``.
+  rules) over ``src/repro``;
+* ``repro-streampim cache stats|clear`` — inspect or empty the
+  content-addressed trace cache (``docs/compile_pipeline.md``).
+
+Commands that lower workloads to traces (``trace``, ``profile``,
+``check``, ``faults``) serve repeat compilations from the trace cache;
+``--no-trace-cache`` forces a fresh compile and ``--cache-dir``
+relocates the store.
 
 Installed as the ``repro-streampim`` console script; also runnable as
 ``python -m repro.cli``.
@@ -58,6 +65,17 @@ def _lookup_workload(name: str, scale: float):
     raise SystemExit(
         f"unknown workload {name!r}; choose from "
         f"{sorted([*POLYBENCH, *DNN_WORKLOADS, *EXTRA_WORKLOADS])}"
+    )
+
+
+def _compile_spec(spec, args):
+    """Compile one workload's trace, honouring the cache CLI flags."""
+    from repro.core.compile import compile_workload
+
+    return compile_workload(
+        spec,
+        use_cache=not getattr(args, "no_trace_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -228,12 +246,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     if spec.build is None:
         raise SystemExit(f"workload {spec.name!r} has no task builder")
-    task = spec.build_task()
-    trace = task.to_trace()
+    compiled = _compile_spec(spec, args)
+    trace = compiled.trace
     stats = trace.stats
+    source = "cache hit" if compiled.cache_hit else "compiled"
     print(
         f"{spec.name} @ scale {args.scale}: {stats.pim_vpcs:,} PIM VPCs, "
-        f"{stats.move_vpcs:,} move VPCs"
+        f"{stats.move_vpcs:,} move VPCs ({source})"
     )
     if args.output:
         write_trace(trace, args.output)
@@ -380,14 +399,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     if spec.build is None:
         raise SystemExit(f"workload {args.workload!r} has no task builder")
-    task = spec.build_task()
-    trace = task.to_trace()
-    if args.engine == "vector":
-        from repro.isa.columnar import ColumnarTrace
-
-        trace = ColumnarTrace.from_trace(trace)
+    compiled = _compile_spec(spec, args)
+    trace = compiled.trace  # columnar; both engines consume it directly
     collector = Collector()
-    device = task.device.observe(collector)
+    device = compiled.device.observe(collector)
     stats = device.execute_trace(
         trace,
         workload=spec.name,
@@ -437,18 +452,17 @@ def _check_specs(scale: float):
     )
 
 
-def _verify_spec(spec, hazard_window: int):
+def _verify_spec(spec, hazard_window: int, args=None):
     """Enumerate a workload's trace and verify it with its placement."""
     from repro.verify import TraceVerifier
 
-    task = spec.build_task()
-    trace = task.to_trace()
+    compiled = _compile_spec(spec, args if args is not None else object())
     verifier = TraceVerifier(
-        geometry=task.device.config.geometry,
-        plan=task.placement_plan,
+        geometry=compiled.device.config.geometry,
+        plan=compiled.task.placement_plan,
         hazard_window=hazard_window,
     )
-    return verifier.verify(trace, subject=f"workload {spec.name}")
+    return verifier.verify(compiled.trace, subject=f"workload {spec.name}")
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -460,7 +474,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     reports = []
     if args.all_workloads:
         for spec in _check_specs(args.scale):
-            reports.append(_verify_spec(spec, args.hazard_window))
+            reports.append(_verify_spec(spec, args.hazard_window, args))
     elif args.target is None:
         raise SystemExit("check needs a trace file or workload name")
     elif os.path.exists(args.target):
@@ -471,7 +485,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
     else:
         spec = _lookup_workload(args.target, args.scale)
-        reports.append(_verify_spec(spec, args.hazard_window))
+        reports.append(_verify_spec(spec, args.hazard_window, args))
     failed = 0
     for report in reports:
         ok = report.ok(strict=args.strict)
@@ -549,20 +563,16 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     if spec.build is None:
         raise SystemExit(f"workload {args.workload!r} has no task builder")
-    task = spec.build_task()
-    trace = task.to_trace()
-    if args.engine == "vector":
-        from repro.isa.columnar import ColumnarTrace
-
-        trace = ColumnarTrace.from_trace(trace)
+    compiled = _compile_spec(spec, args)
+    trace = compiled.trace  # columnar; both engines consume it directly
     collector = None
     if args.profile:
         from repro.obs import Collector
 
         collector = Collector()
-        task.device.observe(collector)
+        compiled.device.observe(collector)
     stats, report = run_with_faults(
-        task.device,
+        compiled.device,
         trace,
         config=_fault_config(args),
         seed=args.seed,
@@ -595,6 +605,8 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
             master_seed=args.master_seed,
             jobs=args.jobs,
             engine=args.engine,
+            use_cache=not args.no_trace_cache,
+            cache_dir=args.cache_dir,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -626,6 +638,42 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed trace cache."""
+    import json
+
+    from repro.isa.trace_cache import TraceCache
+
+    cache = TraceCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(
+            f"removed {removed} cached trace(s) from {cache.cache_dir}"
+        )
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    print(f"cache dir : {stats['cache_dir']}")
+    print(
+        f"entries   : {stats['entries']} "
+        f"({stats['entry_bytes']:,} bytes)"
+    )
+    print(
+        f"hits      : {stats['hits']} "
+        f"({stats['memory_hits']} served from memory)"
+    )
+    print(f"misses    : {stats['misses']}")
+    print(f"puts      : {stats['puts']}")
+    print(f"corrupt   : {stats['corrupt']} (detected and recompiled)")
+    print(
+        f"io        : {stats['bytes_read']:,} B read, "
+        f"{stats['bytes_written']:,} B written"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the repository-invariant AST lint (SPL rules)."""
     from repro.verify import lint_paths
@@ -633,6 +681,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     report = lint_paths(args.paths or None)
     print(report.render())
     return 0 if report.ok() else 1
+
+
+def _add_cache_flags(
+    cmd: argparse.ArgumentParser, no_compile: str = ""
+) -> None:
+    """``--no-trace-cache``/``--cache-dir`` on a trace-lowering command.
+
+    ``no_compile`` notes that a command accepts the flags only for
+    interface uniformity (it never lowers a trace itself).
+    """
+    suffix = f" ({no_compile})" if no_compile else ""
+    cmd.add_argument(
+        "--no-trace-cache",
+        dest="no_trace_cache",
+        action="store_true",
+        help="compile the trace fresh instead of using the "
+        "content-addressed cache" + suffix,
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="trace cache directory (default: "
+        "$REPRO_STREAMPIM_CACHE_DIR or ~/.cache/repro-streampim)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -657,6 +729,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run (platform, workload) pairs in N parallel processes",
     )
+    _add_cache_flags(
+        sweep,
+        no_compile="sweep uses the analytic model and lowers no "
+        "traces; accepted for interface uniformity",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     counts = sub.add_parser("counts", help="Table IV VPC counts")
@@ -669,6 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("workload")
     trace.add_argument("--scale", type=float, default=0.01)
     trace.add_argument("-o", "--output", default=None)
+    _add_cache_flags(trace)
     trace.set_defaults(func=_cmd_trace)
 
     replay = sub.add_parser(
@@ -692,6 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="collect metrics and spans; write a Chrome trace to FILE",
+    )
+    _add_cache_flags(
+        replay,
+        no_compile="replay executes an already-saved trace file and "
+        "lowers nothing; accepted for interface uniformity",
     )
     replay.set_defaults(func=_cmd_replay)
 
@@ -718,6 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="trace.json",
         help="Chrome trace_event JSON output path",
     )
+    _add_cache_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
     check = sub.add_parser(
@@ -746,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="pipeline depth for the SPV004 hazard scan",
     )
+    _add_cache_flags(check)
     check.set_defaults(func=_cmd_check)
 
     faults = sub.add_parser(
@@ -793,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="write the JSON report to this file",
         )
+        _add_cache_flags(cmd)
 
     faults_run = faults_sub.add_parser(
         "run", help="one seeded fault-injected trace execution"
@@ -820,6 +906,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="distribute runs over N processes (same report as jobs=1)",
     )
     faults_campaign.set_defaults(func=_cmd_faults_campaign)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the trace cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="hit/miss counters and on-disk footprint"
+    )
+    cache_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the counters as JSON (machine-readable)",
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached trace and the counters"
+    )
+    for cmd in (cache_stats, cache_clear):
+        cmd.add_argument(
+            "--cache-dir",
+            default=None,
+            help="trace cache directory (default: "
+            "$REPRO_STREAMPIM_CACHE_DIR or ~/.cache/repro-streampim)",
+        )
+        cmd.set_defaults(func=_cmd_cache)
 
     lint = sub.add_parser(
         "lint", help="repository-invariant AST lint (SPL rules)"

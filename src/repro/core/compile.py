@@ -1,0 +1,170 @@
+"""Cached workload compilation: spec -> (task, trace) via the trace cache.
+
+Lowering a :class:`~repro.workloads.spec.WorkloadSpec` to a VPC trace is
+deterministic in the workload identity (name, operation dimensions,
+operand seed), the device geometry, the placement policy, and the
+lowering algorithm itself.  :func:`compile_workload` derives a cache key
+from exactly those inputs and serves the compiled
+:class:`~repro.isa.columnar.ColumnarTrace` (plus the placement plan and
+scalar-slot map that :meth:`~repro.core.task.PimTask.materialize` and
+``fetch_results`` need) from the content-addressed
+:class:`~repro.isa.trace_cache.TraceCache`, so repeated benchmark
+figures, sweep points and fault-campaign runs compile once.
+
+:data:`LOWERING_VERSION` stamps the key: bump it whenever a change to
+trace generation alters the emitted bytes, and every existing cache
+entry becomes unreachable (no in-place invalidation to get wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.device import StreamPIMDevice
+from repro.core.placement import PlacementPlan
+from repro.core.task import PimTask
+from repro.isa.columnar import ColumnarTrace
+from repro.isa.trace_cache import TraceCache, make_cache_key
+
+#: Version stamp of the trace-lowering algorithm.  Part of every cache
+#: key: bump on any change that alters emitted trace bytes (opcode
+#: streams, scratch allocation, placement interplay).
+LOWERING_VERSION = 1
+
+
+@dataclass
+class CompiledWorkload:
+    """Result of :func:`compile_workload`.
+
+    Attributes:
+        task: the built task, with trace state (placement plan, scalar
+            slots) attached whether the trace was compiled or loaded —
+            ``materialize``/``fetch_results``/``placement_plan`` work
+            either way.
+        trace: the compiled columnar trace.
+        cache_key: content key of the (workload, device, lowering)
+            combination; empty when caching was disabled.
+        cache_hit: True when the trace was loaded instead of compiled.
+    """
+
+    task: PimTask
+    trace: ColumnarTrace
+    cache_key: str
+    cache_hit: bool
+
+    @property
+    def device(self) -> StreamPIMDevice:
+        return self.task.device
+
+
+def workload_fingerprint(spec) -> list:
+    """JSON-stable fingerprint of a spec's operation stream."""
+    return [
+        [op.kind.value, list(op.dims), bool(op.accumulate)]
+        for op in spec.ops
+    ]
+
+
+def task_cache_key(
+    spec,
+    device: StreamPIMDevice,
+    seed: int = 7,
+) -> str:
+    """Cache key of ``spec`` compiled for ``device``.
+
+    Covers everything the trace bytes depend on: the workload identity
+    (name plus the dimension fingerprint — dataset scale is already
+    baked into the dimensions), the operand seed, the device geometry,
+    the scheduler policy (which fixes placement policy and the disjoint
+    result-set rule), and :data:`LOWERING_VERSION`.
+    """
+    config = device.config
+    return make_cache_key(
+        workload=spec.name,
+        ops=workload_fingerprint(spec),
+        seed=int(seed),
+        geometry=asdict(config.geometry),
+        scheduler_policy=config.scheduler_policy.value,
+        lowering_version=LOWERING_VERSION,
+    )
+
+
+def _restore_trace_state(task: PimTask, aux: Dict[str, object]) -> bool:
+    """Re-attach cached placement state to ``task``; False if ``aux`` is
+    unusable (treat as a miss and recompile)."""
+    try:
+        plan = PlacementPlan.from_dict(aux["plan"])
+        scalar_slots = {
+            int(address): name
+            for address, name in aux["scalar_slots"].items()
+        }
+    except (AttributeError, KeyError, TypeError, ValueError):
+        return False
+    task._trace_plan = plan
+    task._trace_handles = plan.matrices
+    task._trace_scalar_slots = scalar_slots
+    return True
+
+
+def compile_workload(
+    spec,
+    device: Optional[StreamPIMDevice] = None,
+    seed: int = 7,
+    cache: Optional[TraceCache] = None,
+    cache_dir: Union[str, Path, None] = None,
+    use_cache: bool = True,
+) -> CompiledWorkload:
+    """Build ``spec``'s task and obtain its trace, cached when possible.
+
+    Args:
+        spec: a :class:`~repro.workloads.spec.WorkloadSpec` with a task
+            builder.
+        device: target device (defaults to a fresh
+            :class:`StreamPIMDevice`).
+        seed: operand RNG seed passed to ``spec.build_task``.
+        cache: an existing :class:`TraceCache` to use.
+        cache_dir: directory for a cache created here (ignored when
+            ``cache`` is passed).
+        use_cache: False compiles unconditionally and touches no cache
+            state (the ``--no-trace-cache`` CLI path).
+    """
+    task = spec.build_task(device, seed=seed)
+    if not use_cache:
+        return CompiledWorkload(
+            task=task,
+            trace=task.to_trace(),
+            cache_key="",
+            cache_hit=False,
+        )
+    if cache is None:
+        cache = TraceCache(cache_dir)
+    key = task_cache_key(spec, task.device, seed=seed)
+    entry = cache.get(key)
+    if entry is not None and _restore_trace_state(task, entry.aux):
+        return CompiledWorkload(
+            task=task, trace=entry.trace, cache_key=key, cache_hit=True
+        )
+    trace = task.to_trace()
+    aux = {
+        "plan": task.placement_plan.to_dict(),
+        "scalar_slots": {
+            str(address): name
+            for address, name in task._trace_scalar_slots.items()
+        },
+    }
+    cache.put(
+        key,
+        trace,
+        aux=aux,
+        provenance={
+            "workload": spec.name,
+            "seed": int(seed),
+            "lowering_version": LOWERING_VERSION,
+            "commands": len(trace),
+        },
+    )
+    return CompiledWorkload(
+        task=task, trace=trace, cache_key=key, cache_hit=False
+    )

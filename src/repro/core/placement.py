@@ -58,6 +58,25 @@ class RowSlice:
     def subarray_key(self) -> Tuple[int, int]:
         return (self.bank, self.subarray)
 
+    def to_list(self) -> List[int]:
+        """Compact JSON form: ``[bank, subarray, address, offset,
+        length]``."""
+        return [
+            self.bank, self.subarray, self.address,
+            self.offset, self.length,
+        ]
+
+    @classmethod
+    def from_list(cls, fields: Sequence[int]) -> "RowSlice":
+        bank, subarray, address, offset, length = fields
+        return cls(
+            bank=int(bank),
+            subarray=int(subarray),
+            address=int(address),
+            offset=int(offset),
+            length=int(length),
+        )
+
 
 @dataclass
 class MatrixHandle:
@@ -132,6 +151,40 @@ class MatrixHandle:
                 seen.setdefault(piece.subarray_key, None)
         return list(seen)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (the trace cache stores plans)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "rows": self.rows,
+            "cols": self.cols,
+            "rows_placement": [
+                [piece.to_list() for piece in slices]
+                for slices in self.rows_placement
+            ],
+            "result_set": self.result_set,
+            "stored_transposed": self.stored_transposed,
+            "mirror": (
+                None if self.mirror is None else self.mirror.to_dict()
+            ),
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MatrixHandle":
+        mirror = data.get("mirror")
+        return cls(
+            name=str(data["name"]),
+            rows=int(data["rows"]),
+            cols=int(data["cols"]),
+            rows_placement=[
+                [RowSlice.from_list(piece) for piece in slices]
+                for slices in data["rows_placement"]
+            ],
+            result_set=bool(data["result_set"]),
+            stored_transposed=bool(data["stored_transposed"]),
+            mirror=None if mirror is None else cls.from_dict(mirror),
+        )
+
 
 @dataclass
 class PlacementPlan:
@@ -145,6 +198,26 @@ class PlacementPlan:
             return self.matrices[name]
         except KeyError:
             raise KeyError(f"matrix {name!r} was never placed") from None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (stored next to cached traces)."""
+        return {
+            "policy": self.policy.value,
+            "matrices": {
+                name: handle.to_dict()
+                for name, handle in self.matrices.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PlacementPlan":
+        return cls(
+            policy=PlacementPolicy(data["policy"]),
+            matrices={
+                name: MatrixHandle.from_dict(handle)
+                for name, handle in data["matrices"].items()
+            },
+        )
 
 
 class Placer:

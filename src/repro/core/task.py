@@ -43,6 +43,16 @@ from repro.core.placement import (
     PlacementPolicy,
 )
 from repro.core.scheduler import Round, SchedulerPolicy
+from repro.isa.columnar import (
+    ADD_BYTE,
+    MUL_BYTE,
+    RECORD_DTYPE,
+    SMUL_BYTE,
+    TRAN_BYTE,
+    ColumnarTrace,
+    ColumnarTraceBuilder,
+)
+from repro.isa.encoding import NO_OPERAND_SENTINEL
 from repro.isa.trace import VPCTrace
 from repro.isa.vpc import VPC, VPCOpcode
 from repro.sim.stats import EnergyBreakdown, RunStats, TimeBreakdown
@@ -636,17 +646,39 @@ class PimTask:
             stats=stats, results=results, counts=counts, per_op_ns=[]
         )
 
-    def to_trace(self) -> VPCTrace:
+    def to_trace(self, engine: str = "columnar"):
         """Enumerate the full VPC stream with placed addresses.
 
         One MUL per dot product, one TRAN per operand delivery, one TRAN
         per scalar collection — the Table IV counting convention.  Cost
         is O(#VPC); intended for reduced problem sizes.
 
+        Args:
+            engine: ``"columnar"`` (alias ``"vector"``, the default)
+                computes the address streams as NumPy array expressions
+                and returns a :class:`~repro.isa.columnar.ColumnarTrace`;
+                ``"scalar"`` walks the original per-command loops and
+                returns a :class:`~repro.isa.trace.VPCTrace`.  The two
+                paths emit bit-identical command streams (the
+                differential gate in ``tools/bench_trace_exec.py
+                --compile`` and tests/test_trace_builder.py hold them to
+                byte equality), so the choice only affects build speed
+                and container type.
+
         The placement used is cached so :meth:`materialize` can seed a
         device's word store and :meth:`fetch_results` can read the
         outputs back after event-mode execution.
         """
+        if engine in ("columnar", "vector"):
+            return self._to_trace_columnar()
+        if engine == "scalar":
+            return self._to_trace_scalar()
+        raise ValueError(
+            f"unknown trace engine {engine!r}; choose 'columnar' or "
+            f"'scalar'"
+        )
+
+    def _to_trace_scalar(self) -> VPCTrace:
         placer = self._build_placer()
         handles = self._place_all(placer)
         trace = VPCTrace()
@@ -656,7 +688,24 @@ class PimTask:
         self._trace_scalar_slots = {}
         for operation in self._operations:
             self._trace_operation(operation, handles, trace, scratch)
+            scratch.recycle()
         return trace
+
+    def _to_trace_columnar(self) -> ColumnarTrace:
+        placer = self._build_placer()
+        handles = self._place_all(placer)
+        builder = ColumnarTraceBuilder()
+        scratch = ScratchAllocator(placer)
+        self._trace_handles = handles
+        self._trace_plan = placer.plan
+        self._trace_scalar_slots = {}
+        row_cache: Dict[int, Tuple[np.ndarray, ...]] = {}
+        for operation in self._operations:
+            self._trace_operation_columnar(
+                operation, handles, builder, scratch, row_cache
+            )
+            scratch.recycle()
+        return builder.build()
 
     def materialize(self, device: Optional[StreamPIMDevice] = None) -> None:
         """Seed a device's word store with the placed operand values.
@@ -844,6 +893,291 @@ class PimTask:
         return staging
 
     # ------------------------------------------------------------------
+    # Vectorized trace generation (same streams, array expressions)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stored_row_arrays(handle, cache):
+        """First-slice columns of every stored row of ``handle``.
+
+        Returns ``(addresses, keys, offsets, lengths)`` int64 arrays
+        indexed by stored row, where ``keys`` holds the encoded
+        ``(bank, subarray)`` of each slice
+        (:func:`ScratchAllocator.encode_key`).  Memoised per handle for
+        the duration of one :meth:`to_trace` call.
+        """
+        arrays = cache.get(id(handle))
+        if arrays is None:
+            n = len(handle.rows_placement)
+            addresses = np.empty(n, dtype=np.int64)
+            keys = np.empty(n, dtype=np.int64)
+            offsets = np.empty(n, dtype=np.int64)
+            lengths = np.empty(n, dtype=np.int64)
+            for i, slices in enumerate(handle.rows_placement):
+                piece = slices[0]
+                addresses[i] = piece.address
+                keys[i] = ScratchAllocator.encode_key(
+                    piece.bank, piece.subarray
+                )
+                offsets[i] = piece.offset
+                lengths[i] = piece.length
+            arrays = (addresses, keys, offsets, lengths)
+            cache[id(handle)] = arrays
+        return arrays
+
+    @classmethod
+    def _element_addresses(cls, handle, rows_idx, cols_idx, cache):
+        """Vectorized :meth:`MatrixHandle.element_address`.
+
+        ``rows_idx``/``cols_idx`` broadcast; the result is the flattened
+        address array in broadcast order.  Raises the same
+        :class:`IndexError` as the scalar method on the first (in that
+        order) element falling outside its stored row's first slice.
+        """
+        rows_b, cols_b = np.broadcast_arrays(
+            np.asarray(rows_idx, dtype=np.int64),
+            np.asarray(cols_idx, dtype=np.int64),
+        )
+        rows_f = rows_b.ravel()
+        cols_f = cols_b.ravel()
+        if handle.stored_transposed:
+            stored, offset = cols_f, rows_f
+        else:
+            stored, offset = rows_f, cols_f
+        addresses, _, offsets, lengths = cls._stored_row_arrays(
+            handle, cache
+        )
+        piece_offset = offsets[stored]
+        bad = (offset < piece_offset) | (
+            offset >= piece_offset + lengths[stored]
+        )
+        if bad.any():
+            first = int(np.argmax(bad))
+            raise IndexError(
+                f"element ({int(rows_f[first])}, {int(cols_f[first])}) "
+                f"falls outside the first slice "
+                f"of stored row {int(stored[first])}"
+            )
+        return addresses[stored] + (offset - piece_offset)
+
+    def _trace_operation_columnar(
+        self, operation, handles, builder, scratch, cache
+    ) -> None:
+        """Emit one operation's commands as bulk record blocks.
+
+        Mirrors :meth:`_trace_operation` exactly — same commands, same
+        order, same scratch-allocation sequence — but computes every
+        address stream as a NumPy expression and hands the builder
+        whole blocks, so the cost per command is amortised array work
+        instead of a Python-level loop iteration.
+        """
+        op = operation.op
+        if op is TaskOp.MATMUL:
+            self._trace_matmul_columnar(
+                operation, handles, builder, scratch, cache
+            )
+        elif op in (TaskOp.MATVEC, TaskOp.MATVEC_T,
+                    TaskOp.MATVEC_ACC, TaskOp.MATVEC_T_ACC):
+            self._trace_matvec_columnar(
+                operation, handles, builder, scratch, cache
+            )
+        elif op in (TaskOp.MAT_ADD, TaskOp.VEC_ADD):
+            a = handles[operation.inputs[0]]
+            b = handles[operation.inputs[1]]
+            c = handles[operation.output]
+            a_addr, a_key, _, _ = self._stored_row_arrays(a, cache)
+            b_addr, _, _, _ = self._stored_row_arrays(b, cache)
+            c_addr, _, _, _ = self._stored_row_arrays(c, cache)
+            staged = scratch.near_block(a_key, a.cols)
+            rec = np.empty((a.rows, 2), dtype=RECORD_DTYPE)
+            rec["opcode"][:, 0] = TRAN_BYTE
+            rec["opcode"][:, 1] = ADD_BYTE
+            rec["src1"][:, 0] = b_addr
+            rec["src1"][:, 1] = a_addr
+            rec["src2"][:, 0] = NO_OPERAND_SENTINEL
+            rec["src2"][:, 1] = staged
+            rec["des"][:, 0] = staged
+            rec["des"][:, 1] = c_addr
+            rec["size"] = a.cols
+            builder.emit_records(rec)
+        elif op in (TaskOp.MAT_SCALE, TaskOp.VEC_SCALE):
+            a = handles[operation.inputs[0]]
+            c = handles[operation.output]
+            a_addr, a_key, _, _ = self._stored_row_arrays(a, cache)
+            c_addr, _, _, _ = self._stored_row_arrays(c, cache)
+            slots = scratch.unique_block(a_key, 1)
+            for slot in slots.tolist():
+                self._trace_scalar_slots[slot] = operation.scalar
+            rec = np.empty((a.rows, 2), dtype=RECORD_DTYPE)
+            rec["opcode"][:, 0] = TRAN_BYTE
+            rec["opcode"][:, 1] = SMUL_BYTE
+            rec["src1"][:, 0] = slots
+            rec["src1"][:, 1] = slots
+            rec["src2"][:, 0] = NO_OPERAND_SENTINEL
+            rec["src2"][:, 1] = a_addr
+            rec["des"][:, 0] = slots
+            rec["des"][:, 1] = c_addr
+            rec["size"][:, 0] = 1
+            rec["size"][:, 1] = a.cols
+            builder.emit_records(rec)
+        elif op is TaskOp.DOT:
+            x = handles[operation.inputs[0]]
+            y = handles[operation.inputs[1]]
+            s = handles[operation.output]
+            row = x.row_slices(0)[0]
+            staged = scratch.near(row, x.cols)
+            rec = np.empty(2, dtype=RECORD_DTYPE)
+            rec["opcode"] = (TRAN_BYTE, MUL_BYTE)
+            rec["src1"] = (y.row_slices(0)[0].address, row.address)
+            rec["src2"] = (NO_OPERAND_SENTINEL, staged)
+            rec["des"] = (staged, s.row_slices(0)[0].address)
+            rec["size"] = x.cols
+            builder.emit_records(rec)
+        else:  # pragma: no cover - exhaustive over TaskOp
+            raise NotImplementedError(str(op))
+
+    def _trace_matmul_columnar(
+        self, operation, handles, builder, scratch, cache
+    ) -> None:
+        a = handles[operation.inputs[0]]
+        b = handles[operation.inputs[1]]
+        c = handles[operation.output]
+        m, k = a.shape
+        n = b.cols
+        a_addr, a_key, _, _ = self._stored_row_arrays(a, cache)
+        # Destination addresses in emission order: j-major, i-minor.
+        jj = np.repeat(np.arange(n, dtype=np.int64), m)
+        ii = np.tile(np.arange(m, dtype=np.int64), n)
+        c_addr = self._element_addresses(c, ii, jj, cache)
+        if b.stored_transposed:
+            b_addr, _, _, _ = self._stored_row_arrays(b, cache)
+            column = scratch.near_block(np.tile(a_key, n), k)
+            rec = np.empty((n * m, 2), dtype=RECORD_DTYPE)
+            rec["opcode"][:, 0] = TRAN_BYTE
+            rec["opcode"][:, 1] = MUL_BYTE
+            rec["src1"][:, 0] = np.repeat(b_addr, m)
+            rec["src1"][:, 1] = np.tile(a_addr, n)
+            rec["src2"][:, 0] = NO_OPERAND_SENTINEL
+            rec["src2"][:, 1] = column
+            rec["des"][:, 0] = column
+            rec["des"][:, 1] = c_addr
+            rec["size"] = k
+            builder.emit_records(rec)
+            return
+        # Gathered columns: per column j, k element TRANs assemble the
+        # column into staging before the m delivery/MUL pairs consume
+        # it.  The scratch-call sequence per column is the staging slot
+        # followed by the m per-row column slots (all size k).
+        b0_key = ScratchAllocator.encode_key(
+            *b.row_slices(0)[0].subarray_key
+        )
+        keys = np.empty((n, m + 1), dtype=np.int64)
+        keys[:, 0] = b0_key
+        keys[:, 1:] = a_key
+        addrs = scratch.near_block(keys, k).reshape(n, m + 1)
+        staging = addrs[:, 0]
+        column = addrs[:, 1:]
+        rr = np.tile(np.arange(k, dtype=np.int64), n)
+        jg = np.repeat(np.arange(n, dtype=np.int64), k)
+        gather_src = self._element_addresses(b, rr, jg, cache)
+        rec = np.empty((n, k + 2 * m), dtype=RECORD_DTYPE)
+        rec["opcode"][:, :k] = TRAN_BYTE
+        rec["src1"][:, :k] = gather_src.reshape(n, k)
+        rec["src2"][:, :k] = NO_OPERAND_SENTINEL
+        rec["des"][:, :k] = (
+            staging[:, None] + np.arange(k, dtype=np.int64)[None, :]
+        )
+        rec["size"][:, :k] = 1
+        rec["opcode"][:, k::2] = TRAN_BYTE
+        rec["opcode"][:, k + 1 :: 2] = MUL_BYTE
+        rec["src1"][:, k::2] = staging[:, None]
+        rec["src1"][:, k + 1 :: 2] = a_addr[None, :]
+        rec["src2"][:, k::2] = NO_OPERAND_SENTINEL
+        rec["src2"][:, k + 1 :: 2] = column
+        rec["des"][:, k::2] = column
+        rec["des"][:, k + 1 :: 2] = c_addr.reshape(n, m)
+        rec["size"][:, k:] = k
+        builder.emit_records(rec)
+
+    def _trace_matvec_columnar(
+        self, operation, handles, builder, scratch, cache
+    ) -> None:
+        op = operation.op
+        a = handles[operation.inputs[0]]
+        x = handles[operation.inputs[1]]
+        y = handles[operation.output]
+        transposed = op in (TaskOp.MATVEC_T, TaskOp.MATVEC_T_ACC)
+        accumulate = op in (TaskOp.MATVEC_ACC, TaskOp.MATVEC_T_ACC)
+        rows = a.cols if transposed else a.rows
+        length = a.rows if transposed else a.cols
+        source = a.mirror if (transposed and a.mirror) else a
+        if transposed and a.mirror is None and not a.stored_transposed:
+            raise RuntimeError(
+                f"matrix {a.name!r} needs a transposed layout for "
+                "column access; _place_all should have mirrored it"
+            )
+        row_handle = a if (transposed and a.stored_transposed) else source
+        row_addr, row_key, _, _ = self._stored_row_arrays(
+            row_handle, cache
+        )
+        x_addr = x.row_slices(0)[0].address
+        dest = self._element_addresses(
+            y, 0, np.arange(rows, dtype=np.int64), cache
+        )
+        y_key = ScratchAllocator.encode_key(
+            *y.row_slices(0)[0].subarray_key
+        )
+        calls = 5 if accumulate else 2
+        keys = np.empty((rows, calls), dtype=np.int64)
+        keys[:, 0] = row_key
+        keys[:, 1] = row_key
+        sizes = np.ones((rows, calls), dtype=np.int64)
+        sizes[:, 0] = length
+        if accumulate:
+            keys[:, 2:] = y_key
+        addrs = scratch.near_block(keys, sizes).reshape(rows, calls)
+        operand = addrs[:, 0]
+        result = addrs[:, 1]
+        width = 6 if accumulate else 3
+        rec = np.empty((rows, width), dtype=RECORD_DTYPE)
+        rec["opcode"][:, 0] = TRAN_BYTE
+        rec["src1"][:, 0] = x_addr
+        rec["src2"][:, 0] = NO_OPERAND_SENTINEL
+        rec["des"][:, 0] = operand
+        rec["size"][:, 0] = length
+        rec["opcode"][:, 1] = MUL_BYTE
+        rec["src1"][:, 1] = row_addr
+        rec["src2"][:, 1] = operand
+        rec["des"][:, 1] = result
+        rec["size"][:, 1] = length
+        rec["size"][:, 2:] = 1
+        if accumulate:
+            collected = addrs[:, 2]
+            old_value = addrs[:, 3]
+            acc = addrs[:, 4]
+            rec["opcode"][:, 2] = TRAN_BYTE
+            rec["src1"][:, 2] = result
+            rec["src2"][:, 2] = NO_OPERAND_SENTINEL
+            rec["des"][:, 2] = collected
+            rec["opcode"][:, 3] = TRAN_BYTE
+            rec["src1"][:, 3] = dest
+            rec["src2"][:, 3] = NO_OPERAND_SENTINEL
+            rec["des"][:, 3] = old_value
+            rec["opcode"][:, 4] = ADD_BYTE
+            rec["src1"][:, 4] = collected
+            rec["src2"][:, 4] = old_value
+            rec["des"][:, 4] = acc
+            rec["opcode"][:, 5] = TRAN_BYTE
+            rec["src1"][:, 5] = acc
+            rec["src2"][:, 5] = NO_OPERAND_SENTINEL
+            rec["des"][:, 5] = dest
+        else:
+            rec["opcode"][:, 2] = TRAN_BYTE
+            rec["src1"][:, 2] = result
+            rec["src2"][:, 2] = NO_OPERAND_SENTINEL
+            rec["des"][:, 2] = dest
+        builder.emit_records(rec)
+
+    # ------------------------------------------------------------------
     def _validate_shapes(
         self, op: TaskOp, inputs: Tuple[str, ...], output: str
     ) -> None:
@@ -897,17 +1231,47 @@ class ScratchAllocator:
     Staging areas are physically reused across VPCs (the bus drains one
     operand before the next arrives), so allocations of the same size in
     the same subarray cycle through a small pool of slots instead of
-    consuming fresh capacity per VPC.
+    consuming fresh capacity per VPC.  At operation boundaries the
+    lowering calls :meth:`recycle`, which returns every pooled slot to a
+    per-``(subarray, size)`` free list; the next operation's staging
+    re-uses those addresses instead of advancing the cursor, so a long
+    chain of operations occupies a bounded scratch region instead of
+    exhausting the subarray.  :meth:`unique` slots are exempt — they
+    hold constants pre-seeded by :meth:`PimTask.materialize` before the
+    trace runs, so their addresses must never be aliased by later
+    staging.
+
+    The batched entry points (:meth:`near_block`, :meth:`unique_block`)
+    take encoded subarray keys (:meth:`encode_key`) and evolve the
+    allocator state exactly as the equivalent sequence of scalar calls
+    would — the scalar and vectorized trace engines must emit
+    bit-identical streams.
     """
 
     #: Concurrent staging slots per (subarray, size) class.
     SLOTS = 4
+
+    #: Encoded subarray keys pack ``bank << _KEY_SHIFT | subarray``.
+    _KEY_SHIFT = 32
 
     def __init__(self, placer: Placer) -> None:
         self._placer = placer
         self._cursors: Dict[Tuple[int, int], int] = {}
         self._pools: Dict[Tuple[Tuple[int, int], int], List[int]] = {}
         self._next_slot: Dict[Tuple[Tuple[int, int], int], int] = {}
+        self._free: Dict[Tuple[Tuple[int, int], int], List[int]] = {}
+
+    @classmethod
+    def encode_key(cls, bank: int, subarray: int) -> int:
+        """Pack a ``(bank, subarray)`` key into one int64-safe integer."""
+        return (bank << cls._KEY_SHIFT) | subarray
+
+    @classmethod
+    def _decode_key(cls, encoded: int) -> Tuple[int, int]:
+        return (
+            encoded >> cls._KEY_SHIFT,
+            encoded & ((1 << cls._KEY_SHIFT) - 1),
+        )
 
     def near(self, row_slice, words: int) -> int:
         """Scratch address in the same subarray as ``row_slice``."""
@@ -924,9 +1288,117 @@ class ScratchAllocator:
 
     def unique(self, row_slice, words: int) -> int:
         """A never-reused scratch address (for pre-seeded constants)."""
-        return self._allocate(row_slice.subarray_key, words)
+        return self._allocate(row_slice.subarray_key, words, reuse=False)
 
-    def _allocate(self, key: Tuple[int, int], words: int) -> int:
+    def recycle(self) -> None:
+        """Return every pooled staging slot to the free lists.
+
+        Called at operation boundaries: the previous operation's staging
+        traffic has fully drained by the time the next operation's
+        commands issue, so its slots are safe to hand out again.  Slots
+        re-enter in pool order and :meth:`_allocate` pops from the tail,
+        so the next operation with the same staging shape receives the
+        same addresses — recycling never changes a single-operation
+        trace and keeps multi-operation traces compact.
+        """
+        for pool_key, pool in self._pools.items():
+            if pool:
+                self._free.setdefault(pool_key, []).extend(reversed(pool))
+        self._pools.clear()
+        self._next_slot.clear()
+
+    def near_block(self, keys, sizes) -> np.ndarray:
+        """Vectorized :meth:`near` over encoded subarray keys.
+
+        Args:
+            keys: array of :meth:`encode_key` values, one per call.
+            sizes: per-call word counts (broadcasts against ``keys``).
+
+        Returns:
+            The scratch addresses the equivalent sequence of scalar
+            :meth:`near` calls would return, with identical end state.
+        """
+        keys, sizes = np.broadcast_arrays(
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(sizes, dtype=np.int64),
+        )
+        keys = keys.ravel()
+        sizes = sizes.ravel()
+        n = keys.size
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        unique_keys, key_inv = np.unique(keys, return_inverse=True)
+        unique_sizes, size_inv = np.unique(sizes, return_inverse=True)
+        group_ids, ginv = np.unique(
+            key_inv * len(unique_sizes) + size_inv, return_inverse=True
+        )
+        counts = np.bincount(ginv)
+        order = np.argsort(ginv, kind="stable")
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        ranks = np.empty(n, dtype=np.int64)
+        ranks[order] = np.arange(n, dtype=np.int64) - np.repeat(
+            starts, counts
+        )
+        n_groups = len(group_ids)
+        pools: List[List[int]] = []
+        group_info: List[Tuple[Tuple[int, int], int]] = []
+        grow = np.empty(n_groups, dtype=np.int64)
+        slot_start = np.empty(n_groups, dtype=np.int64)
+        for gi, gid in enumerate(group_ids.tolist()):
+            key = self._decode_key(
+                int(unique_keys[gid // len(unique_sizes)])
+            )
+            words = int(unique_sizes[gid % len(unique_sizes)])
+            pool_key = (key, words)
+            pool = self._pools.setdefault(pool_key, [])
+            count = int(counts[gi])
+            # Invariant of near(): while the pool is not full the next
+            # rotation index equals the pool length, so one start value
+            # covers both the growth and the steady-state phases.
+            slot_start[gi] = self._next_slot.get(pool_key, 0)
+            grow[gi] = (
+                min(self.SLOTS - len(pool), count)
+                if len(pool) < self.SLOTS
+                else 0
+            )
+            self._next_slot[pool_key] = (
+                int(slot_start[gi]) + count
+            ) % self.SLOTS
+            pools.append(pool)
+            group_info.append((key, words))
+        # Grow pools through _allocate in original call order: cursor
+        # and free-list evolution must interleave across groups exactly
+        # as the scalar call sequence would.
+        for index in np.flatnonzero(ranks < grow[ginv]).tolist():
+            gi = int(ginv[index])
+            key, words = group_info[gi]
+            pools[gi].append(self._allocate(key, words))
+        for gi in range(n_groups):
+            members = ginv == gi
+            pool_arr = np.asarray(pools[gi], dtype=np.int64)
+            out[members] = pool_arr[
+                (slot_start[gi] + ranks[members]) % self.SLOTS
+            ]
+        return out
+
+    def unique_block(self, keys, words: int) -> np.ndarray:
+        """Vectorized :meth:`unique` over encoded subarray keys."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        out = np.empty(keys.size, dtype=np.int64)
+        for i, encoded in enumerate(keys.tolist()):
+            out[i] = self._allocate(
+                self._decode_key(int(encoded)), words, reuse=False
+            )
+        return out
+
+    def _allocate(
+        self, key: Tuple[int, int], words: int, reuse: bool = True
+    ) -> int:
+        if reuse:
+            free = self._free.get((key, words))
+            if free:
+                return free.pop()
         capacity = self._placer.subarray_capacity_words
         base = self._placer.address_map.subarray_base(*key)
         cursor = self._cursors.get(key, capacity - 1)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -61,6 +61,8 @@ TRAN_BYTE = OPCODE_TO_BYTE[VPCOpcode.TRAN]
 MUL_BYTE = OPCODE_TO_BYTE[VPCOpcode.MUL]
 #: Wire byte of the SMUL opcode (scalar first operand).
 SMUL_BYTE = OPCODE_TO_BYTE[VPCOpcode.SMUL]
+#: Wire byte of the ADD opcode (element-wise addition).
+ADD_BYTE = OPCODE_TO_BYTE[VPCOpcode.ADD]
 
 _VALID_OPCODE_BYTES = np.array(sorted(BYTE_TO_OPCODE), dtype=np.uint8)
 _TEXT_OPCODE_BYTES = {op.value: OPCODE_TO_BYTE[op] for op in VPCOpcode}
@@ -354,6 +356,169 @@ class ColumnarTrace:
                 handle.write(self.to_bytes())
             return
         target.write(self.to_bytes())
+
+
+class ColumnarTraceBuilder:
+    """Batched, append-only construction of a :class:`ColumnarTrace`.
+
+    Vectorized trace lowering computes whole address streams as NumPy
+    expressions; this builder accepts them in bulk —
+    :meth:`emit_block` takes one array per column,
+    :meth:`emit_records` takes pre-assembled :data:`RECORD_DTYPE`
+    records — and never materialises per-command :class:`VPC` objects.
+    Storage grows in chunks (scalar :meth:`emit` fills a doubling
+    buffer; block emissions append whole chunks), so building an
+    n-command trace is O(n) with no quadratic reallocation.
+
+    Every emission is validated with the same rules the scalar
+    :class:`~repro.isa.vpc.VPC` constructor enforces (known opcode,
+    positive size, non-negative addresses, src2 sentinel if and only if
+    TRAN), so a built trace always encodes and round-trips.
+    """
+
+    #: Initial scalar-emission buffer length (doubles when full).
+    _INITIAL_BUFFER = 1024
+
+    def __init__(self, capacity: int = _INITIAL_BUFFER) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._chunks: List[np.ndarray] = []
+        self._buffer = np.empty(capacity, dtype=RECORD_DTYPE)
+        self._filled = 0
+        self._total = 0
+        self._sealed = False
+
+    def __len__(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._sealed:
+            raise RuntimeError("builder already built; create a new one")
+
+    def emit(
+        self,
+        opcode: int,
+        src1: int,
+        src2: Optional[int],
+        des: int,
+        size: int,
+    ) -> None:
+        """Append one command (``src2=None`` for TRAN)."""
+        self._check_open()
+        if self._filled == len(self._buffer):
+            self._flush_buffer(grow=True)
+        record = self._buffer[self._filled]
+        record["opcode"] = opcode
+        record["src1"] = src1
+        record["src2"] = NO_OPERAND_SENTINEL if src2 is None else src2
+        record["des"] = des
+        record["size"] = size
+        _validate_built(self._buffer[self._filled : self._filled + 1])
+        self._filled += 1
+        self._total += 1
+
+    def emit_block(
+        self,
+        opcodes,
+        src1s,
+        src2s,
+        dess,
+        sizes,
+    ) -> None:
+        """Append a batch of commands given one array per column.
+
+        Columns broadcast against each other, so scalars are fine for
+        constant fields (e.g. ``sizes=k``).  Pass ``src2s=None`` for an
+        all-TRAN block; otherwise TRAN rows must carry
+        :data:`~repro.isa.encoding.NO_OPERAND_SENTINEL`.
+        """
+        opcodes = np.asarray(opcodes)
+        src1s = np.asarray(src1s, dtype=np.int64)
+        if src2s is None:
+            src2s = np.int64(NO_OPERAND_SENTINEL)
+        src2s = np.asarray(src2s, dtype=np.int64)
+        dess = np.asarray(dess, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        opcodes, src1s, src2s, dess, sizes = np.broadcast_arrays(
+            opcodes, src1s, src2s, dess, sizes
+        )
+        records = np.empty(opcodes.size, dtype=RECORD_DTYPE)
+        records["opcode"] = opcodes.ravel()
+        records["src1"] = src1s.ravel()
+        records["src2"] = src2s.ravel()
+        records["des"] = dess.ravel()
+        records["size"] = sizes.ravel()
+        self.emit_records(records, _validated=False)
+
+    def emit_records(
+        self, records: np.ndarray, _validated: bool = False
+    ) -> None:
+        """Append pre-assembled :data:`RECORD_DTYPE` records (raveled)."""
+        self._check_open()
+        records = np.ascontiguousarray(records).ravel()
+        if records.dtype != RECORD_DTYPE:
+            raise TypeError(
+                f"records must have dtype {RECORD_DTYPE}, got "
+                f"{records.dtype}"
+            )
+        if not _validated:
+            _validate_built(records)
+        if len(records) == 0:
+            return
+        self._flush_buffer(grow=False)
+        self._chunks.append(records)
+        self._total += len(records)
+
+    # ------------------------------------------------------------------
+    def _flush_buffer(self, grow: bool) -> None:
+        if self._filled:
+            self._chunks.append(self._buffer[: self._filled].copy())
+            self._filled = 0
+        if grow:
+            self._buffer = np.empty(
+                max(len(self._buffer) * 2, self._INITIAL_BUFFER),
+                dtype=RECORD_DTYPE,
+            )
+
+    def build(self) -> ColumnarTrace:
+        """Seal the builder and return the assembled trace."""
+        self._check_open()
+        self._flush_buffer(grow=False)
+        self._sealed = True
+        if not self._chunks:
+            records = np.empty(0, dtype=RECORD_DTYPE)
+        elif len(self._chunks) == 1:
+            records = self._chunks[0]
+        else:
+            records = np.concatenate(self._chunks)
+        self._chunks = []
+        return ColumnarTrace(records)
+
+
+def _validate_built(records: np.ndarray) -> None:
+    """Reject records the scalar VPC constructor would reject."""
+    opcode = records["opcode"]
+    src2 = records["src2"]
+    bad = ~np.isin(opcode, _VALID_OPCODE_BYTES)
+    bad |= records["size"] < 1
+    bad |= records["src1"] < 0
+    bad |= records["des"] < 0
+    bad |= src2 < 0
+    is_tran = opcode == TRAN_BYTE
+    has_operand = src2 != NO_OPERAND_SENTINEL
+    bad |= is_tran & has_operand
+    bad |= ~is_tran & ~has_operand
+    if not bad.any():
+        return
+    index = int(np.argmax(bad))
+    record = records[index]
+    raise ValueError(
+        f"invalid trace record at emission index {index}: "
+        f"opcode=0x{int(record['opcode']):02x} "
+        f"src1={int(record['src1'])} src2={int(record['src2'])} "
+        f"des={int(record['des'])} size={int(record['size'])}"
+    )
 
 
 def _validate_records(

@@ -107,8 +107,21 @@ def run_with_faults(
 # ----------------------------------------------------------------------
 # Monte-Carlo campaigns
 # ----------------------------------------------------------------------
-def _build_run(workload: str, scale: float):
-    """(device, trace) for one workload name; raises ValueError."""
+def _build_run(
+    workload: str,
+    scale: float,
+    use_cache: bool = True,
+    cache_dir=None,
+):
+    """(device, trace) for one workload name; raises ValueError.
+
+    Every Monte-Carlo run rebuilds the identical workload, so the trace
+    comes from the content-addressed cache
+    (:func:`repro.core.compile.compile_workload`): run 0 compiles and
+    stores, runs 1..N-1 load — ``use_cache=False`` restores the old
+    compile-every-run behaviour.
+    """
+    from repro.core.compile import compile_workload
     from repro.workloads import (
         DNN_WORKLOADS,
         EXTRA_WORKLOADS,
@@ -131,14 +144,28 @@ def _build_run(workload: str, scale: float):
         )
     if spec.build is None:
         raise ValueError(f"workload {workload!r} has no task builder")
-    task = spec.build_task()
-    return task.device, task.to_trace()
+    compiled = compile_workload(
+        spec, use_cache=use_cache, cache_dir=cache_dir
+    )
+    return compiled.device, compiled.trace
 
 
 def _campaign_worker(job) -> ReliabilityRunReport:
     """Run one campaign seed; top-level so it pickles for the pool."""
-    workload, scale, config, master_seed, run_index, engine, functional = job
-    device, trace = _build_run(workload, scale)
+    (
+        workload,
+        scale,
+        config,
+        master_seed,
+        run_index,
+        engine,
+        functional,
+        use_cache,
+        cache_dir,
+    ) = job
+    device, trace = _build_run(
+        workload, scale, use_cache=use_cache, cache_dir=cache_dir
+    )
     seed = np.random.SeedSequence(master_seed, spawn_key=(run_index,))
     _, report = run_with_faults(
         device,
@@ -161,6 +188,8 @@ def run_campaign(
     jobs: int = 1,
     engine: str = "scalar",
     functional: bool = True,
+    use_cache: bool = True,
+    cache_dir=None,
 ) -> CampaignReport:
     """Monte-Carlo fault campaign: ``runs`` independent seeds.
 
@@ -168,14 +197,29 @@ def run_campaign(
     ``master_seed``, and executes with fault injection; with
     ``jobs > 1`` the runs are distributed over a process pool and the
     report is identical to the sequential one (each run is a pure
-    function of its job tuple).
+    function of its job tuple).  The fail-fast build below also primes
+    the trace cache, so every run — in-process or pooled — loads the
+    compiled trace instead of re-lowering it (``use_cache=False``
+    opts out).
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
     config = config or FaultCampaignConfig()
-    _build_run(workload, scale)  # fail fast on bad names
+    # Fail fast on bad names; with caching on, this also compiles the
+    # trace once so the per-run builds below are cache hits.
+    _build_run(workload, scale, use_cache=use_cache, cache_dir=cache_dir)
     job_list = [
-        (workload, scale, config, master_seed, index, engine, functional)
+        (
+            workload,
+            scale,
+            config,
+            master_seed,
+            index,
+            engine,
+            functional,
+            use_cache,
+            cache_dir,
+        )
         for index in range(runs)
     ]
     if jobs <= 1:

@@ -3,6 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.isa.trace_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path, monkeypatch):
+    """Point the trace cache at a per-test temp dir.
+
+    Tests that compile through the cache (campaigns, CLI commands)
+    must never read from or write into the user's real
+    ``~/.cache/repro-streampim``.
+    """
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "trace-cache"))
+
 from repro.core.device import StreamPIMConfig, StreamPIMDevice
 from repro.core.rmbus import RMBusConfig
 from repro.rm.address import DeviceGeometry

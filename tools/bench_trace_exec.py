@@ -1,19 +1,30 @@
 #!/usr/bin/env python
 """Perf-regression harness for the event-mode trace executors.
 
-Builds one large matmul trace (2*m*n VPCs: a TRAN + MUL per output
-element), replays it through both the scalar reference executor and the
-columnar vector engine, checks the results are identical, and writes the
-measurements to a JSON file so the speedup trajectory is tracked across
-changes.
+Default mode builds one large matmul trace (2*m*n VPCs: a TRAN + MUL
+per output element), replays it through both the scalar reference
+executor and the columnar vector engine, checks the results are
+identical, and writes the measurements to a JSON file so the speedup
+trajectory is tracked across changes.
 
 Run directly or via ``make bench-perf``::
 
     PYTHONPATH=src python tools/bench_trace_exec.py \
         --vpcs 100000 --min-speedup 10 --out BENCH_trace_exec.json
 
-Exit status is non-zero when the engines disagree or the measured
-speedup falls below ``--min-speedup``.
+``--compile`` benchmarks the *compile* phase instead
+(``make bench-compile``): scalar vs vectorized trace lowering on gemm,
+a differential gate proving both lowering engines emit bit-identical
+traces for every PolyBench kernel and both DNN workloads at two
+dataset scales each, and a cold-vs-cached compile of the Fig. 17
+workload set through the content-addressed trace cache::
+
+    PYTHONPATH=src python tools/bench_trace_exec.py --compile \
+        --min-compile-speedup 5 --min-cache-speedup 20 \
+        --out BENCH_trace_compile.json
+
+Exit status is non-zero when the engines disagree or a measured
+speedup falls below its floor.
 """
 
 from __future__ import annotations
@@ -183,7 +194,7 @@ def run(args: argparse.Namespace) -> int:
         "obs_profiled_s": round(obs_profiled_s, 4),
         "max_obs_overhead_pct": args.max_obs_overhead,
     }
-    out = Path(args.out)
+    out = Path(args.out or "BENCH_trace_exec.json")
     out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
 
     print(f"columnarize {columnarize_s:.3f}s  "
@@ -210,6 +221,163 @@ def run(args: argparse.Namespace) -> int:
         print(f"FAIL: disabled-mode observability overhead "
               f"{obs_overhead_pct:.1f}% exceeds the "
               f"{args.max_obs_overhead}% ceiling")
+        return 1
+    print("PASS")
+    return 0
+
+
+def _differential_specs(scales):
+    """Every lowering-relevant workload at reduced, comparable sizes.
+
+    PolyBench kernels come at each of ``scales``; the DNN workloads
+    come at two shapes each (their own notion of dataset scale).
+    """
+    from repro.workloads import POLYBENCH, polybench_workload
+    from repro.workloads.dnn import (
+        BERTShape,
+        MLPShape,
+        bert_spec,
+        mlp_spec,
+    )
+
+    for scale in scales:
+        for name in POLYBENCH:
+            spec = polybench_workload(name, scale=scale)
+            if spec.build is not None:
+                yield f"{name}@{scale}", spec
+    yield "mlp@small", mlp_spec(MLPShape(batch=4, layers=(16, 12, 8)))
+    yield "mlp@medium", mlp_spec(MLPShape(batch=8, layers=(24, 16, 12)))
+    yield "bert@small", bert_spec(
+        BERTShape(seq_len=4, hidden=8, ffn=16, heads=2, layers=1)
+    )
+    yield "bert@medium", bert_spec(
+        BERTShape(seq_len=8, hidden=16, ffn=32, heads=2, layers=1)
+    )
+
+
+def run_compile(args: argparse.Namespace) -> int:
+    """Compile-phase benchmark: lowering speedup, differential gate,
+    and cold-vs-cached compilation of the Fig. 17 workload set."""
+    import tempfile
+
+    from repro.core.compile import compile_workload
+    from repro.isa.trace_cache import TraceCache
+    from repro.workloads import POLYBENCH, polybench_workload
+
+    failures = []
+
+    # ------------------------------------------------------------------
+    # 1. Lowering: scalar per-element emission vs batched columnar
+    #    array expressions, on the largest gemm we can afford here.
+    # ------------------------------------------------------------------
+    spec = polybench_workload("gemm", scale=args.compile_scale)
+    scalar_s = math.inf
+    for _ in range(args.repeats):
+        task = spec.build_task(seed=7)
+        t0 = time.perf_counter()
+        scalar_trace = task.to_trace(engine="scalar")
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+    columnar_s = math.inf
+    for _ in range(args.repeats):
+        task = spec.build_task(seed=7)
+        t0 = time.perf_counter()
+        columnar_trace = task.to_trace(engine="columnar")
+        columnar_s = min(columnar_s, time.perf_counter() - t0)
+    if ColumnarTrace.from_trace(scalar_trace).to_bytes() != (
+        columnar_trace.to_bytes()
+    ):
+        failures.append("gemm lowering engines emit different bytes")
+    compile_speedup = (
+        scalar_s / columnar_s if columnar_s > 0 else float("inf")
+    )
+    print(f"lowering: gemm @ scale {args.compile_scale} "
+          f"({len(columnar_trace):,} VPCs)  scalar {scalar_s:.3f}s  "
+          f"columnar {columnar_s:.3f}s  speedup {compile_speedup:.1f}x "
+          f"(floor {args.min_compile_speedup}x)")
+
+    # ------------------------------------------------------------------
+    # 2. Differential gate: bit-identical traces from both lowering
+    #    engines for every kernel and both DNN workloads.
+    # ------------------------------------------------------------------
+    differential = {}
+    for label, diff_spec in _differential_specs(args.diff_scales):
+        scalar_task = diff_spec.build_task(seed=7)
+        columnar_task = diff_spec.build_task(seed=7)
+        identical = ColumnarTrace.from_trace(
+            scalar_task.to_trace(engine="scalar")
+        ).to_bytes() == columnar_task.to_trace(engine="columnar").to_bytes()
+        differential[label] = identical
+        if not identical:
+            failures.append(f"differential mismatch on {label}")
+    matched = sum(differential.values())
+    print(f"differential: {matched}/{len(differential)} workloads "
+          f"bit-identical across lowering engines")
+
+    # ------------------------------------------------------------------
+    # 3. Trace cache: cold compile-and-store vs cached reload of the
+    #    Fig. 17 PolyBench set (fresh temp store; the user cache is
+    #    never touched).
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="sptc-bench-") as temp_dir:
+        cache = TraceCache(temp_dir)
+        cold_s = warm_s = 0.0
+        cached_vpcs = 0
+        for name in POLYBENCH:
+            fig_spec = polybench_workload(name, scale=args.cache_scale)
+            if fig_spec.build is None:
+                continue
+            t0 = time.perf_counter()
+            cold = compile_workload(fig_spec, cache=cache)
+            cold_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            cached = compile_workload(fig_spec, cache=cache)
+            warm_s += time.perf_counter() - t0
+            cached_vpcs += len(cached.trace)
+            if cold.cache_hit or not cached.cache_hit:
+                failures.append(f"unexpected cache behaviour on {name}")
+            if cached.trace.to_bytes() != cold.trace.to_bytes():
+                failures.append(f"cached trace differs on {name}")
+        cache_stats = cache.stats()
+    cache_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cache: fig17 set @ scale {args.cache_scale} "
+          f"({cached_vpcs:,} VPCs)  cold {cold_s:.3f}s  "
+          f"cached {warm_s:.3f}s  speedup {cache_speedup:.1f}x "
+          f"(floor {args.min_cache_speedup}x)")
+
+    result = {
+        "compile_scale": args.compile_scale,
+        "gemm_vpcs": len(columnar_trace),
+        "scalar_lowering_s": round(scalar_s, 4),
+        "columnar_lowering_s": round(columnar_s, 4),
+        "compile_speedup": round(compile_speedup, 2),
+        "min_compile_speedup": args.min_compile_speedup,
+        "differential": differential,
+        "cache_scale": args.cache_scale,
+        "cache_cold_s": round(cold_s, 4),
+        "cache_warm_s": round(warm_s, 4),
+        "cache_speedup": round(cache_speedup, 2),
+        "min_cache_speedup": args.min_cache_speedup,
+        "cache_stats": {
+            k: v for k, v in cache_stats.items() if k != "cache_dir"
+        },
+    }
+    out = Path(args.out or "BENCH_trace_compile.json")
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if compile_speedup < args.min_compile_speedup:
+        failures.append(
+            f"compile speedup {compile_speedup:.1f}x below the "
+            f"{args.min_compile_speedup}x floor"
+        )
+    if cache_speedup < args.min_cache_speedup:
+        failures.append(
+            f"cache speedup {cache_speedup:.1f}x below the "
+            f"{args.min_cache_speedup}x floor"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     print("PASS")
     return 0
@@ -244,10 +412,52 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_trace_exec.json",
-        help="output JSON path",
+        default=None,
+        help="output JSON path (default: BENCH_trace_exec.json, or "
+        "BENCH_trace_compile.json with --compile)",
     )
-    return run(parser.parse_args(argv))
+    parser.add_argument(
+        "--compile",
+        action="store_true",
+        help="benchmark the compile phase (lowering + trace cache) "
+        "instead of trace execution",
+    )
+    parser.add_argument(
+        "--compile-scale",
+        type=float,
+        default=0.1,
+        help="gemm dataset scale for the lowering benchmark",
+    )
+    parser.add_argument(
+        "--min-compile-speedup",
+        type=float,
+        default=1.0,
+        help="fail if columnar/scalar lowering speedup drops below this",
+    )
+    parser.add_argument(
+        "--cache-scale",
+        type=float,
+        default=0.15,
+        help="dataset scale of the fig17 set for the cache benchmark",
+    )
+    parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=1.0,
+        help="fail if the cold/cached compile speedup drops below this",
+    )
+    parser.add_argument(
+        "--diff-scales",
+        type=float,
+        nargs="+",
+        default=[0.01, 0.04],
+        help="PolyBench scales for the scalar-vs-columnar "
+        "differential gate",
+    )
+    args = parser.parse_args(argv)
+    if args.compile:
+        return run_compile(args)
+    return run(args)
 
 
 if __name__ == "__main__":
