@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check faults-smoke profile-smoke bench bench-perf bench-compile figures docs examples clean
+.PHONY: install test lint check check-deep faults-smoke profile-smoke bench bench-perf bench-compile bench-deep figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -22,6 +22,10 @@ lint:
 check:
 	$(PYTHON) -m repro.cli check --all-workloads --strict --scale 0.01
 
+# Per-VPC rules plus the whole-trace dataflow pass (SPV008-SPV012).
+check-deep:
+	$(PYTHON) -m repro.cli check --all-workloads --deep --strict --scale 0.01
+
 faults-smoke:
 	$(PYTHON) -m repro.cli faults campaign gemm --scale 0.01 --runs 16 \
 		--p-per-step 2e-6 -o FAULTS_campaign.json
@@ -39,6 +43,11 @@ bench-perf:
 
 bench-compile:
 	$(PYTHON) tools/bench_trace_exec.py --compile $(COMPILE_BENCH_FLAGS)
+
+# Deep analysis of ~93k-VPC gemm must stay well under one functional
+# vector-engine execution (and under an absolute wall-clock budget).
+bench-deep:
+	$(PYTHON) tools/bench_trace_exec.py --deep $(DEEP_BENCH_FLAGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

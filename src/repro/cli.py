@@ -76,6 +76,7 @@ def _compile_spec(spec, args):
         spec,
         use_cache=not getattr(args, "no_trace_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
+        deep_verify=getattr(args, "deep", False),
     )
 
 
@@ -453,7 +454,12 @@ def _check_specs(scale: float):
 
 
 def _verify_spec(spec, hazard_window: int, args=None):
-    """Enumerate a workload's trace and verify it with its placement."""
+    """Enumerate a workload's trace and verify it with its placement.
+
+    When ``args.deep`` is set, :func:`_compile_spec` already ran the
+    whole-trace dataflow pass (SPV008–SPV012) during compilation —
+    including on cache hits — and its findings are merged here.
+    """
     from repro.verify import TraceVerifier
 
     compiled = _compile_spec(spec, args if args is not None else object())
@@ -462,7 +468,63 @@ def _verify_spec(spec, hazard_window: int, args=None):
         plan=compiled.task.placement_plan,
         hazard_window=hazard_window,
     )
-    return verifier.verify(compiled.trace, subject=f"workload {spec.name}")
+    report = verifier.verify(
+        compiled.trace, subject=f"workload {spec.name}"
+    )
+    if compiled.deep_report is not None:
+        report.extend(compiled.deep_report.diagnostics)
+        report.suppressed += compiled.deep_report.suppressed
+    return report
+
+
+def _parse_rule_filter(value: Optional[str]):
+    """Validate a comma-separated ``--select``/``--ignore`` rule list."""
+    from repro.verify import validate_rule_ids
+
+    if value is None:
+        return None
+    ids = [item.strip() for item in value.split(",") if item.strip()]
+    try:
+        return validate_rule_ids(ids)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _report_findings(reports, args, strict: bool) -> int:
+    """Print reports (text or ``--json`` NDJSON); count the failures.
+
+    ``--select``/``--ignore`` filter diagnostics before the pass/fail
+    decision, so ignoring a rule also stops it from failing the run.
+    """
+    import json
+
+    select = _parse_rule_filter(getattr(args, "select", None))
+    ignore = _parse_rule_filter(getattr(args, "ignore", None))
+    failed = 0
+    for report in reports:
+        if select is not None:
+            report.diagnostics = [
+                d for d in report.diagnostics if d.rule_id in select
+            ]
+        if ignore is not None:
+            report.diagnostics = [
+                d for d in report.diagnostics if d.rule_id not in ignore
+            ]
+        ok = report.ok(strict=strict)
+        failed += 0 if ok else 1
+        if getattr(args, "json", False):
+            for diagnostic in report.diagnostics:
+                print(
+                    json.dumps(
+                        diagnostic.to_dict(subject=report.subject),
+                        sort_keys=True,
+                    )
+                )
+        elif ok and len(reports) > 1 and not report.diagnostics:
+            print(f"{report.subject}: PASS")
+        else:
+            print(report.render(strict=strict))
+    return failed
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -480,22 +542,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     elif os.path.exists(args.target):
         trace = _load_trace_file(args.target)
         verifier = TraceVerifier(hazard_window=args.hazard_window)
-        reports.append(
-            verifier.verify(trace, subject=f"trace {args.target}")
-        )
+        report = verifier.verify(trace, subject=f"trace {args.target}")
+        if args.deep:
+            # Bare trace files carry no placement plan, so the dataflow
+            # pass runs degraded: SPV008/SPV011 need initialised spans
+            # and are skipped, SPV009/SPV010/SPV012 still apply.
+            from repro.isa.columnar import ColumnarTrace
+            from repro.verify import DataflowAnalyzer
+
+            cols = (
+                trace
+                if isinstance(trace, ColumnarTrace)
+                else ColumnarTrace.from_trace(trace)
+            )
+            deep = DataflowAnalyzer().analyze(
+                cols, subject=report.subject
+            )
+            report.extend(deep.diagnostics)
+            report.suppressed += deep.suppressed
+        reports.append(report)
     else:
         spec = _lookup_workload(args.target, args.scale)
         reports.append(_verify_spec(spec, args.hazard_window, args))
-    failed = 0
-    for report in reports:
-        ok = report.ok(strict=args.strict)
-        failed += 0 if ok else 1
-        if ok and len(reports) > 1 and not report.diagnostics:
-            print(f"{report.subject}: PASS")
-        else:
-            print(report.render(strict=args.strict))
+    failed = _report_findings(reports, args, strict=args.strict)
     if failed:
-        print(f"{failed} of {len(reports)} target(s) FAILED")
+        summary = f"{failed} of {len(reports)} target(s) FAILED"
+        # Keep stdout pure NDJSON under --json.
+        print(summary, file=sys.stderr if args.json else sys.stdout)
         return 1
     return 0
 
@@ -595,6 +668,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
 def _cmd_faults_campaign(args: argparse.Namespace) -> int:
     """Monte-Carlo fault campaign over independent seeds."""
     from repro.resilience import run_campaign
+    from repro.verify import TraceVerificationError
 
     try:
         report = run_campaign(
@@ -607,7 +681,15 @@ def _cmd_faults_campaign(args: argparse.Namespace) -> int:
             engine=args.engine,
             use_cache=not args.no_trace_cache,
             cache_dir=args.cache_dir,
+            deep_check=args.deep,
         )
+    except TraceVerificationError as exc:
+        print(exc.report.render())
+        print(
+            "campaign aborted: the workload's dataflow is already "
+            "broken, so fault attribution would be meaningless"
+        )
+        return 1
     except ValueError as exc:
         raise SystemExit(str(exc))
     print(
@@ -679,8 +761,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.verify import lint_paths
 
     report = lint_paths(args.paths or None)
-    print(report.render())
-    return 0 if report.ok() else 1
+    failed = _report_findings([report], args, strict=False)
+    return 1 if failed else 0
+
+
+def _add_rule_filter_flags(cmd: argparse.ArgumentParser) -> None:
+    """``--json``/``--select``/``--ignore`` on a diagnostics command.
+
+    The NDJSON schema (one diagnostic object per line) is documented in
+    ``docs/static_analysis.md`` and stable across releases.
+    """
+    cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON diagnostic per line instead of text "
+        "(stable schema; see docs/static_analysis.md)",
+    )
+    cmd.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to report (all others dropped); "
+        "unknown IDs are an error",
+    )
+    cmd.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to suppress; unknown IDs are "
+        "an error",
+    )
 
 
 def _add_cache_flags(
@@ -830,6 +940,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="pipeline depth for the SPV004 hazard scan",
     )
+    check.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-trace dataflow analysis "
+        "(SPV008-SPV012: uninitialised reads, dead stores, schedule "
+        "races, scratch leaks, redundant copies)",
+    )
+    _add_rule_filter_flags(check)
     _add_cache_flags(check)
     check.set_defaults(func=_cmd_check)
 
@@ -905,6 +1023,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="distribute runs over N processes (same report as jobs=1)",
     )
+    faults_campaign.add_argument(
+        "--deep",
+        action="store_true",
+        help="gate the campaign on the whole-trace dataflow analysis: "
+        "abort before injecting faults if the program already has "
+        "error-severity findings",
+    )
     faults_campaign.set_defaults(func=_cmd_faults_campaign)
 
     cache = sub.add_parser(
@@ -939,6 +1064,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files/directories to lint (default: the repro package)",
     )
+    _add_rule_filter_flags(lint)
     lint.set_defaults(func=_cmd_lint)
 
     workloads = sub.add_parser("workloads", help="list available workloads")

@@ -47,12 +47,16 @@ class CompiledWorkload:
         cache_key: content key of the (workload, device, lowering)
             combination; empty when caching was disabled.
         cache_hit: True when the trace was loaded instead of compiled.
+        deep_report: findings of the whole-trace dataflow pass when
+            ``deep_verify`` was requested (None otherwise).  Compiling
+            never raises on findings; callers decide how to gate.
     """
 
     task: PimTask
     trace: ColumnarTrace
     cache_key: str
     cache_hit: bool
+    deep_report: Optional[object] = None
 
     @property
     def device(self) -> StreamPIMDevice:
@@ -108,6 +112,27 @@ def _restore_trace_state(task: PimTask, aux: Dict[str, object]) -> bool:
     return True
 
 
+def _deep_verify(compiled: CompiledWorkload, subject: str) -> None:
+    """Attach the whole-trace dataflow report to ``compiled``.
+
+    Especially cheap on cache hits — the trace was loaded, not
+    recompiled, so the dataflow pass is the only work — which makes deep
+    checking of cached traces the natural guard against a stale or
+    corrupted cache entry reaching execution.
+    """
+    from repro.verify.dataflow import DataflowAnalyzer
+
+    task = compiled.task
+    analyzer = DataflowAnalyzer(
+        geometry=task.device.config.geometry,
+        plan=task.placement_plan,
+        scalar_slots=task.trace_scalar_slots,
+    )
+    compiled.deep_report = analyzer.analyze(
+        compiled.trace, subject=subject
+    )
+
+
 def compile_workload(
     spec,
     device: Optional[StreamPIMDevice] = None,
@@ -115,6 +140,7 @@ def compile_workload(
     cache: Optional[TraceCache] = None,
     cache_dir: Union[str, Path, None] = None,
     use_cache: bool = True,
+    deep_verify: bool = False,
 ) -> CompiledWorkload:
     """Build ``spec``'s task and obtain its trace, cached when possible.
 
@@ -129,23 +155,34 @@ def compile_workload(
             ``cache`` is passed).
         use_cache: False compiles unconditionally and touches no cache
             state (the ``--no-trace-cache`` CLI path).
+        deep_verify: run the whole-trace dataflow analysis
+            (:mod:`repro.verify.dataflow`) over the compiled or loaded
+            trace and attach the report as ``deep_report``.  Findings do
+            not raise here; callers gate on ``deep_report.ok()``.
     """
     task = spec.build_task(device, seed=seed)
+    subject = f"workload {spec.name}"
     if not use_cache:
-        return CompiledWorkload(
+        compiled = CompiledWorkload(
             task=task,
             trace=task.to_trace(),
             cache_key="",
             cache_hit=False,
         )
+        if deep_verify:
+            _deep_verify(compiled, subject)
+        return compiled
     if cache is None:
         cache = TraceCache(cache_dir)
     key = task_cache_key(spec, task.device, seed=seed)
     entry = cache.get(key)
     if entry is not None and _restore_trace_state(task, entry.aux):
-        return CompiledWorkload(
+        compiled = CompiledWorkload(
             task=task, trace=entry.trace, cache_key=key, cache_hit=True
         )
+        if deep_verify:
+            _deep_verify(compiled, subject)
+        return compiled
     trace = task.to_trace()
     aux = {
         "plan": task.placement_plan.to_dict(),
@@ -165,6 +202,9 @@ def compile_workload(
             "commands": len(trace),
         },
     )
-    return CompiledWorkload(
+    compiled = CompiledWorkload(
         task=task, trace=trace, cache_key=key, cache_hit=False
     )
+    if deep_verify:
+        _deep_verify(compiled, subject)
+    return compiled

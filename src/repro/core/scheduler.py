@@ -26,7 +26,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from repro.obs.spans import NULL_COLLECTOR
 from repro.rm.timing import RMTimingConfig
@@ -121,6 +123,85 @@ class ScheduleResult:
     time: TimeBreakdown
     energy: EnergyBreakdown
     rounds: int
+
+
+@dataclass(frozen=True)
+class TraceDependencies:
+    """The scheduler's dependency relation over one columnar trace.
+
+    Execution serialises commands through per-subarray busy-until times
+    plus one global RM-bus time: a command waits for — and then extends
+    — the busy time of every subarray it *acquires*.  These columns name
+    those resources per command, so any two commands are ordered exactly
+    when their acquired sets intersect (or both hold the bus); a
+    schedule is free to overlap them otherwise.  The vector engine's
+    busy-until scan consumes these same columns, so analyses built on
+    this relation (the SPV010 race detector) agree with the engine by
+    construction rather than with one observed interleaving.
+
+    Attributes:
+        home: ``sub(src1)`` — acquired by every command (int64).
+        remote: subarray an operand copy acquires — ``sub(src2)`` for
+            compute commands whose second operand lives outside the home
+            subarray — or ``-1`` when no copy is needed (int64).
+        dest: subarray a result/cross copy acquires — ``sub(des)`` when
+            it differs from home — or ``-1`` (int64).
+        uses_bus: cross-subarray TRANs additionally serialise on the
+            shared global RM bus (bool).
+    """
+
+    home: np.ndarray
+    remote: np.ndarray
+    dest: np.ndarray
+    uses_bus: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.home)
+
+    def acquired(self, index: int) -> FrozenSet[int]:
+        """Subarrays command ``index`` serialises on."""
+        out = {int(self.home[index])}
+        for column in (self.remote, self.dest):
+            value = int(column[index])
+            if value >= 0:
+                out.add(value)
+        return frozenset(out)
+
+    def ordered(self, i: int, j: int) -> bool:
+        """Whether a direct busy-until edge orders commands ``i``, ``j``.
+
+        True iff they share an acquired subarray or both hold the global
+        bus.  Conservative: ordering inherited transitively through a
+        third command is not credited, so ``False`` means "the relation
+        itself does not order them", which is exactly what a race check
+        must test.
+        """
+        if bool(self.uses_bus[i]) and bool(self.uses_bus[j]):
+            return True
+        return not self.acquired(i).isdisjoint(self.acquired(j))
+
+
+def trace_dependencies(cols, words_per_subarray: int) -> TraceDependencies:
+    """Compute the dependency columns of a columnar trace.
+
+    ``cols`` is a :class:`~repro.isa.columnar.ColumnarTrace`; the return
+    value is what :func:`repro.sim.vector_exec.execute_columnar` feeds
+    its busy-until scan.
+    """
+    if words_per_subarray < 1:
+        raise ValueError(
+            f"words_per_subarray must be positive, got {words_per_subarray}"
+        )
+    compute = cols.is_compute
+    home = cols.src1.astype(np.int64) // words_per_subarray
+    sub2 = cols.src2.astype(np.int64) // words_per_subarray
+    subd = cols.des.astype(np.int64) // words_per_subarray
+    remote = np.where(compute & (sub2 != home), sub2, -1)
+    dest = np.where(subd != home, subd, -1)
+    uses_bus = ~compute & (dest >= 0)
+    return TraceDependencies(
+        home=home, remote=remote, dest=dest, uses_bus=uses_bus
+    )
 
 
 class Scheduler:

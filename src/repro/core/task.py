@@ -759,6 +759,21 @@ class PimTask:
             raise RuntimeError("call to_trace() before reading the plan")
         return plan
 
+    @property
+    def trace_scalar_slots(self):
+        """Scalar-slot words of the last :meth:`to_trace` call.
+
+        ``{address: scalar_name}`` (name ``None`` for the implicit unit
+        scalar); :meth:`materialize` seeds these words, so dataflow
+        analysis treats them as initialised alongside the placed
+        matrices.
+
+        Raises:
+            RuntimeError: if :meth:`to_trace` has not run yet.
+        """
+        self._require_trace_state()
+        return dict(self._trace_scalar_slots)
+
     @staticmethod
     def _write_matrix(device, handle, values) -> None:
         stored = np.asarray(values).T if handle.stored_transposed else values

@@ -124,6 +124,48 @@ class ColumnarTrace:
         return self.records["opcode"] != TRAN_BYTE
 
     # ------------------------------------------------------------------
+    # Interval index (address footprints, one row per access)
+    # ------------------------------------------------------------------
+    def read_intervals(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Every word range a command reads, as parallel arrays.
+
+        Returns ``(index, start, end)`` with one row per read access and
+        half-open ``[start, end)`` ranges: the ``src1`` range of every
+        command (one word for SMUL, whose first operand is a scalar)
+        followed by the ``src2`` range of every compute command.  Rows
+        are grouped by operand, not sorted; callers that need address
+        order sort themselves.
+        """
+        rec = self.records
+        size = rec["size"]
+        compute = self.is_compute
+        n = len(rec)
+        first_len = np.where(rec["opcode"] == SMUL_BYTE, 1, size)
+        index1 = np.arange(n, dtype=np.int64)
+        start1 = rec["src1"].astype(np.int64, copy=True)
+        start2 = rec["src2"][compute].astype(np.int64, copy=True)
+        return (
+            np.concatenate([index1, index1[compute]]),
+            np.concatenate([start1, start2]),
+            np.concatenate([start1 + first_len, start2 + size[compute]]),
+        )
+
+    def write_intervals(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Every word range a command writes, as ``(index, start, end)``.
+
+        One row per command: the ``des`` range, which is a single word
+        for MUL (dot-product result) and ``size`` words otherwise.
+        """
+        rec = self.records
+        length = np.where(rec["opcode"] == MUL_BYTE, 1, rec["size"])
+        start = rec["des"].astype(np.int64, copy=True)
+        return (
+            np.arange(len(rec), dtype=np.int64),
+            start,
+            start + length,
+        )
+
+    # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -559,3 +601,14 @@ def _validate_records(
 def read_trace_columnar(path: Union[str, Path]) -> ColumnarTrace:
     """Read any trace file (binary or text) into columnar form."""
     return ColumnarTrace.read(path)
+
+
+def binary_record_offset(index: int) -> int:
+    """Byte offset of record ``index`` in the binary wire encoding.
+
+    Lets diagnostics point at the offending record of a ``.bin`` trace
+    without re-reading the file.
+    """
+    if index < 0:
+        raise ValueError(f"record index must be >= 0, got {index}")
+    return len(_BINARY_MAGIC) + index * VPC_ENCODED_BYTES

@@ -112,6 +112,7 @@ def _build_run(
     scale: float,
     use_cache: bool = True,
     cache_dir=None,
+    deep_check: bool = False,
 ):
     """(device, trace) for one workload name; raises ValueError.
 
@@ -120,6 +121,13 @@ def _build_run(
     (:func:`repro.core.compile.compile_workload`): run 0 compiles and
     stores, runs 1..N-1 load — ``use_cache=False`` restores the old
     compile-every-run behaviour.
+
+    ``deep_check`` runs the whole-trace dataflow analysis on the
+    compiled trace and raises
+    :class:`~repro.verify.trace_verifier.TraceVerificationError` on any
+    error-severity finding — a campaign injecting faults into a program
+    that already races or reads uninitialised state would attribute
+    those defects to the injected faults.
     """
     from repro.core.compile import compile_workload
     from repro.workloads import (
@@ -145,8 +153,15 @@ def _build_run(
     if spec.build is None:
         raise ValueError(f"workload {workload!r} has no task builder")
     compiled = compile_workload(
-        spec, use_cache=use_cache, cache_dir=cache_dir
+        spec,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        deep_verify=deep_check,
     )
+    if deep_check and not compiled.deep_report.ok():
+        from repro.verify.trace_verifier import TraceVerificationError
+
+        raise TraceVerificationError(compiled.deep_report)
     return compiled.device, compiled.trace
 
 
@@ -190,6 +205,7 @@ def run_campaign(
     functional: bool = True,
     use_cache: bool = True,
     cache_dir=None,
+    deep_check: bool = False,
 ) -> CampaignReport:
     """Monte-Carlo fault campaign: ``runs`` independent seeds.
 
@@ -201,13 +217,25 @@ def run_campaign(
     the trace cache, so every run — in-process or pooled — loads the
     compiled trace instead of re-lowering it (``use_cache=False``
     opts out).
+
+    ``deep_check`` gates the campaign on the whole-trace dataflow
+    analysis during the fail-fast build: an error-severity finding
+    (uninitialised read, schedule race) aborts before any fault is
+    injected, raising ``TraceVerificationError``.
     """
     if runs <= 0:
         raise ValueError(f"runs must be positive, got {runs}")
     config = config or FaultCampaignConfig()
-    # Fail fast on bad names; with caching on, this also compiles the
-    # trace once so the per-run builds below are cache hits.
-    _build_run(workload, scale, use_cache=use_cache, cache_dir=cache_dir)
+    # Fail fast on bad names (and, with deep_check, on traces whose
+    # dataflow is already broken); with caching on, this also compiles
+    # the trace once so the per-run builds below are cache hits.
+    _build_run(
+        workload,
+        scale,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        deep_check=deep_check,
+    )
     job_list = [
         (
             workload,

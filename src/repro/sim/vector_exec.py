@@ -242,10 +242,12 @@ def execute_columnar(
             )
         return stats
 
-    words_per_subarray = address_map.words_per_subarray
-    sub1 = src1 // words_per_subarray
-    sub2 = src2 // words_per_subarray
-    subd = des // words_per_subarray
+    # The scheduler's dependency relation names the resources each
+    # command serialises on; the busy-until scan below consumes those
+    # columns verbatim.  (Lazy import: core.device imports this module.)
+    from repro.core.scheduler import trace_dependencies
+
+    deps = trace_dependencies(cols, address_map.words_per_subarray)
 
     is_mul = opcode == MUL_BYTE
     profile_ns, profile_shift, profile_compute = _unique_profiles(
@@ -257,9 +259,9 @@ def execute_columnar(
         device, result_words
     )
 
-    operand_copy = compute & (sub2 != sub1)
-    result_copy = compute & (subd != sub1)
-    cross_tran = ~compute & (sub1 != subd)
+    operand_copy = deps.remote >= 0
+    result_copy = compute & (deps.dest >= 0)
+    cross_tran = deps.uses_bus
 
     # ------------------------------------------------------------------
     # Energy: per-command contributions are fully static; lay them out
@@ -319,17 +321,19 @@ def execute_columnar(
         result_dur,
         has_operand_copy,
         has_result_copy,
+        is_cross,
     ) in zip(
         ready_list,
         opcode.tolist(),
-        sub1.tolist(),
-        sub2.tolist(),
-        subd.tolist(),
+        deps.home.tolist(),
+        deps.remote.tolist(),
+        deps.dest.tolist(),
         profile_ns.tolist(),
         copy_ns.tolist(),
         result_ns.tolist(),
         operand_copy.tolist(),
         result_copy.tolist(),
+        cross_tran.tolist(),
     ):
         if code != TRAN_BYTE:
             home_busy = busy_get(home, 0.0)
@@ -355,7 +359,7 @@ def execute_columnar(
                 start_append(begin)
                 finish_append(finish)
                 rw_append(True)
-        elif home == dest:
+        elif not is_cross:
             source_busy = busy_get(home, 0.0)
             begin = ready if ready > source_busy else source_busy
             finish = begin + profile_dur

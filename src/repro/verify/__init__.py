@@ -10,10 +10,17 @@ Two halves, sharing one diagnostic vocabulary:
   ``repro-streampim check``.
 * :mod:`repro.verify.lint` — AST lint over the simulator source
   (``SPL`` rules), exposed as ``repro-streampim lint`` and gating CI.
+* :mod:`repro.verify.dataflow` / :mod:`repro.verify.races` — whole-trace
+  dataflow analysis over columnar traces (``SPV008``–``SPV012``): a
+  def-use index seeded from the placement plan, plus uninitialised-read,
+  dead-store, schedule-aware-race, scratch-leak and redundant-copy
+  rules.  Exposed as ``repro-streampim check --deep``.
 """
 
+from repro.verify.dataflow import DataflowAnalyzer, DataflowIndex
 from repro.verify.diagnostics import (
     ALL_RULES,
+    DATAFLOW_RULES,
     Diagnostic,
     LINT_RULES,
     Rule,
@@ -21,6 +28,7 @@ from repro.verify.diagnostics import (
     TRACE_RULES,
     VerifyReport,
     make_diagnostic,
+    validate_rule_ids,
 )
 from repro.verify.lint import lint_paths, lint_source
 from repro.verify.trace_verifier import (
@@ -32,6 +40,9 @@ from repro.verify.trace_verifier import (
 
 __all__ = [
     "ALL_RULES",
+    "DATAFLOW_RULES",
+    "DataflowAnalyzer",
+    "DataflowIndex",
     "Diagnostic",
     "LINT_RULES",
     "Rule",
@@ -39,6 +50,7 @@ __all__ = [
     "TRACE_RULES",
     "VerifyReport",
     "make_diagnostic",
+    "validate_rule_ids",
     "lint_paths",
     "lint_source",
     "DEFAULT_HAZARD_WINDOW",

@@ -15,8 +15,14 @@ from typing import Dict, Iterable, List, Optional
 
 
 class Severity(enum.Enum):
-    """Diagnostic severity; strict mode treats WARNING as ERROR."""
+    """Diagnostic severity; strict mode treats WARNING as ERROR.
 
+    INFO marks optimisation hints (e.g. SPV012 redundant copy): they are
+    reported and serialised like any other finding but never fail a
+    run, strict or not.
+    """
+
+    INFO = "info"
     WARNING = "warning"
     ERROR = "error"
 
@@ -92,8 +98,52 @@ TRACE_RULES: Dict[str, Rule] = {
             "guard-checked per hop (the precondition of shift-fault "
             "recovery); split the VPC into per-segment chunks",
         ),
+        Rule(
+            "SPV008",
+            "read of words with no prior writer or placement init",
+            Severity.ERROR,
+            "the operand reads nanowire state nothing initialised; "
+            "materialize the matrix (placement init) or emit the "
+            "producing VPC before the consumer",
+        ),
+        Rule(
+            "SPV009",
+            "dead store: written words never read before overwrite/end",
+            Severity.WARNING,
+            "the stored value is unobservable; drop the VPC or add the "
+            "consumer that was meant to read it",
+        ),
+        Rule(
+            "SPV010",
+            "schedule-aware race on unserialised word accesses",
+            Severity.ERROR,
+            "two VPCs touch the same words through subarrays neither "
+            "acquires, so no busy-until edge orders them; keep each "
+            "operand inside the subarray its VPC serialises on",
+        ),
+        Rule(
+            "SPV011",
+            "scratch-slot leak: staged words never consumed",
+            Severity.WARNING,
+            "a scratch write is neither read nor recycled before "
+            "end-of-trace; recycle the slot or wire its consumer",
+        ),
+        Rule(
+            "SPV012",
+            "redundant copy: source bytes already resident at dest",
+            Severity.INFO,
+            "an identical TRAN already ran and neither range was "
+            "written since; drop the repeat copy",
+        ),
     )
 }
+
+#: Rules computed by the whole-trace dataflow pass (``check --deep``),
+#: not by the per-VPC :class:`~repro.verify.trace_verifier.TraceVerifier`
+#: walk.
+DATAFLOW_RULES = frozenset(
+    {"SPV008", "SPV009", "SPV010", "SPV011", "SPV012"}
+)
 
 #: Repository-invariant lint rules (the ``lint`` half).
 LINT_RULES: Dict[str, Rule] = {
@@ -133,6 +183,27 @@ LINT_RULES: Dict[str, Rule] = {
 ALL_RULES: Dict[str, Rule] = {**TRACE_RULES, **LINT_RULES}
 
 
+def validate_rule_ids(rules, catalogue=None):
+    """Normalise a rule-ID selection to a frozenset, rejecting typos.
+
+    ``None`` (meaning "all rules") passes through.  Any ID absent from
+    ``catalogue`` (default: every known rule) raises ``ValueError``
+    naming the unknown IDs — a silent no-match would disable checks
+    without warning.
+    """
+    if rules is None:
+        return None
+    known = catalogue if catalogue is not None else ALL_RULES
+    selected = frozenset(rules)
+    unknown = sorted(selected - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown rule ID(s): {', '.join(unknown)}; known rules: "
+            f"{', '.join(sorted(known))}"
+        )
+    return selected
+
+
 @dataclass(frozen=True)
 class Diagnostic:
     """One reported violation.
@@ -161,6 +232,36 @@ class Diagnostic:
         if self.hint:
             line += f"\n    hint: {self.hint}"
         return line
+
+    def to_dict(self, subject: str = "") -> Dict[str, object]:
+        """Stable machine-readable form (the ``--json`` schema).
+
+        Keys (all always present): ``rule``, ``severity``, ``subject``,
+        ``location``, ``index`` (trace position or null), ``offset``
+        (byte offset of the VPC record in the binary trace encoding, or
+        null), ``line`` (source line for lint rules, or null),
+        ``message``, ``hint``.
+        """
+        offset: Optional[int] = None
+        if self.index is not None and self.index >= 0:
+            from repro.isa.columnar import binary_record_offset
+
+            offset = binary_record_offset(self.index)
+        line: Optional[int] = None
+        path, sep, tail = self.location.rpartition(":")
+        if sep and path and tail.isdigit():
+            line = int(tail)
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "subject": subject,
+            "location": self.location,
+            "index": self.index,
+            "offset": offset,
+            "line": line,
+            "message": self.message,
+            "hint": self.hint,
+        }
 
 
 def make_diagnostic(
@@ -206,6 +307,12 @@ class VerifyReport:
             d for d in self.diagnostics if d.severity is Severity.WARNING
         ]
 
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity is Severity.INFO
+        ]
+
     def by_rule(self, rule_id: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.rule_id == rule_id]
 
@@ -217,9 +324,12 @@ class VerifyReport:
         return list(seen)
 
     def ok(self, strict: bool = False) -> bool:
-        """Whether the run passes (strict promotes warnings to errors)."""
+        """Whether the run passes (strict promotes warnings to errors).
+
+        INFO findings are hints and never fail, even under strict.
+        """
         if strict:
-            return not self.diagnostics
+            return not self.errors and not self.warnings
         return not self.errors
 
     def render(self, strict: bool = False) -> str:
@@ -227,12 +337,15 @@ class VerifyReport:
         lines = [d.render() for d in self.diagnostics]
         n_err = len(self.errors)
         n_warn = len(self.warnings)
+        n_info = len(self.infos)
         verdict = "PASS" if self.ok(strict) else "FAIL"
         strict_note = " (strict)" if strict else ""
         summary = (
             f"{self.subject or 'verification'}: {verdict}{strict_note} — "
             f"{n_err} error(s), {n_warn} warning(s)"
         )
+        if n_info:
+            summary += f", {n_info} hint(s)"
         if self.suppressed:
             summary += f" (+{self.suppressed} suppressed)"
         lines.append(summary)

@@ -1,0 +1,128 @@
+"""SPV010: schedule-aware race detection over columnar traces.
+
+The engine serialises commands through per-subarray busy-until times
+(plus one global RM-bus time): a command waits for every subarray it
+*acquires* — its home, an operand-copy source, a copy destination — and
+then extends their busy times.  That relation is exposed by
+:func:`repro.core.scheduler.trace_dependencies`, and it is a *dependency
+model*, not one observed interleaving: two commands whose acquired
+resource sets are disjoint carry no ordering edge, and a schedule is
+free to overlap them.
+
+A word access is therefore *protected* only when it lies inside a
+subarray its command acquires.  Ranges that straddle past the acquired
+subarray (the same shape SPV002 warns about) touch words through
+subarrays the busy-until protocol never locks; if another command's
+access overlaps those words, at least one of the two writes, and no
+direct edge orders the pair, the program races — the value observed
+depends on how the schedule happens to interleave them.
+
+The detector is conservative about ordering: only *direct* edges
+(shared acquired subarray, or both holding the global bus) count.
+Ordering inherited transitively through a third command is not
+credited, so a finding means "the dependency relation itself does not
+order these two commands", matching how the scheduler reasons.
+
+Candidate detection is vectorized (accesses whose range spans an
+unacquired subarray); traces whose operands respect the one-subarray
+placement rule produce zero candidates, so the Python loop below runs
+only over actual findings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify.diagnostics import make_diagnostic
+
+
+def check_races(cols, address_map, index, emit) -> None:
+    """Emit one SPV010 diagnostic per unordered conflicting pair.
+
+    Args:
+        cols: the :class:`~repro.isa.columnar.ColumnarTrace`.
+        address_map: device :class:`~repro.rm.address.AddressMap`
+            (supplies the subarray width).
+        index: the :class:`~repro.verify.dataflow.DataflowIndex` of
+            ``cols`` (its access-event table and segment pairs locate
+            overlap partners without rescanning the trace).
+        emit: diagnostic sink (handles the recording cap).
+    """
+    # Lazy import: repro.core imports repro.verify for the verification
+    # gate, so the dependency model must load on use, not on import.
+    from repro.core.scheduler import trace_dependencies
+
+    n = index.n_commands
+    if n == 0:
+        return
+    words_per_subarray = address_map.words_per_subarray
+    deps = trace_dependencies(cols, words_per_subarray)
+
+    ev_idx = index.ev_idx
+    first_sub = index.ev_start // words_per_subarray
+    last_sub = (index.ev_end - 1) // words_per_subarray
+    real_events = np.flatnonzero((ev_idx >= 0) & (ev_idx < n))
+    positions = ev_idx[real_events]
+    lo_sub = first_sub[real_events]
+    protected = (lo_sub == last_sub[real_events]) & (
+        (lo_sub == deps.home[positions])
+        | (lo_sub == deps.remote[positions])
+        | (lo_sub == deps.dest[positions])
+    )
+    candidates = real_events[~protected]
+    if not len(candidates):
+        return
+
+    reported = set()
+    for event in candidates.tolist():
+        i = int(ev_idx[event])
+        acquired_i = deps.acquired(i)
+        start = int(index.ev_start[event])
+        end = int(index.ev_end[event])
+        writes = bool(index.ev_write[event])
+        for subarray in range(int(first_sub[event]), int(last_sub[event]) + 1):
+            if subarray in acquired_i:
+                continue
+            chunk_lo = max(start, subarray * words_per_subarray)
+            chunk_hi = min(end, (subarray + 1) * words_per_subarray)
+            if chunk_hi <= chunk_lo:
+                continue
+            seg_lo, seg_hi = index._segment_range(chunk_lo, chunk_hi)
+            left = int(
+                np.searchsorted(index.pair_seg, seg_lo, side="left")
+            )
+            right = int(
+                np.searchsorted(index.pair_seg, seg_hi, side="left")
+            )
+            for pair in range(left, right):
+                other = int(index.pair_ev[pair])
+                j = int(index.p_idx[pair])
+                if j < 0 or j >= n or j == i:
+                    continue
+                if not writes and not bool(index.ev_write[other]):
+                    continue
+                if (
+                    int(index.ev_start[other]) >= chunk_hi
+                    or int(index.ev_end[other]) <= chunk_lo
+                ):
+                    continue
+                if deps.ordered(i, j):
+                    continue
+                key = (min(i, j), max(i, j))
+                if key in reported:
+                    continue
+                reported.add(key)
+                first, second = key
+                emit(
+                    make_diagnostic(
+                        "SPV010",
+                        f"vpc #{first}",
+                        f"{cols[i].opcode.value} (vpc #{i}) and "
+                        f"{cols[j].opcode.value} (vpc #{j}) both touch "
+                        f"words [{chunk_lo}, {chunk_hi}) with no "
+                        f"ordering edge: acquired subarrays "
+                        f"{sorted(acquired_i)} vs "
+                        f"{sorted(deps.acquired(j))} are disjoint",
+                        index=first,
+                    )
+                )

@@ -24,9 +24,11 @@ from repro.core.rmbus import RMBusConfig
 from repro.isa.vpc import VPC, VPCOpcode
 from repro.rm.address import AddressMap, DeviceGeometry
 from repro.verify.diagnostics import (
+    TRACE_RULES,
     Diagnostic,
     VerifyReport,
     make_diagnostic,
+    validate_rule_ids,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
@@ -119,7 +121,9 @@ class TraceVerifier:
         self.address_map = AddressMap(self.geometry)
         self.plan = plan
         self.hazard_window = hazard_window
-        self.rules = frozenset(rules) if rules is not None else None
+        # Unknown IDs would silently disable every check (a typo like
+        # "SPV08" matches nothing), so reject them up front.
+        self.rules = validate_rule_ids(rules, TRACE_RULES)
         self.max_diagnostics = max_diagnostics
         # Geometry-derived bounds are fixed for the verifier's lifetime;
         # cache them so repeated verify() calls don't re-derive them.

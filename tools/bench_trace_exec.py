@@ -23,6 +23,16 @@ workload set through the content-addressed trace cache::
         --min-compile-speedup 5 --min-cache-speedup 20 \
         --out BENCH_trace_compile.json
 
+``--deep`` benchmarks the whole-trace dataflow analysis
+(``make bench-deep``): the SPV008–SPV012 pass over the ~93k-VPC gemm
+trace must finish well under one functional vector-engine execution of
+the same trace (``--max-deep-ratio``) and under an absolute budget
+(``--deep-budget``), and must report the trace clean::
+
+    PYTHONPATH=src python tools/bench_trace_exec.py --deep \
+        --max-deep-ratio 0.5 --deep-budget 10 \
+        --out BENCH_deep_check.json
+
 Exit status is non-zero when the engines disagree or a measured
 speedup falls below its floor.
 """
@@ -383,6 +393,100 @@ def run_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_deep(args: argparse.Namespace) -> int:
+    """Deep-analysis benchmark: the dataflow pass must stay a small
+    fraction of one functional vector-engine execution and the gemm
+    trace must come back clean."""
+    from repro.obs import MetricsRegistry
+    from repro.verify.dataflow import DataflowAnalyzer
+    from repro.workloads import polybench_workload
+
+    spec = polybench_workload("gemm", scale=args.deep_scale)
+    t0 = time.perf_counter()
+    task = spec.build_task(seed=7)
+    trace = task.to_trace()
+    gen_s = time.perf_counter() - t0
+    n_vpcs = len(trace)
+    print(f"trace: gemm @ scale {args.deep_scale} -> {n_vpcs:,} VPCs "
+          f"(compiled in {gen_s:.2f}s)")
+
+    # Baseline: one functional vector-engine execution — the thing a
+    # deep check would gate in front of, so the analysis must cost a
+    # small fraction of it.
+    t0 = time.perf_counter()
+    task.device.execute_trace(
+        trace, workload="bench", functional=True, engine="vector"
+    )
+    vector_s = time.perf_counter() - t0
+
+    registry = MetricsRegistry()
+    analyzer = DataflowAnalyzer(
+        geometry=task.device.config.geometry,
+        plan=task.placement_plan,
+        scalar_slots=task.trace_scalar_slots,
+        registry=registry,
+    )
+    deep_s = math.inf
+    for _ in range(args.repeats):
+        t0 = time.perf_counter()
+        report = analyzer.analyze(trace, subject="bench gemm")
+        deep_s = min(deep_s, time.perf_counter() - t0)
+    ratio = deep_s / vector_s if vector_s > 0 else float("inf")
+
+    snapshot = registry.snapshot()
+    dataflow_metrics = {
+        name: value
+        for name, value in snapshot.items()
+        if name.startswith("dataflow.")
+    }
+    result = {
+        "deep_scale": args.deep_scale,
+        "trace_vpcs": n_vpcs,
+        "generate_s": round(gen_s, 4),
+        "vector_exec_functional_s": round(vector_s, 4),
+        "deep_analysis_s": round(deep_s, 4),
+        "deep_ratio": round(ratio, 4),
+        "max_deep_ratio": args.max_deep_ratio,
+        "deep_budget_s": args.deep_budget,
+        "findings": {
+            rule_id: len(report.by_rule(rule_id))
+            for rule_id in report.rule_ids()
+        },
+        "clean": report.ok(strict=True),
+        "dataflow_metrics": dataflow_metrics,
+    }
+    out = Path(args.out or "BENCH_deep_check.json")
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+    print(f"vector exec (functional) {vector_s:.3f}s  "
+          f"deep analysis {deep_s:.3f}s  "
+          f"ratio {ratio:.3f} (ceiling {args.max_deep_ratio})")
+    print(f"wrote {out}")
+
+    failures = []
+    if not report.ok(strict=True):
+        failures.append(
+            "gemm trace has dataflow findings: "
+            + ", ".join(sorted(result["findings"]))
+        )
+    if ratio > args.max_deep_ratio:
+        failures.append(
+            f"deep analysis took {ratio:.2f}x of a vector execution "
+            f"(ceiling {args.max_deep_ratio}x)"
+        )
+    if deep_s > args.deep_budget:
+        failures.append(
+            f"deep analysis {deep_s:.2f}s exceeds the "
+            f"{args.deep_budget}s budget"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -454,9 +558,37 @@ def main(argv=None) -> int:
         help="PolyBench scales for the scalar-vs-columnar "
         "differential gate",
     )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="benchmark the whole-trace dataflow analysis "
+        "(SPV008-SPV012) instead of trace execution",
+    )
+    parser.add_argument(
+        "--deep-scale",
+        type=float,
+        default=0.1,
+        help="gemm dataset scale for the deep-analysis benchmark "
+        "(0.1 -> ~93k VPCs)",
+    )
+    parser.add_argument(
+        "--max-deep-ratio",
+        type=float,
+        default=0.5,
+        help="fail if deep analysis exceeds this fraction of one "
+        "functional vector-engine execution",
+    )
+    parser.add_argument(
+        "--deep-budget",
+        type=float,
+        default=10.0,
+        help="fail if deep analysis exceeds this many seconds",
+    )
     args = parser.parse_args(argv)
     if args.compile:
         return run_compile(args)
+    if args.deep:
+        return run_deep(args)
     return run(args)
 
 
