@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check check-deep faults-smoke profile-smoke bench bench-perf bench-compile bench-deep figures docs examples clean
+.PHONY: install test lint check check-deep faults-smoke profile-smoke bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
 # Extra flags for bench-compile, e.g.
 # COMPILE_BENCH_FLAGS="--compile-scale 0.05 --min-cache-speedup 1.0"
 COMPILE_BENCH_FLAGS ?= --min-compile-speedup 5 --min-cache-speedup 20
+# Extra flags for bench-stream, e.g.
+# STREAM_BENCH_FLAGS="--stream-scale 0.05 --min-stream-speedup 1.0"
+STREAM_BENCH_FLAGS ?= --min-stream-speedup 1.15
 
 install:
 	pip install -e .
@@ -43,6 +46,12 @@ bench-perf:
 
 bench-compile:
 	$(PYTHON) tools/bench_trace_exec.py --compile $(COMPILE_BENCH_FLAGS)
+
+# Cold end-to-end (lowering + functional vector execution) phased vs
+# streamed on the fig17 set; streamed must win by the floor and stay
+# bit-identical.
+bench-stream:
+	$(PYTHON) tools/bench_trace_exec.py --stream $(STREAM_BENCH_FLAGS)
 
 # Deep analysis of ~93k-VPC gemm must stay well under one functional
 # vector-engine execution (and under an absolute wall-clock budget).

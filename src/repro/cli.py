@@ -80,6 +80,33 @@ def _compile_spec(spec, args):
     )
 
 
+def _print_stream_summary(telemetry) -> None:
+    """One-line pipeline telemetry for streamed runs."""
+    print(
+        f"stream : {telemetry.chunks} chunks "
+        f"({telemetry.records:,} records), "
+        f"{telemetry.fallbacks} exact-replay fallbacks, "
+        f"produce {telemetry.produce_ns / 1e6:.2f} ms / "
+        f"consume {telemetry.consume_ns / 1e6:.2f} ms "
+        f"(overlap {telemetry.overlap_ratio:.0%})"
+    )
+
+
+def _stream_spec(spec, args, device=None, functional: bool = True):
+    """Streamed counterpart of :func:`_compile_spec` (fused execution)."""
+    from repro.core.compile import stream_workload
+
+    return stream_workload(
+        spec,
+        device=device,
+        use_cache=not getattr(args, "no_trace_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        chunk_vpcs=getattr(args, "chunk_vpcs", None),
+        functional=functional,
+        deep_verify=getattr(args, "deep", False),
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     platforms = default_platforms()
@@ -247,14 +274,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     if spec.build is None:
         raise SystemExit(f"workload {spec.name!r} has no task builder")
-    compiled = _compile_spec(spec, args)
-    trace = compiled.trace
+    if args.stream:
+        streamed = _stream_spec(spec, args)
+        trace = streamed.trace
+        source = (
+            "cache hit, streamed"
+            if streamed.cache_hit
+            else "streamed compile+execute"
+        )
+    else:
+        compiled = _compile_spec(spec, args)
+        trace = compiled.trace
+        source = "cache hit" if compiled.cache_hit else "compiled"
     stats = trace.stats
-    source = "cache hit" if compiled.cache_hit else "compiled"
     print(
         f"{spec.name} @ scale {args.scale}: {stats.pim_vpcs:,} PIM VPCs, "
         f"{stats.move_vpcs:,} move VPCs ({source})"
     )
+    if args.stream:
+        _print_stream_summary(streamed.telemetry)
     if args.output:
         write_trace(trace, args.output)
         print(f"wrote {len(trace):,} commands to {args.output}")
@@ -290,6 +328,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     """Replay a saved VPC trace through the event-driven device."""
     from repro.core.device import StreamPIMDevice
 
+    if args.stream and args.engine != "vector":
+        raise SystemExit(
+            "--stream replays through the chunked vector executor; "
+            "use --engine vector (or drop --stream)"
+        )
     if args.engine == "vector":
         # Columnar bulk decode feeds the vectorized executor directly.
         from repro.isa.columnar import read_trace_columnar
@@ -304,12 +347,29 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
         collector = Collector()
         device.observe(collector)
-    stats = device.execute_trace(
-        trace,
-        functional=False,
-        verify=not args.no_verify,
-        engine=args.engine,
-    )
+    if args.stream:
+        from repro.core.stream import (
+            DEFAULT_CHUNK_VPCS,
+            iter_trace_chunks,
+            run_stream,
+        )
+
+        chunk_vpcs = args.chunk_vpcs or DEFAULT_CHUNK_VPCS
+        result, telemetry = run_stream(
+            device,
+            iter_trace_chunks(trace, chunk_vpcs=chunk_vpcs),
+            workload="replay",
+            functional=False,
+            verify=not args.no_verify,
+        )
+        stats = result.stats
+    else:
+        stats = device.execute_trace(
+            trace,
+            functional=False,
+            verify=not args.no_verify,
+            engine=args.engine,
+        )
     print(f"replayed {len(trace):,} commands from {args.trace}")
     print(f"time   : {stats.time_ns / 1e3:.2f} us")
     print(f"energy : {stats.energy.total_pj / 1e3:.2f} nJ")
@@ -318,6 +378,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{k} {v:.1%}" for k, v in fractions.items() if v > 0.0005
     )
     print(f"time breakdown : {shares}")
+    if args.stream:
+        _print_stream_summary(telemetry)
     if collector is not None:
         return _export_profile(collector, stats, args.profile)
     return 0
@@ -400,22 +462,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     spec = _lookup_workload(args.workload, args.scale)
     if spec.build is None:
         raise SystemExit(f"workload {args.workload!r} has no task builder")
-    compiled = _compile_spec(spec, args)
-    trace = compiled.trace  # columnar; both engines consume it directly
+    if args.stream and args.engine != "vector":
+        raise SystemExit(
+            "--stream profiles through the chunked vector executor; "
+            "use --engine vector (or drop --stream)"
+        )
     collector = Collector()
-    device = compiled.device.observe(collector)
-    stats = device.execute_trace(
-        trace,
-        workload=spec.name,
-        functional=args.functional,
-        engine=args.engine,
-    )
+    if args.stream:
+        from repro.core.device import StreamPIMDevice
+
+        device = StreamPIMDevice().observe(collector)
+        streamed = _stream_spec(
+            spec, args, device=device, functional=args.functional
+        )
+        trace = streamed.trace
+        stats = streamed.stats
+        engine_label = "vector (streamed)"
+    else:
+        compiled = _compile_spec(spec, args)
+        trace = compiled.trace  # columnar; both engines consume directly
+        device = compiled.device.observe(collector)
+        stats = device.execute_trace(
+            trace,
+            workload=spec.name,
+            functional=args.functional,
+            engine=args.engine,
+        )
+        engine_label = args.engine
     print(
         f"profiled {spec.name} @ scale {args.scale}: {len(trace):,} "
-        f"commands, engine {args.engine}"
+        f"commands, engine {engine_label}"
     )
     print(f"time   : {stats.time_ns / 1e3:.2f} us")
     print(f"energy : {stats.energy.total_pj / 1e3:.2f} nJ")
+    if args.stream:
+        _print_stream_summary(streamed.telemetry)
     return _export_profile(collector, stats, args.output)
 
 
@@ -817,6 +898,33 @@ def _add_cache_flags(
     )
 
 
+def _add_stream_flags(
+    cmd: argparse.ArgumentParser, no_stream: str = ""
+) -> None:
+    """``--stream/--no-stream``/``--chunk-vpcs`` on an execution command.
+
+    ``no_stream`` notes that a command accepts the flags only for
+    interface uniformity (it never drives the chunk pipeline itself).
+    """
+    suffix = f" ({no_stream})" if no_stream else ""
+    cmd.add_argument(
+        "--stream",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="stream chunked lowering straight into the vector "
+        "executor instead of finishing compilation first" + suffix,
+    )
+    cmd.add_argument(
+        "--chunk-vpcs",
+        dest="chunk_vpcs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum records per streamed chunk, cut at operation "
+        "boundaries (default 4096)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-streampim",
@@ -844,6 +952,11 @@ def build_parser() -> argparse.ArgumentParser:
         no_compile="sweep uses the analytic model and lowers no "
         "traces; accepted for interface uniformity",
     )
+    _add_stream_flags(
+        sweep,
+        no_stream="sweep uses the analytic model and executes no "
+        "traces; accepted for interface uniformity",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     counts = sub.add_parser("counts", help="Table IV VPC counts")
@@ -857,6 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=float, default=0.01)
     trace.add_argument("-o", "--output", default=None)
     _add_cache_flags(trace)
+    _add_stream_flags(trace)
     trace.set_defaults(func=_cmd_trace)
 
     replay = sub.add_parser(
@@ -886,6 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
         no_compile="replay executes an already-saved trace file and "
         "lowers nothing; accepted for interface uniformity",
     )
+    _add_stream_flags(replay)
     replay.set_defaults(func=_cmd_replay)
 
     profile = sub.add_parser(
@@ -912,6 +1027,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace_event JSON output path",
     )
     _add_cache_flags(profile)
+    _add_stream_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
     check = sub.add_parser(

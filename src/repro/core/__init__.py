@@ -27,7 +27,18 @@ from repro.core.redundancy import (
     RedundancyConfig,
     RedundancyMode,
 )
-from repro.core.device import StreamPIMDevice, StreamPIMConfig
+from repro.core.device import (
+    StreamPIMDevice,
+    StreamPIMConfig,
+    StreamExecResult,
+)
+from repro.core.stream import (
+    DEFAULT_CHUNK_VPCS,
+    StreamTelemetry,
+    iter_trace_chunks,
+    run_stream,
+    task_chunk_producer,
+)
 from repro.core.task import PimTask, create_pim_task, TaskOp, RunReport
 
 __all__ = [
@@ -54,6 +65,12 @@ __all__ = [
     "RedundancyMode",
     "StreamPIMDevice",
     "StreamPIMConfig",
+    "StreamExecResult",
+    "DEFAULT_CHUNK_VPCS",
+    "StreamTelemetry",
+    "iter_trace_chunks",
+    "run_stream",
+    "task_chunk_producer",
     "PimTask",
     "create_pim_task",
     "TaskOp",

@@ -14,6 +14,13 @@ figures, sweep points and fault-campaign runs compile once.
 :data:`LOWERING_VERSION` stamps the key: bump it whenever a change to
 trace generation alters the emitted bytes, and every existing cache
 entry becomes unreachable (no in-place invalidation to get wrong).
+
+:func:`stream_workload` is the fused counterpart: instead of finishing
+compilation before execution starts, it drives
+:meth:`~repro.core.task.PimTask.to_trace_chunks` straight into the
+device's streamed executor and writes the concatenated trace through to
+the same cache afterwards, so a streamed cold run leaves the cache in
+exactly the state a phased :func:`compile_workload` would have.
 """
 
 from __future__ import annotations
@@ -208,3 +215,136 @@ def compile_workload(
     if deep_verify:
         _deep_verify(compiled, subject)
     return compiled
+
+
+@dataclass
+class StreamedWorkload:
+    """Result of :func:`stream_workload`: a fused compile+execute run.
+
+    Attributes:
+        task: the built task with trace state attached (as in
+            :class:`CompiledWorkload`); the word store already holds the
+            run's results — ``fetch_results`` works immediately.
+        trace: the full columnar trace (concatenation of the streamed
+            chunks; bit-identical to ``task.to_trace()``).
+        stats: the run's :class:`~repro.sim.timing.RunStats`,
+            bit-identical to the phased vector engine's.
+        telemetry: the pipeline's :class:`~repro.core.stream.StreamTelemetry`.
+        cache_key: content key (empty when caching was disabled).
+        cache_hit: True when chunks were sliced from a cached trace
+            instead of lowered live.
+        deep_report: whole-trace dataflow report when ``deep_verify``
+            was requested (runs after the stream completes — the
+            dataflow pass needs the full def-use picture).
+    """
+
+    task: PimTask
+    trace: ColumnarTrace
+    stats: object
+    telemetry: object
+    cache_key: str
+    cache_hit: bool
+    deep_report: Optional[object] = None
+
+    @property
+    def device(self) -> StreamPIMDevice:
+        return self.task.device
+
+
+def stream_workload(
+    spec,
+    device: Optional[StreamPIMDevice] = None,
+    seed: int = 7,
+    cache: Optional[TraceCache] = None,
+    cache_dir: Union[str, Path, None] = None,
+    use_cache: bool = True,
+    chunk_vpcs: Optional[int] = None,
+    functional: bool = True,
+    verify: bool = True,
+    deep_verify: bool = False,
+) -> StreamedWorkload:
+    """Compile ``spec`` in chunks and execute them as they are lowered.
+
+    The streamed analogue of ``compile_workload`` followed by
+    ``materialize`` and ``execute_trace(engine="vector")``, with the
+    phase barrier removed: every ``chunk_vpcs`` lowered records (cut at
+    operation boundaries) are verified and executed before the next
+    operation is lowered.  Cache interplay:
+
+    * hit — the cached trace is sliced into ``chunk_vpcs`` chunks and
+      streamed through the same executor (the chunked fast-apply path
+      still applies);
+    * miss — chunks are lowered live and the concatenated trace is
+      written through to the cache with the same aux/provenance a
+      phased compile would store.
+
+    Results (``stats``, word-store contents, spans) are bit-identical
+    to the phased path for any chunk size.
+    """
+    from repro.core.stream import (
+        DEFAULT_CHUNK_VPCS,
+        iter_trace_chunks,
+        run_stream,
+        task_chunk_producer,
+    )
+
+    if chunk_vpcs is None:
+        chunk_vpcs = DEFAULT_CHUNK_VPCS
+    task = spec.build_task(device, seed=seed)
+    subject = f"workload {spec.name}"
+    key = ""
+    entry = None
+    if use_cache:
+        if cache is None:
+            cache = TraceCache(cache_dir)
+        key = task_cache_key(spec, task.device, seed=seed)
+        entry = cache.get(key)
+        if entry is not None and not _restore_trace_state(task, entry.aux):
+            entry = None
+    if entry is not None:
+        task.materialize()
+        result, telemetry = run_stream(
+            task.device,
+            iter_trace_chunks(entry.trace, chunk_vpcs=chunk_vpcs),
+            workload=spec.name,
+            functional=functional,
+            verify=verify,
+            cache_hit=True,
+        )
+    else:
+        result, telemetry = run_stream(
+            task.device,
+            task_chunk_producer(task, chunk_vpcs=chunk_vpcs),
+            workload=spec.name,
+            functional=functional,
+            verify=verify,
+        )
+        if use_cache:
+            cache.put(
+                key,
+                result.trace,
+                aux={
+                    "plan": task.placement_plan.to_dict(),
+                    "scalar_slots": {
+                        str(address): name
+                        for address, name in task._trace_scalar_slots.items()
+                    },
+                },
+                provenance={
+                    "workload": spec.name,
+                    "seed": int(seed),
+                    "lowering_version": LOWERING_VERSION,
+                    "commands": len(result.trace),
+                },
+            )
+    streamed = StreamedWorkload(
+        task=task,
+        trace=result.trace,
+        stats=result.stats,
+        telemetry=telemetry,
+        cache_key=key,
+        cache_hit=entry is not None,
+    )
+    if deep_verify:
+        _deep_verify(streamed, subject)
+    return streamed

@@ -83,6 +83,21 @@ class StreamPIMConfig:
         )
 
 
+@dataclass(frozen=True)
+class StreamExecResult:
+    """Outcome of one :meth:`StreamPIMDevice.execute_trace_stream` run."""
+
+    #: The run statistics (bit-identical to the phased vector engine).
+    stats: RunStats
+    #: Concatenation of every executed chunk, in order — what the phased
+    #: path would have compiled up front; cache write-through stores it.
+    trace: "object"
+    #: Number of non-empty chunks fed to the execution state.
+    chunks: int
+    #: Chunks the monitored fast functional apply replayed exactly.
+    fallbacks: int
+
+
 class WordStore:
     """Sparse word-addressable data store backing event-mode execution."""
 
@@ -342,6 +357,85 @@ class StreamPIMDevice:
                 stats,
             )
         return stats
+
+    # ------------------------------------------------------------------
+    # Streamed event mode (chunked compile/execute pipeline)
+    # ------------------------------------------------------------------
+    def execute_trace_stream(
+        self,
+        chunks,
+        workload: str = "trace",
+        functional: bool = True,
+        verify: bool = True,
+        faults=None,
+    ):
+        """Execute a columnar trace delivered as an iterator of chunks.
+
+        The streamed counterpart of ``execute_trace(engine="vector")``:
+        each chunk is verified through the same vectorized SPV rule
+        gate (one :class:`~repro.verify.StreamingTraceVerifier` pass,
+        whole-trace-identical findings) and then advances one
+        :class:`~repro.sim.vector_exec.VectorExecState`, so execution
+        of chunk K proceeds while chunk K+1 is still being lowered by
+        the producer.  The resulting ``RunStats``, word-store contents
+        and observation spans are bit-identical to the phased path on
+        the concatenated trace.
+
+        Returns a :class:`StreamExecResult` carrying the stats, the
+        concatenated :class:`~repro.isa.columnar.ColumnarTrace` (for
+        cache write-through and span attribution), and per-stream
+        counters.
+        """
+        from repro.isa.columnar import ColumnarTrace, RECORD_DTYPE
+        from repro.sim.vector_exec import VectorExecState
+        from repro.verify.trace_verifier import (
+            StreamingTraceVerifier,
+            TraceVerificationError,
+        )
+
+        checker = (
+            StreamingTraceVerifier(self._trace_verifier(), subject=workload)
+            if verify
+            else None
+        )
+        sink = [] if self.obs.enabled else None
+        state = VectorExecState(
+            self,
+            workload=workload,
+            functional=functional,
+            faults=faults,
+            span_sink=sink,
+        )
+        record_parts = []
+        for cols in chunks:
+            if not isinstance(cols, ColumnarTrace):
+                cols = ColumnarTrace.from_trace(cols)
+            if checker is not None:
+                report = checker.feed(cols)
+                if not report.ok():
+                    raise TraceVerificationError(report)
+            state.feed(cols)
+            record_parts.append(cols.records)
+        stats = state.finish()
+        records = (
+            np.concatenate(record_parts)
+            if record_parts
+            else np.empty(0, dtype=RECORD_DTYPE)
+        )
+        trace = ColumnarTrace(records)
+        if sink is not None:
+            from repro.obs.trace_spans import record_trace_run
+
+            starts, finishes, is_rw = sink[0]
+            record_trace_run(
+                self.obs, self, trace, starts, finishes, is_rw, stats
+            )
+        return StreamExecResult(
+            stats=stats,
+            trace=trace,
+            chunks=state.chunks_fed,
+            fallbacks=state.fallbacks,
+        )
 
     # ------------------------------------------------------------------
     def _run_compute(self, vpc, ready, resource, spans, energy) -> float:

@@ -707,6 +707,46 @@ class PimTask:
             scratch.recycle()
         return builder.build()
 
+    def to_trace_chunks(self, chunk_vpcs: int = 4096):
+        """Incremental :meth:`to_trace`: yield the trace as chunks.
+
+        Generator form of :meth:`_to_trace_columnar` for the streamed
+        compile/execute pipeline — each operation is lowered through the
+        same vectorized path, and finished records are drained as
+        :class:`~repro.isa.columnar.ColumnarTrace` chunks of at least
+        ``chunk_vpcs`` commands (cut only at operation boundaries, so a
+        chunk never splits an op group; see
+        :meth:`ColumnarTraceBuilder.drain_chunks`).  The concatenation
+        of all yielded chunks is bit-identical to :meth:`to_trace`'s
+        result.
+
+        Placement state (:attr:`placement_plan`, handles) is available
+        as soon as the first chunk is yielded; scalar slots accumulate
+        as lowering proceeds, and every slot a chunk references exists
+        in :attr:`trace_scalar_slots` by the time that chunk is yielded
+        — :meth:`materialize_scalar_slots` seeds them incrementally.
+        """
+        if chunk_vpcs < 1:
+            raise ValueError(
+                f"chunk_vpcs must be positive, got {chunk_vpcs}"
+            )
+        placer = self._build_placer()
+        handles = self._place_all(placer)
+        builder = ColumnarTraceBuilder()
+        scratch = ScratchAllocator(placer)
+        self._trace_handles = handles
+        self._trace_plan = placer.plan
+        self._trace_scalar_slots = {}
+        row_cache: Dict[int, Tuple[np.ndarray, ...]] = {}
+        for operation in self._operations:
+            self._trace_operation_columnar(
+                operation, handles, builder, scratch, row_cache
+            )
+            scratch.recycle()
+            builder.mark_op_boundary()
+            yield from builder.drain_chunks(min_records=chunk_vpcs)
+        yield from builder.drain_chunks(min_records=1, force=True)
+
     def materialize(self, device: Optional[StreamPIMDevice] = None) -> None:
         """Seed a device's word store with the placed operand values.
 
@@ -714,15 +754,45 @@ class PimTask:
         plus any transposed mirror) and every scalar slot the trace
         references.
         """
+        self.materialize_matrices(device)
+        self.materialize_scalar_slots(device)
+
+    def materialize_matrices(
+        self, device: Optional[StreamPIMDevice] = None
+    ) -> None:
+        """Seed every placed matrix (but not the scalar slots).
+
+        The streamed pipeline calls this once placement exists (after
+        the first chunk of :meth:`to_trace_chunks`) and seeds scalar
+        slots incrementally as lowering discovers them.
+        """
         device = device or self.device
         handles = self._require_trace_state()
         for name, values in self._matrices.items():
             self._write_matrix(device, handles[name], values)
-        for address, scalar_name in self._trace_scalar_slots.items():
+
+    def materialize_scalar_slots(
+        self, device: Optional[StreamPIMDevice] = None, start: int = 0
+    ) -> int:
+        """Seed scalar-slot words ``start..`` discovered so far.
+
+        Slot addresses come from ``ScratchAllocator.unique`` and are
+        never handed out again, so no trace command ever writes one —
+        seeding a slot any time before the first chunk that reads it is
+        exactly equivalent to the phased up-front :meth:`materialize`.
+
+        Returns the new slot count, to pass as ``start`` next call.
+        """
+        device = device or self.device
+        self._require_trace_state()
+        slots = self._trace_scalar_slots
+        items = list(slots.items())[start:]
+        for address, scalar_name in items:
             value = (
                 self._scalars[scalar_name] if scalar_name is not None else 1
             )
             device.store.write(address, [value])
+        return len(slots)
 
     def fetch_results(self, device: Optional[StreamPIMDevice] = None):
         """Read every matrix back from a device's word store.

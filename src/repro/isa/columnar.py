@@ -429,6 +429,8 @@ class ColumnarTraceBuilder:
         self._filled = 0
         self._total = 0
         self._sealed = False
+        self._boundary = 0
+        self._drained = 0
 
     def __len__(self) -> int:
         return self._total
@@ -526,6 +528,11 @@ class ColumnarTraceBuilder:
     def build(self) -> ColumnarTrace:
         """Seal the builder and return the assembled trace."""
         self._check_open()
+        if self._drained:
+            raise RuntimeError(
+                "builder already drained incrementally; the full trace "
+                "is the concatenation of the drained chunks"
+            )
         self._flush_buffer(grow=False)
         self._sealed = True
         if not self._chunks:
@@ -536,6 +543,68 @@ class ColumnarTraceBuilder:
             records = np.concatenate(self._chunks)
         self._chunks = []
         return ColumnarTrace(records)
+
+    # ------------------------------------------------------------------
+    # Incremental chunk API (streamed compile/execute pipeline)
+    # ------------------------------------------------------------------
+    def mark_op_boundary(self) -> None:
+        """Record that every emitted record belongs to a finished op.
+
+        :meth:`drain_chunks` only ever cuts a chunk at the most recent
+        boundary, so a drained chunk can never split a multi-record
+        operation group mid-op — the invariant the per-chunk functional
+        apply and scratch recycling rely on.  Trace lowering calls this
+        after each operation's ``ScratchAllocator.recycle()``.
+        """
+        self._check_open()
+        self._boundary = self._total
+
+    def pending_records(self) -> int:
+        """Records emitted up to the last op boundary but not drained."""
+        return self._boundary - self._drained
+
+    def drain_chunks(
+        self, min_records: int = 1, force: bool = False
+    ) -> Iterator[ColumnarTrace]:
+        """Yield finished, validated chunks of the trace built so far.
+
+        Records are handed out strictly in emission order and only up to
+        the last :meth:`mark_op_boundary`; the concatenation of every
+        yielded chunk (in order) is bit-identical to what :meth:`build`
+        would have returned.  A chunk is cut once at least
+        ``min_records`` boundary-complete records are pending (always,
+        when ``force`` is true and anything is pending), so
+        ``min_records=1`` gives per-operation chunks and larger values
+        amortise per-chunk overheads.
+
+        After the first drain the builder is committed to streaming:
+        :meth:`build` raises, since the drained records are no longer
+        held.
+        """
+        self._check_open()
+        if min_records < 1:
+            raise ValueError(
+                f"min_records must be positive, got {min_records}"
+            )
+        pending = self._boundary - self._drained
+        if pending <= 0 or (pending < min_records and not force):
+            return
+        self._flush_buffer(grow=False)
+        take: List[np.ndarray] = []
+        taken = 0
+        while taken < pending:
+            arr = self._chunks.pop(0)
+            need = pending - taken
+            if len(arr) <= need:
+                take.append(arr)
+                taken += len(arr)
+            else:
+                take.append(arr[:need])
+                self._chunks.insert(0, arr[need:])
+                taken = pending
+        records = take[0] if len(take) == 1 else np.concatenate(take)
+        self._drained += pending
+        yield ColumnarTrace(records)
 
 
 def _validate_built(records: np.ndarray) -> None:

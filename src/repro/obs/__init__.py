@@ -45,6 +45,7 @@ from repro.obs.spans import (
     spans_to_intervals,
     track_utilisation,
 )
+from repro.obs.stream_metrics import record_stream_run
 from repro.obs.trace_spans import engine_spans, record_trace_run
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "chrome_trace_dict",
     "engine_spans",
     "exclusive_breakdown",
+    "record_stream_run",
     "record_trace_run",
     "spans_to_intervals",
     "track_utilisation",

@@ -1,0 +1,49 @@
+"""``stream.*`` metrics family for the streamed compile/execute pipeline.
+
+:func:`~repro.core.stream.run_stream` calls :func:`record_stream_run`
+once per streamed run (when the device's collector is enabled), so the
+pipeline's chunking behaviour is auditable next to the ``trace.*``
+family recorded by :func:`~repro.obs.trace_spans.record_trace_run`:
+
+* ``stream.runs`` / ``stream.chunks`` / ``stream.records`` /
+  ``stream.fallbacks`` — counters across runs;
+* ``stream.cache_hits`` — runs fed from the content-addressed trace
+  cache rather than live lowering;
+* ``stream.produce_ns`` / ``stream.consume_ns`` / ``stream.wall_ns``
+  / ``stream.stall_ns`` — last run's pipeline timing (gauges);
+* ``stream.overlap_ratio`` — last run's producer/consumer overlap
+  (gauge, ~0 for the interleaved single-thread driver);
+* ``stream.chunk_records`` — histogram of chunk sizes is not
+  reconstructable after concatenation, so the per-run mean is
+  observed into the histogram instead.
+"""
+
+from __future__ import annotations
+
+
+def record_stream_run(obs, telemetry) -> None:
+    """Record one streamed run's telemetry into ``obs``'s registry.
+
+    Args:
+        obs: an enabled :class:`~repro.obs.spans.Collector`.
+        telemetry: a :class:`~repro.core.stream.StreamTelemetry`.
+    """
+    registry = obs.registry
+    registry.counter("stream.runs").inc(1)
+    registry.counter("stream.chunks").inc(telemetry.chunks)
+    registry.counter("stream.records").inc(telemetry.records)
+    registry.counter("stream.fallbacks").inc(telemetry.fallbacks)
+    if telemetry.cache_hit:
+        registry.counter("stream.cache_hits").inc(1)
+    registry.gauge("stream.produce_ns").set(telemetry.produce_ns)
+    registry.gauge("stream.consume_ns").set(telemetry.consume_ns)
+    registry.gauge("stream.wall_ns").set(telemetry.wall_ns)
+    registry.gauge("stream.stall_ns").set(telemetry.stall_ns)
+    registry.gauge("stream.overlap_ratio").set(telemetry.overlap_ratio)
+    if telemetry.chunks:
+        registry.histogram("stream.chunk_records").observe(
+            telemetry.records / telemetry.chunks
+        )
+
+
+__all__ = ["record_stream_run"]

@@ -39,6 +39,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.isa.columnar import (
+    ADD_BYTE,
     ColumnarTrace,
     MUL_BYTE,
     SMUL_BYTE,
@@ -65,6 +66,29 @@ def _ordered_sum(values: np.ndarray) -> float:
     compressed = values[np.nonzero(values)]
     if not len(compressed):
         return 0.0
+    return float(compressed.cumsum()[-1])
+
+
+def _ordered_sum_carry(carry: float, values: np.ndarray) -> float:
+    """Continue a strict left-to-right float sum across a chunk boundary.
+
+    ``_ordered_sum_carry(_ordered_sum(a), b)`` is bit-identical to
+    ``_ordered_sum(concatenate((a, b)))``: the carry is the running
+    total so far, and prepending it to the next chunk's compressed
+    values preserves the association order exactly.  A zero carry can
+    be dropped because every kept value is nonzero and ``0.0 + x == x``
+    bitwise for finite nonzero ``x`` — the same argument that lets
+    :func:`_ordered_sum` compress zeros.
+    """
+    compressed = values[np.nonzero(values)]
+    if not len(compressed):
+        return carry
+    if carry:
+        # Exact-zero test on purpose (not a tolerance): a zero carry is
+        # dropped for the same reason _ordered_sum compresses zeros.
+        compressed = np.concatenate(
+            (np.array([carry], dtype=np.float64), compressed)
+        )
     return float(compressed.cumsum()[-1])
 
 
@@ -161,6 +185,337 @@ def _copy_costs(
     return duration[inverse], read_pj[inverse], write_pj[inverse]
 
 
+def check_addresses(device, cols: ColumnarTrace) -> None:
+    """Fail fast on out-of-range addresses.
+
+    Matches the IndexError the scalar path's address decomposition
+    raises (same first offender: lowest trace index, then the scalar's
+    src1 -> src2 -> des order).
+    """
+    src1 = cols.src1
+    src2 = cols.src2
+    des = cols.des
+    compute = cols.is_compute
+    total_words = device.address_map.total_words
+    bad_src1 = (src1 < 0) | (src1 >= total_words)
+    bad_src2 = compute & ((src2 < 0) | (src2 >= total_words))
+    bad_des = (des < 0) | (des >= total_words)
+    bad_any = bad_src1 | bad_src2 | bad_des
+    if bad_any.any():
+        index = int(np.argmax(bad_any))
+        if bad_src1[index]:
+            value = int(src1[index])
+        elif bad_src2[index]:
+            value = int(src2[index])
+        else:
+            value = int(des[index])
+        raise IndexError(
+            f"address {value} out of range [0, {total_words})"
+        )
+
+
+class VectorExecState:
+    """Resumable vector execution: one trace, fed as ordered chunks.
+
+    Hoists everything :func:`execute_columnar` used to keep in local
+    variables — the per-subarray busy-until map, the bus/total clocks,
+    the span record, the breakdown accumulators, and the functional
+    word state — so a trace can be executed incrementally while later
+    chunks are still being lowered (the streamed compile/execute
+    pipeline).  The contract is bit-identity: feeding a trace as any
+    sequence of chunks and calling :meth:`finish` produces exactly the
+    ``RunStats``, word-store contents, and span triple that one
+    whole-trace :func:`execute_columnar` call produces.
+
+    The float accumulations that make that non-trivial are handled
+    explicitly: energy components carry the running left-to-right sum
+    across chunks (:func:`_ordered_sum_carry`), decode-ready times are
+    derived from the global command index, and the time sweep
+    (:func:`sweep_spans`, which globally sorts span edges) runs once in
+    :meth:`finish` over the accumulated spans.
+
+    Functional state advances per chunk through a monitored fast apply
+    (:func:`_apply_functional_chunk`); chunks whose values could
+    interact with the operand-range checks fall back to the exact
+    per-command loop, so error behaviour (message and offending
+    command) is preserved.  ``exact_apply=True`` forces the per-command
+    loop for every chunk — the phased :func:`execute_columnar` wrapper
+    uses it to stay the unchanged bit-identity reference, and it is
+    implied whenever a fault session is attached.
+    """
+
+    def __init__(
+        self,
+        device,
+        workload: str = "trace",
+        functional: bool = True,
+        faults=None,
+        span_sink=None,
+        exact_apply: bool = False,
+    ) -> None:
+        if faults is not None and faults.abort_index is not None:
+            raise ValueError(
+                "abort fault sessions need the whole trace up front; "
+                "use execute_columnar"
+            )
+        self.device = device
+        self.workload = workload
+        self.functional = device._functional_enabled(functional)
+        self.faults = faults
+        self.span_sink = span_sink
+        self.exact_apply = bool(exact_apply or faults is not None)
+        #: Commands consumed so far (the global index of the next one).
+        self.offset = 0
+        self.pim_vpcs = 0
+        self.chunks_fed = 0
+        #: Chunks the monitored fast apply handed to the exact loop.
+        self.fallbacks = 0
+        self._busy: Dict[int, float] = {}
+        self._bus_busy = 0.0
+        self._finish_time = 0.0
+        self._span_start: List[float] = []
+        self._span_finish: List[float] = []
+        self._span_rw: List[bool] = []
+        self._read_pj = 0.0
+        self._write_pj = 0.0
+        self._shift_pj = 0.0
+        self._compute_pj = 0.0
+        self._stats: "RunStats | None" = None
+
+    def feed(self, cols: ColumnarTrace, check: bool = True) -> None:
+        """Advance the execution by one chunk of the trace.
+
+        ``check=False`` skips the address-range gate for callers that
+        already ran it (the phased wrapper checks the whole trace up
+        front; the streamed pipeline verifies each chunk through the
+        SPV rules, which subsume it).
+        """
+        if self._stats is not None:
+            raise RuntimeError("execution already finished")
+        n = len(cols)
+        if n == 0:
+            return
+        if check:
+            check_addresses(self.device, cols)
+
+        device = self.device
+        opcode = cols.opcode
+        size = cols.size
+        compute = cols.is_compute
+        self.pim_vpcs += int(compute.sum())
+
+        # The scheduler's dependency relation names the resources each
+        # command serialises on; it is a pure per-command map, so
+        # per-chunk evaluation equals the whole-trace one.  (Lazy
+        # import: core.device imports this module.)
+        from repro.core.scheduler import trace_dependencies
+
+        deps = trace_dependencies(
+            cols, device.address_map.words_per_subarray
+        )
+
+        is_mul = opcode == MUL_BYTE
+        profile_ns, profile_shift, profile_compute = _unique_profiles(
+            device, opcode, size
+        )
+        copy_ns, copy_read, copy_write = _copy_costs(device, size)
+        result_words = np.where(is_mul, 1, size)
+        result_ns, result_read, result_write = _copy_costs(
+            device, result_words
+        )
+
+        operand_copy = deps.remote >= 0
+        result_copy = compute & (deps.dest >= 0)
+        cross_tran = deps.uses_bus
+
+        # --------------------------------------------------------------
+        # Energy: per-command contributions are fully static; lay them
+        # out in the scalar executor's event order (operand copy,
+        # profile, result copy — three slots per command) and continue
+        # the running left-to-right reduction across chunks.
+        # --------------------------------------------------------------
+        read_contrib = np.zeros(3 * n)
+        write_contrib = np.zeros(3 * n)
+        shift_contrib = np.zeros(3 * n)
+        compute_contrib = np.zeros(3 * n)
+        slot0 = 3 * np.flatnonzero(operand_copy)
+        read_contrib[slot0] = copy_read[operand_copy]
+        write_contrib[slot0] = copy_write[operand_copy]
+        profiled = compute | ~cross_tran
+        slot1 = 3 * np.flatnonzero(profiled) + 1
+        shift_contrib[slot1] = profile_shift[profiled]
+        compute_contrib[slot1] = profile_compute[profiled]
+        slot1_cross = 3 * np.flatnonzero(cross_tran) + 1
+        read_contrib[slot1_cross] = copy_read[cross_tran]
+        write_contrib[slot1_cross] = copy_write[cross_tran]
+        slot2 = 3 * np.flatnonzero(result_copy) + 2
+        read_contrib[slot2] = result_read[result_copy]
+        write_contrib[slot2] = result_write[result_copy]
+        self._read_pj = _ordered_sum_carry(self._read_pj, read_contrib)
+        self._write_pj = _ordered_sum_carry(self._write_pj, write_contrib)
+        self._shift_pj = _ordered_sum_carry(self._shift_pj, shift_contrib)
+        self._compute_pj = _ordered_sum_carry(
+            self._compute_pj, compute_contrib
+        )
+
+        # --------------------------------------------------------------
+        # Busy-until scan: the only sequential dependence.  The decode
+        # clock continues from the global command index, and the busy
+        # map / bus clock persist on the state across chunks.
+        # --------------------------------------------------------------
+        decode_ns = device.config.vpc_decode_ns
+        ready_list = (
+            np.arange(
+                self.offset + 1, self.offset + n + 1, dtype=np.float64
+            )
+            * decode_ns
+        ).tolist()
+        busy = self._busy
+        busy_get = busy.get
+        bus_busy = self._bus_busy
+        finish_time = self._finish_time
+        start_append = self._span_start.append
+        finish_append = self._span_finish.append
+        rw_append = self._span_rw.append
+
+        for (
+            ready,
+            code,
+            home,
+            remote,
+            dest,
+            profile_dur,
+            copy_dur,
+            result_dur,
+            has_operand_copy,
+            has_result_copy,
+            is_cross,
+        ) in zip(
+            ready_list,
+            opcode.tolist(),
+            deps.home.tolist(),
+            deps.remote.tolist(),
+            deps.dest.tolist(),
+            profile_ns.tolist(),
+            copy_ns.tolist(),
+            result_ns.tolist(),
+            operand_copy.tolist(),
+            result_copy.tolist(),
+            cross_tran.tolist(),
+        ):
+            if code != TRAN_BYTE:
+                home_busy = busy_get(home, 0.0)
+                start = ready if ready > home_busy else home_busy
+                if has_operand_copy:
+                    remote_busy = busy_get(remote, 0.0)
+                    begin = start if start > remote_busy else remote_busy
+                    start = begin + copy_dur
+                    busy[remote] = start
+                    start_append(begin)
+                    finish_append(start)
+                    rw_append(True)
+                finish = start + profile_dur
+                busy[home] = finish
+                start_append(start)
+                finish_append(finish)
+                rw_append(False)
+                if has_result_copy:
+                    dest_busy = busy_get(dest, 0.0)
+                    begin = finish if finish > dest_busy else dest_busy
+                    finish = begin + result_dur
+                    busy[dest] = finish
+                    start_append(begin)
+                    finish_append(finish)
+                    rw_append(True)
+            elif not is_cross:
+                source_busy = busy_get(home, 0.0)
+                begin = ready if ready > source_busy else source_busy
+                finish = begin + profile_dur
+                busy[home] = finish
+                start_append(begin)
+                finish_append(finish)
+                rw_append(False)
+            else:
+                begin = bus_busy if bus_busy > ready else ready
+                source_busy = busy_get(home, 0.0)
+                if source_busy > begin:
+                    begin = source_busy
+                dest_busy = busy_get(dest, 0.0)
+                if dest_busy > begin:
+                    begin = dest_busy
+                finish = begin + copy_dur
+                bus_busy = finish
+                busy[home] = finish
+                busy[dest] = finish
+                start_append(begin)
+                finish_append(finish)
+                rw_append(True)
+            if finish > finish_time:
+                finish_time = finish
+
+        self._bus_busy = bus_busy
+        self._finish_time = finish_time
+
+        if self.functional:
+            if self.exact_apply or not _apply_functional_chunk(
+                device, cols
+            ):
+                if not self.exact_apply:
+                    self.fallbacks += 1
+                _apply_functional_columnar(
+                    device,
+                    cols,
+                    faults=self.faults,
+                    index_offset=self.offset,
+                )
+        self.offset += n
+        self.chunks_fed += 1
+
+    def finish(self) -> RunStats:
+        """Close the execution and assemble the final ``RunStats``.
+
+        Idempotent: subsequent calls return the same object.  The span
+        sink (when attached) receives the whole-trace
+        ``(starts, finishes, is_rw)`` triple here, exactly as the
+        phased path emits it.
+        """
+        if self._stats is not None:
+            return self._stats
+        stats = RunStats(
+            platform="StPIM",
+            workload=self.workload,
+            time_ns=self._finish_time,
+            time_breakdown=TimeBreakdown(),
+            energy=EnergyBreakdown(
+                read_pj=self._read_pj,
+                write_pj=self._write_pj,
+                shift_pj=self._shift_pj,
+                compute_pj=self._compute_pj,
+            ),
+        )
+        stats.bump("pim_vpcs", self.pim_vpcs)
+        stats.bump("move_vpcs", self.offset - self.pim_vpcs)
+        starts_array = np.array(self._span_start, dtype=np.float64)
+        finishes_array = np.array(self._span_finish, dtype=np.float64)
+        rw_array = np.array(self._span_rw, dtype=bool)
+        # sweep_spans globally sorts span edges, so it must see the
+        # whole span record at once — per-chunk sweeps would not merge
+        # intervals that straddle a chunk boundary identically.
+        stats.time_breakdown = sweep_spans(
+            starts_array, finishes_array, rw_array
+        )
+        if self.span_sink is not None:
+            self.span_sink.append(
+                (starts_array, finishes_array, rw_array)
+            )
+        if self.faults is not None:
+            stats.time_breakdown.add("recovery", self.faults.recovery_ns)
+            stats.energy.add("recovery", self.faults.recovery_pj)
+            stats.time_ns = self._finish_time + self.faults.recovery_ns
+        self._stats = stats
+        return stats
+
+
 def execute_columnar(
     device,
     cols: ColumnarTrace,
@@ -185,36 +540,13 @@ def execute_columnar(
     intervals the time sweep consumed, in emission order — so the
     observability layer (:mod:`repro.obs`) can batch-build named spans
     *after* the run without adding any per-event work here.
-    """
-    n = len(cols)
-    opcode = cols.opcode
-    src1 = cols.src1
-    src2 = cols.src2
-    des = cols.des
-    size = cols.size
-    compute = cols.is_compute
-    pim_vpcs = int(compute.sum())
 
-    # Fail fast on out-of-range addresses, matching the IndexError the
-    # scalar path's address decomposition raises (same first offender:
-    # lowest trace index, then the scalar's src1 -> src2 -> des order).
-    address_map = device.address_map
-    total_words = address_map.total_words
-    bad_src1 = (src1 < 0) | (src1 >= total_words)
-    bad_src2 = compute & ((src2 < 0) | (src2 >= total_words))
-    bad_des = (des < 0) | (des >= total_words)
-    bad_any = bad_src1 | bad_src2 | bad_des
-    if bad_any.any():
-        index = int(np.argmax(bad_any))
-        if bad_src1[index]:
-            value = int(src1[index])
-        elif bad_src2[index]:
-            value = int(src2[index])
-        else:
-            value = int(des[index])
-        raise IndexError(
-            f"address {value} out of range [0, {total_words})"
-        )
+    This is the phased path: one :class:`VectorExecState` fed the whole
+    trace as a single chunk, with the exact per-command functional loop
+    (never the monitored fast apply) — it stays the unchanged
+    bit-identity reference the streamed pipeline is tested against.
+    """
+    check_addresses(device, cols)
 
     if faults is not None and faults.abort_index is not None:
         # The scalar loop raises mid-trace with every earlier VPC
@@ -225,183 +557,16 @@ def execute_columnar(
             )
         raise faults.abort_error()
 
-    stats = RunStats(
-        platform="StPIM",
+    state = VectorExecState(
+        device,
         workload=workload,
-        time_ns=0.0,
-        time_breakdown=TimeBreakdown(),
-        energy=EnergyBreakdown(),
+        functional=functional,
+        faults=faults,
+        span_sink=span_sink,
+        exact_apply=True,
     )
-    stats.bump("pim_vpcs", pim_vpcs)
-    stats.bump("move_vpcs", n - pim_vpcs)
-    if n == 0:
-        if span_sink is not None:
-            empty = np.array([], dtype=np.float64)
-            span_sink.append(
-                (empty, empty.copy(), np.array([], dtype=bool))
-            )
-        return stats
-
-    # The scheduler's dependency relation names the resources each
-    # command serialises on; the busy-until scan below consumes those
-    # columns verbatim.  (Lazy import: core.device imports this module.)
-    from repro.core.scheduler import trace_dependencies
-
-    deps = trace_dependencies(cols, address_map.words_per_subarray)
-
-    is_mul = opcode == MUL_BYTE
-    profile_ns, profile_shift, profile_compute = _unique_profiles(
-        device, opcode, size
-    )
-    copy_ns, copy_read, copy_write = _copy_costs(device, size)
-    result_words = np.where(is_mul, 1, size)
-    result_ns, result_read, result_write = _copy_costs(
-        device, result_words
-    )
-
-    operand_copy = deps.remote >= 0
-    result_copy = compute & (deps.dest >= 0)
-    cross_tran = deps.uses_bus
-
-    # ------------------------------------------------------------------
-    # Energy: per-command contributions are fully static; lay them out
-    # in the scalar executor's event order (operand copy, profile,
-    # result copy — three slots per command) and reduce sequentially.
-    # ------------------------------------------------------------------
-    read_contrib = np.zeros(3 * n)
-    write_contrib = np.zeros(3 * n)
-    shift_contrib = np.zeros(3 * n)
-    compute_contrib = np.zeros(3 * n)
-    slot0 = 3 * np.flatnonzero(operand_copy)
-    read_contrib[slot0] = copy_read[operand_copy]
-    write_contrib[slot0] = copy_write[operand_copy]
-    profiled = compute | ~cross_tran
-    slot1 = 3 * np.flatnonzero(profiled) + 1
-    shift_contrib[slot1] = profile_shift[profiled]
-    compute_contrib[slot1] = profile_compute[profiled]
-    slot1_cross = 3 * np.flatnonzero(cross_tran) + 1
-    read_contrib[slot1_cross] = copy_read[cross_tran]
-    write_contrib[slot1_cross] = copy_write[cross_tran]
-    slot2 = 3 * np.flatnonzero(result_copy) + 2
-    read_contrib[slot2] = result_read[result_copy]
-    write_contrib[slot2] = result_write[result_copy]
-    stats.energy = EnergyBreakdown(
-        read_pj=_ordered_sum(read_contrib),
-        write_pj=_ordered_sum(write_contrib),
-        shift_pj=_ordered_sum(shift_contrib),
-        compute_pj=_ordered_sum(compute_contrib),
-    )
-
-    # ------------------------------------------------------------------
-    # Busy-until scan: the only sequential dependence.  Everything here
-    # is a plain-float replay of Resource.earliest_start/acquire over
-    # the precomputed columns.
-    # ------------------------------------------------------------------
-    decode_ns = device.config.vpc_decode_ns
-    ready_list = (np.arange(1, n + 1, dtype=np.float64) * decode_ns).tolist()
-    busy: Dict[int, float] = {}
-    busy_get = busy.get
-    bus_busy = 0.0
-    finish_time = 0.0
-    span_start: List[float] = []
-    span_finish: List[float] = []
-    span_rw: List[bool] = []
-    start_append = span_start.append
-    finish_append = span_finish.append
-    rw_append = span_rw.append
-
-    for (
-        ready,
-        code,
-        home,
-        remote,
-        dest,
-        profile_dur,
-        copy_dur,
-        result_dur,
-        has_operand_copy,
-        has_result_copy,
-        is_cross,
-    ) in zip(
-        ready_list,
-        opcode.tolist(),
-        deps.home.tolist(),
-        deps.remote.tolist(),
-        deps.dest.tolist(),
-        profile_ns.tolist(),
-        copy_ns.tolist(),
-        result_ns.tolist(),
-        operand_copy.tolist(),
-        result_copy.tolist(),
-        cross_tran.tolist(),
-    ):
-        if code != TRAN_BYTE:
-            home_busy = busy_get(home, 0.0)
-            start = ready if ready > home_busy else home_busy
-            if has_operand_copy:
-                remote_busy = busy_get(remote, 0.0)
-                begin = start if start > remote_busy else remote_busy
-                start = begin + copy_dur
-                busy[remote] = start
-                start_append(begin)
-                finish_append(start)
-                rw_append(True)
-            finish = start + profile_dur
-            busy[home] = finish
-            start_append(start)
-            finish_append(finish)
-            rw_append(False)
-            if has_result_copy:
-                dest_busy = busy_get(dest, 0.0)
-                begin = finish if finish > dest_busy else dest_busy
-                finish = begin + result_dur
-                busy[dest] = finish
-                start_append(begin)
-                finish_append(finish)
-                rw_append(True)
-        elif not is_cross:
-            source_busy = busy_get(home, 0.0)
-            begin = ready if ready > source_busy else source_busy
-            finish = begin + profile_dur
-            busy[home] = finish
-            start_append(begin)
-            finish_append(finish)
-            rw_append(False)
-        else:
-            begin = bus_busy if bus_busy > ready else ready
-            source_busy = busy_get(home, 0.0)
-            if source_busy > begin:
-                begin = source_busy
-            dest_busy = busy_get(dest, 0.0)
-            if dest_busy > begin:
-                begin = dest_busy
-            finish = begin + copy_dur
-            bus_busy = finish
-            busy[home] = finish
-            busy[dest] = finish
-            start_append(begin)
-            finish_append(finish)
-            rw_append(True)
-        if finish > finish_time:
-            finish_time = finish
-
-    stats.time_ns = finish_time
-    starts_array = np.array(span_start, dtype=np.float64)
-    finishes_array = np.array(span_finish, dtype=np.float64)
-    rw_array = np.array(span_rw, dtype=bool)
-    stats.time_breakdown = sweep_spans(
-        starts_array, finishes_array, rw_array
-    )
-    if span_sink is not None:
-        span_sink.append((starts_array, finishes_array, rw_array))
-    if faults is not None:
-        stats.time_breakdown.add("recovery", faults.recovery_ns)
-        stats.energy.add("recovery", faults.recovery_pj)
-        stats.time_ns = finish_time + faults.recovery_ns
-
-    if device._functional_enabled(functional):
-        _apply_functional_columnar(device, cols, faults=faults)
-    return stats
+    state.feed(cols, check=False)
+    return state.finish()
 
 
 # ----------------------------------------------------------------------
@@ -425,7 +590,7 @@ def _merge_ranges(
 
 
 def _apply_functional_columnar(
-    device, cols: ColumnarTrace, faults=None, limit=None
+    device, cols: ColumnarTrace, faults=None, limit=None, index_offset=0
 ) -> None:
     """Replay the trace's data movement on a compacted dense buffer.
 
@@ -439,6 +604,9 @@ def _apply_functional_columnar(
     drift indices (same rotation, same point in the apply sequence as
     the scalar hook); ``limit`` truncates the apply at an abort index so
     the flushed store matches the scalar loop's state when it raised.
+    ``index_offset`` is the global trace index of ``cols[0]`` when the
+    trace arrives as chunks — fault indices and diagnostics stay in
+    whole-trace terms.
     """
     n = len(cols)
     count = n if limit is None else min(limit, n)
@@ -516,7 +684,7 @@ def _apply_functional_columnar(
                 )
                 buffer[d : d + len(result)] = result
             if drift_map is not None:
-                drift = drift_map.get(i)
+                drift = drift_map.get(index_offset + i)
                 if drift:
                     span = des_len_list[i]
                     buffer[d : d + span] = faults.corrupt_values(
@@ -525,7 +693,7 @@ def _apply_functional_columnar(
     except ShiftError as exc:
         raise SimulationFault(
             f"shift escaped the nanowire model during replay: {exc}",
-            index=i,
+            index=index_offset + i,
         ) from exc
 
     written_starts, written_ends = _merge_ranges(
@@ -538,3 +706,120 @@ def _apply_functional_columnar(
         compact(written_starts).tolist(),
     ):
         write(start, buffer[base : base + (end - start)])
+
+
+def _apply_functional_chunk(device, cols: ColumnarTrace) -> bool:
+    """Monitored fast functional apply of one trace chunk.
+
+    Same compaction, seeding, and write-back as
+    :func:`_apply_functional_columnar`, but the per-command loop inlines
+    the processor arithmetic (``np.dot`` / ``+`` / scalar broadcast)
+    instead of calling ``RMProcessor.apply``, dropping its per-command
+    operand-range scans.  Soundness is restored by monitoring: the
+    seeded buffer is checked once for negatives, and every compute
+    result is mirrored into a flat monitor array checked once at the
+    end.  If both checks pass, no per-command operand check could have
+    fired — every value a command read was a non-negative seed or a
+    non-negative earlier result, and int64 arithmetic is exact — so the
+    buffer is bit-identical to the exact loop's and is flushed back.
+
+    Returns False *without touching the store* when a negative value
+    appears (seed or wrapped result): the caller replays the chunk
+    through the exact per-command loop, which reproduces the canonical
+    behaviour — including the exact ``ValueError`` at the exact first
+    offending command if one of its operands really is negative.
+    """
+    n = len(cols)
+    if n == 0:
+        return True
+    opcode = cols.opcode
+    src1 = cols.src1.astype(np.int64)
+    src2 = cols.src2.astype(np.int64)
+    des = cols.des.astype(np.int64)
+    size = cols.size.astype(np.int64)
+    compute = cols.is_compute
+    src1_len = np.where(opcode == SMUL_BYTE, 1, size)
+    des_len = np.where(opcode == MUL_BYTE, 1, size)
+
+    range_starts = np.concatenate((src1, src2[compute], des))
+    range_ends = np.concatenate(
+        (src1 + src1_len, (src2 + size)[compute], des + des_len)
+    )
+    segment_starts, segment_ends = _merge_ranges(range_starts, range_ends)
+    lengths = segment_ends - segment_starts
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    buffer = np.zeros(int(lengths.sum()), dtype=np.int64)
+
+    def compact(addresses: np.ndarray) -> np.ndarray:
+        index = np.searchsorted(segment_starts, addresses, side="right") - 1
+        return offsets[index] + (addresses - segment_starts[index])
+
+    stored = device.store._words
+    if stored:
+        keys = np.fromiter(stored.keys(), dtype=np.int64, count=len(stored))
+        values = np.fromiter(
+            stored.values(), dtype=np.int64, count=len(stored)
+        )
+        index = np.searchsorted(segment_starts, keys, side="right") - 1
+        inside = (index >= 0) & (keys < segment_ends[index])
+        buffer[compact(keys[inside])] = values[inside]
+
+    if bool((buffer < 0).any()):
+        return False
+
+    op_list = opcode.tolist()
+    a_list = compact(src1).tolist()
+    # src2 of TRAN rows is the no-operand sentinel, outside every
+    # segment; substitute src1 so compact() stays in range (the value is
+    # never used for TRAN rows).
+    b_list = compact(np.where(compute, src2, src1)).tolist()
+    d_list = compact(des).tolist()
+    size_list = size.tolist()
+
+    monitor = np.empty(int(des_len[compute].sum()), dtype=np.int64)
+    pos = 0
+    dot = np.dot
+    for i in range(n):
+        code = op_list[i]
+        words = size_list[i]
+        a = a_list[i]
+        d = d_list[i]
+        if code == TRAN_BYTE:
+            if a != d:
+                chunk = buffer[a : a + words]
+                if abs(a - d) < words:
+                    chunk = chunk.copy()
+                buffer[d : d + words] = chunk
+        elif code == MUL_BYTE:
+            result = dot(
+                buffer[a : a + words],
+                buffer[b_list[i] : b_list[i] + words],
+            )
+            buffer[d] = result
+            monitor[pos] = result
+            pos += 1
+        elif code == ADD_BYTE:
+            result = (
+                buffer[a : a + words]
+                + buffer[b_list[i] : b_list[i] + words]
+            )
+            buffer[d : d + words] = result
+            monitor[pos : pos + words] = result
+            pos += words
+        else:  # SMUL
+            result = buffer[a] * buffer[b_list[i] : b_list[i] + words]
+            buffer[d : d + words] = result
+            monitor[pos : pos + words] = result
+            pos += words
+    if pos and bool((monitor[:pos] < 0).any()):
+        return False
+
+    written_starts, written_ends = _merge_ranges(des, des + des_len)
+    write = device.store.write
+    for start, end, base in zip(
+        written_starts.tolist(),
+        written_ends.tolist(),
+        compact(written_starts).tolist(),
+    ):
+        write(start, buffer[base : base + (end - start)])
+    return True

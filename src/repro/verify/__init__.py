@@ -33,6 +33,7 @@ from repro.verify.diagnostics import (
 from repro.verify.lint import lint_paths, lint_source
 from repro.verify.trace_verifier import (
     DEFAULT_HAZARD_WINDOW,
+    StreamingTraceVerifier,
     TraceVerificationError,
     TraceVerifier,
     verify_trace,
@@ -54,6 +55,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "DEFAULT_HAZARD_WINDOW",
+    "StreamingTraceVerifier",
     "TraceVerificationError",
     "TraceVerifier",
     "verify_trace",

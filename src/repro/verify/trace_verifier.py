@@ -138,27 +138,52 @@ class TraceVerifier:
             self._operand_starts = [s[0] for s in self._operand_spans]
 
     # ------------------------------------------------------------------
-    def verify(self, trace, subject: str = "trace") -> VerifyReport:
-        """Run every enabled rule over ``trace``; never raises."""
-        report = VerifyReport(subject=subject)
-        suppressed = 0
+    def _make_emit(self, report: VerifyReport, suppressed: List[int]):
+        """Bounded diagnostic sink shared by one verification pass.
+
+        ``suppressed`` is a single-element mutable counter so streamed
+        verification can keep one sink (and one ``max_diagnostics``
+        budget) across many per-chunk scans.
+        """
 
         def emit(diagnostic: Diagnostic) -> None:
-            nonlocal suppressed
             if len(report.diagnostics) < self.max_diagnostics:
                 report.diagnostics.append(diagnostic)
             else:
-                suppressed += 1
+                suppressed[0] += 1
 
+        return emit
+
+    def verify(self, trace, subject: str = "trace") -> VerifyReport:
+        """Run every enabled rule over ``trace``; never raises."""
+        report = VerifyReport(subject=subject)
+        suppressed = [0]
+        emit = self._make_emit(report, suppressed)
         if self.plan is not None:
             for diagnostic in self._check_plan(self.plan):
                 emit(diagnostic)
+        self._scan_vpcs(trace, emit, 0, [])
+        report.suppressed = suppressed[0]
+        return report
+
+    def _scan_vpcs(
+        self,
+        trace,
+        emit,
+        offset: int,
+        recent: List[Tuple[int, List[_Interval], List[_Interval]]],
+    ) -> List[Tuple[int, List[_Interval], List[_Interval]]]:
+        """Per-VPC rule scan over one (chunk of a) trace.
+
+        ``offset`` is the global trace index of ``trace``'s first
+        command and ``recent`` the SPV004 hazard ring carried in from
+        the previous chunk — feeding a trace as consecutive chunks
+        through this scan emits exactly the diagnostics one whole-trace
+        scan emits.  Returns the ring to carry into the next chunk.
+        """
         total_words = self._total_words
         words_per_subarray = self._words_per_subarray
-        # Ring of recent compute VPCs for the hazard scan:
-        # (index, reads, writes).
-        recent: List[Tuple[int, List[_Interval], List[_Interval]]] = []
-        for index, vpc in enumerate(trace):
+        for index, vpc in enumerate(trace, start=offset):
             reads = _vpc_reads(vpc)
             writes = _vpc_writes(vpc)
             location = f"vpc #{index}"
@@ -233,8 +258,7 @@ class TraceVerifier:
                     for entry in recent
                     if index + 1 - entry[0] < self.hazard_window
                 ]
-        report.suppressed = suppressed
-        return report
+        return recent
 
     # ------------------------------------------------------------------
     def verify_columnar(self, cols, subject: str = "trace") -> VerifyReport:
@@ -251,11 +275,24 @@ class TraceVerifier:
         """
         if self.rules is None or not self.rules <= {"SPV001", "SPV007"}:
             return self.verify(cols, subject=subject)
+        report = VerifyReport(subject=subject)
+        suppressed = [0]
+        emit = self._make_emit(report, suppressed)
+        self._scan_columnar_fast(cols, emit, 0)
+        report.suppressed = suppressed[0]
+        return report
+
+    def _scan_columnar_fast(self, cols, emit, offset: int) -> None:
+        """Vectorized SPV001/SPV007 scan over one (chunk of a) trace.
+
+        ``offset`` is the global trace index of ``cols[0]``; emitted
+        diagnostics carry whole-trace indices, so per-chunk scans merge
+        into exactly the whole-trace result.
+        """
         import numpy as np
 
-        report = VerifyReport(subject=subject)
         if len(cols) == 0:
-            return report
+            return
         from repro.isa.columnar import MUL_BYTE, SMUL_BYTE
 
         total_words = self._total_words
@@ -281,19 +318,12 @@ class TraceVerifier:
             bad_segment = no_rows
         bad = bad_bounds | bad_segment
         if not bad.any():
-            return report
-        suppressed = 0
+            return
 
-        def emit(diagnostic: Diagnostic) -> None:
-            nonlocal suppressed
-            if len(report.diagnostics) < self.max_diagnostics:
-                report.diagnostics.append(diagnostic)
-            else:
-                suppressed += 1
-
-        for index in np.flatnonzero(bad).tolist():
-            vpc = cols[index]
-            if bad_bounds[index]:
+        for local in np.flatnonzero(bad).tolist():
+            vpc = cols[local]
+            index = offset + local
+            if bad_bounds[local]:
                 for start, end in _vpc_reads(vpc) + _vpc_writes(vpc):
                     if end <= total_words:
                         continue
@@ -306,7 +336,7 @@ class TraceVerifier:
                             index=index,
                         )
                     )
-            if bad_segment[index]:
+            if bad_segment[local]:
                 emit(
                     make_diagnostic(
                         "SPV007",
@@ -318,8 +348,6 @@ class TraceVerifier:
                         index=index,
                     )
                 )
-        report.suppressed = suppressed
-        return report
 
     # ------------------------------------------------------------------
     def _enabled(self, rule_id: str) -> bool:
@@ -468,6 +496,76 @@ class TraceVerifier:
                         f"matrices {n0!r} and {n1!r} both claim words "
                         f"[{s1}, {min(e0, e1)}) of subarray {key}",
                     )
+
+
+class StreamingTraceVerifier:
+    """Per-chunk verification with whole-trace-identical findings.
+
+    The streamed compile/execute pipeline verifies each
+    :class:`~repro.isa.columnar.ColumnarTrace` chunk before it
+    executes.  This wrapper keeps the cross-chunk state a whole-trace
+    :meth:`TraceVerifier.verify` pass would have had — one report, one
+    ``max_diagnostics`` budget, the global command index, and the
+    SPV004 hazard ring — so the merged findings after :meth:`finish`
+    are exactly (same diagnostics, same order, same suppressed count)
+    what one whole-trace ``verify``/``verify_columnar`` call over the
+    concatenated chunks produces.
+
+    Plan-level diagnostics (SPV005 placement spans are per-VPC; SPV006
+    double booking is plan-only) are emitted once, up front, matching
+    the whole-trace pass's plan-first ordering.  When the wrapped
+    verifier's rule set is within the vectorized subset
+    ({SPV001, SPV007}), each chunk is scanned with the bulk array fast
+    path, so the streamed pre-execution gate costs the same few array
+    comparisons per chunk as the phased gate.
+    """
+
+    def __init__(
+        self, verifier: TraceVerifier, subject: str = "trace"
+    ) -> None:
+        self.verifier = verifier
+        self.report = VerifyReport(subject=subject)
+        self._suppressed = [0]
+        self._emit = verifier._make_emit(self.report, self._suppressed)
+        self.offset = 0
+        self._recent: List[
+            Tuple[int, List[_Interval], List[_Interval]]
+        ] = []
+        self._finished = False
+        self._fast = verifier.rules is not None and verifier.rules <= {
+            "SPV001",
+            "SPV007",
+        }
+        if verifier.plan is not None:
+            for diagnostic in verifier._check_plan(verifier.plan):
+                self._emit(diagnostic)
+        self.report.suppressed = self._suppressed[0]
+
+    def feed(self, cols) -> VerifyReport:
+        """Verify the next chunk; returns the (running) report.
+
+        The report accumulates across chunks, so ``feed(...).ok()``
+        fails as soon as any chunk (or the plan) produced an error —
+        the streamed executor uses that to stop before executing a bad
+        chunk.
+        """
+        if self._finished:
+            raise RuntimeError("verification already finished")
+        if self._fast:
+            self.verifier._scan_columnar_fast(cols, self._emit, self.offset)
+        else:
+            self._recent = self.verifier._scan_vpcs(
+                cols, self._emit, self.offset, self._recent
+            )
+        self.offset += len(cols)
+        self.report.suppressed = self._suppressed[0]
+        return self.report
+
+    def finish(self) -> VerifyReport:
+        """Seal the pass and return the merged report."""
+        self._finished = True
+        self.report.suppressed = self._suppressed[0]
+        return self.report
 
 
 def verify_trace(

@@ -8,6 +8,12 @@ Two layers of evidence that ``TraceVerifier.verify`` and
 * hypothesis-generated traces seeded to trigger each of SPV001-SPV007
   must keep the two paths in lockstep on *dirty* traces too (the
   workload sweep only ever exercises the clean path).
+
+``StreamingTraceVerifier`` (the per-chunk gate of the streamed
+pipeline) is held to the same standard: feeding any chunking of a
+trace must reproduce the whole-trace ``verify_columnar`` report
+exactly — diagnostics, indices, and the suppression count — including
+SPV004 hazards that span a chunk boundary.
 """
 
 import pytest
@@ -43,13 +49,31 @@ SMALL_BUS = RMBusConfig(
 _SETTINGS = settings(max_examples=25, deadline=None)
 
 
+def _verify_streamed(verifier, cols, chunk, subject="trace"):
+    """Verify ``cols`` per-chunk through the streaming front-end."""
+    from repro.verify import StreamingTraceVerifier
+
+    streaming = StreamingTraceVerifier(verifier, subject=subject)
+    for start in range(0, len(cols), chunk):
+        streaming.feed(ColumnarTrace(cols.records[start : start + chunk]))
+    return streaming.finish()
+
+
 def assert_parity(trace, **verifier_kwargs):
-    """Both verifier entry points must agree exactly on ``trace``."""
+    """All verifier entry points must agree exactly on ``trace``."""
     verifier = TraceVerifier(geometry=GEOMETRY, **verifier_kwargs)
     scalar = verifier.verify(trace)
-    columnar = verifier.verify_columnar(ColumnarTrace.from_trace(trace))
+    cols = ColumnarTrace.from_trace(trace)
+    columnar = verifier.verify_columnar(cols)
     assert scalar.diagnostics == columnar.diagnostics
     assert scalar.suppressed == columnar.suppressed
+    # Any chunking of the same trace through the streaming verifier
+    # must merge to the identical report (chunk=1 forces every SPV004
+    # hazard window to straddle a chunk boundary).
+    for chunk in (1, 3):
+        streamed = _verify_streamed(verifier, cols, chunk)
+        assert streamed.diagnostics == columnar.diagnostics
+        assert streamed.suppressed == columnar.suppressed
     return scalar
 
 
@@ -202,6 +226,52 @@ class TestWorkloadDifferential:
         assert scalar.diagnostics == columnar.diagnostics
         assert scalar.suppressed == columnar.suppressed
         assert scalar.ok(strict=True), scalar.render(strict=True)
+
+    @pytest.mark.parametrize(
+        "spec", [s for _, s in _SPECS], ids=[n for n, _ in _SPECS]
+    )
+    def test_streamed_chunks_match_whole_trace(self, spec):
+        # The streamed pipeline's per-chunk SPV gate, merged, must
+        # equal the whole-trace report on every shipped workload.
+        task = spec.build_task()
+        trace = task.to_trace()
+        cols = (
+            trace
+            if isinstance(trace, ColumnarTrace)
+            else ColumnarTrace.from_trace(trace)
+        )
+        verifier = TraceVerifier(
+            geometry=task.device.config.geometry,
+            plan=task.placement_plan,
+        )
+        whole = verifier.verify_columnar(cols, subject=spec.name)
+        streamed = _verify_streamed(verifier, cols, 64, subject=spec.name)
+        assert streamed.diagnostics == whole.diagnostics
+        assert streamed.suppressed == whole.suppressed
+
+    @pytest.mark.parametrize(
+        "spec",
+        [s for n, s in _SPECS if n in ("gemm", "mvt")],
+        ids=[n for n, _ in _SPECS if n in ("gemm", "mvt")],
+    )
+    def test_streamed_fast_rule_subset_matches(self, spec):
+        # SPV001+SPV007 alone take the vectorized per-chunk scan in
+        # the streaming verifier; it must match the whole-trace result.
+        task = spec.build_task()
+        trace = task.to_trace()
+        cols = (
+            trace
+            if isinstance(trace, ColumnarTrace)
+            else ColumnarTrace.from_trace(trace)
+        )
+        verifier = TraceVerifier(
+            geometry=task.device.config.geometry,
+            rules=("SPV001", "SPV007"),
+        )
+        whole = verifier.verify_columnar(cols)
+        streamed = _verify_streamed(verifier, cols, 50)
+        assert streamed.diagnostics == whole.diagnostics
+        assert streamed.suppressed == whole.suppressed
 
     @pytest.mark.parametrize(
         "spec",

@@ -23,6 +23,15 @@ workload set through the content-addressed trace cache::
         --min-compile-speedup 5 --min-cache-speedup 20 \
         --out BENCH_trace_compile.json
 
+``--stream`` benchmarks the streamed compile/execute pipeline
+(``make bench-stream``): cold end-to-end (lowering + functional vector
+execution) phased vs streamed on gemm and the Fig. 17 PolyBench set,
+with bit-identity asserted on ``RunStats``, the concatenated trace,
+and the word store for every workload::
+
+    PYTHONPATH=src python tools/bench_trace_exec.py --stream \
+        --min-stream-speedup 1.15 --out BENCH_trace_stream.json
+
 ``--deep`` benchmarks the whole-trace dataflow analysis
 (``make bench-deep``): the SPV008–SPV012 pass over the ~93k-VPC gemm
 trace must finish well under one functional vector-engine execution of
@@ -393,6 +402,123 @@ def run_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _phased_cold(spec):
+    """One cold phased run: lower the whole trace, then execute it."""
+    t0 = time.perf_counter()
+    task = spec.build_task(seed=7)
+    trace = task.to_trace()
+    task.materialize()
+    stats = task.device.execute_trace(
+        trace, workload=spec.name, functional=True, engine="vector"
+    )
+    return time.perf_counter() - t0, task, trace, stats
+
+
+def _streamed_cold(spec, chunk_vpcs):
+    """One cold streamed run: chunks execute as lowering produces them."""
+    from repro.core.stream import run_stream, task_chunk_producer
+
+    t0 = time.perf_counter()
+    task = spec.build_task(seed=7)
+    result, telemetry = run_stream(
+        task.device,
+        task_chunk_producer(task, chunk_vpcs=chunk_vpcs),
+        workload=spec.name,
+        functional=True,
+    )
+    return time.perf_counter() - t0, task, result, telemetry
+
+
+def run_stream_bench(args: argparse.Namespace) -> int:
+    """Streamed-pipeline benchmark: cold end-to-end phased vs streamed
+    on gemm and the Fig. 17 set, with bit-identity asserted on stats,
+    trace bytes, and the word store."""
+    from repro.core.stream import DEFAULT_CHUNK_VPCS
+    from repro.workloads import POLYBENCH, polybench_workload
+
+    chunk_vpcs = args.chunk_vpcs or DEFAULT_CHUNK_VPCS
+    failures = []
+    per_workload = {}
+    phased_total = streamed_total = 0.0
+    fig17_names = [
+        name
+        for name in POLYBENCH
+        if polybench_workload(name, scale=args.stream_scale).build
+        is not None
+    ]
+    for name in fig17_names:
+        spec = polybench_workload(name, scale=args.stream_scale)
+        phased_s = math.inf
+        for _ in range(args.repeats):
+            elapsed, p_task, p_trace, p_stats = _phased_cold(spec)
+            phased_s = min(phased_s, elapsed)
+        streamed_s = math.inf
+        for _ in range(args.repeats):
+            elapsed, s_task, result, telemetry = _streamed_cold(
+                spec, chunk_vpcs
+            )
+            streamed_s = min(streamed_s, elapsed)
+        identical = (
+            p_stats == result.stats
+            and p_trace.to_bytes() == result.trace.to_bytes()
+            and p_task.device.store._words == s_task.device.store._words
+        )
+        if not identical:
+            failures.append(f"streamed run not bit-identical on {name}")
+        speedup = phased_s / streamed_s if streamed_s > 0 else float("inf")
+        phased_total += phased_s
+        streamed_total += streamed_s
+        per_workload[name] = {
+            "vpcs": len(p_trace),
+            "phased_s": round(phased_s, 4),
+            "streamed_s": round(streamed_s, 4),
+            "speedup": round(speedup, 2),
+            "chunks": telemetry.chunks,
+            "fallbacks": telemetry.fallbacks,
+            "identical": identical,
+        }
+        print(f"  {name:<12} {len(p_trace):>8,} VPCs  "
+              f"phased {phased_s:.3f}s  streamed {streamed_s:.3f}s  "
+              f"{speedup:.2f}x  ({telemetry.chunks} chunks)")
+    aggregate = (
+        phased_total / streamed_total
+        if streamed_total > 0
+        else float("inf")
+    )
+    print(f"stream: fig17 set @ scale {args.stream_scale}, "
+          f"chunk {chunk_vpcs}  phased {phased_total:.3f}s  "
+          f"streamed {streamed_total:.3f}s  aggregate {aggregate:.2f}x "
+          f"(floor {args.min_stream_speedup}x)")
+
+    result = {
+        "stream_scale": args.stream_scale,
+        "chunk_vpcs": chunk_vpcs,
+        "workloads": per_workload,
+        "phased_total_s": round(phased_total, 4),
+        "streamed_total_s": round(streamed_total, 4),
+        "stream_speedup": round(aggregate, 2),
+        "min_stream_speedup": args.min_stream_speedup,
+        "all_identical": all(
+            row["identical"] for row in per_workload.values()
+        ),
+    }
+    out = Path(args.out or "BENCH_trace_stream.json")
+    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if aggregate < args.min_stream_speedup:
+        failures.append(
+            f"stream speedup {aggregate:.2f}x below the "
+            f"{args.min_stream_speedup}x floor"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
 def run_deep(args: argparse.Namespace) -> int:
     """Deep-analysis benchmark: the dataflow pass must stay a small
     fraction of one functional vector-engine execution and the gemm
@@ -559,6 +685,32 @@ def main(argv=None) -> int:
         "differential gate",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="benchmark the streamed compile/execute pipeline (cold "
+        "end-to-end, phased vs streamed) instead of trace execution",
+    )
+    parser.add_argument(
+        "--stream-scale",
+        type=float,
+        default=0.1,
+        help="dataset scale of the fig17 set for the stream benchmark",
+    )
+    parser.add_argument(
+        "--min-stream-speedup",
+        type=float,
+        default=1.0,
+        help="fail if the streamed/phased cold end-to-end speedup "
+        "drops below this",
+    )
+    parser.add_argument(
+        "--chunk-vpcs",
+        type=int,
+        default=None,
+        help="records per streamed chunk (default: the pipeline's "
+        "DEFAULT_CHUNK_VPCS)",
+    )
+    parser.add_argument(
         "--deep",
         action="store_true",
         help="benchmark the whole-trace dataflow analysis "
@@ -587,6 +739,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.compile:
         return run_compile(args)
+    if args.stream:
+        return run_stream_bench(args)
     if args.deep:
         return run_deep(args)
     return run(args)
