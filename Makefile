@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check check-deep faults-smoke profile-smoke bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
+.PHONY: install test lint check check-deep faults-smoke profile-smoke serve-smoke bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -37,6 +37,14 @@ profile-smoke:
 	$(PYTHON) -m repro.cli profile gemm --scale 0.05 -o trace.json
 	$(PYTHON) tools/bench_trace_exec.py --vpcs 100000 \
 		--min-speedup 1.0 --max-obs-overhead 5
+
+# Resilience gate for the serving layer (docs/serving.md): baseline
+# load plus a chaos pass with 2 forced worker kills and slow-request
+# injection; asserts exactly-once responses, deadline adherence,
+# bit-identity with one-shot runs, and a clean drain.
+serve-smoke:
+	$(PYTHON) tools/bench_serve.py --chaos --requests 60 --threads 6 \
+		--crashes 2 --slow-fraction 0.08 $(SERVE_BENCH_FLAGS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -22,7 +22,12 @@ Subcommands:
 * ``repro-streampim lint`` — repository-invariant AST lint (``SPL``
   rules) over ``src/repro``;
 * ``repro-streampim cache stats|clear`` — inspect or empty the
-  content-addressed trace cache (``docs/compile_pipeline.md``).
+  content-addressed trace cache (``docs/compile_pipeline.md``);
+* ``repro-streampim serve`` — long-lived simulation service with a
+  supervised worker pool, deadlines/retries, admission control and
+  graceful drain (``docs/serving.md``);
+* ``repro-streampim client <method>`` — send one request to a running
+  service and print the JSON response.
 
 Commands that lower workloads to traces (``trace``, ``profile``,
 ``check``, ``faults``) serve repeat compilations from the trace cache;
@@ -47,25 +52,18 @@ from repro.workloads import (
     DNN_WORKLOADS,
     EXTRA_WORKLOADS,
     POLYBENCH,
-    dnn_workload,
     extra_workload,
     polybench_workload,
 )
 
 
 def _lookup_workload(name: str, scale: float):
-    if name in POLYBENCH:
-        return polybench_workload(name, scale=scale)
-    if name in DNN_WORKLOADS:
-        if scale != 1.0:
-            raise SystemExit("DNN workloads do not support --scale")
-        return dnn_workload(name)
-    if name in EXTRA_WORKLOADS:
-        return extra_workload(name, scale=scale)
-    raise SystemExit(
-        f"unknown workload {name!r}; choose from "
-        f"{sorted([*POLYBENCH, *DNN_WORKLOADS, *EXTRA_WORKLOADS])}"
-    )
+    from repro.workloads import find_workload
+
+    try:
+        return find_workload(name, scale=scale)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
 
 
 def _compile_spec(spec, args):
@@ -143,13 +141,45 @@ def _sweep_worker(job):
     return pname, wname, stats.time_ns, stats.energy.total_pj
 
 
-def _sweep_metrics(names, scale: float, jobs: int):
+class JobTimeout:
+    """Typed sweep-cell result: the job exceeded ``--job-timeout``.
+
+    Stored in the metrics map in place of the ``(time_ns, total_pj)``
+    tuple so the report can name the cell instead of the whole sweep
+    hanging on one stuck process.
+    """
+
+    __slots__ = ("platform", "workload", "timeout_s")
+
+    def __init__(self, platform: str, workload: str, timeout_s: float):
+        self.platform = platform
+        self.workload = workload
+        self.timeout_s = timeout_s
+
+    def __repr__(self) -> str:
+        return (
+            f"JobTimeout({self.platform}/{self.workload} "
+            f"> {self.timeout_s:g}s)"
+        )
+
+
+def _sweep_metrics(
+    names, scale: float, jobs: int, job_timeout: Optional[float] = None
+):
     """(time_ns, total_pj) per (platform, workload), optionally parallel.
 
     The (platform x workload) grid is embarrassingly parallel — every
     cell builds its own spec and platform, so with ``--jobs N`` the
     cells run in a process pool and results are identical to the
     sequential order (each cell is deterministic).
+
+    With ``job_timeout`` set, cells always run in a pool (even at
+    ``--jobs 1``) so a stuck cell can be abandoned: its slot in the
+    result map becomes a :class:`JobTimeout` and the pool is torn down
+    at the end, killing any still-hung process.  Waits are sequential,
+    so a cell queued behind a slow one gets its full budget only once
+    it is being waited on — the timeout bounds *additional* wait, not
+    queue time.
     """
     platform_names = list(default_platforms())
     jobs_list = [
@@ -157,33 +187,72 @@ def _sweep_metrics(names, scale: float, jobs: int):
         for pname in platform_names
         for wname in names
     ]
-    if jobs <= 1:
+    metrics = {}
+    if jobs <= 1 and job_timeout is None:
         results = [_sweep_worker(job) for job in jobs_list]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+        for pname, wname, time_ns, total_pj in results:
+            metrics[(pname, wname)] = (time_ns, total_pj)
+        return platform_names, metrics
+    import multiprocessing
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_sweep_worker, jobs_list))
-    return platform_names, {
-        (pname, wname): (time_ns, total_pj)
-        for pname, wname, time_ns, total_pj in results
-    }
+    with multiprocessing.Pool(processes=max(1, jobs)) as pool:
+        handles = [
+            (job, pool.apply_async(_sweep_worker, (job,)))
+            for job in jobs_list
+        ]
+        for (pname, wname, _), handle in handles:
+            try:
+                _, _, time_ns, total_pj = handle.get(timeout=job_timeout)
+                metrics[(pname, wname)] = (time_ns, total_pj)
+            except multiprocessing.TimeoutError:
+                metrics[(pname, wname)] = JobTimeout(
+                    pname, wname, job_timeout
+                )
+        # Pool.__exit__ terminates the workers, so a job that timed
+        # out cannot outlive the sweep.
+    return platform_names, metrics
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.stream or args.chunk_vpcs is not None:
+        print(
+            "warning: sweep uses the analytic platform models and "
+            "neither lowers nor executes traces; --stream/--chunk-vpcs "
+            "have no effect here",
+            file=sys.stderr,
+        )
     names = args.workloads or list(POLYBENCH)
     for name in names:
         _lookup_workload(name, args.scale)  # fail fast on bad names
-    platform_names, metrics = _sweep_metrics(names, args.scale, args.jobs)
+    platform_names, metrics = _sweep_metrics(
+        names, args.scale, args.jobs, job_timeout=args.job_timeout
+    )
+    timeouts = [
+        cell for cell in metrics.values() if isinstance(cell, JobTimeout)
+    ]
+
+    def _ok(pname, wname):
+        return not isinstance(metrics[(pname, wname)], JobTimeout)
+
     rows = []
     for pname in platform_names:
+        # A timed-out cell drops its workload from this platform's
+        # averages (the two ratio baselines must have finished too).
+        usable = [
+            w
+            for w in names
+            if _ok(pname, w) and _ok("CPU-RM", w) and _ok("StPIM", w)
+        ]
+        if not usable:
+            rows.append([pname, "timeout", "timeout"])
+            continue
         speedups = [
             metrics[("CPU-RM", w)][0] / metrics[(pname, w)][0]
-            for w in names
+            for w in usable
         ]
         energies = [
             metrics[(pname, w)][1] / metrics[("StPIM", w)][1]
-            for w in names
+            for w in usable
         ]
         rows.append(
             [
@@ -199,7 +268,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    return 0
+    for cell in timeouts:
+        print(
+            f"JobTimeout: {cell.platform}/{cell.workload} exceeded "
+            f"{cell.timeout_s:g}s and was killed; excluded from the "
+            f"averages above",
+            file=sys.stderr,
+        )
+    return 1 if timeouts else 0
 
 
 def _cmd_counts(_args: argparse.Namespace) -> int:
@@ -846,6 +922,80 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived simulation service (docs/serving.md)."""
+    from repro.serve import CoreConfig, RetryPolicy, ServeConfig, run_server
+
+    if args.socket is None and args.host is None:
+        raise SystemExit("serve needs --socket PATH or --host HOST")
+    core = CoreConfig(
+        queue_limit=args.queue_limit,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        default_deadline_s=args.default_deadline,
+        hang_grace_s=args.hang_grace,
+        max_redeliveries=args.max_redeliveries,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        enable_debug_methods=args.chaos,
+    )
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        core=core,
+        drain_timeout_s=args.drain_timeout,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    try:
+        return run_server(config)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Send one request to a running service and print the response."""
+    import json
+
+    from repro.serve import ServeClient, ServeClientError
+
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--params must be valid JSON: {exc}")
+        if not isinstance(params, dict):
+            raise SystemExit("--params must be a JSON object")
+    if args.workload is not None:
+        params.setdefault("workload", args.workload)
+    if args.platform is not None:
+        params.setdefault("platform", args.platform)
+    if args.scale is not None:
+        params.setdefault("scale", args.scale)
+    try:
+        with ServeClient(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            timeout_s=args.timeout,
+            tenant=args.tenant,
+        ) as client:
+            response = client.call(
+                args.method, params, deadline_ms=args.deadline_ms
+            )
+    except (ServeClientError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(response.to_dict(), indent=1, sort_keys=True))
+    if response.ok:
+        return 0
+    # Distinguish "try again later" from "this request will never
+    # work" in the exit status for scripting.
+    return 2 if response.error is not None and response.error.retryable else 1
+
+
 def _add_rule_filter_flags(cmd: argparse.ArgumentParser) -> None:
     """``--json``/``--select``/``--ignore`` on a diagnostics command.
 
@@ -946,6 +1096,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="run (platform, workload) pairs in N parallel processes",
+    )
+    sweep.add_argument(
+        "--job-timeout",
+        dest="job_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon any single (platform, workload) cell after this "
+        "many seconds: the cell is reported as JobTimeout and excluded "
+        "from the averages instead of hanging the sweep",
     )
     _add_cache_flags(
         sweep,
@@ -1185,6 +1345,146 @@ def build_parser() -> argparse.ArgumentParser:
 
     workloads = sub.add_parser("workloads", help="list available workloads")
     workloads.set_defaults(func=_cmd_workloads)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived simulation service over a unix socket / TCP",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket path"
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="TCP bind host (alternative to --socket)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker process count"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded accept queue; beyond it requests shed QUEUE_FULL",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=50.0,
+        help="per-tenant token refill rate (requests/second)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=100.0,
+        help="per-tenant token bucket capacity",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        help="deadline (seconds) for requests that set none",
+    )
+    serve.add_argument(
+        "--hang-grace",
+        type=float,
+        default=2.0,
+        help="seconds past its deadline an in-flight request may run "
+        "before its worker is presumed hung and killed",
+    )
+    serve.add_argument(
+        "--max-redeliveries",
+        type=int,
+        default=2,
+        help="crash redeliveries per request before DEAD_LETTER",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="total attempts per request for retryable failures",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive worker-killing failures that open a "
+        "workload class's circuit",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        help="seconds an open circuit waits before half-opening",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds accepted work may finish after SIGTERM/drain",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="honour x-crash/x-sleep/x-fault debug methods "
+        "(chaos benching only; never in production)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="trace cache directory workers compile into (default: "
+        "$REPRO_STREAMPIM_CACHE_DIR or ~/.cache/repro-streampim)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="send one request to a running service"
+    )
+    client.add_argument(
+        "method",
+        help="request method: run, compile, ping, stats, drain",
+    )
+    client.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket path"
+    )
+    client.add_argument("--host", default=None, help="TCP host")
+    client.add_argument("--port", type=int, default=0, help="TCP port")
+    client.add_argument(
+        "--workload", default=None, help="params.workload shorthand"
+    )
+    client.add_argument(
+        "--platform", default=None, help="params.platform shorthand"
+    )
+    client.add_argument(
+        "--scale", type=float, default=None, help="params.scale shorthand"
+    )
+    client.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="request params as a JSON object (merged under the "
+        "shorthand flags)",
+    )
+    client.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds",
+    )
+    client.add_argument(
+        "--tenant", default="default", help="admission tenant label"
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="socket timeout in seconds",
+    )
+    client.set_defaults(func=_cmd_client)
     return parser
 
 

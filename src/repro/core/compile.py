@@ -78,6 +78,29 @@ def workload_fingerprint(spec) -> list:
     ]
 
 
+def spec_cache_key(spec, config=None, seed: int = 7) -> str:
+    """Cache key of ``spec`` compiled under ``config`` — no task needed.
+
+    The same key :func:`task_cache_key` derives, but computed from a
+    device *config* alone (defaulting to the standard
+    :class:`~repro.core.device.StreamPIMConfig`), so the serving layer
+    can coalesce identical compile requests onto one in-flight
+    computation without paying a task build per request.
+    """
+    if config is None:
+        from repro.core.device import StreamPIMConfig
+
+        config = StreamPIMConfig()
+    return make_cache_key(
+        workload=spec.name,
+        ops=workload_fingerprint(spec),
+        seed=int(seed),
+        geometry=asdict(config.geometry),
+        scheduler_policy=config.scheduler_policy.value,
+        lowering_version=LOWERING_VERSION,
+    )
+
+
 def task_cache_key(
     spec,
     device: StreamPIMDevice,
@@ -91,15 +114,7 @@ def task_cache_key(
     the scheduler policy (which fixes placement policy and the disjoint
     result-set rule), and :data:`LOWERING_VERSION`.
     """
-    config = device.config
-    return make_cache_key(
-        workload=spec.name,
-        ops=workload_fingerprint(spec),
-        seed=int(seed),
-        geometry=asdict(config.geometry),
-        scheduler_policy=config.scheduler_policy.value,
-        lowering_version=LOWERING_VERSION,
-    )
+    return spec_cache_key(spec, device.config, seed=seed)
 
 
 def _restore_trace_state(task: PimTask, aux: Dict[str, object]) -> bool:
@@ -148,6 +163,7 @@ def compile_workload(
     cache_dir: Union[str, Path, None] = None,
     use_cache: bool = True,
     deep_verify: bool = False,
+    inflight: Optional[object] = None,
 ) -> CompiledWorkload:
     """Build ``spec``'s task and obtain its trace, cached when possible.
 
@@ -166,6 +182,10 @@ def compile_workload(
             (:mod:`repro.verify.dataflow`) over the compiled or loaded
             trace and attach the report as ``deep_report``.  Findings do
             not raise here; callers gate on ``deep_report.ok()``.
+        inflight: optional
+            :class:`~repro.isa.trace_cache.InflightTracker`; cache
+            misses are marked while compiling so a crash mid-compile is
+            observable (and cleaned up) by the serving supervisor.
     """
     task = spec.build_task(device, seed=seed)
     subject = f"workload {spec.name}"
@@ -190,25 +210,31 @@ def compile_workload(
         if deep_verify:
             _deep_verify(compiled, subject)
         return compiled
-    trace = task.to_trace()
-    aux = {
-        "plan": task.placement_plan.to_dict(),
-        "scalar_slots": {
-            str(address): name
-            for address, name in task._trace_scalar_slots.items()
-        },
-    }
-    cache.put(
-        key,
-        trace,
-        aux=aux,
-        provenance={
-            "workload": spec.name,
-            "seed": int(seed),
-            "lowering_version": LOWERING_VERSION,
-            "commands": len(trace),
-        },
-    )
+    if inflight is not None:
+        inflight.mark(key)
+    try:
+        trace = task.to_trace()
+        aux = {
+            "plan": task.placement_plan.to_dict(),
+            "scalar_slots": {
+                str(address): name
+                for address, name in task._trace_scalar_slots.items()
+            },
+        }
+        cache.put(
+            key,
+            trace,
+            aux=aux,
+            provenance={
+                "workload": spec.name,
+                "seed": int(seed),
+                "lowering_version": LOWERING_VERSION,
+                "commands": len(trace),
+            },
+        )
+    finally:
+        if inflight is not None:
+            inflight.clear(key)
     compiled = CompiledWorkload(
         task=task, trace=trace, cache_key=key, cache_hit=False
     )

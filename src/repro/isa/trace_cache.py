@@ -90,6 +90,126 @@ def make_cache_key(**fields: object) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+class InflightTracker:
+    """Crash-safe record of compiles currently in flight.
+
+    Long-lived serving needs to know which cache keys are being
+    compiled *right now* — both for observability and so a worker
+    crash mid-compile cannot poison future runs.  Each in-flight
+    compile drops a marker file (``inflight/<key>.json`` with the
+    owner's pid and start time, written atomically); the marker is
+    removed when the compile finishes, successfully or not.
+
+    Crash safety is structural: a marker whose owner pid is dead (or
+    which is older than ``max_age_s``) is *stale* and is deleted on
+    the next scan, so a killed worker leaves no permanent residue and
+    never blocks anything — markers are advisory, correctness still
+    comes from the cache's atomic entry writes.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        max_age_s: float = 3600.0,
+    ) -> None:
+        root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.inflight_dir = root / "inflight"
+        if max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive, got {max_age_s}")
+        self.max_age_s = max_age_s
+
+    def _marker_path(self, key: str) -> Path:
+        return self.inflight_dir / f"{key}.json"
+
+    def mark(self, key: str) -> Path:
+        """Record ``key`` as in flight by this process (atomic write)."""
+        import time
+
+        path = self._marker_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"key": key, "pid": os.getpid(), "started": time.time()},
+            sort_keys=True,
+        ).encode("utf-8")
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self, key: str) -> None:
+        """Remove ``key``'s marker (compile finished or gave up)."""
+        try:
+            self._marker_path(key).unlink()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):
+            return True
+        return True
+
+    def active(self) -> Dict[str, Dict[str, object]]:
+        """Live in-flight markers, pruning stale ones as a side effect.
+
+        Stale = owner pid no longer running, or marker older than
+        ``max_age_s``, or the marker file itself is unreadable (a
+        crash mid-write) — all are deleted, never raised.
+        """
+        import time
+
+        now = time.time()
+        live: Dict[str, Dict[str, object]] = {}
+        if not self.inflight_dir.is_dir():
+            return live
+        for path in sorted(self.inflight_dir.glob("*.json")):
+            stale = False
+            info: Dict[str, object] = {}
+            try:
+                data = json.loads(path.read_text("utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                data = None
+            if not isinstance(data, dict):
+                stale = True
+            else:
+                pid = data.get("pid")
+                started = data.get("started")
+                if not isinstance(pid, int) or not self._pid_alive(pid):
+                    stale = True
+                elif (
+                    isinstance(started, (int, float))
+                    and now - started > self.max_age_s
+                ):
+                    stale = True
+                else:
+                    info = {"pid": pid, "started": started}
+            if stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            live[path.stem] = info
+        return live
+
+    def is_inflight(self, key: str) -> bool:
+        return key in self.active()
+
+
 @dataclass
 class CacheEntry:
     """One loaded cache entry: the trace plus its attached metadata."""
@@ -335,17 +455,61 @@ class TraceCache:
         return self.cache_dir / "stats.json"
 
     def _read_stats(self) -> Dict[str, int]:
+        """Load the persistent counters, tolerating a damaged file.
+
+        A truncated, corrupt, or wrong-shaped ``stats.json`` (a crash
+        mid-write on a filesystem without atomic replace, a partial
+        copy, manual editing) is treated as *zero counters* and
+        atomically regenerated — it must never raise into a caller
+        that only wanted to compile a trace.
+        """
         counters = {name: 0 for name in _STATS_FIELDS}
+        path = self._stats_path()
         try:
-            data = json.loads(self._stats_path().read_text("utf-8"))
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            raw = path.read_bytes()
+        except OSError:
             return counters
+        damaged = False
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = None
+            damaged = True
         if isinstance(data, dict):
             for name in _STATS_FIELDS:
                 value = data.get(name)
                 if isinstance(value, int) and value >= 0:
                     counters[name] = value
+                elif name in data:
+                    damaged = True
+        elif data is not None:
+            damaged = True
+        if damaged:
+            # Regenerate a clean file so the damage is not re-read on
+            # every future stats bump.
+            self._write_stats(counters)
         return counters
+
+    def _write_stats(self, counters: Dict[str, int]) -> None:
+        """Atomically replace ``stats.json`` (write-temp + replace)."""
+        temp_name = None
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".stats.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(counters, handle, sort_keys=True)
+            os.replace(temp_name, self._stats_path())
+            temp_name = None
+        except OSError:
+            pass
+        finally:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
 
     def _bump_stats(self, increments: Dict[str, int]) -> None:
         # Best-effort cross-process counters: read-modify-write with an
@@ -355,13 +519,4 @@ class TraceCache:
         counters = self._read_stats()
         for name, amount in increments.items():
             counters[name] = counters.get(name, 0) + amount
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=self.cache_dir, prefix=".stats.", suffix=".tmp"
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(counters, handle, sort_keys=True)
-            os.replace(temp_name, self._stats_path())
-        except OSError:
-            return
+        self._write_stats(counters)

@@ -93,6 +93,24 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Linear-interpolated ``q``-th percentile (q in [0, 100]).
+
+        Exact over everything observed (the histogram keeps its
+        samples), which is what the serving layer's p50/p99 latency
+        gates need; None before the first observation.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
 
 class MetricsRegistry:
     """Memoising name -> metric map with a text/JSON summary."""
@@ -211,6 +229,9 @@ class _NullMetric:
         return None
 
     def observe_many(self, values: Iterable[Number]) -> None:
+        return None
+
+    def percentile(self, q: float) -> None:
         return None
 
 

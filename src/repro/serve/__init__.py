@@ -1,0 +1,87 @@
+"""Resilient long-lived simulation service (``repro-streampim serve``).
+
+The serving layer on top of the one-shot toolkit: a persistent asyncio
+server with a supervised multiprocess worker pool, whose *failure
+behaviour* is the contract — per-request deadlines with cooperative
+cancellation, bounded retry with backoff for transient failures,
+crash redelivery with a dead-letter bound, per-tenant token-bucket
+admission over a bounded queue, compile coalescing on the trace-cache
+content hash, per-workload-class circuit breaking, and graceful drain
+on SIGTERM.  See ``docs/serving.md`` for the protocol and the failure
+semantics table.
+
+Layering::
+
+    protocol   wire format, typed error codes, retryability
+    retry      backoff + circuit-breaker state machines (pure)
+    admission  token buckets + bounded-queue gate (pure)
+    core       THE state machine: deadlines/retries/redelivery/
+               coalescing/drain; no I/O, no clock (pure)
+    supervisor worker processes, heartbeats, kill/respawn
+    server     asyncio shell executing the core's actions
+    client     blocking socket client
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.core import (
+    CoreConfig,
+    Dispatch,
+    KillWorker,
+    Respond,
+    ServiceCore,
+)
+from repro.serve.protocol import (
+    CLIENT_RETRYABLE,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    ServeError,
+    parse_request,
+    parse_response,
+)
+from repro.serve.retry import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.serve.server import (
+    ServeConfig,
+    SimulationServer,
+    request_coalesce_key,
+    run_server,
+)
+from repro.serve.supervisor import WorkerOptions, WorkerPool, execute_request
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "ServeClient",
+    "ServeClientError",
+    "CoreConfig",
+    "ServiceCore",
+    "Respond",
+    "Dispatch",
+    "KillWorker",
+    "ErrorCode",
+    "CLIENT_RETRYABLE",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServeError",
+    "parse_request",
+    "parse_response",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerState",
+    "ServeConfig",
+    "SimulationServer",
+    "request_coalesce_key",
+    "run_server",
+    "WorkerPool",
+    "WorkerOptions",
+    "execute_request",
+]

@@ -1,0 +1,710 @@
+"""The service core: a pure state machine over requests and workers.
+
+Everything that makes the service *robust* lives here — admission,
+deadlines, bounded retry with backoff, crash redelivery with a
+dead-letter bound, request coalescing, circuit breaking, drain — as a
+single deterministic state machine with **no I/O, no clock, no
+randomness**.  The asyncio server (:mod:`repro.serve.server`)
+translates real events (socket lines, worker pipe messages, process
+exits, timer ticks) into calls on this class and executes the returned
+:class:`Action` list; property tests drive the same calls with a
+virtual clock and assert the exactly-once contract over arbitrary
+interleavings.
+
+Invariants the core maintains (and tests assert):
+
+* every submitted request is answered **exactly once** — with a result
+  or a typed :class:`~repro.serve.protocol.ErrorCode` — no matter how
+  worker deaths, deadline expiries, retries and drain interleave;
+* a request past its deadline is never dispatched, and an in-flight
+  request past ``deadline + hang_grace`` gets its worker killed and a
+  ``DEADLINE_EXCEEDED`` answer;
+* a crashed worker's request is redelivered at most
+  ``max_redeliveries`` times, then answered with ``DEAD_LETTER``;
+* coalesced followers never run — they share their leader's result,
+  keep their own deadlines, and are promoted to leader if the leader
+  fails terminally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import (
+    DEBUG_METHODS,
+    WORKER_METHODS,
+    ErrorCode,
+    Request,
+    Response,
+    ServeError,
+)
+from repro.serve.retry import BreakerBoard, RetryPolicy
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Tuning knobs of the service core (all durations in seconds)."""
+
+    queue_limit: int = 64
+    tenant_rate: float = 50.0
+    tenant_burst: float = 100.0
+    default_deadline_s: float = 30.0
+    max_deadline_s: float = 300.0
+    #: Extra time an in-flight request may run past its deadline before
+    #: the worker is presumed hung and killed (cooperative cancellation
+    #: should have returned ``DEADLINE_EXCEEDED`` long before this).
+    hang_grace_s: float = 2.0
+    #: Crash redeliveries per request before it dead-letters.
+    max_redeliveries: int = 2
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    #: Honour chaos/debug methods (``x-crash``/``x-sleep``/``x-fault``).
+    enable_debug_methods: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.tenant_rate <= 0 or self.tenant_burst <= 0:
+            raise ValueError(
+                "tenant_rate and tenant_burst must be positive, got "
+                f"{self.tenant_rate}/{self.tenant_burst}"
+            )
+        if not 0 < self.default_deadline_s <= self.max_deadline_s:
+            raise ValueError(
+                "need 0 < default_deadline_s <= max_deadline_s, got "
+                f"{self.default_deadline_s}/{self.max_deadline_s}"
+            )
+        if self.hang_grace_s < 0:
+            raise ValueError(
+                f"hang_grace_s must be >= 0, got {self.hang_grace_s}"
+            )
+        if self.max_redeliveries < 0:
+            raise ValueError(
+                f"max_redeliveries must be >= 0, got "
+                f"{self.max_redeliveries}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                f"breaker_failure_threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be positive, got "
+                f"{self.breaker_cooldown_s}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Actions the surrounding I/O layer executes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Respond:
+    """Deliver ``response`` to the client that sent ``request``."""
+
+    response: Response
+    tenant: str = "default"
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Send ``message`` to worker ``worker_id``."""
+
+    worker_id: str
+    message: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Forcibly terminate a worker (hang / overdue in-flight work)."""
+
+    worker_id: str
+    reason: str
+
+
+Action = object
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one accepted, not-yet-answered request."""
+
+    request: Request
+    submitted_at: float
+    deadline: float
+    coalesce_key: Optional[str] = None
+    leader_id: Optional[str] = None  # set on coalesced followers
+    attempts: int = 0  # dispatches performed
+    redeliveries: int = 0  # crash-caused re-queues
+    not_before: float = 0.0  # backoff gate
+
+
+class ServiceCore:
+    """Deterministic request/worker state machine (see module doc)."""
+
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or CoreConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.admission = AdmissionController(
+            queue_limit=self.config.queue_limit,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst,
+        )
+        self.breakers = BreakerBoard(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.retry = self.config.retry
+        self.draining = False
+
+        self._pending: Dict[str, _Pending] = {}
+        self._queue: Deque[str] = deque()
+        self._delayed: List[Tuple[float, int, str]] = []  # heap
+        self._delayed_seq = 0
+        self._inflight: Dict[str, str] = {}  # worker -> request id
+        self._idle: "OrderedDict[str, None]" = OrderedDict()
+        self._doomed: set = set()  # killed workers whose exit is pending
+        self._responded: Dict[str, str] = {}  # request id -> outcome
+        self._leaders: Dict[str, str] = {}  # coalesce key -> leader id
+        self._followers: Dict[str, List[str]] = {}  # leader -> followers
+        self.dead_letters: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Accepted-but-unstarted requests (queued + in backoff)."""
+        return len(self._queue) + len(self._delayed)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def unresolved_count(self) -> int:
+        return len(self._pending)
+
+    def is_quiescent(self) -> bool:
+        """No accepted work left anywhere (drain can complete)."""
+        return not self._pending
+
+    def outcome(self, request_id: str) -> Optional[str]:
+        """How ``request_id`` was answered ("ok" or an error code)."""
+        return self._responded.get(request_id)
+
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """Operational state for the ``stats`` control method."""
+        return {
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight_count,
+            "idle_workers": len(self._idle),
+            "draining": self.draining,
+            "responded": len(self._responded),
+            "dead_letters": len(self.dead_letters),
+            "admission": self.admission.snapshot(now),
+            "breakers": self.breakers.snapshot(now),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker roster
+    # ------------------------------------------------------------------
+    def register_worker(self, worker_id: str, now: float) -> List[Action]:
+        """A (re)spawned worker is ready for dispatch."""
+        self._doomed.discard(worker_id)
+        self._idle[worker_id] = None
+        return self._dispatch_ready(now)
+
+    def worker_exit(
+        self, worker_id: str, now: float, reason: str = "crash"
+    ) -> List[Action]:
+        """A worker died (crash, hang kill, or deliberate kill).
+
+        If it held an in-flight request the request is re-queued with
+        backoff, up to ``max_redeliveries``, after which it is answered
+        with ``DEAD_LETTER`` and recorded in :attr:`dead_letters`.
+        """
+        actions: List[Action] = []
+        self._idle.pop(worker_id, None)
+        was_doomed = worker_id in self._doomed
+        self._doomed.discard(worker_id)
+        request_id = self._inflight.pop(worker_id, None)
+        if request_id is None or request_id not in self._pending:
+            return actions
+        pending = self._pending[request_id]
+        if not was_doomed:
+            # Unexpected death while holding work: breaker food.
+            self.breakers.breaker(
+                pending.request.workload_class
+            ).record_failure(now)
+        self.registry.counter("serve.worker.lost_inflight").inc()
+        pending.redeliveries += 1
+        if pending.redeliveries > self.config.max_redeliveries:
+            record = {
+                "request_id": request_id,
+                "method": pending.request.method,
+                "workload_class": pending.request.workload_class,
+                "redeliveries": pending.redeliveries - 1,
+                "last_worker": worker_id,
+                "reason": reason,
+            }
+            self.dead_letters.append(record)
+            self.registry.counter("serve.dead_letters").inc()
+            actions.extend(
+                self._respond_error(
+                    request_id,
+                    ErrorCode.DEAD_LETTER,
+                    f"request redelivered "
+                    f"{pending.redeliveries - 1} time(s) after worker "
+                    f"{reason}; giving up",
+                    now,
+                    detail=record,
+                )
+            )
+            return actions
+        self.registry.counter("serve.redeliveries").inc()
+        self._schedule_retry(pending, now)
+        return actions
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Request,
+        now: float,
+        coalesce_key: Optional[str] = None,
+    ) -> List[Action]:
+        """Accept, coalesce, or fast-reject one request."""
+        self.registry.counter("serve.requests.submitted").inc()
+        if request.id in self._pending or request.id in self._responded:
+            # A duplicate id would break response correlation; reject
+            # the duplicate without touching the original.
+            return [
+                Respond(
+                    Response.failure(
+                        request.id,
+                        ServeError(
+                            ErrorCode.INVALID_REQUEST,
+                            f"duplicate request id {request.id!r}",
+                        ),
+                    ),
+                    tenant=request.tenant,
+                )
+            ]
+        if self.draining:
+            return self._reject(
+                request, ErrorCode.DRAINING, "service is draining", now
+            )
+        allowed = WORKER_METHODS | (
+            DEBUG_METHODS if self.config.enable_debug_methods else frozenset()
+        )
+        if request.method not in allowed:
+            return self._reject(
+                request,
+                ErrorCode.UNKNOWN_METHOD,
+                f"unknown method {request.method!r}",
+                now,
+            )
+        breaker = self.breakers.breaker(request.workload_class)
+        if not breaker.allow(now):
+            self.registry.counter("serve.breaker.rejected").inc()
+            return self._reject(
+                request,
+                ErrorCode.CIRCUIT_OPEN,
+                f"circuit open for {request.workload_class!r}",
+                now,
+            )
+        code = self.admission.admit(request.tenant, self.queue_depth, now)
+        if code is not None:
+            self.registry.counter("serve.admission.rejected").inc()
+            self.registry.counter(
+                f"serve.admission.rejected.{code.value.lower()}"
+            ).inc()
+            return self._reject(
+                request, code, f"admission rejected: {code.value}", now
+            )
+
+        deadline_s = (
+            min(request.deadline_ms / 1000.0, self.config.max_deadline_s)
+            if request.deadline_ms is not None
+            else self.config.default_deadline_s
+        )
+        pending = _Pending(
+            request=request,
+            submitted_at=now,
+            deadline=now + deadline_s,
+            coalesce_key=coalesce_key,
+        )
+        self._pending[request.id] = pending
+
+        if coalesce_key is not None:
+            leader_id = self._leaders.get(coalesce_key)
+            if leader_id is not None and leader_id in self._pending:
+                pending.leader_id = leader_id
+                self._followers.setdefault(leader_id, []).append(
+                    request.id
+                )
+                self.registry.counter("serve.coalesced").inc()
+                return []
+            self._leaders[coalesce_key] = request.id
+
+        self._queue.append(request.id)
+        self._gauges()
+        return self._dispatch_ready(now)
+
+    # ------------------------------------------------------------------
+    # Worker messages
+    # ------------------------------------------------------------------
+    def worker_result(
+        self,
+        worker_id: str,
+        request_id: str,
+        payload: Dict[str, object],
+        now: float,
+    ) -> List[Action]:
+        """A worker finished a request (successfully or not).
+
+        ``payload`` is the worker's ``{"ok": bool, ...}`` envelope.
+        Results for already-answered requests (deadline fired first,
+        worker was being killed) are dropped — exactly-once wins.
+        """
+        actions: List[Action] = []
+        if self._inflight.get(worker_id) == request_id:
+            del self._inflight[worker_id]
+            if worker_id not in self._doomed:
+                self._idle[worker_id] = None
+        pending = self._pending.get(request_id)
+        if pending is None:
+            self.registry.counter("serve.responses.stale_dropped").inc()
+            actions.extend(self._dispatch_ready(now))
+            return actions
+        breaker = self.breakers.breaker(pending.request.workload_class)
+        if payload.get("ok"):
+            # Any completed round-trip proves the worker healthy, so
+            # the breaker heals even on typed failures below.
+            breaker.record_success(now)
+            result = payload.get("result")
+            actions.extend(
+                self._respond_success(
+                    request_id,
+                    result if isinstance(result, dict) else {},
+                    now,
+                )
+            )
+        else:
+            breaker.record_success(now)
+            try:
+                code = ErrorCode(payload.get("code"))
+            except ValueError:
+                code = ErrorCode.INTERNAL
+            message = str(payload.get("message", code.value))
+            if (
+                self.retry.is_retryable(code)
+                and pending.attempts < self.retry.max_attempts
+            ):
+                self.registry.counter("serve.retries").inc()
+                self._schedule_retry(pending, now)
+            else:
+                actions.extend(
+                    self._respond_error(request_id, code, message, now)
+                )
+        actions.extend(self._dispatch_ready(now))
+        return actions
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> List[Action]:
+        """Advance time: expire deadlines, release backoffs, dispatch."""
+        actions: List[Action] = []
+        # Backoffs that have matured re-enter the queue.
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, request_id = heapq.heappop(self._delayed)
+            if request_id in self._pending:
+                self._queue.append(request_id)
+        # Queued/followed requests past their deadline fail fast.
+        for request_id in [
+            rid
+            for rid, p in self._pending.items()
+            if p.deadline <= now and rid not in self._responded
+        ]:
+            pending = self._pending.get(request_id)
+            if pending is None:
+                continue
+            holder = self._worker_of(request_id)
+            if holder is None:
+                self.registry.counter("serve.deadline.expired_queued").inc()
+                actions.extend(
+                    self._respond_error(
+                        request_id,
+                        ErrorCode.DEADLINE_EXCEEDED,
+                        "deadline expired before execution finished",
+                        now,
+                    )
+                )
+            elif pending.deadline + self.config.hang_grace_s <= now:
+                # In-flight and overdue past the grace window: the
+                # worker missed cooperative cancellation — presume it
+                # hung, kill it, answer the client now.
+                self.registry.counter("serve.worker.hang_kills").inc()
+                self.breakers.breaker(
+                    pending.request.workload_class
+                ).record_failure(now)
+                del self._inflight[holder]
+                self._idle.pop(holder, None)
+                self._doomed.add(holder)
+                actions.append(
+                    KillWorker(holder, reason="deadline+grace exceeded")
+                )
+                actions.extend(
+                    self._respond_error(
+                        request_id,
+                        ErrorCode.DEADLINE_EXCEEDED,
+                        "deadline and hang grace expired in flight; "
+                        "worker killed",
+                        now,
+                    )
+                )
+        actions.extend(self._dispatch_ready(now))
+        return actions
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def begin_drain(self, now: float) -> None:
+        """Refuse new requests; accepted work keeps running."""
+        self.draining = True
+        self.registry.counter("serve.drain.begun").inc()
+
+    def abort_remaining(self, now: float) -> List[Action]:
+        """Drain deadline passed: answer everything still unresolved."""
+        actions: List[Action] = []
+        for worker_id in list(self._inflight):
+            self._doomed.add(worker_id)
+            actions.append(KillWorker(worker_id, reason="drain deadline"))
+            del self._inflight[worker_id]
+        for request_id in list(self._pending):
+            actions.extend(
+                self._respond_error(
+                    request_id,
+                    ErrorCode.DRAINING,
+                    "service shut down before the request finished",
+                    now,
+                )
+            )
+        self._queue.clear()
+        self._delayed.clear()
+        self._gauges()
+        return actions
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _worker_of(self, request_id: str) -> Optional[str]:
+        for worker_id, held in self._inflight.items():
+            if held == request_id:
+                return worker_id
+        return None
+
+    def _reject(
+        self, request: Request, code: ErrorCode, message: str, now: float
+    ) -> List[Action]:
+        """Immediate typed rejection of a never-accepted request."""
+        self._responded[request.id] = code.value
+        self.registry.counter(
+            f"serve.responses.error.{code.value.lower()}"
+        ).inc()
+        return [
+            Respond(
+                Response.failure(request.id, ServeError(code, message)),
+                tenant=request.tenant,
+            )
+        ]
+
+    def _schedule_retry(self, pending: _Pending, now: float) -> None:
+        delay = self.retry.delay(
+            max(1, pending.attempts), key=pending.request.id
+        )
+        pending.not_before = now + delay
+        self._delayed_seq += 1
+        heapq.heappush(
+            self._delayed,
+            (pending.not_before, self._delayed_seq, pending.request.id),
+        )
+        self._gauges()
+
+    def _dispatch_ready(self, now: float) -> List[Action]:
+        """Pair idle workers with dispatchable queued requests."""
+        actions: List[Action] = []
+        while self._idle and self._queue:
+            request_id = self._queue.popleft()
+            pending = self._pending.get(request_id)
+            if pending is None or request_id in self._responded:
+                continue
+            if pending.deadline <= now:
+                self.registry.counter("serve.deadline.expired_queued").inc()
+                actions.extend(
+                    self._respond_error(
+                        request_id,
+                        ErrorCode.DEADLINE_EXCEEDED,
+                        "deadline expired while queued",
+                        now,
+                    )
+                )
+                continue
+            worker_id, _ = self._idle.popitem(last=False)
+            self._inflight[worker_id] = request_id
+            pending.attempts += 1
+            actions.append(
+                Dispatch(
+                    worker_id,
+                    {
+                        "type": "request",
+                        "id": request_id,
+                        "method": pending.request.method,
+                        "params": dict(pending.request.params),
+                        "tenant": pending.request.tenant,
+                        "deadline_ts": pending.deadline,
+                        "attempt": pending.attempts,
+                    },
+                )
+            )
+        self._gauges()
+        return actions
+
+    def _finish(self, request_id: str) -> Optional[_Pending]:
+        """Drop all tracking state of a resolved request."""
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return None
+        if (
+            pending.coalesce_key is not None
+            and self._leaders.get(pending.coalesce_key) == request_id
+        ):
+            del self._leaders[pending.coalesce_key]
+        if pending.leader_id is not None:
+            siblings = self._followers.get(pending.leader_id)
+            if siblings and request_id in siblings:
+                siblings.remove(request_id)
+        try:
+            self._queue.remove(request_id)
+        except ValueError:
+            pass
+        return pending
+
+    def _observe_latency(self, pending: _Pending, now: float, ok: bool) -> None:
+        self.registry.histogram("serve.latency_ms").observe(
+            max(0.0, (now - pending.submitted_at) * 1000.0)
+        )
+        self.registry.counter(
+            "serve.responses.ok" if ok else "serve.responses.error"
+        ).inc()
+
+    def _respond_success(
+        self, request_id: str, result: Dict[str, object], now: float
+    ) -> List[Action]:
+        actions: List[Action] = []
+        pending = self._finish(request_id)
+        if pending is None or request_id in self._responded:
+            self.registry.counter("serve.responses.duplicate_suppressed").inc()
+            return actions
+        self._responded[request_id] = "ok"
+        self._observe_latency(pending, now, ok=True)
+        actions.append(
+            Respond(
+                Response.success(request_id, result),
+                tenant=pending.request.tenant,
+            )
+        )
+        # Followers share the leader's result verbatim (plus a marker).
+        for follower_id in self._followers.pop(request_id, []):
+            follower = self._finish(follower_id)
+            if follower is None or follower_id in self._responded:
+                continue
+            self._responded[follower_id] = "ok"
+            self._observe_latency(follower, now, ok=True)
+            shared = dict(result)
+            shared["coalesced"] = True
+            actions.append(
+                Respond(
+                    Response.success(follower_id, shared),
+                    tenant=follower.request.tenant,
+                )
+            )
+        return actions
+
+    def _respond_error(
+        self,
+        request_id: str,
+        code: ErrorCode,
+        message: str,
+        now: float,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> List[Action]:
+        actions: List[Action] = []
+        pending = self._finish(request_id)
+        if pending is None or request_id in self._responded:
+            self.registry.counter("serve.responses.duplicate_suppressed").inc()
+            return actions
+        self._responded[request_id] = code.value
+        self._observe_latency(pending, now, ok=False)
+        self.registry.counter(
+            f"serve.responses.error.{code.value.lower()}"
+        ).inc()
+        actions.append(
+            Respond(
+                Response.failure(
+                    request_id,
+                    ServeError(
+                        code,
+                        message,
+                        attempts=max(1, pending.attempts),
+                        redeliveries=pending.redeliveries,
+                        detail=detail or {},
+                    ),
+                ),
+                tenant=pending.request.tenant,
+            )
+        )
+        # The leader failed terminally: promote the oldest follower to
+        # a queued request of its own rather than failing it by proxy
+        # (it keeps its own deadline and a fresh attempt budget).
+        followers = self._followers.pop(request_id, [])
+        promoted = False
+        for follower_id in followers:
+            follower = self._pending.get(follower_id)
+            if follower is None:
+                continue
+            follower.leader_id = None
+            if not promoted:
+                promoted = True
+                if follower.coalesce_key is not None:
+                    self._leaders[follower.coalesce_key] = follower_id
+                new_leader = follower_id
+                self._queue.append(follower_id)
+                self.registry.counter("serve.coalesce.promotions").inc()
+            else:
+                follower.leader_id = new_leader
+                self._followers.setdefault(new_leader, []).append(
+                    follower_id
+                )
+        self._gauges()
+        return actions
+
+    def _gauges(self) -> None:
+        self.registry.gauge("serve.queue.depth").set(self.queue_depth)
+        self.registry.gauge("serve.inflight").set(len(self._inflight))
+        self.registry.gauge("serve.workers.idle").set(len(self._idle))

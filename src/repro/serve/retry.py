@@ -1,0 +1,206 @@
+"""Retry backoff and circuit-breaker state machines.
+
+Both are *pure* state machines: every transition takes the caller's
+clock (``now``, seconds as a float) as an argument and nothing here
+reads wall time, sleeps, or draws from a global RNG.  That keeps the
+service core deterministic and lets property tests drive arbitrary
+interleavings with a virtual clock.
+
+Backoff jitter is derived from a hash of ``(key, attempt)`` rather than
+a random source, so a given request's retry schedule is reproducible
+across runs and across supervisor restarts while still de-correlating
+different requests.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.serve.protocol import SERVER_RETRYABLE, ErrorCode
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Attributes:
+        max_attempts: total tries (first dispatch included); attempt
+            numbers are 1-based.
+        base_delay_s: backoff before the second attempt.
+        multiplier: geometric growth factor per further attempt.
+        max_delay_s: backoff cap.
+        jitter: fraction of the computed delay replaced by hash-derived
+            jitter in ``[0, jitter]`` (0 disables, 1 full-jitter).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def is_retryable(self, code: ErrorCode) -> bool:
+        """Server-side retryability of one failure code."""
+        return code in SERVER_RETRYABLE
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before attempt ``attempt + 1`` (after failure
+        number ``attempt``), deterministic in ``(key, attempt)``."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"{key}:{attempt}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        # Decorrelated-but-deterministic: keep (1 - jitter) of the raw
+        # delay, fill the rest with the hash-derived fraction.
+        return raw * (1.0 - self.jitter) + raw * self.jitter * unit
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-workload-class breaker: trip after repeated worker-killing
+    failures, half-open on a timer, close again on a successful probe.
+
+    Only *worker-killing* failures (crashes, hang kills) count toward
+    the trip threshold — deterministic rejections such as verifier
+    findings fail fast anyway and say nothing about service health.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 5.0
+    half_open_probes: int = 1
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probes_in_flight: int = 0
+    #: Cumulative number of CLOSED/HALF_OPEN -> OPEN transitions.
+    trips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got "
+                f"{self.half_open_probes}"
+            )
+
+    # ------------------------------------------------------------------
+    def _maybe_half_open(self, now: float) -> None:
+        if (
+            self.state is BreakerState.OPEN
+            and now - self.opened_at >= self.cooldown_s
+        ):
+            self.state = BreakerState.HALF_OPEN
+            self.probes_in_flight = 0
+
+    def allow(self, now: float) -> bool:
+        """May a request of this class be dispatched at ``now``?
+
+        In HALF_OPEN, up to ``half_open_probes`` requests are let
+        through as probes; their outcomes decide the next state.
+        """
+        self._maybe_half_open(now)
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.HALF_OPEN:
+            if self.probes_in_flight < self.half_open_probes:
+                self.probes_in_flight += 1
+                return True
+            return False
+        return False
+
+    def record_success(self, now: float) -> None:
+        self._maybe_half_open(now)
+        if self.state is BreakerState.HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.probes_in_flight = 0
+
+    def record_failure(self, now: float) -> None:
+        self._maybe_half_open(now)
+        if self.state is BreakerState.HALF_OPEN:
+            # A failed probe re-opens immediately.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.probes_in_flight = 0
+            self.trips += 1
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.trips += 1
+
+    def current_state(self, now: float) -> BreakerState:
+        self._maybe_half_open(now)
+        return self.state
+
+
+@dataclass
+class BreakerBoard:
+    """Lazy map of workload class -> :class:`CircuitBreaker`."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 5.0
+    half_open_probes: int = 1
+    breakers: Dict[str, CircuitBreaker] = field(default_factory=dict)
+
+    def breaker(self, workload_class: str) -> CircuitBreaker:
+        breaker = self.breakers.get(workload_class)
+        if breaker is None:
+            breaker = self.breakers[workload_class] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                half_open_probes=self.half_open_probes,
+            )
+        return breaker
+
+    def snapshot(self, now: float) -> Dict[str, str]:
+        """Class -> state name, for the stats endpoint."""
+        return {
+            name: breaker.current_state(now).value
+            for name, breaker in sorted(self.breakers.items())
+        }

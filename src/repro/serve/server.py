@@ -1,0 +1,392 @@
+"""The asyncio shell around the service core and the worker pool.
+
+One event loop owns everything: socket accept/readers, the periodic
+tick that drains worker-pool events and advances the core's clock, and
+the drain sequence.  All decisions live in
+:class:`~repro.serve.core.ServiceCore`; this module only moves bytes
+and executes the actions the core returns, so the failure semantics
+exercised by the property tests are exactly what runs in production.
+
+Lifecycle: ``SIGTERM``/``SIGINT`` (or the ``drain`` control method)
+stop the listener, let accepted work finish within
+``drain_timeout_s``, answer anything still unresolved with a typed
+``DRAINING`` error, shut the pool down, and exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.core import (
+    CoreConfig,
+    Dispatch,
+    KillWorker,
+    Respond,
+    ServiceCore,
+)
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    ServeError,
+    decode_line,
+    encode_message,
+    parse_request,
+)
+from repro.serve.supervisor import WorkerOptions, WorkerPool
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the ``repro-streampim serve`` command can tune."""
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    workers: int = 2
+    core: CoreConfig = field(default_factory=CoreConfig)
+    tick_interval_s: float = 0.02
+    drain_timeout_s: float = 10.0
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float = 5.0
+    cache_dir: Optional[str] = None
+    mp_context: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.host is None:
+            raise ValueError(
+                "serve needs a unix socket path or a host/port"
+            )
+
+
+def request_coalesce_key(request: Request) -> Optional[str]:
+    """Coalescing key of a request, or None when it must not coalesce.
+
+    Identical ``compile`` requests are keyed by the same content hash
+    the trace cache uses (:func:`repro.core.compile.spec_cache_key`),
+    so every concurrent compile of one (workload, scale, seed,
+    geometry, lowering) lands on a single in-flight computation.
+    Unresolvable params return None — the worker will produce the
+    typed error.
+    """
+    if request.method != "compile":
+        return None
+    try:
+        from repro.core.compile import spec_cache_key
+        from repro.workloads import find_workload
+
+        spec = find_workload(
+            str(request.params.get("workload", "")),
+            scale=float(request.params.get("scale", 0.01)),
+        )
+        key = spec_cache_key(spec, seed=int(request.params.get("seed", 7)))
+    except (KeyError, TypeError, ValueError):
+        return None
+    deep = bool(request.params.get("deep", False))
+    no_cache = bool(request.params.get("no_cache", False))
+    if no_cache:
+        # An explicit fresh compile must actually run.
+        return None
+    return f"{key}:deep={int(deep)}"
+
+
+class SimulationServer:
+    """Long-lived simulation service over a unix socket / localhost TCP."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.core = ServiceCore(config.core, registry=self.registry)
+        self.pool = WorkerPool(
+            size=config.workers,
+            options=WorkerOptions(
+                heartbeat_interval_s=config.heartbeat_interval_s,
+                cache_dir=config.cache_dir,
+                enable_debug_methods=config.core.enable_debug_methods,
+            ),
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
+            context=config.mp_context,
+        )
+        self.started_at = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tick_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+        self._routes: Dict[str, asyncio.StreamWriter] = {}
+        self._writers: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        if self.config.socket_path is not None:
+            return f"unix:{self.config.socket_path}"
+        return f"tcp:{self.config.host}:{self.bound_port}"
+
+    @property
+    def bound_port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn workers, bind the socket, start ticking."""
+        now = time.time()
+        self.started_at = now
+        for worker_id in self.pool.start(now):
+            self._apply(self.core.register_worker(worker_id, now))
+        if self.config.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self.config.socket_path,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_LINE_BYTES,
+            )
+        self._tick_task = asyncio.get_running_loop().create_task(
+            self._tick_loop()
+        )
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, self.request_drain)
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; signal-handler safe)."""
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain()
+            )
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    async def _tick_loop(self) -> None:
+        while not self._stopped.is_set():
+            now = time.time()
+            for event in self.pool.poll(now):
+                kind = event[0]
+                if kind == "ready":
+                    self._apply(self.core.register_worker(event[1], now))
+                elif kind == "exit":
+                    self.registry.counter("serve.worker.restarts").inc()
+                    self._apply(
+                        self.core.worker_exit(
+                            event[1], now, reason=event[2]
+                        )
+                    )
+                elif kind == "result":
+                    self._apply(
+                        self.core.worker_result(
+                            event[1], event[2], event[3], now
+                        )
+                    )
+            self._apply(self.core.tick(now))
+            await asyncio.sleep(self.config.tick_interval_s)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionResetError,
+                ):
+                    break
+                except asyncio.CancelledError:
+                    # Loop teardown after drain: end the handler
+                    # normally so asyncio's connection callback does
+                    # not log the cancellation as an error.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._handle_line(line, writer)
+                with contextlib.suppress(ConnectionResetError):
+                    await writer.drain()
+        finally:
+            self._writers.discard(writer)
+            dead = [
+                rid for rid, w in self._routes.items() if w is writer
+            ]
+            for rid in dead:
+                # The client vanished: the core still resolves the
+                # request (exactly-once internally); the response is
+                # simply undeliverable.
+                self._routes[rid] = None  # type: ignore[assignment]
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        now = time.time()
+        try:
+            obj = decode_line(line)
+            request = parse_request(obj)
+        except ProtocolError as exc:
+            request_id = ""
+            if isinstance(line, bytes):
+                try:
+                    raw = decode_line(line[:MAX_LINE_BYTES])
+                    if isinstance(raw.get("id"), str):
+                        request_id = raw["id"]
+                except ProtocolError:
+                    pass
+            self._write(
+                writer,
+                Response.failure(
+                    request_id, ServeError(exc.code, str(exc))
+                ),
+            )
+            return
+        if request.method == "ping":
+            self._write(
+                writer,
+                Response.success(
+                    request.id,
+                    {
+                        "pong": True,
+                        "draining": self.core.draining,
+                        "uptime_s": round(now - self.started_at, 3),
+                    },
+                ),
+            )
+            return
+        if request.method == "stats":
+            self._write(
+                writer, Response.success(request.id, self.stats(now))
+            )
+            return
+        if request.method == "drain":
+            self.request_drain()
+            self._write(
+                writer, Response.success(request.id, {"draining": True})
+            )
+            return
+        self._routes[request.id] = writer
+        self._apply(
+            self.core.submit(
+                request, now, coalesce_key=request_coalesce_key(request)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _apply(self, actions: List[object]) -> None:
+        for action in actions:
+            if isinstance(action, Respond):
+                writer = self._routes.pop(action.response.id, None)
+                if writer is not None:
+                    self._write(writer, action.response)
+            elif isinstance(action, Dispatch):
+                if not self.pool.dispatch(action.worker_id, action.message):
+                    # The worker died between poll and dispatch; the
+                    # exit event will requeue via the normal path on
+                    # the next poll, because the core still holds the
+                    # request as in-flight on that worker.
+                    self.registry.counter(
+                        "serve.dispatch.to_dead_worker"
+                    ).inc()
+            elif isinstance(action, KillWorker):
+                self.registry.counter("serve.worker.kills").inc()
+                self.pool.kill(action.worker_id)
+
+    def _write(
+        self, writer: Optional[asyncio.StreamWriter], response: Response
+    ) -> None:
+        if writer is None:
+            return
+        try:
+            writer.write(encode_message(response.to_dict()))
+        except (ConnectionResetError, RuntimeError):
+            pass
+
+    # ------------------------------------------------------------------
+    def stats(self, now: float) -> Dict[str, object]:
+        latency = self.registry.histogram("serve.latency_ms")
+        snapshot = {
+            "core": self.core.snapshot(now),
+            "pool": self.pool.snapshot(now),
+            "latency_ms": {
+                "count": latency.count,
+                "p50": latency.percentile(50.0),
+                "p99": latency.percentile(99.0),
+                "max": latency.max,
+            },
+            "metrics": self.registry.snapshot(),
+            "uptime_s": round(now - self.started_at, 3),
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    async def _drain(self) -> None:
+        now = time.time()
+        self.core.begin_drain(now)
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        deadline = now + self.config.drain_timeout_s
+        while not self.core.is_quiescent() and time.time() < deadline:
+            await asyncio.sleep(self.config.tick_interval_s)
+        self._apply(self.core.abort_remaining(time.time()))
+        for writer in list(self._writers):
+            with contextlib.suppress(ConnectionResetError):
+                await writer.drain()
+        self._stopped.set()
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._tick_task
+        self.pool.shutdown()
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+
+
+async def _amain(config: ServeConfig, ready_line: bool = True) -> int:
+    server = SimulationServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    if ready_line:
+        print(
+            f"repro-streampim serve: listening on {server.endpoint} "
+            f"({config.workers} workers)",
+            flush=True,
+        )
+    await server.serve_forever()
+    if ready_line:
+        print("repro-streampim serve: drained, bye", flush=True)
+    return 0
+
+
+def run_server(config: ServeConfig) -> int:
+    """Blocking entry point used by the CLI."""
+    return asyncio.run(_amain(config))

@@ -1,0 +1,509 @@
+"""Supervised multiprocess worker pool and the worker-side executor.
+
+The pool owns real OS processes; the :class:`~repro.serve.core.ServiceCore`
+only ever sees their lifecycle as events.  Supervision contract:
+
+* every worker sends **heartbeats** on its pipe; a worker whose
+  heartbeat goes stale is presumed wedged, killed, and replaced;
+* a worker that **dies** (crash, kill, OOM) is detected via
+  ``Process.is_alive``/pipe EOF, reported as an ``exit`` event (the
+  core re-queues its in-flight request), and immediately **respawned**;
+* workers are interchangeable — no request state lives in them beyond
+  the single message they are currently executing.
+
+Worker-side execution is *cooperatively cancellable*: every request
+carries an absolute ``deadline_ts``, and the executor checks it at
+phase boundaries (before lookup, after task build, after compile, and
+inside sleep loops), returning a typed ``DEADLINE_EXCEEDED`` instead of
+burning time past the deadline.  Failures map to the typed
+:class:`~repro.serve.protocol.ErrorCode` set: verifier findings and
+:class:`~repro.sim.errors.SimulationFault` are deterministic
+(non-retryable), cache I/O errors are transient (server-retryable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.protocol import ErrorCode
+
+#: Environment override for the multiprocessing start method
+#: ("spawn" is the safe default alongside an asyncio loop).
+MP_CONTEXT_ENV = "REPRO_SERVE_MP_CONTEXT"
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Per-worker execution settings (picklable; crosses the spawn)."""
+
+    heartbeat_interval_s: float = 0.2
+    cache_dir: Optional[str] = None
+    enable_debug_methods: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "cache_dir": self.cache_dir,
+            "enable_debug_methods": self.enable_debug_methods,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _DeadlineExpired(Exception):
+    """Raised at a cooperative cancellation point past the deadline."""
+
+
+def _check_deadline(deadline_ts: Optional[float]) -> None:
+    if deadline_ts is not None and time.time() >= deadline_ts:
+        raise _DeadlineExpired()
+
+
+class WorkloadLookupError(KeyError):
+    """An unknown workload / platform name in request params."""
+
+
+def _find_spec(name: str, scale: float):
+    from repro.workloads import find_workload
+
+    try:
+        return find_workload(name, scale=scale)
+    except KeyError as exc:
+        raise WorkloadLookupError(str(exc))
+
+
+def _do_run(params: Dict[str, object], deadline_ts: Optional[float]):
+    """Analytic platform run; the serving twin of ``repro-streampim run``."""
+    from repro.baselines import default_platforms
+
+    workload = str(params.get("workload", ""))
+    platform_name = str(params.get("platform", "StPIM"))
+    scale = float(params.get("scale", 1.0))
+    spec = _find_spec(workload, scale)
+    platforms = default_platforms()
+    if platform_name not in platforms:
+        raise WorkloadLookupError(
+            f"unknown platform {platform_name!r}; choose from "
+            f"{sorted(platforms)}"
+        )
+    _check_deadline(deadline_ts)
+    stats = platforms[platform_name].run(spec)
+    _check_deadline(deadline_ts)
+    return {
+        "workload": spec.name,
+        "platform": stats.platform,
+        "scale": scale,
+        "time_ns": stats.time_ns,
+        "energy_pj": stats.energy.total_pj,
+        "time_fractions": stats.time_breakdown.fractions(),
+        "energy_fractions": stats.energy.fractions(),
+        "counters": dict(stats.counters),
+    }
+
+
+def _do_compile(
+    params: Dict[str, object],
+    deadline_ts: Optional[float],
+    options: Dict[str, object],
+):
+    """Cached trace compilation with crash-safe in-flight tracking."""
+    from repro.core.compile import compile_workload
+    from repro.isa.trace_cache import InflightTracker, TraceCache
+
+    workload = str(params.get("workload", ""))
+    scale = float(params.get("scale", 0.01))
+    seed = int(params.get("seed", 7))
+    deep = bool(params.get("deep", False))
+    use_cache = not bool(params.get("no_cache", False))
+    spec = _find_spec(workload, scale)
+    if spec.build is None:
+        raise WorkloadLookupError(
+            f"workload {workload!r} has no task builder"
+        )
+    _check_deadline(deadline_ts)
+    cache_dir = options.get("cache_dir")
+    cache = TraceCache(cache_dir) if use_cache else None
+    tracker = (
+        InflightTracker(cache.cache_dir) if cache is not None else None
+    )
+    compiled = compile_workload(
+        spec,
+        seed=seed,
+        cache=cache,
+        use_cache=use_cache,
+        deep_verify=deep,
+        inflight=tracker,
+    )
+    _check_deadline(deadline_ts)
+    if deep and compiled.deep_report is not None:
+        if not compiled.deep_report.ok():
+            findings = [
+                f"{d.rule_id}: {d.message}"
+                for d in compiled.deep_report.diagnostics[:8]
+            ]
+            return {
+                "__error__": {
+                    "code": ErrorCode.VERIFY_FAILED.value,
+                    "message": "deep dataflow verification failed",
+                    "detail": {"findings": findings},
+                }
+            }
+    payload = compiled.trace.to_bytes()
+    return {
+        "workload": spec.name,
+        "scale": scale,
+        "seed": seed,
+        "pim_vpcs": int(compiled.trace.stats.pim_vpcs),
+        "move_vpcs": int(compiled.trace.stats.move_vpcs),
+        "commands": len(compiled.trace),
+        "cache_key": compiled.cache_key,
+        "cache_hit": compiled.cache_hit,
+        "trace_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+
+
+def _do_debug(
+    method: str,
+    params: Dict[str, object],
+    deadline_ts: Optional[float],
+):
+    """Chaos-bench helpers: crash, slow request, injected fault."""
+    from repro.sim.errors import SimulationFault
+
+    if method == "x-crash":
+        # A real crash, not an exception: the supervisor must detect
+        # the death and the core must redeliver the in-flight work.
+        os._exit(17)
+    if method == "x-sleep":
+        duration = float(params.get("ms", 100.0)) / 1000.0
+        end = time.time() + duration
+        while time.time() < end:
+            _check_deadline(deadline_ts)
+            time.sleep(min(0.025, max(0.0, end - time.time())))
+        return {"slept_ms": duration * 1000.0}
+    if method == "x-fault":
+        raise SimulationFault("injected chaos fault", index=0)
+    raise WorkloadLookupError(f"unknown debug method {method!r}")
+
+
+def execute_request(
+    method: str,
+    params: Dict[str, object],
+    deadline_ts: Optional[float],
+    options: Dict[str, object],
+) -> Dict[str, object]:
+    """Execute one request; always returns a ``{"ok": ...}`` envelope.
+
+    Every failure is mapped to a typed code here, in the worker, so the
+    core never has to guess what an exception string meant.
+    """
+    from repro.sim.errors import SimulationFault
+
+    try:
+        _check_deadline(deadline_ts)
+        if method == "run":
+            result = _do_run(params, deadline_ts)
+        elif method == "compile":
+            result = _do_compile(params, deadline_ts, options)
+        elif method in ("x-crash", "x-sleep", "x-fault"):
+            if not options.get("enable_debug_methods"):
+                return {
+                    "ok": False,
+                    "code": ErrorCode.UNKNOWN_METHOD.value,
+                    "message": f"debug method {method!r} is disabled",
+                }
+            result = _do_debug(method, params, deadline_ts)
+        else:
+            return {
+                "ok": False,
+                "code": ErrorCode.UNKNOWN_METHOD.value,
+                "message": f"unknown method {method!r}",
+            }
+        if isinstance(result, dict) and "__error__" in result:
+            error = result["__error__"]
+            return {
+                "ok": False,
+                "code": error["code"],
+                "message": error["message"],
+                "detail": error.get("detail", {}),
+            }
+        return {"ok": True, "result": result}
+    except _DeadlineExpired:
+        return {
+            "ok": False,
+            "code": ErrorCode.DEADLINE_EXCEEDED.value,
+            "message": "deadline passed; execution cancelled "
+            "cooperatively",
+        }
+    except WorkloadLookupError as exc:
+        return {
+            "ok": False,
+            "code": ErrorCode.UNKNOWN_WORKLOAD.value,
+            "message": str(exc).strip("'\""),
+        }
+    except SimulationFault as exc:
+        return {
+            "ok": False,
+            "code": ErrorCode.SIMULATION_FAULT.value,
+            "message": str(exc),
+        }
+    except OSError as exc:
+        # Transient cache / filesystem trouble: the server retries
+        # this with backoff before a client ever sees it.
+        return {
+            "ok": False,
+            "code": ErrorCode.CACHE_IO.value,
+            "message": f"cache I/O failed: {exc}",
+        }
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        return {
+            "ok": False,
+            "code": ErrorCode.INTERNAL.value,
+            "message": f"{type(exc).__name__}: {exc}",
+            "detail": {
+                "traceback": traceback.format_exc(limit=4),
+            },
+        }
+
+
+def _worker_main(
+    worker_id: str, conn, options: Dict[str, object]
+) -> None:  # pragma: no cover - runs in a child process
+    """Worker loop: recv request, execute, send result, heartbeat."""
+    stop = threading.Event()
+    send_lock = threading.Lock()
+
+    def send(message: Dict[str, object]) -> None:
+        with send_lock:
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                os._exit(1)
+
+    def heartbeat() -> None:
+        interval = float(options.get("heartbeat_interval_s", 0.2))
+        while not stop.wait(interval):
+            send({"type": "hb", "worker": worker_id})
+
+    threading.Thread(target=heartbeat, daemon=True).start()
+    send({"type": "hb", "worker": worker_id})
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(message, dict):
+            continue
+        if message.get("type") == "stop":
+            break
+        if message.get("type") != "request":
+            continue
+        payload = execute_request(
+            str(message.get("method", "")),
+            message.get("params") or {},
+            message.get("deadline_ts"),
+            options,
+        )
+        send(
+            {
+                "type": "result",
+                "id": message.get("id"),
+                "payload": payload,
+            }
+        )
+    stop.set()
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerHandle:
+    """One supervised worker process."""
+
+    worker_id: str
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    spawned_at: float
+    last_heartbeat: float
+    generation: int
+
+
+#: Pool events: ("ready", worker_id) / ("exit", worker_id, reason) /
+#: ("result", worker_id, request_id, payload).
+PoolEvent = Tuple
+
+
+@dataclass
+class WorkerPool:
+    """Spawns, monitors, kills and replaces worker processes.
+
+    Consumers call :meth:`poll` periodically; it drains worker pipes
+    and turns process lifecycle into events for the service core.  The
+    pool always restores itself to ``size`` live workers.
+    """
+
+    size: int = 2
+    options: WorkerOptions = field(default_factory=WorkerOptions)
+    heartbeat_timeout_s: float = 5.0
+    context: Optional[str] = None
+
+    workers: Dict[str, WorkerHandle] = field(default_factory=dict)
+    restarts: int = 0
+    _spawned: int = 0
+    _ctx: object = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"pool size must be >= 1, got {self.size}")
+        method = self.context or os.environ.get(MP_CONTEXT_ENV) or "spawn"
+        self._ctx = multiprocessing.get_context(method)
+
+    # ------------------------------------------------------------------
+    def start(self, now: float) -> List[str]:
+        """Spawn the initial roster; returns the worker ids."""
+        ids = []
+        for _ in range(self.size):
+            ids.append(self._spawn(now).worker_id)
+        return ids
+
+    def _spawn(self, now: float) -> WorkerHandle:
+        self._spawned += 1
+        worker_id = f"w{self._spawned}"
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, child_conn, self.options.to_dict()),
+            name=f"repro-serve-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = WorkerHandle(
+            worker_id=worker_id,
+            process=process,
+            conn=parent_conn,
+            spawned_at=now,
+            last_heartbeat=now,
+            generation=self._spawned,
+        )
+        self.workers[worker_id] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    def dispatch(self, worker_id: str, message: Dict[str, object]) -> bool:
+        """Send one request message; False if the worker is unreachable."""
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            return False
+        try:
+            handle.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def kill(self, worker_id: str) -> None:
+        """Forcibly terminate a worker (poll() reports the exit)."""
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            return
+        try:
+            handle.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    def poll(self, now: float) -> List[PoolEvent]:
+        """Drain pipes and process-lifecycle changes into events."""
+        events: List[PoolEvent] = []
+        for worker_id, handle in list(self.workers.items()):
+            broken = False
+            try:
+                while handle.conn.poll(0):
+                    message = handle.conn.recv()
+                    if not isinstance(message, dict):
+                        continue
+                    handle.last_heartbeat = now
+                    if message.get("type") == "result":
+                        events.append(
+                            (
+                                "result",
+                                worker_id,
+                                str(message.get("id")),
+                                message.get("payload") or {},
+                            )
+                        )
+            except (EOFError, OSError):
+                broken = True
+            if broken or not handle.process.is_alive():
+                events.extend(self._replace(worker_id, now, "crash"))
+                continue
+            if now - handle.last_heartbeat > self.heartbeat_timeout_s:
+                # Wedged: alive but silent.  Kill and replace.
+                self.kill(worker_id)
+                handle.process.join(timeout=1.0)
+                events.extend(self._replace(worker_id, now, "heartbeat"))
+        return events
+
+    def _replace(
+        self, worker_id: str, now: float, reason: str
+    ) -> List[PoolEvent]:
+        handle = self.workers.pop(worker_id, None)
+        if handle is None:
+            return []
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        # Reap without blocking the event loop.
+        handle.process.join(timeout=0.1)
+        self.restarts += 1
+        replacement = self._spawn(now)
+        return [
+            ("exit", worker_id, reason),
+            ("ready", replacement.worker_id),
+        ]
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout_s: float = 2.0) -> None:
+        """Stop every worker: polite message, then the hammer."""
+        for handle in self.workers.values():
+            try:
+                handle.conn.send({"type": "stop"})
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.time() + timeout_s
+        for handle in self.workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.time()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+    def snapshot(self, now: float) -> Dict[str, object]:
+        return {
+            "size": self.size,
+            "restarts": self.restarts,
+            "workers": {
+                worker_id: {
+                    "pid": handle.process.pid,
+                    "alive": handle.process.is_alive(),
+                    "heartbeat_age_s": round(
+                        max(0.0, now - handle.last_heartbeat), 3
+                    ),
+                }
+                for worker_id, handle in sorted(self.workers.items())
+            },
+        }

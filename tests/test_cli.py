@@ -179,3 +179,87 @@ class TestWorkloadsListing:
             assert name in out
         for suite in ("polybench", "dnn", "extra"):
             assert suite in out
+
+
+# ----------------------------------------------------------------------
+# sweep robustness: per-cell timeouts and inert-flag warnings
+# ----------------------------------------------------------------------
+import time as _time
+
+import repro.cli as _cli
+
+_REAL_SWEEP_WORKER = _cli._sweep_worker
+
+
+def _hang_one_cell_worker(job):
+    """Sweep worker that hangs on exactly one (platform, workload) cell.
+
+    Top level so the pool can pickle it by reference; the forked child
+    inherits the monkeypatched ``repro.cli._sweep_worker`` binding.
+    """
+    pname, wname, _scale = job
+    if (pname, wname) == ("ELP2IM", "atax"):
+        _time.sleep(120.0)
+    return _REAL_SWEEP_WORKER(job)
+
+
+class TestSweepRobustness:
+    def test_job_timeout_surfaces_instead_of_hanging(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(_cli, "_sweep_worker", _hang_one_cell_worker)
+        rc = main(
+            [
+                "sweep",
+                "--workloads",
+                "atax",
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--job-timeout",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1  # a timed-out cell fails the sweep loudly
+        assert "JobTimeout: ELP2IM/atax exceeded 3s" in captured.err
+        # The stuck platform's row says so; the others still report.
+        assert "timeout" in captured.out
+        assert "StPIM" in captured.out
+        assert "CPU-RM" in captured.out
+
+    def test_generous_timeout_passes_through_the_pool_path(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--workloads",
+                "atax",
+                "--scale",
+                "0.05",
+                "--jobs",
+                "2",
+                "--job-timeout",
+                "300",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "JobTimeout" not in captured.err
+        assert "StPIM" in captured.out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--stream"], ["--chunk-vpcs", "512"]],
+    )
+    def test_inert_stream_flags_warn_on_stderr(self, capsys, flags):
+        rc = main(
+            ["sweep", "--workloads", "atax", "--scale", "0.05", *flags]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "have no effect here" in captured.err
+
+    def test_no_warning_without_the_inert_flags(self, capsys):
+        assert main(["sweep", "--workloads", "atax", "--scale", "0.05"]) == 0
+        assert "no effect" not in capsys.readouterr().err

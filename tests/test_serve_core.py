@@ -1,0 +1,471 @@
+"""ServiceCore state-machine tests: deterministic paths + property test.
+
+The core is pure (no I/O, no clock, no randomness — every method takes
+``now``), so these tests drive it with a virtual clock.  The closing
+hypothesis test is the serving layer's exactly-once contract: *any*
+interleaving of worker death, deadline expiry, retries, queue-full
+rejection and drain yields exactly one response per submitted request,
+each carrying a valid typed code.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.core import (
+    CoreConfig,
+    Dispatch,
+    KillWorker,
+    Respond,
+    ServiceCore,
+)
+from repro.serve.protocol import ErrorCode, Request
+from repro.serve.retry import RetryPolicy
+
+
+def make_core(**overrides):
+    defaults = dict(
+        queue_limit=8,
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        default_deadline_s=30.0,
+        hang_grace_s=2.0,
+        max_redeliveries=2,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.05, jitter=0.0),
+        breaker_failure_threshold=3,
+        breaker_cooldown_s=5.0,
+    )
+    defaults.update(overrides)
+    return ServiceCore(CoreConfig(**defaults))
+
+
+def req(rid, method="run", params=None, tenant="t", deadline_ms=None):
+    return Request(
+        id=rid,
+        method=method,
+        params=params or {"workload": "atax"},
+        tenant=tenant,
+        deadline_ms=deadline_ms,
+    )
+
+
+def responses(actions):
+    return [a.response for a in actions if isinstance(a, Respond)]
+
+
+def dispatches(actions):
+    return [a for a in actions if isinstance(a, Dispatch)]
+
+
+def kills(actions):
+    return [a for a in actions if isinstance(a, KillWorker)]
+
+
+class TestHappyPath:
+    def test_submit_dispatch_respond(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        actions = core.submit(req("r1"), 0.0)
+        (d,) = dispatches(actions)
+        assert d.worker_id == "w0"
+        assert d.message["id"] == "r1"
+        assert d.message["attempt"] == 1
+        actions = core.worker_result(
+            "w0", "r1", {"ok": True, "result": {"time_ns": 5.0}}, 0.1
+        )
+        (r,) = responses(actions)
+        assert r.ok and r.result == {"time_ns": 5.0}
+        assert core.outcome("r1") == "ok"
+        assert core.is_quiescent()
+
+    def test_queue_waits_for_idle_worker(self):
+        core = make_core()
+        assert dispatches(core.submit(req("r1"), 0.0)) == []
+        assert core.queue_depth == 1
+        (d,) = dispatches(core.register_worker("w0", 0.1))
+        assert d.message["id"] == "r1"
+
+    def test_typed_worker_failure_passes_through(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        actions = core.worker_result(
+            "w0",
+            "r1",
+            {"ok": False, "code": "SIMULATION_FAULT", "message": "boom"},
+            0.1,
+        )
+        (r,) = responses(actions)
+        assert not r.ok
+        assert r.error.code is ErrorCode.SIMULATION_FAULT
+        assert core.outcome("r1") == "SIMULATION_FAULT"
+
+
+class TestRejections:
+    def test_duplicate_id_rejected_without_touching_original(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        (r,) = responses(core.submit(req("r1"), 0.1))
+        assert r.error.code is ErrorCode.INVALID_REQUEST
+        # The original still completes normally.
+        (r,) = responses(
+            core.worker_result("w0", "r1", {"ok": True, "result": {}}, 0.2)
+        )
+        assert r.ok
+
+    def test_unknown_method_rejected(self):
+        core = make_core()
+        (r,) = responses(core.submit(req("r1", method="frobnicate"), 0.0))
+        assert r.error.code is ErrorCode.UNKNOWN_METHOD
+
+    def test_debug_methods_gated(self):
+        closed = make_core()
+        (r,) = responses(closed.submit(req("r1", method="x-crash"), 0.0))
+        assert r.error.code is ErrorCode.UNKNOWN_METHOD
+        chaos = make_core(enable_debug_methods=True)
+        assert responses(chaos.submit(req("r1", method="x-crash"), 0.0)) == []
+
+    def test_queue_full_shed(self):
+        core = make_core(queue_limit=1)
+        core.submit(req("r1"), 0.0)  # queued (no workers)
+        (r,) = responses(core.submit(req("r2"), 0.0))
+        assert r.error.code is ErrorCode.QUEUE_FULL
+
+    def test_rate_limited_per_tenant(self):
+        core = make_core(tenant_rate=1.0, tenant_burst=1.0)
+        core.submit(req("r1", tenant="a"), 0.0)
+        (r,) = responses(core.submit(req("r2", tenant="a"), 0.0))
+        assert r.error.code is ErrorCode.RATE_LIMITED
+        assert responses(core.submit(req("r3", tenant="b"), 0.0)) == []
+
+    def test_draining_rejects_new_work(self):
+        core = make_core()
+        core.begin_drain(0.0)
+        (r,) = responses(core.submit(req("r1"), 0.1))
+        assert r.error.code is ErrorCode.DRAINING
+
+    def test_circuit_open_rejects_class(self):
+        core = make_core(breaker_failure_threshold=1, max_redeliveries=5)
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1", params={"workload": "gemm"}), 0.0)
+        core.worker_exit("w0", 0.1)  # unexpected death trips the breaker
+        (r,) = responses(
+            core.submit(req("r2", params={"workload": "gemm"}), 0.2)
+        )
+        assert r.error.code is ErrorCode.CIRCUIT_OPEN
+        # Other workload classes are unaffected.
+        assert responses(
+            core.submit(req("r3", params={"workload": "atax"}), 0.2)
+        ) == []
+
+
+class TestCrashRedelivery:
+    def test_crash_requeues_with_backoff(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        assert core.worker_exit("w0", 0.1) == []  # requeued, not answered
+        assert core.unresolved_count == 1
+        # Backoff gate: a fresh worker gets nothing until the delay
+        # (base 0.05s, jitter 0) matures.
+        core.register_worker("w1", 0.11)
+        assert dispatches(core.tick(0.12)) == []
+        (d,) = dispatches(core.tick(0.2))
+        assert d.message["id"] == "r1"
+        assert d.message["attempt"] == 2
+
+    def test_dead_letter_after_max_redeliveries(self):
+        core = make_core(max_redeliveries=1)
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        core.worker_exit("w0", 0.1, reason="crash")  # redelivery 1
+        core.register_worker("w1", 0.2)
+        assert dispatches(core.tick(0.3))
+        actions = core.worker_exit("w1", 0.4, reason="crash")
+        (r,) = responses(actions)
+        assert r.error.code is ErrorCode.DEAD_LETTER
+        assert r.error.detail["redeliveries"] == 1
+        assert core.outcome("r1") == "DEAD_LETTER"
+        (record,) = core.dead_letters
+        assert record["request_id"] == "r1"
+        assert record["workload_class"] == "run:atax"
+        assert record["reason"] == "crash"
+
+    def test_retryable_typed_failure_retries_then_surfaces(self):
+        core = make_core(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0)
+        )
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        fail = {"ok": False, "code": "CACHE_IO", "message": "disk"}
+        assert responses(core.worker_result("w0", "r1", fail, 0.1)) == []
+        (d,) = dispatches(core.tick(0.2))
+        assert d.message["attempt"] == 2
+        (r,) = responses(core.worker_result("w0", "r1", fail, 0.3))
+        assert r.error.code is ErrorCode.CACHE_IO
+        assert r.error.attempts == 2
+
+    def test_non_retryable_failure_is_immediate(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        (r,) = responses(
+            core.worker_result(
+                "w0", "r1", {"ok": False, "code": "VERIFY_FAILED"}, 0.1
+            )
+        )
+        assert r.error.code is ErrorCode.VERIFY_FAILED
+
+
+class TestDeadlines:
+    def test_queued_request_expires(self):
+        core = make_core()  # no workers
+        core.submit(req("r1", deadline_ms=500), 0.0)
+        assert responses(core.tick(0.4)) == []
+        (r,) = responses(core.tick(0.6))
+        assert r.error.code is ErrorCode.DEADLINE_EXCEEDED
+
+    def test_never_dispatches_expired_request(self):
+        core = make_core()
+        core.submit(req("r1", deadline_ms=100), 0.0)
+        actions = core.register_worker("w0", 0.5)
+        assert dispatches(actions) == []
+        (r,) = responses(actions)
+        assert r.error.code is ErrorCode.DEADLINE_EXCEEDED
+
+    def test_inflight_hang_kill_after_grace(self):
+        core = make_core(hang_grace_s=2.0)
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1", deadline_ms=1000), 0.0)
+        # Past deadline but inside grace: cooperative window.
+        assert core.tick(1.5) == []
+        actions = core.tick(3.1)
+        (k,) = kills(actions)
+        assert k.worker_id == "w0"
+        (r,) = responses(actions)
+        assert r.error.code is ErrorCode.DEADLINE_EXCEEDED
+        # The doomed worker's late result and exit change nothing.
+        assert responses(core.worker_result("w0", "r1", {"ok": True}, 3.2)) == []
+        assert responses(core.worker_exit("w0", 3.3, reason="killed")) == []
+        assert core.outcome("r1") == "DEADLINE_EXCEEDED"
+        assert core.is_quiescent()
+
+
+class TestCoalescing:
+    def test_followers_share_leader_result(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0, coalesce_key="k")
+        assert core.submit(req("r2"), 0.1, coalesce_key="k") == []
+        assert core.inflight_count == 1  # the follower never runs
+        actions = core.worker_result(
+            "w0", "r1", {"ok": True, "result": {"sha": "abc"}}, 0.2
+        )
+        got = {r.id: r.result for r in responses(actions)}
+        assert got["r1"] == {"sha": "abc"}
+        assert got["r2"] == {"sha": "abc", "coalesced": True}
+        assert core.is_quiescent()
+
+    def test_distinct_keys_do_not_coalesce(self):
+        core = make_core()
+        core.submit(req("r1"), 0.0, coalesce_key="k1")
+        core.submit(req("r2"), 0.0, coalesce_key="k2")
+        assert core.queue_depth == 2
+
+    def test_follower_promoted_on_leader_terminal_failure(self):
+        core = make_core(max_redeliveries=0)
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0, coalesce_key="k")
+        core.submit(req("r2"), 0.1, coalesce_key="k")
+        actions = core.worker_exit("w0", 0.2)  # leader dead-letters
+        (r,) = responses(actions)
+        assert r.id == "r1" and r.error.code is ErrorCode.DEAD_LETTER
+        # The follower is not failed by proxy: it was re-queued and
+        # runs on its own as soon as a worker appears.
+        (d,) = dispatches(core.register_worker("w1", 0.3))
+        assert d.message["id"] == "r2"
+        (r,) = responses(
+            core.worker_result("w1", "r2", {"ok": True, "result": {}}, 0.5)
+        )
+        assert r.ok and r.id == "r2"
+
+
+class TestDrain:
+    def test_accepted_work_finishes_during_drain(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        core.begin_drain(0.1)
+        (r,) = responses(
+            core.worker_result("w0", "r1", {"ok": True, "result": {}}, 0.2)
+        )
+        assert r.ok
+        assert core.is_quiescent()
+
+    def test_abort_remaining_answers_everything(self):
+        core = make_core()
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)  # in flight
+        core.submit(req("r2"), 0.0)  # queued
+        core.begin_drain(0.1)
+        actions = core.abort_remaining(0.2)
+        assert {k.worker_id for k in kills(actions)} == {"w0"}
+        got = {r.id: r.error.code for r in responses(actions)}
+        assert got == {
+            "r1": ErrorCode.DRAINING,
+            "r2": ErrorCode.DRAINING,
+        }
+        assert core.is_quiescent()
+
+
+# ----------------------------------------------------------------------
+# Satellite: exactly-once under arbitrary interleavings
+# ----------------------------------------------------------------------
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("submit"),
+            st.sampled_from([0.2, 1.0, 5.0]),  # deadline_s
+            st.sampled_from([None, "k1", "k2"]),  # coalesce key
+        ),
+        st.tuples(st.just("complete_ok")),
+        st.tuples(st.just("complete_fault")),
+        st.tuples(st.just("complete_cacheio")),
+        st.tuples(st.just("crash")),
+        st.tuples(st.just("advance"), st.sampled_from([0.05, 0.5, 3.0])),
+        st.tuples(st.just("drain")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+_VALID_CODES = {"ok"} | {code.value for code in ErrorCode}
+
+
+class _Harness:
+    """Drives a ServiceCore with a virtual clock and fake workers.
+
+    The harness is the property test's model of the I/O layer: it
+    executes Dispatch/KillWorker/Respond actions, simulates worker
+    exits and respawns, and records every response delivered.
+    """
+
+    def __init__(self, workers=2):
+        self.core = make_core(
+            queue_limit=4,
+            max_redeliveries=1,
+            hang_grace_s=0.5,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.05, jitter=0.0),
+            breaker_failure_threshold=2,
+            breaker_cooldown_s=2.0,
+        )
+        self.now = 0.0
+        self.seq = 0
+        self.wseq = workers
+        self.busy = {}  # worker id -> request id
+        self.live = set()
+        self.submitted = set()
+        self.delivered = {}  # request id -> count
+        for i in range(workers):
+            self.live.add(f"w{i}")
+            self.run(self.core.register_worker(f"w{i}", self.now))
+
+    def run(self, actions):
+        queue = list(actions)
+        while queue:
+            action = queue.pop(0)
+            if isinstance(action, Respond):
+                rid = action.response.id
+                self.delivered[rid] = self.delivered.get(rid, 0) + 1
+                code = (
+                    "ok"
+                    if action.response.ok
+                    else action.response.error.code.value
+                )
+                assert code in _VALID_CODES
+            elif isinstance(action, Dispatch):
+                assert action.worker_id in self.live
+                assert action.worker_id not in self.busy
+                self.busy[action.worker_id] = action.message["id"]
+            elif isinstance(action, KillWorker):
+                # The worker process is terminated; its exit event
+                # arrives and a replacement spawns.
+                self.busy.pop(action.worker_id, None)
+                self.live.discard(action.worker_id)
+                queue.extend(
+                    self.core.worker_exit(
+                        action.worker_id, self.now, reason="killed"
+                    )
+                )
+                queue.extend(self._respawn())
+
+    def _respawn(self):
+        wid = f"w{self.wseq}"
+        self.wseq += 1
+        self.live.add(wid)
+        return self.core.register_worker(wid, self.now)
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "submit":
+            self.seq += 1
+            rid = f"r{self.seq}"
+            self.submitted.add(rid)
+            request = req(rid, deadline_ms=op[1] * 1000.0)
+            self.run(self.core.submit(request, self.now, coalesce_key=op[2]))
+        elif kind in ("complete_ok", "complete_fault", "complete_cacheio"):
+            if not self.busy:
+                return
+            wid = sorted(self.busy)[0]
+            rid = self.busy.pop(wid)
+            payload = {
+                "complete_ok": {"ok": True, "result": {"x": 1.5}},
+                "complete_fault": {
+                    "ok": False,
+                    "code": "SIMULATION_FAULT",
+                    "message": "fault",
+                },
+                "complete_cacheio": {
+                    "ok": False,
+                    "code": "CACHE_IO",
+                    "message": "disk",
+                },
+            }[kind]
+            self.run(self.core.worker_result(wid, rid, payload, self.now))
+        elif kind == "crash":
+            if not self.live:
+                return
+            wid = sorted(self.live)[0]
+            self.live.discard(wid)
+            self.busy.pop(wid, None)
+            self.run(
+                self.core.worker_exit(wid, self.now, reason="crash")
+            )
+            self.run(self._respawn())
+        elif kind == "advance":
+            self.now += op[1]
+            self.run(self.core.tick(self.now))
+        elif kind == "drain":
+            self.core.begin_drain(self.now)
+
+    def finish(self):
+        self.core.begin_drain(self.now)
+        self.now += 0.1
+        self.run(self.core.abort_remaining(self.now))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_exactly_once_under_arbitrary_interleavings(ops):
+    harness = _Harness()
+    for op in ops:
+        harness.apply(op)
+    harness.finish()
+    assert harness.core.is_quiescent()
+    # Every submitted request was answered exactly once with a valid
+    # typed outcome — no losses, no duplicates, regardless of how
+    # deaths, deadlines, retries and drain interleaved.
+    assert set(harness.delivered) == harness.submitted
+    assert all(count == 1 for count in harness.delivered.values())
+    for rid in harness.submitted:
+        assert harness.core.outcome(rid) in _VALID_CODES

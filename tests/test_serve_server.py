@@ -1,0 +1,253 @@
+"""Serving-layer integration tests: worker execution, coalesce keys,
+and a real end-to-end service over a unix socket.
+
+The heavy chaos pass (forced worker kills, slow injection, p99 gate)
+lives in ``tools/bench_serve.py`` / ``make serve-smoke``; here we keep
+one small but *real* server round trip plus in-process coverage of the
+worker-side typed-envelope mapping and the compile coalescing key.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.baselines import default_platforms
+from repro.core.compile import compile_workload, spec_cache_key
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ErrorCode, Request
+from repro.serve.server import request_coalesce_key
+from repro.serve.supervisor import execute_request
+from repro.workloads import find_workload
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def run_request(method, params, deadline_ts=None, **options):
+    options.setdefault("enable_debug_methods", True)
+    return execute_request(method, params, deadline_ts, options)
+
+
+class TestExecuteRequest:
+    """The worker maps every failure to a typed code — no guessing."""
+
+    def test_run_matches_inprocess_platform(self):
+        envelope = run_request(
+            "run", {"workload": "atax", "platform": "StPIM", "scale": 0.01}
+        )
+        assert envelope["ok"]
+        spec = find_workload("atax", scale=0.01)
+        stats = default_platforms()["StPIM"].run(spec)
+        assert envelope["result"]["time_ns"] == stats.time_ns
+        assert envelope["result"]["energy_pj"] == stats.energy.total_pj
+
+    def test_unknown_workload_typed(self):
+        envelope = run_request("run", {"workload": "nope"})
+        assert not envelope["ok"]
+        assert envelope["code"] == ErrorCode.UNKNOWN_WORKLOAD.value
+        assert "nope" in envelope["message"]
+
+    def test_unknown_platform_typed(self):
+        envelope = run_request(
+            "run", {"workload": "atax", "platform": "TPU", "scale": 0.01}
+        )
+        assert not envelope["ok"]
+        assert envelope["code"] == ErrorCode.UNKNOWN_WORKLOAD.value
+
+    def test_unknown_method_typed(self):
+        envelope = run_request("frobnicate", {})
+        assert envelope["code"] == ErrorCode.UNKNOWN_METHOD.value
+
+    def test_debug_methods_gated_in_worker(self):
+        envelope = execute_request(
+            "x-fault", {}, None, {"enable_debug_methods": False}
+        )
+        assert envelope["code"] == ErrorCode.UNKNOWN_METHOD.value
+
+    def test_injected_fault_typed(self):
+        envelope = run_request("x-fault", {})
+        assert envelope["code"] == ErrorCode.SIMULATION_FAULT.value
+
+    def test_expired_deadline_cancels_cooperatively(self):
+        envelope = run_request(
+            "x-sleep", {"ms": 60000.0}, deadline_ts=time.time() - 1.0
+        )
+        assert envelope["code"] == ErrorCode.DEADLINE_EXCEEDED.value
+
+    def test_compile_hits_cache_and_matches_local_sha(self, tmp_path):
+        params = {"workload": "atax", "scale": 0.01, "seed": 7}
+        cold = run_request("compile", params, cache_dir=str(tmp_path))
+        warm = run_request("compile", params, cache_dir=str(tmp_path))
+        assert cold["ok"] and warm["ok"]
+        assert cold["result"]["cache_hit"] is False
+        assert warm["result"]["cache_hit"] is True
+        local = compile_workload(
+            find_workload("atax", scale=0.01), seed=7, use_cache=False
+        )
+        sha = hashlib.sha256(local.trace.to_bytes()).hexdigest()
+        assert cold["result"]["trace_sha256"] == sha
+        assert warm["result"]["trace_sha256"] == sha
+
+
+class TestCoalesceKey:
+    def _compile_req(self, rid="r", **params):
+        merged = {"workload": "atax", "scale": 0.01, "seed": 7}
+        merged.update(params)
+        return Request(id=rid, method="compile", params=merged)
+
+    def test_only_compile_coalesces(self):
+        assert request_coalesce_key(
+            Request(id="r", method="run", params={"workload": "atax"})
+        ) is None
+
+    def test_identical_compiles_share_a_key(self):
+        a = request_coalesce_key(self._compile_req("r1"))
+        b = request_coalesce_key(self._compile_req("r2"))
+        assert a is not None and a == b
+        # Keyed by the trace cache's content hash.
+        assert spec_cache_key(find_workload("atax", scale=0.01), seed=7) in a
+
+    @pytest.mark.parametrize(
+        "variant",
+        [{"seed": 8}, {"scale": 0.02}, {"workload": "bicg"}, {"deep": True}],
+    )
+    def test_different_work_gets_different_keys(self, variant):
+        assert request_coalesce_key(
+            self._compile_req(**variant)
+        ) != request_coalesce_key(self._compile_req())
+
+    def test_no_cache_never_coalesces(self):
+        assert request_coalesce_key(self._compile_req(no_cache=True)) is None
+
+    def test_unresolvable_params_never_coalesce(self):
+        assert request_coalesce_key(self._compile_req(workload="nope")) is None
+
+
+@pytest.fixture(scope="class")
+def live_server(tmp_path_factory):
+    """One real service (2 workers) on a unix socket for the class."""
+    root = tmp_path_factory.mktemp("serve")
+    socket_path = str(root / "serve.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["REPRO_STREAMPIM_CACHE_DIR"] = str(root / "cache")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            "2",
+            "--cache-dir",
+            str(root / "cache"),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 30.0
+    while True:
+        try:
+            with ServeClient(socket_path=socket_path, timeout_s=2.0) as c:
+                if c.ping().ok:
+                    break
+        except Exception:
+            if proc.poll() is not None:
+                raise RuntimeError("server died during startup")
+            if time.time() > deadline:
+                proc.kill()
+                raise RuntimeError("server did not come up in 30s")
+            time.sleep(0.1)
+    yield socket_path, proc
+    if proc.poll() is None:
+        proc.terminate()
+        proc.wait(timeout=15)
+
+
+class TestEndToEnd:
+    def test_run_over_socket_is_bit_identical(self, live_server):
+        socket_path, _ = live_server
+        with ServeClient(socket_path=socket_path, timeout_s=60.0) as client:
+            response = client.call(
+                "run",
+                {"workload": "atax", "platform": "StPIM", "scale": 0.01},
+            )
+        assert response.ok
+        stats = default_platforms()["StPIM"].run(
+            find_workload("atax", scale=0.01)
+        )
+        assert response.result["time_ns"] == stats.time_ns
+
+    def test_compile_over_socket_warm_hit(self, live_server):
+        socket_path, _ = live_server
+        params = {"workload": "bicg", "scale": 0.01, "seed": 7}
+        with ServeClient(socket_path=socket_path, timeout_s=120.0) as client:
+            cold = client.call("compile", params)
+            warm = client.call("compile", params)
+        assert cold.ok and warm.ok
+        assert warm.result["cache_hit"] is True
+        assert warm.result["trace_sha256"] == cold.result["trace_sha256"]
+
+    def test_typed_error_crosses_the_wire(self, live_server):
+        socket_path, _ = live_server
+        with ServeClient(socket_path=socket_path, timeout_s=30.0) as client:
+            response = client.call("run", {"workload": "nope"})
+        assert not response.ok
+        assert response.error.code is ErrorCode.UNKNOWN_WORKLOAD
+        assert not response.error.retryable
+
+    def test_debug_methods_rejected_without_chaos(self, live_server):
+        socket_path, _ = live_server
+        with ServeClient(socket_path=socket_path, timeout_s=30.0) as client:
+            response = client.call("x-crash", {})
+        assert response.error.code is ErrorCode.UNKNOWN_METHOD
+
+    def test_one_shot_cli_clients_do_not_collide(self, live_server):
+        # Regression: the server's exactly-once ledger spans
+        # connections, so auto-generated request ids must be unique
+        # across *processes* — two fresh CLI invocations used to both
+        # count "c1" and the second was rejected as a duplicate.
+        socket_path, _ = live_server
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        for _ in range(2):
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "client",
+                    "run",
+                    "--socket",
+                    socket_path,
+                    "--workload",
+                    "atax",
+                    "--scale",
+                    "0.01",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_stats_and_clean_drain(self, live_server):
+        socket_path, proc = live_server
+        with ServeClient(socket_path=socket_path, timeout_s=30.0) as client:
+            stats = client.stats()
+            assert stats.ok
+            assert stats.result["pool"]["size"] == 2
+            assert stats.result["core"]["dead_letters"] == 0
+            # Every worker-method request from the earlier tests got
+            # exactly one answer.
+            assert stats.result["core"]["responded"] >= 4
+            assert stats.result["latency_ms"]["p99"] is not None
+            assert client.drain().ok
+        assert proc.wait(timeout=30) == 0

@@ -323,6 +323,142 @@ class TestCacheCLI:
         assert "entries   : 1" in capsys.readouterr().out
 
 
+class TestStatsCrashSafety:
+    """``stats.json`` damage must never raise — tolerate + regenerate."""
+
+    def _cache_with_stats(self, tmp_path):
+        cache = TraceCache(tmp_path / "c", memory_entries=0)
+        cache.put("a" * 64, _sample_trace())
+        cache.get("a" * 64)
+        path = cache.cache_dir / "stats.json"
+        assert path.is_file()
+        return cache, path
+
+    def test_truncated_mid_content_tolerated_and_regenerated(
+        self, tmp_path
+    ):
+        cache, path = self._cache_with_stats(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # crash mid-write
+        stats = TraceCache(tmp_path / "c").stats()
+        assert stats["hits"] == 0  # damaged counters read as zero
+        assert stats["entries"] == 1  # the store itself is untouched
+        # The damaged file was atomically replaced with a clean one.
+        regenerated = json.loads(path.read_text("utf-8"))
+        assert regenerated["hits"] == 0
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            b"",  # zero-length (crash before any byte landed)
+            b"{\"hits\": 3",  # truncated json
+            b"not json at all",
+            b"[1, 2, 3]",  # wrong shape
+            b"{\"hits\": \"many\"}",  # wrong-typed counter
+            b"{\"hits\": -4}",  # nonsense value
+        ],
+    )
+    def test_damaged_stats_read_as_zero(self, tmp_path, damage):
+        cache, path = self._cache_with_stats(tmp_path)
+        path.write_bytes(damage)
+        stats = TraceCache(tmp_path / "c").stats()
+        assert stats["hits"] == 0
+        assert json.loads(path.read_text("utf-8"))  # clean file again
+
+    def test_partial_damage_keeps_the_valid_counters(self, tmp_path):
+        cache, path = self._cache_with_stats(tmp_path)
+        path.write_text('{"hits": 5, "puts": "garbage"}')
+        stats = TraceCache(tmp_path / "c").stats()
+        assert stats["hits"] == 5
+        assert stats["puts"] == 0
+
+    def test_counting_through_damage_still_works(self, tmp_path):
+        cache, path = self._cache_with_stats(tmp_path)
+        path.write_bytes(b"\xff\xfe garbage")
+        cache.get("a" * 64)  # bumps counters through the damaged file
+        stats = TraceCache(tmp_path / "c").stats()
+        assert stats["hits"] == 1
+
+    def test_writes_leave_no_temp_residue(self, tmp_path):
+        cache, path = self._cache_with_stats(tmp_path)
+        leftovers = list(cache.cache_dir.glob(".stats.*.tmp"))
+        assert leftovers == []
+
+
+class TestInflightTracker:
+    def _tracker(self, tmp_path, **kwargs):
+        from repro.isa.trace_cache import InflightTracker
+
+        return InflightTracker(tmp_path / "c", **kwargs)
+
+    def test_mark_clear_round_trip(self, tmp_path):
+        tracker = self._tracker(tmp_path)
+        tracker.mark("k1")
+        assert tracker.is_inflight("k1")
+        assert tracker.active()["k1"]["pid"] == __import__("os").getpid()
+        tracker.clear("k1")
+        assert not tracker.is_inflight("k1")
+
+    def test_dead_owner_is_stale_and_pruned(self, tmp_path):
+        import multiprocessing
+
+        proc = multiprocessing.get_context("spawn").Process(target=int)
+        proc.start()
+        proc.join()
+        tracker = self._tracker(tmp_path)
+        path = tracker.mark("k1")
+        payload = json.loads(path.read_text("utf-8"))
+        payload["pid"] = proc.pid  # a pid that no longer runs
+        path.write_text(json.dumps(payload))
+        assert not tracker.is_inflight("k1")
+        assert not path.exists()  # a crashed worker leaves no residue
+
+    def test_too_old_marker_is_stale(self, tmp_path):
+        import time as _time
+
+        tracker = self._tracker(tmp_path, max_age_s=10.0)
+        path = tracker.mark("k1")
+        payload = json.loads(path.read_text("utf-8"))
+        payload["started"] = _time.time() - 3600.0
+        path.write_text(json.dumps(payload))
+        assert not tracker.is_inflight("k1")
+
+    def test_unreadable_marker_is_stale(self, tmp_path):
+        tracker = self._tracker(tmp_path)
+        path = tracker.mark("k1")
+        path.write_bytes(b"{half a mar")  # crash mid-write
+        assert tracker.active() == {}
+        assert not path.exists()
+
+    def test_compile_marks_and_clears(self, tmp_path):
+        from repro.isa.trace_cache import InflightTracker
+
+        events = []
+
+        class Recording(InflightTracker):
+            def mark(self, key):
+                events.append(("mark", key))
+                return super().mark(key)
+
+            def clear(self, key):
+                events.append(("clear", key))
+                super().clear(key)
+
+        cache = TraceCache(tmp_path / "c")
+        tracker = Recording(cache.cache_dir)
+        cold = compile_workload(_spec(), cache=cache, inflight=tracker)
+        assert events == [
+            ("mark", cold.cache_key),
+            ("clear", cold.cache_key),
+        ]
+        assert tracker.active() == {}  # nothing left behind
+        # A warm hit never marks: no compile is in flight.
+        events.clear()
+        warm = compile_workload(_spec(), cache=cache, inflight=tracker)
+        assert warm.cache_hit
+        assert events == []
+
+
 def test_config_key_uses_geometry_dataclass():
     """Guard: geometry must stay asdict-able or keys silently collide."""
     device = StreamPIMDevice()

@@ -1,0 +1,594 @@
+#!/usr/bin/env python
+"""Load generator and chaos gate for the simulation service.
+
+Starts a real ``repro-streampim serve`` process on a private unix
+socket, drives it from concurrent client threads, and asserts the
+serving layer's resilience contract (``docs/serving.md``):
+
+* **exactly-once**: every issued request resolves to exactly one
+  response carrying its own id — nothing lost, nothing duplicated;
+* **deadlines**: every request resolves within its deadline plus the
+  server's hang grace (plus a transport margin);
+* **chaos survival** (``--chaos``): with worker crashes injected
+  through the queue (``x-crash``) and a slice of slow requests
+  (``x-sleep``), the above still holds, the pool respawns the killed
+  workers, and the p99 latency of *normal* requests stays within
+  ``--max-p99-ratio`` (default 3x) of the no-chaos baseline;
+* **bit-identity**: every successful ``run`` result equals the
+  in-process one-shot ``default_platforms()[p].run(spec)`` numbers
+  exactly, and every ``compile`` result's ``trace_sha256`` equals a
+  local one-shot compile's — serving adds no numeric drift;
+* **clean drain**: after the load the server drains on request and
+  exits 0.
+
+Run directly or via ``make serve-smoke``::
+
+    PYTHONPATH=src python tools/bench_serve.py --chaos \
+        --requests 80 --threads 6 --crashes 2 --slow-fraction 0.08 \
+        --out BENCH_serve.json
+
+Without ``--chaos`` only the baseline load phase runs.  Measurements
+and gate verdicts land in the JSON artifact; exit status is non-zero
+when any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import ServeClient, ServeClientError  # noqa: E402
+
+#: (method, params, deadline_ms) templates for the normal load mix;
+#: request i uses template i % len(MIX).
+MIX = [
+    ("run", {"workload": "atax", "platform": "StPIM", "scale": 0.01}),
+    ("run", {"workload": "bicg", "platform": "CPU-RM", "scale": 0.01}),
+    ("compile", {"workload": "atax", "scale": 0.01}),
+    ("run", {"workload": "mvt", "platform": "FELIX", "scale": 0.01}),
+    ("compile", {"workload": "bicg", "scale": 0.01}),
+    ("run", {"workload": "atax", "platform": "CORUSCANT", "scale": 0.01}),
+]
+
+#: Codes acceptable for an ``x-crash`` injection: the worker died, so
+#: the request dead-letters after redelivery — or the crash class's
+#: breaker already opened and shed it fast.
+CRASH_CODES = {"DEAD_LETTER", "CIRCUIT_OPEN", "WORKER_CRASH"}
+
+
+def percentile(values, q):
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+# ----------------------------------------------------------------------
+# Server lifecycle
+# ----------------------------------------------------------------------
+def start_server(socket_path, cache_dir, args, chaos):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_STREAMPIM_CACHE_DIR"] = str(cache_dir)
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--socket",
+        str(socket_path),
+        "--workers",
+        str(args.workers),
+        "--queue-limit",
+        "512",
+        "--tenant-rate",
+        "100000",
+        "--tenant-burst",
+        "100000",
+        "--hang-grace",
+        str(args.hang_grace),
+        "--drain-timeout",
+        "30",
+    ]
+    if chaos:
+        cmd.append("--chaos")
+    process = subprocess.Popen(
+        cmd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        if process.poll() is not None:
+            out = process.stdout.read() if process.stdout else ""
+            raise SystemExit(
+                f"server died during startup (rc={process.returncode}):\n{out}"
+            )
+        if os.path.exists(socket_path):
+            try:
+                with ServeClient(socket_path=str(socket_path)) as probe:
+                    if probe.ping().ok:
+                        return process
+            except ServeClientError:
+                pass
+        time.sleep(0.1)
+    process.kill()
+    raise SystemExit("server did not become ready within 30s")
+
+
+def stop_server(process, socket_path):
+    """Drain via the control method; returns the exit code."""
+    try:
+        with ServeClient(socket_path=str(socket_path)) as client:
+            client.drain()
+    except ServeClientError:
+        pass
+    try:
+        return process.wait(timeout=45.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        return -9
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+def build_plan(args, chaos):
+    """The full request list, each entry one descriptor dict."""
+    plan = []
+    for i in range(args.requests):
+        method, params = MIX[i % len(MIX)]
+        plan.append(
+            {
+                "kind": "normal",
+                "method": method,
+                "params": dict(params),
+                "deadline_ms": args.deadline_ms,
+            }
+        )
+    if chaos:
+        slow = max(1, int(round(args.requests * args.slow_fraction)))
+        for i in range(slow):
+            plan.insert(
+                (i * 7) % len(plan),
+                {
+                    "kind": "slow",
+                    "method": "x-sleep",
+                    "params": {"ms": args.slow_ms},
+                    "deadline_ms": args.deadline_ms,
+                },
+            )
+        for i in range(args.crashes):
+            # One breaker class per crash (distinct workload label), so
+            # every injection actually reaches a worker and kills it
+            # instead of being shed by the previous crash's open
+            # breaker.
+            plan.insert(
+                (i * 13 + 3) % len(plan),
+                {
+                    "kind": "crash",
+                    "method": "x-crash",
+                    "params": {"workload": f"chaos{i}"},
+                    "deadline_ms": args.deadline_ms,
+                },
+            )
+    return plan
+
+
+def run_load(socket_path, plan, threads):
+    """Issue the plan from N threads; returns per-request records."""
+    lock = threading.Lock()
+    cursor = {"next": 0}
+    records = [None] * len(plan)
+
+    def worker(thread_index):
+        try:
+            client = ServeClient(
+                socket_path=str(socket_path), timeout_s=120.0
+            )
+        except ServeClientError as exc:
+            with lock:
+                for i, record in enumerate(records):
+                    if record is None:
+                        records[i] = {"error": f"connect: {exc}"}
+            return
+        with client:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(plan):
+                        return
+                    cursor["next"] = index + 1
+                item = plan[index]
+                request_id = f"t{thread_index}-r{index}"
+                started = time.time()
+                try:
+                    response = client.call(
+                        item["method"],
+                        item["params"],
+                        deadline_ms=item["deadline_ms"],
+                        request_id=request_id,
+                    )
+                    records[index] = {
+                        "kind": item["kind"],
+                        "method": item["method"],
+                        "params": item["params"],
+                        "id": request_id,
+                        "response_id": response.id,
+                        "ok": response.ok,
+                        "code": (
+                            None
+                            if response.ok
+                            else response.error.code.value
+                        ),
+                        "result": response.result if response.ok else None,
+                        "latency_ms": (time.time() - started) * 1000.0,
+                        "deadline_ms": item["deadline_ms"],
+                    }
+                except ServeClientError as exc:
+                    records[index] = {
+                        "kind": item["kind"],
+                        "id": request_id,
+                        "error": str(exc),
+                        "latency_ms": (time.time() - started) * 1000.0,
+                    }
+
+    pool = [
+        threading.Thread(target=worker, args=(t,), daemon=True)
+        for t in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return records
+
+
+# ----------------------------------------------------------------------
+# Gates
+# ----------------------------------------------------------------------
+def check_exactly_once(records, failures):
+    """One response per request, correlated by its own id."""
+    seen = set()
+    for record in records:
+        if record is None or "error" in record:
+            failures.append(
+                f"lost response: {record!r}"
+                if record
+                else "request never issued"
+            )
+            continue
+        if record["response_id"] not in ("", record["id"]):
+            failures.append(
+                f"response id mismatch: sent {record['id']} "
+                f"got {record['response_id']}"
+            )
+        if record["id"] in seen:
+            failures.append(f"duplicate response for {record['id']}")
+        seen.add(record["id"])
+
+
+def check_deadlines(records, hang_grace_s, margin_s, failures):
+    for record in records:
+        if record is None or "error" in record:
+            continue
+        budget_ms = (
+            record["deadline_ms"] + (hang_grace_s + margin_s) * 1000.0
+        )
+        if record["latency_ms"] > budget_ms:
+            failures.append(
+                f"{record['id']} resolved after {record['latency_ms']:.0f}ms "
+                f"(> deadline {record['deadline_ms']:.0f}ms + grace)"
+            )
+
+
+def check_outcomes(records, failures):
+    """Normal requests succeed; injections get their typed codes."""
+    for record in records:
+        if record is None or "error" in record:
+            continue
+        if record["kind"] == "normal" and not record["ok"]:
+            failures.append(
+                f"normal request {record['id']} failed: {record['code']}"
+            )
+        if record["kind"] == "crash" and record["ok"]:
+            failures.append(
+                f"crash injection {record['id']} reported success"
+            )
+        if (
+            record["kind"] == "crash"
+            and not record["ok"]
+            and record["code"] not in CRASH_CODES
+        ):
+            failures.append(
+                f"crash injection {record['id']} got {record['code']}, "
+                f"expected one of {sorted(CRASH_CODES)}"
+            )
+        if record["kind"] == "slow" and not record["ok"]:
+            # A slow request may legitimately hit its deadline; any
+            # other code is a bug.
+            if record["code"] != "DEADLINE_EXCEEDED":
+                failures.append(
+                    f"slow injection {record['id']} got {record['code']}"
+                )
+
+
+def check_bit_identity(records, failures):
+    """Server results must equal one-shot in-process results exactly."""
+    from repro.baselines import default_platforms
+    from repro.core.compile import compile_workload
+    from repro.workloads import find_workload
+
+    import hashlib
+
+    platforms = default_platforms()
+    run_expected = {}
+    compile_expected = {}
+    for record in records:
+        if (
+            record is None
+            or "error" in record
+            or record["kind"] != "normal"
+            or not record["ok"]
+        ):
+            continue
+        params = record["params"]
+        key = (
+            params.get("workload"),
+            params.get("platform"),
+            params.get("scale"),
+        )
+        if record["method"] == "run":
+            if key not in run_expected:
+                spec = find_workload(key[0], scale=key[2])
+                stats = platforms[key[1]].run(spec)
+                run_expected[key] = (stats.time_ns, stats.energy.total_pj)
+            time_ns, energy_pj = run_expected[key]
+            got = record["result"]
+            if got["time_ns"] != time_ns or got["energy_pj"] != energy_pj:
+                failures.append(
+                    f"run result drift for {key}: served "
+                    f"({got['time_ns']}, {got['energy_pj']}) vs one-shot "
+                    f"({time_ns}, {energy_pj})"
+                )
+        elif record["method"] == "compile":
+            if key not in compile_expected:
+                spec = find_workload(key[0], scale=key[2])
+                compiled = compile_workload(spec, use_cache=False)
+                compile_expected[key] = hashlib.sha256(
+                    compiled.trace.to_bytes()
+                ).hexdigest()
+            if record["result"]["trace_sha256"] != compile_expected[key]:
+                failures.append(
+                    f"compile trace drift for {key}: served sha "
+                    f"{record['result']['trace_sha256']} vs one-shot "
+                    f"{compile_expected[key]}"
+                )
+    return len(run_expected), len(compile_expected)
+
+
+def summarize(records):
+    normal = [
+        r
+        for r in records
+        if r is not None and "error" not in r and r["kind"] == "normal"
+    ]
+    latencies = [r["latency_ms"] for r in normal]
+    codes = {}
+    for record in records:
+        if record is None or "error" in record:
+            codes["TRANSPORT"] = codes.get("TRANSPORT", 0) + 1
+        elif not record["ok"]:
+            codes[record["code"]] = codes.get(record["code"], 0) + 1
+    return {
+        "requests": len(records),
+        "normal": len(normal),
+        "normal_ok": sum(1 for r in normal if r["ok"]),
+        "error_codes": codes,
+        "p50_ms": percentile(latencies, 50.0),
+        "p99_ms": percentile(latencies, 99.0),
+        "max_ms": max(latencies) if latencies else None,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_phase(args, chaos, cache_dir, failures):
+    """One server lifetime: start, load, stats, drain. Returns report."""
+    tag = "chaos" if chaos else "baseline"
+    with tempfile.TemporaryDirectory(prefix=f"serve-{tag}-") as tmp:
+        socket_path = Path(tmp) / "bench.sock"
+        process = start_server(socket_path, cache_dir, args, chaos)
+        plan = build_plan(args, chaos)
+        started = time.time()
+        records = run_load(socket_path, plan, args.threads)
+        elapsed = time.time() - started
+        restarts = dead_letters = None
+        try:
+            with ServeClient(socket_path=str(socket_path)) as client:
+                stats = client.stats()
+                if stats.ok:
+                    restarts = stats.result["pool"]["restarts"]
+                    dead_letters = stats.result["core"]["dead_letters"]
+        except ServeClientError as exc:
+            failures.append(f"[{tag}] stats call failed: {exc}")
+        exit_code = stop_server(process, socket_path)
+        if exit_code != 0:
+            failures.append(
+                f"[{tag}] server exit code {exit_code} (wanted clean drain)"
+            )
+        check_exactly_once(records, failures)
+        check_deadlines(
+            records, args.hang_grace, args.deadline_margin, failures
+        )
+        check_outcomes(records, failures)
+        runs, compiles = check_bit_identity(records, failures)
+        report = summarize(records)
+        report.update(
+            {
+                "elapsed_s": round(elapsed, 3),
+                "worker_restarts": restarts,
+                "dead_letters": dead_letters,
+                "clean_drain": exit_code == 0,
+                "identity_checked": {"run": runs, "compile": compiles},
+            }
+        )
+        if chaos:
+            report["injected"] = {
+                "crashes": args.crashes,
+                "slow": sum(
+                    1
+                    for r in records
+                    if r is not None and r.get("kind") == "slow"
+                ),
+            }
+            if restarts is not None and restarts < args.crashes:
+                failures.append(
+                    f"[chaos] only {restarts} worker restart(s) observed, "
+                    f"expected >= {args.crashes}"
+                )
+        return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=120)
+    parser.add_argument("--threads", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the chaos phase (crashes + slow injection) and "
+        "gate p99 against the baseline",
+    )
+    parser.add_argument(
+        "--crashes",
+        type=int,
+        default=2,
+        help="x-crash injections (forced worker kills) in chaos mode",
+    )
+    parser.add_argument(
+        "--slow-fraction",
+        type=float,
+        default=0.05,
+        help="fraction of the load injected as x-sleep slow requests",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=250.0,
+        help="duration of each injected slow request",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=60000.0,
+        help="per-request deadline for generated load",
+    )
+    parser.add_argument(
+        "--hang-grace",
+        type=float,
+        default=2.0,
+        help="server hang grace (also part of the deadline gate budget)",
+    )
+    parser.add_argument(
+        "--deadline-margin",
+        type=float,
+        default=5.0,
+        help="transport slack (s) allowed on top of deadline + grace",
+    )
+    parser.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=3.0,
+        help="chaos p99 must stay within this multiple of baseline p99",
+    )
+    parser.add_argument(
+        "--p99-floor-ms",
+        type=float,
+        default=250.0,
+        help="baseline p99 is clamped up to this floor before the "
+        "ratio gate (keeps tiny absolute latencies from flaking it)",
+    )
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    failures = []
+    payload = {
+        "config": {
+            "requests": args.requests,
+            "threads": args.threads,
+            "workers": args.workers,
+            "chaos": args.chaos,
+            "crashes": args.crashes,
+            "slow_fraction": args.slow_fraction,
+            "deadline_ms": args.deadline_ms,
+            "max_p99_ratio": args.max_p99_ratio,
+        }
+    }
+    with tempfile.TemporaryDirectory(prefix="serve-cache-") as cache_dir:
+        print(
+            f"baseline phase: {args.requests} requests, "
+            f"{args.threads} threads, {args.workers} workers"
+        )
+        payload["baseline"] = run_phase(args, False, cache_dir, failures)
+        print(
+            f"  p50 {payload['baseline']['p50_ms']:.1f}ms, "
+            f"p99 {payload['baseline']['p99_ms']:.1f}ms, "
+            f"{payload['baseline']['normal_ok']}/"
+            f"{payload['baseline']['normal']} ok"
+        )
+        if args.chaos:
+            print(
+                f"chaos phase: +{args.crashes} crashes, "
+                f"{args.slow_fraction:.0%} slow injection"
+            )
+            payload["chaos"] = run_phase(args, True, cache_dir, failures)
+            print(
+                f"  p50 {payload['chaos']['p50_ms']:.1f}ms, "
+                f"p99 {payload['chaos']['p99_ms']:.1f}ms, "
+                f"restarts {payload['chaos']['worker_restarts']}, "
+                f"dead-letters {payload['chaos']['dead_letters']}"
+            )
+            base_p99 = max(
+                payload["baseline"]["p99_ms"] or 0.0, args.p99_floor_ms
+            )
+            chaos_p99 = payload["chaos"]["p99_ms"] or 0.0
+            ratio = chaos_p99 / base_p99
+            payload["p99_ratio"] = round(ratio, 3)
+            if ratio > args.max_p99_ratio:
+                failures.append(
+                    f"chaos p99 {chaos_p99:.1f}ms is {ratio:.2f}x the "
+                    f"baseline (max {args.max_p99_ratio}x)"
+                )
+
+    payload["failures"] = failures
+    payload["ok"] = not failures
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("all serving gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
