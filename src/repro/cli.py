@@ -938,6 +938,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry=RetryPolicy(max_attempts=args.max_attempts),
         breaker_failure_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        responded_ledger_limit=args.responded_ledger_limit,
         enable_debug_methods=args.chaos,
     )
     config = ServeConfig(
@@ -1419,6 +1420,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5.0,
         help="seconds an open circuit waits before half-opening",
+    )
+    serve.add_argument(
+        "--responded-ledger-limit",
+        type=int,
+        default=8192,
+        help="request ids remembered by the exactly-once ledger "
+        "(duplicate-id rejection window; retries need fresh ids)",
     )
     serve.add_argument(
         "--drain-timeout",

@@ -10,15 +10,16 @@ instrumentation block entirely, so a disabled run pays one attribute
 read per *run*, not per event.
 
 Determinism contract: every aggregate a metric keeps (counter totals,
-histogram sums) is computed with order-free accumulation
-(:func:`math.fsum` for float streams), so two engines feeding the same
-values in the same order — or batched as one array — report identical
-totals.
+histogram sums) is accumulated with compensated (Neumaier) summation
+and, for histogram percentiles, a reservoir driven by a name-seeded
+RNG — so two engines feeding the same values in the same order, or
+batched as one array, report identical totals and percentiles.
 """
 
 from __future__ import annotations
 
-import math
+import hashlib
+import random
 from typing import Dict, Iterable, List, Optional, Union
 
 Number = Union[int, float]
@@ -58,28 +59,74 @@ class Gauge:
         self.max = value if self.max is None else max(self.max, value)
 
 
-class Histogram:
-    """Streaming summary (count/sum/min/max) of an observed quantity.
+#: Samples retained per histogram for percentile estimation.  Below
+#: this many observations percentiles are exact; beyond it a uniform
+#: reservoir (Vitter's algorithm R) keeps memory and percentile cost
+#: bounded on long-lived services.
+RESERVOIR_SIZE = 4096
 
-    The sum is kept as the exact :func:`math.fsum` of everything
-    observed so far (observations are buffered and compensated), which
-    makes batched and one-at-a-time feeding report identical totals.
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/percentiles) of a quantity.
+
+    The sum is a compensated (Neumaier) running total, so batched and
+    one-at-a-time feeding of the same values report identical sums.
+    Memory is bounded: only a ``reservoir_size`` uniform sample of the
+    observations is retained for percentiles (exact until the
+    reservoir fills), with a name-seeded RNG so runs are reproducible.
     """
 
-    __slots__ = ("name", "count", "min", "max", "_values")
+    __slots__ = (
+        "name",
+        "count",
+        "min",
+        "max",
+        "_sum",
+        "_comp",
+        "_capacity",
+        "_samples",
+        "_rng",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, reservoir_size: int = RESERVOIR_SIZE
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
         self.name = name
         self.count = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
-        self._values: List[float] = []
+        self._sum = 0.0
+        self._comp = 0.0
+        self._capacity = reservoir_size
+        self._samples: List[float] = []
+        seed = int.from_bytes(
+            hashlib.sha256(name.encode("utf-8")).digest()[:8], "big"
+        )
+        self._rng = random.Random(seed)
 
     def observe(self, value: Number) -> None:
         self.count += 1
-        self._values.append(float(value))
+        val = float(value)
+        # Neumaier compensated add: the (sum, compensation) pair loses
+        # nothing to cancellation, whatever order the stream arrives.
+        total = self._sum + val
+        if abs(self._sum) >= abs(val):
+            self._comp += (self._sum - total) + val
+        else:
+            self._comp += (val - total) + self._sum
+        self._sum = total
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self._capacity:
+            self._samples.append(val)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._samples[slot] = val
 
     def observe_many(self, values: Iterable[Number]) -> None:
         for value in values:
@@ -87,7 +134,7 @@ class Histogram:
 
     @property
     def sum(self) -> float:
-        return math.fsum(self._values)
+        return self._sum + self._comp
 
     @property
     def mean(self) -> float:
@@ -96,15 +143,16 @@ class Histogram:
     def percentile(self, q: float) -> Optional[float]:
         """Linear-interpolated ``q``-th percentile (q in [0, 100]).
 
-        Exact over everything observed (the histogram keeps its
-        samples), which is what the serving layer's p50/p99 latency
-        gates need; None before the first observation.
+        Exact while the observation count is within the reservoir
+        capacity; a uniform-sample estimate beyond it (the serving
+        layer's p50/p99 gates tolerate reservoir error at that scale).
+        None before the first observation.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._values:
+        if not self._samples:
             return None
-        ordered = sorted(self._values)
+        ordered = sorted(self._samples)
         rank = (q / 100.0) * (len(ordered) - 1)
         low = int(rank)
         high = min(low + 1, len(ordered) - 1)

@@ -15,7 +15,9 @@ Invariants the core maintains (and tests assert):
 
 * every submitted request is answered **exactly once** — with a result
   or a typed :class:`~repro.serve.protocol.ErrorCode` — no matter how
-  worker deaths, deadline expiries, retries and drain interleave;
+  worker deaths, deadline expiries, retries and drain interleave; the
+  supporting id ledger is LRU-bounded (``responded_ledger_limit``), so
+  client retries must use fresh ids;
 * a request past its deadline is never dispatched, and an in-flight
   request past ``deadline + hang_grace`` gets its worker killed and a
   ``DEADLINE_EXCEEDED`` answer;
@@ -64,6 +66,15 @@ class CoreConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker_failure_threshold: int = 3
     breaker_cooldown_s: float = 5.0
+    #: Most recent request ids remembered by the exactly-once ledger
+    #: (LRU on response order).  Reusing an id while it is remembered
+    #: is rejected with ``INVALID_REQUEST``; clients must retry with
+    #: fresh ids.  Bounded so a long-lived service does not grow a
+    #: per-request memory footprint forever.
+    responded_ledger_limit: int = 8192
+    #: Most recent dead-letter records kept for ``stats`` (the total
+    #: count is tracked separately and never resets).
+    dead_letter_limit: int = 256
     #: Honour chaos/debug methods (``x-crash``/``x-sleep``/``x-fault``).
     enable_debug_methods: bool = False
 
@@ -100,6 +111,16 @@ class CoreConfig:
             raise ValueError(
                 f"breaker_cooldown_s must be positive, got "
                 f"{self.breaker_cooldown_s}"
+            )
+        if self.responded_ledger_limit < 1:
+            raise ValueError(
+                f"responded_ledger_limit must be >= 1, got "
+                f"{self.responded_ledger_limit}"
+            )
+        if self.dead_letter_limit < 1:
+            raise ValueError(
+                f"dead_letter_limit must be >= 1, got "
+                f"{self.dead_letter_limit}"
             )
 
 
@@ -176,10 +197,19 @@ class ServiceCore:
         self._inflight: Dict[str, str] = {}  # worker -> request id
         self._idle: "OrderedDict[str, None]" = OrderedDict()
         self._doomed: set = set()  # killed workers whose exit is pending
-        self._responded: Dict[str, str] = {}  # request id -> outcome
+        # Exactly-once ledger: request id -> outcome, LRU-bounded at
+        # ``responded_ledger_limit`` so a long-lived service does not
+        # remember every id forever (clients must retry with fresh
+        # ids; see docs/serving.md).  Ids of *pending* requests are
+        # never in here, so eviction cannot cause a double response.
+        self._responded: "OrderedDict[str, str]" = OrderedDict()
+        self.responded_total = 0
         self._leaders: Dict[str, str] = {}  # coalesce key -> leader id
         self._followers: Dict[str, List[str]] = {}  # leader -> followers
-        self.dead_letters: List[Dict[str, object]] = []
+        self.dead_letters: Deque[Dict[str, object]] = deque(
+            maxlen=self.config.dead_letter_limit
+        )
+        self.dead_letter_total = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -202,8 +232,19 @@ class ServiceCore:
         return not self._pending
 
     def outcome(self, request_id: str) -> Optional[str]:
-        """How ``request_id`` was answered ("ok" or an error code)."""
+        """How ``request_id`` was answered ("ok" or an error code).
+
+        None for never-seen ids and for ids evicted from the bounded
+        ledger (older than the last ``responded_ledger_limit``
+        responses).
+        """
         return self._responded.get(request_id)
+
+    def _record_outcome(self, request_id: str, outcome: str) -> None:
+        self._responded[request_id] = outcome
+        self.responded_total += 1
+        while len(self._responded) > self.config.responded_ledger_limit:
+            self._responded.popitem(last=False)
 
     def snapshot(self, now: float) -> Dict[str, object]:
         """Operational state for the ``stats`` control method."""
@@ -212,8 +253,9 @@ class ServiceCore:
             "inflight": self.inflight_count,
             "idle_workers": len(self._idle),
             "draining": self.draining,
-            "responded": len(self._responded),
-            "dead_letters": len(self.dead_letters),
+            "responded": self.responded_total,
+            "responded_ledger": len(self._responded),
+            "dead_letters": self.dead_letter_total,
             "admission": self.admission.snapshot(now),
             "breakers": self.breakers.snapshot(now),
         }
@@ -261,6 +303,7 @@ class ServiceCore:
                 "reason": reason,
             }
             self.dead_letters.append(record)
+            self.dead_letter_total += 1
             self.registry.counter("serve.dead_letters").inc()
             actions.extend(
                 self._respond_error(
@@ -523,7 +566,7 @@ class ServiceCore:
         self, request: Request, code: ErrorCode, message: str, now: float
     ) -> List[Action]:
         """Immediate typed rejection of a never-accepted request."""
-        self._responded[request.id] = code.value
+        self._record_outcome(request.id, code.value)
         self.registry.counter(
             f"serve.responses.error.{code.value.lower()}"
         ).inc()
@@ -621,7 +664,7 @@ class ServiceCore:
         if pending is None or request_id in self._responded:
             self.registry.counter("serve.responses.duplicate_suppressed").inc()
             return actions
-        self._responded[request_id] = "ok"
+        self._record_outcome(request_id, "ok")
         self._observe_latency(pending, now, ok=True)
         actions.append(
             Respond(
@@ -634,7 +677,7 @@ class ServiceCore:
             follower = self._finish(follower_id)
             if follower is None or follower_id in self._responded:
                 continue
-            self._responded[follower_id] = "ok"
+            self._record_outcome(follower_id, "ok")
             self._observe_latency(follower, now, ok=True)
             shared = dict(result)
             shared["coalesced"] = True
@@ -659,7 +702,7 @@ class ServiceCore:
         if pending is None or request_id in self._responded:
             self.registry.counter("serve.responses.duplicate_suppressed").inc()
             return actions
-        self._responded[request_id] = code.value
+        self._record_outcome(request_id, code.value)
         self._observe_latency(pending, now, ok=False)
         self.registry.counter(
             f"serve.responses.error.{code.value.lower()}"

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import signal
 import time
 from dataclasses import dataclass, field
@@ -42,6 +43,8 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.supervisor import WorkerOptions, WorkerPool
+
+logger = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -183,26 +186,35 @@ class SimulationServer:
     # ------------------------------------------------------------------
     async def _tick_loop(self) -> None:
         while not self._stopped.is_set():
-            now = time.time()
-            for event in self.pool.poll(now):
-                kind = event[0]
-                if kind == "ready":
-                    self._apply(self.core.register_worker(event[1], now))
-                elif kind == "exit":
-                    self.registry.counter("serve.worker.restarts").inc()
-                    self._apply(
-                        self.core.worker_exit(
-                            event[1], now, reason=event[2]
-                        )
-                    )
-                elif kind == "result":
-                    self._apply(
-                        self.core.worker_result(
-                            event[1], event[2], event[3], now
-                        )
-                    )
-            self._apply(self.core.tick(now))
+            try:
+                self._tick_once(time.time())
+            except Exception:
+                # The tick is the service's heartbeat: if it dies the
+                # server accepts connections but never dispatches or
+                # expires anything.  Log and keep ticking — the pool
+                # treats any worker whose pipe misbehaves as crashed,
+                # so a single bad event cannot wedge the loop.
+                self.registry.counter("serve.tick.errors").inc()
+                logger.exception("serve tick failed; continuing")
             await asyncio.sleep(self.config.tick_interval_s)
+
+    def _tick_once(self, now: float) -> None:
+        for event in self.pool.poll(now):
+            kind = event[0]
+            if kind == "ready":
+                self._apply(self.core.register_worker(event[1], now))
+            elif kind == "exit":
+                self.registry.counter("serve.worker.restarts").inc()
+                self._apply(
+                    self.core.worker_exit(event[1], now, reason=event[2])
+                )
+            elif kind == "result":
+                self._apply(
+                    self.core.worker_result(
+                        event[1], event[2], event[3], now
+                    )
+                )
+        self._apply(self.core.tick(now))
 
     # ------------------------------------------------------------------
     async def _handle_connection(
@@ -289,6 +301,26 @@ class SimulationServer:
             self.request_drain()
             self._write(
                 writer, Response.success(request.id, {"draining": True})
+            )
+            return
+        if request.id in self._routes:
+            # A response for this id is still owed to some client
+            # (possibly on another connection).  Registering this
+            # writer would overwrite the original's route and let the
+            # duplicate's rejection pop it, silently dropping the
+            # original response — so answer the duplicate directly
+            # without touching the routing table.
+            self.registry.counter("serve.requests.duplicate_id").inc()
+            self._write(
+                writer,
+                Response.failure(
+                    request.id,
+                    ServeError(
+                        ErrorCode.INVALID_REQUEST,
+                        f"duplicate request id {request.id!r} "
+                        "(a response for it is still pending)",
+                    ),
+                ),
             )
             return
         self._routes[request.id] = writer

@@ -327,7 +327,14 @@ def _worker_main(
 # ----------------------------------------------------------------------
 @dataclass
 class WorkerHandle:
-    """One supervised worker process."""
+    """One supervised worker process.
+
+    ``process.start()`` runs on a short-lived thread (a spawn-context
+    start is a fork+exec plus a module re-import in the child — easily
+    100ms+, far too long to block the asyncio tick loop).  Until
+    ``start_done`` is set the handle is exempt from liveness and
+    heartbeat checks; dispatched messages simply buffer in the pipe.
+    """
 
     worker_id: str
     process: multiprocessing.process.BaseProcess
@@ -335,6 +342,14 @@ class WorkerHandle:
     spawned_at: float
     last_heartbeat: float
     generation: int
+    start_done: threading.Event = field(default_factory=threading.Event)
+    start_error: Optional[BaseException] = None
+    #: Set by poll() on the first look after start completes (resets
+    #: the heartbeat clock so startup time is not counted as silence).
+    running: bool = False
+    #: A kill arrived while start() was still in flight; poll() and
+    #: the graveyard re-issue it once the process exists.
+    kill_requested: bool = False
 
 
 #: Pool events: ("ready", worker_id) / ("exit", worker_id, reason) /
@@ -360,6 +375,8 @@ class WorkerPool:
     restarts: int = 0
     _spawned: int = 0
     _ctx: object = None
+    #: Replaced workers awaiting a non-blocking reap (join(0) per poll).
+    _graveyard: List[WorkerHandle] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -385,8 +402,6 @@ class WorkerPool:
             name=f"repro-serve-{worker_id}",
             daemon=True,
         )
-        process.start()
-        child_conn.close()
         handle = WorkerHandle(
             worker_id=worker_id,
             process=process,
@@ -395,6 +410,24 @@ class WorkerPool:
             last_heartbeat=now,
             generation=self._spawned,
         )
+
+        def _start() -> None:
+            # The child's copy of the pipe end must stay open in this
+            # process until start() has duplicated it.
+            try:
+                process.start()
+            except BaseException as exc:
+                handle.start_error = exc
+            finally:
+                try:
+                    child_conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                handle.start_done.set()
+
+        threading.Thread(
+            target=_start, daemon=True, name=f"spawn-{worker_id}"
+        ).start()
         self.workers[worker_id] = handle
         return handle
 
@@ -415,6 +448,9 @@ class WorkerPool:
         handle = self.workers.get(worker_id)
         if handle is None:
             return
+        handle.kill_requested = True
+        if not handle.start_done.is_set():
+            return  # re-issued by poll()/reap once start() returns
         try:
             handle.process.kill()
         except (OSError, AttributeError):  # pragma: no cover
@@ -424,7 +460,25 @@ class WorkerPool:
     def poll(self, now: float) -> List[PoolEvent]:
         """Drain pipes and process-lifecycle changes into events."""
         events: List[PoolEvent] = []
+        self._reap_graveyard()
         for worker_id, handle in list(self.workers.items()):
+            if not handle.start_done.is_set():
+                # Still forking on the spawn thread: no pid to check,
+                # no heartbeat expected yet.
+                continue
+            if handle.start_error is not None:
+                events.extend(self._replace(worker_id, now, "spawn"))
+                continue
+            if not handle.running:
+                handle.running = True
+                handle.last_heartbeat = now
+            if handle.kill_requested:
+                # A kill raced the spawn thread; land it now that the
+                # process exists (is_alive below reports the exit).
+                try:
+                    handle.process.kill()
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
             broken = False
             try:
                 while handle.conn.poll(0):
@@ -443,13 +497,18 @@ class WorkerPool:
                         )
             except (EOFError, OSError):
                 broken = True
+            except Exception:
+                # A worker SIGKILLed mid-send leaves a torn pickle on
+                # the pipe (UnpicklingError and friends from recv()):
+                # the channel is unusable, treat it as a crash.
+                broken = True
             if broken or not handle.process.is_alive():
                 events.extend(self._replace(worker_id, now, "crash"))
                 continue
             if now - handle.last_heartbeat > self.heartbeat_timeout_s:
-                # Wedged: alive but silent.  Kill and replace.
+                # Wedged: alive but silent.  Kill and replace; the
+                # graveyard reaps the corpse on later polls.
                 self.kill(worker_id)
-                handle.process.join(timeout=1.0)
                 events.extend(self._replace(worker_id, now, "heartbeat"))
         return events
 
@@ -463,14 +522,32 @@ class WorkerPool:
             handle.conn.close()
         except OSError:  # pragma: no cover
             pass
-        # Reap without blocking the event loop.
-        handle.process.join(timeout=0.1)
+        self._graveyard.append(handle)
         self.restarts += 1
         replacement = self._spawn(now)
         return [
             ("exit", worker_id, reason),
             ("ready", replacement.worker_id),
         ]
+
+    def _reap_graveyard(self) -> None:
+        """join(0) replaced workers; never blocks the event loop."""
+        survivors: List[WorkerHandle] = []
+        for handle in self._graveyard:
+            if not handle.start_done.is_set():
+                survivors.append(handle)  # cannot join mid-start
+                continue
+            if handle.start_error is not None:
+                continue  # never became a process; nothing to reap
+            handle.process.join(timeout=0)
+            if handle.process.is_alive():
+                if handle.kill_requested:
+                    try:
+                        handle.process.kill()
+                    except (OSError, AttributeError):  # pragma: no cover
+                        pass
+                survivors.append(handle)
+        self._graveyard = survivors
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout_s: float = 2.0) -> None:
@@ -482,15 +559,27 @@ class WorkerPool:
                 pass
         deadline = time.time() + timeout_s
         for handle in self.workers.values():
-            handle.process.join(timeout=max(0.0, deadline - time.time()))
-            if handle.process.is_alive():
-                handle.process.kill()
-                handle.process.join(timeout=1.0)
+            handle.start_done.wait(
+                timeout=max(0.0, deadline - time.time())
+            )
+            if handle.start_done.is_set() and handle.start_error is None:
+                handle.process.join(
+                    timeout=max(0.0, deadline - time.time())
+                )
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=1.0)
             try:
                 handle.conn.close()
             except OSError:
                 pass
         self.workers.clear()
+        for handle in self._graveyard:
+            if handle.start_done.is_set() and handle.start_error is None:
+                if handle.process.is_alive():
+                    handle.process.kill()
+                handle.process.join(timeout=1.0)
+        self._graveyard.clear()
 
     def snapshot(self, now: float) -> Dict[str, object]:
         return {
@@ -498,8 +587,17 @@ class WorkerPool:
             "restarts": self.restarts,
             "workers": {
                 worker_id: {
-                    "pid": handle.process.pid,
-                    "alive": handle.process.is_alive(),
+                    "pid": (
+                        handle.process.pid
+                        if handle.start_done.is_set()
+                        else None
+                    ),
+                    "alive": (
+                        handle.start_done.is_set()
+                        and handle.start_error is None
+                        and handle.process.is_alive()
+                    ),
+                    "starting": not handle.start_done.is_set(),
                     "heartbeat_age_s": round(
                         max(0.0, now - handle.last_heartbeat), 3
                     ),

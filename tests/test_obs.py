@@ -424,3 +424,34 @@ class TestProfileCLI:
         capsys.readouterr()
         payload = json.loads(target.read_text())
         validate_chrome_trace(payload)
+
+
+class TestHistogramBounds:
+    """Review regression: the histogram used to keep every sample
+    forever and re-sort them all on each percentile call."""
+
+    def test_reservoir_bounds_memory(self):
+        hist = Histogram("h", reservoir_size=64)
+        hist.observe_many(float(i) for i in range(10_000))
+        assert hist.count == 10_000
+        assert len(hist._samples) == 64
+        assert hist.sum == math.fsum(float(i) for i in range(10_000))
+        assert hist.min == 0.0 and hist.max == 9999.0
+        p99 = hist.percentile(99.0)
+        assert 0.0 <= p99 <= 9999.0
+
+    def test_percentile_exact_below_capacity(self):
+        hist = Histogram("h")
+        hist.observe_many([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(50.0) == 3.0
+        assert hist.percentile(100.0) == 5.0
+
+    def test_reservoir_is_deterministic_per_name(self):
+        first = Histogram("same", reservoir_size=32)
+        second = Histogram("same", reservoir_size=32)
+        values = [float((i * 37) % 101) for i in range(1000)]
+        first.observe_many(values)
+        second.observe_many(values)
+        assert first._samples == second._samples
+        assert first.percentile(99.0) == second.percentile(99.0)

@@ -469,3 +469,69 @@ def test_exactly_once_under_arbitrary_interleavings(ops):
     assert all(count == 1 for count in harness.delivered.values())
     for rid in harness.submitted:
         assert harness.core.outcome(rid) in _VALID_CODES
+
+
+class TestLedgerBounds:
+    """The exactly-once ledger and dead letters are bounded (a
+    long-lived service must not grow per-request state forever)."""
+
+    def _resolve(self, core, rid, now):
+        core.submit(req(rid), now)
+        core.worker_result("w0", rid, {"ok": True, "result": {}}, now)
+
+    def test_responded_ledger_evicts_lru(self):
+        core = make_core(responded_ledger_limit=2)
+        core.register_worker("w0", 0.0)
+        for i, rid in enumerate(["r1", "r2", "r3", "r4"]):
+            self._resolve(core, rid, float(i))
+        assert core.outcome("r1") is None  # evicted
+        assert core.outcome("r2") is None
+        assert core.outcome("r3") == "ok"
+        assert core.outcome("r4") == "ok"
+        # The snapshot's "responded" is the monotonic total, not the
+        # (bounded) ledger size.
+        snapshot = core.snapshot(4.0)
+        assert snapshot["responded"] == 4
+        assert snapshot["responded_ledger"] == 2
+
+    def test_evicted_id_may_be_reused(self):
+        # Documented semantics: the duplicate-id rejection only spans
+        # the remembered window; clients must use fresh ids anyway.
+        core = make_core(responded_ledger_limit=1)
+        core.register_worker("w0", 0.0)
+        self._resolve(core, "r1", 0.0)
+        self._resolve(core, "r2", 1.0)  # evicts r1
+        actions = core.submit(req("r1"), 2.0)
+        assert dispatches(actions)  # accepted again, not INVALID_REQUEST
+
+    def test_pending_ids_never_evicted_from_duplicate_guard(self):
+        # Eviction only touches *responded* ids; a still-pending id is
+        # guarded by the pending map, so exactly-once survives any
+        # ledger size.
+        core = make_core(responded_ledger_limit=1)
+        core.register_worker("w0", 0.0)
+        core.submit(req("r1"), 0.0)
+        self._resolve(core, "r2", 0.5)  # churns the tiny ledger
+        (r,) = responses(core.submit(req("r1"), 1.0))
+        assert r.error.code is ErrorCode.INVALID_REQUEST
+
+    def test_dead_letters_ring_buffer_keeps_total(self):
+        core = make_core(
+            max_redeliveries=0,
+            dead_letter_limit=2,
+            breaker_failure_threshold=100,  # keep the breaker out of it
+        )
+        for i in range(4):
+            rid = f"r{i}"
+            wid = f"w{i}"
+            core.register_worker(wid, float(i))
+            core.submit(req(rid), float(i))
+            actions = core.worker_exit(wid, float(i) + 0.1, reason="crash")
+            (r,) = responses(actions)
+            assert r.error.code is ErrorCode.DEAD_LETTER
+        assert core.dead_letter_total == 4
+        assert [rec["request_id"] for rec in core.dead_letters] == [
+            "r2",
+            "r3",
+        ]
+        assert core.snapshot(5.0)["dead_letters"] == 4

@@ -7,8 +7,11 @@ one small but *real* server round trip plus in-process coverage of the
 worker-side typed-envelope mapping and the compile coalescing key.
 """
 
+import asyncio
 import hashlib
+import json
 import os
+import pickle
 import subprocess
 import sys
 import time
@@ -18,9 +21,9 @@ import pytest
 from repro.baselines import default_platforms
 from repro.core.compile import compile_workload, spec_cache_key
 from repro.serve.client import ServeClient
-from repro.serve.protocol import ErrorCode, Request
+from repro.serve.protocol import ErrorCode, Request, encode_message
 from repro.serve.server import request_coalesce_key
-from repro.serve.supervisor import execute_request
+from repro.serve.supervisor import WorkerHandle, WorkerPool, execute_request
 from repro.workloads import find_workload
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -251,3 +254,158 @@ class TestEndToEnd:
             assert stats.result["latency_ms"]["p99"] is not None
             assert client.drain().ok
         assert proc.wait(timeout=30) == 0
+
+
+# ----------------------------------------------------------------------
+# Review regressions: route-table integrity, tick resilience, torn pipes
+# ----------------------------------------------------------------------
+class FakeWriter:
+    """Collects written lines like a StreamWriter (no socket)."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    def messages(self):
+        return [
+            json.loads(line)
+            for chunk in self.chunks
+            for line in chunk.splitlines()
+        ]
+
+
+def make_server(tmp_path):
+    from repro.serve.server import ServeConfig, SimulationServer
+
+    return SimulationServer(
+        ServeConfig(socket_path=str(tmp_path / "s.sock"), workers=1)
+    )
+
+
+class TestRouteTable:
+    def test_duplicate_id_cannot_steal_pending_route(self, tmp_path):
+        # Regression: a duplicate of a still-pending id used to
+        # overwrite the original's route and then pop it when the
+        # duplicate's rejection was delivered, silently dropping the
+        # original client's response (any connection could suppress
+        # another's pending response by sending its id).
+        server = make_server(tmp_path)
+        victim, attacker = FakeWriter(), FakeWriter()
+        line = encode_message(
+            {
+                "id": "r1",
+                "method": "run",
+                "params": {"workload": "atax", "scale": 0.01},
+            }
+        )
+        server._handle_line(line, victim)  # queued: no workers running
+        assert server._routes["r1"] is victim
+        server._handle_line(line, attacker)
+        (rejection,) = attacker.messages()
+        assert rejection["error"]["code"] == "INVALID_REQUEST"
+        # The original's route and pending state are untouched.
+        assert server._routes["r1"] is victim
+        assert victim.messages() == []
+        assert server.core.unresolved_count == 1
+
+    def test_pending_response_still_delivered_after_duplicate(
+        self, tmp_path
+    ):
+        server = make_server(tmp_path)
+        victim, attacker = FakeWriter(), FakeWriter()
+        line = encode_message(
+            {
+                "id": "r1",
+                "method": "run",
+                "params": {"workload": "atax", "scale": 0.01},
+            }
+        )
+        server._handle_line(line, victim)
+        server._handle_line(line, attacker)
+        # The worker resolves the original: it must reach the victim.
+        server.core.register_worker("w1", time.time())
+        server._apply(
+            server.core.worker_result(
+                "w1", "r1", {"ok": True, "result": {"x": 1}}, time.time()
+            )
+        )
+        (resp,) = victim.messages()
+        assert resp["ok"] and resp["result"] == {"x": 1}
+        assert "r1" not in server._routes
+
+
+class TestTickLoopResilience:
+    def test_tick_survives_poll_exceptions(self, tmp_path):
+        # Regression: an unexpected exception from pool.poll() killed
+        # the tick task silently, wedging the whole service.
+        server = make_server(tmp_path)
+
+        def boom(now):
+            raise RuntimeError("unpicklable pipe junk")
+
+        server.pool.poll = boom
+
+        async def run():
+            task = asyncio.get_running_loop().create_task(
+                server._tick_loop()
+            )
+            await asyncio.sleep(0.1)
+            alive = not task.done()
+            server._stopped.set()
+            await task
+            return alive
+
+        assert asyncio.run(run())
+        assert server.registry.counter("serve.tick.errors").value >= 2
+
+
+class TestWorkerPoolTornPipe:
+    def test_undecodable_pipe_data_is_a_crash(self):
+        # Regression: only EOFError/OSError were treated as a broken
+        # pipe; a worker SIGKILLed mid-send leaves a torn pickle that
+        # recv() raises UnpicklingError on, which leaked out of poll().
+        class TornConn:
+            def poll(self, timeout):
+                return True
+
+            def recv(self):
+                raise pickle.UnpicklingError("torn frame")
+
+            def close(self):
+                pass
+
+        class FakeProc:
+            pid = 4242
+
+            def is_alive(self):
+                return True
+
+            def join(self, timeout=None):
+                pass
+
+            def kill(self):
+                pass
+
+        pool = WorkerPool(size=1)
+        handle = WorkerHandle(
+            worker_id="w1",
+            process=FakeProc(),
+            conn=TornConn(),
+            spawned_at=0.0,
+            last_heartbeat=0.0,
+            generation=1,
+        )
+        handle.start_done.set()
+        handle.running = True
+        pool.workers["w1"] = handle
+        try:
+            events = pool.poll(1.0)
+            exits = [e for e in events if e[0] == "exit"]
+            assert exits == [("exit", "w1", "crash")]
+            # A replacement was spawned to restore the roster.
+            assert [e[0] for e in events if e[0] == "ready"] == ["ready"]
+            assert pool.restarts == 1
+        finally:
+            pool.shutdown()
