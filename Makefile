@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check check-deep faults-smoke profile-smoke serve-smoke bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
+.PHONY: install test lint check check-deep faults-smoke profile-smoke serve-smoke serve-throughput bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -45,6 +45,14 @@ profile-smoke:
 serve-smoke:
 	$(PYTHON) tools/bench_serve.py --chaos --requests 60 --threads 6 \
 		--crashes 2 --slow-fraction 0.08 $(SERVE_BENCH_FLAGS)
+
+# Batching + fairness gate (docs/serving.md): batched throughput must
+# reach 1.5x the unbatched baseline at equal workers with bit-identical
+# per-request results, and a 10:1 two-tenant mix must be served with a
+# Jain index >= 0.9 while both tenants are backlogged.
+serve-throughput:
+	$(PYTHON) tools/bench_serve.py --sustained --requests 90 --workers 2 \
+		$(SERVE_BENCH_FLAGS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -932,6 +932,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
+        max_batch=args.max_batch,
+        batch_linger_s=args.batch_linger_ms / 1000.0,
+        drr_quantum=args.drr_quantum,
         default_deadline_s=args.default_deadline,
         hang_grace_s=args.hang_grace,
         max_redeliveries=args.max_redeliveries,
@@ -945,6 +948,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket,
         host=args.host,
         port=args.port,
+        http_host=args.http_host,
+        http_port=args.http_port,
         workers=args.workers,
         core=core,
         drain_timeout_s=args.drain_timeout,
@@ -1363,7 +1368,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
     )
     serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve the HTTP/REST API on this port (0 = ephemeral; "
+        "POST /v1/run, POST /v1/compile, GET /v1/stats, POST /v1/drain)",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="HTTP bind host (with --http-port)",
+    )
+    serve.add_argument(
         "--workers", type=int, default=2, help="worker process count"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        help="most compatible run requests one worker dispatch may "
+        "carry (1 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=0.0,
+        help="milliseconds a partial batch may wait for more "
+        "compatible requests before dispatching anyway",
+    )
+    serve.add_argument(
+        "--drr-quantum",
+        type=float,
+        default=1.0,
+        help="deficit-round-robin quantum granted per tenant per "
+        "round (cost is 1 per request)",
     )
     serve.add_argument(
         "--queue-limit",

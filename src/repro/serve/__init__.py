@@ -6,19 +6,22 @@ behaviour* is the contract — per-request deadlines with cooperative
 cancellation, bounded retry with backoff for transient failures,
 crash redelivery with a dead-letter bound, per-tenant token-bucket
 admission over a bounded queue, compile coalescing on the trace-cache
-content hash, per-workload-class circuit breaking, and graceful drain
-on SIGTERM.  See ``docs/serving.md`` for the protocol and the failure
-semantics table.
+content hash, deficit-round-robin fair scheduling across tenants,
+request batching onto warm workers, per-workload-class circuit
+breaking, and graceful drain on SIGTERM.  See ``docs/serving.md`` for
+the protocol and the failure semantics table.
 
 Layering::
 
-    protocol   wire format, typed error codes, retryability
+    protocol   wire format, typed error codes, HTTP status mapping
     retry      backoff + circuit-breaker state machines (pure)
     admission  token buckets + bounded-queue gate (pure)
+    scheduling deficit-round-robin fair queue across tenants (pure)
     core       THE state machine: deadlines/retries/redelivery/
-               coalescing/drain; no I/O, no clock (pure)
+               coalescing/batching/drain; no I/O, no clock (pure)
     supervisor worker processes, heartbeats, kill/respawn
     server     asyncio shell executing the core's actions
+    http       stdlib HTTP/REST adapter onto the same core
     client     blocking socket client
 """
 
@@ -31,16 +34,20 @@ from repro.serve.core import (
     Respond,
     ServiceCore,
 )
+from repro.serve.http import HttpFrontend
 from repro.serve.protocol import (
     CLIENT_RETRYABLE,
+    HTTP_STATUS,
     ErrorCode,
     ProtocolError,
     Request,
     Response,
     ServeError,
+    http_status,
     parse_request,
     parse_response,
 )
+from repro.serve.scheduling import DeficitRoundRobin
 from repro.serve.retry import (
     BreakerBoard,
     BreakerState,
@@ -50,6 +57,7 @@ from repro.serve.retry import (
 from repro.serve.server import (
     ServeConfig,
     SimulationServer,
+    request_batch_key,
     request_coalesce_key,
     run_server,
 )
@@ -67,6 +75,10 @@ __all__ = [
     "KillWorker",
     "ErrorCode",
     "CLIENT_RETRYABLE",
+    "HTTP_STATUS",
+    "http_status",
+    "HttpFrontend",
+    "DeficitRoundRobin",
     "ProtocolError",
     "Request",
     "Response",
@@ -79,6 +91,7 @@ __all__ = [
     "BreakerState",
     "ServeConfig",
     "SimulationServer",
+    "request_batch_key",
     "request_coalesce_key",
     "run_server",
     "WorkerPool",

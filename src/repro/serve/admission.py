@@ -85,28 +85,43 @@ class AdmissionController:
                 f"queue_limit must be >= 0, got {self.queue_limit}"
             )
 
-    def _bucket(self, tenant: str) -> TokenBucket:
+    def _bucket(self, tenant: str, now: float) -> TokenBucket:
         bucket = self.buckets.get(tenant)
         if bucket is None:
+            # Seed the refill clock at creation: a bucket born with
+            # ``updated_at=0.0`` would compute ``elapsed ~= now`` on its
+            # first refill, so an ``available()`` snapshot taken before
+            # any ``try_take`` overstated the tokens (harmless only
+            # because tokens cap at ``burst``).
             bucket = self.buckets[tenant] = TokenBucket(
-                rate=self.tenant_rate, burst=self.tenant_burst
+                rate=self.tenant_rate,
+                burst=self.tenant_burst,
+                updated_at=now,
             )
         return bucket
 
     def admit(
-        self, tenant: str, queue_depth: int, now: float
+        self,
+        tenant: str,
+        queue_depth: int,
+        now: float,
+        idle_workers: int = 0,
     ) -> Optional[ErrorCode]:
         """None to admit, or the typed rejection code.
 
         The queue gate is checked first: when the service is saturated
-        the rejection must not consume the tenant's tokens.
+        the rejection must not consume the tenant's tokens.  A request
+        that can start *immediately* (``idle_workers > 0``) never joins
+        the queue, so the queue bound does not apply to it — this is
+        what makes ``queue_limit=0`` mean "no queuing" rather than
+        "no admission at all".
         """
-        if queue_depth >= self.queue_limit:
+        if queue_depth >= self.queue_limit and idle_workers <= 0:
             self.rejected["queue_full"] = (
                 self.rejected.get("queue_full", 0) + 1
             )
             return ErrorCode.QUEUE_FULL
-        if not self._bucket(tenant).try_take(now):
+        if not self._bucket(tenant, now).try_take(now):
             self.rejected["rate_limited"] = (
                 self.rejected.get("rate_limited", 0) + 1
             )

@@ -25,7 +25,16 @@ Invariants the core maintains (and tests assert):
   ``max_redeliveries`` times, then answered with ``DEAD_LETTER``;
 * coalesced followers never run — they share their leader's result,
   keep their own deadlines, and are promoted to leader if the leader
-  fails terminally.
+  fails terminally;
+* queued work is served **deficit-round-robin across tenants**
+  (:mod:`repro.serve.scheduling`): while N tenants are backlogged each
+  receives ~1/N of the dispatches, so one tenant's burst adds no
+  queueing delay to another tenant's admitted requests;
+* compatible queued requests (same ``batch_key``) may be **batched**
+  into one worker dispatch (up to ``max_batch``, optionally lingering
+  ``batch_linger_s`` for peers) — each batched request keeps its own
+  deadline, attempt budget and response envelope, and results are
+  demultiplexed per request id.
 """
 
 from __future__ import annotations
@@ -33,10 +42,11 @@ from __future__ import annotations
 import heapq
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.serve.admission import AdmissionController
+from repro.serve.scheduling import DeficitRoundRobin
 from repro.serve.protocol import (
     DEBUG_METHODS,
     WORKER_METHODS,
@@ -52,9 +62,20 @@ from repro.serve.retry import BreakerBoard, RetryPolicy
 class CoreConfig:
     """Tuning knobs of the service core (all durations in seconds)."""
 
+    #: Accepted-but-unstarted bound; 0 disables queuing entirely
+    #: (every request must find an idle worker immediately).
     queue_limit: int = 64
     tenant_rate: float = 50.0
     tenant_burst: float = 100.0
+    #: Most requests one worker dispatch may carry (1 disables
+    #: batching).  Only requests sharing a ``batch_key`` are grouped;
+    #: each keeps its own deadline, attempts and response envelope.
+    max_batch: int = 1
+    #: How long a partial batch may wait for more compatible requests
+    #: before dispatching anyway (0 = never hold work back).
+    batch_linger_s: float = 0.0
+    #: Deficit granted per tenant per round of the fair scheduler.
+    drr_quantum: float = 1.0
     default_deadline_s: float = 30.0
     max_deadline_s: float = 300.0
     #: Extra time an in-flight request may run past its deadline before
@@ -79,9 +100,21 @@ class CoreConfig:
     enable_debug_methods: bool = False
 
     def __post_init__(self) -> None:
-        if self.queue_limit < 1:
+        if self.queue_limit < 0:
             raise ValueError(
-                f"queue_limit must be >= 1, got {self.queue_limit}"
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.batch_linger_s < 0:
+            raise ValueError(
+                f"batch_linger_s must be >= 0, got {self.batch_linger_s}"
+            )
+        if self.drr_quantum <= 0:
+            raise ValueError(
+                f"drr_quantum must be positive, got {self.drr_quantum}"
             )
         if self.tenant_rate <= 0 or self.tenant_burst <= 0:
             raise ValueError(
@@ -162,6 +195,7 @@ class _Pending:
     submitted_at: float
     deadline: float
     coalesce_key: Optional[str] = None
+    batch_key: Optional[str] = None  # compatible-work class for batching
     leader_id: Optional[str] = None  # set on coalesced followers
     attempts: int = 0  # dispatches performed
     redeliveries: int = 0  # crash-caused re-queues
@@ -191,10 +225,13 @@ class ServiceCore:
         self.draining = False
 
         self._pending: Dict[str, _Pending] = {}
-        self._queue: Deque[str] = deque()
+        # Deficit-round-robin fair queue across tenants (replaces the
+        # old single global FIFO behind the token buckets).
+        self._queue = DeficitRoundRobin(quantum=self.config.drr_quantum)
         self._delayed: List[Tuple[float, int, str]] = []  # heap
         self._delayed_seq = 0
-        self._inflight: Dict[str, str] = {}  # worker -> request id
+        # Worker -> the (possibly batched) request ids it is executing.
+        self._inflight: Dict[str, List[str]] = {}
         self._idle: "OrderedDict[str, None]" = OrderedDict()
         self._doomed: set = set()  # killed workers whose exit is pending
         # Exactly-once ledger: request id -> outcome, LRU-bounded at
@@ -206,10 +243,11 @@ class ServiceCore:
         self.responded_total = 0
         self._leaders: Dict[str, str] = {}  # coalesce key -> leader id
         self._followers: Dict[str, List[str]] = {}  # leader -> followers
-        self.dead_letters: Deque[Dict[str, object]] = deque(
-            maxlen=self.config.dead_letter_limit
-        )
+        self.dead_letters = deque(maxlen=self.config.dead_letter_limit)
         self.dead_letter_total = 0
+        #: Multi-request dispatches performed / requests they carried.
+        self.batch_dispatches = 0
+        self.batched_requests = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -221,7 +259,7 @@ class ServiceCore:
 
     @property
     def inflight_count(self) -> int:
-        return len(self._inflight)
+        return sum(len(held) for held in self._inflight.values())
 
     @property
     def unresolved_count(self) -> int:
@@ -258,6 +296,13 @@ class ServiceCore:
             "dead_letters": self.dead_letter_total,
             "admission": self.admission.snapshot(now),
             "breakers": self.breakers.snapshot(now),
+            "scheduler": self._queue.snapshot(),
+            "batch": {
+                "max_batch": self.config.max_batch,
+                "linger_s": self.config.batch_linger_s,
+                "dispatches": self.batch_dispatches,
+                "batched_requests": self.batched_requests,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -274,51 +319,60 @@ class ServiceCore:
     ) -> List[Action]:
         """A worker died (crash, hang kill, or deliberate kill).
 
-        If it held an in-flight request the request is re-queued with
-        backoff, up to ``max_redeliveries``, after which it is answered
-        with ``DEAD_LETTER`` and recorded in :attr:`dead_letters`.
+        Every in-flight request it held (one, or a whole batch) is
+        re-queued with backoff, up to ``max_redeliveries`` each, after
+        which it is answered with ``DEAD_LETTER`` and recorded in
+        :attr:`dead_letters`.
         """
         actions: List[Action] = []
         self._idle.pop(worker_id, None)
         was_doomed = worker_id in self._doomed
         self._doomed.discard(worker_id)
-        request_id = self._inflight.pop(worker_id, None)
-        if request_id is None or request_id not in self._pending:
+        held = [
+            rid
+            for rid in self._inflight.pop(worker_id, [])
+            if rid in self._pending
+        ]
+        if not held:
             return actions
-        pending = self._pending[request_id]
         if not was_doomed:
-            # Unexpected death while holding work: breaker food.
-            self.breakers.breaker(
-                pending.request.workload_class
-            ).record_failure(now)
-        self.registry.counter("serve.worker.lost_inflight").inc()
-        pending.redeliveries += 1
-        if pending.redeliveries > self.config.max_redeliveries:
-            record = {
-                "request_id": request_id,
-                "method": pending.request.method,
-                "workload_class": pending.request.workload_class,
-                "redeliveries": pending.redeliveries - 1,
-                "last_worker": worker_id,
-                "reason": reason,
-            }
-            self.dead_letters.append(record)
-            self.dead_letter_total += 1
-            self.registry.counter("serve.dead_letters").inc()
-            actions.extend(
-                self._respond_error(
-                    request_id,
-                    ErrorCode.DEAD_LETTER,
-                    f"request redelivered "
-                    f"{pending.redeliveries - 1} time(s) after worker "
-                    f"{reason}; giving up",
-                    now,
-                    detail=record,
+            # Unexpected death while holding work: breaker food — one
+            # failure per workload class lost, not per batched request
+            # (a single death must not trip a breaker N times over).
+            for workload_class in dict.fromkeys(
+                self._pending[rid].request.workload_class for rid in held
+            ):
+                self.breakers.breaker(workload_class).record_failure(now)
+        for request_id in held:
+            pending = self._pending[request_id]
+            self.registry.counter("serve.worker.lost_inflight").inc()
+            pending.redeliveries += 1
+            if pending.redeliveries > self.config.max_redeliveries:
+                record = {
+                    "request_id": request_id,
+                    "method": pending.request.method,
+                    "workload_class": pending.request.workload_class,
+                    "redeliveries": pending.redeliveries - 1,
+                    "last_worker": worker_id,
+                    "reason": reason,
+                }
+                self.dead_letters.append(record)
+                self.dead_letter_total += 1
+                self.registry.counter("serve.dead_letters").inc()
+                actions.extend(
+                    self._respond_error(
+                        request_id,
+                        ErrorCode.DEAD_LETTER,
+                        f"request redelivered "
+                        f"{pending.redeliveries - 1} time(s) after worker "
+                        f"{reason}; giving up",
+                        now,
+                        detail=record,
+                    )
                 )
-            )
-            return actions
-        self.registry.counter("serve.redeliveries").inc()
-        self._schedule_retry(pending, now)
+                continue
+            self.registry.counter("serve.redeliveries").inc()
+            self._schedule_retry(pending, now)
         return actions
 
     # ------------------------------------------------------------------
@@ -329,8 +383,15 @@ class ServiceCore:
         request: Request,
         now: float,
         coalesce_key: Optional[str] = None,
+        batch_key: Optional[str] = None,
     ) -> List[Action]:
-        """Accept, coalesce, or fast-reject one request."""
+        """Accept, coalesce, or fast-reject one request.
+
+        ``batch_key`` marks the request batchable: queued requests with
+        equal keys may share one worker dispatch (same workload class,
+        geometry and policy — the caller derives the key from the spec
+        cache machinery).  ``None`` always dispatches alone.
+        """
         self.registry.counter("serve.requests.submitted").inc()
         if request.id in self._pending or request.id in self._responded:
             # A duplicate id would break response correlation; reject
@@ -370,7 +431,12 @@ class ServiceCore:
                 f"circuit open for {request.workload_class!r}",
                 now,
             )
-        code = self.admission.admit(request.tenant, self.queue_depth, now)
+        code = self.admission.admit(
+            request.tenant,
+            self.queue_depth,
+            now,
+            idle_workers=len(self._idle),
+        )
         if code is not None:
             self.registry.counter("serve.admission.rejected").inc()
             self.registry.counter(
@@ -390,6 +456,7 @@ class ServiceCore:
             submitted_at=now,
             deadline=now + deadline_s,
             coalesce_key=coalesce_key,
+            batch_key=batch_key,
         )
         self._pending[request.id] = pending
 
@@ -404,7 +471,7 @@ class ServiceCore:
                 return []
             self._leaders[coalesce_key] = request.id
 
-        self._queue.append(request.id)
+        self._queue.push(request.tenant, request.id)
         self._gauges()
         return self._dispatch_ready(now)
 
@@ -425,10 +492,14 @@ class ServiceCore:
         worker was being killed) are dropped — exactly-once wins.
         """
         actions: List[Action] = []
-        if self._inflight.get(worker_id) == request_id:
-            del self._inflight[worker_id]
-            if worker_id not in self._doomed:
-                self._idle[worker_id] = None
+        held = self._inflight.get(worker_id)
+        if held is not None and request_id in held:
+            held.remove(request_id)
+            if not held:
+                # Last item of the (possibly batched) dispatch done.
+                del self._inflight[worker_id]
+                if worker_id not in self._doomed:
+                    self._idle[worker_id] = None
         pending = self._pending.get(request_id)
         if pending is None:
             self.registry.counter("serve.responses.stale_dropped").inc()
@@ -473,11 +544,12 @@ class ServiceCore:
     def tick(self, now: float) -> List[Action]:
         """Advance time: expire deadlines, release backoffs, dispatch."""
         actions: List[Action] = []
-        # Backoffs that have matured re-enter the queue.
+        # Backoffs that have matured re-enter the fair queue.
         while self._delayed and self._delayed[0][0] <= now:
             _, _, request_id = heapq.heappop(self._delayed)
-            if request_id in self._pending:
-                self._queue.append(request_id)
+            pending = self._pending.get(request_id)
+            if pending is not None:
+                self._queue.push(pending.request.tenant, request_id)
         # Queued/followed requests past their deadline fail fast.
         for request_id in [
             rid
@@ -501,17 +573,24 @@ class ServiceCore:
             elif pending.deadline + self.config.hang_grace_s <= now:
                 # In-flight and overdue past the grace window: the
                 # worker missed cooperative cancellation — presume it
-                # hung, kill it, answer the client now.
-                self.registry.counter("serve.worker.hang_kills").inc()
-                self.breakers.breaker(
-                    pending.request.workload_class
-                ).record_failure(now)
-                del self._inflight[holder]
-                self._idle.pop(holder, None)
-                self._doomed.add(holder)
-                actions.append(
-                    KillWorker(holder, reason="deadline+grace exceeded")
-                )
+                # hung, kill it, answer the client now.  Batch-mates
+                # that are not overdue stay attributed to the doomed
+                # worker and are redelivered when its exit lands.
+                held = self._inflight.get(holder)
+                if held is not None and request_id in held:
+                    held.remove(request_id)
+                    if not held:
+                        del self._inflight[holder]
+                if holder not in self._doomed:
+                    self.registry.counter("serve.worker.hang_kills").inc()
+                    self.breakers.breaker(
+                        pending.request.workload_class
+                    ).record_failure(now)
+                    self._idle.pop(holder, None)
+                    self._doomed.add(holder)
+                    actions.append(
+                        KillWorker(holder, reason="deadline+grace exceeded")
+                    )
                 actions.extend(
                     self._respond_error(
                         request_id,
@@ -536,8 +615,11 @@ class ServiceCore:
         """Drain deadline passed: answer everything still unresolved."""
         actions: List[Action] = []
         for worker_id in list(self._inflight):
-            self._doomed.add(worker_id)
-            actions.append(KillWorker(worker_id, reason="drain deadline"))
+            if worker_id not in self._doomed:
+                self._doomed.add(worker_id)
+                actions.append(
+                    KillWorker(worker_id, reason="drain deadline")
+                )
             del self._inflight[worker_id]
         for request_id in list(self._pending):
             actions.extend(
@@ -558,7 +640,7 @@ class ServiceCore:
     # ------------------------------------------------------------------
     def _worker_of(self, request_id: str) -> Optional[str]:
         for worker_id, held in self._inflight.items():
-            if held == request_id:
+            if request_id in held:
                 return worker_id
         return None
 
@@ -589,11 +671,57 @@ class ServiceCore:
         )
         self._gauges()
 
+    def _assemble_batch(
+        self, leader_id: str, pending: _Pending, now: float
+    ) -> List[str]:
+        """Pull queued peers of ``leader_id`` into one dispatch.
+
+        Peers share the leader's ``batch_key`` and are still within
+        deadline; each is charged to its own tenant's deficit by
+        :meth:`DeficitRoundRobin.take_matching`, so opportunistic
+        batching does not distort fairness.
+        """
+        batch = [leader_id]
+        if self.config.max_batch <= 1 or pending.batch_key is None:
+            return batch
+        key = pending.batch_key
+
+        def compatible(rid: str) -> bool:
+            peer = self._pending.get(rid)
+            return (
+                peer is not None
+                and peer.batch_key == key
+                and peer.leader_id is None
+                and peer.deadline > now
+            )
+
+        taken = self._queue.take_matching(
+            compatible, self.config.max_batch - 1
+        )
+        batch.extend(rid for _, rid in taken)
+        return batch
+
     def _dispatch_ready(self, now: float) -> List[Action]:
-        """Pair idle workers with dispatchable queued requests."""
+        """Pair idle workers with dispatchable queued requests.
+
+        Queued work is served deficit-round-robin across tenants; a
+        popped batchable request additionally pulls compatible peers
+        (same ``batch_key``) into the same dispatch, up to
+        ``max_batch``.  A partial batch younger than ``batch_linger_s``
+        is held back to wait for peers — the held requests are pushed
+        back (deficit-refunded) after the loop so fairness accounting
+        and queue order are preserved.
+        """
         actions: List[Action] = []
+        # (tenant, request_id) pairs held back to linger this round, in
+        # the order they were removed from the queue.
+        lingering: List[Tuple[str, str]] = []
+        linger_keys: set = set()
         while self._idle and self._queue:
-            request_id = self._queue.popleft()
+            popped = self._queue.pop()
+            if popped is None:
+                break
+            tenant, request_id = popped
             pending = self._pending.get(request_id)
             if pending is None or request_id in self._responded:
                 continue
@@ -608,23 +736,71 @@ class ServiceCore:
                     )
                 )
                 continue
-            worker_id, _ = self._idle.popitem(last=False)
-            self._inflight[worker_id] = request_id
-            pending.attempts += 1
-            actions.append(
-                Dispatch(
-                    worker_id,
-                    {
-                        "type": "request",
-                        "id": request_id,
-                        "method": pending.request.method,
-                        "params": dict(pending.request.params),
-                        "tenant": pending.request.tenant,
-                        "deadline_ts": pending.deadline,
-                        "attempt": pending.attempts,
-                    },
+            if pending.batch_key is not None and (
+                pending.batch_key in linger_keys
+            ):
+                # This key's batch is already lingering this round;
+                # joining it keeps arrival order within the batch.
+                lingering.append((tenant, request_id))
+                continue
+            batch = self._assemble_batch(request_id, pending, now)
+            if (
+                len(batch) < self.config.max_batch
+                and pending.batch_key is not None
+                and self.config.batch_linger_s > 0.0
+                and not self.draining
+                and now - pending.submitted_at < self.config.batch_linger_s
+            ):
+                # Partial batch, still young: hold it back for peers.
+                # The next tick (or submit) retries; once the oldest
+                # member has lingered long enough it dispatches as-is.
+                linger_keys.add(pending.batch_key)
+                lingering.append((tenant, request_id))
+                # ``_assemble_batch`` already removed the peers; keep
+                # them with the leader so the hold releases together.
+                lingering.extend(
+                    (self._pending[rid].request.tenant, rid)
+                    for rid in batch[1:]
+                    if rid in self._pending
                 )
-            )
+                continue
+            worker_id, _ = self._idle.popitem(last=False)
+            self._inflight[worker_id] = list(batch)
+            if len(batch) == 1:
+                pending.attempts += 1
+                message: Dict[str, object] = {
+                    "type": "request",
+                    "id": request_id,
+                    "method": pending.request.method,
+                    "params": dict(pending.request.params),
+                    "tenant": pending.request.tenant,
+                    "deadline_ts": pending.deadline,
+                    "attempt": pending.attempts,
+                }
+            else:
+                items: List[Dict[str, object]] = []
+                for rid in batch:
+                    peer = self._pending[rid]
+                    peer.attempts += 1
+                    items.append(
+                        {
+                            "id": rid,
+                            "method": peer.request.method,
+                            "params": dict(peer.request.params),
+                            "tenant": peer.request.tenant,
+                            "deadline_ts": peer.deadline,
+                            "attempt": peer.attempts,
+                        }
+                    )
+                message = {"type": "batch", "items": items}
+                self.batch_dispatches += 1
+                self.batched_requests += len(batch)
+                self.registry.counter("serve.batch.dispatches").inc()
+            actions.append(Dispatch(worker_id, message))
+        # Restore held-back work at the heads of its tenant queues
+        # (reverse order re-establishes FIFO within each tenant).
+        for tenant, request_id in reversed(lingering):
+            self._queue.push_front(tenant, request_id)
         self._gauges()
         return actions
 
@@ -642,10 +818,7 @@ class ServiceCore:
             siblings = self._followers.get(pending.leader_id)
             if siblings and request_id in siblings:
                 siblings.remove(request_id)
-        try:
-            self._queue.remove(request_id)
-        except ValueError:
-            pass
+        self._queue.remove(request_id)
         return pending
 
     def _observe_latency(self, pending: _Pending, now: float, ok: bool) -> None:
@@ -737,7 +910,7 @@ class ServiceCore:
                 if follower.coalesce_key is not None:
                     self._leaders[follower.coalesce_key] = follower_id
                 new_leader = follower_id
-                self._queue.append(follower_id)
+                self._queue.push(follower.request.tenant, follower_id)
                 self.registry.counter("serve.coalesce.promotions").inc()
             else:
                 follower.leader_id = new_leader
@@ -749,5 +922,5 @@ class ServiceCore:
 
     def _gauges(self) -> None:
         self.registry.gauge("serve.queue.depth").set(self.queue_depth)
-        self.registry.gauge("serve.inflight").set(len(self._inflight))
+        self.registry.gauge("serve.inflight").set(self.inflight_count)
         self.registry.gauge("serve.workers.idle").set(len(self._idle))

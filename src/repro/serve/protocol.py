@@ -89,6 +89,34 @@ CLIENT_RETRYABLE = frozenset(
     }
 )
 
+#: ErrorCode -> HTTP status, used by the REST adapter
+#: (:mod:`repro.serve.http`).  Shed-path rejections map to the classic
+#: load-shedding statuses so off-the-shelf HTTP clients can apply their
+#: stock retry policies: 429 Too Many Requests, 503 Service
+#: Unavailable, 504 Gateway Timeout.
+HTTP_STATUS: Dict[ErrorCode, int] = {
+    ErrorCode.QUEUE_FULL: 503,
+    ErrorCode.RATE_LIMITED: 429,
+    ErrorCode.CIRCUIT_OPEN: 503,
+    ErrorCode.DRAINING: 503,
+    ErrorCode.INVALID_REQUEST: 400,
+    ErrorCode.UNKNOWN_METHOD: 404,
+    ErrorCode.UNKNOWN_WORKLOAD: 404,
+    ErrorCode.DEADLINE_EXCEEDED: 504,
+    ErrorCode.VERIFY_FAILED: 422,
+    ErrorCode.SIMULATION_FAULT: 422,
+    ErrorCode.CACHE_IO: 502,
+    ErrorCode.WORKER_CRASH: 502,
+    ErrorCode.DEAD_LETTER: 502,
+    ErrorCode.INTERNAL: 500,
+}
+
+
+def http_status(code: ErrorCode) -> int:
+    """HTTP status for one typed failure code (500 for unmapped)."""
+    return HTTP_STATUS.get(code, 500)
+
+
 #: Methods executed on pool workers (everything else is answered by the
 #: server process directly).
 WORKER_METHODS = frozenset({"run", "compile"})

@@ -104,6 +104,9 @@ class CircuitBreaker:
     consecutive_failures: int = 0
     opened_at: float = 0.0
     probes_in_flight: int = 0
+    #: Successful probes recorded during the current HALF_OPEN episode
+    #: (the breaker closes only when all ``half_open_probes`` succeed).
+    probe_successes: int = 0
     #: Cumulative number of CLOSED/HALF_OPEN -> OPEN transitions.
     trips: int = 0
 
@@ -131,6 +134,7 @@ class CircuitBreaker:
         ):
             self.state = BreakerState.HALF_OPEN
             self.probes_in_flight = 0
+            self.probe_successes = 0
 
     def allow(self, now: float) -> bool:
         """May a request of this class be dispatched at ``now``?
@@ -149,12 +153,25 @@ class CircuitBreaker:
         return False
 
     def record_success(self, now: float) -> None:
+        """A request of this class completed a healthy round trip.
+
+        Closing is only legal from HALF_OPEN, and only once all
+        ``half_open_probes`` of the episode have succeeded.  A slow
+        success arriving while the breaker is OPEN belongs to a request
+        dispatched *before* the trip — it says nothing about recovery,
+        so the cooldown stands (it used to close the breaker and bypass
+        the cooldown entirely).
+        """
         self._maybe_half_open(now)
         if self.state is BreakerState.HALF_OPEN:
-            self.probes_in_flight = max(0, self.probes_in_flight - 1)
-        self.state = BreakerState.CLOSED
-        self.consecutive_failures = 0
-        self.probes_in_flight = 0
+            self.probe_successes += 1
+            if self.probe_successes >= self.half_open_probes:
+                self.state = BreakerState.CLOSED
+                self.consecutive_failures = 0
+                self.probes_in_flight = 0
+                self.probe_successes = 0
+        elif self.state is BreakerState.CLOSED:
+            self.consecutive_failures = 0
 
     def record_failure(self, now: float) -> None:
         self._maybe_half_open(now)
@@ -163,6 +180,7 @@ class CircuitBreaker:
             self.state = BreakerState.OPEN
             self.opened_at = now
             self.probes_in_flight = 0
+            self.probe_successes = 0
             self.trips += 1
             return
         self.consecutive_failures += 1

@@ -54,6 +54,10 @@ class ServeConfig:
     socket_path: Optional[str] = None
     host: Optional[str] = None
     port: int = 0
+    #: Bind an additional stdlib HTTP/REST frontend
+    #: (:mod:`repro.serve.http`) when not None; 0 picks a free port.
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
     workers: int = 2
     core: CoreConfig = field(default_factory=CoreConfig)
     tick_interval_s: float = 0.02
@@ -101,6 +105,35 @@ def request_coalesce_key(request: Request) -> Optional[str]:
     return f"{key}:deep={int(deep)}"
 
 
+def request_batch_key(request: Request) -> Optional[str]:
+    """Batching key of a request, or None when it must run alone.
+
+    ``run`` requests naming the same (workload, scale, geometry,
+    lowering) content hash — the :func:`spec_cache_key` the trace cache
+    uses — and the same platform are *compatible*: a warm worker can
+    execute them back to back in one dispatch, amortizing process
+    round-trips the way PIRM amortizes one racetrack access across a
+    multi-operand batch.  Unlike coalescing, every batched request
+    still executes (results are per-request), so requests that differ
+    only in deadline or tenant batch fine.
+    """
+    if request.method != "run":
+        return None
+    try:
+        from repro.core.compile import spec_cache_key
+        from repro.workloads import find_workload
+
+        spec = find_workload(
+            str(request.params.get("workload", "")),
+            scale=float(request.params.get("scale", 1.0)),
+        )
+        key = spec_cache_key(spec, seed=0)
+    except (KeyError, TypeError, ValueError):
+        return None
+    platform = str(request.params.get("platform", "StPIM"))
+    return f"run:{platform}:{key}"
+
+
 class SimulationServer:
     """Long-lived simulation service over a unix socket / localhost TCP."""
 
@@ -127,8 +160,11 @@ class SimulationServer:
         self._tick_task: Optional[asyncio.Task] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._stopped = asyncio.Event()
-        self._routes: Dict[str, asyncio.StreamWriter] = {}
+        # Request id -> response sink: a StreamWriter (line protocol)
+        # or a plain callable taking the Response (HTTP adapter).
+        self._routes: Dict[str, object] = {}
         self._writers: set = set()
+        self._http = None  # HttpFrontend when http_port is configured
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +178,12 @@ class SimulationServer:
         if self._server is None or not self._server.sockets:
             return self.config.port
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def http_endpoint(self) -> Optional[str]:
+        if self._http is None:
+            return None
+        return f"http://{self.config.http_host}:{self._http.bound_port}"
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -162,6 +204,13 @@ class SimulationServer:
                 host=self.config.host,
                 port=self.config.port,
                 limit=MAX_LINE_BYTES,
+            )
+        if self.config.http_port is not None:
+            from repro.serve.http import HttpFrontend
+
+            self._http = HttpFrontend(self)
+            await self._http.start(
+                self.config.http_host, self.config.http_port
             )
         self._tick_task = asyncio.get_running_loop().create_task(
             self._tick_loop()
@@ -303,16 +352,29 @@ class SimulationServer:
                 writer, Response.success(request.id, {"draining": True})
             )
             return
+        self.submit_request(request, writer, now)
+
+    def submit_request(
+        self, request: Request, sink: object, now: float
+    ) -> None:
+        """Route + submit one parsed worker-method request.
+
+        ``sink`` receives the eventual response: a StreamWriter for the
+        line protocol, or any callable taking a
+        :class:`~repro.serve.protocol.Response` (the HTTP adapter
+        passes a future-resolving closure).  Shared by both frontends
+        so they get identical duplicate-id and exactly-once semantics.
+        """
         if request.id in self._routes:
             # A response for this id is still owed to some client
             # (possibly on another connection).  Registering this
-            # writer would overwrite the original's route and let the
+            # sink would overwrite the original's route and let the
             # duplicate's rejection pop it, silently dropping the
             # original response — so answer the duplicate directly
             # without touching the routing table.
             self.registry.counter("serve.requests.duplicate_id").inc()
-            self._write(
-                writer,
+            self._deliver(
+                sink,
                 Response.failure(
                     request.id,
                     ServeError(
@@ -323,10 +385,13 @@ class SimulationServer:
                 ),
             )
             return
-        self._routes[request.id] = writer
+        self._routes[request.id] = sink
         self._apply(
             self.core.submit(
-                request, now, coalesce_key=request_coalesce_key(request)
+                request,
+                now,
+                coalesce_key=request_coalesce_key(request),
+                batch_key=request_batch_key(request),
             )
         )
 
@@ -334,9 +399,9 @@ class SimulationServer:
     def _apply(self, actions: List[object]) -> None:
         for action in actions:
             if isinstance(action, Respond):
-                writer = self._routes.pop(action.response.id, None)
-                if writer is not None:
-                    self._write(writer, action.response)
+                sink = self._routes.pop(action.response.id, None)
+                if sink is not None:
+                    self._deliver(sink, action.response)
             elif isinstance(action, Dispatch):
                 if not self.pool.dispatch(action.worker_id, action.message):
                     # The worker died between poll and dispatch; the
@@ -349,6 +414,16 @@ class SimulationServer:
             elif isinstance(action, KillWorker):
                 self.registry.counter("serve.worker.kills").inc()
                 self.pool.kill(action.worker_id)
+
+    def _deliver(self, sink: object, response: Response) -> None:
+        """Hand ``response`` to a route sink of either frontend."""
+        if callable(sink) and not hasattr(sink, "write"):
+            try:
+                sink(response)
+            except Exception:  # pragma: no cover - defensive
+                self.registry.counter("serve.sink.errors").inc()
+        else:
+            self._write(sink, response)
 
     def _write(
         self, writer: Optional[asyncio.StreamWriter], response: Response
@@ -385,6 +460,10 @@ class SimulationServer:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+        if self._http is not None:
+            # Stop accepting HTTP connections; requests already routed
+            # keep their sinks and are answered by the drain sweep.
+            await self._http.stop_listening()
         deadline = now + self.config.drain_timeout_s
         while not self.core.is_quiescent() and time.time() < deadline:
             await asyncio.sleep(self.config.tick_interval_s)
@@ -408,9 +487,11 @@ async def _amain(config: ServeConfig, ready_line: bool = True) -> int:
     await server.start()
     server.install_signal_handlers()
     if ready_line:
+        http = server.http_endpoint
         print(
-            f"repro-streampim serve: listening on {server.endpoint} "
-            f"({config.workers} workers)",
+            f"repro-streampim serve: listening on {server.endpoint}"
+            + (f" and {http}" if http else "")
+            + f" ({config.workers} workers)",
             flush=True,
         )
     await server.serve_forever()

@@ -304,6 +304,29 @@ def _worker_main(
             continue
         if message.get("type") == "stop":
             break
+        if message.get("type") == "batch":
+            # A batched dispatch: execute the items back to back on the
+            # warm process and demultiplex one result message per item,
+            # so every client still receives its own typed envelope.
+            # Results stream out as they finish — an early item's
+            # client is answered before the last item even starts.
+            for item in message.get("items") or []:
+                if not isinstance(item, dict):
+                    continue
+                payload = execute_request(
+                    str(item.get("method", "")),
+                    item.get("params") or {},
+                    item.get("deadline_ts"),
+                    options,
+                )
+                send(
+                    {
+                        "type": "result",
+                        "id": item.get("id"),
+                        "payload": payload,
+                    }
+                )
+            continue
         if message.get("type") != "request":
             continue
         payload = execute_request(

@@ -252,3 +252,122 @@ class TestAdmission:
         snapshot = admission.snapshot(0.0)
         assert snapshot["rejected"]["queue_full"] == 1
         assert snapshot["rejected"]["rate_limited"] == 1
+
+
+class TestBreakerOpenStateRegressions:
+    """Regression: ``record_success`` used to set CLOSED unconditionally,
+    so a slow success from a request dispatched *before* the trip
+    closed an OPEN breaker and bypassed the cooldown entirely."""
+
+    def test_late_success_does_not_close_open_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0)
+        breaker.record_failure(0.0)  # trips: OPEN at t=0
+        assert breaker.current_state(0.1) is BreakerState.OPEN
+        # A request dispatched before the trip completes healthily
+        # while the breaker is OPEN and mid-cooldown.  It proves
+        # nothing about recovery — the cooldown must stand.
+        breaker.record_success(1.0)
+        assert breaker.current_state(1.1) is BreakerState.OPEN
+        assert not breaker.allow(1.1)
+        # Recovery still follows the legal path: cooldown, probe,
+        # probe success, CLOSED.
+        assert breaker.allow(5.1)  # half-open probe
+        breaker.record_success(5.2)
+        assert breaker.current_state(5.3) is BreakerState.CLOSED
+
+    def test_multi_probe_half_open_needs_every_probe(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=5.0, half_open_probes=2
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.1)  # probe 1
+        assert breaker.allow(5.1)  # probe 2
+        assert not breaker.allow(5.1)  # probe budget spent
+        breaker.record_success(5.2)  # 1 of 2: not yet closed
+        assert breaker.current_state(5.3) is BreakerState.HALF_OPEN
+        breaker.record_success(5.4)  # 2 of 2: all probes healthy
+        assert breaker.current_state(5.5) is BreakerState.CLOSED
+
+    def test_multi_probe_failure_reopens_and_resets_successes(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=5.0, half_open_probes=2
+        )
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.1)
+        assert breaker.allow(5.1)
+        breaker.record_success(5.2)
+        breaker.record_failure(5.3)  # second probe failed: re-OPEN
+        assert breaker.current_state(5.4) is BreakerState.OPEN
+        # The next half-open episode starts from zero successes.
+        assert breaker.allow(10.4)
+        assert breaker.allow(10.4)
+        breaker.record_success(10.5)
+        assert breaker.current_state(10.6) is BreakerState.HALF_OPEN
+        breaker.record_success(10.7)
+        assert breaker.current_state(10.8) is BreakerState.CLOSED
+
+
+class TestAdmissionRegressions:
+    """Regression: ``queue_limit=0`` used to reject *every* request
+    with QUEUE_FULL, even with the whole pool idle — contradicting the
+    documented "0 disables queuing" semantics."""
+
+    def test_queue_limit_zero_admits_with_idle_worker(self):
+        admission = AdmissionController(
+            queue_limit=0, tenant_rate=100.0, tenant_burst=100.0
+        )
+        assert (
+            admission.admit("t", queue_depth=0, now=0.0, idle_workers=1)
+            is None
+        )
+
+    def test_queue_limit_zero_sheds_with_busy_pool(self):
+        admission = AdmissionController(
+            queue_limit=0, tenant_rate=100.0, tenant_burst=100.0
+        )
+        assert (
+            admission.admit("t", queue_depth=0, now=0.0, idle_workers=0)
+            is ErrorCode.QUEUE_FULL
+        )
+
+    def test_full_queue_still_admits_when_a_worker_is_free(self):
+        # The queue bound caps *queued* work; a request that can start
+        # immediately never joins the queue, so it is not shed.
+        admission = AdmissionController(
+            queue_limit=2, tenant_rate=100.0, tenant_burst=100.0
+        )
+        assert (
+            admission.admit("t", queue_depth=2, now=0.0, idle_workers=1)
+            is None
+        )
+        assert (
+            admission.admit("t", queue_depth=2, now=0.0, idle_workers=0)
+            is ErrorCode.QUEUE_FULL
+        )
+
+    def test_lazy_bucket_seeds_refill_clock_at_creation(self):
+        # Regression: lazily created buckets started with
+        # ``updated_at=0.0``, so their first ``_refill(now)`` computed
+        # ``elapsed ~= now`` — harmless only because tokens cap at
+        # burst, but any ``available()`` accounting taken before the
+        # first ``try_take`` was computed from a fictitious epoch.
+        admission = AdmissionController(
+            queue_limit=4, tenant_rate=2.0, tenant_burst=10.0
+        )
+        bucket = admission._bucket("t", now=123.5)
+        assert bucket.updated_at == 123.5
+        assert bucket.available(123.5) == 10.0
+        # Refill accounting is anchored at creation time: after one
+        # take, half a second restores exactly rate * 0.5 tokens.
+        assert bucket.try_take(123.5)
+        assert bucket.available(124.0) == 10.0 - 1.0 + 1.0  # capped math
+        admission2 = AdmissionController(
+            queue_limit=4, tenant_rate=2.0, tenant_burst=10.0
+        )
+        bucket2 = admission2._bucket("t", now=50.0)
+        for _ in range(10):
+            assert bucket2.try_take(50.0)
+        # Drained at t=50; at t=50.5 exactly one token has refilled.
+        assert bucket2.available(50.5) == 1.0
+        assert bucket2.try_take(50.5)
+        assert not bucket2.try_take(50.5)

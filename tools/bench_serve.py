@@ -30,6 +30,15 @@ Run directly or via ``make serve-smoke``::
 Without ``--chaos`` only the baseline load phase runs.  Measurements
 and gate verdicts land in the JSON artifact; exit status is non-zero
 when any gate fails.
+
+``--sustained`` (``make serve-throughput``) instead runs the
+batching/fairness gates: the same batchable load is driven against an
+unbatched (``--max-batch 1``) and a batched server at equal worker
+count and the batched throughput must reach ``--min-speedup`` (1.5x)
+of the unbatched one with sha256-bit-identical per-request results in
+both phases; then a two-tenant 10:1 pipelined mix must be served with
+a Jain fairness index of at least ``--min-jain`` (0.9) while both
+tenants are backlogged.
 """
 
 from __future__ import annotations
@@ -60,6 +69,15 @@ MIX = [
     ("run", {"workload": "atax", "platform": "CORUSCANT", "scale": 0.01}),
 ]
 
+#: Batchable load for ``--sustained``: run-only, one platform, three
+#: distinct batch keys (one per workload) so grouping is exercised
+#: without collapsing the whole run into a single key.
+SUSTAINED_MIX = [
+    ("run", {"workload": "atax", "platform": "StPIM", "scale": 0.01}),
+    ("run", {"workload": "bicg", "platform": "StPIM", "scale": 0.01}),
+    ("run", {"workload": "mvt", "platform": "StPIM", "scale": 0.01}),
+]
+
 #: Codes acceptable for an ``x-crash`` injection: the worker died, so
 #: the request dead-letters after redelivery — or the crash class's
 #: breaker already opened and shed it fast.
@@ -80,7 +98,7 @@ def percentile(values, q):
 # ----------------------------------------------------------------------
 # Server lifecycle
 # ----------------------------------------------------------------------
-def start_server(socket_path, cache_dir, args, chaos):
+def start_server(socket_path, cache_dir, args, chaos, extra=()):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env["REPRO_STREAMPIM_CACHE_DIR"] = str(cache_dir)
@@ -104,6 +122,7 @@ def start_server(socket_path, cache_dir, args, chaos):
         "--drain-timeout",
         "30",
     ]
+    cmd.extend(extra)
     if chaos:
         cmd.append("--chaos")
     process = subprocess.Popen(
@@ -123,13 +142,30 @@ def start_server(socket_path, cache_dir, args, chaos):
         if os.path.exists(socket_path):
             try:
                 with ServeClient(socket_path=str(socket_path)) as probe:
-                    if probe.ping().ok:
+                    stats = probe.stats()
+                    if stats.ok and _pool_warm(stats.result):
                         return process
             except ServeClientError:
                 pass
         time.sleep(0.1)
     process.kill()
     raise SystemExit("server did not become ready within 30s")
+
+
+def _pool_warm(stats_result):
+    """True once every worker process finished importing.
+
+    The socket accepts connections while spawned workers are still
+    importing the simulator (~1s); load issued before their first
+    heartbeat just sits in the dispatch pipes and would be billed to
+    the measured phase.
+    """
+    workers = stats_result.get("pool", {}).get("workers", {})
+    if not workers:
+        return False
+    return all(
+        w.get("alive") and not w.get("starting") for w in workers.values()
+    )
 
 
 def stop_server(process, socket_path):
@@ -465,6 +501,337 @@ def run_phase(args, chaos, cache_dir, failures):
         return report
 
 
+# ----------------------------------------------------------------------
+# Sustained mode: batching throughput + fairness gates
+# ----------------------------------------------------------------------
+def jain(counts):
+    values = [float(v) for v in counts]
+    total = sum(values)
+    if not total:
+        return 1.0
+    return total * total / (len(values) * sum(v * v for v in values))
+
+
+def result_sha(result):
+    import hashlib
+
+    return hashlib.sha256(
+        json.dumps(result, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def pipelined_exchange(socket_path, requests, failures, tag):
+    """Write every request up front, then read until all answered.
+
+    Sustained load needs a deep server-side backlog (that is what the
+    batch planner feeds on), which thread-per-blocking-call clients
+    cannot produce.  Returns (records in arrival order, elapsed_s):
+    each record is ``{id, ok, code, result, latency_ms}`` with latency
+    measured from the submission burst.
+    """
+    import socket as socketlib
+
+    from repro.serve.protocol import decode_line, encode_message
+
+    records = []
+    conn = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    conn.settimeout(120.0)
+    started = time.time()
+    try:
+        conn.connect(str(socket_path))
+        conn.sendall(
+            b"".join(encode_message(r.to_dict()) for r in requests)
+        )
+        buffer = b""
+        while len(records) < len(requests):
+            chunk = conn.recv(65536)
+            if not chunk:
+                failures.append(
+                    f"[{tag}] connection closed with "
+                    f"{len(requests) - len(records)} responses missing"
+                )
+                break
+            arrived = time.time()
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                obj = decode_line(line)
+                error = obj.get("error") or {}
+                records.append(
+                    {
+                        "id": obj.get("id"),
+                        "ok": bool(obj.get("ok")),
+                        "code": error.get("code"),
+                        "result": obj.get("result"),
+                        "latency_ms": (arrived - started) * 1000.0,
+                    }
+                )
+    except OSError as exc:
+        failures.append(f"[{tag}] transport error: {exc}")
+    finally:
+        conn.close()
+    return records, time.time() - started
+
+
+def check_pipelined(requests, records, deadline_budget_ms, tag, failures):
+    """Exactly-once + all-ok + deadline gates for a pipelined phase."""
+    answered = [r["id"] for r in records]
+    if sorted(answered) != sorted(r.id for r in requests):
+        failures.append(
+            f"[{tag}] response ids do not match issued ids "
+            f"({len(answered)} answered, {len(requests)} issued)"
+        )
+    for record in records:
+        if not record["ok"]:
+            failures.append(
+                f"[{tag}] request {record['id']} failed: {record['code']}"
+            )
+        if record["latency_ms"] > deadline_budget_ms:
+            failures.append(
+                f"[{tag}] request {record['id']} resolved after "
+                f"{record['latency_ms']:.0f}ms (> {deadline_budget_ms:.0f}ms)"
+            )
+
+
+def sustained_requests(args):
+    from repro.serve.protocol import Request
+
+    return [
+        Request(
+            id=f"s-{i}",
+            method=method,
+            params=dict(params),
+            deadline_ms=args.deadline_ms,
+        )
+        for i, (method, params) in (
+            (i, SUSTAINED_MIX[i % len(SUSTAINED_MIX)])
+            for i in range(args.requests)
+        )
+    ]
+
+
+def run_sustained_phase(args, cache_dir, max_batch, tag, failures):
+    """One server lifetime under the pipelined batchable run mix."""
+    with tempfile.TemporaryDirectory(prefix=f"serve-{tag}-") as tmp:
+        socket_path = Path(tmp) / "bench.sock"
+        extra = ["--max-batch", str(max_batch)]
+        if args.batch_linger_ms > 0 and max_batch > 1:
+            extra += ["--batch-linger-ms", str(args.batch_linger_ms)]
+        process = start_server(socket_path, cache_dir, args, False, extra)
+        try:
+            # Warm the shared compile cache so the timed phase measures
+            # steady-state serving, not one-time trace compilation.
+            with ServeClient(
+                socket_path=str(socket_path), timeout_s=60.0
+            ) as warm:
+                for method, params in SUSTAINED_MIX:
+                    warm.call(method, dict(params))
+        except ServeClientError as exc:
+            failures.append(f"[{tag}] warmup failed: {exc}")
+        requests = sustained_requests(args)
+        records, elapsed = pipelined_exchange(
+            socket_path, requests, failures, tag
+        )
+        batch_counters = None
+        try:
+            with ServeClient(socket_path=str(socket_path)) as client:
+                stats = client.stats()
+                if stats.ok:
+                    batch_counters = stats.result["core"].get("batch")
+        except ServeClientError as exc:
+            failures.append(f"[{tag}] stats call failed: {exc}")
+        exit_code = stop_server(process, socket_path)
+        if exit_code != 0:
+            failures.append(f"[{tag}] server exit code {exit_code}")
+        budget_ms = (
+            args.deadline_ms
+            + (args.hang_grace + args.deadline_margin) * 1000.0
+        )
+        check_pipelined(requests, records, budget_ms, tag, failures)
+        ok_count = sum(1 for r in records if r["ok"])
+        latencies = [r["latency_ms"] for r in records]
+        report = {
+            "max_batch": max_batch,
+            "requests": len(requests),
+            "ok": ok_count,
+            "elapsed_s": round(elapsed, 3),
+            "throughput_rps": (
+                round(ok_count / elapsed, 2) if elapsed > 0 else None
+            ),
+            "p50_ms": percentile(latencies, 50.0),
+            "p99_ms": percentile(latencies, 99.0),
+            "max_ms": max(latencies) if latencies else None,
+            "batch": batch_counters,
+            "clean_drain": exit_code == 0,
+        }
+        return report, {r["id"]: r for r in records}
+
+
+def check_sustained_identity(args, by_id_a, by_id_b, failures):
+    """Per-request results: batched == unbatched == one-shot in-process.
+
+    Both phases executed the same request list (matched by id), so
+    each id's result payload must hash identically across phases, and
+    both must match the in-process ``execute_request`` reference for
+    that workload — serving and batching add no numeric drift.
+    """
+    from repro.serve.supervisor import execute_request
+
+    reference = {}
+    checked = 0
+    for request in sustained_requests(args):
+        a = by_id_a.get(request.id)
+        b = by_id_b.get(request.id)
+        if not (a and b and a["ok"] and b["ok"]):
+            continue  # already reported by the per-phase gates
+        checked += 1
+        sha_a = result_sha(a["result"])
+        sha_b = result_sha(b["result"])
+        if sha_a != sha_b:
+            failures.append(
+                f"[sustained] {request.id}: batched result sha "
+                f"{sha_b[:12]} != unbatched {sha_a[:12]}"
+            )
+            continue
+        key = json.dumps(request.params, sort_keys=True)
+        if key not in reference:
+            envelope = execute_request(
+                "run", dict(request.params), None, {}
+            )
+            reference[key] = (
+                result_sha(envelope["result"]) if envelope["ok"] else None
+            )
+        if reference[key] is not None and sha_a != reference[key]:
+            failures.append(
+                f"[sustained] {request.id}: served sha {sha_a[:12]} "
+                f"!= in-process {reference[key][:12]} for {key}"
+            )
+    return checked
+
+
+def run_fairness_phase(args, cache_dir, failures):
+    """Two-tenant 10:1 pipelined mix against one batched server.
+
+    All heavy-tenant requests are written first, then the light
+    tenant's, on one pipelined connection — the adversarial order for
+    a FIFO (the light tenant would wait behind the whole heavy
+    backlog).  While both tenants are backlogged (the first
+    ``2 * light`` completions) the served mix must be ~1:1.
+    """
+    from repro.serve.protocol import Request
+
+    heavy_n, light_n = args.fairness_heavy, args.fairness_light
+    with tempfile.TemporaryDirectory(prefix="serve-fair-") as tmp:
+        socket_path = Path(tmp) / "bench.sock"
+        # Batch granularity coarser than 4 would dominate a window of
+        # ~2*light completions; DRR fairness itself is batch-agnostic.
+        extra = ["--max-batch", str(min(args.max_batch, 4))]
+        process = start_server(socket_path, cache_dir, args, False, extra)
+        requests = [
+            Request(
+                id=f"heavy-{i}",
+                method="run",
+                params={"workload": "atax", "platform": "StPIM", "scale": 0.01},
+                tenant="heavy",
+                deadline_ms=args.deadline_ms,
+            )
+            for i in range(heavy_n)
+        ] + [
+            # A different workload per tenant: distinct batch keys, so
+            # a batch never mixes tenants and grouping cannot mask an
+            # unfair pick order.
+            Request(
+                id=f"light-{i}",
+                method="run",
+                params={"workload": "bicg", "platform": "StPIM", "scale": 0.01},
+                tenant="light",
+                deadline_ms=args.deadline_ms,
+            )
+            for i in range(light_n)
+        ]
+        records, _ = pipelined_exchange(
+            socket_path, requests, failures, "fairness"
+        )
+        exit_code = stop_server(process, socket_path)
+        if exit_code != 0:
+            failures.append(f"[fairness] server exit code {exit_code}")
+        not_ok = [r["id"] for r in records if not r["ok"]]
+        if not_ok:
+            failures.append(
+                f"[fairness] {len(not_ok)} request(s) failed, "
+                f"first: {not_ok[0]}"
+            )
+        window = [r["id"] for r in records[: 2 * light_n]]
+        served = {
+            "heavy": sum(1 for rid in window if rid.startswith("heavy")),
+            "light": sum(1 for rid in window if rid.startswith("light")),
+        }
+        index = round(jain(served.values()), 4)
+        if index < args.min_jain:
+            failures.append(
+                f"[fairness] Jain index {index} < {args.min_jain} "
+                f"(window served: {served})"
+            )
+        return {
+            "heavy_offered": heavy_n,
+            "light_offered": light_n,
+            "completed": len(records),
+            "window": len(window),
+            "window_served": served,
+            "jain": index,
+            "min_jain": args.min_jain,
+        }
+
+
+def run_sustained(args, payload, failures):
+    with tempfile.TemporaryDirectory(prefix="serve-cache-") as cache_dir:
+        print(
+            f"sustained: {args.requests} requests, {args.threads} "
+            f"threads, {args.workers} workers"
+        )
+        unbatched, by_id_u = run_sustained_phase(
+            args, cache_dir, 1, "unbatched", failures
+        )
+        print(
+            f"  unbatched: {unbatched['throughput_rps']} rps, "
+            f"p99 {unbatched['p99_ms']:.1f}ms"
+        )
+        batched, by_id_b = run_sustained_phase(
+            args, cache_dir, args.max_batch, "batched", failures
+        )
+        print(
+            f"  batched (max {args.max_batch}): "
+            f"{batched['throughput_rps']} rps, "
+            f"p99 {batched['p99_ms']:.1f}ms"
+        )
+        speedup = None
+        if unbatched["throughput_rps"] and batched["throughput_rps"]:
+            speedup = round(
+                batched["throughput_rps"] / unbatched["throughput_rps"], 3
+            )
+            if speedup < args.min_speedup:
+                failures.append(
+                    f"[sustained] batched throughput is only {speedup}x "
+                    f"the unbatched baseline (min {args.min_speedup}x)"
+                )
+        identity_checked = check_sustained_identity(
+            args, by_id_u, by_id_b, failures
+        )
+        fairness = run_fairness_phase(args, cache_dir, failures)
+        print(
+            f"  fairness: Jain {fairness['jain']} over window "
+            f"{fairness['window_served']}"
+        )
+        payload["sustained"] = {
+            "unbatched": unbatched,
+            "batched": batched,
+            "speedup": speedup,
+            "min_speedup": args.min_speedup,
+            "identity_checked": identity_checked,
+            "fairness": fairness,
+        }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=120)
@@ -475,6 +842,49 @@ def main(argv=None):
         action="store_true",
         help="also run the chaos phase (crashes + slow injection) and "
         "gate p99 against the baseline",
+    )
+    parser.add_argument(
+        "--sustained",
+        action="store_true",
+        help="run the batching/fairness gates instead of the "
+        "baseline/chaos phases: batched vs unbatched throughput, "
+        "bit-identity, and two-tenant DRR fairness",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="batch size for the batched sustained phase",
+    )
+    parser.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=0.0,
+        help="batch linger for the batched sustained phase",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="batched throughput must reach this multiple of unbatched",
+    )
+    parser.add_argument(
+        "--min-jain",
+        type=float,
+        default=0.9,
+        help="minimum Jain fairness index over the backlogged window",
+    )
+    parser.add_argument(
+        "--fairness-heavy",
+        type=int,
+        default=100,
+        help="heavy-tenant request count in the fairness phase",
+    )
+    parser.add_argument(
+        "--fairness-light",
+        type=int,
+        default=10,
+        help="light-tenant request count in the fairness phase",
     )
     parser.add_argument(
         "--crashes",
@@ -535,12 +945,27 @@ def main(argv=None):
             "threads": args.threads,
             "workers": args.workers,
             "chaos": args.chaos,
+            "sustained": args.sustained,
+            "max_batch": args.max_batch,
             "crashes": args.crashes,
             "slow_fraction": args.slow_fraction,
             "deadline_ms": args.deadline_ms,
             "max_p99_ratio": args.max_p99_ratio,
         }
     }
+    if args.sustained:
+        run_sustained(args, payload, failures)
+        payload["failures"] = failures
+        payload["ok"] = not failures
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("all sustained gates passed")
+        return 0
     with tempfile.TemporaryDirectory(prefix="serve-cache-") as cache_dir:
         print(
             f"baseline phase: {args.requests} requests, "
