@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check check-deep faults-smoke profile-smoke serve-smoke serve-throughput bench bench-perf bench-compile bench-deep bench-stream figures docs examples clean
+.PHONY: install test lint check check-deep faults-smoke profile-smoke serve-smoke serve-throughput bench bench-perf bench-compile bench-deep bench-stream bench-predict figures docs examples clean
 
 # Extra flags for bench-perf, e.g. BENCH_FLAGS="--vpcs 20000 --min-speedup 5"
 BENCH_FLAGS ?=
@@ -12,6 +12,9 @@ COMPILE_BENCH_FLAGS ?= --min-compile-speedup 5 --min-cache-speedup 20
 # Extra flags for bench-stream, e.g.
 # STREAM_BENCH_FLAGS="--stream-scale 0.05 --min-stream-speedup 1.0"
 STREAM_BENCH_FLAGS ?= --min-stream-speedup 1.15
+# Extra flags for bench-predict, e.g.
+# PREDICT_BENCH_FLAGS="--timing-points 8 --min-speedup 50"
+PREDICT_BENCH_FLAGS ?=
 
 install:
 	pip install -e .
@@ -73,6 +76,13 @@ bench-stream:
 # vector-engine execution (and under an absolute wall-clock budget).
 bench-deep:
 	$(PYTHON) tools/bench_trace_exec.py --deep $(DEEP_BENCH_FLAGS)
+
+# Closed-form predictor gates (docs/modeling.md): the full workload
+# calibration must stay inside the per-class time bounds (3%/8%/10%)
+# and a 32-point analytic timing sweep must beat re-simulating every
+# point by >= 100x.
+bench-predict:
+	$(PYTHON) tools/bench_predict.py $(PREDICT_BENCH_FLAGS)
 
 figures:
 	$(PYTHON) examples/paper_figures.py

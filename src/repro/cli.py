@@ -23,6 +23,10 @@ Subcommands:
   rules) over ``src/repro``;
 * ``repro-streampim cache stats|clear`` — inspect or empty the
   content-addressed trace cache (``docs/compile_pipeline.md``);
+* ``repro-streampim calibrate`` — analytic-predictor error report
+  against the cycle-level engines (``docs/modeling.md``);
+* ``repro-streampim explore`` — closed-form design-space sweep with
+  Pareto-frontier re-simulation (``docs/modeling.md``);
 * ``repro-streampim serve`` — long-lived simulation service with a
   supervised worker pool, deadlines/retries, admission control and
   graceful drain (``docs/serving.md``);
@@ -375,28 +379,152 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_workloads(_args: argparse.Namespace) -> int:
+def _cmd_workloads(args: argparse.Namespace) -> int:
     """List every available workload with its shape summary."""
+    suites = (
+        ("polybench", POLYBENCH),
+        ("dnn", DNN_WORKLOADS),
+        ("extra", EXTRA_WORKLOADS),
+    )
+    if getattr(args, "json", False):
+        import json
+
+        entries = []
+        for suite, table in suites:
+            for name, spec in table.items():
+                pim, move = spec.vpc_counts()
+                entries.append(
+                    {
+                        "workload": name,
+                        "suite": suite,
+                        "pim_vpcs": pim,
+                        "move_vpcs": move,
+                        "buildable": spec.build is not None,
+                        "class": _workload_class(name),
+                        "description": spec.description,
+                    }
+                )
+        print(json.dumps(entries, indent=1))
+        return 0
     rows = []
-    for name, spec in POLYBENCH.items():
-        pim, move = spec.vpc_counts()
-        rows.append(
-            [name, "polybench", f"{pim:,}", f"{move:,}", spec.description]
-        )
-    for name, spec in DNN_WORKLOADS.items():
-        pim, move = spec.vpc_counts()
-        rows.append([name, "dnn", f"{pim:,}", f"{move:,}", spec.description])
-    for name, spec in EXTRA_WORKLOADS.items():
-        pim, move = spec.vpc_counts()
-        rows.append(
-            [name, "extra", f"{pim:,}", f"{move:,}", spec.description]
-        )
+    for suite, table in suites:
+        for name, spec in table.items():
+            pim, move = spec.vpc_counts()
+            rows.append(
+                [name, suite, f"{pim:,}", f"{move:,}", spec.description]
+            )
     print(
         format_table(
             ["workload", "suite", "#PIM-VPC", "#move-VPC", "description"],
             rows,
         )
     )
+    return 0
+
+
+def _workload_class(name: str) -> str:
+    from repro.analysis.calibrate import workload_class
+
+    return workload_class(name)
+
+
+def _parse_cases(items):
+    """Parse ``name`` / ``name:scale`` CLI items into (name, scale) pairs."""
+    cases = []
+    for item in items:
+        name, sep, scale = item.partition(":")
+        try:
+            cases.append((name, float(scale) if sep else None))
+        except ValueError:
+            raise SystemExit(f"bad workload spec {item!r}: scale must be a number")
+        _lookup_workload(name, 1.0)  # fail fast on bad names
+    return cases
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Predictor calibration: analytic model vs a cycle-level engine."""
+    from repro.analysis.calibrate import run_calibration
+
+    cases = _parse_cases(args.workloads) if args.workloads else None
+
+    def show(result):
+        print(
+            f"{result.workload:>11}"
+            f"{'' if result.scale is None else f'@{result.scale:g}':<6} "
+            f"{result.commands:>9,} cmds  "
+            f"time {result.time_rel_error * 100:+7.3f}% "
+            f"(bound {result.class_time_bound * 100:.0f}%)  "
+            f"energy {result.energy_rel_error * 100:+.2e}%  "
+            f"sim {result.sim_seconds:6.2f}s  "
+            f"predict {result.predict_seconds * 1e3:7.2f}ms"
+        )
+
+    report = run_calibration(
+        cases,
+        seed=args.seed,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_trace_cache", False),
+        engine=args.engine,
+        heavy=args.heavy,
+        progress=show,
+    )
+    print(
+        f"max |time err| {report.max_abs_time_error * 100:.3f}%, "
+        f"max |energy err| {report.max_abs_energy_error * 100:.2e}%, "
+        f"{'OK' if report.ok() else 'OUT OF BOUNDS'}"
+    )
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"wrote {args.output}")
+    return 0 if report.ok() else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """Analytic design-space exploration with Pareto re-simulation."""
+    from repro.analysis.explore import build_grid, run_explore
+
+    kwargs = {}
+    if args.workloads:
+        kwargs["workloads"] = _parse_cases(args.workloads)
+    if args.policies:
+        kwargs["policies"] = args.policies
+    if args.read_scales:
+        kwargs["read_scales"] = args.read_scales
+    if args.write_scales:
+        kwargs["write_scales"] = args.write_scales
+    if args.decode_ns:
+        kwargs["decode_ns"] = args.decode_ns
+    grid = build_grid(**kwargs)
+    print(f"exploring {len(grid)} design points")
+    report = run_explore(
+        grid,
+        seed=args.seed,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_trace_cache", False),
+        verify_limit=args.verify_limit,
+        progress=lambda stage, detail: print(f"[{stage}] {detail}"),
+    )
+    print(
+        f"frontier {report.frontier_points}/{report.total_points} points "
+        f"(pruned {report.pruning_ratio:.1%}), "
+        f"re-simulated {report.verified}, "
+        f"max |time err| {report.max_abs_time_error * 100:.3f}%, "
+        f"max |energy err| {report.max_abs_energy_error * 100:.2e}%"
+    )
+    print(
+        f"wall: compile {report.compile_seconds:.2f}s + "
+        f"predict {report.predict_seconds:.2f}s analytic vs "
+        f"~{report.estimated_speedup:.0f}x that to simulate the grid"
+    )
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -1350,7 +1478,100 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=_cmd_lint)
 
     workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (machine-readable)",
+    )
     workloads.set_defaults(func=_cmd_workloads)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="analytic predictor error vs a cycle-level engine",
+    )
+    calibrate.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        metavar="NAME[:SCALE]",
+        help="cases to calibrate (default: the full buildable set)",
+    )
+    calibrate.add_argument(
+        "--engine",
+        choices=("vector", "scalar"),
+        default="vector",
+        help="reference simulator (bit-identical by contract)",
+    )
+    calibrate.add_argument(
+        "--heavy",
+        action="store_true",
+        help="include bert (~24M commands; the simulation side alone "
+        "takes ~10 minutes)",
+    )
+    calibrate.add_argument("--seed", type=int, default=7)
+    calibrate.add_argument(
+        "-o", "--output", default=None, help="write the report as JSON"
+    )
+    _add_cache_flags(calibrate)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    explore = sub.add_parser(
+        "explore",
+        help="analytic design-space sweep + Pareto re-simulation",
+    )
+    explore.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        metavar="NAME[:SCALE]",
+        help="workload axis of the grid (default: gemm:0.02 plus the "
+        "full-scale matvec family)",
+    )
+    explore.add_argument(
+        "--policies",
+        nargs="*",
+        default=None,
+        choices=("base", "distribute", "unblock"),
+        help="scheduler-policy axis (default: all three)",
+    )
+    explore.add_argument(
+        "--read-scales",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="X",
+        help="read-port latency multipliers (energy scales inversely)",
+    )
+    explore.add_argument(
+        "--write-scales",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="X",
+        help="write-port latency multipliers (energy scales inversely)",
+    )
+    explore.add_argument(
+        "--decode-ns",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="NS",
+        help="host decode overheads per VPC",
+    )
+    explore.add_argument(
+        "--verify-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-simulate at most N frontier points per workload "
+        "(default: the whole frontier)",
+    )
+    explore.add_argument("--seed", type=int, default=7)
+    explore.add_argument(
+        "-o", "--output", default=None, help="write the report as JSON"
+    )
+    _add_cache_flags(explore)
+    explore.set_defaults(func=_cmd_explore)
 
     serve = sub.add_parser(
         "serve",

@@ -134,6 +134,38 @@ def _restore_trace_state(task: PimTask, aux: Dict[str, object]) -> bool:
     return True
 
 
+def _op_starts_aux(trace: ColumnarTrace, task: PimTask) -> Optional[list]:
+    """JSON-safe operation-boundary list for the cache aux dict."""
+    starts = trace.op_starts
+    if starts is None:
+        starts = getattr(task, "_trace_op_starts", None)
+    if starts is None:
+        return None
+    return [int(s) for s in starts]
+
+
+def _restore_op_starts(trace: ColumnarTrace, aux: Dict[str, object]) -> None:
+    """Attach cached operation boundaries to a loaded trace.
+
+    Entries written before boundaries were recorded simply lack the key;
+    the trace stays boundary-free and the analytic predictor falls back
+    to its single-segment model.
+    """
+    starts = aux.get("op_starts")
+    if starts is None:
+        return
+    try:
+        trace.op_starts = _validate_op_starts_list(starts, len(trace))
+    except (TypeError, ValueError):
+        trace.op_starts = None
+
+
+def _validate_op_starts_list(starts, total: int):
+    from repro.isa.columnar import _validate_op_starts
+
+    return _validate_op_starts(starts, total)
+
+
 def _deep_verify(compiled: CompiledWorkload, subject: str) -> None:
     """Attach the whole-trace dataflow report to ``compiled``.
 
@@ -204,6 +236,7 @@ def compile_workload(
     key = task_cache_key(spec, task.device, seed=seed)
     entry = cache.get(key)
     if entry is not None and _restore_trace_state(task, entry.aux):
+        _restore_op_starts(entry.trace, entry.aux)
         compiled = CompiledWorkload(
             task=task, trace=entry.trace, cache_key=key, cache_hit=True
         )
@@ -220,6 +253,7 @@ def compile_workload(
                 str(address): name
                 for address, name in task._trace_scalar_slots.items()
             },
+            "op_starts": _op_starts_aux(trace, task),
         }
         cache.put(
             key,
@@ -328,6 +362,7 @@ def stream_workload(
         if entry is not None and not _restore_trace_state(task, entry.aux):
             entry = None
     if entry is not None:
+        _restore_op_starts(entry.trace, entry.aux)
         task.materialize()
         result, telemetry = run_stream(
             task.device,
@@ -355,6 +390,7 @@ def stream_workload(
                         str(address): name
                         for address, name in task._trace_scalar_slots.items()
                     },
+                    "op_starts": _op_starts_aux(result.trace, task),
                 },
                 provenance={
                     "workload": spec.name,
@@ -363,6 +399,19 @@ def stream_workload(
                     "commands": len(result.trace),
                 },
             )
+    if result.trace.op_starts is None:
+        starts = (
+            entry.trace.op_starts
+            if entry is not None
+            else getattr(task, "_trace_op_starts", None)
+        )
+        if starts is not None and len(result.trace):
+            try:
+                result.trace.op_starts = _validate_op_starts_list(
+                    starts, len(result.trace)
+                )
+            except (TypeError, ValueError):
+                pass
     streamed = StreamedWorkload(
         task=task,
         trace=result.trace,

@@ -705,7 +705,10 @@ class PimTask:
                 operation, handles, builder, scratch, row_cache
             )
             scratch.recycle()
-        return builder.build()
+            builder.mark_op_boundary()
+        trace = builder.build()
+        self._trace_op_starts = trace.op_starts
+        return trace
 
     def to_trace_chunks(self, chunk_vpcs: int = 4096):
         """Incremental :meth:`to_trace`: yield the trace as chunks.
@@ -746,6 +749,7 @@ class PimTask:
             builder.mark_op_boundary()
             yield from builder.drain_chunks(min_records=chunk_vpcs)
         yield from builder.drain_chunks(min_records=1, force=True)
+        self._trace_op_starts = builder.op_starts_so_far()
 
     def materialize(self, device: Optional[StreamPIMDevice] = None) -> None:
         """Seed a device's word store with the placed operand values.

@@ -80,7 +80,11 @@ class ColumnarTrace:
     set of parallel columns that vectorized passes index directly.
     """
 
-    def __init__(self, records: np.ndarray) -> None:
+    def __init__(
+        self,
+        records: np.ndarray,
+        op_starts: Optional[np.ndarray] = None,
+    ) -> None:
         records = np.asarray(records)
         if records.dtype != RECORD_DTYPE:
             raise TypeError(
@@ -92,6 +96,11 @@ class ColumnarTrace:
                 f"records must be 1-D, got {records.ndim}-D"
             )
         self.records = records
+        self.op_starts = (
+            None
+            if op_starts is None
+            else _validate_op_starts(op_starts, len(records))
+        )
 
     # ------------------------------------------------------------------
     # Column views
@@ -215,6 +224,43 @@ class ColumnarTrace:
             elements_processed=int(size[compute].sum()),
             elements_moved=int(size[~compute].sum()),
         )
+
+    # ------------------------------------------------------------------
+    # Summary arrays (analytic-model inputs)
+    # ------------------------------------------------------------------
+    def opcode_counts(self) -> np.ndarray:
+        """Command count per wire opcode byte (length-256 int64 vector)."""
+        return np.bincount(self.records["opcode"], minlength=256).astype(
+            np.int64
+        )
+
+    def words_by_opcode(self) -> np.ndarray:
+        """Total ``size`` words per wire opcode byte (length-256 vector)."""
+        return np.bincount(
+            self.records["opcode"],
+            weights=self.records["size"].astype(np.float64),
+            minlength=256,
+        ).astype(np.int64)
+
+    @property
+    def num_ops(self) -> Optional[int]:
+        """Number of source operations, when boundaries were recorded."""
+        if self.op_starts is None:
+            return None
+        return len(self.op_starts)
+
+    def op_slices(self) -> "List[tuple]":
+        """``(start, end)`` command ranges per source operation.
+
+        Falls back to one whole-trace range when no operation boundaries
+        were recorded (e.g. traces decoded from the wire format, which
+        does not carry them).
+        """
+        n = len(self.records)
+        if self.op_starts is None or len(self.op_starts) == 0:
+            return [] if n == 0 else [(0, n)]
+        starts = self.op_starts.tolist()
+        return list(zip(starts, starts[1:] + [n]))
 
     # ------------------------------------------------------------------
     # Conversion to/from the object form
@@ -400,6 +446,26 @@ class ColumnarTrace:
         target.write(self.to_bytes())
 
 
+def _validate_op_starts(op_starts, total: int) -> np.ndarray:
+    """Normalise operation-boundary starts: sorted, in-range, unique."""
+    starts = np.asarray(op_starts, dtype=np.int64).ravel()
+    if len(starts) == 0:
+        return starts
+    if starts[0] != 0:
+        raise ValueError(
+            f"op_starts must begin at command 0, got {int(starts[0])}"
+        )
+    if np.any(np.diff(starts) <= 0):
+        raise ValueError("op_starts must be strictly increasing")
+    if int(starts[-1]) >= total and total > 0:
+        raise ValueError(
+            f"op_starts beyond trace end: {int(starts[-1])} >= {total}"
+        )
+    if total == 0 and len(starts):
+        raise ValueError("op_starts must be empty for an empty trace")
+    return starts
+
+
 class ColumnarTraceBuilder:
     """Batched, append-only construction of a :class:`ColumnarTrace`.
 
@@ -431,6 +497,8 @@ class ColumnarTraceBuilder:
         self._sealed = False
         self._boundary = 0
         self._drained = 0
+        self._op_marks: List[int] = []
+        self._op_marked = False
 
     def __len__(self) -> int:
         return self._total
@@ -542,7 +610,29 @@ class ColumnarTraceBuilder:
         else:
             records = np.concatenate(self._chunks)
         self._chunks = []
-        return ColumnarTrace(records)
+        op_starts = None
+        if self._op_marked:
+            op_starts = np.array(
+                [0] + [m for m in self._op_marks if 0 < m < self._total],
+                dtype=np.int64,
+            )
+            if self._total == 0:
+                op_starts = op_starts[:0]
+        return ColumnarTrace(records, op_starts=op_starts)
+
+    def op_starts_so_far(self) -> np.ndarray:
+        """Operation start offsets recorded by :meth:`mark_op_boundary`.
+
+        Usable on the streaming path too (where :meth:`build` is never
+        called): after the final drain this is the boundary list of the
+        concatenated trace.
+        """
+        if self._total == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.array(
+            [0] + [m for m in self._op_marks if 0 < m < self._total],
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     # Incremental chunk API (streamed compile/execute pipeline)
@@ -558,6 +648,9 @@ class ColumnarTraceBuilder:
         """
         self._check_open()
         self._boundary = self._total
+        self._op_marked = True
+        if not self._op_marks or self._op_marks[-1] != self._total:
+            self._op_marks.append(self._total)
 
     def pending_records(self) -> int:
         """Records emitted up to the last op boundary but not drained."""

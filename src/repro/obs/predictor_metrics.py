@@ -1,0 +1,53 @@
+"""``predictor.*`` metrics family for the analytic performance model.
+
+:func:`~repro.analysis.predictor.predict_workload` (and the explorer's
+batch paths) call :func:`record_prediction` per evaluated configuration
+when the device's collector is enabled, so analytic-sweep behaviour is
+auditable next to the ``trace.*`` / ``stream.*`` families:
+
+* ``predictor.predictions`` — configurations evaluated;
+* ``predictor.commands`` — trace commands covered by predictions;
+* ``predictor.cache_hits`` — predictions served from a cached compile;
+* ``predictor.predict_us`` — histogram of per-prediction wall time;
+* ``predictor.time_ns`` / ``predictor.energy_pj`` — last prediction's
+  headline figures (gauges);
+* ``predictor.abs_rel_error`` — histogram of |predicted-simulated| /
+  simulated time, recorded by calibration/explore verification passes.
+"""
+
+from __future__ import annotations
+
+
+def record_prediction(
+    obs, predicted, predict_seconds: float = 0.0, cache_hit: bool = False
+) -> None:
+    """Record one analytic prediction into ``obs``'s registry.
+
+    Args:
+        obs: an enabled :class:`~repro.obs.spans.Collector`.
+        predicted: a :class:`~repro.analysis.predictor.PredictedStats`.
+        predict_seconds: wall time of the predict call.
+        cache_hit: whether the compile behind it was a cache hit.
+    """
+    registry = obs.registry
+    registry.counter("predictor.predictions").inc(1)
+    registry.counter("predictor.commands").inc(predicted.commands)
+    if cache_hit:
+        registry.counter("predictor.cache_hits").inc(1)
+    registry.histogram("predictor.predict_us").observe(
+        predict_seconds * 1e6
+    )
+    registry.gauge("predictor.time_ns").set(predicted.time_ns)
+    registry.gauge("predictor.energy_pj").set(predicted.energy.total_pj)
+
+
+def record_prediction_error(obs, rel_error: float) -> None:
+    """Record one predicted-vs-simulated relative time error."""
+    registry = obs.registry
+    registry.counter("predictor.verifications").inc(1)
+    registry.histogram("predictor.abs_rel_error").observe(
+        abs(rel_error)
+    )
+
+
+__all__ = ["record_prediction", "record_prediction_error"]

@@ -20,6 +20,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
+#: Indices into the access-constant vectors returned by
+#: :meth:`RMTimingConfig.access_latency_ns_vector` /
+#: :meth:`RMTimingConfig.access_energy_pj_vector`.
+ACCESS_READ = 0
+ACCESS_WRITE = 1
+ACCESS_SHIFT = 2
+
 
 #: Reference point of the fabrication-process scaling law (section V-F).
 _GATE_ENERGY_REF_PJ = 20.0
@@ -108,6 +117,43 @@ class RMTimingConfig:
     def gate_energy_pj(self) -> float:
         """Energy of one domain-wall logic gate at ``process_nm``."""
         return energy_per_gate_pj(self.process_nm)
+
+    # ------------------------------------------------------------------
+    # Constant vectors (analytic-model inputs)
+    # ------------------------------------------------------------------
+    def access_latency_ns_vector(self) -> np.ndarray:
+        """Table III access latencies as ``[read, write, shift]`` ns.
+
+        Index with :data:`ACCESS_READ` / :data:`ACCESS_WRITE` /
+        :data:`ACCESS_SHIFT` so vectorized cost models can gather
+        latencies by access-kind arrays instead of branching.
+        """
+        return np.array(
+            [self.read_ns, self.write_ns, self.shift_ns], dtype=np.float64
+        )
+
+    def access_energy_pj_vector(self) -> np.ndarray:
+        """Table III access energies as ``[read, write, shift]`` pJ."""
+        return np.array(
+            [self.read_pj, self.write_pj, self.shift_pj], dtype=np.float64
+        )
+
+    def opcode_element_energy_pj_vector(self) -> np.ndarray:
+        """Per-element RM-processor energy keyed by wire opcode byte.
+
+        A length-256 vector: ``vec[opcode_byte]`` is the compute energy
+        of processing one element under that opcode (``pim_mul_pj`` for
+        MUL/SMUL, ``pim_add_pj`` for ADD, zero for TRAN and unused
+        bytes), so a trace's total compute energy is one
+        ``vec[trace.opcode] @ trace.size`` reduction.
+        """
+        from repro.isa.columnar import ADD_BYTE, MUL_BYTE, SMUL_BYTE
+
+        vec = np.zeros(256, dtype=np.float64)
+        vec[MUL_BYTE] = self.pim_mul_pj
+        vec[SMUL_BYTE] = self.pim_mul_pj
+        vec[ADD_BYTE] = self.pim_add_pj
+        return vec
 
     def scaled_to_process(self, process_nm: float) -> "RMTimingConfig":
         """Return a copy of this config at a different fabrication process.

@@ -53,8 +53,7 @@ import threading
 import time
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from bench_common import REPO_ROOT, percentile, write_json
 
 from repro.serve import ServeClient, ServeClientError  # noqa: E402
 
@@ -82,17 +81,6 @@ SUSTAINED_MIX = [
 #: the request dead-letters after redelivery — or the crash class's
 #: breaker already opened and shed it fast.
 CRASH_CODES = {"DEAD_LETTER", "CIRCUIT_OPEN", "WORKER_CRASH"}
-
-
-def percentile(values, q):
-    if not values:
-        return None
-    ordered = sorted(values)
-    rank = (q / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
 
 # ----------------------------------------------------------------------
@@ -957,9 +945,9 @@ def main(argv=None):
         run_sustained(args, payload, failures)
         payload["failures"] = failures
         payload["ok"] = not failures
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-        print(f"wrote {args.out}")
+        write_json(
+            args.out, payload, "BENCH_serve.json", indent=1, sort_keys=True
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
@@ -1004,9 +992,9 @@ def main(argv=None):
 
     payload["failures"] = failures
     payload["ok"] = not failures
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-    print(f"wrote {args.out}")
+    write_json(
+        args.out, payload, "BENCH_serve.json", indent=1, sort_keys=True
+    )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -49,33 +49,23 @@ speedup falls below its floor.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from bench_common import (
+    best_of,
+    report_failures,
+    stat_mismatches,
+    stat_values,
+    write_json,
+)
 
 import numpy as np  # noqa: E402
 
 from repro.core.device import StreamPIMDevice  # noqa: E402
 from repro.core.task import PimTask, TaskOp  # noqa: E402
 from repro.isa.columnar import ColumnarTrace  # noqa: E402
-
-_STAT_FIELDS = (
-    ("time_ns", lambda s: s.time_ns),
-    ("read_ns", lambda s: s.time_breakdown.read_ns),
-    ("write_ns", lambda s: s.time_breakdown.write_ns),
-    ("shift_ns", lambda s: s.time_breakdown.shift_ns),
-    ("process_ns", lambda s: s.time_breakdown.process_ns),
-    ("overlapped_ns", lambda s: s.time_breakdown.overlapped_ns),
-    ("read_pj", lambda s: s.energy.read_pj),
-    ("write_pj", lambda s: s.energy.write_pj),
-    ("shift_pj", lambda s: s.energy.shift_pj),
-    ("compute_pj", lambda s: s.energy.compute_pj),
-)
 
 
 def build_trace(target_vpcs: int):
@@ -118,30 +108,19 @@ def run(args: argparse.Namespace) -> int:
         print("FAIL: columnar binary round-trip mismatch")
         return 1
 
-    # Best-of-N timing per engine (as timeit does): the minimum is the
-    # least noise-contaminated estimate of the per-trace cost, and the
-    # first iteration doubles as warmup for one-time allocation costs.
-    scalar_s = math.inf
-    for _ in range(args.repeats):
-        t0 = time.perf_counter()
-        scalar_stats = StreamPIMDevice().execute_trace(
+    scalar_s, scalar_stats = best_of(
+        args.repeats,
+        lambda: StreamPIMDevice().execute_trace(
             trace, workload="bench", functional=False
-        )
-        scalar_s = min(scalar_s, time.perf_counter() - t0)
-
-    vector_s = math.inf
-    for _ in range(args.repeats):
-        t0 = time.perf_counter()
-        vector_stats = StreamPIMDevice().execute_trace(
+        ),
+    )
+    vector_s, vector_stats = best_of(
+        args.repeats,
+        lambda: StreamPIMDevice().execute_trace(
             cols, workload="bench", functional=False, engine="vector"
-        )
-        vector_s = min(vector_s, time.perf_counter() - t0)
-
-    mismatches = [
-        name
-        for name, get in _STAT_FIELDS
-        if get(scalar_stats) != get(vector_stats)
-    ]
+        ),
+    )
+    mismatches = stat_mismatches(scalar_stats, vector_stats)
     if scalar_stats.counters != vector_stats.counters:
         mismatches.append("counters")
     speedup = scalar_s / vector_s if vector_s > 0 else float("inf")
@@ -153,29 +132,23 @@ def run(args: argparse.Namespace) -> int:
     from repro.obs import Collector
     from repro.sim.vector_exec import execute_columnar
 
-    obs_control_s = math.inf
-    for _ in range(args.repeats):
-        t0 = time.perf_counter()
-        control_stats = execute_columnar(
+    obs_control_s, control_stats = best_of(
+        args.repeats,
+        lambda: execute_columnar(
             StreamPIMDevice(), cols, workload="bench", functional=False
-        )
-        obs_control_s = min(obs_control_s, time.perf_counter() - t0)
-
-    obs_disabled_s = math.inf
-    for _ in range(args.repeats):
-        t0 = time.perf_counter()
-        disabled_stats = StreamPIMDevice().execute_trace(
+        ),
+    )
+    obs_disabled_s, disabled_stats = best_of(
+        args.repeats,
+        lambda: StreamPIMDevice().execute_trace(
             cols,
             workload="bench",
             functional=False,
             verify=False,
             engine="vector",
-        )
-        obs_disabled_s = min(obs_disabled_s, time.perf_counter() - t0)
-
-    if [get(control_stats) for _, get in _STAT_FIELDS] != [
-        get(disabled_stats) for _, get in _STAT_FIELDS
-    ]:
+        ),
+    )
+    if stat_values(control_stats) != stat_values(disabled_stats):
         mismatches.append("obs_disabled_stats")
     obs_overhead_pct = (
         (obs_disabled_s - obs_control_s) / obs_control_s * 100.0
@@ -213,9 +186,6 @@ def run(args: argparse.Namespace) -> int:
         "obs_profiled_s": round(obs_profiled_s, 4),
         "max_obs_overhead_pct": args.max_obs_overhead,
     }
-    out = Path(args.out or "BENCH_trace_exec.json")
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-
     print(f"columnarize {columnarize_s:.3f}s  "
           f"binary decode {decode_s:.3f}s")
     print(f"scalar {scalar_s:.3f}s  vector {vector_s:.3f}s  "
@@ -224,25 +194,25 @@ def run(args: argparse.Namespace) -> int:
           f"disabled {obs_disabled_s:.3f}s  "
           f"(overhead {obs_overhead_pct:+.1f}%)  "
           f"profiled {obs_profiled_s:.3f}s")
-    print(f"wrote {out}")
+    write_json(args.out, result, "BENCH_trace_exec.json")
 
+    failures = []
     if mismatches:
-        print(f"FAIL: scalar/vector stats differ in {mismatches}")
-        return 1
+        failures.append(f"scalar/vector stats differ in {mismatches}")
     if speedup < args.min_speedup:
-        print(f"FAIL: speedup {speedup:.1f}x below the "
-              f"{args.min_speedup}x floor")
-        return 1
+        failures.append(
+            f"speedup {speedup:.1f}x below the {args.min_speedup}x floor"
+        )
     if (
         args.max_obs_overhead is not None
         and obs_overhead_pct > args.max_obs_overhead
     ):
-        print(f"FAIL: disabled-mode observability overhead "
-              f"{obs_overhead_pct:.1f}% exceeds the "
-              f"{args.max_obs_overhead}% ceiling")
-        return 1
-    print("PASS")
-    return 0
+        failures.append(
+            f"disabled-mode observability overhead "
+            f"{obs_overhead_pct:.1f}% exceeds the "
+            f"{args.max_obs_overhead}% ceiling"
+        )
+    return report_failures(failures)
 
 
 def _differential_specs(scales):
@@ -298,6 +268,8 @@ def run_compile(args: argparse.Namespace) -> int:
         scalar_s = min(scalar_s, time.perf_counter() - t0)
     columnar_s = math.inf
     for _ in range(args.repeats):
+        # Task build stays outside the timed region, so best_of (which
+        # would time the build too) does not apply here.
         task = spec.build_task(seed=7)
         t0 = time.perf_counter()
         columnar_trace = task.to_trace(engine="columnar")
@@ -380,9 +352,7 @@ def run_compile(args: argparse.Namespace) -> int:
             k: v for k, v in cache_stats.items() if k != "cache_dir"
         },
     }
-    out = Path(args.out or "BENCH_trace_compile.json")
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out}")
+    write_json(args.out, result, "BENCH_trace_compile.json")
 
     if compile_speedup < args.min_compile_speedup:
         failures.append(
@@ -394,12 +364,7 @@ def run_compile(args: argparse.Namespace) -> int:
             f"cache speedup {cache_speedup:.1f}x below the "
             f"{args.min_cache_speedup}x floor"
         )
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    if failures:
-        return 1
-    print("PASS")
-    return 0
+    return report_failures(failures)
 
 
 def _phased_cold(spec):
@@ -502,21 +467,14 @@ def run_stream_bench(args: argparse.Namespace) -> int:
             row["identical"] for row in per_workload.values()
         ),
     }
-    out = Path(args.out or "BENCH_trace_stream.json")
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out}")
+    write_json(args.out, result, "BENCH_trace_stream.json")
 
     if aggregate < args.min_stream_speedup:
         failures.append(
             f"stream speedup {aggregate:.2f}x below the "
             f"{args.min_stream_speedup}x floor"
         )
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    if failures:
-        return 1
-    print("PASS")
-    return 0
+    return report_failures(failures)
 
 
 def run_deep(args: argparse.Namespace) -> int:
@@ -552,11 +510,9 @@ def run_deep(args: argparse.Namespace) -> int:
         scalar_slots=task.trace_scalar_slots,
         registry=registry,
     )
-    deep_s = math.inf
-    for _ in range(args.repeats):
-        t0 = time.perf_counter()
-        report = analyzer.analyze(trace, subject="bench gemm")
-        deep_s = min(deep_s, time.perf_counter() - t0)
+    deep_s, report = best_of(
+        args.repeats, analyzer.analyze, trace, subject="bench gemm"
+    )
     ratio = deep_s / vector_s if vector_s > 0 else float("inf")
 
     snapshot = registry.snapshot()
@@ -581,13 +537,10 @@ def run_deep(args: argparse.Namespace) -> int:
         "clean": report.ok(strict=True),
         "dataflow_metrics": dataflow_metrics,
     }
-    out = Path(args.out or "BENCH_deep_check.json")
-    out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
-
     print(f"vector exec (functional) {vector_s:.3f}s  "
           f"deep analysis {deep_s:.3f}s  "
           f"ratio {ratio:.3f} (ceiling {args.max_deep_ratio})")
-    print(f"wrote {out}")
+    write_json(args.out, result, "BENCH_deep_check.json")
 
     failures = []
     if not report.ok(strict=True):
@@ -605,12 +558,7 @@ def run_deep(args: argparse.Namespace) -> int:
             f"deep analysis {deep_s:.2f}s exceeds the "
             f"{args.deep_budget}s budget"
         )
-    for failure in failures:
-        print(f"FAIL: {failure}")
-    if failures:
-        return 1
-    print("PASS")
-    return 0
+    return report_failures(failures)
 
 
 def main(argv=None) -> int:
